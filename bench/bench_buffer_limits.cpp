@@ -1,0 +1,94 @@
+// Experiments E6 + E7 — the worked buffer-limit examples of Section 6.
+//
+//   eq (5): rho for +-100 ppm crystals          = 0.0002
+//   eq (6): f_max at that rho (f_min=28, le=4)  = 115,000 bits
+//   eq (8): rho limit at f_max = 76 (I-frame)   = 30.26 %
+//   eq (9): rho limit at f_max = 2076 (X-frame) = 1.11 %
+//
+// Also prints full design reports (TradeoffAnalyzer) for the TTP/C design
+// point and several what-if variants, and the TTP/C frame catalog the
+// numbers come from.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/frame_catalog.h"
+#include "analysis/sweep.h"
+#include "core/buffer_policy.h"
+#include "core/tradeoff.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tta;
+
+void print_report() {
+  std::printf("E6/E7: Section 6 worked examples\n\n%s\n",
+              analysis::section6_worked_examples().c_str());
+
+  std::printf("TTP/C frame catalog (Bus-Compatibility Specification as "
+              "quoted by the paper):\n");
+  util::Table cat({"frame", "bits", "field breakdown"});
+  for (const auto& e : analysis::frame_catalog()) {
+    cat.add_row({e.name, std::to_string(e.total_bits), e.field_breakdown});
+  }
+  std::printf("%s\n", cat.render().c_str());
+
+  std::printf("design reports:\n\n");
+  core::DesignPoint ttpc = core::TradeoffAnalyzer::ttpc_default();
+  std::printf("%s\n",
+              core::TradeoffAnalyzer::render(
+                  ttpc, core::TradeoffAnalyzer::analyze(ttpc))
+                  .c_str());
+
+  core::DesignPoint edge = ttpc;
+  edge.f_max_bits = 115'000;
+  std::printf("%s\n",
+              core::TradeoffAnalyzer::render(
+                  edge, core::TradeoffAnalyzer::analyze(edge))
+                  .c_str());
+
+  core::DesignPoint broken = ttpc;
+  broken.rho = 0.02;  // 2% skew: infeasible with X-frames
+  std::printf("%s\n",
+              core::TradeoffAnalyzer::render(
+                  broken, core::TradeoffAnalyzer::analyze(broken))
+                  .c_str());
+
+  core::DesignPoint slow_links = ttpc;
+  slow_links.f_max_bits = 76;  // protocol frames only
+  slow_links.rho = 0.30;       // near the eq (8) limit
+  std::printf("%s\n",
+              core::TradeoffAnalyzer::render(
+                  slow_links, core::TradeoffAnalyzer::analyze(slow_links))
+                  .c_str());
+
+  // The buffer continuum: how a bit budget induces an authority level —
+  // the bridge between Section 6's arithmetic and Section 5's verdicts.
+  std::printf("guardian buffer budget -> induced authority (TTP/C design "
+              "point):\n\n%s\n",
+              core::render_buffer_policy(
+                  core::buffer_policy_table(core::BufferPolicyParams{}))
+                  .c_str());
+  std::printf("=> the safe operating band is [ceil(B_min), f_min-1] = "
+              "[5, 27] bits: wide enough for reshaping AND semantic "
+              "analysis, one bit short of a frame store.\n\n");
+}
+
+void BM_DesignReport(benchmark::State& state) {
+  core::DesignPoint p = core::TradeoffAnalyzer::ttpc_default();
+  for (auto _ : state) {
+    auto r = core::TradeoffAnalyzer::analyze(p);
+    benchmark::DoNotOptimize(r.feasible);
+  }
+}
+BENCHMARK(BM_DesignReport);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

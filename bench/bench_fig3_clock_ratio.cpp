@@ -1,0 +1,73 @@
+// Experiment E5 — Figure 3: "Relationship between frame size range and
+// ratio of clock rates" (eq. 10, le = 4).
+//
+// Prints the curve w_max/w_min = f_max / (f_max - f_min + 1 + le) as one
+// series per f_min; the feasible design region lies below each curve. Also
+// renders a coarse ASCII plot so the figure's shape is visible in the
+// terminal.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/sweep.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tta;
+
+void print_series() {
+  std::printf("E5 / Figure 3: max clock-rate ratio vs frame size range "
+              "(le = 4; feasible region below the curve)\n\n");
+  analysis::Figure3Config cfg;
+  auto series = analysis::figure3(cfg);
+
+  util::Table t({"f_max [bits]", "f_min=8", "f_min=28", "f_min=128"});
+  // Align the three series on the union of sampled f_max values.
+  for (const auto& p : series[2].points) {
+    auto find = [&](const analysis::Figure3Series& s) -> std::string {
+      for (const auto& q : s.points) {
+        if (q.f_max == p.f_max) {
+          return util::Table::num(q.clock_ratio_limit, 3);
+        }
+      }
+      return "-";
+    };
+    t.add_row({std::to_string(p.f_max), find(series[0]), find(series[1]),
+               util::Table::num(p.clock_ratio_limit, 3)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // ASCII rendering of the f_min = 128 curve (log-x, log-y).
+  std::printf("f_min = 128 curve (log-log), '*' = limit, region below is "
+              "feasible:\n");
+  const auto& pts = series[2].points;
+  for (const auto& p : pts) {
+    int stars = static_cast<int>(
+        std::lround(12.0 * std::log10(p.clock_ratio_limit)));
+    std::printf("f_max %5lld | %*s* (%.3f)\n",
+                static_cast<long long>(p.f_max), stars < 0 ? 0 : stars, "",
+                p.clock_ratio_limit);
+  }
+  std::printf("\npaper: at f_min = f_max = 128 the ratio is f_max/5 = 25.6, "
+              "not f_max — the 1 + le term dominates at high ratios.\n\n");
+}
+
+void BM_Figure3Sweep(benchmark::State& state) {
+  analysis::Figure3Config cfg;
+  for (auto _ : state) {
+    auto series = analysis::figure3(cfg);
+    benchmark::DoNotOptimize(series.size());
+  }
+}
+BENCHMARK(BM_Figure3Sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

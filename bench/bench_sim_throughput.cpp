@@ -1,0 +1,91 @@
+// Simulator throughput — not a paper artifact, but the figure that gates
+// how large the fault-injection campaigns (E9) can be: TDMA slots simulated
+// per second across topologies, cluster sizes, and logging modes.
+#include <benchmark/benchmark.h>
+
+#include "sim/cluster.h"
+
+namespace {
+
+using namespace tta;
+
+sim::ClusterConfig make(sim::Topology topo, guardian::Authority a,
+                        std::uint8_t nodes, bool keep_log) {
+  sim::ClusterConfig cfg;
+  cfg.topology = topo;
+  cfg.guardian.authority = a;
+  cfg.protocol.num_nodes = nodes;
+  cfg.protocol.num_slots = nodes;
+  cfg.keep_log = keep_log;
+  return cfg;
+}
+
+void BM_StarClusterSteps(benchmark::State& state) {
+  auto nodes = static_cast<std::uint8_t>(state.range(0));
+  sim::Cluster cluster(
+      make(sim::Topology::kStar, guardian::Authority::kSmallShifting, nodes,
+           false),
+      sim::FaultInjector{});
+  for (auto _ : state) {
+    cluster.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StarClusterSteps)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BusClusterSteps(benchmark::State& state) {
+  auto nodes = static_cast<std::uint8_t>(state.range(0));
+  sim::Cluster cluster(
+      make(sim::Topology::kBus, guardian::Authority::kPassive, nodes, false),
+      sim::FaultInjector{});
+  for (auto _ : state) {
+    cluster.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BusClusterSteps)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_StepsWithEventLog(benchmark::State& state) {
+  sim::Cluster cluster(
+      make(sim::Topology::kStar, guardian::Authority::kSmallShifting, 4,
+           true),
+      sim::FaultInjector{});
+  for (auto _ : state) {
+    cluster.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StepsWithEventLog);
+
+void BM_StepsUnderFaultInjection(benchmark::State& state) {
+  sim::FaultInjector fi;
+  fi.add(sim::NodeFaultWindow{1, sim::NodeFaultMode::kSosValue, 0,
+                              UINT64_MAX});
+  fi.add(sim::CouplerFaultWindow{0, guardian::CouplerFault::kBadFrame, 100,
+                                 200});
+  sim::Cluster cluster(
+      make(sim::Topology::kStar, guardian::Authority::kSmallShifting, 4,
+           false),
+      std::move(fi));
+  for (auto _ : state) {
+    cluster.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StepsUnderFaultInjection);
+
+void BM_FullStartupToAllActive(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Cluster cluster(
+        make(sim::Topology::kStar, guardian::Authority::kSmallShifting, 4,
+             false),
+        sim::FaultInjector{});
+    bool ok = cluster.run_until_all_healthy_active(200);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_FullStartupToAllActive)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Wire-substrate characterization: the bit-exact frame pipeline.
+//
+// Prints the TTP/C frame-status taxonomy as computed from real CRCs —
+// including the implicit-vs-explicit C-state nuance that motivates why the
+// failed-slots counter only sees *explicit* disagreements — plus
+// encode/decode throughput and the detection profile under injected bit
+// errors (the 24-bit CRC leaves no undetected corruption at any tested
+// burst size).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/frame_pipeline.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tta;
+
+void print_taxonomy() {
+  std::printf("frame-status taxonomy at wire fidelity (receiver C-state vs "
+              "sender C-state):\n\n");
+  sim::FramePipeline pipe(0, wire::LineCoding(4));
+  ttpc::CState sender(100, 2, 0b0111);
+  util::Table t({"scenario", "N-frame (implicit C-state)",
+                 "I-frame (explicit C-state)"});
+  auto judge = [&](const ttpc::CState& receiver, bool explicit_cs) {
+    auto r = pipe.receive(pipe.transmit(sender, explicit_cs), receiver);
+    return std::string(sim::to_string(r.status));
+  };
+  t.add_row({"C-states agree", judge(sender, false), judge(sender, true)});
+  t.add_row({"global time differs", judge(ttpc::CState(101, 2, 0b0111), false),
+             judge(ttpc::CState(101, 2, 0b0111), true)});
+  t.add_row({"membership differs", judge(ttpc::CState(100, 2, 0b0101), false),
+             judge(ttpc::CState(100, 2, 0b0101), true)});
+  {
+    util::Rng rng(1);
+    auto wire = pipe.transmit(sender, false);
+    sim::FramePipeline::corrupt(wire, rng, 3);
+    auto n = pipe.receive(wire, sender);
+    auto wire_i = pipe.transmit(sender, true);
+    sim::FramePipeline::corrupt(wire_i, rng, 3);
+    auto i = pipe.receive(wire_i, sender);
+    t.add_row({"3 bits corrupted", sim::to_string(n.status),
+               sim::to_string(i.status)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("=> an implicit C-state disagreement is physically a CRC "
+              "failure: receivers see INVALID, not INCORRECT. Only explicit "
+              "disagreements feed the clique-avoidance failed counter — the "
+              "refinement behind the abstract model's id comparison.\n\n");
+
+  std::printf("bit-error detection (500 trials per burst size, I-frames):\n\n");
+  util::Table d({"flipped bits", "invalid", "undetected"});
+  for (unsigned flips : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    util::Rng rng(flips);
+    int invalid = 0, undetected = 0;
+    for (int trial = 0; trial < 500; ++trial) {
+      auto wire = pipe.transmit(sender, true);
+      sim::FramePipeline::corrupt(wire, rng, flips);
+      auto r = pipe.receive(wire, sender);
+      if (r.status == sim::FrameStatus::kInvalid) {
+        ++invalid;
+      } else {
+        ++undetected;
+      }
+    }
+    d.add_row({std::to_string(flips), std::to_string(invalid),
+               std::to_string(undetected)});
+  }
+  std::printf("%s\n", d.render().c_str());
+}
+
+void BM_EncodeIFrame(benchmark::State& state) {
+  sim::FramePipeline pipe(0, wire::LineCoding(4));
+  ttpc::CState sender(100, 2, 0b0111);
+  for (auto _ : state) {
+    auto wire = pipe.transmit(sender, true);
+    benchmark::DoNotOptimize(wire.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeIFrame);
+
+void BM_ReceiveIFrame(benchmark::State& state) {
+  sim::FramePipeline pipe(0, wire::LineCoding(4));
+  ttpc::CState sender(100, 2, 0b0111);
+  auto wire = pipe.transmit(sender, true);
+  for (auto _ : state) {
+    auto r = pipe.receive(wire, sender);
+    benchmark::DoNotOptimize(r.status);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReceiveIFrame);
+
+void BM_EncodeDecodeXFrame(benchmark::State& state) {
+  // The 2076-bit maximal frame: the worst case for per-bit CRC work.
+  wire::WireFrame f;
+  f.header.type = wire::WireFrameType::kX;
+  f.payload.assign(240, 0x5A);
+  for (auto _ : state) {
+    auto bits = wire::encode_frame(f, 0);
+    auto decoded = wire::decode_frame(bits, 0, wire::CStateImage{});
+    benchmark::DoNotOptimize(decoded.status);
+  }
+  state.SetItemsProcessed(state.iterations() * 2076);
+}
+BENCHMARK(BM_EncodeDecodeXFrame);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_taxonomy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The paper's other temptation, working: CAN-style prioritized messaging
+// through a frame-buffering central guardian — and why it is the
+// out-of-slot fault class offered as a feature.
+//
+//   ./can_emulation_demo
+#include <cstdio>
+
+#include "guardian/mailbox.h"
+#include "ttpc/medl.h"
+
+using namespace tta;
+
+int main() {
+  std::printf("CAN emulation through the central guardian: event messages "
+              "are buffered at the hub and drained in priority order during "
+              "a reserved time slice.\n\n");
+
+  // Only a full-shifting guardian can offer this.
+  for (guardian::Authority a : {guardian::Authority::kSmallShifting,
+                                guardian::Authority::kFullShifting}) {
+    guardian::PriorityRelay relay(a, /*capacity=*/8);
+    std::printf("guardian authority %-15s -> priority relay %s\n",
+                guardian::to_string(a),
+                relay.available() ? "AVAILABLE" : "unavailable (cannot "
+                                                  "buffer frames)");
+  }
+  std::printf("\n");
+
+  guardian::PriorityRelay relay(guardian::Authority::kFullShifting, 8);
+  struct Msg {
+    std::uint8_t priority;
+    ttpc::SlotNumber origin_slot;
+    const char* label;
+  };
+  const Msg messages[] = {
+      {5, 1, "periodic telemetry"},   {1, 2, "brake command"},
+      {3, 3, "diagnostic response"},  {1, 4, "brake command (2nd wheel)"},
+      {4, 1, "comfort setting"},
+  };
+  std::printf("enqueued (arrival order):\n");
+  for (const Msg& m : messages) {
+    relay.enqueue(m.priority, ttpc::ChannelFrame{ttpc::FrameKind::kOther,
+                                                 m.origin_slot});
+    std::printf("  prio %u  %s (from slot %u)\n", m.priority, m.label,
+                m.origin_slot);
+  }
+
+  std::printf("\ndrained during the reserved slice (priority order, FIFO "
+              "within a priority):\n");
+  while (auto frame = relay.pop()) {
+    std::printf("  frame originally from slot %u\n", frame->id);
+  }
+
+  std::printf(
+      "\nEvery drained frame leaves the hub in a slot other than the one it "
+      "was sent in — by design. That is the out_of_slot fault class as a "
+      "feature: the same buffering that enables this service lets a faulty "
+      "hub replay frames into slots where integrating nodes will trust "
+      "them (see model_check_demo). The paper's conclusion: if you want "
+      "this service, you must also accept — and mitigate — that fault "
+      "mode.\n");
+  return 0;
+}

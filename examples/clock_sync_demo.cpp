@@ -1,0 +1,77 @@
+// The service everything else stands on: distributed clock synchronization
+// via the fault-tolerant average. Shows convergence from cold, the
+// steady-state precision for a given oscillator quality, and what one
+// Byzantine clock does to the ensemble.
+//
+//   ./clock_sync_demo [drift_spread_ppm]   (default 200 = the paper's
+//                                           +-100 ppm crystals)
+#include <cstdio>
+#include <cstdlib>
+
+#include "ttpc/clocksync.h"
+
+using namespace tta;
+
+namespace {
+
+ttpc::SyncConfig make_ensemble(std::size_t n, double spread_ppm) {
+  ttpc::SyncConfig config;
+  for (std::size_t i = 0; i < n; ++i) {
+    ttpc::ClockModel clock;
+    clock.drift_ppm = spread_ppm *
+                      (static_cast<double>(i) / static_cast<double>(n - 1) -
+                       0.5);
+    clock.jitter = 1e-7;
+    config.clocks.push_back(clock);
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double spread = argc > 1 ? std::strtod(argv[1], nullptr) : 200.0;
+
+  std::printf("4 clocks, drift spread %.0f ppm, resynchronizing once per "
+              "1 s round with the fault-tolerant average:\n\n", spread);
+  ttpc::ClockSyncSimulation sim(make_ensemble(4, spread));
+  std::printf("%-6s  %-14s %-14s\n", "round", "precision [s]",
+              "accuracy [s]");
+  for (int round = 1; round <= 30; ++round) {
+    ttpc::SyncRoundSample s = sim.run_round();
+    if (round <= 5 || round % 5 == 0) {
+      std::printf("%-6d  %-14.3g %-14.3g%s\n", round, s.precision,
+                  s.accuracy,
+                  s.precision <= sim.precision_bound() ? "" : "  (converging)");
+    }
+  }
+  std::printf("\nanalytic steady-state bound: %.3g s\n\n",
+              sim.precision_bound());
+
+  std::printf("same ensemble with clock 2 Byzantine (its apparent send "
+              "times are garbage):\n\n");
+  ttpc::SyncConfig cfg = make_ensemble(4, spread);
+  cfg.clocks[1].faulty = true;
+  cfg.clocks[1].jitter = 0.5;
+  ttpc::ClockSyncSimulation byz(cfg);
+  double worst_precision = 0.0, worst_accuracy = 0.0;
+  for (int round = 1; round <= 100; ++round) {
+    auto s = byz.run_round();
+    if (round > 50) {
+      worst_precision = std::max(worst_precision, s.precision);
+      worst_accuracy = std::max(worst_accuracy, s.accuracy);
+    }
+  }
+  std::printf("healthy clocks, rounds 51..100: worst precision %.3g s, "
+              "worst accuracy %.3g s — the FTA discards the liar's extreme "
+              "every round.\n\n",
+              worst_precision, worst_accuracy);
+
+  std::printf("Why this matters for the paper: the achieved precision sets "
+              "how tight receive windows can be; the spread of those "
+              "windows across nodes is what turns a marginal frame into an "
+              "SOS disagreement, and the residual clock-rate difference is "
+              "the rho of eq. (2) that sizes the central guardian's "
+              "buffer.\n");
+  return 0;
+}

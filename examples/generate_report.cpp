@@ -1,0 +1,26 @@
+// Regenerates the full reproduction report (all experiments E1..E11) as a
+// single markdown document.
+//
+//   ./generate_report [output.md]        (stdout if no file given)
+#include <cstdio>
+
+#include "core/report.h"
+
+int main(int argc, char** argv) {
+  tta::core::ReportOptions options;
+  std::string report = tta::core::generate_report(options);
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", argv[1]);
+      return 1;
+    }
+    std::fwrite(report.data(), 1, report.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes to %s\n", report.size(), argv[1]);
+  } else {
+    std::fwrite(report.data(), 1, report.size(), stdout);
+  }
+  return 0;
+}

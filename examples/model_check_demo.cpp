@@ -1,0 +1,52 @@
+// Formal side of the reproduction: exhaustively model-check the paper's
+// correctness property for each star-coupler authority level, and print the
+// narrated counterexample for the one that fails.
+//
+//   ./model_check_demo [max_out_of_slot_errors]   (default 1, as the paper)
+#include <cstdio>
+#include <cstdlib>
+
+#include "mc/checker.h"
+#include "mc/trace_printer.h"
+
+using namespace tta;
+
+int main(int argc, char** argv) {
+  unsigned max_oos =
+      argc > 1 ? static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10)) : 1;
+
+  std::printf("Property: no single star-coupler fault may force a node that "
+              "has integrated (active/passive) into the freeze state.\n\n");
+
+  for (guardian::Authority authority : guardian::kAllAuthorities) {
+    mc::ModelConfig config;
+    config.authority = authority;
+    config.max_out_of_slot_errors = max_oos;
+
+    mc::TtpcStarModel model(config);
+    mc::Checker checker(model);
+    mc::CheckResult result =
+        checker.check(mc::no_integrated_node_freezes());
+
+    std::printf("%-15s : %s  (%llu states, %llu transitions, %.3f s)\n",
+                guardian::to_string(authority),
+                result.holds ? "property HOLDS (exhaustive)"
+                             : "property VIOLATED",
+                static_cast<unsigned long long>(
+                    result.stats.states_explored),
+                static_cast<unsigned long long>(result.stats.transitions),
+                result.stats.seconds);
+
+    if (!result.holds) {
+      mc::TracePrinter printer(model);
+      std::printf("\nshortest counterexample (%zu steps):\n%s\n",
+                  result.trace.size(),
+                  printer.narrate(result.trace).c_str());
+    }
+  }
+
+  std::printf("Compare with the paper's Section 5.2: the three non-buffering "
+              "feature sets verify; full shifting yields the replayed-frame "
+              "counterexample.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: bring up a 4-node TTP/C cluster on a star topology and watch
+// the protocol work — listen timeouts, big-bang cold start, integration,
+// clique-avoidance promotion to active, and the membership service filling
+// in.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "sim/cluster.h"
+
+using namespace tta;
+
+int main() {
+  sim::ClusterConfig config;
+  config.topology = sim::Topology::kStar;
+  config.guardian.authority = guardian::Authority::kSmallShifting;
+
+  sim::Cluster cluster(config, sim::FaultInjector{});
+
+  std::printf("Starting a 4-node TTA cluster (star topology, central "
+              "guardians with small-shifting authority)...\n\n");
+  bool ok = cluster.run_until_all_healthy_active(200);
+
+  std::printf("%s\n", cluster.log().render().c_str());
+
+  if (!ok) {
+    std::printf("startup FAILED\n");
+    return 1;
+  }
+
+  std::printf("All %u nodes reached the active state after %llu TDMA "
+              "slots.\n",
+              config.protocol.num_nodes,
+              static_cast<unsigned long long>(cluster.now()));
+  std::printf("Final membership views (one bit per node):\n");
+  for (ttpc::NodeId id = 1; id <= config.protocol.num_nodes; ++id) {
+    std::printf("  node %u: state=%s membership=0x%04x\n", id,
+                ttpc::to_string(cluster.node(id).state().state),
+                cluster.node(id).membership());
+  }
+
+  std::printf("\nThings to notice in the log above:\n"
+              " * node 1's listen timeout expires first (timeout = slots + "
+              "node id), so it cold-starts;\n"
+              " * the other nodes ignore its *first* cold-start frame (the "
+              "big-bang rule) and integrate on the second;\n"
+              " * passive nodes are promoted to active by the clique test "
+              "at their round boundary once agreed > failed.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Bus vs star under one selectable node fault — the comparison (after
+// Ademaj et al. [7]) that motivated central guardians in the first place.
+//
+//   ./topology_compare [fault]
+// where fault is one of: babbling, masquerade, bad_cstate, sos_value,
+// sos_time (default: sos_value).
+#include <cstdio>
+#include <cstring>
+
+#include "sim/cluster.h"
+#include "util/table.h"
+
+using namespace tta;
+
+namespace {
+
+sim::NodeFaultMode parse_fault(const char* name) {
+  if (!std::strcmp(name, "babbling")) return sim::NodeFaultMode::kBabbling;
+  if (!std::strcmp(name, "masquerade")) {
+    return sim::NodeFaultMode::kMasqueradeColdStart;
+  }
+  if (!std::strcmp(name, "bad_cstate")) return sim::NodeFaultMode::kBadCState;
+  if (!std::strcmp(name, "sos_value")) return sim::NodeFaultMode::kSosValue;
+  if (!std::strcmp(name, "sos_time")) return sim::NodeFaultMode::kSosTime;
+  return sim::NodeFaultMode::kNone;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::NodeFaultMode fault =
+      argc > 1 ? parse_fault(argv[1]) : sim::NodeFaultMode::kSosValue;
+  if (fault == sim::NodeFaultMode::kNone) {
+    std::printf("usage: %s [babbling|masquerade|bad_cstate|sos_value|"
+                "sos_time]\n",
+                argv[0]);
+    return 2;
+  }
+
+  std::printf("Injecting fault '%s' into node 1 from power-on; running 600 "
+              "TDMA slots per configuration.\n\n",
+              sim::to_string(fault));
+
+  util::Table table({"topology", "guardian authority", "healthy frozen",
+                     "healthy active", "masqueraded integrations",
+                     "guardian blocks", "SOS slots"});
+
+  const std::pair<sim::Topology, guardian::Authority> configs[] = {
+      {sim::Topology::kBus, guardian::Authority::kPassive},
+      {sim::Topology::kStar, guardian::Authority::kPassive},
+      {sim::Topology::kStar, guardian::Authority::kTimeWindows},
+      {sim::Topology::kStar, guardian::Authority::kSmallShifting},
+  };
+  for (const auto& [topology, authority] : configs) {
+    sim::ClusterConfig config;
+    config.topology = topology;
+    config.guardian.authority = authority;
+    config.keep_log = false;
+    if (fault == sim::NodeFaultMode::kBadCState) {
+      config.power_on_steps = {0, 1, 2, 121};  // late joiner scenario
+    }
+
+    sim::FaultInjector injector;
+    injector.add(sim::NodeFaultWindow{1, fault, 0, UINT64_MAX});
+    sim::Cluster cluster(config, std::move(injector));
+    cluster.run(600);
+
+    std::size_t healthy_active = 0;
+    for (ttpc::NodeId id = 2; id <= config.protocol.num_nodes; ++id) {
+      healthy_active +=
+          cluster.node(id).state().state == ttpc::CtrlState::kActive;
+    }
+    const sim::ClusterMetrics& m = cluster.metrics();
+    table.add_row(
+        {sim::to_string(topology), guardian::to_string(authority),
+         std::to_string(cluster.healthy_clique_frozen()),
+         std::to_string(healthy_active),
+         std::to_string(m.masquerade_integrations),
+         std::to_string(m.guardian_blocks_window + m.guardian_blocks_signal +
+                        m.guardian_blocks_masquerade +
+                        m.guardian_blocks_bad_cstate),
+         std::to_string(m.sos_disagreements)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: the decentralized baseline (bus + local guardians) "
+              "cannot contain this fault class; the star topology contains "
+              "it once the central guardian has the relevant authority — "
+              "signal reshaping for SOS, activity supervision for babbling, "
+              "semantic analysis for masquerade/bad C-state.\n");
+  return 0;
+}

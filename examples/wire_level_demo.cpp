@@ -1,0 +1,74 @@
+// The reproduction's three fidelity levels, side by side, on the same
+// scenario: cluster startup plus a single out-of-slot replay by a
+// full-shifting coupler.
+//
+//   level 1: the formal model's verdict (exhaustive, from the checker)
+//   level 2: the frame-level simulator (abstract frames + membership)
+//   level 3: the wire cluster (real encoded frames, CRCs, buffered bits)
+//
+//   ./wire_level_demo
+#include <cstdio>
+
+#include "mc/checker.h"
+#include "sim/cluster.h"
+#include "sim/wire_cluster.h"
+
+using namespace tta;
+
+int main() {
+  // Level 1 — the formal verdict.
+  {
+    mc::ModelConfig cfg;
+    cfg.authority = guardian::Authority::kFullShifting;
+    cfg.max_out_of_slot_errors = 1;
+    mc::TtpcStarModel model(cfg);
+    auto res = mc::Checker(model).check(mc::no_integrated_node_freezes());
+    std::printf("level 1 (model checker): property %s for full-shifting "
+                "couplers — shortest counterexample %zu steps.\n",
+                res.holds ? "HOLDS" : "VIOLATED", res.trace.size());
+  }
+
+  // Levels 2 and 3 — the same concrete scenario at two fidelities.
+  sim::FaultInjector frame_fi, wire_fi;
+  frame_fi.add(sim::CouplerFaultWindow{
+      0, guardian::CouplerFault::kOutOfSlot, 13, 13});
+  wire_fi.add(sim::CouplerFaultWindow{
+      0, guardian::CouplerFault::kOutOfSlot, 13, 13});
+
+  sim::ClusterConfig frame_cfg;
+  frame_cfg.topology = sim::Topology::kStar;
+  frame_cfg.guardian.authority = guardian::Authority::kFullShifting;
+  sim::Cluster frame(frame_cfg, std::move(frame_fi));
+  frame.run(60);
+
+  sim::WireClusterConfig wire_cfg;
+  wire_cfg.authority = guardian::Authority::kFullShifting;
+  sim::WireCluster wire(wire_cfg, std::move(wire_fi));
+  wire.run(60);
+
+  std::printf("level 2 (frame simulator): %zu healthy node(s) expelled by "
+              "clique avoidance.\n",
+              frame.healthy_clique_frozen());
+  std::printf("level 3 (wire cluster):    %zu node(s) expelled — the "
+              "coupler literally re-drove the buffered frame image; the "
+              "stale bits decode perfectly.\n\n",
+              wire.clique_frozen_count());
+
+  std::printf("wire-level trace around the fault (steps 10..20):\n\n");
+  std::string log = wire.log().render();
+  // Print the slice containing steps 10-20.
+  std::size_t from = log.find("step   10");
+  std::size_t to = log.find("step   21");
+  if (from != std::string::npos) {
+    std::printf("%s\n", log.substr(from, to == std::string::npos
+                                             ? std::string::npos
+                                             : to - from)
+                            .c_str());
+  }
+
+  std::printf("Same protocol, same fault, three fidelities, one verdict: a "
+              "coupler allowed to store whole frames can replay them, and "
+              "a replayed frame is indistinguishable from a fresh one to "
+              "an integrating node.\n");
+  return 0;
+}

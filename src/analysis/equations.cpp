@@ -1,0 +1,81 @@
+#include "analysis/equations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tta::analysis {
+
+double relative_clock_difference(double rate_a, double rate_b) {
+  TTA_CHECK(rate_a > 0.0 && rate_b > 0.0);
+  double w_max = std::max(rate_a, rate_b);
+  double w_min = std::min(rate_a, rate_b);
+  return (w_max - w_min) / w_max;
+}
+
+double rho_from_ppm(double tolerance_ppm) {
+  TTA_CHECK(tolerance_ppm >= 0.0);
+  // Paper eq. (5): rho = 2 * tol (fast guardian at +tol, slow node at -tol).
+  return 2.0 * tolerance_ppm * 1e-6;
+}
+
+double rho_from_ppm_exact(double tolerance_ppm) {
+  TTA_CHECK(tolerance_ppm >= 0.0);
+  double tol = tolerance_ppm * 1e-6;
+  // (w_max - w_min)/w_max with w_max = 1+tol, w_min = 1-tol.
+  return 2.0 * tol / (1.0 + tol);
+}
+
+double min_buffer_bits(unsigned le, double rho, double f_max) {
+  TTA_CHECK(rho >= 0.0 && rho < 1.0);
+  TTA_CHECK(f_max >= 1.0);
+  return static_cast<double>(le) + rho * f_max;  // eq. (1)
+}
+
+std::int64_t max_buffer_bits(std::int64_t f_min) {
+  TTA_CHECK(f_min >= 1);
+  return f_min - 1;  // eq. (3)
+}
+
+double max_frame_bits(std::int64_t f_min, unsigned le, double rho) {
+  TTA_CHECK(rho > 0.0 && rho < 1.0);
+  TTA_CHECK(f_min >= 1 + static_cast<std::int64_t>(le));
+  return static_cast<double>(f_min - 1 - static_cast<std::int64_t>(le)) /
+         rho;  // eq. (4)
+}
+
+double max_rho(std::int64_t f_min, unsigned le, std::int64_t f_max) {
+  TTA_CHECK(f_max >= 1);
+  TTA_CHECK(f_min >= 1 + static_cast<std::int64_t>(le));
+  return static_cast<double>(f_min - 1 - static_cast<std::int64_t>(le)) /
+         static_cast<double>(f_max);  // eq. (7)
+}
+
+double max_clock_ratio(std::int64_t f_max, std::int64_t f_min, unsigned le) {
+  TTA_CHECK(f_max >= 1 && f_min >= 1);
+  std::int64_t denom = f_max - f_min + 1 + static_cast<std::int64_t>(le);
+  TTA_CHECK(denom > 0);
+  return static_cast<double>(f_max) / static_cast<double>(denom);  // eq. (10)
+}
+
+bool design_feasible(std::int64_t f_min, std::int64_t f_max, unsigned le,
+                     double rho) {
+  TTA_CHECK(f_min >= 1 && f_max >= f_min);
+  TTA_CHECK(rho >= 0.0 && rho < 1.0);
+  return min_buffer_bits(le, rho, static_cast<double>(f_max)) <=
+         static_cast<double>(max_buffer_bits(f_min));
+}
+
+bool design_feasible_exact(std::int64_t f_min, std::int64_t f_max, unsigned le,
+                           const util::Rational& rho) {
+  TTA_CHECK(f_min >= 1 && f_max >= f_min);
+  TTA_CHECK(rho >= util::Rational(0) && rho < util::Rational(1));
+  // le + rho * f_max <= f_min - 1, kept in exact arithmetic.
+  util::Rational lhs =
+      util::Rational(static_cast<std::int64_t>(le)) +
+      rho * util::Rational(f_max);
+  return lhs <= util::Rational(max_buffer_bits(f_min));
+}
+
+}  // namespace tta::analysis

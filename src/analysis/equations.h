@@ -1,0 +1,59 @@
+// The buffer/frame-size/clock-rate analysis of Section 6, equations (1)-(10).
+//
+// Notation follows the paper:
+//   le     bits required for line encoding (default 4)
+//   f_max  longest frame on the network, in bits
+//   f_min  shortest frame on the network, in bits
+//   rho    relative clock-rate difference (w_max - w_min) / w_max
+//   B_min  minimum guardian buffer: le + rho * f_max                  (1)
+//   B_max  maximum allowed buffer:  f_min - 1                         (3)
+//   f_max limit given rho:          (f_min - 1 - le) / rho            (4)
+//   rho limit given f_max:          (f_min - 1 - le) / f_max          (7)
+//   clock ratio limit:  w_max/w_min = f_max / (f_max - f_min + 1 + le) (10)
+//
+// All functions validate their domains (TTA_CHECK) rather than returning
+// garbage: these numbers gate real design decisions in the benches.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rational.h"
+
+namespace tta::analysis {
+
+/// Eq. (2): rho = (w_max - w_min) / w_max for two clock rates.
+double relative_clock_difference(double rate_a, double rate_b);
+
+/// Worst-case rho when both clocks have the same nominal rate but each may
+/// deviate by +-tolerance_ppm (paper eq. (5): 100 ppm each way -> 0.0002).
+/// Note the paper's simplification rho ~= 2 * tol; exact would be
+/// 2 tol / (1 + tol) — we keep the paper's form and expose the exact one.
+double rho_from_ppm(double tolerance_ppm);
+double rho_from_ppm_exact(double tolerance_ppm);
+
+/// Eq. (1): minimum buffer bits the guardian needs.
+double min_buffer_bits(unsigned le, double rho, double f_max);
+
+/// Eq. (3): maximum buffer bits allowed (must not hold a whole frame).
+std::int64_t max_buffer_bits(std::int64_t f_min);
+
+/// Eq. (4): largest allowable frame given the buffer ceiling.
+double max_frame_bits(std::int64_t f_min, unsigned le, double rho);
+
+/// Eq. (7): largest allowable rho given f_min and f_max.
+double max_rho(std::int64_t f_min, unsigned le, std::int64_t f_max);
+
+/// Eq. (10): largest allowable w_max / w_min clock ratio.
+double max_clock_ratio(std::int64_t f_max, std::int64_t f_min, unsigned le);
+
+/// Whether a (f_min, f_max, rho, le) design point is feasible, i.e.
+/// B_min <= B_max. The paper's central design constraint.
+bool design_feasible(std::int64_t f_min, std::int64_t f_max, unsigned le,
+                     double rho);
+
+/// Exact-rational variant of the feasibility check, used by tests to guard
+/// the floating-point version against boundary errors.
+bool design_feasible_exact(std::int64_t f_min, std::int64_t f_max, unsigned le,
+                           const util::Rational& rho);
+
+}  // namespace tta::analysis

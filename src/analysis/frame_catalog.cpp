@@ -1,0 +1,25 @@
+#include "analysis/frame_catalog.h"
+
+namespace tta::analysis {
+
+std::int64_t shortest_frame_bits() { return 28; }
+std::int64_t cold_start_frame_bits() { return 40; }
+std::int64_t protocol_i_frame_bits() { return 76; }
+std::int64_t longest_frame_bits() { return 2076; }
+unsigned default_line_encoding_bits() { return 4; }
+
+std::vector<CatalogEntry> frame_catalog() {
+  return {
+      {"N-frame (minimal)", 28,
+       "4 mode-change-request + frame type, 24 CRC (implicit C-state)"},
+      {"cold-start frame (minimal)", 40,
+       "frame type, 16 global time, round-slot position, 24 CRC "
+       "(paper total; its own field list sums differently — see wire/frame.h)"},
+      {"I-frame (explicit C-state)", 76,
+       "4 header, 16 global time, 16 MEDL position, 16 membership, 24 CRC"},
+      {"X-frame (maximal)", 2076,
+       "4 header, 96 C-state, 1920 data, 48 two CRCs, 8 CRC padding"},
+  };
+}
+
+}  // namespace tta::analysis

@@ -1,0 +1,38 @@
+// TTP/C frame catalog from the Bus-Compatibility Specification as quoted by
+// the paper (Section 6). These headline numbers parameterize the analysis
+// equations; the bit-exact wire layouts live in src/wire (see the note there
+// about the cold-start frame, whose quoted field list does not sum to its
+// quoted total — the catalog keeps the paper's totals verbatim).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tta::analysis {
+
+struct CatalogEntry {
+  std::string name;
+  std::int64_t total_bits;
+  std::string field_breakdown;  ///< the paper's own accounting, verbatim
+};
+
+/// Shortest frame in TTP/C: N-frame with no data, implicit CRC — 28 bits.
+std::int64_t shortest_frame_bits();
+
+/// Minimum cold-start frame — 40 bits per the paper.
+std::int64_t cold_start_frame_bits();
+
+/// Largest frame required for minimal protocol operation: I-frame, 76 bits.
+std::int64_t protocol_i_frame_bits();
+
+/// Longest allowable frame: maximal X-frame, 2076 bits.
+std::int64_t longest_frame_bits();
+
+/// Line-encoding bits the paper assumes (le = 4).
+unsigned default_line_encoding_bits();
+
+/// All catalog rows, for the reference tables in benches/docs.
+std::vector<CatalogEntry> frame_catalog();
+
+}  // namespace tta::analysis

@@ -1,0 +1,74 @@
+#include "analysis/sweep.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/equations.h"
+#include "analysis/frame_catalog.h"
+#include "util/check.h"
+
+namespace tta::analysis {
+
+std::vector<Figure3Series> figure3(const Figure3Config& config) {
+  TTA_CHECK(config.stride > 1.0);
+  TTA_CHECK(config.f_max_from >= 1 && config.f_max_to >= config.f_max_from);
+  std::vector<Figure3Series> out;
+  for (std::int64_t f_min : config.f_min_values) {
+    Figure3Series series;
+    series.f_min = f_min;
+    double x = static_cast<double>(config.f_max_from);
+    std::int64_t prev = -1;
+    while (true) {
+      auto f_max = static_cast<std::int64_t>(std::llround(x));
+      if (f_max > config.f_max_to) break;
+      if (f_max != prev && f_max >= f_min) {
+        series.points.push_back(
+            Figure3Point{f_max, max_clock_ratio(f_max, f_min, config.le)});
+        prev = f_max;
+      }
+      x *= config.stride;
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+std::string section6_worked_examples() {
+  char buf[256];
+  std::string out;
+
+  const unsigned le = default_line_encoding_bits();
+  const std::int64_t f_min = shortest_frame_bits();
+
+  double rho = rho_from_ppm(100.0);
+  std::snprintf(buf, sizeof buf,
+                "eq (5): rho for +-100ppm crystals          = %.4g\n", rho);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "eq (6): f_max @ rho=%.4g, f_min=%lld, le=%u = %.0f bits\n",
+                rho, static_cast<long long>(f_min), le,
+                max_frame_bits(f_min, le, rho));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "eq (8): rho limit @ f_max=%lld (I-frame)     = %.4f "
+                "(%.2f%%)\n",
+                static_cast<long long>(protocol_i_frame_bits()),
+                max_rho(f_min, le, protocol_i_frame_bits()),
+                100.0 * max_rho(f_min, le, protocol_i_frame_bits()));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "eq (9): rho limit @ f_max=%lld (X-frame)    = %.4f "
+                "(%.2f%%)\n",
+                static_cast<long long>(longest_frame_bits()),
+                max_rho(f_min, le, longest_frame_bits()),
+                100.0 * max_rho(f_min, le, longest_frame_bits()));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "eq (10) check: f_min=f_max=128 -> ratio     = %.4g "
+                "(= f_max/5, the paper's highlighted point)\n",
+                max_clock_ratio(128, 128, le));
+  out += buf;
+  return out;
+}
+
+}  // namespace tta::analysis

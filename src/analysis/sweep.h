@@ -1,0 +1,41 @@
+// Parameter sweeps that regenerate the paper's figures.
+//
+// Figure 3 plots the maximum tolerable clock-rate ratio w_max/w_min (eq. 10)
+// against the maximum frame size, for le = 4; the feasible region lies below
+// the curve. We emit one series per f_min value so the "wide frame-size
+// range => narrow clock-rate range" effect is visible in a single table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tta::analysis {
+
+struct Figure3Point {
+  std::int64_t f_max = 0;
+  double clock_ratio_limit = 0.0;
+};
+
+struct Figure3Series {
+  std::int64_t f_min = 0;
+  std::vector<Figure3Point> points;
+};
+
+struct Figure3Config {
+  std::vector<std::int64_t> f_min_values{8, 28, 128};
+  std::int64_t f_max_from = 8;
+  std::int64_t f_max_to = 4096;
+  /// Geometric stride (sample f_max at f_max_from * stride^k).
+  double stride = 1.25;
+  unsigned le = 4;
+};
+
+/// Generates the Figure 3 data (skips points with f_max < f_min).
+std::vector<Figure3Series> figure3(const Figure3Config& config);
+
+/// Worked examples of Section 6 as a printable report block: eqs (5), (6),
+/// (8), (9) with the paper's inputs.
+std::string section6_worked_examples();
+
+}  // namespace tta::analysis

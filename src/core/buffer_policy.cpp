@@ -1,0 +1,70 @@
+#include "core/buffer_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/equations.h"
+#include "guardian/semantic.h"
+#include "util/table.h"
+
+namespace tta::core {
+
+BufferClass classify_buffer(std::int64_t buffer_bits,
+                            const BufferPolicyParams& params) {
+  BufferClass c;
+  c.buffer_bits = buffer_bits;
+  double b_min = analysis::min_buffer_bits(params.le_bits, params.rho,
+                                           static_cast<double>(params.f_max_bits));
+  c.can_forward_gaplessly = static_cast<double>(buffer_bits) >= b_min;
+  c.can_analyze_semantics =
+      buffer_bits >= guardian::SemanticAnalyzer::kInspectionBits;
+  c.holds_whole_frame = buffer_bits >= params.f_min_bits;
+  c.respects_bmax = buffer_bits <= analysis::max_buffer_bits(params.f_min_bits);
+
+  if (c.holds_whole_frame) {
+    c.induced_authority = guardian::Authority::kFullShifting;
+  } else if (c.can_forward_gaplessly && c.can_analyze_semantics) {
+    c.induced_authority = guardian::Authority::kSmallShifting;
+  } else if (buffer_bits > 0) {
+    c.induced_authority = guardian::Authority::kTimeWindows;
+  } else {
+    c.induced_authority = guardian::Authority::kPassive;
+  }
+  return c;
+}
+
+std::vector<BufferClass> buffer_policy_table(
+    const BufferPolicyParams& params) {
+  double b_min = analysis::min_buffer_bits(params.le_bits, params.rho,
+                                           static_cast<double>(params.f_max_bits));
+  std::vector<std::int64_t> budgets{
+      0,
+      static_cast<std::int64_t>(std::floor(b_min)),  // just under eq (1)
+      static_cast<std::int64_t>(std::ceil(b_min)),
+      guardian::SemanticAnalyzer::kInspectionBits,
+      analysis::max_buffer_bits(params.f_min_bits),  // B_max
+      params.f_min_bits,                             // a frame store
+      params.f_max_bits};
+  std::sort(budgets.begin(), budgets.end());
+  budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+
+  std::vector<BufferClass> rows;
+  rows.reserve(budgets.size());
+  for (std::int64_t b : budgets) rows.push_back(classify_buffer(b, params));
+  return rows;
+}
+
+std::string render_buffer_policy(const std::vector<BufferClass>& rows) {
+  util::Table t({"buffer [bits]", "gapless forwarding", "semantic analysis",
+                 "whole-frame store", "respects B_max", "induced authority"});
+  auto yn = [](bool b) { return std::string(b ? "yes" : "no"); };
+  for (const BufferClass& c : rows) {
+    t.add_row({std::to_string(c.buffer_bits), yn(c.can_forward_gaplessly),
+               yn(c.can_analyze_semantics), yn(c.holds_whole_frame),
+               yn(c.respects_bmax),
+               guardian::to_string(c.induced_authority)});
+  }
+  return t.render();
+}
+
+}  // namespace tta::core

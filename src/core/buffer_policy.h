@@ -1,0 +1,53 @@
+// The buffer-size -> authority mapping that glues the paper's two halves
+// together.
+//
+// Section 5 speaks in authority levels (passive / windows / small shifting /
+// full shifting); Section 6 speaks in buffer bits (B_min, B_max). The bridge
+// is that capabilities are *bit thresholds*:
+//   - active reshaping + gapless forwarding needs  B >= le + rho*f_max (eq 1)
+//   - semantic analysis needs the frame's id/C-state fields buffered
+//     (SemanticAnalyzer::kInspectionBits)
+//   - holding a whole minimum-size frame (B >= f_min) is what makes the
+//     coupler a frame store — full-shifting authority, with the replay
+//     fault that comes with it. Hence B_max = f_min - 1 (eq 3).
+// classify_buffer() turns a concrete bit budget into the induced authority
+// level, and buffer_policy_table() sweeps the continuum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "guardian/authority.h"
+
+namespace tta::core {
+
+struct BufferClass {
+  std::int64_t buffer_bits = 0;
+  bool can_forward_gaplessly = false;  ///< B >= B_min (eq 1)
+  bool can_analyze_semantics = false;  ///< B >= inspection threshold
+  bool holds_whole_frame = false;      ///< B >= f_min: a frame store
+  bool respects_bmax = false;          ///< B <= f_min - 1 (eq 3)
+  /// The highest authority level this budget can faithfully implement
+  /// without becoming a frame store (kFullShifting once it is one).
+  guardian::Authority induced_authority = guardian::Authority::kPassive;
+};
+
+struct BufferPolicyParams {
+  std::int64_t f_min_bits = 28;
+  std::int64_t f_max_bits = 2076;
+  unsigned le_bits = 4;
+  double rho = 0.0002;
+};
+
+/// Classifies one buffer budget against the design parameters.
+BufferClass classify_buffer(std::int64_t buffer_bits,
+                            const BufferPolicyParams& params);
+
+/// The continuum at the interesting thresholds: 0, the eq-(1) minimum, the
+/// semantic-analysis threshold, B_max, f_min, and beyond.
+std::vector<BufferClass> buffer_policy_table(const BufferPolicyParams& params);
+
+std::string render_buffer_policy(const std::vector<BufferClass>& rows);
+
+}  // namespace tta::core

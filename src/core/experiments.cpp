@@ -1,0 +1,270 @@
+#include "core/experiments.h"
+
+#include <cstdio>
+
+#include "mc/trace_printer.h"
+#include "util/table.h"
+
+namespace tta::core {
+
+namespace {
+
+mc::CheckResult check_authority(guardian::Authority authority,
+                                unsigned max_oos) {
+  mc::ModelConfig cfg;
+  cfg.authority = authority;
+  cfg.max_out_of_slot_errors = max_oos;
+  mc::TtpcStarModel model(cfg);
+  mc::Checker checker(model);
+  return checker.check(mc::no_integrated_node_freezes());
+}
+
+TraceExperiment run_trace(const mc::ModelConfig& cfg) {
+  TraceExperiment exp;
+  exp.config = cfg;
+  mc::TtpcStarModel model(cfg);
+  mc::Checker checker(model);
+  exp.result = checker.check(mc::no_integrated_node_freezes());
+  mc::TracePrinter printer(model);
+  exp.narration = printer.narrate(exp.result.trace);
+  exp.table = printer.table(exp.result.trace);
+  return exp;
+}
+
+}  // namespace
+
+std::vector<FeatureMatrixRow> run_feature_matrix(
+    unsigned max_out_of_slot_errors) {
+  std::vector<FeatureMatrixRow> rows;
+  for (guardian::Authority a : guardian::kAllAuthorities) {
+    mc::CheckResult res = check_authority(a, max_out_of_slot_errors);
+    FeatureMatrixRow row;
+    row.authority = a;
+    row.holds = res.holds;
+    row.states = res.stats.states_explored;
+    row.transitions = res.stats.transitions;
+    row.depth = res.stats.max_depth;
+    row.seconds = res.stats.seconds;
+    row.trace_len = res.trace.size();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string render_feature_matrix(const std::vector<FeatureMatrixRow>& rows) {
+  util::Table t({"coupler authority", "property", "states", "transitions",
+                 "depth", "time [s]", "counterexample"});
+  for (const FeatureMatrixRow& r : rows) {
+    t.add_row({guardian::to_string(r.authority),
+               r.holds ? "HOLDS" : "VIOLATED", std::to_string(r.states),
+               std::to_string(r.transitions), std::to_string(r.depth),
+               util::Table::num(r.seconds, 3),
+               r.holds ? "-" : std::to_string(r.trace_len) + " steps"});
+  }
+  return t.render();
+}
+
+TraceExperiment run_trace_coldstart_duplication() {
+  mc::ModelConfig cfg;
+  cfg.authority = guardian::Authority::kFullShifting;
+  cfg.max_out_of_slot_errors = 1;
+  return run_trace(cfg);
+}
+
+TraceExperiment run_trace_cstate_duplication() {
+  mc::ModelConfig cfg;
+  cfg.authority = guardian::Authority::kFullShifting;
+  cfg.max_out_of_slot_errors = 1;
+  cfg.allow_coldstart_duplication = false;
+  return run_trace(cfg);
+}
+
+TraceExperiment run_trace_unconstrained() {
+  mc::ModelConfig cfg;
+  cfg.authority = guardian::Authority::kFullShifting;
+  return run_trace(cfg);
+}
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  sim::FaultInjector injector;
+  std::vector<std::uint64_t> power_on;  ///< empty = default staggered
+};
+
+std::vector<Scenario> fault_scenarios() {
+  std::vector<Scenario> out;
+  {
+    out.push_back({"no_fault", {}, {}});
+  }
+  {
+    Scenario s{"babbling_from_power_on", {}, {}};
+    s.injector.add(
+        sim::NodeFaultWindow{1, sim::NodeFaultMode::kBabbling, 0, UINT64_MAX});
+    out.push_back(std::move(s));
+  }
+  {
+    // Babbling that begins once the cluster is up: the classic case local
+    // bus guardians were invented for.
+    Scenario s{"babbling_steady_state", {}, {}};
+    s.injector.add(sim::NodeFaultWindow{1, sim::NodeFaultMode::kBabbling, 100,
+                                        UINT64_MAX});
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s{"masquerade_startup", {}, {}};
+    s.injector.add(sim::NodeFaultWindow{
+        1, sim::NodeFaultMode::kMasqueradeColdStart, 0, UINT64_MAX});
+    out.push_back(std::move(s));
+  }
+  {
+    // Late joiner (node 4) integrating while node 1 emits bad C-states; the
+    // join offset is chosen so the first frame the joiner can integrate on
+    // is the poisoned one (offset 121, see run_integration_vulnerability).
+    Scenario s{"bad_cstate_late_join", {}, {0, 1, 2, 121}};
+    s.injector.add(sim::NodeFaultWindow{1, sim::NodeFaultMode::kBadCState, 0,
+                                        UINT64_MAX});
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s{"sos_value", {}, {}};
+    s.injector.add(
+        sim::NodeFaultWindow{1, sim::NodeFaultMode::kSosValue, 0, UINT64_MAX});
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s{"sos_time", {}, {}};
+    s.injector.add(
+        sim::NodeFaultWindow{1, sim::NodeFaultMode::kSosTime, 0, UINT64_MAX});
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::pair<sim::Topology, guardian::Authority>>
+topology_configs() {
+  return {{sim::Topology::kBus, guardian::Authority::kPassive},
+          {sim::Topology::kStar, guardian::Authority::kPassive},
+          {sim::Topology::kStar, guardian::Authority::kTimeWindows},
+          {sim::Topology::kStar, guardian::Authority::kSmallShifting}};
+}
+
+}  // namespace
+
+std::vector<TopologyFaultRow> run_topology_fault_matrix(std::uint64_t steps) {
+  std::vector<TopologyFaultRow> rows;
+  for (const auto& [topo, authority] : topology_configs()) {
+    for (const Scenario& scenario : fault_scenarios()) {
+      sim::ClusterConfig cfg;
+      cfg.topology = topo;
+      cfg.guardian.authority = authority;
+      cfg.keep_log = false;
+      if (!scenario.power_on.empty()) cfg.power_on_steps = scenario.power_on;
+      sim::Cluster cluster(cfg, scenario.injector);
+      cluster.run(steps);
+
+      TopologyFaultRow row;
+      row.scenario = scenario.name;
+      row.topology = topo;
+      row.authority = authority;
+      row.healthy_frozen = cluster.healthy_clique_frozen();
+      for (ttpc::NodeId id = 1; id <= cfg.protocol.num_nodes; ++id) {
+        if (cluster.node_is_healthy(id) &&
+            cluster.node(id).state().state == ttpc::CtrlState::kActive) {
+          ++row.healthy_active_at_end;
+        }
+      }
+      row.startup_ok =
+          cluster.all_healthy_in_state(ttpc::CtrlState::kActive);
+      const sim::ClusterMetrics& m = cluster.metrics();
+      row.masquerade_integrations = m.masquerade_integrations;
+      row.guardian_blocks = m.guardian_blocks_window +
+                            m.guardian_blocks_signal +
+                            m.guardian_blocks_masquerade +
+                            m.guardian_blocks_bad_cstate;
+      row.sos_disagreements = m.sos_disagreements;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+std::string render_topology_fault_matrix(
+    const std::vector<TopologyFaultRow>& rows) {
+  util::Table t({"scenario", "topology", "authority", "healthy frozen",
+                 "healthy active", "masq. integrations", "guardian blocks",
+                 "SOS disagreements"});
+  for (const TopologyFaultRow& r : rows) {
+    t.add_row({r.scenario, sim::to_string(r.topology),
+               guardian::to_string(r.authority),
+               std::to_string(r.healthy_frozen),
+               std::to_string(r.healthy_active_at_end),
+               std::to_string(r.masquerade_integrations),
+               std::to_string(r.guardian_blocks),
+               std::to_string(r.sos_disagreements)});
+  }
+  return t.render();
+}
+
+std::vector<IntegrationVulnerabilityRow> run_integration_vulnerability() {
+  std::vector<IntegrationVulnerabilityRow> rows;
+  for (const auto& [topo, authority] : topology_configs()) {
+    IntegrationVulnerabilityRow row;
+    row.topology = topo;
+    row.authority = authority;
+    for (std::uint64_t off = 120; off < 128; ++off) {
+      sim::ClusterConfig cfg;
+      cfg.topology = topo;
+      cfg.guardian.authority = authority;
+      cfg.keep_log = false;
+      cfg.power_on_steps = {0, 1, 2, off};
+      sim::FaultInjector inj;
+      inj.add(sim::NodeFaultWindow{1, sim::NodeFaultMode::kBadCState, 0,
+                                   UINT64_MAX});
+      sim::Cluster cluster(cfg, std::move(inj));
+      cluster.run(400);
+      ++row.total;
+      bool joined =
+          cluster.node(4).state().state == ttpc::CtrlState::kActive &&
+          !cluster.node(4).ever_clique_frozen();
+      if (!joined) ++row.damaged;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<AblationRow> run_authority_ablation() {
+  std::vector<FeatureMatrixRow> matrix = run_feature_matrix();
+  std::vector<AblationRow> rows;
+  for (const FeatureMatrixRow& m : matrix) {
+    AblationRow r;
+    r.authority = m.authority;
+    r.frame_buffering = guardian::can_buffer_frames(m.authority);
+    r.sos_protection = guardian::can_reshape_signal(m.authority);
+    r.startup_masquerade_protection =
+        guardian::can_analyze_semantics(m.authority);
+    r.replay_fault_possible =
+        guardian::fault_possible(m.authority, guardian::CouplerFault::kOutOfSlot);
+    r.property_holds = m.holds;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+std::string render_authority_ablation(const std::vector<AblationRow>& rows) {
+  util::Table t({"authority", "mailbox/CAN features", "SOS protection",
+                 "startup masquerade protection", "replay fault possible",
+                 "single-fault property"});
+  auto yn = [](bool b) { return std::string(b ? "yes" : "no"); };
+  for (const AblationRow& r : rows) {
+    t.add_row({guardian::to_string(r.authority), yn(r.frame_buffering),
+               yn(r.sos_protection), yn(r.startup_masquerade_protection),
+               yn(r.replay_fault_possible),
+               r.property_holds ? "HOLDS" : "VIOLATED"});
+  }
+  return t.render();
+}
+
+}  // namespace tta::core

@@ -1,0 +1,110 @@
+// One runner per reproduced paper artifact (the E1..E10 index of DESIGN.md).
+//
+// Benches, examples, and the integration tests all call these, so the exact
+// configurations that constitute "the experiment" are defined in one place
+// and EXPERIMENTS.md can cite them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "guardian/authority.h"
+#include "mc/checker.h"
+#include "sim/cluster.h"
+
+namespace tta::core {
+
+// ---------------------------------------------------------------- E1 ------
+
+struct FeatureMatrixRow {
+  guardian::Authority authority;
+  bool holds = false;
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t depth = 0;
+  double seconds = 0.0;
+  std::size_t trace_len = 0;
+};
+
+/// Verifies the paper's property for all four coupler feature sets
+/// (Section 5.2's verification matrix).
+std::vector<FeatureMatrixRow> run_feature_matrix(
+    unsigned max_out_of_slot_errors = 7);
+
+std::string render_feature_matrix(const std::vector<FeatureMatrixRow>& rows);
+
+// ------------------------------------------------------------- E2/E3 ------
+
+struct TraceExperiment {
+  mc::ModelConfig config;
+  mc::CheckResult result;
+  std::string narration;
+  std::string table;
+};
+
+/// E2: full-shifting coupler, at most one out-of-slot error — the
+/// duplicated-cold-start counterexample (paper trace 1 setup).
+TraceExperiment run_trace_coldstart_duplication();
+
+/// E3: additionally prohibits cold-start duplication — the duplicated
+/// C-state counterexample (paper trace 2 setup).
+TraceExperiment run_trace_cstate_duplication();
+
+/// Unconstrained full-shifting shortest counterexample (the paper notes the
+/// unconstrained shortest trace uses several out-of-slot errors).
+TraceExperiment run_trace_unconstrained();
+
+// ---------------------------------------------------------------- E9 ------
+
+struct TopologyFaultRow {
+  std::string scenario;
+  sim::Topology topology;
+  guardian::Authority authority;
+  std::size_t healthy_frozen = 0;       ///< healthy nodes ever clique-frozen
+  std::size_t healthy_active_at_end = 0;
+  bool startup_ok = false;              ///< all healthy nodes reached active
+  std::uint64_t masquerade_integrations = 0;
+  std::uint64_t guardian_blocks = 0;    ///< all block reasons summed
+  std::uint64_t sos_disagreements = 0;
+};
+
+/// The bus-vs-star fault-propagation matrix (reproducing the qualitative
+/// findings of Ademaj et al. [7] that motivate the paper): babbling idiot,
+/// startup masquerade, bad C-state vs a late joiner, SOS value/time — each
+/// against bus+local guardians and star at three authority levels.
+std::vector<TopologyFaultRow> run_topology_fault_matrix(
+    std::uint64_t steps = 600);
+
+std::string render_topology_fault_matrix(
+    const std::vector<TopologyFaultRow>& rows);
+
+/// Integration-vulnerability sweep: fraction of late-join offsets (over one
+/// TDMA round times two) at which a healthy late joiner is captured/frozen
+/// by a bad-C-state sender. Returns {damaged, total} per configuration.
+struct IntegrationVulnerabilityRow {
+  sim::Topology topology;
+  guardian::Authority authority;
+  unsigned damaged = 0;
+  unsigned total = 0;
+};
+std::vector<IntegrationVulnerabilityRow> run_integration_vulnerability();
+
+// --------------------------------------------------------------- E10 ------
+
+struct AblationRow {
+  guardian::Authority authority;
+  bool frame_buffering = false;   ///< mailbox/CAN-emulation features possible
+  bool sos_protection = false;
+  bool startup_masquerade_protection = false;
+  bool replay_fault_possible = false;
+  bool property_holds = false;    ///< E1 verdict
+};
+
+/// Authority-vs-capability ablation: what each authority level buys and
+/// what it costs (Section 6's discussion of why one might buffer frames).
+std::vector<AblationRow> run_authority_ablation();
+
+std::string render_authority_ablation(const std::vector<AblationRow>& rows);
+
+}  // namespace tta::core

@@ -1,0 +1,29 @@
+// One-call report generation: runs every experiment and renders a single
+// self-contained markdown document (plus CSV blocks for the figure data),
+// so downstream users can regenerate the paper's artifact set without
+// touching the individual benches.
+#pragma once
+
+#include <string>
+
+namespace tta::core {
+
+struct ReportOptions {
+  /// Steps per simulated scenario in the fault matrix (larger = slower,
+  /// more settled end states).
+  std::uint64_t sim_steps = 600;
+  /// Include the (slower) recoverability analysis.
+  bool include_recoverability = true;
+  /// Include the statistical leaky-bucket validation sweep.
+  bool include_leaky_bucket = true;
+};
+
+/// Runs E1..E11 and renders the full markdown report. Deterministic: same
+/// build, same report.
+std::string generate_report(const ReportOptions& options = {});
+
+/// CSV for the Figure 3 data (one row per (f_min, f_max) pair), for
+/// external plotting.
+std::string figure3_csv();
+
+}  // namespace tta::core

@@ -1,0 +1,63 @@
+#include "core/tradeoff.h"
+
+#include <cstdio>
+
+#include "analysis/equations.h"
+#include "analysis/frame_catalog.h"
+
+namespace tta::core {
+
+DesignReport TradeoffAnalyzer::analyze(const DesignPoint& point) {
+  DesignReport r;
+  r.b_min_bits = analysis::min_buffer_bits(
+      point.le_bits, point.rho, static_cast<double>(point.f_max_bits));
+  r.b_max_bits = analysis::max_buffer_bits(point.f_min_bits);
+  r.feasible = r.b_min_bits <= static_cast<double>(r.b_max_bits);
+  r.slack_bits = static_cast<double>(r.b_max_bits) - r.b_min_bits;
+  r.max_rho =
+      analysis::max_rho(point.f_min_bits, point.le_bits, point.f_max_bits);
+  if (point.rho > 0.0) {
+    r.max_f_max_bits =
+        analysis::max_frame_bits(point.f_min_bits, point.le_bits, point.rho);
+  }
+  r.max_clock_ratio = analysis::max_clock_ratio(
+      point.f_max_bits, point.f_min_bits, point.le_bits);
+  return r;
+}
+
+DesignPoint TradeoffAnalyzer::ttpc_default() {
+  DesignPoint p;
+  p.f_min_bits = analysis::shortest_frame_bits();
+  p.f_max_bits = analysis::longest_frame_bits();
+  p.le_bits = analysis::default_line_encoding_bits();
+  p.rho = analysis::rho_from_ppm(100.0);
+  return p;
+}
+
+std::string TradeoffAnalyzer::render(const DesignPoint& point,
+                                     const DesignReport& report) {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "design point: f_min=%lld f_max=%lld le=%u rho=%.6g\n",
+                static_cast<long long>(point.f_min_bits),
+                static_cast<long long>(point.f_max_bits), point.le_bits,
+                point.rho);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  B_min (eq 1) = %.2f bits   B_max (eq 3) = %lld bits   "
+                "=> %s (slack %.2f bits)\n",
+                report.b_min_bits, static_cast<long long>(report.b_max_bits),
+                report.feasible ? "FEASIBLE" : "INFEASIBLE",
+                report.slack_bits);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  headroom: rho <= %.4g (eq 7)   f_max <= %.0f bits (eq 4)  "
+                " w_max/w_min <= %.4g (eq 10)\n",
+                report.max_rho, report.max_f_max_bits,
+                report.max_clock_ratio);
+  out += buf;
+  return out;
+}
+
+}  // namespace tta::core

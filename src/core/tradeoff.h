@@ -1,0 +1,48 @@
+// Public API: the engineering-tradeoff calculator of Section 6.
+//
+// This is the entry point a system architect would use: describe a design
+// point (frame-size range, line coding, clock tolerance) and get back the
+// guardian buffer bounds, whether the design is feasible at all, and how
+// much headroom each parameter has — i.e. the paper's conclusions as a
+// queryable object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "guardian/authority.h"
+
+namespace tta::core {
+
+struct DesignPoint {
+  std::int64_t f_min_bits = 28;   ///< shortest frame on the network
+  std::int64_t f_max_bits = 2076; ///< longest frame on the network
+  unsigned le_bits = 4;           ///< line-encoding bits
+  double rho = 0.0002;            ///< relative clock-rate difference (eq. 2)
+};
+
+struct DesignReport {
+  double b_min_bits = 0.0;        ///< eq. (1): buffer the guardian needs
+  std::int64_t b_max_bits = 0;    ///< eq. (3): buffer it may have
+  bool feasible = false;          ///< B_min <= B_max
+  double slack_bits = 0.0;        ///< B_max - B_min (negative if infeasible)
+  double max_rho = 0.0;           ///< eq. (7): rho headroom at this f_max
+  double max_f_max_bits = 0.0;    ///< eq. (4): frame headroom at this rho
+  double max_clock_ratio = 0.0;   ///< eq. (10)
+};
+
+class TradeoffAnalyzer {
+ public:
+  /// Evaluates one design point against the Section 6 constraints.
+  static DesignReport analyze(const DesignPoint& point);
+
+  /// The TTP/C design point the paper works through: f_min = 28,
+  /// f_max = 2076, le = 4, +-100 ppm crystals.
+  static DesignPoint ttpc_default();
+
+  /// Human-readable report block for examples and docs.
+  static std::string render(const DesignPoint& point,
+                            const DesignReport& report);
+};
+
+}  // namespace tta::core

@@ -1,0 +1,67 @@
+// Star-coupler authority levels (Section 4.1) and coupler fault modes
+// (Section 4.4).
+//
+// The paper's whole argument hangs on this lattice: each added capability
+// both *prevents* some node-fault propagation and *admits* new coupler fault
+// modes. `fault_possible` encodes the key asymmetry — the out_of_slot fault
+// (replaying a buffered frame in a later slot) exists only when the coupler
+// has full-shifting authority, because only then does it hold whole frames.
+#pragma once
+
+#include <cstdint>
+
+namespace tta::guardian {
+
+/// The four feature sets modeled in Section 4.1, ordered by authority.
+enum class Authority : std::uint8_t {
+  kPassive = 0,        ///< forwards everything; cannot stop or shift frames
+  kTimeWindows = 1,    ///< can open/close bus write access per TDMA slot
+  kSmallShifting = 2,  ///< + slight timing adjustment, signal reshaping, and
+                       ///<   semantic analysis (the active central guardian
+                       ///<   of Bauer et al. [2])
+  kFullShifting = 3    ///< + can buffer whole frames and send them later
+};
+
+const char* to_string(Authority authority);
+
+/// Star-coupler fault modes of the paper's model.
+enum class CouplerFault : std::uint8_t {
+  kNone = 0,      ///< error-free operation
+  kSilence = 1,   ///< replaces any frame on its channel with silence
+  kBadFrame = 2,  ///< places a bad frame / noise on the bus
+  kOutOfSlot = 3  ///< re-sends the last frame it received, in a later slot
+};
+
+const char* to_string(CouplerFault fault);
+
+/// Capability queries derived from the authority level.
+constexpr bool can_block(Authority a) { return a >= Authority::kTimeWindows; }
+constexpr bool can_shift_small(Authority a) {
+  return a >= Authority::kSmallShifting;
+}
+constexpr bool can_reshape_signal(Authority a) {
+  return a >= Authority::kSmallShifting;
+}
+constexpr bool can_analyze_semantics(Authority a) {
+  return a >= Authority::kSmallShifting;
+}
+constexpr bool can_buffer_frames(Authority a) {
+  return a >= Authority::kFullShifting;
+}
+
+/// Which fault modes a coupler of the given authority can exhibit.
+/// "The out_of_slot fault occurs only if the couplers are configured for
+/// full time shifting. All other faults may be caused by any configuration."
+constexpr bool fault_possible(Authority a, CouplerFault f) {
+  return f != CouplerFault::kOutOfSlot || can_buffer_frames(a);
+}
+
+inline constexpr Authority kAllAuthorities[] = {
+    Authority::kPassive, Authority::kTimeWindows, Authority::kSmallShifting,
+    Authority::kFullShifting};
+
+inline constexpr CouplerFault kAllCouplerFaults[] = {
+    CouplerFault::kNone, CouplerFault::kSilence, CouplerFault::kBadFrame,
+    CouplerFault::kOutOfSlot};
+
+}  // namespace tta::guardian

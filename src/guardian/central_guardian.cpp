@@ -1,0 +1,113 @@
+#include "guardian/central_guardian.h"
+
+namespace tta::guardian {
+
+const char* to_string(GuardianAction action) {
+  switch (action) {
+    case GuardianAction::kForwarded:
+      return "forwarded";
+    case GuardianAction::kReshaped:
+      return "reshaped";
+    case GuardianAction::kBlockedWindow:
+      return "blocked_window";
+    case GuardianAction::kBlockedSignal:
+      return "blocked_signal";
+    case GuardianAction::kBlockedMasquerade:
+      return "blocked_masquerade";
+    case GuardianAction::kBlockedBadCState:
+      return "blocked_bad_cstate";
+  }
+  return "?";
+}
+
+CentralGuardian::CentralGuardian(const GuardianConfig& config,
+                                 const ttpc::Medl& medl)
+    : config_(config),
+      medl_(medl),
+      coupler_(config.authority),
+      semantics_(medl, config.buffer_bits),
+      consecutive_tx_(17, 0) {}
+
+CentralGuardian::SlotResult CentralGuardian::arbitrate(
+    std::optional<ttpc::SlotNumber> guardian_slot,
+    const std::vector<PortTransmission>& attempts, CouplerFault fault) {
+  SlotResult result;
+  result.actions.resize(attempts.size(), GuardianAction::kForwarded);
+
+  // Activity bookkeeping for this slot (who attempted to drive the medium).
+  std::vector<bool> attempted(consecutive_tx_.size(), false);
+
+  std::vector<ttpc::ChannelFrame> admitted;
+  wire::SignalAttrs admitted_attrs = wire::nominal_signal();
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const PortTransmission& tx = attempts[i];
+    if (tx.frame.kind == ttpc::FrameKind::kNone) continue;
+    if (tx.port < attempted.size()) attempted[tx.port] = true;
+
+    // 1a. Activity supervision: a port that never stops transmitting is cut
+    //     off regardless of synchronization state (babbling containment).
+    if (can_block(config_.authority) && tx.port < consecutive_tx_.size() &&
+        consecutive_tx_[tx.port] >= config_.max_consecutive_transmissions) {
+      result.actions[i] = GuardianAction::kBlockedWindow;
+      continue;
+    }
+
+    // 1b. Time windows: once synchronized, only the scheduled sender may
+    //     drive the channel. Before synchronization there is no time base,
+    //     so windows cannot help (this is why startup masquerading needs
+    //     semantic analysis instead).
+    if (can_block(config_.authority) && guardian_slot.has_value() &&
+        medl_.sender_of(*guardian_slot) != tx.port) {
+      result.actions[i] = GuardianAction::kBlockedWindow;
+      continue;
+    }
+
+    // 2. Signal reshaping: regenerate SOS signals or block unrecoverable
+    //    ones. A passive or windows-only coupler forwards attrs untouched,
+    //    preserving SOS disagreement at the receivers.
+    wire::SignalAttrs out_attrs = tx.attrs;
+    if (can_reshape_signal(config_.authority)) {
+      ReshapeResult rr = reshape(config_.reshaper, tx.attrs);
+      if (rr.outcome == ReshapeOutcome::kBlocked) {
+        result.actions[i] = GuardianAction::kBlockedSignal;
+        continue;
+      }
+      out_attrs = rr.attrs;
+      if (!(tx.attrs == wire::nominal_signal())) {
+        result.actions[i] = GuardianAction::kReshaped;
+      }
+    }
+
+    // 3. Semantic analysis of frame content.
+    if (can_analyze_semantics(config_.authority)) {
+      switch (semantics_.check(tx.port, tx.frame, guardian_slot)) {
+        case SemanticVerdict::kMasqueradeBlocked:
+          result.actions[i] = GuardianAction::kBlockedMasquerade;
+          continue;
+        case SemanticVerdict::kBadCStateBlocked:
+          result.actions[i] = GuardianAction::kBlockedBadCState;
+          continue;
+        case SemanticVerdict::kPass:
+        case SemanticVerdict::kNotCheckable:
+          break;
+      }
+    }
+
+    admitted.push_back(tx.frame);
+    admitted_attrs = out_attrs;
+  }
+
+  for (std::size_t port = 0; port < consecutive_tx_.size(); ++port) {
+    consecutive_tx_[port] = attempted[port] ? consecutive_tx_[port] + 1 : 0;
+  }
+
+  ttpc::ChannelFrame merged = AbstractCoupler::merge_transmissions(admitted);
+  result.out = coupler_.transfer(merged, fault, state_);
+  // A coupler fault that replaces the frame also replaces its analog
+  // attributes with the hub driver's nominal output.
+  result.attrs =
+      fault == CouplerFault::kNone ? admitted_attrs : wire::nominal_signal();
+  return result;
+}
+
+}  // namespace tta::guardian

@@ -1,0 +1,93 @@
+// Frame-level central bus guardian (one per star coupler / channel).
+//
+// This is the component the cluster simulator places at the hub of the star
+// topology: per TDMA slot it arbitrates all port transmissions into the one
+// frame its channel carries, exercising exactly the authority level it was
+// configured with. It composes the slot-level AbstractCoupler (fault
+// semantics shared with the model checker) with the frame-level protections
+// — time windows, signal reshaping, semantic analysis — that the abstract
+// model does not need but the fault-injection experiments (E9) do.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "guardian/authority.h"
+#include "guardian/coupler.h"
+#include "guardian/reshaper.h"
+#include "guardian/semantic.h"
+#include "ttpc/medl.h"
+#include "ttpc/types.h"
+#include "wire/signal.h"
+
+namespace tta::guardian {
+
+/// One node's attempted transmission as it arrives at the hub. The physical
+/// port is trustworthy (it is a wire); everything else is claimed content.
+struct PortTransmission {
+  ttpc::NodeId port = 0;
+  ttpc::ChannelFrame frame;  ///< abstract content; id = claimed slot position
+  wire::SignalAttrs attrs = wire::nominal_signal();
+};
+
+/// What the guardian did with one port's transmission (for metrics).
+enum class GuardianAction : std::uint8_t {
+  kForwarded,
+  kReshaped,             ///< forwarded after signal regeneration
+  kBlockedWindow,        ///< outside the sender's time window
+  kBlockedSignal,        ///< unrecoverable SOS signal
+  kBlockedMasquerade,    ///< semantic analysis: cold-start slot mismatch
+  kBlockedBadCState      ///< semantic analysis: C-state mismatch
+};
+
+const char* to_string(GuardianAction action);
+
+struct GuardianConfig {
+  Authority authority = Authority::kSmallShifting;
+  ReshaperLimits reshaper;
+  /// Inspection buffer available for semantic analysis, in bits. The
+  /// Section 6 constraint says this must stay below f_min; configuring it
+  /// below SemanticAnalyzer::kInspectionBits disables semantic checks.
+  std::uint32_t buffer_bits = 24;
+  /// Activity supervision (time-window authority and above): a port driving
+  /// the medium in more than this many consecutive slots is cut off until it
+  /// goes silent. This is what contains a babbling idiot even *before* the
+  /// guardian has a time base — legitimate senders transmit at most once per
+  /// round.
+  unsigned max_consecutive_transmissions = 2;
+};
+
+class CentralGuardian {
+ public:
+  CentralGuardian(const GuardianConfig& config, const ttpc::Medl& medl);
+
+  Authority authority() const { return config_.authority; }
+
+  struct SlotResult {
+    ttpc::ChannelFrame out;  ///< what the channel carries this slot
+    wire::SignalAttrs attrs = wire::nominal_signal();
+    /// Per-attempt dispositions, parallel to the input vector.
+    std::vector<GuardianAction> actions;
+  };
+
+  /// Arbitrates one slot. `guardian_slot` is the guardian's own synchronized
+  /// view of the current slot (nullopt before it has synchronized — during
+  /// cluster startup); `fault` is this coupler's fault mode for the slot.
+  SlotResult arbitrate(std::optional<ttpc::SlotNumber> guardian_slot,
+                       const std::vector<PortTransmission>& attempts,
+                       CouplerFault fault);
+
+  /// Buffered-frame state (meaningful for full-shifting guardians; it is
+  /// what an out_of_slot fault replays).
+  const CouplerState& coupler_state() const { return state_; }
+
+ private:
+  GuardianConfig config_;
+  ttpc::Medl medl_;
+  AbstractCoupler coupler_;
+  SemanticAnalyzer semantics_;
+  CouplerState state_;
+  std::vector<unsigned> consecutive_tx_;  ///< per-port activity counters
+};
+
+}  // namespace tta::guardian

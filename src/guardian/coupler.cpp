@@ -1,0 +1,83 @@
+#include "guardian/coupler.h"
+
+#include "util/check.h"
+
+namespace tta::guardian {
+
+const char* to_string(Authority authority) {
+  switch (authority) {
+    case Authority::kPassive:
+      return "passive";
+    case Authority::kTimeWindows:
+      return "time_windows";
+    case Authority::kSmallShifting:
+      return "small_shifting";
+    case Authority::kFullShifting:
+      return "full_shifting";
+  }
+  return "?";
+}
+
+const char* to_string(CouplerFault fault) {
+  switch (fault) {
+    case CouplerFault::kNone:
+      return "none";
+    case CouplerFault::kSilence:
+      return "silence";
+    case CouplerFault::kBadFrame:
+      return "bad_frame";
+    case CouplerFault::kOutOfSlot:
+      return "out_of_slot";
+  }
+  return "?";
+}
+
+ttpc::ChannelFrame AbstractCoupler::merge_transmissions(
+    const std::vector<ttpc::ChannelFrame>& sent) {
+  ttpc::ChannelFrame merged;  // silence by default
+  unsigned active = 0;
+  for (const auto& f : sent) {
+    if (f.kind == ttpc::FrameKind::kNone) continue;
+    ++active;
+    merged = f;
+  }
+  if (active > 1) {
+    // Simultaneous transmitters collide into noise (DESIGN.md §5.5).
+    merged = ttpc::ChannelFrame{ttpc::FrameKind::kBad, 0};
+  }
+  return merged;
+}
+
+ttpc::ChannelFrame AbstractCoupler::transfer(const ttpc::ChannelFrame& input,
+                                             CouplerFault fault,
+                                             CouplerState& state) const {
+  TTA_CHECK(fault_possible(authority_, fault));
+
+  ttpc::ChannelFrame out;
+  switch (fault) {
+    case CouplerFault::kSilence:
+      out = ttpc::ChannelFrame{ttpc::FrameKind::kNone, 0};
+      break;
+    case CouplerFault::kBadFrame:
+      out = ttpc::ChannelFrame{ttpc::FrameKind::kBad, 0};
+      break;
+    case CouplerFault::kOutOfSlot:
+      out = ttpc::ChannelFrame{state.buffered_frame, state.buffered_id,
+                               state.buffered_membership};
+      break;
+    case CouplerFault::kNone:
+      out = input;
+      break;
+  }
+
+  // "buffered_id' = if channel_id = 0 then buffered_id else channel_id":
+  // the buffer tracks the channel's content, keeping the last real frame.
+  if (out.id != 0) {
+    state.buffered_id = out.id;
+    state.buffered_frame = out.kind;
+    state.buffered_membership = out.membership;
+  }
+  return out;
+}
+
+}  // namespace tta::guardian

@@ -1,0 +1,57 @@
+// Abstract (slot-level) star coupler — the component under study.
+//
+// This is the coupler of the paper's formal model (Section 4.4): per slot it
+// takes whatever the nodes drove toward the hub, applies its fault mode, and
+// produces the one frame its channel carries. It also maintains the
+// buffered_id / buffered_frame pair that makes the out_of_slot replay fault
+// expressible at all. The model checker and the cluster simulator both use
+// this type, so the fault semantics cannot diverge between the two tools.
+#pragma once
+
+#include <vector>
+
+#include "guardian/authority.h"
+#include "ttpc/types.h"
+
+namespace tta::guardian {
+
+/// Persistent coupler state: the last non-silent frame forwarded on this
+/// coupler's channel ("the id and type of the frame that was received
+/// last"), initialized to {none, 0} as in the paper.
+struct CouplerState {
+  ttpc::FrameKind buffered_frame = ttpc::FrameKind::kNone;
+  ttpc::SlotNumber buffered_id = 0;
+  std::uint16_t buffered_membership = 0;  ///< sim-level refinement; 0 in mc
+
+  friend bool operator==(const CouplerState&, const CouplerState&) = default;
+};
+
+/// Slot-level coupler transfer function.
+class AbstractCoupler {
+ public:
+  explicit AbstractCoupler(Authority authority) : authority_(authority) {}
+
+  Authority authority() const { return authority_; }
+
+  /// Merges simultaneous node transmissions into the channel's raw content:
+  /// none sent -> silence; one sent -> that frame; several -> collision
+  /// noise (bad frame).
+  static ttpc::ChannelFrame merge_transmissions(
+      const std::vector<ttpc::ChannelFrame>& sent);
+
+  /// One slot of coupler behaviour: applies `fault` to the raw channel
+  /// content and updates the frame buffer. The fault must be possible for
+  /// this coupler's authority (checked).
+  ///
+  ///   silence     -> channel carries nothing
+  ///   bad_frame   -> channel carries noise, regardless of input
+  ///   out_of_slot -> channel carries the previously buffered frame
+  ///   none        -> channel carries the input
+  ttpc::ChannelFrame transfer(const ttpc::ChannelFrame& input,
+                              CouplerFault fault, CouplerState& state) const;
+
+ private:
+  Authority authority_;
+};
+
+}  // namespace tta::guardian

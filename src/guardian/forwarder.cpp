@@ -1,0 +1,80 @@
+#include "guardian/forwarder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tta::guardian {
+
+using util::Rational;
+
+BitstreamForwarder::BitstreamForwarder(Rational node_rate,
+                                       Rational guardian_rate,
+                                       wire::LineCoding line)
+    : node_rate_(node_rate), guardian_rate_(guardian_rate), line_(line) {
+  TTA_CHECK(node_rate_ > Rational(0));
+  TTA_CHECK(guardian_rate_ > Rational(0));
+}
+
+ForwardingOutcome BitstreamForwarder::forward(std::int64_t frame_bits,
+                                              std::int64_t margin_bits) const {
+  TTA_CHECK(frame_bits >= 1);
+  TTA_CHECK(margin_bits >= 0);
+  const std::int64_t le = line_.preamble_bits();
+  const std::int64_t wire_bits = le + frame_bits;
+  const std::int64_t threshold = std::min(le + margin_bits, wire_bits);
+
+  // Exact integer-fraction timestamps (128-bit cross-multiplication) so the
+  // per-bit loop stays cheap even for 115k-bit frames:
+  //   input bit i arrives at   i * qf / pf
+  //   output bit k starts at   threshold*qf/pf + (k-1) * qd / pd
+  const __int128 pf = node_rate_.num(), qf = node_rate_.den();
+  const __int128 pd = guardian_rate_.num(), qd = guardian_rate_.den();
+
+  ForwardingOutcome out;
+  // Underrun: output bit k would start before input bit k arrived.
+  for (std::int64_t k = threshold + 1; k <= wire_bits; ++k) {
+    __int128 lhs = static_cast<__int128>(k) * qf * pd;  // arrival * pf*pd
+    __int128 rhs = static_cast<__int128>(threshold) * qf * pd +
+                   static_cast<__int128>(k - 1) * qd * pf;
+    if (lhs > rhs) {
+      out.underrun = true;
+      break;
+    }
+  }
+
+  // Peak occupancy: evaluate just after each arrival.
+  std::int64_t peak = 0;
+  for (std::int64_t i = 1; i <= wire_bits; ++i) {
+    std::int64_t drained = 0;
+    if (i > threshold) {
+      // drained(t_i) = floor((t_i - T0) * D), clamped to what exists.
+      __int128 num = static_cast<__int128>(i - threshold) * qf * pd;
+      __int128 den = static_cast<__int128>(pf) * qd;
+      drained = static_cast<std::int64_t>(num / den);
+      drained = std::clamp<std::int64_t>(drained, 0, i);
+    }
+    peak = std::max(peak, i - drained);
+  }
+  out.peak_buffer_bits = peak;
+  return out;
+}
+
+std::int64_t BitstreamForwarder::min_margin_bits(std::int64_t frame_bits) const {
+  // forward() is monotone in margin (starting later can only help), so
+  // binary search the smallest safe margin.
+  std::int64_t lo = 0;
+  std::int64_t hi = frame_bits;
+  TTA_CHECK(!forward(frame_bits, hi).underrun);
+  while (lo < hi) {
+    std::int64_t mid = lo + (hi - lo) / 2;
+    if (forward(frame_bits, mid).underrun) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace tta::guardian

@@ -1,0 +1,52 @@
+// Bit-clock frame forwarding through the central guardian.
+//
+// The empirical counterpart of eq. (1): bits of a line-coded frame arrive at
+// the sender's clock rate and must leave the guardian gaplessly at the
+// guardian's clock rate. The guardian must (a) absorb the full le-bit
+// line-encoding preamble before it can recognize the frame and regenerate
+// sync, and (b) hold enough payload margin that the faster of the two clocks
+// never starves or overflows it. BitstreamForwarder simulates this bit by
+// bit with exact rational timestamps and *measures* the minimum buffer — the
+// bench (E8) compares the measurement against B_min = le + rho * f_max.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rational.h"
+#include "wire/line_coding.h"
+
+namespace tta::guardian {
+
+struct ForwardingOutcome {
+  bool underrun = false;          ///< output starved mid-frame
+  std::int64_t peak_buffer_bits = 0;  ///< max bits held at once (incl. preamble)
+};
+
+class BitstreamForwarder {
+ public:
+  /// Rates in bits per unit time. `line` supplies the preamble length le.
+  BitstreamForwarder(util::Rational node_rate, util::Rational guardian_rate,
+                     wire::LineCoding line);
+
+  /// Simulates forwarding a frame of `frame_bits` payload bits (the wire
+  /// image is le + frame_bits long). Output starts once the preamble plus
+  /// `margin_bits` payload bits have arrived.
+  ForwardingOutcome forward(std::int64_t frame_bits,
+                            std::int64_t margin_bits) const;
+
+  /// Smallest payload margin with no underrun (measured, not computed).
+  std::int64_t min_margin_bits(std::int64_t frame_bits) const;
+
+  /// Total measured minimum buffer: preamble + min margin. This is the
+  /// quantity eq. (1) predicts as B_min.
+  std::int64_t min_buffer_bits(std::int64_t frame_bits) const {
+    return line_.preamble_bits() + min_margin_bits(frame_bits);
+  }
+
+ private:
+  util::Rational node_rate_;
+  util::Rational guardian_rate_;
+  wire::LineCoding line_;
+};
+
+}  // namespace tta::guardian

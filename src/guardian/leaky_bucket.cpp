@@ -1,0 +1,79 @@
+#include "guardian/leaky_bucket.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tta::guardian {
+
+using util::Rational;
+
+Rational relative_rate_difference(const Rational& rate_a,
+                                  const Rational& rate_b) {
+  const Rational& w_max = std::max(rate_a, rate_b);
+  const Rational& w_min = std::min(rate_a, rate_b);
+  TTA_CHECK(w_max > Rational(0));
+  return (w_max - w_min) / w_max;
+}
+
+LeakyBucket::LeakyBucket(Rational fill_rate, Rational drain_rate)
+    : fill_(fill_rate), drain_(drain_rate) {
+  TTA_CHECK(fill_ > Rational(0));
+  TTA_CHECK(drain_ > Rational(0));
+}
+
+LeakyBucketResult LeakyBucket::run(std::int64_t frame_bits,
+                                   std::int64_t initial_bits) const {
+  TTA_CHECK(frame_bits >= 1);
+  TTA_CHECK(initial_bits >= 0);
+  LeakyBucketResult res;
+
+  if (initial_bits >= frame_bits) {
+    // Whole frame buffered before draining: trivially no underrun, and the
+    // peak is the full frame — the configuration B_max exists to forbid.
+    res.peak_bits = frame_bits;
+    return res;
+  }
+
+  // Fill bit k (1-based) completes at k/F; draining starts at
+  // T0 = initial/F; drain bit k begins at T0 + (k-1)/D and must not begin
+  // before fill bit k has completed. The slack is linear in k, so checking
+  // the two extreme unbuffered bits is exact.
+  const Rational t0 = Rational(initial_bits) / fill_;
+  auto starved = [&](std::int64_t k) {
+    Rational need = Rational(k) / fill_;                    // arrival of bit k
+    Rational have = t0 + Rational(k - 1) / drain_;          // drain start
+    return have < need;
+  };
+  if (starved(initial_bits + 1) || starved(frame_bits)) {
+    res.underrun = true;
+  }
+
+  // Peak occupancy is attained either right at drain start (initial bits
+  // held) or at the last arrival (slow drain accumulates).
+  const Rational t_end = Rational(frame_bits) / fill_;  // last bit arrival
+  Rational drained_r = (t_end - t0) * drain_;
+  std::int64_t drained = std::clamp<std::int64_t>(drained_r.floor(), 0,
+                                                  frame_bits);
+  res.peak_bits = std::max(initial_bits, frame_bits - drained);
+  return res;
+}
+
+std::int64_t LeakyBucket::min_initial_bits(std::int64_t frame_bits) const {
+  // run() is monotone in initial_bits (later drain start can only help), so
+  // binary search for the smallest safe threshold.
+  std::int64_t lo = 0;
+  std::int64_t hi = frame_bits;
+  TTA_CHECK(!run(frame_bits, hi).underrun);
+  while (lo < hi) {
+    std::int64_t mid = lo + (hi - lo) / 2;
+    if (run(frame_bits, mid).underrun) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace tta::guardian

@@ -1,0 +1,49 @@
+// Leaky-bucket buffer-occupancy model.
+//
+// Section 6 explains the guardian's buffer as "a leaky bucket where the fill
+// rate is not equal to the drain rate": bits arrive at the sender's clock
+// rate and leave at the guardian's. This module computes, in exact rational
+// arithmetic, how full such a bucket gets over one frame — both the
+// closed-form bound and an event-exact evaluation that the tests compare
+// against the closed form and against the bit-clock BitstreamForwarder.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rational.h"
+
+namespace tta::guardian {
+
+/// Relative rate difference rho = (w_max - w_min) / w_max (paper eq. 2).
+util::Rational relative_rate_difference(const util::Rational& rate_a,
+                                        const util::Rational& rate_b);
+
+struct LeakyBucketResult {
+  std::int64_t peak_bits = 0;    ///< max occupancy, in whole buffered bits
+  bool underrun = false;         ///< drain outpaced fill mid-frame
+};
+
+class LeakyBucket {
+ public:
+  /// `fill_rate` / `drain_rate` in bits per unit time; `initial_bits` are
+  /// already in the bucket when draining starts (the guardian's start-up
+  /// buffering threshold, including the line-encoding bits).
+  LeakyBucket(util::Rational fill_rate, util::Rational drain_rate);
+
+  /// Evaluates one frame of `frame_bits` bits: filling starts at t = 0,
+  /// draining starts the moment `initial_bits` have arrived. Exact: peak
+  /// occupancy is attained either when draining starts (fast source) or
+  /// when the last input bit lands (slow drain), and underrun can only
+  /// happen at the last output bit — all three are checked analytically.
+  LeakyBucketResult run(std::int64_t frame_bits,
+                        std::int64_t initial_bits) const;
+
+  /// Smallest `initial_bits` for which run() reports no underrun.
+  std::int64_t min_initial_bits(std::int64_t frame_bits) const;
+
+ private:
+  util::Rational fill_;
+  util::Rational drain_;
+};
+
+}  // namespace tta::guardian

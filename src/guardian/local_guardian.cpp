@@ -1,0 +1,35 @@
+#include "guardian/local_guardian.h"
+
+namespace tta::guardian {
+
+const char* to_string(LocalGuardianFault fault) {
+  switch (fault) {
+    case LocalGuardianFault::kNone:
+      return "none";
+    case LocalGuardianFault::kStuckClosed:
+      return "stuck_closed";
+    case LocalGuardianFault::kStuckOpen:
+      return "stuck_open";
+  }
+  return "?";
+}
+
+bool LocalGuardian::allows(std::optional<ttpc::SlotNumber> true_slot,
+                           const ttpc::ChannelFrame& tx) const {
+  if (tx.kind == ttpc::FrameKind::kNone) return true;
+  switch (fault_) {
+    case LocalGuardianFault::kStuckClosed:
+      return false;
+    case LocalGuardianFault::kStuckOpen:
+      return true;
+    case LocalGuardianFault::kNone:
+      break;
+  }
+  if (!true_slot.has_value()) {
+    // No synchronized time base yet: the guardian cannot police windows.
+    return true;
+  }
+  return *true_slot == slot_;
+}
+
+}  // namespace tta::guardian

@@ -1,0 +1,53 @@
+// Local (per-node) bus guardian — the decentralized baseline.
+//
+// In the TTA bus topology every node's transmitter passes through its own
+// independent bus guardian (Figure 1). A healthy local guardian enforces
+// fail-silence in the time domain: its node may only drive the bus during
+// the node's own MEDL slot. What it *cannot* do — and this is the paper's
+// baseline asymmetry — is reshape marginal signals, verify cold-start
+// content, or check C-states: those require the receiving end or a central
+// vantage point. Its fault modes are local: a stuck-closed guardian silences
+// only its own node; a stuck-open one merely loses protection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ttpc/medl.h"
+#include "ttpc/types.h"
+
+namespace tta::guardian {
+
+enum class LocalGuardianFault : std::uint8_t {
+  kNone = 0,
+  kStuckClosed = 1,  ///< blocks every transmission of its node
+  kStuckOpen = 2     ///< passes every transmission (protection lost)
+};
+
+const char* to_string(LocalGuardianFault fault);
+
+class LocalGuardian {
+ public:
+  LocalGuardian(ttpc::NodeId owner, const ttpc::Medl& medl)
+      : owner_(owner), slot_(medl.slot_of(owner)) {}
+
+  ttpc::NodeId owner() const { return owner_; }
+
+  void inject(LocalGuardianFault fault) { fault_ = fault; }
+  LocalGuardianFault fault() const { return fault_; }
+
+  /// Gate decision for one attempted transmission. `true_slot` is the
+  /// guardian's independent view of the current slot (nullopt before the
+  /// cluster — and thus the guardian's clock — has synchronized; during
+  /// startup a local guardian has no time base and must pass traffic,
+  /// which is why bus-topology startup masquerading is possible at all).
+  bool allows(std::optional<ttpc::SlotNumber> true_slot,
+              const ttpc::ChannelFrame& tx) const;
+
+ private:
+  ttpc::NodeId owner_;
+  ttpc::SlotNumber slot_;  ///< the one slot the owner may use
+  LocalGuardianFault fault_ = LocalGuardianFault::kNone;
+};
+
+}  // namespace tta::guardian

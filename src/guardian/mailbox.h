@@ -1,0 +1,118 @@
+// The enhanced guardian features that *require* full-frame buffering —
+// Section 6's list of temptations:
+//
+//   "an active central guardian that keeps 'mailboxes' with recent data
+//    values could help provide data continuity if frames are corrupted by
+//    providing slightly stale values instead of no value. A central
+//    guardian could also provide prioritized message service (e.g., CAN
+//    emulation) if it were allowed to buffer frames and send them in a
+//    specially reserved time slice, in priority order. Both of these
+//    enhanced functions would require buffering full frames."
+//
+// MailboxService and PriorityRelay implement exactly those two features so
+// the ablation experiment (E10) can show the *functional* upside of
+// full-shifting authority next to its dependability downside: every frame
+// either feature emits is by construction a frame outside its original
+// slot — the out_of_slot fault class as a feature.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "guardian/authority.h"
+#include "ttpc/medl.h"
+#include "ttpc/types.h"
+
+namespace tta::guardian {
+
+/// Per-slot cache of the last correctly received frame, served as a stale
+/// substitute when the live frame is lost. Only constructible in a useful
+/// state for couplers that may buffer whole frames.
+class MailboxService {
+ public:
+  MailboxService(Authority authority, const ttpc::Medl& medl);
+
+  /// Feature availability follows the authority lattice.
+  bool available() const { return can_buffer_frames(authority_); }
+
+  /// Records the frame observed in `slot` (identifiable frames only).
+  void observe(ttpc::SlotNumber slot, const ttpc::ChannelFrame& frame);
+
+  /// A substitute for a lost frame in `slot`: the cached value, if any.
+  /// Returns nullopt when the feature is unavailable or nothing is cached.
+  std::optional<ttpc::ChannelFrame> substitute(ttpc::SlotNumber slot) const;
+
+  /// Rounds since the cached frame for `slot` was fresh (0 = this round);
+  /// nullopt if nothing cached. Must be called once per round via
+  /// end_of_round() to age the entries.
+  std::optional<unsigned> staleness(ttpc::SlotNumber slot) const;
+
+  void end_of_round();
+
+ private:
+  struct Entry {
+    ttpc::ChannelFrame frame;
+    unsigned age_rounds = 0;
+    bool valid = false;
+  };
+
+  Authority authority_;
+  std::vector<Entry> entries_;  ///< index 0 = slot 1
+};
+
+/// CAN-style prioritized relay: buffered frames drain in priority order
+/// (lower number = higher priority; FIFO within a priority) during a
+/// reserved time slice. Bounded queue; enqueue fails when full or when the
+/// coupler lacks buffering authority.
+class PriorityRelay {
+ public:
+  PriorityRelay(Authority authority, std::size_t capacity);
+
+  bool available() const { return can_buffer_frames(authority_); }
+  std::size_t size() const { return queue_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Queues a frame; false if unavailable or full.
+  bool enqueue(std::uint8_t priority, const ttpc::ChannelFrame& frame);
+
+  /// Pops the highest-priority (then oldest) frame; nullopt when empty.
+  std::optional<ttpc::ChannelFrame> pop();
+
+ private:
+  struct Item {
+    std::uint8_t priority;
+    std::uint64_t seq;  ///< FIFO tie-break
+    ttpc::ChannelFrame frame;
+  };
+
+  Authority authority_;
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Item> queue_;
+};
+
+/// Quantifies the mailbox's data-continuity value on a lossy channel: out
+/// of `slots` scheduled frames with independent loss (deterministic stream
+/// from `seed`, probability `loss_probability`), how many application
+/// values reach the receiver fresh / stale / not at all.
+struct ContinuityReport {
+  std::uint64_t delivered_fresh = 0;
+  std::uint64_t delivered_stale = 0;  ///< only possible with the mailbox
+  std::uint64_t lost = 0;
+
+  double availability(std::uint64_t total) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(delivered_fresh +
+                                            delivered_stale) /
+                            static_cast<double>(total);
+  }
+};
+
+ContinuityReport measure_data_continuity(Authority authority,
+                                         const ttpc::Medl& medl,
+                                         std::uint64_t slots,
+                                         double loss_probability,
+                                         std::uint64_t seed);
+
+}  // namespace tta::guardian

@@ -1,0 +1,21 @@
+#include "guardian/reshaper.h"
+
+#include <cmath>
+
+namespace tta::guardian {
+
+ReshapeResult reshape(const ReshaperLimits& limits,
+                      const wire::SignalAttrs& incoming) {
+  ReshapeResult r;
+  if (incoming.amplitude_mv < limits.min_recoverable_amplitude_mv ||
+      std::abs(incoming.timing_offset_ns) > limits.max_timing_correction_ns) {
+    r.outcome = ReshapeOutcome::kBlocked;
+    r.attrs = incoming;
+    return r;
+  }
+  r.outcome = ReshapeOutcome::kForwardedNominal;
+  r.attrs = wire::nominal_signal();
+  return r;
+}
+
+}  // namespace tta::guardian

@@ -1,0 +1,42 @@
+// Active signal reshaping (value and time domain).
+//
+// Ademaj et al. [7] gave the central bus guardian authority to "boost
+// signals that are SOS in the value domain and delay or block signals that
+// are SOS in the time domain" — this is the capability that kills SOS faults
+// in the star topology. The reshaper is a pure function from incoming signal
+// attributes to an outcome: regenerated-to-nominal, or blocked when the
+// signal is beyond what the hardware can correct.
+#pragma once
+
+#include <cstdint>
+
+#include "wire/signal.h"
+
+namespace tta::guardian {
+
+struct ReshaperLimits {
+  /// Weakest incoming amplitude the driver can still regenerate from.
+  double min_recoverable_amplitude_mv = 300.0;
+  /// Largest |timing offset| the guardian may absorb by slightly delaying or
+  /// advancing the forwarded frame ("small shifting").
+  double max_timing_correction_ns = 2000.0;
+};
+
+enum class ReshapeOutcome : std::uint8_t {
+  kForwardedNominal,  ///< regenerated: receivers see a clean signal
+  kBlocked            ///< unrecoverable: guardian truncates the transmission
+};
+
+struct ReshapeResult {
+  ReshapeOutcome outcome = ReshapeOutcome::kForwardedNominal;
+  wire::SignalAttrs attrs;  ///< what goes out (nominal when forwarded)
+};
+
+/// Applies the reshaping rule: anything inside the recoverable envelope goes
+/// out at nominal amplitude and on-time; anything outside is blocked (a
+/// blocked frame is strictly better than an SOS frame — every receiver then
+/// agrees the slot was null).
+ReshapeResult reshape(const ReshaperLimits& limits,
+                      const wire::SignalAttrs& incoming);
+
+}  // namespace tta::guardian

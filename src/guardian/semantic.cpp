@@ -1,0 +1,53 @@
+#include "guardian/semantic.h"
+
+namespace tta::guardian {
+
+const char* to_string(SemanticVerdict verdict) {
+  switch (verdict) {
+    case SemanticVerdict::kPass:
+      return "pass";
+    case SemanticVerdict::kMasqueradeBlocked:
+      return "masquerade_blocked";
+    case SemanticVerdict::kBadCStateBlocked:
+      return "bad_cstate_blocked";
+    case SemanticVerdict::kNotCheckable:
+      return "not_checkable";
+  }
+  return "?";
+}
+
+SemanticAnalyzer::SemanticAnalyzer(const ttpc::Medl& medl,
+                                   std::uint32_t buffer_bits)
+    : medl_(medl), buffer_bits_(buffer_bits) {}
+
+SemanticVerdict SemanticAnalyzer::check(
+    ttpc::NodeId port, const ttpc::ChannelFrame& frame,
+    std::optional<ttpc::SlotNumber> guardian_slot) const {
+  if (frame.kind == ttpc::FrameKind::kNone ||
+      frame.kind == ttpc::FrameKind::kBad) {
+    return SemanticVerdict::kPass;  // nothing semantic to check
+  }
+  if (buffer_bits_ < kInspectionBits) {
+    return SemanticVerdict::kNotCheckable;
+  }
+
+  if (frame.kind == ttpc::FrameKind::kColdStart) {
+    // A cold-start frame claims a round-slot position; the physical port it
+    // arrived on pins down which position it is *allowed* to claim. No time
+    // base is needed, so this works during startup.
+    if (frame.id != medl_.slot_of(port)) {
+      return SemanticVerdict::kMasqueradeBlocked;
+    }
+    return SemanticVerdict::kPass;
+  }
+
+  // Explicit/implicit C-state frames: once the guardian has a synchronized
+  // slot view, a frame whose embedded position disagrees with it carries an
+  // invalid C-state and must not reach integrating nodes.
+  if (guardian_slot.has_value() && frame.id != *guardian_slot) {
+    return SemanticVerdict::kBadCStateBlocked;
+  }
+  return SemanticVerdict::kPass;
+}
+
+}  // namespace tta::guardian

@@ -1,0 +1,53 @@
+// Semantic analysis of frames at the central guardian.
+//
+// Bauer et al. [2] give the central guardian authority to inspect frame
+// *content*: a cold-start frame whose claimed round-slot position does not
+// match the physical port it arrived on is a masquerade attempt and is
+// blocked; a frame whose C-state disagrees with the guardian's own C-state
+// view is blocked so integrating nodes can never adopt it. Both checks
+// require buffering the first `required_buffer_bits` of the frame before the
+// tail is forwarded — the very requirement that sets B_min in eq. (1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ttpc/medl.h"
+#include "ttpc/types.h"
+
+namespace tta::guardian {
+
+enum class SemanticVerdict : std::uint8_t {
+  kPass,                 ///< content consistent with schedule and C-state
+  kMasqueradeBlocked,    ///< cold-start frame claiming someone else's slot
+  kBadCStateBlocked,     ///< explicit C-state disagrees with guardian's view
+  kNotCheckable          ///< guardian lacks the buffer bits to inspect
+};
+
+const char* to_string(SemanticVerdict verdict);
+
+class SemanticAnalyzer {
+ public:
+  /// `buffer_bits` is the guardian's inspection buffer; checking a frame
+  /// requires buffering its id/C-state fields (we charge the protocol
+  /// header: 16 bits, well under any legal B_max).
+  SemanticAnalyzer(const ttpc::Medl& medl, std::uint32_t buffer_bits);
+
+  /// Bits of a frame that must sit in the buffer before the semantic checks
+  /// can run.
+  static constexpr std::uint32_t kInspectionBits = 16;
+
+  /// Checks one transmission arriving on physical port `port` while the
+  /// guardian believes the cluster is in `guardian_slot` (nullopt before the
+  /// guardian has synchronized — then only the port-vs-claim check applies,
+  /// which is precisely what stops masquerading *during startup*).
+  SemanticVerdict check(ttpc::NodeId port,
+                        const ttpc::ChannelFrame& frame,
+                        std::optional<ttpc::SlotNumber> guardian_slot) const;
+
+ private:
+  ttpc::Medl medl_;
+  std::uint32_t buffer_bits_;
+};
+
+}  // namespace tta::guardian

@@ -1,0 +1,18 @@
+#include "mc/checker.h"
+
+namespace tta::mc {
+
+std::function<bool(const WorldState&, const WorldState&)>
+no_integrated_node_freezes() {
+  return [](const WorldState& before, const WorldState& after) {
+    for (std::size_t i = 0; i < kMaxNodes; ++i) {
+      if (ttpc::is_integrated(before.nodes[i].state) &&
+          after.nodes[i].state == ttpc::CtrlState::kFreeze) {
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
+}  // namespace tta::mc

@@ -1,0 +1,340 @@
+// Explicit-state breadth-first model checker.
+//
+// Substitutes for the paper's use of Cadence SMV: the model is finite, so
+// exhaustive BFS gives the same verdicts, and because BFS explores in
+// distance order the first violation found yields a *shortest* counter-
+// example — the property SMV's reported traces had ("SMV produces the
+// shortest possible trace").
+//
+// Checker is generic over the model. A Model must provide:
+//   using State = ...;                 (equality-comparable)
+//   State initial() const;
+//   std::vector<SuccessorT<State>> successors(const State&) const;
+//   std::pair<State, TransitionLabel> apply(const State&, uint32_t) const;
+//   util::PackedState pack(const State&) const;
+//   State unpack(const util::PackedState&) const;
+// Both TtpcStarModel (the paper's model) and MonitoredModel (the
+// history-augmented variant in mc/monitor.h) satisfy this.
+//
+// Two query modes:
+//   * check(violation)  — safety over transitions: holds iff no reachable
+//     transition violates the property; otherwise a minimal trace.
+//   * find_state(goal)  — reachability: shortest path to a state satisfying
+//     the goal (used by tests to prove, e.g., that startup can succeed).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mc/model.h"
+#include "util/check.h"
+
+namespace tta::mc {
+
+/// The paper's correctness criterion (Section 5.1): as the nodes are modeled
+/// not to fail, no single fault may force a node that has integrated
+/// (active/passive) into the freeze state.
+std::function<bool(const WorldState&, const WorldState&)>
+no_integrated_node_freezes();
+
+template <class State>
+struct TraceStepT {
+  State before;
+  TransitionLabel label;
+  State after;
+};
+
+using TraceStep = TraceStepT<WorldState>;
+
+struct CheckStats {
+  std::uint64_t states_explored = 0;   ///< distinct states expanded
+  std::uint64_t transitions = 0;       ///< successor edges generated
+  std::uint64_t max_depth = 0;         ///< BFS depth reached
+  double seconds = 0.0;
+  bool exhausted = true;  ///< false if the state budget stopped the search
+};
+
+template <class State>
+struct CheckResultT {
+  bool holds = true;  ///< for find_state: true means goal NOT reachable
+  std::vector<TraceStepT<State>> trace;  ///< counterexample / witness
+  CheckStats stats;
+};
+
+using CheckResult = CheckResultT<WorldState>;
+
+/// Result of the AG EF ("always recoverable") analysis: from every
+/// reachable state, is a goal state still reachable?
+template <class State>
+struct RecoverabilityResultT {
+  bool recoverable_everywhere = true;
+  std::uint64_t dead_states = 0;  ///< reachable states with no path to goal
+  /// Shortest path into the recoverability-violating region (if any).
+  std::vector<TraceStepT<State>> witness;
+  CheckStats stats;
+};
+
+template <class Model>
+class Checker {
+ public:
+  using State = typename Model::State;
+  using Violation = std::function<bool(const State&, const State&)>;
+  using Goal = std::function<bool(const State&)>;
+
+  explicit Checker(const Model& model) : model_(&model) {}
+
+  /// Exhaustive safety check. `max_states` bounds memory; if the bound is
+  /// hit the result reports exhausted = false (verdict unreliable for
+  /// "holds", still sound for counterexamples).
+  CheckResultT<State> check(const Violation& violation,
+                            std::uint64_t max_states = 50'000'000) const {
+    return run(&violation, nullptr, max_states);
+  }
+
+  /// Shortest witness to a goal state; holds == true means unreachable.
+  CheckResultT<State> find_state(const Goal& goal,
+                                 std::uint64_t max_states = 50'000'000) const {
+    return run(nullptr, &goal, max_states);
+  }
+
+  /// AG EF goal — an availability property stronger than the safety check:
+  /// from *every* reachable state there must still exist a path to a goal
+  /// state. Computed as a forward exploration of the full reachable graph
+  /// followed by a backward closure from the goal states; a state outside
+  /// the closure is "dead" (the system can no longer recover from it).
+  RecoverabilityResultT<State> check_recoverability(
+      const Goal& goal, std::uint64_t max_states = 10'000'000) const {
+    const auto t0 = std::chrono::steady_clock::now();
+    RecoverabilityResultT<State> result;
+
+    // Forward pass: enumerate the reachable graph.
+    std::unordered_map<util::PackedState, std::uint32_t> index;
+    std::vector<util::PackedState> states;
+    std::vector<ParentInfo> parents;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    std::vector<bool> is_goal;
+    std::deque<std::uint32_t> frontier;
+
+    State init = model_->initial();
+    util::PackedState init_packed = model_->pack(init);
+    index.emplace(init_packed, 0);
+    states.push_back(init_packed);
+    parents.push_back(ParentInfo{{}, 0, 0, true});
+    is_goal.push_back(goal(init));
+    frontier.push_back(0);
+
+    while (!frontier.empty()) {
+      if (states.size() > max_states) {
+        result.stats.exhausted = false;
+        result.stats.states_explored = states.size();
+        return result;  // verdict would be unsound; bail out explicitly
+      }
+      std::uint32_t cur_idx = frontier.front();
+      frontier.pop_front();
+      State cur = model_->unpack(states[cur_idx]);
+      const std::uint32_t depth = parents[cur_idx].depth;
+      result.stats.max_depth =
+          std::max<std::uint64_t>(result.stats.max_depth, depth);
+
+      for (const auto& succ : model_->successors(cur)) {
+        ++result.stats.transitions;
+        util::PackedState next_packed = model_->pack(succ.next);
+        auto [it, inserted] =
+            index.emplace(next_packed,
+                          static_cast<std::uint32_t>(states.size()));
+        if (inserted) {
+          states.push_back(next_packed);
+          parents.push_back(
+              ParentInfo{states[cur_idx], succ.choice_code, depth + 1,
+                         false});
+          is_goal.push_back(goal(succ.next));
+          frontier.push_back(it->second);
+        }
+        edges.emplace_back(cur_idx, it->second);
+      }
+    }
+
+    // Backward closure over reversed edges from the goal states.
+    std::vector<std::uint32_t> offsets(states.size() + 1, 0);
+    for (const auto& [from, to] : edges) ++offsets[to + 1];
+    for (std::size_t i = 1; i < offsets.size(); ++i) {
+      offsets[i] += offsets[i - 1];
+    }
+    std::vector<std::uint32_t> reverse(edges.size());
+    {
+      std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (const auto& [from, to] : edges) reverse[cursor[to]++] = from;
+    }
+    std::vector<bool> can_recover(states.size(), false);
+    std::deque<std::uint32_t> back;
+    for (std::uint32_t i = 0; i < states.size(); ++i) {
+      if (is_goal[i]) {
+        can_recover[i] = true;
+        back.push_back(i);
+      }
+    }
+    while (!back.empty()) {
+      std::uint32_t cur = back.front();
+      back.pop_front();
+      for (std::uint32_t e = offsets[cur]; e < offsets[cur + 1]; ++e) {
+        std::uint32_t pred = reverse[e];
+        if (!can_recover[pred]) {
+          can_recover[pred] = true;
+          back.push_back(pred);
+        }
+      }
+    }
+
+    // Verdict + shortest witness into the dead region.
+    std::uint32_t witness_idx = 0;
+    std::uint32_t witness_depth = UINT32_MAX;
+    for (std::uint32_t i = 0; i < states.size(); ++i) {
+      if (can_recover[i]) continue;
+      ++result.dead_states;
+      if (parents[i].depth < witness_depth) {
+        witness_depth = parents[i].depth;
+        witness_idx = i;
+      }
+    }
+    result.recoverable_everywhere = result.dead_states == 0;
+    if (!result.recoverable_everywhere) {
+      std::vector<util::PackedState> path{states[witness_idx]};
+      util::PackedState cur = states[witness_idx];
+      while (true) {
+        const ParentInfo& info = parents[index.at(cur)];
+        if (info.is_root) break;
+        path.push_back(info.parent);
+        cur = info.parent;
+      }
+      for (std::size_t i = path.size(); i-- > 1;) {
+        TraceStepT<State> step;
+        step.before = model_->unpack(path[i]);
+        auto [next, label] = model_->apply(
+            step.before, parents[index.at(path[i - 1])].choice_code);
+        step.label = label;
+        step.after = next;
+        result.witness.push_back(step);
+      }
+    }
+
+    result.stats.states_explored = states.size();
+    result.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  }
+
+ private:
+  struct ParentInfo {
+    util::PackedState parent;
+    std::uint32_t choice_code = 0;
+    std::uint32_t depth = 0;
+    bool is_root = false;
+  };
+
+  CheckResultT<State> run(const Violation* violation, const Goal* goal,
+                          std::uint64_t max_states) const {
+    const auto t0 = std::chrono::steady_clock::now();
+    CheckResultT<State> result;
+
+    std::unordered_map<util::PackedState, ParentInfo> visited;
+    std::deque<util::PackedState> frontier;
+
+    auto finish = [&](bool holds) {
+      result.holds = holds;
+      result.stats.states_explored = visited.size();
+      result.stats.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    };
+
+    // Builds the trace root -> ... -> `last` by walking parents, then
+    // replaying each stored choice to recover the labels.
+    auto reconstruct = [&](const util::PackedState& last) {
+      std::vector<util::PackedState> path{last};
+      util::PackedState cur = last;
+      while (true) {
+        const ParentInfo& info = visited.at(cur);
+        if (info.is_root) break;
+        path.push_back(info.parent);
+        cur = info.parent;
+      }
+      std::vector<TraceStepT<State>> steps;
+      for (std::size_t i = path.size(); i-- > 1;) {
+        const util::PackedState& from = path[i];
+        const util::PackedState& to = path[i - 1];
+        TraceStepT<State> step;
+        step.before = model_->unpack(from);
+        auto [next, label] =
+            model_->apply(step.before, visited.at(to).choice_code);
+        TTA_CHECK(model_->pack(next) == to);
+        step.label = label;
+        step.after = next;
+        steps.push_back(step);
+      }
+      return steps;
+    };
+
+    State init = model_->initial();
+    util::PackedState init_packed = model_->pack(init);
+    visited.emplace(init_packed, ParentInfo{{}, 0, 0, true});
+    frontier.push_back(init_packed);
+    if (goal && (*goal)(init)) {
+      finish(false);
+      return result;  // goal reachable at depth 0, empty witness
+    }
+
+    while (!frontier.empty()) {
+      if (visited.size() > max_states) {
+        result.stats.exhausted = false;
+        break;
+      }
+      util::PackedState cur_packed = frontier.front();
+      frontier.pop_front();
+      const std::uint32_t depth = visited.at(cur_packed).depth;
+      result.stats.max_depth =
+          std::max<std::uint64_t>(result.stats.max_depth, depth);
+      State cur = model_->unpack(cur_packed);
+
+      for (const auto& succ : model_->successors(cur)) {
+        ++result.stats.transitions;
+        if (violation && (*violation)(cur, succ.next)) {
+          // Counterexample: path to `cur` plus this violating transition.
+          std::vector<TraceStepT<State>> steps = reconstruct(cur_packed);
+          TraceStepT<State> final_step;
+          final_step.before = cur;
+          auto [next, label] = model_->apply(cur, succ.choice_code);
+          final_step.label = label;
+          final_step.after = next;
+          steps.push_back(final_step);
+          result.trace = std::move(steps);
+          finish(false);
+          return result;
+        }
+        util::PackedState next_packed = model_->pack(succ.next);
+        auto [it, inserted] = visited.emplace(
+            next_packed,
+            ParentInfo{cur_packed, succ.choice_code, depth + 1, false});
+        if (inserted) {
+          if (goal && (*goal)(succ.next)) {
+            result.trace = reconstruct(next_packed);
+            finish(false);
+            return result;
+          }
+          frontier.push_back(next_packed);
+        }
+      }
+    }
+
+    finish(true);
+    return result;
+  }
+
+  const Model* model_;
+};
+
+}  // namespace tta::mc

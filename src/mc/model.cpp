@@ -1,0 +1,188 @@
+#include "mc/model.h"
+
+#include "util/check.h"
+
+namespace tta::mc {
+
+namespace {
+
+// Packed field widths (must cover the value ranges asserted in pack()).
+constexpr unsigned kStateBits = 4;
+constexpr unsigned kSlotBits = 5;
+constexpr unsigned kCounterBits = 4;
+constexpr unsigned kTimeoutBits = 6;
+constexpr unsigned kKindBits = 3;
+constexpr unsigned kOosBits = 3;
+
+}  // namespace
+
+TtpcStarModel::TtpcStarModel(const ModelConfig& config)
+    : config_(config),
+      controller_(config.protocol),
+      coupler_(config.authority) {
+  TTA_CHECK(config_.protocol.num_nodes <= kMaxNodes);
+
+  // Build the static fault lattice: every (f0, f1) pair with at most one
+  // coupler faulty and each fault possible for this authority level. The
+  // state-dependent admissibility of out_of_slot is checked at apply time.
+  std::vector<guardian::CouplerFault> singles{guardian::CouplerFault::kNone};
+  if (config_.allow_silence_fault) {
+    singles.push_back(guardian::CouplerFault::kSilence);
+  }
+  if (config_.allow_bad_frame_fault) {
+    singles.push_back(guardian::CouplerFault::kBadFrame);
+  }
+  if (guardian::can_buffer_frames(config_.authority) &&
+      config_.max_out_of_slot_errors > 0) {
+    singles.push_back(guardian::CouplerFault::kOutOfSlot);
+  }
+  for (guardian::CouplerFault f : singles) {
+    fault_pairs_.push_back(FaultPair{f, guardian::CouplerFault::kNone});
+    if (f != guardian::CouplerFault::kNone) {
+      fault_pairs_.push_back(FaultPair{guardian::CouplerFault::kNone, f});
+    }
+  }
+  TTA_CHECK(fault_pairs_.size() <= 8);  // 3 bits in the choice code
+}
+
+bool TtpcStarModel::replay_allowed(
+    const WorldState& s, const guardian::CouplerState& coupler) const {
+  if (s.oos_errors_used >= config_.max_out_of_slot_errors) return false;
+  switch (coupler.buffered_frame) {
+    case ttpc::FrameKind::kNone:
+      return false;  // replaying nothing is just silence; prune
+    case ttpc::FrameKind::kColdStart:
+      return config_.allow_coldstart_duplication;
+    case ttpc::FrameKind::kCState:
+      return config_.allow_cstate_duplication;
+    default:
+      return true;
+  }
+}
+
+std::pair<WorldState, TransitionLabel> TtpcStarModel::apply(
+    const WorldState& s, std::uint32_t choice_code) const {
+  const std::size_t n = num_nodes();
+  const FaultPair& pair = fault_pairs_[choice_code & 0x7];
+
+  WorldState next = s;
+  TransitionLabel label;
+  label.fault0 = pair.f0;
+  label.fault1 = pair.f1;
+
+  // 1. Transmissions: every node drives both channels identically.
+  std::vector<ttpc::ChannelFrame> sent;
+  sent.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ttpc::ChannelFrame f = controller_.frame_to_send(
+        s.nodes[i], static_cast<ttpc::NodeId>(i + 1));
+    label.sent[i] = f;
+    sent.push_back(f);
+  }
+  ttpc::ChannelFrame merged = guardian::AbstractCoupler::merge_transmissions(sent);
+
+  // 2. Coupler transfer (updates the frame buffers in `next`).
+  label.ch0 = coupler_.transfer(merged, pair.f0, next.couplers[0]);
+  label.ch1 = coupler_.transfer(merged, pair.f1, next.couplers[1]);
+  if (pair.f0 == guardian::CouplerFault::kOutOfSlot ||
+      pair.f1 == guardian::CouplerFault::kOutOfSlot) {
+    if (next.oos_errors_used < 7) ++next.oos_errors_used;
+  }
+
+  // 3. Node transitions under the encoded choices.
+  ttpc::ChannelView view{label.ch0, label.ch1};
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned choice = (choice_code >> (3 + 2 * i)) & 0x3;
+    ttpc::StepOutcome out = controller_.step(
+        s.nodes[i], static_cast<ttpc::NodeId>(i + 1), view, choice);
+    next.nodes[i] = out.next;
+    label.events[i] = out.event;
+  }
+  return {next, label};
+}
+
+std::vector<Successor> TtpcStarModel::successors(const WorldState& s) const {
+  const std::size_t n = num_nodes();
+  std::vector<Successor> out;
+
+  // Per-node choice counts for the odometer.
+  std::array<unsigned, kMaxNodes> counts{};
+  for (std::size_t i = 0; i < n; ++i) {
+    counts[i] = controller_.num_choices(s.nodes[i]);
+  }
+
+  for (std::size_t fp = 0; fp < fault_pairs_.size(); ++fp) {
+    const FaultPair& pair = fault_pairs_[fp];
+    // State-dependent admissibility of the replay fault.
+    if (pair.f0 == guardian::CouplerFault::kOutOfSlot &&
+        !replay_allowed(s, s.couplers[0])) {
+      continue;
+    }
+    if (pair.f1 == guardian::CouplerFault::kOutOfSlot &&
+        !replay_allowed(s, s.couplers[1])) {
+      continue;
+    }
+
+    std::array<unsigned, kMaxNodes> odo{};
+    while (true) {
+      std::uint32_t code = static_cast<std::uint32_t>(fp);
+      for (std::size_t i = 0; i < n; ++i) {
+        code |= static_cast<std::uint32_t>(odo[i]) << (3 + 2 * i);
+      }
+      out.push_back(Successor{apply(s, code).first, code});
+
+      // Odometer increment over the per-node choice ranges.
+      std::size_t i = 0;
+      for (; i < n; ++i) {
+        if (++odo[i] < counts[i]) break;
+        odo[i] = 0;
+      }
+      if (i == n) break;
+    }
+  }
+  return out;
+}
+
+util::PackedState TtpcStarModel::pack(const WorldState& s) const {
+  util::PackedState p;
+  util::BitWriter w(p);
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    const ttpc::NodeState& ns = s.nodes[i];
+    w.write(static_cast<std::uint64_t>(ns.state), kStateBits);
+    w.write(ns.slot, kSlotBits);
+    w.write(ns.agreed, kCounterBits);
+    w.write(ns.failed, kCounterBits);
+    w.write_bool(ns.big_bang);
+    w.write(ns.listen_timeout, kTimeoutBits);
+    w.write_bool(ns.ever_integrated);
+  }
+  for (const guardian::CouplerState& c : s.couplers) {
+    w.write(static_cast<std::uint64_t>(c.buffered_frame), kKindBits);
+    w.write(c.buffered_id, kSlotBits);
+  }
+  w.write(s.oos_errors_used, kOosBits);
+  return p;
+}
+
+WorldState TtpcStarModel::unpack(const util::PackedState& p) const {
+  WorldState s;
+  util::BitReader r(p);
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    ttpc::NodeState& ns = s.nodes[i];
+    ns.state = static_cast<ttpc::CtrlState>(r.read(kStateBits));
+    ns.slot = static_cast<ttpc::SlotNumber>(r.read(kSlotBits));
+    ns.agreed = static_cast<std::uint8_t>(r.read(kCounterBits));
+    ns.failed = static_cast<std::uint8_t>(r.read(kCounterBits));
+    ns.big_bang = r.read_bool();
+    ns.listen_timeout = static_cast<std::uint8_t>(r.read(kTimeoutBits));
+    ns.ever_integrated = r.read_bool();
+  }
+  for (guardian::CouplerState& c : s.couplers) {
+    c.buffered_frame = static_cast<ttpc::FrameKind>(r.read(kKindBits));
+    c.buffered_id = static_cast<ttpc::SlotNumber>(r.read(kSlotBits));
+  }
+  s.oos_errors_used = static_cast<std::uint8_t>(r.read(kOosBits));
+  return s;
+}
+
+}  // namespace tta::mc

@@ -1,0 +1,117 @@
+// The synchronous formal model of Section 4: nodes + two star couplers,
+// one transition per TDMA slot.
+//
+// This is the C++ rendering of the paper's SMV model. The node transition
+// relation is the shared ttpc::Controller (identical to the simulator's);
+// the coupler transfer function is the shared guardian::AbstractCoupler.
+// What this class adds is the *composition*: enumerating every combination
+// of nondeterministic node choices and coupler fault assignments, subject to
+// the paper's constraints:
+//   * at most one coupler is faulty at a given time (TTP/C fault hypothesis,
+//     "couplerA.fault = none | couplerB.fault = none");
+//   * the out_of_slot fault exists only for full-shifting couplers;
+//   * optional: at most `max_out_of_slot_errors` replays in a run (the paper
+//     adds this to get the minimal single-fault trace);
+//   * optional: prohibit replaying cold-start frames (the paper adds this to
+//     obtain the duplicated C-state trace).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "guardian/authority.h"
+#include "guardian/coupler.h"
+#include "ttpc/controller.h"
+#include "util/bitpack.h"
+
+namespace tta::mc {
+
+/// Upper bound on cluster size supported by the packed encoding.
+inline constexpr std::size_t kMaxNodes = 6;
+
+struct ModelConfig {
+  ttpc::ProtocolConfig protocol;  ///< defaults: 4 nodes, restricted choices
+  guardian::Authority authority = guardian::Authority::kFullShifting;
+
+  /// Budget of out_of_slot replays across a run (paper Section 5.2 limits
+  /// this to 1 for the narrated trace). Saturates at 7.
+  unsigned max_out_of_slot_errors = 7;
+
+  /// Which buffered frames an out_of_slot fault may replay. Clearing
+  /// allow_coldstart_duplication reproduces the paper's second trace.
+  bool allow_coldstart_duplication = true;
+  bool allow_cstate_duplication = true;
+
+  /// Enable/disable the transient silence / bad-frame fault modes.
+  bool allow_silence_fault = true;
+  bool allow_bad_frame_fault = true;
+};
+
+/// Full system state: every node's protocol variables plus both couplers'
+/// frame buffers and the consumed out-of-slot budget.
+struct WorldState {
+  std::array<ttpc::NodeState, kMaxNodes> nodes{};
+  std::array<guardian::CouplerState, 2> couplers{};
+  std::uint8_t oos_errors_used = 0;
+
+  friend bool operator==(const WorldState&, const WorldState&) = default;
+};
+
+/// Everything needed to narrate one transition of a counterexample.
+struct TransitionLabel {
+  guardian::CouplerFault fault0 = guardian::CouplerFault::kNone;
+  guardian::CouplerFault fault1 = guardian::CouplerFault::kNone;
+  ttpc::ChannelFrame ch0;  ///< what channel 0 carried during the slot
+  ttpc::ChannelFrame ch1;
+  std::array<ttpc::ChannelFrame, kMaxNodes> sent{};
+  std::array<ttpc::StepEvent, kMaxNodes> events{};
+};
+
+/// One enumerated successor; `choice_code` replays the exact transition.
+struct Successor {
+  WorldState next;
+  std::uint32_t choice_code = 0;
+};
+
+class TtpcStarModel {
+ public:
+  using State = WorldState;
+
+  explicit TtpcStarModel(const ModelConfig& config);
+
+  const ModelConfig& config() const { return config_; }
+  std::size_t num_nodes() const { return config_.protocol.num_nodes; }
+
+  /// "Initially, all the nodes are in the freeze state."
+  WorldState initial() const { return WorldState{}; }
+
+  /// All successors of `s` under every legal choice combination.
+  std::vector<Successor> successors(const WorldState& s) const;
+
+  /// Deterministically replays one transition (used for counterexample
+  /// reconstruction). `choice_code` must come from successors().
+  std::pair<WorldState, TransitionLabel> apply(const WorldState& s,
+                                               std::uint32_t choice_code) const;
+
+  util::PackedState pack(const WorldState& s) const;
+  WorldState unpack(const util::PackedState& p) const;
+
+ private:
+  struct FaultPair {
+    guardian::CouplerFault f0 = guardian::CouplerFault::kNone;
+    guardian::CouplerFault f1 = guardian::CouplerFault::kNone;
+  };
+
+  /// Whether an out_of_slot replay is admissible for `coupler` in state `s`
+  /// (budget, authority, buffered-frame content constraints).
+  bool replay_allowed(const WorldState& s,
+                      const guardian::CouplerState& coupler) const;
+
+  ModelConfig config_;
+  ttpc::Controller controller_;
+  guardian::AbstractCoupler coupler_;
+  std::vector<FaultPair> fault_pairs_;  ///< static part of the fault lattice
+};
+
+}  // namespace tta::mc

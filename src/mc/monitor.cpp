@@ -1,0 +1,30 @@
+#include "mc/monitor.h"
+
+namespace tta::mc {
+
+std::function<bool(const MonitoredState&, const MonitoredState&)>
+replay_victim_freezes() {
+  return [](const MonitoredState& before, const MonitoredState& after) {
+    for (std::size_t i = 0; i < kMaxNodes; ++i) {
+      bool was_replay_victim = (before.integrated_on_replay >> i) & 1u;
+      if (was_replay_victim &&
+          ttpc::is_integrated(before.base.nodes[i].state) &&
+          after.base.nodes[i].state == ttpc::CtrlState::kFreeze) {
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
+std::vector<TraceStep> strip_monitor(
+    const std::vector<TraceStepT<MonitoredState>>& trace) {
+  std::vector<TraceStep> out;
+  out.reserve(trace.size());
+  for (const auto& step : trace) {
+    out.push_back(TraceStep{step.before.base, step.label, step.after.base});
+  }
+  return out;
+}
+
+}  // namespace tta::mc

@@ -1,0 +1,128 @@
+#include "mc/trace_printer.h"
+
+#include <cstdio>
+
+namespace tta::mc {
+
+namespace {
+
+char node_letter(std::size_t i) { return static_cast<char>('A' + i); }
+
+std::string frame_str(const ttpc::ChannelFrame& f) {
+  if (f.kind == ttpc::FrameKind::kNone) return "-";
+  if (f.kind == ttpc::FrameKind::kBad) return "noise";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s(id=%u)", ttpc::to_string(f.kind), f.id);
+  return buf;
+}
+
+bool fault_active(const TransitionLabel& label) {
+  return label.fault0 != guardian::CouplerFault::kNone ||
+         label.fault1 != guardian::CouplerFault::kNone;
+}
+
+}  // namespace
+
+std::string TracePrinter::narrate(const std::vector<TraceStep>& trace) const {
+  const std::size_t n = model_->num_nodes();
+  std::string out;
+  unsigned item = 0;
+  std::size_t quiet = 0;
+  char buf[256];
+
+  auto flush_quiet = [&] {
+    if (quiet == 0) return;
+    std::snprintf(buf, sizeof buf,
+                  "%2u) %zu quiet slot(s) pass; listen timeout counters "
+                  "decrease.\n",
+                  ++item, quiet);
+    out += buf;
+    quiet = 0;
+  };
+
+  std::snprintf(buf, sizeof buf, "%2u) Initially, all nodes are in the %s "
+                "state.\n", ++item, "freeze");
+  out += buf;
+
+  for (const TraceStep& step : trace) {
+    std::string lines;
+    // Coupler faults first — they are the story.
+    if (step.label.fault0 != guardian::CouplerFault::kNone ||
+        step.label.fault1 != guardian::CouplerFault::kNone) {
+      int ch = step.label.fault0 != guardian::CouplerFault::kNone ? 0 : 1;
+      guardian::CouplerFault f =
+          ch == 0 ? step.label.fault0 : step.label.fault1;
+      const ttpc::ChannelFrame& carried = ch == 0 ? step.label.ch0
+                                                  : step.label.ch1;
+      if (f == guardian::CouplerFault::kOutOfSlot) {
+        std::snprintf(buf, sizeof buf,
+                      "    A faulty star coupler (channel %d) replays the "
+                      "buffered %s into this slot.\n",
+                      ch, frame_str(carried).c_str());
+      } else {
+        std::snprintf(buf, sizeof buf,
+                      "    Star coupler %d exhibits a %s fault this slot.\n",
+                      ch, guardian::to_string(f));
+      }
+      lines += buf;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (step.label.sent[i].kind != ttpc::FrameKind::kNone) {
+        std::snprintf(buf, sizeof buf, "    Node %c sends a %s.\n",
+                      node_letter(i),
+                      frame_str(step.label.sent[i]).c_str());
+        lines += buf;
+      }
+      ttpc::StepEvent ev = step.label.events[i];
+      if (ev != ttpc::StepEvent::kNone) {
+        std::snprintf(buf, sizeof buf, "    Node %c: %s (now %s, slot %u).\n",
+                      node_letter(i), ttpc::to_string(ev),
+                      ttpc::to_string(step.after.nodes[i].state),
+                      step.after.nodes[i].slot);
+        lines += buf;
+      }
+    }
+    if (lines.empty() && !fault_active(step.label)) {
+      ++quiet;
+      continue;
+    }
+    flush_quiet();
+    std::snprintf(buf, sizeof buf, "%2u) ch0=%s ch1=%s\n", ++item,
+                  frame_str(step.label.ch0).c_str(),
+                  frame_str(step.label.ch1).c_str());
+    out += buf;
+    out += lines;
+  }
+  flush_quiet();
+  return out;
+}
+
+std::string TracePrinter::table(const std::vector<TraceStep>& trace) const {
+  const std::size_t n = model_->num_nodes();
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-4s %-18s %-18s", "step", "ch0", "ch1");
+  out += buf;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof buf, " | %c: state slot a/f  ", node_letter(i));
+    out += buf;
+  }
+  out += '\n';
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const TraceStep& step = trace[t];
+    std::snprintf(buf, sizeof buf, "%-4zu %-18s %-18s", t + 1,
+                  frame_str(step.label.ch0).c_str(),
+                  frame_str(step.label.ch1).c_str());
+    out += buf;
+    for (std::size_t i = 0; i < n; ++i) {
+      const ttpc::NodeState& ns = step.after.nodes[i];
+      std::snprintf(buf, sizeof buf, " | %-10s %2u %u/%u ",
+                    ttpc::to_string(ns.state), ns.slot, ns.agreed, ns.failed);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tta::mc

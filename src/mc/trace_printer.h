@@ -1,0 +1,32 @@
+// Counterexample narration.
+//
+// Renders a Checker trace in the style the paper uses in Section 5.2
+// ("Node A makes a transition into the listen state... A faulty star
+// coupler replays the previous cold start frame. Node B integrates on
+// it..."), plus a compact per-step table for debugging. Nodes are lettered
+// A, B, C, ... to match the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/checker.h"
+
+namespace tta::mc {
+
+class TracePrinter {
+ public:
+  explicit TracePrinter(const TtpcStarModel& model) : model_(&model) {}
+
+  /// Paper-style numbered narration; one entry per step with an event worth
+  /// telling (quiet countdown steps are merged into "…timeout decreases").
+  std::string narrate(const std::vector<TraceStep>& trace) const;
+
+  /// Dense per-step table: channels, every node's state/slot/counters.
+  std::string table(const std::vector<TraceStep>& trace) const;
+
+ private:
+  const TtpcStarModel* model_;
+};
+
+}  // namespace tta::mc

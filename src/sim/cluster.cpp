@@ -1,0 +1,295 @@
+#include "sim/cluster.h"
+
+#include "util/check.h"
+
+namespace tta::sim {
+
+Cluster::Cluster(const ClusterConfig& config, FaultInjector injector)
+    : config_(config),
+      injector_(std::move(injector)),
+      medl_(ttpc::Medl::uniform(config.protocol, config.medl_frame_bits)) {
+  config_.protocol.validate();
+  const std::size_t n = config_.protocol.num_nodes;
+
+  if (config_.power_on_steps.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      config_.power_on_steps.push_back(i);  // staggered power-on
+    }
+  }
+  TTA_CHECK(config_.power_on_steps.size() == n);
+
+  if (config_.tolerances.empty()) {
+    config_.tolerances = wire::spread_tolerances(n, 10.0, 15.0);
+  }
+  TTA_CHECK(config_.tolerances.size() == n);
+
+  TransmitterProfile profile;
+  profile.sos_value = config_.sos_value_attrs;
+  profile.sos_time = config_.sos_time_attrs;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto id = static_cast<ttpc::NodeId>(i + 1);
+    nodes_.emplace_back(id, config_.protocol, medl_, config_.tolerances[i],
+                        config_.power_on_steps[i], profile,
+                        config_.restart_after_freeze);
+  }
+
+  if (config_.topology == Topology::kStar) {
+    for (int ch = 0; ch < 2; ++ch) {
+      hubs_.emplace_back(config_.guardian, medl_);
+      hub_trackers_.emplace_back(config_.protocol);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      local_bgs_.emplace_back(static_cast<ttpc::NodeId>(i + 1), medl_);
+      local_trackers_.emplace_back(config_.protocol);
+    }
+  }
+}
+
+const SimNode& Cluster::node(ttpc::NodeId id) const {
+  TTA_CHECK(id >= 1 && id <= nodes_.size());
+  return nodes_[id - 1];
+}
+
+Cluster::ChannelOutput Cluster::arbitrate_star(
+    int channel, const std::vector<SimFrame>& transmissions) {
+  std::vector<guardian::PortTransmission> attempts;
+  for (std::size_t i = 0; i < transmissions.size(); ++i) {
+    if (transmissions[i].frame.kind == ttpc::FrameKind::kNone) continue;
+    guardian::PortTransmission tx;
+    tx.port = static_cast<ttpc::NodeId>(i + 1);
+    tx.frame = transmissions[i].frame;
+    tx.attrs = transmissions[i].attrs;
+    attempts.push_back(tx);
+  }
+  guardian::CouplerFault fault = injector_.coupler_fault(channel, step_);
+  if (!guardian::fault_possible(config_.guardian.authority, fault)) {
+    // A coupler without frame buffering physically cannot replay a frame —
+    // the paper's central point. The schedule entry is inert.
+    fault = guardian::CouplerFault::kNone;
+  }
+  guardian::CentralGuardian::SlotResult res = hubs_[channel].arbitrate(
+      hub_trackers_[channel].current(), attempts, fault);
+
+  for (guardian::GuardianAction a : res.actions) {
+    switch (a) {
+      case guardian::GuardianAction::kBlockedWindow:
+        ++metrics_.guardian_blocks_window;
+        break;
+      case guardian::GuardianAction::kBlockedSignal:
+        ++metrics_.guardian_blocks_signal;
+        break;
+      case guardian::GuardianAction::kBlockedMasquerade:
+        ++metrics_.guardian_blocks_masquerade;
+        break;
+      case guardian::GuardianAction::kBlockedBadCState:
+        ++metrics_.guardian_blocks_bad_cstate;
+        break;
+      case guardian::GuardianAction::kReshaped:
+        ++metrics_.guardian_reshapes;
+        break;
+      case guardian::GuardianAction::kForwarded:
+        break;
+    }
+  }
+
+  ChannelOutput out;
+  out.content = SimFrame{res.out, res.attrs};
+  // Identify the physical sender: a clean slot with exactly one forwarded
+  // attempt. Faulted slots (silence/noise/replay) carry no real sender.
+  if (fault == guardian::CouplerFault::kNone) {
+    int forwarded = 0;
+    for (std::size_t i = 0; i < attempts.size(); ++i) {
+      if (res.actions[i] == guardian::GuardianAction::kForwarded ||
+          res.actions[i] == guardian::GuardianAction::kReshaped) {
+        ++forwarded;
+        out.physical_sender = attempts[i].port;
+      }
+    }
+    if (forwarded != 1) out.physical_sender = 0;
+  }
+  out.actions = std::move(res.actions);
+  return out;
+}
+
+Cluster::ChannelOutput Cluster::arbitrate_bus(
+    int channel, const std::vector<SimFrame>& transmissions) {
+  std::vector<ttpc::ChannelFrame> passed;
+  wire::SignalAttrs attrs = wire::nominal_signal();
+  ttpc::NodeId single_sender = 0;
+  for (std::size_t i = 0; i < transmissions.size(); ++i) {
+    const SimFrame& tx = transmissions[i];
+    if (tx.frame.kind == ttpc::FrameKind::kNone) continue;
+    auto id = static_cast<ttpc::NodeId>(i + 1);
+    local_bgs_[i].inject(injector_.local_guardian_fault(id, step_));
+    if (!local_bgs_[i].allows(local_trackers_[i].current(), tx.frame)) {
+      continue;
+    }
+    passed.push_back(tx.frame);
+    attrs = tx.attrs;  // single-sender attrs; collisions become noise anyway
+    single_sender = id;
+  }
+  if (passed.size() != 1) single_sender = 0;
+  ttpc::ChannelFrame merged =
+      guardian::AbstractCoupler::merge_transmissions(passed);
+
+  // Passive channel faults (TTP/C fault hypothesis: corrupt or drop only).
+  switch (injector_.coupler_fault(channel, step_)) {
+    case guardian::CouplerFault::kSilence:
+      merged = ttpc::ChannelFrame{};
+      break;
+    case guardian::CouplerFault::kBadFrame:
+      merged = ttpc::ChannelFrame{ttpc::FrameKind::kBad, 0};
+      break;
+    case guardian::CouplerFault::kOutOfSlot:
+      // A passive bus stores nothing; replay is impossible by construction.
+      break;
+    case guardian::CouplerFault::kNone:
+      break;
+  }
+
+  ChannelOutput out;
+  out.content = SimFrame{merged, attrs};
+  if (merged.kind != ttpc::FrameKind::kNone &&
+      merged.kind != ttpc::FrameKind::kBad) {
+    out.physical_sender = single_sender;
+  }
+  return out;
+}
+
+void Cluster::step() {
+  const std::size_t n = nodes_.size();
+
+  // 1. Transmissions (both channels carry the same attempt in TTP/C).
+  std::vector<SimFrame> transmissions;
+  transmissions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeFaultMode fault =
+        injector_.node_fault(static_cast<ttpc::NodeId>(i + 1), step_);
+    transmissions.push_back(nodes_[i].transmit(fault, step_));
+  }
+
+  // 2. Channel arbitration.
+  ChannelOutput ch0, ch1;
+  if (config_.topology == Topology::kStar) {
+    ch0 = arbitrate_star(0, transmissions);
+    ch1 = arbitrate_star(1, transmissions);
+  } else {
+    ch0 = arbitrate_bus(0, transmissions);
+    ch1 = arbitrate_bus(1, transmissions);
+  }
+
+  // 3. Guardians' slot trackers learn from this slot's traffic.
+  if (config_.topology == Topology::kStar) {
+    hub_trackers_[0].observe(ch0.content.frame, ch0.content.frame);
+    hub_trackers_[1].observe(ch1.content.frame, ch1.content.frame);
+  } else {
+    for (auto& tracker : local_trackers_) {
+      tracker.observe(ch0.content.frame, ch1.content.frame);
+    }
+  }
+
+  // 4. SOS accounting: did receivers disagree about detectable traffic?
+  {
+    bool any_accept = false, any_reject = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const SimFrame* f : {&ch0.content, &ch1.content}) {
+        if (f->frame.kind == ttpc::FrameKind::kNone ||
+            f->frame.kind == ttpc::FrameKind::kBad) {
+          continue;
+        }
+        bool ok = wire::accepts(config_.tolerances[i], f->attrs);
+        (ok ? any_accept : any_reject) = true;
+      }
+    }
+    if (any_accept && any_reject) ++metrics_.sos_disagreements;
+  }
+
+  // 5. Node transitions.
+  StepRecord rec;
+  rec.step = step_;
+  rec.channel0 = ch0.content.frame;
+  rec.channel1 = ch1.content.frame;
+  rec.guardian_actions0 = ch0.actions;
+  rec.guardian_actions1 = ch1.actions;
+  for (std::size_t i = 0; i < n; ++i) {
+    ttpc::StepEvent ev = nodes_[i].advance(ch0.content, ch1.content, step_);
+    if (ev == ttpc::StepEvent::kIntegratedOnColdStart ||
+        ev == ttpc::StepEvent::kIntegratedOnCState) {
+      const ChannelOutput& src =
+          nodes_[i].last_integration_channel() == 0 ? ch0 : ch1;
+      if (src.physical_sender == 0) {
+        ++metrics_.replay_integrations;
+      } else if (medl_.slot_of(src.physical_sender) != src.content.frame.id) {
+        ++metrics_.masquerade_integrations;
+      }
+    }
+    NodeSnapshot snap;
+    snap.state = nodes_[i].state();
+    snap.event = ev;
+    snap.sent = transmissions[i].frame;
+    rec.nodes.push_back(snap);
+  }
+  if (config_.keep_log) log_.record(std::move(rec));
+
+  ++step_;
+  ++metrics_.steps;
+}
+
+void Cluster::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+bool Cluster::run_until_all_healthy_active(std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (all_healthy_in_state(ttpc::CtrlState::kActive)) return true;
+    step();
+  }
+  return all_healthy_in_state(ttpc::CtrlState::kActive);
+}
+
+std::size_t Cluster::count_in_state(ttpc::CtrlState s) const {
+  std::size_t c = 0;
+  for (const auto& node : nodes_) {
+    if (node.state().state == s) ++c;
+  }
+  return c;
+}
+
+bool Cluster::all_healthy_in_state(ttpc::CtrlState s) const {
+  for (const auto& node : nodes_) {
+    if (!node_is_healthy(node.id())) continue;
+    if (node.state().state != s) return false;
+  }
+  return true;
+}
+
+std::vector<ttpc::NodeId> Cluster::integrated_then_frozen() const {
+  std::vector<ttpc::NodeId> out;
+  for (const auto& node : nodes_) {
+    if (node.ever_integrated() &&
+        node.state().state == ttpc::CtrlState::kFreeze) {
+      out.push_back(node.id());
+    }
+  }
+  return out;
+}
+
+std::vector<ttpc::NodeId> Cluster::ever_clique_frozen() const {
+  std::vector<ttpc::NodeId> out;
+  for (const auto& node : nodes_) {
+    if (node.ever_clique_frozen()) out.push_back(node.id());
+  }
+  return out;
+}
+
+std::size_t Cluster::healthy_clique_frozen() const {
+  std::size_t c = 0;
+  for (const auto& node : nodes_) {
+    if (node.ever_clique_frozen() && node_is_healthy(node.id())) ++c;
+  }
+  return c;
+}
+
+}  // namespace tta::sim

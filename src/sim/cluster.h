@@ -1,0 +1,144 @@
+// The whole system under test: N nodes, two channels, bus or star topology,
+// a fault-injection schedule, and metrics.
+//
+// One call to step() advances the cluster across one TDMA slot:
+//   1. every node produces its attempted transmission (fault mode applied);
+//   2. the topology arbitrates each channel — local guardians gate ports on
+//      the bus, central guardians arbitrate/reshape/analyze on the star, and
+//      the scheduled coupler/channel fault is applied;
+//   3. every node judges the channel contents with its own tolerances and
+//      advances its protocol state machine.
+//
+// The paper's correctness property is exposed directly:
+// integrated_then_frozen() lists nodes that reached active/passive and were
+// later forced into freeze.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "guardian/central_guardian.h"
+#include "guardian/local_guardian.h"
+#include "sim/fault_injector.h"
+#include "sim/node.h"
+#include "sim/slot_tracker.h"
+#include "sim/topology.h"
+#include "sim/trace.h"
+#include "ttpc/medl.h"
+
+namespace tta::sim {
+
+struct ClusterConfig {
+  ttpc::ProtocolConfig protocol;
+  Topology topology = Topology::kStar;
+  guardian::GuardianConfig guardian;  ///< used by both hubs (star only)
+  std::uint32_t medl_frame_bits = 76;
+
+  /// Per-node power-on step (freeze -> init). Defaults to staggered power-on
+  /// (node i at step i-1) when empty.
+  std::vector<std::uint64_t> power_on_steps;
+
+  /// Per-node receiver tolerances. Defaults to a deterministic spread
+  /// (wire::spread_tolerances) when empty, so SOS faults are expressible.
+  std::vector<wire::ReceiverTolerance> tolerances;
+
+  /// Analog attributes a faulty transmitter produces. Defaults sit between
+  /// the spread tolerances so that receivers genuinely disagree.
+  wire::SignalAttrs sos_value_attrs{615.0, 0.0};
+  wire::SignalAttrs sos_time_attrs{900.0, 960.0};
+
+  /// Hosts awaken frozen controllers (TTP/C leaves this to the host). When
+  /// false, a clique-frozen node stays frozen for the rest of the run.
+  bool restart_after_freeze = true;
+
+  /// Record a full event log (turn off for long statistical runs).
+  bool keep_log = true;
+};
+
+/// Aggregated per-run metrics for the fault-propagation experiments (E9).
+struct ClusterMetrics {
+  std::uint64_t steps = 0;
+  std::uint64_t guardian_blocks_window = 0;
+  std::uint64_t guardian_blocks_signal = 0;
+  std::uint64_t guardian_blocks_masquerade = 0;
+  std::uint64_t guardian_blocks_bad_cstate = 0;
+  std::uint64_t guardian_reshapes = 0;
+  std::uint64_t sos_disagreements = 0;  ///< slots where receivers disagreed
+  /// Integrations that adopted a frame whose claimed slot position differed
+  /// from its physical sender's schedule — a successful masquerade.
+  std::uint64_t masquerade_integrations = 0;
+  /// Integrations that adopted a frame no node transmitted in that slot
+  /// (i.e. a frame replayed by a buffering coupler).
+  std::uint64_t replay_integrations = 0;
+};
+
+class Cluster {
+ public:
+  Cluster(const ClusterConfig& config, FaultInjector injector);
+
+  /// Advances one TDMA slot.
+  void step();
+
+  /// Advances `n` slots.
+  void run(std::uint64_t n);
+
+  /// Runs until every healthy node is active, or `max_steps` elapse.
+  /// Returns true on success.
+  bool run_until_all_healthy_active(std::uint64_t max_steps);
+
+  const SimNode& node(ttpc::NodeId id) const;
+  std::uint64_t now() const { return step_; }
+  const ttpc::Medl& medl() const { return medl_; }
+  const ClusterConfig& config() const { return config_; }
+  const EventLog& log() const { return log_; }
+  const ClusterMetrics& metrics() const { return metrics_; }
+
+  std::size_t count_in_state(ttpc::CtrlState s) const;
+  bool node_is_healthy(ttpc::NodeId id) const {
+    return !injector_.node_ever_faulty(id);
+  }
+  bool all_healthy_in_state(ttpc::CtrlState s) const;
+
+  /// Nodes that integrated (active/passive) and are now frozen — the
+  /// violation of the paper's correctness criterion.
+  std::vector<ttpc::NodeId> integrated_then_frozen() const;
+
+  /// Nodes ever forced out of the cluster by a clique-avoidance error after
+  /// integrating (latched across host restarts).
+  std::vector<ttpc::NodeId> ever_clique_frozen() const;
+
+  /// Count of *healthy* nodes in ever_clique_frozen() — the headline metric
+  /// of the fault-propagation experiments.
+  std::size_t healthy_clique_frozen() const;
+
+ private:
+  struct ChannelOutput {
+    SimFrame content;
+    std::vector<guardian::GuardianAction> actions;
+    /// Port whose transmission ended up on the channel; 0 when the channel
+    /// carries silence, noise, a collision, or a coupler-replayed frame.
+    ttpc::NodeId physical_sender = 0;
+  };
+
+  ChannelOutput arbitrate_star(int channel,
+                               const std::vector<SimFrame>& transmissions);
+  ChannelOutput arbitrate_bus(int channel,
+                              const std::vector<SimFrame>& transmissions);
+
+  ClusterConfig config_;
+  FaultInjector injector_;
+  ttpc::Medl medl_;
+
+  std::vector<SimNode> nodes_;
+  std::vector<guardian::CentralGuardian> hubs_;      ///< star: one per channel
+  std::vector<guardian::LocalGuardian> local_bgs_;   ///< bus: one per node
+  std::vector<SlotTracker> hub_trackers_;            ///< star: per channel
+  std::vector<SlotTracker> local_trackers_;          ///< bus: per node
+
+  std::uint64_t step_ = 0;
+  EventLog log_;
+  ClusterMetrics metrics_;
+};
+
+}  // namespace tta::sim

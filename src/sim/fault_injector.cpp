@@ -1,0 +1,72 @@
+#include "sim/fault_injector.h"
+
+namespace tta::sim {
+
+const char* to_string(NodeFaultMode mode) {
+  switch (mode) {
+    case NodeFaultMode::kNone:
+      return "none";
+    case NodeFaultMode::kSilent:
+      return "silent";
+    case NodeFaultMode::kBabbling:
+      return "babbling_idiot";
+    case NodeFaultMode::kMasqueradeColdStart:
+      return "masquerade_cold_start";
+    case NodeFaultMode::kBadCState:
+      return "bad_c_state";
+    case NodeFaultMode::kSosValue:
+      return "sos_value";
+    case NodeFaultMode::kSosTime:
+      return "sos_time";
+  }
+  return "?";
+}
+
+guardian::CouplerFault FaultInjector::coupler_fault(int ch,
+                                                    std::uint64_t step) const {
+  guardian::CouplerFault active = guardian::CouplerFault::kNone;
+  for (const auto& w : coupler_) {
+    if (w.channel == ch && step >= w.from_step && step <= w.to_step) {
+      active = w.fault;
+    }
+  }
+  return active;
+}
+
+NodeFaultMode FaultInjector::node_fault(ttpc::NodeId node,
+                                        std::uint64_t step) const {
+  NodeFaultMode active = NodeFaultMode::kNone;
+  for (const auto& w : node_) {
+    if (w.node == node && step >= w.from_step && step <= w.to_step) {
+      active = w.mode;
+    }
+  }
+  return active;
+}
+
+guardian::LocalGuardianFault FaultInjector::local_guardian_fault(
+    ttpc::NodeId node, std::uint64_t step) const {
+  guardian::LocalGuardianFault active = guardian::LocalGuardianFault::kNone;
+  for (const auto& w : local_guardian_) {
+    if (w.node == node && step >= w.from_step && step <= w.to_step) {
+      active = w.fault;
+    }
+  }
+  return active;
+}
+
+bool FaultInjector::node_ever_faulty(ttpc::NodeId node) const {
+  for (const auto& w : node_) {
+    if (w.node == node && w.mode != NodeFaultMode::kNone) return true;
+  }
+  for (const auto& w : local_guardian_) {
+    // A faulty local guardian makes its *node* the faulty unit under the
+    // TTP/C fault hypothesis (node + guardian form one FCR on the bus).
+    if (w.node == node && w.fault != guardian::LocalGuardianFault::kNone) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tta::sim

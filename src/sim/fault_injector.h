@@ -1,0 +1,80 @@
+// Deterministic fault-injection schedules.
+//
+// The SWIFI / heavy-ion campaigns of Ademaj et al. [7] are reproduced here
+// as *scheduled* faults: each entry names a target component, a fault from
+// that component's dictionary, and the step window during which it is
+// active. Determinism matters — every experiment in EXPERIMENTS.md is a
+// fixed schedule, not a random draw, so a failing case replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "guardian/authority.h"
+#include "guardian/local_guardian.h"
+#include "ttpc/types.h"
+
+namespace tta::sim {
+
+/// Node fault dictionary (the fault modes of [7] plus fail-silence).
+enum class NodeFaultMode : std::uint8_t {
+  kNone = 0,
+  kSilent,               ///< fail-silent: never transmits
+  kBabbling,             ///< transmits in every slot (babbling idiot)
+  kMasqueradeColdStart,  ///< cold-start frames claiming another node's slot
+  kBadCState,            ///< frames carrying an incorrect C-state position
+  kSosValue,             ///< marginal signal amplitude (value-domain SOS)
+  kSosTime               ///< marginal frame timing (time-domain SOS)
+};
+
+const char* to_string(NodeFaultMode mode);
+
+struct CouplerFaultWindow {
+  int channel = 0;  ///< 0 or 1
+  guardian::CouplerFault fault = guardian::CouplerFault::kNone;
+  std::uint64_t from_step = 0;
+  std::uint64_t to_step = UINT64_MAX;  ///< inclusive
+};
+
+struct NodeFaultWindow {
+  ttpc::NodeId node = 0;
+  NodeFaultMode mode = NodeFaultMode::kNone;
+  std::uint64_t from_step = 0;
+  std::uint64_t to_step = UINT64_MAX;
+};
+
+struct LocalGuardianFaultWindow {
+  ttpc::NodeId node = 0;
+  guardian::LocalGuardianFault fault = guardian::LocalGuardianFault::kNone;
+  std::uint64_t from_step = 0;
+  std::uint64_t to_step = UINT64_MAX;
+};
+
+class FaultInjector {
+ public:
+  void add(const CouplerFaultWindow& w) { coupler_.push_back(w); }
+  void add(const NodeFaultWindow& w) { node_.push_back(w); }
+  void add(const LocalGuardianFaultWindow& w) { local_guardian_.push_back(w); }
+
+  /// Active fault for channel `ch` at `step` (kNone if none scheduled).
+  /// Later entries win when windows overlap.
+  guardian::CouplerFault coupler_fault(int ch, std::uint64_t step) const;
+  NodeFaultMode node_fault(ttpc::NodeId node, std::uint64_t step) const;
+  guardian::LocalGuardianFault local_guardian_fault(ttpc::NodeId node,
+                                                    std::uint64_t step) const;
+
+  /// True if any schedule entry makes this node faulty at any time — used to
+  /// separate "healthy" from "faulty" nodes in the metrics.
+  bool node_ever_faulty(ttpc::NodeId node) const;
+
+  bool empty() const {
+    return coupler_.empty() && node_.empty() && local_guardian_.empty();
+  }
+
+ private:
+  std::vector<CouplerFaultWindow> coupler_;
+  std::vector<NodeFaultWindow> node_;
+  std::vector<LocalGuardianFaultWindow> local_guardian_;
+};
+
+}  // namespace tta::sim

@@ -1,0 +1,105 @@
+#include "sim/frame_pipeline.h"
+
+#include "util/check.h"
+
+namespace tta::sim {
+
+const char* to_string(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kNull:
+      return "null";
+    case FrameStatus::kInvalid:
+      return "invalid";
+    case FrameStatus::kIncorrect:
+      return "incorrect";
+    case FrameStatus::kCorrect:
+      return "correct";
+  }
+  return "?";
+}
+
+FramePipeline::FramePipeline(int channel, wire::LineCoding line)
+    : channel_(channel), line_(line) {
+  TTA_CHECK(channel == 0 || channel == 1);
+}
+
+wire::BitStream FramePipeline::transmit(
+    const ttpc::CState& sender_state, bool explicit_cstate,
+    const std::vector<std::uint8_t>& payload) const {
+  wire::WireFrame frame;
+  frame.header.type =
+      explicit_cstate ? wire::WireFrameType::kI : wire::WireFrameType::kN;
+  frame.cstate = sender_state.to_image();
+  if (!explicit_cstate) frame.payload = payload;
+  return line_.encode(wire::encode_frame(frame, channel_));
+}
+
+wire::BitStream FramePipeline::transmit_cold_start(
+    std::uint16_t global_time, ttpc::SlotNumber round_slot) const {
+  wire::WireFrame frame;
+  frame.header.type = wire::WireFrameType::kColdStart;
+  frame.cstate.global_time = global_time;
+  frame.round_slot = round_slot;
+  return line_.encode(wire::encode_frame(frame, channel_));
+}
+
+void FramePipeline::corrupt(wire::BitStream& wire_image, util::Rng& rng,
+                            unsigned flips) {
+  TTA_CHECK(wire_image.size() >= flips);
+  // Flip `flips` distinct positions.
+  std::vector<std::size_t> chosen;
+  while (chosen.size() < flips) {
+    std::size_t pos = rng.next_below(wire_image.size());
+    bool dup = false;
+    for (std::size_t p : chosen) dup |= (p == pos);
+    if (!dup) {
+      chosen.push_back(pos);
+      wire_image.flip_bit(pos);
+    }
+  }
+}
+
+FramePipeline::Reception FramePipeline::receive(
+    const wire::BitStream& wire_image,
+    const ttpc::CState& receiver_state) const {
+  Reception r;
+  if (wire_image.empty()) {
+    r.status = FrameStatus::kNull;
+    return r;
+  }
+  auto frame_bits = line_.decode(wire_image);
+  if (!frame_bits.has_value()) {
+    r.status = FrameStatus::kInvalid;  // sync pattern destroyed
+    return r;
+  }
+  wire::DecodeResult decoded =
+      wire::decode_frame(*frame_bits, channel_, receiver_state.to_image());
+  if (decoded.status != wire::DecodeStatus::kOk) {
+    // Corruption, truncation — or an implicit C-state mismatch, which the
+    // receiver cannot tell apart from corruption.
+    r.status = FrameStatus::kInvalid;
+    return r;
+  }
+  r.frame = decoded.frame;
+  switch (decoded.frame.header.type) {
+    case wire::WireFrameType::kN:
+      // Decoding succeeded means the CRC — seeded with the receiver's own
+      // C-state — checked out: implicit agreement.
+      r.status = FrameStatus::kCorrect;
+      break;
+    case wire::WireFrameType::kI:
+    case wire::WireFrameType::kX:
+      r.status = decoded.frame.cstate == receiver_state.to_image()
+                     ? FrameStatus::kCorrect
+                     : FrameStatus::kIncorrect;
+      break;
+    case wire::WireFrameType::kColdStart:
+      // Carries no full C-state; schedule-position checks happen at the
+      // protocol layer.
+      r.status = FrameStatus::kCorrect;
+      break;
+  }
+  return r;
+}
+
+}  // namespace tta::sim

@@ -1,0 +1,78 @@
+// Bit-exact frame pipeline: one TDMA slot's end-to-end path at wire
+// fidelity.
+//
+//   sender C-state + payload --(encode: wire/frame)--> frame image
+//     --(line coding)--> wire image --(channel bit faults)-->
+//     --(line decode + frame decode per receiver)--> TTP/C frame status
+//
+// This refines the abstract slot model with the mechanics the paper's
+// Section 2 describes: the CRC seeded with the implicit C-state, explicit
+// C-state comparison, and the four-way TTP/C frame-status taxonomy. It
+// exposes a nuance the abstract model folds away: an *implicit* C-state
+// disagreement (N-frame) is physically indistinguishable from corruption —
+// the receiver sees an INVALID frame — while an *explicit* disagreement
+// (I/X-frame) yields a decodable-but-INCORRECT frame. Only the latter feeds
+// the clique-avoidance failed counter, which is why the abstract model's
+// id-comparison applies to explicit-C-state frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ttpc/cstate.h"
+#include "ttpc/medl.h"
+#include "util/rng.h"
+#include "wire/frame.h"
+#include "wire/line_coding.h"
+
+namespace tta::sim {
+
+/// TTP/C frame status as computed from real bits (Section 2.1: valid /
+/// correct / null, with invalid and incorrect as the failure flavors).
+enum class FrameStatus : std::uint8_t {
+  kNull = 0,      ///< no transmission observed
+  kInvalid = 1,   ///< activity, but not a decodable frame (noise, CRC fail,
+                  ///< damaged sync — or an implicit C-state disagreement!)
+  kIncorrect = 2, ///< decodable frame whose explicit C-state disagrees
+  kCorrect = 3    ///< decodable frame, C-state agrees
+};
+
+const char* to_string(FrameStatus status);
+
+class FramePipeline {
+ public:
+  FramePipeline(int channel, wire::LineCoding line);
+
+  /// Sender side: builds and encodes the frame scheduled for `slot`.
+  /// explicit_cstate selects an I-frame (C-state on the wire) vs an N-frame
+  /// (C-state folded into the CRC); `payload` applies to N-frames only.
+  wire::BitStream transmit(const ttpc::CState& sender_state,
+                           bool explicit_cstate,
+                           const std::vector<std::uint8_t>& payload = {}) const;
+
+  /// Cold-start frame (sent before time agreement exists).
+  wire::BitStream transmit_cold_start(std::uint16_t global_time,
+                                      ttpc::SlotNumber round_slot) const;
+
+  /// Channel-side fault injection: flips `flips` distinct bits in place.
+  static void corrupt(wire::BitStream& wire_image, util::Rng& rng,
+                      unsigned flips);
+
+  struct Reception {
+    FrameStatus status = FrameStatus::kNull;
+    wire::WireFrame frame;  ///< meaningful for kCorrect / kIncorrect
+  };
+
+  /// Receiver side: judges a wire image against the receiver's C-state.
+  Reception receive(const wire::BitStream& wire_image,
+                    const ttpc::CState& receiver_state) const;
+
+  const wire::LineCoding& line() const { return line_; }
+  int channel() const { return channel_; }
+
+ private:
+  int channel_;
+  wire::LineCoding line_;
+};
+
+}  // namespace tta::sim

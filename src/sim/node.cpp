@@ -1,0 +1,196 @@
+#include "sim/node.h"
+
+namespace tta::sim {
+
+namespace {
+
+bool is_tracking_membership(ttpc::CtrlState s) {
+  // Cold-starting and integrated nodes maintain a membership view; nodes in
+  // listen have none yet (they are about to adopt one).
+  return s == ttpc::CtrlState::kColdStart || ttpc::is_integrated(s);
+}
+
+}  // namespace
+
+SimNode::SimNode(ttpc::NodeId id, const ttpc::ProtocolConfig& cfg,
+                 const ttpc::Medl& medl, wire::ReceiverTolerance tolerance,
+                 std::uint64_t power_on_step, TransmitterProfile profile,
+                 bool restart_after_freeze)
+    : id_(id),
+      controller_(cfg),
+      medl_(medl),
+      tolerance_(tolerance),
+      power_on_step_(power_on_step),
+      profile_(profile),
+      restart_after_freeze_(restart_after_freeze) {}
+
+SimFrame SimNode::transmit(NodeFaultMode fault, std::uint64_t step) const {
+  SimFrame out;
+  ttpc::ChannelFrame f = controller_.frame_to_send(state_, id_);
+  switch (fault) {
+    case NodeFaultMode::kNone:
+      break;
+    case NodeFaultMode::kSilent:
+      return out;  // transmitter dead
+    case NodeFaultMode::kBabbling:
+      // Drives the medium in *every* slot, regardless of schedule.
+      f = ttpc::ChannelFrame{ttpc::FrameKind::kOther, medl_.slot_of(id_)};
+      break;
+    case NodeFaultMode::kMasqueradeColdStart: {
+      // A persistent startup masquerader: while unsynchronized it emits a
+      // cold-start frame once per round claiming the *next* node's slot
+      // (a faulty node is not bound by the protocol's retreat rules — the
+      // fault hypothesis allows arbitrary behaviour of one component).
+      ttpc::SlotNumber victim =
+          controller_.config().next_slot(medl_.slot_of(id_));
+      if (f.kind == ttpc::FrameKind::kColdStart) {
+        f.id = victim;
+      } else if (f.kind == ttpc::FrameKind::kNone &&
+                 (state_.state == ttpc::CtrlState::kListen ||
+                  state_.state == ttpc::CtrlState::kColdStart) &&
+                 step % controller_.config().num_slots == 0) {
+        f = ttpc::ChannelFrame{ttpc::FrameKind::kColdStart, victim};
+      }
+      break;
+    }
+    case NodeFaultMode::kBadCState:
+      if (f.kind == ttpc::FrameKind::kCState) {
+        // Carry a C-state one slot ahead of reality.
+        f.id = controller_.config().next_slot(f.id);
+      }
+      break;
+    case NodeFaultMode::kSosValue:
+    case NodeFaultMode::kSosTime:
+      break;  // frame content fine; attrs handled below
+  }
+  if (f.kind == ttpc::FrameKind::kNone) return out;
+
+  // TTP/C membership point: a transmitting node asserts its own liveness —
+  // the C-state it sends includes its own membership bit.
+  f.membership = static_cast<std::uint16_t>(
+      membership_ | static_cast<std::uint16_t>(1u << (id_ - 1)));
+  out.frame = f;
+  switch (fault) {
+    case NodeFaultMode::kSosValue:
+      out.attrs = profile_.sos_value;
+      break;
+    case NodeFaultMode::kSosTime:
+      out.attrs = profile_.sos_time;
+      break;
+    default:
+      out.attrs = profile_.nominal;
+      break;
+  }
+  return out;
+}
+
+ttpc::ChannelFrame SimNode::judge(const SimFrame& f) const {
+  if (f.frame.kind == ttpc::FrameKind::kNone ||
+      f.frame.kind == ttpc::FrameKind::kBad) {
+    return f.frame;
+  }
+  // Value-domain judgment: a signal below this receiver's amplitude floor is
+  // simply not detected — the slot looks silent.
+  if (f.attrs.amplitude_mv < tolerance_.min_amplitude_mv) {
+    return ttpc::ChannelFrame{};
+  }
+  // Time-domain judgment: activity outside this receiver's window is an
+  // *invalid* frame (traffic that violates the slot rules) — it feeds
+  // neither clique counter, like noise.
+  if (f.attrs.timing_offset_ns > tolerance_.window_ns ||
+      f.attrs.timing_offset_ns < -tolerance_.window_ns) {
+    return ttpc::ChannelFrame{ttpc::FrameKind::kBad, 0};
+  }
+  // Membership agreement — the C-state comparison the abstract model folds
+  // into the id check. The receiver compares against its own mask with the
+  // current slot's scheduled sender marked present (the sender asserts its
+  // own liveness at its membership point; the receiver grants it that bit
+  // and verifies everything else). A valid frame whose image still
+  // disagrees is an *incorrect* frame: we keep its kind but zero the id so
+  // the classifier counts it as failed. Only nodes that already have a
+  // C-state can perform the check; an integrating listener cannot (the
+  // paper's integration hazard).
+  if (is_tracking_membership(state_.state) &&
+      (f.frame.kind == ttpc::FrameKind::kCState ||
+       f.frame.kind == ttpc::FrameKind::kOther)) {
+    ttpc::NodeId expected_sender = medl_.sender_of(state_.slot);
+    std::uint16_t expected_mask = static_cast<std::uint16_t>(
+        membership_ | static_cast<std::uint16_t>(1u << (expected_sender - 1)));
+    if (f.frame.membership != expected_mask) {
+      return ttpc::ChannelFrame{f.frame.kind, 0, f.frame.membership};
+    }
+  }
+  return f.frame;
+}
+
+unsigned SimNode::choice(std::uint64_t step) const {
+  switch (state_.state) {
+    case ttpc::CtrlState::kFreeze:
+      // A clique-frozen node re-initializes only when the host awakens it.
+      if (ever_clique_frozen_ && !restart_after_freeze_) return 0u;
+      return step >= power_on_step_ ? 1u : 0u;
+    case ttpc::CtrlState::kInit:
+      return 1u;  // initialization completes in one slot
+    default:
+      return 0u;
+  }
+}
+
+ttpc::StepEvent SimNode::advance(const SimFrame& ch0, const SimFrame& ch1,
+                                 std::uint64_t step) {
+  ttpc::ChannelView view{judge(ch0), judge(ch1)};
+  const ttpc::NodeState before = state_;
+
+  ttpc::StepOutcome outcome =
+      controller_.step(before, id_, view, choice(step));
+
+  // Membership bookkeeping (simulator refinement; see class comment).
+  if (is_tracking_membership(before.state)) {
+    ttpc::SlotVerdict verdict =
+        ttpc::classify_view(view, before.slot, controller_.config());
+    ttpc::NodeId sender = medl_.sender_of(before.slot);
+    std::uint16_t bit = static_cast<std::uint16_t>(1u << (sender - 1));
+    if (verdict == ttpc::SlotVerdict::kAgreed) {
+      membership_ = static_cast<std::uint16_t>(membership_ | bit);
+    } else {
+      membership_ = static_cast<std::uint16_t>(membership_ & ~bit);
+    }
+  }
+  switch (outcome.event) {
+    case ttpc::StepEvent::kIntegratedOnCState:
+    case ttpc::StepEvent::kIntegratedOnColdStart: {
+      // Adopt the C-state (membership image) of the frame integrated on,
+      // mirroring the controller's integration preference: explicit C-state
+      // first, channel 0 first.
+      ttpc::ChannelFrame j0 = judge(ch0);
+      ttpc::FrameKind wanted =
+          outcome.event == ttpc::StepEvent::kIntegratedOnCState
+              ? ttpc::FrameKind::kCState
+              : ttpc::FrameKind::kColdStart;
+      last_integration_channel_ = j0.kind == wanted ? 0 : 1;
+      membership_ = last_integration_channel_ == 0 ? ch0.frame.membership
+                                                   : ch1.frame.membership;
+      break;
+    }
+    case ttpc::StepEvent::kListenTimeout:
+      // Entering cold start: the node's world is itself.
+      membership_ = static_cast<std::uint16_t>(1u << (id_ - 1));
+      break;
+    case ttpc::StepEvent::kCliqueFreeze:
+    case ttpc::StepEvent::kHostFreeze:
+    case ttpc::StepEvent::kCliqueBackToListen:
+      membership_ = 0;
+      break;
+    default:
+      break;
+  }
+
+  state_ = outcome.next;
+  if (ttpc::is_integrated(state_.state)) ever_integrated_ = true;
+  if (outcome.event == ttpc::StepEvent::kCliqueFreeze && ever_integrated_) {
+    ever_clique_frozen_ = true;
+  }
+  return outcome.event;
+}
+
+}  // namespace tta::sim

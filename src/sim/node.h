@@ -1,0 +1,96 @@
+// One simulated TTP/C node: the shared protocol controller plus the
+// frame-level refinements the abstract model omits.
+//
+// Refinements over the formal model (all documented in DESIGN.md §3):
+//  * receiver tolerances — each node judges incoming signal attributes with
+//    its own hardware thresholds, which is what makes SOS faults possible;
+//  * a membership mask — integrated nodes track who is alive and compare the
+//    mask carried in received C-states against their own, reproducing the
+//    membership divergence that lets SOS faults freeze healthy nodes;
+//  * fault modes — a SimNode can be turned into a babbling idiot, a startup
+//    masquerader, a bad-C-state sender, an SOS transmitter, or a silent box.
+//
+// Crucially, nodes in the listen state do NOT check memberships or ids: an
+// integrating node has no C-state to compare against and must trust the
+// first valid frame it sees — the vulnerability at the center of the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/fault_injector.h"
+#include "ttpc/controller.h"
+#include "ttpc/medl.h"
+#include "wire/signal.h"
+
+namespace tta::sim {
+
+/// What one channel carries during one slot, at simulator fidelity.
+struct SimFrame {
+  ttpc::ChannelFrame frame;  ///< kind, claimed slot id, membership image
+  wire::SignalAttrs attrs = wire::nominal_signal();
+};
+
+/// Analog attribute values a node's transmitter produces per fault mode.
+struct TransmitterProfile {
+  wire::SignalAttrs nominal = wire::nominal_signal();
+  wire::SignalAttrs sos_value;  ///< marginal amplitude
+  wire::SignalAttrs sos_time;   ///< marginal timing
+};
+
+class SimNode {
+ public:
+  SimNode(ttpc::NodeId id, const ttpc::ProtocolConfig& cfg,
+          const ttpc::Medl& medl, wire::ReceiverTolerance tolerance,
+          std::uint64_t power_on_step, TransmitterProfile profile,
+          bool restart_after_freeze);
+
+  ttpc::NodeId id() const { return id_; }
+  const ttpc::NodeState& state() const { return state_; }
+  std::uint16_t membership() const { return membership_; }
+
+  /// This step's attempted transmission, with `fault` applied. `step` lets
+  /// rhythmic faults (the persistent startup masquerader) pace themselves.
+  SimFrame transmit(NodeFaultMode fault, std::uint64_t step) const;
+
+  /// Advances one TDMA slot given the raw channel contents. Performs the
+  /// per-receiver signal judgment and membership comparison, then delegates
+  /// the protocol transition to the shared Controller.
+  ttpc::StepEvent advance(const SimFrame& ch0, const SimFrame& ch1,
+                          std::uint64_t step);
+
+  /// True once the node has ever reached active or passive.
+  bool ever_integrated() const { return ever_integrated_; }
+
+  /// True once the node, having integrated, was forced into freeze by a
+  /// clique-avoidance error — the paper's property violation. Latched: a
+  /// later host restart does not clear it.
+  bool ever_clique_frozen() const { return ever_clique_frozen_; }
+
+  /// Channel (0/1) the most recent integration used; meaningful only right
+  /// after advance() returned an integration event.
+  int last_integration_channel() const { return last_integration_channel_; }
+
+ private:
+  /// Raw channel frame -> this receiver's view of it.
+  ttpc::ChannelFrame judge(const SimFrame& f) const;
+
+  /// Startup choice policy: progress freeze->init->listen once powered on.
+  unsigned choice(std::uint64_t step) const;
+
+  ttpc::NodeId id_;
+  ttpc::Controller controller_;
+  ttpc::Medl medl_;
+  wire::ReceiverTolerance tolerance_;
+  std::uint64_t power_on_step_;
+  TransmitterProfile profile_;
+
+  bool restart_after_freeze_;
+
+  ttpc::NodeState state_;
+  std::uint16_t membership_ = 0;
+  bool ever_integrated_ = false;
+  bool ever_clique_frozen_ = false;
+  int last_integration_channel_ = 0;
+};
+
+}  // namespace tta::sim

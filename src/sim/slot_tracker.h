@@ -1,0 +1,77 @@
+// Guardian-side slot synchronization.
+//
+// A guardian (central or local) can only police time windows after it has a
+// slot base of its own. Like the nodes, it acquires one by listening: any
+// identifiable frame pins the current slot, after which the tracker
+// free-runs with the TDMA schedule. Before the first identifiable frame the
+// tracker reports "unsynchronized" — the window in which neither topology
+// can police timing, which is why startup faults need semantic analysis.
+#pragma once
+
+#include <optional>
+
+#include "ttpc/config.h"
+#include "ttpc/types.h"
+
+namespace tta::sim {
+
+class SlotTracker {
+ public:
+  explicit SlotTracker(const ttpc::ProtocolConfig& cfg) : cfg_(cfg) {}
+
+  /// Slot believed current for the *upcoming* step; nullopt if unsynced.
+  std::optional<ttpc::SlotNumber> current() const { return slot_; }
+
+  /// Feeds the channel contents observed during one step; must be called
+  /// exactly once per step, after the step's traffic is known.
+  ///
+  /// Policy: pin on the first identifiable frame, then free-run on the
+  /// guardian's own (independent) clock. A synced tracker does NOT re-pin on
+  /// every frame — otherwise a single frame carrying a wrong slot id would
+  /// drag every guardian's window off the real schedule. It re-syncs only
+  /// after kResyncThreshold *consecutive* identifiable frames disagree with
+  /// its prediction, which lets it follow a genuine cluster restart while
+  /// shrugging off isolated bad frames.
+  void observe(const ttpc::ChannelFrame& ch0, const ttpc::ChannelFrame& ch1) {
+    // Only frames that carry schedule position authoritatively (cold-start
+    // round-slot field, explicit C-state) can pin or correct the tracker; a
+    // babbling idiot's arbitrary traffic cannot drag the window clock.
+    auto sync_id = [](const ttpc::ChannelFrame& f) -> ttpc::SlotNumber {
+      if (f.kind == ttpc::FrameKind::kColdStart ||
+          f.kind == ttpc::FrameKind::kCState) {
+        return f.id;
+      }
+      return 0;
+    };
+    ttpc::SlotNumber id = sync_id(ch0);
+    if (id == 0) id = sync_id(ch1);
+    if (!slot_.has_value()) {
+      if (id != 0) slot_ = cfg_.next_slot(id);
+      return;
+    }
+    if (id != 0 && id != *slot_) {
+      if (++mismatches_ >= kResyncThreshold) {
+        slot_ = cfg_.next_slot(id);
+        mismatches_ = 0;
+        return;
+      }
+    } else if (id != 0) {
+      mismatches_ = 0;
+    }
+    slot_ = cfg_.next_slot(*slot_);
+  }
+
+  void reset() {
+    slot_.reset();
+    mismatches_ = 0;
+  }
+
+  static constexpr unsigned kResyncThreshold = 2;
+
+ private:
+  ttpc::ProtocolConfig cfg_;
+  std::optional<ttpc::SlotNumber> slot_;
+  unsigned mismatches_ = 0;
+};
+
+}  // namespace tta::sim

@@ -1,0 +1,17 @@
+// Network topologies under comparison (Figures 1 and 2 of the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace tta::sim {
+
+enum class Topology : std::uint8_t {
+  kBus = 0,  ///< shared buses, one local bus guardian per node (Figure 1)
+  kStar = 1  ///< two star couplers with central bus guardians (Figure 2)
+};
+
+inline const char* to_string(Topology t) {
+  return t == Topology::kBus ? "bus" : "star";
+}
+
+}  // namespace tta::sim

@@ -1,0 +1,54 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace tta::sim {
+
+namespace {
+
+std::string frame_str(const ttpc::ChannelFrame& f) {
+  if (f.kind == ttpc::FrameKind::kNone) return "-";
+  if (f.kind == ttpc::FrameKind::kBad) return "noise";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s(id=%u)", ttpc::to_string(f.kind), f.id);
+  return buf;
+}
+
+}  // namespace
+
+std::string EventLog::render(std::size_t max_steps) const {
+  std::string out;
+  std::size_t begin = 0;
+  if (max_steps != 0 && records_.size() > max_steps) {
+    begin = records_.size() - max_steps;
+  }
+  char buf[160];
+  for (std::size_t i = begin; i < records_.size(); ++i) {
+    const StepRecord& r = records_[i];
+    std::snprintf(buf, sizeof buf, "step %4llu  ch0=%-18s ch1=%-18s\n",
+                  static_cast<unsigned long long>(r.step),
+                  frame_str(r.channel0).c_str(), frame_str(r.channel1).c_str());
+    out += buf;
+    for (std::size_t n = 0; n < r.nodes.size(); ++n) {
+      const NodeSnapshot& ns = r.nodes[n];
+      std::snprintf(buf, sizeof buf,
+                    "    node %zu: %-10s slot=%u agreed=%u failed=%u", n + 1,
+                    ttpc::to_string(ns.state.state), ns.state.slot,
+                    ns.state.agreed, ns.state.failed);
+      out += buf;
+      if (ns.sent.kind != ttpc::FrameKind::kNone) {
+        out += "  [sent ";
+        out += frame_str(ns.sent);
+        out += "]";
+      }
+      if (ns.event != ttpc::StepEvent::kNone) {
+        out += "  <- ";
+        out += ttpc::to_string(ns.event);
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace tta::sim

@@ -1,0 +1,50 @@
+// Event trace of a simulation run.
+//
+// Stores one record per step: what both channels carried, every node's
+// controller state, and any protocol events — enough to print a paper-style
+// narration of a run and for tests to assert on specific steps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "guardian/central_guardian.h"
+#include "ttpc/controller.h"
+#include "ttpc/types.h"
+
+namespace tta::sim {
+
+struct NodeSnapshot {
+  ttpc::NodeState state;
+  ttpc::StepEvent event = ttpc::StepEvent::kNone;
+  ttpc::ChannelFrame sent;  ///< what this node attempted to transmit
+};
+
+struct StepRecord {
+  std::uint64_t step = 0;
+  ttpc::ChannelFrame channel0;
+  ttpc::ChannelFrame channel1;
+  std::vector<NodeSnapshot> nodes;  ///< index 0 = node 1
+  std::vector<guardian::GuardianAction> guardian_actions0;  ///< star only
+  std::vector<guardian::GuardianAction> guardian_actions1;  ///< star only
+};
+
+class EventLog {
+ public:
+  void record(StepRecord rec) { records_.push_back(std::move(rec)); }
+
+  const std::vector<StepRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Multi-line human-readable rendering of the last `max_steps` steps
+  /// (everything if 0); the format mirrors the paper's trace narration.
+  std::string render(std::size_t max_steps = 0) const;
+
+ private:
+  std::vector<StepRecord> records_;
+};
+
+}  // namespace tta::sim

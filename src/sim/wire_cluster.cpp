@@ -1,0 +1,322 @@
+#include "sim/wire_cluster.h"
+
+#include "util/check.h"
+
+namespace tta::sim {
+
+namespace {
+
+bool is_tracking(ttpc::CtrlState s) {
+  return s == ttpc::CtrlState::kColdStart || ttpc::is_integrated(s);
+}
+
+/// Deterministic collision/noise image: all-ones, which can never satisfy
+/// the alternating line-coding preamble, so every receiver sees kInvalid.
+wire::BitStream noise_stream() {
+  wire::BitStream bs;
+  bs.push_bits(~0ull, 64);
+  return bs;
+}
+
+}  // namespace
+
+WireNode::WireNode(ttpc::NodeId id, const ttpc::ProtocolConfig& cfg,
+                   const ttpc::Medl& medl, std::uint64_t power_on_step)
+    : id_(id), controller_(cfg), medl_(medl), power_on_step_(power_on_step) {}
+
+wire::BitStream WireNode::transmit(const FramePipeline& pipeline) const {
+  ttpc::ChannelFrame f = controller_.frame_to_send(state_, id_);
+  switch (f.kind) {
+    case ttpc::FrameKind::kCState: {
+      // Membership point: the sender's image asserts its own liveness.
+      ttpc::CState image = cstate_;
+      image.set_member(id_, true);
+      return pipeline.transmit(image, /*explicit_cstate=*/true);
+    }
+    case ttpc::FrameKind::kColdStart:
+      return pipeline.transmit_cold_start(cstate_.global_time(), f.id);
+    default:
+      return wire::BitStream{};
+  }
+}
+
+ttpc::CState WireNode::expected_cstate() const {
+  ttpc::CState expected = cstate_;
+  expected.set_member(medl_.sender_of(state_.slot), true);
+  return expected;
+}
+
+ttpc::ChannelFrame WireNode::to_abstract(
+    const FramePipeline::Reception& r) const {
+  switch (r.status) {
+    case FrameStatus::kNull:
+      return ttpc::ChannelFrame{};
+    case FrameStatus::kInvalid:
+      return ttpc::ChannelFrame{ttpc::FrameKind::kBad, 0};
+    case FrameStatus::kCorrect:
+    case FrameStatus::kIncorrect:
+      break;
+  }
+  if (r.frame.header.type == wire::WireFrameType::kColdStart) {
+    return ttpc::ChannelFrame{ttpc::FrameKind::kColdStart,
+                              static_cast<ttpc::SlotNumber>(r.frame.round_slot),
+                              0};
+  }
+  // Explicit-C-state frame. An integrated receiver that found the image
+  // disagreeing holds an *incorrect* frame: zero the id so the abstract
+  // classifier counts it as failed. A listening receiver has nothing to
+  // compare against and takes the image at face value — the integration
+  // hazard, preserved at wire fidelity.
+  if (r.status == FrameStatus::kIncorrect && is_tracking(state_.state)) {
+    return ttpc::ChannelFrame{ttpc::FrameKind::kCState, 0,
+                              r.frame.cstate.membership};
+  }
+  return ttpc::ChannelFrame{
+      ttpc::FrameKind::kCState,
+      static_cast<ttpc::SlotNumber>(r.frame.cstate.medl_position),
+      r.frame.cstate.membership};
+}
+
+unsigned WireNode::choice(std::uint64_t step) const {
+  switch (state_.state) {
+    case ttpc::CtrlState::kFreeze:
+      return step >= power_on_step_ ? 1u : 0u;
+    case ttpc::CtrlState::kInit:
+      return 1u;
+    default:
+      return 0u;
+  }
+}
+
+ttpc::StepEvent WireNode::advance(const FramePipeline& pipe0,
+                                  const FramePipeline& pipe1,
+                                  const wire::BitStream& ch0,
+                                  const wire::BitStream& ch1,
+                                  std::uint64_t step) {
+  ttpc::CState expected = expected_cstate();
+  FramePipeline::Reception r0 = pipe0.receive(ch0, expected);
+  FramePipeline::Reception r1 = pipe1.receive(ch1, expected);
+  ttpc::ChannelView view{to_abstract(r0), to_abstract(r1)};
+
+  const ttpc::NodeState before = state_;
+  ttpc::StepOutcome outcome =
+      controller_.step(before, id_, view, choice(step));
+
+  // Membership bookkeeping, as in the frame-level simulator.
+  if (is_tracking(before.state)) {
+    ttpc::SlotVerdict verdict =
+        ttpc::classify_view(view, before.slot, controller_.config());
+    cstate_.set_member(medl_.sender_of(before.slot),
+                       verdict == ttpc::SlotVerdict::kAgreed);
+    cstate_.advance(controller_.config());
+  }
+
+  switch (outcome.event) {
+    case ttpc::StepEvent::kIntegratedOnCState:
+    case ttpc::StepEvent::kIntegratedOnColdStart: {
+      // Adopt the C-state of the frame integrated on (controller
+      // preference: explicit C-state first, channel 0 first).
+      ttpc::FrameKind wanted =
+          outcome.event == ttpc::StepEvent::kIntegratedOnCState
+              ? ttpc::FrameKind::kCState
+              : ttpc::FrameKind::kColdStart;
+      const FramePipeline::Reception& src =
+          view.ch0.kind == wanted ? r0 : r1;
+      if (wanted == ttpc::FrameKind::kCState) {
+        cstate_ = ttpc::CState::from_image(src.frame.cstate);
+      } else {
+        ttpc::CState adopted(src.frame.cstate.global_time,
+                             static_cast<ttpc::SlotNumber>(src.frame.round_slot),
+                             0);
+        adopted.set_member(
+            medl_.sender_of(
+                static_cast<ttpc::SlotNumber>(src.frame.round_slot)),
+            true);
+        cstate_ = adopted;
+      }
+      cstate_.advance(controller_.config());  // the frame's slot just ended
+      break;
+    }
+    case ttpc::StepEvent::kListenTimeout: {
+      // Entering cold start: a fresh time base, alone in the world.
+      ttpc::CState fresh(1, id_, 0);
+      fresh.set_member(id_, true);
+      cstate_ = fresh;
+      break;
+    }
+    case ttpc::StepEvent::kCliqueFreeze:
+    case ttpc::StepEvent::kHostFreeze:
+    case ttpc::StepEvent::kCliqueBackToListen:
+      cstate_ = ttpc::CState{};
+      break;
+    default:
+      break;
+  }
+
+  state_ = outcome.next;
+  if (ttpc::is_integrated(state_.state)) ever_integrated_ = true;
+  if (outcome.event == ttpc::StepEvent::kCliqueFreeze) {
+    ever_clique_frozen_ = true;
+  }
+  TTA_DCHECK(!is_tracking(state_.state) ||
+             cstate_.round_slot() == state_.slot);
+  return outcome.event;
+}
+
+WireCluster::WireCluster(const WireClusterConfig& config,
+                         FaultInjector injector)
+    : config_(config),
+      injector_(std::move(injector)),
+      medl_(ttpc::Medl::uniform(config.protocol)),
+      buffered_(2) {
+  config_.protocol.validate();
+  const std::size_t n = config_.protocol.num_nodes;
+  if (config_.power_on_steps.empty()) {
+    for (std::size_t i = 0; i < n; ++i) config_.power_on_steps.push_back(i);
+  }
+  TTA_CHECK(config_.power_on_steps.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.emplace_back(static_cast<ttpc::NodeId>(i + 1), config_.protocol,
+                        medl_, config_.power_on_steps[i]);
+  }
+  for (int ch = 0; ch < 2; ++ch) {
+    pipelines_.emplace_back(ch, wire::LineCoding(config_.line_encoding_bits));
+  }
+}
+
+const WireNode& WireCluster::node(ttpc::NodeId id) const {
+  TTA_CHECK(id >= 1 && id <= nodes_.size());
+  return nodes_[id - 1];
+}
+
+wire::BitStream WireCluster::arbitrate(
+    int channel, const std::vector<wire::BitStream>& transmissions) {
+  wire::BitStream merged;
+  int senders = 0;
+  for (const auto& tx : transmissions) {
+    if (tx.empty()) continue;
+    ++senders;
+    merged = tx;
+  }
+  if (senders > 1) merged = noise_stream();
+
+  guardian::CouplerFault fault = injector_.coupler_fault(channel, step_);
+  if (!guardian::fault_possible(config_.authority, fault)) {
+    fault = guardian::CouplerFault::kNone;
+  }
+  switch (fault) {
+    case guardian::CouplerFault::kSilence:
+      merged.clear();
+      break;
+    case guardian::CouplerFault::kBadFrame:
+      merged = noise_stream();
+      break;
+    case guardian::CouplerFault::kOutOfSlot:
+      // At bit fidelity the replay is literal: the buffered frame *image*
+      // is driven onto the channel again — perfectly valid bits, stale
+      // content.
+      merged = buffered_[channel];
+      break;
+    case guardian::CouplerFault::kNone:
+      break;
+  }
+
+  // A full-shifting coupler's frame store tracks the last clean single-
+  // sender transmission it forwarded.
+  if (guardian::can_buffer_frames(config_.authority) &&
+      fault == guardian::CouplerFault::kNone && senders == 1) {
+    buffered_[channel] = merged;
+  }
+  return merged;
+}
+
+void WireCluster::step() {
+  const std::size_t n = nodes_.size();
+  std::vector<wire::BitStream> tx0, tx1;
+  tx0.reserve(n);
+  tx1.reserve(n);
+  for (const WireNode& node : nodes_) {
+    tx0.push_back(node.transmit(pipelines_[0]));
+    tx1.push_back(node.transmit(pipelines_[1]));
+  }
+  wire::BitStream ch0 = arbitrate(0, tx0);
+  wire::BitStream ch1 = arbitrate(1, tx1);
+
+  StepRecord rec;
+  rec.step = step_;
+  // Neutral rendering of the channel content for the log.
+  auto render = [&](const wire::BitStream& ch) {
+    FramePipeline::Reception r = pipelines_[0].receive(ch, ttpc::CState{});
+    switch (r.status) {
+      case FrameStatus::kNull:
+        return ttpc::ChannelFrame{};
+      case FrameStatus::kInvalid:
+        return ttpc::ChannelFrame{ttpc::FrameKind::kBad, 0};
+      default:
+        if (r.frame.header.type == wire::WireFrameType::kColdStart) {
+          return ttpc::ChannelFrame{
+              ttpc::FrameKind::kColdStart,
+              static_cast<ttpc::SlotNumber>(r.frame.round_slot)};
+        }
+        return ttpc::ChannelFrame{
+            ttpc::FrameKind::kCState,
+            static_cast<ttpc::SlotNumber>(r.frame.cstate.medl_position)};
+    }
+  };
+  rec.channel0 = render(ch0);
+  rec.channel1 = render(ch1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ttpc::StepEvent ev =
+        nodes_[i].advance(pipelines_[0], pipelines_[1], ch0, ch1, step_);
+    NodeSnapshot snap;
+    snap.state = nodes_[i].state();
+    snap.event = ev;
+    rec.nodes.push_back(snap);
+  }
+  if (config_.keep_log) log_.record(std::move(rec));
+  ++step_;
+}
+
+void WireCluster::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+bool WireCluster::run_until_all_active(std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (count_in_state(ttpc::CtrlState::kActive) == nodes_.size()) {
+      return true;
+    }
+    step();
+  }
+  return count_in_state(ttpc::CtrlState::kActive) == nodes_.size();
+}
+
+std::size_t WireCluster::count_in_state(ttpc::CtrlState s) const {
+  std::size_t c = 0;
+  for (const auto& node : nodes_) c += node.state().state == s;
+  return c;
+}
+
+std::size_t WireCluster::clique_frozen_count() const {
+  std::size_t c = 0;
+  for (const auto& node : nodes_) c += node.ever_clique_frozen();
+  return c;
+}
+
+bool WireCluster::integrated_cstates_agree() const {
+  const ttpc::CState* reference = nullptr;
+  for (const auto& node : nodes_) {
+    if (!ttpc::is_integrated(node.state().state)) continue;
+    if (reference == nullptr) {
+      reference = &node.cstate();
+    } else if (!(node.cstate().global_time() ==
+                     reference->global_time() &&
+                 node.cstate().round_slot() == reference->round_slot())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tta::sim

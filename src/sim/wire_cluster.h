@@ -1,0 +1,118 @@
+// Wire-fidelity cluster: the full TTP/C protocol running over real encoded
+// frames.
+//
+// Third fidelity level of the reproduction (abstract model -> frame-level
+// simulator -> this): every slot, senders *encode* genuine I-frames /
+// cold-start frames (wire::encode_frame via sim::FramePipeline), the
+// channel carries bit streams, and every receiver *decodes* them against
+// its own full C-state — global time, MEDL position, membership — with the
+// CRC doing the comparison work. The decoded TTP/C frame status is then
+// mapped back onto the abstract channel alphabet and fed to the *same*
+// ttpc::Controller the other two levels use, which makes refinement
+// testable: on fault-free runs the wire cluster's protocol-state evolution
+// must match the frame-level simulator step for step.
+//
+// The out-of-slot replay fault exists here too, at bit fidelity: a
+// full-shifting channel buffers the last frame image (the actual bits) and
+// can retransmit it in a later slot — a perfectly valid, perfectly stale
+// frame, which is exactly why receivers cannot reject it syntactically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "guardian/authority.h"
+#include "sim/fault_injector.h"
+#include "sim/frame_pipeline.h"
+#include "sim/trace.h"
+#include "ttpc/controller.h"
+#include "ttpc/cstate.h"
+#include "ttpc/medl.h"
+
+namespace tta::sim {
+
+struct WireClusterConfig {
+  ttpc::ProtocolConfig protocol;
+  guardian::Authority authority = guardian::Authority::kSmallShifting;
+  std::vector<std::uint64_t> power_on_steps;  ///< default staggered
+  unsigned line_encoding_bits = 4;
+  bool keep_log = true;
+};
+
+class WireNode {
+ public:
+  WireNode(ttpc::NodeId id, const ttpc::ProtocolConfig& cfg,
+           const ttpc::Medl& medl, std::uint64_t power_on_step);
+
+  ttpc::NodeId id() const { return id_; }
+  const ttpc::NodeState& state() const { return state_; }
+  const ttpc::CState& cstate() const { return cstate_; }
+  bool ever_integrated() const { return ever_integrated_; }
+  bool ever_clique_frozen() const { return ever_clique_frozen_; }
+
+  /// Encodes this slot's transmission (empty stream = silence).
+  wire::BitStream transmit(const FramePipeline& pipeline) const;
+
+  /// Decodes both channels against this node's C-state and advances the
+  /// shared controller.
+  ttpc::StepEvent advance(const FramePipeline& pipe0,
+                          const FramePipeline& pipe1,
+                          const wire::BitStream& ch0,
+                          const wire::BitStream& ch1, std::uint64_t step);
+
+ private:
+  /// Decoded reception -> the abstract channel alphabet.
+  ttpc::ChannelFrame to_abstract(const FramePipeline::Reception& r) const;
+
+  /// The C-state this node validates incoming frames against: its own,
+  /// with the current slot's scheduled sender marked present (the
+  /// membership point, as in the frame-level simulator).
+  ttpc::CState expected_cstate() const;
+
+  unsigned choice(std::uint64_t step) const;
+
+  ttpc::NodeId id_;
+  ttpc::Controller controller_;
+  ttpc::Medl medl_;
+  std::uint64_t power_on_step_;
+
+  ttpc::NodeState state_;
+  ttpc::CState cstate_;
+  bool ever_integrated_ = false;
+  bool ever_clique_frozen_ = false;
+};
+
+class WireCluster {
+ public:
+  WireCluster(const WireClusterConfig& config, FaultInjector injector);
+
+  void step();
+  void run(std::uint64_t n);
+  bool run_until_all_active(std::uint64_t max_steps);
+
+  const WireNode& node(ttpc::NodeId id) const;
+  std::uint64_t now() const { return step_; }
+  std::size_t count_in_state(ttpc::CtrlState s) const;
+  std::size_t clique_frozen_count() const;
+  const EventLog& log() const { return log_; }
+
+  /// C-state agreement among integrated nodes (the invariant CRC-based
+  /// validation is supposed to maintain).
+  bool integrated_cstates_agree() const;
+
+ private:
+  wire::BitStream arbitrate(int channel,
+                            const std::vector<wire::BitStream>& transmissions);
+
+  WireClusterConfig config_;
+  FaultInjector injector_;
+  ttpc::Medl medl_;
+  std::vector<WireNode> nodes_;
+  std::vector<FramePipeline> pipelines_;        ///< per channel
+  std::vector<wire::BitStream> buffered_;       ///< per channel (replay fault)
+  std::uint64_t step_ = 0;
+  EventLog log_;
+};
+
+}  // namespace tta::sim

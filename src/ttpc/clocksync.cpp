@@ -1,0 +1,115 @@
+#include "ttpc/clocksync.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace tta::ttpc {
+
+double fta_correction(std::vector<double> deviations, std::size_t k) {
+  if (deviations.size() <= 2 * k) return 0.0;
+  std::sort(deviations.begin(), deviations.end());
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = k; i + k < deviations.size(); ++i) {
+    sum += deviations[i];
+    ++n;
+  }
+  return sum / static_cast<double>(n);
+}
+
+ClockSyncSimulation::ClockSyncSimulation(const SyncConfig& config)
+    : config_(config),
+      offsets_(config.clocks.size(), 0.0),
+      rng_(config.seed) {
+  TTA_CHECK(config_.clocks.size() >= 2);
+  TTA_CHECK(config_.round_duration > 0.0);
+  TTA_CHECK(config_.sync_gain > 0.0 && config_.sync_gain <= 1.0);
+}
+
+SyncRoundSample ClockSyncSimulation::run_round() {
+  const std::size_t n = offsets_.size();
+
+  // 1. Free-running drift across the round.
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets_[i] += config_.clocks[i].drift_ppm * 1e-6 *
+                   config_.round_duration;
+  }
+
+  // 2. Each sender's frame leaves when *its* clock says so; the apparent
+  //    send-time error every receiver sees is the sender's offset plus the
+  //    sender's jitter this round (one draw per sender — all receivers see
+  //    the same physical edge).
+  std::vector<double> apparent(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double jitter = config_.clocks[i].jitter;
+    apparent[i] =
+        offsets_[i] + (jitter > 0.0
+                           ? (rng_.next_double() * 2.0 - 1.0) * jitter
+                           : 0.0);
+  }
+
+  // 3. Every node measures deviation = (sender's apparent time base) -
+  //    (its own), feeds the FTA, and corrects itself.
+  std::vector<double> corrections(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> deviations;
+    deviations.reserve(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == j) continue;
+      deviations.push_back(apparent[i] - offsets_[j]);
+    }
+    corrections[j] =
+        config_.sync_gain * fta_correction(deviations, config_.fta_discard);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    offsets_[j] += corrections[j];
+  }
+
+  return sample();
+}
+
+std::vector<SyncRoundSample> ClockSyncSimulation::run(std::size_t rounds) {
+  std::vector<SyncRoundSample> out;
+  out.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) out.push_back(run_round());
+  return out;
+}
+
+double ClockSyncSimulation::offset(std::size_t i) const {
+  TTA_CHECK(i < offsets_.size());
+  return offsets_[i];
+}
+
+SyncRoundSample ClockSyncSimulation::sample() const {
+  SyncRoundSample s;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    if (config_.clocks[i].faulty) continue;
+    lo = std::min(lo, offsets_[i]);
+    hi = std::max(hi, offsets_[i]);
+    s.accuracy = std::max(s.accuracy, std::abs(offsets_[i]));
+  }
+  s.precision = hi - lo;
+  return s;
+}
+
+double ClockSyncSimulation::precision_bound() const {
+  double drift_spread = 0.0;
+  double max_jitter = 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const ClockModel& c : config_.clocks) {
+    if (c.faulty) continue;
+    lo = std::min(lo, c.drift_ppm);
+    hi = std::max(hi, c.drift_ppm);
+    max_jitter = std::max(max_jitter, c.jitter);
+  }
+  drift_spread = (hi - lo) * 1e-6 * config_.round_duration;
+  return 2.0 * drift_spread + 4.0 * max_jitter;
+}
+
+}  // namespace tta::ttpc

@@ -1,0 +1,86 @@
+// Distributed clock synchronization (the TTP/C service the slot-synchronous
+// models abstract away).
+//
+// "Clock synchronization ... requires each node to observe frames sent by
+// other nodes and calculate the difference between each frame's actual
+// arrival time and the expected arrival time. This allows the observing
+// node to adjust its own internal clock" (paper, Section 2.1). TTP/C uses
+// the fault-tolerant average (FTA): collect the deviation measurements of a
+// round, discard the k largest and k smallest (so k Byzantine-faulty clocks
+// cannot steer the average), and apply the mean of the rest.
+//
+// This module provides the algorithm plus a tick-level simulation of an
+// oscillator ensemble running it, which quantifies the achieved precision —
+// the quantity that ultimately sizes the receive windows whose tolerance
+// spread makes SOS faults possible, and bounds the rho of eq. (2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tta::ttpc {
+
+/// Fault-tolerant average: sort, drop the `k` smallest and `k` largest,
+/// return the mean of the remainder. With 2k < n this tolerates k
+/// arbitrarily wrong measurements. Returns 0 for an empty (post-discard)
+/// set — a node with no usable measurements leaves its clock alone.
+double fta_correction(std::vector<double> deviations, std::size_t k = 1);
+
+/// One node's oscillator.
+struct ClockModel {
+  double drift_ppm = 0.0;  ///< systematic rate error
+  double jitter = 0.0;     ///< uniform per-measurement noise amplitude; a
+                           ///< Byzantine-faulty clock is modeled with huge
+                           ///< jitter (its apparent send times are garbage)
+  bool faulty = false;     ///< excluded from the precision metric
+};
+
+struct SyncConfig {
+  std::vector<ClockModel> clocks;   ///< one entry per node (>= 2)
+  double round_duration = 1.0;      ///< real time between resynchronizations
+  double sync_gain = 1.0;           ///< fraction of the correction applied
+  std::size_t fta_discard = 1;      ///< k of the fault-tolerant average
+  std::uint64_t seed = 1;           ///< jitter stream seed (deterministic)
+};
+
+struct SyncRoundSample {
+  double precision = 0.0;    ///< max pairwise offset among non-faulty clocks
+  double accuracy = 0.0;     ///< max |offset from real time| among non-faulty
+};
+
+/// Tick-level ensemble simulation: each round every clock drifts by
+/// drift_ppm * round_duration, every node measures every other clock's
+/// offset relative to itself (sender jitter applied), runs the FTA over the
+/// measurements, and corrects itself.
+class ClockSyncSimulation {
+ public:
+  explicit ClockSyncSimulation(const SyncConfig& config);
+
+  /// Advances one resynchronization round; returns the post-correction
+  /// sample.
+  SyncRoundSample run_round();
+
+  /// Runs `rounds` rounds and returns one sample per round.
+  std::vector<SyncRoundSample> run(std::size_t rounds);
+
+  /// Current offset of clock i from real time.
+  double offset(std::size_t i) const;
+
+  std::size_t num_clocks() const { return config_.clocks.size(); }
+
+  /// Steady-state precision bound for a healthy ensemble: one round of
+  /// maximal relative drift plus two jitter amplitudes (measurement + the
+  /// correction it induces). Tests and benches compare against this.
+  double precision_bound() const;
+
+ private:
+  SyncRoundSample sample() const;
+
+  SyncConfig config_;
+  std::vector<double> offsets_;  ///< local time - real time, per clock
+  util::Rng rng_;
+};
+
+}  // namespace tta::ttpc

@@ -1,0 +1,64 @@
+// Protocol model configuration.
+//
+// Every knob corresponds either to a parameter the paper states (cluster
+// size, big-bang rule) or to a documented modeling inference from DESIGN.md
+// §5 (host freezes, await/test branches, channel-fusion policy) so that the
+// sensitivity of the results to each inference is testable.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace tta::ttpc {
+
+struct ProtocolConfig {
+  /// Cluster size; the paper's model uses 4 nodes (A..D), one slot each.
+  std::uint8_t num_nodes = 4;
+  /// TDMA slots per round; node i sends in slot i, so num_slots >= num_nodes.
+  std::uint8_t num_slots = 4;
+
+  /// TTP/C "big bang": a listening node ignores the first cold-start frame
+  /// it sees and integrates only on the second. Disabling it is an ablation
+  /// that makes single masqueraded cold-starts strictly more dangerous.
+  bool big_bang_enabled = true;
+
+  /// Model the nondeterministic host-commanded active->passive/freeze
+  /// transitions. Off by default: the checked property quantifies over
+  /// *forced* freezes, so voluntary ones must be excluded (DESIGN.md §5.2).
+  bool allow_host_freeze = false;
+
+  /// Model the freeze->await/test branches. Off by default: they are
+  /// unconstrained sinks in the paper's model (DESIGN.md §5.1).
+  bool model_await_test = false;
+
+  /// Model the host awakening a frozen controller (freeze -> init). TTP/C
+  /// leaves reintegration to the host; disabling this makes freeze
+  /// absorbing, which is how the recoverability analysis asks "what if no
+  /// host intervenes?".
+  bool allow_reinit = true;
+
+  /// Channel fusion for the clique counters. TTP/C is optimistic: a correct
+  /// frame on either channel makes the slot agreed. The pessimistic variant
+  /// (any bad frame poisons the slot) is kept as an ablation that shows why
+  /// the optimistic rule is required for single-channel fault tolerance.
+  bool bad_dominates_fusion = false;
+
+  void validate() const {
+    TTA_CHECK(num_nodes >= 2 && num_nodes <= 16);
+    TTA_CHECK(num_slots >= num_nodes && num_slots <= 16);
+  }
+
+  std::uint8_t next_slot(std::uint8_t slot) const {
+    return slot == num_slots ? std::uint8_t{1}
+                             : static_cast<std::uint8_t>(slot + 1);
+  }
+
+  /// Initial listen-timeout load for a node: "the number of slots plus the
+  /// number of the slot that is assigned to the node" (Section 4.3).
+  std::uint8_t listen_timeout_for(std::uint8_t node_id) const {
+    return static_cast<std::uint8_t>(num_slots + node_id);
+  }
+};
+
+}  // namespace tta::ttpc

@@ -1,0 +1,416 @@
+#include "ttpc/controller.h"
+
+#include "util/check.h"
+
+namespace tta::ttpc {
+
+namespace {
+
+/// Saturation bound for the clique counters; they reset every round, so the
+/// bound only matters for state packing, never for the protocol logic.
+constexpr std::uint8_t kCounterCap = 15;
+
+enum class ChannelVerdict : std::uint8_t { kCorrect, kIncorrect, kNull };
+
+// TTP/C frame-status taxonomy: a *correct* frame is valid with matching
+// C-state; an *incorrect* frame is valid but disagrees on C-state (this is
+// what feeds the failed-slots counter); an *invalid* frame (noise, coding
+// violation, collision) or silence is *null* — it feeds neither clique
+// counter. Counting noise as failed would let a single bad_frame coupler
+// fault freeze a freshly integrated node, which contradicts both the TTP/C
+// design and the paper's verification result for non-buffering couplers.
+ChannelVerdict classify_channel(const ChannelFrame& f, SlotNumber slot) {
+  switch (f.kind) {
+    case FrameKind::kNone:
+    case FrameKind::kBad:
+      return ChannelVerdict::kNull;
+    case FrameKind::kColdStart:
+    case FrameKind::kCState:
+    case FrameKind::kOther:
+      // Correctness abstracts C-state agreement: the embedded slot id must
+      // match the receiver's own view of the current slot.
+      return f.id == slot ? ChannelVerdict::kCorrect
+                          : ChannelVerdict::kIncorrect;
+  }
+  return ChannelVerdict::kNull;
+}
+
+}  // namespace
+
+const char* to_string(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kNone:
+      return "none";
+    case FrameKind::kColdStart:
+      return "cold_start";
+    case FrameKind::kCState:
+      return "c_state";
+    case FrameKind::kOther:
+      return "other";
+    case FrameKind::kBad:
+      return "bad_frame";
+  }
+  return "?";
+}
+
+const char* to_string(CtrlState state) {
+  switch (state) {
+    case CtrlState::kFreeze:
+      return "freeze";
+    case CtrlState::kInit:
+      return "init";
+    case CtrlState::kListen:
+      return "listen";
+    case CtrlState::kColdStart:
+      return "cold_start";
+    case CtrlState::kActive:
+      return "active";
+    case CtrlState::kPassive:
+      return "passive";
+    case CtrlState::kTest:
+      return "test";
+    case CtrlState::kAwait:
+      return "await";
+    case CtrlState::kDownload:
+      return "download";
+  }
+  return "?";
+}
+
+const char* to_string(SlotVerdict verdict) {
+  switch (verdict) {
+    case SlotVerdict::kAgreed:
+      return "agreed";
+    case SlotVerdict::kFailed:
+      return "failed";
+    case SlotVerdict::kNull:
+      return "null";
+  }
+  return "?";
+}
+
+const char* to_string(StepEvent event) {
+  switch (event) {
+    case StepEvent::kNone:
+      return "none";
+    case StepEvent::kEnteredInit:
+      return "entered init";
+    case StepEvent::kEnteredListen:
+      return "entered listen";
+    case StepEvent::kBigBangArmed:
+      return "ignored first cold-start frame (big bang)";
+    case StepEvent::kIntegratedOnColdStart:
+      return "integrated on cold-start frame";
+    case StepEvent::kIntegratedOnCState:
+      return "integrated on C-state frame";
+    case StepEvent::kListenTimeout:
+      return "listen timeout expired, entering cold start";
+    case StepEvent::kSentColdStart:
+      return "sent cold-start frame";
+    case StepEvent::kSentCState:
+      return "sent C-state frame";
+    case StepEvent::kCliqueRetryColdStart:
+      return "no traffic observed, repeating cold start";
+    case StepEvent::kCliqueToActive:
+      return "clique test passed, entering active";
+    case StepEvent::kCliqueBackToListen:
+      return "clique test failed, back to listen";
+    case StepEvent::kCliqueFreeze:
+      return "FROZE due to clique avoidance error";
+    case StepEvent::kHostFreeze:
+      return "host commanded freeze";
+    case StepEvent::kHostPassive:
+      return "host commanded passive";
+  }
+  return "?";
+}
+
+SlotVerdict classify_view(const ChannelView& view, SlotNumber slot,
+                          const ProtocolConfig& cfg) {
+  ChannelVerdict v0 = classify_channel(view.ch0, slot);
+  ChannelVerdict v1 = classify_channel(view.ch1, slot);
+  bool any_correct =
+      v0 == ChannelVerdict::kCorrect || v1 == ChannelVerdict::kCorrect;
+  bool any_incorrect =
+      v0 == ChannelVerdict::kIncorrect || v1 == ChannelVerdict::kIncorrect;
+  if (cfg.bad_dominates_fusion) {
+    if (any_incorrect) return SlotVerdict::kFailed;
+    if (any_correct) return SlotVerdict::kAgreed;
+    return SlotVerdict::kNull;
+  }
+  if (any_correct) return SlotVerdict::kAgreed;
+  if (any_incorrect) return SlotVerdict::kFailed;
+  return SlotVerdict::kNull;
+}
+
+unsigned Controller::num_choices(const NodeState& s) const {
+  switch (s.state) {
+    case CtrlState::kFreeze:
+      // Without host intervention, a freeze *after* integration (clique
+      // expulsion) is absorbing; the initial power-on freeze is not.
+      if (!cfg_.allow_reinit && s.ever_integrated) return 1u;
+      return 2u + (cfg_.model_await_test ? 2u : 0u);
+    case CtrlState::kInit:
+      return 2u + (cfg_.allow_host_freeze ? 1u : 0u);
+    case CtrlState::kActive:
+      return 1u + (cfg_.allow_host_freeze ? 2u : 0u);
+    default:
+      return 1u;
+  }
+}
+
+ChannelFrame Controller::frame_to_send(const NodeState& s,
+                                       NodeId node_id) const {
+  if (s.slot != node_id) return ChannelFrame{};
+  if (s.state == CtrlState::kActive) {
+    return ChannelFrame{FrameKind::kCState, s.slot};
+  }
+  if (s.state == CtrlState::kColdStart) {
+    // A cold-starter holding a collision back-off (listen_timeout doubles
+    // as the back-off counter in this state) skips its sending opportunity.
+    if (s.listen_timeout != 0) return ChannelFrame{};
+    return ChannelFrame{FrameKind::kColdStart, s.slot};
+  }
+  return ChannelFrame{};
+}
+
+void Controller::apply_verdict(NodeState& s, SlotVerdict verdict) {
+  switch (verdict) {
+    case SlotVerdict::kAgreed:
+      if (s.agreed < kCounterCap) ++s.agreed;
+      break;
+    case SlotVerdict::kFailed:
+      if (s.failed < kCounterCap) ++s.failed;
+      break;
+    case SlotVerdict::kNull:
+      break;
+  }
+}
+
+StepOutcome Controller::step(const NodeState& s, NodeId node_id,
+                             const ChannelView& view, unsigned choice) const {
+  TTA_DCHECK(node_id >= 1 && node_id <= cfg_.num_nodes);
+  TTA_DCHECK(choice < num_choices(s));
+  StepOutcome out = dispatch(s, node_id, view, choice);
+  if (!cfg_.allow_reinit && is_integrated(out.next.state)) {
+    out.next.ever_integrated = true;
+  }
+  return out;
+}
+
+StepOutcome Controller::dispatch(const NodeState& s, NodeId node_id,
+                                 const ChannelView& view,
+                                 unsigned choice) const {
+  switch (s.state) {
+    case CtrlState::kFreeze:
+      return step_freeze(s, choice);
+    case CtrlState::kInit:
+      return step_init(s, node_id, choice);
+    case CtrlState::kListen:
+      return step_listen(s, node_id, view);
+    case CtrlState::kColdStart:
+      return step_cold_start(s, node_id, view);
+    case CtrlState::kActive:
+    case CtrlState::kPassive:
+      return step_integrated(s, node_id, view, choice);
+    case CtrlState::kTest:
+    case CtrlState::kAwait:
+    case CtrlState::kDownload:
+      // Unconstrained in the paper's model; absorbing here (DESIGN.md §5.1).
+      return StepOutcome{s, StepEvent::kNone};
+  }
+  TTA_CHECK(false);
+}
+
+StepOutcome Controller::step_freeze(const NodeState& s, unsigned choice) const {
+  NodeState n = s;
+  switch (choice) {
+    case 0:
+      return {n, StepEvent::kNone};  // remain frozen
+    case 1:
+      n = NodeState{};  // power-up re-initialization clears everything
+      n.state = CtrlState::kInit;
+      return {n, StepEvent::kEnteredInit};
+    case 2:
+      n.state = CtrlState::kAwait;
+      return {n, StepEvent::kNone};
+    case 3:
+      n.state = CtrlState::kTest;
+      return {n, StepEvent::kNone};
+  }
+  TTA_CHECK(false);
+}
+
+StepOutcome Controller::step_init(const NodeState& s, NodeId node_id,
+                                  unsigned choice) const {
+  NodeState n = s;
+  switch (choice) {
+    case 0:
+      return {n, StepEvent::kNone};  // initialization still in progress
+    case 1:
+      n.state = CtrlState::kListen;
+      n.big_bang = false;
+      n.listen_timeout = cfg_.listen_timeout_for(node_id);
+      return {n, StepEvent::kEnteredListen};
+    case 2:
+      n.state = CtrlState::kFreeze;
+      return {n, StepEvent::kHostFreeze};
+  }
+  TTA_CHECK(false);
+}
+
+StepOutcome Controller::step_listen(const NodeState& s, NodeId node_id,
+                                    const ChannelView& view) const {
+  const bool cold0 = view.ch0.kind == FrameKind::kColdStart;
+  const bool cold1 = view.ch1.kind == FrameKind::kColdStart;
+  const bool cstate0 = view.ch0.kind == FrameKind::kCState;
+  const bool cstate1 = view.ch1.kind == FrameKind::kCState;
+  const bool other_seen = view.ch0.kind == FrameKind::kOther ||
+                          view.ch1.kind == FrameKind::kOther;
+
+  // Big-bang rule: integrate on a cold-start frame only if one was already
+  // seen while listening (s.big_bang holds the *current* flag; integration
+  // conditions use unprimed variables, Section 4.3.2).
+  const bool integrating_on_cold =
+      (cold0 || cold1) && (s.big_bang || !cfg_.big_bang_enabled);
+  const bool integrating_on_cstate = cstate0 || cstate1;
+
+  NodeState n = s;
+  if (integrating_on_cstate || integrating_on_cold) {
+    // Prefer explicit C-state (immediate integration), channel 0 first
+    // (DESIGN.md §5.6: deterministic tie-break, couplers are symmetric).
+    SlotNumber id_on_bus;
+    StepEvent ev;
+    if (integrating_on_cstate) {
+      id_on_bus = cstate0 ? view.ch0.id : view.ch1.id;
+      ev = StepEvent::kIntegratedOnCState;
+    } else {
+      id_on_bus = cold0 ? view.ch0.id : view.ch1.id;
+      ev = StepEvent::kIntegratedOnColdStart;
+    }
+    n.state = CtrlState::kPassive;
+    n.slot = cfg_.next_slot(id_on_bus);
+    n.agreed = 0;
+    n.failed = 0;
+    n.big_bang = false;
+    return {n, ev};
+  }
+
+  if (cold0 || cold1) {
+    // First cold-start frame: arm big bang, refresh the timeout, stay in
+    // listen even if the timeout just reached zero (Section 4.3.2).
+    StepEvent ev = n.big_bang ? StepEvent::kNone : StepEvent::kBigBangArmed;
+    n.big_bang = true;
+    n.listen_timeout = cfg_.listen_timeout_for(node_id);
+    return {n, ev};
+  }
+
+  if (s.listen_timeout == 0) {
+    n.state = CtrlState::kColdStart;
+    n.slot = node_id;  // slot' = node_id upon entering cold start
+    n.agreed = 0;
+    n.failed = 0;
+    n.big_bang = false;
+    return {n, StepEvent::kListenTimeout};
+  }
+
+  // Quiet (or noisy-but-not-integrable) slot: count down, unless a regular
+  // frame refreshed the timeout.
+  if (other_seen) {
+    n.listen_timeout = cfg_.listen_timeout_for(node_id);
+  } else {
+    --n.listen_timeout;
+  }
+  return {n, StepEvent::kNone};
+}
+
+StepOutcome Controller::step_cold_start(const NodeState& s, NodeId node_id,
+                                        const ChannelView& view) const {
+  NodeState n = s;
+  apply_verdict(n, classify_view(view, s.slot, cfg_));
+
+  if (n.listen_timeout > 0) --n.listen_timeout;
+
+  // Contention breaking (TTP/C's node-unique cold-start timeout): if this
+  // node transmitted its cold-start frame this slot and the channels carry
+  // only noise — two cold-starters collided — it backs off for a
+  // node-unique number of slots before its next attempt, so symmetric
+  // collisions cannot repeat forever. Without this, two nodes whose listen
+  // timeouts expire in the same slot livelock (found by the startup
+  // property sweep; DESIGN.md §5.9).
+  if (s.slot == node_id && s.listen_timeout == 0) {
+    bool any_correct =
+        classify_view(view, s.slot, cfg_) == SlotVerdict::kAgreed;
+    bool any_noise = view.ch0.kind == FrameKind::kBad ||
+                     view.ch1.kind == FrameKind::kBad;
+    if (!any_correct && any_noise) {
+      n.listen_timeout =
+          static_cast<std::uint8_t>(node_id * cfg_.num_slots);
+    }
+  }
+
+  const SlotNumber nxt = cfg_.next_slot(s.slot);
+  StepEvent ev = StepEvent::kNone;
+  if (nxt == node_id) {
+    // One TDMA round finished: clique-avoidance test on the primed counters
+    // (the paper's constraint reads agreed_slots_counter', i.e. including
+    // this slot's observation).
+    if (n.agreed <= 1 && n.failed == 0) {
+      ev = StepEvent::kCliqueRetryColdStart;  // alone on the bus; try again
+    } else if (n.agreed > n.failed) {
+      n.state = CtrlState::kActive;
+      ev = StepEvent::kCliqueToActive;
+    } else {
+      n.state = CtrlState::kListen;
+      n.big_bang = false;
+      n.listen_timeout = cfg_.listen_timeout_for(node_id);
+      ev = StepEvent::kCliqueBackToListen;
+    }
+    n.agreed = 0;
+    n.failed = 0;
+  }
+  n.slot = nxt;
+  return {n, ev};
+}
+
+StepOutcome Controller::step_integrated(const NodeState& s, NodeId node_id,
+                                        const ChannelView& view,
+                                        unsigned choice) const {
+  NodeState n = s;
+  apply_verdict(n, classify_view(view, s.slot, cfg_));
+
+  if (s.state == CtrlState::kActive && choice > 0) {
+    // Host-commanded transitions (modeled only when allow_host_freeze).
+    n.slot = cfg_.next_slot(s.slot);
+    if (choice == 1) {
+      n.state = CtrlState::kPassive;
+      return {n, StepEvent::kHostPassive};
+    }
+    n.state = CtrlState::kFreeze;
+    return {n, StepEvent::kHostFreeze};
+  }
+
+  const SlotNumber nxt = cfg_.next_slot(s.slot);
+  StepEvent ev = StepEvent::kNone;
+  if (nxt == node_id) {
+    // Round boundary: integrated nodes run the clique-avoidance test before
+    // their own sending slot (DESIGN.md §5.3).
+    if (n.agreed == 0 && n.failed == 0) {
+      // Totally silent round: nothing to disagree about; keep waiting.
+    } else if (n.agreed > n.failed) {
+      if (s.state == CtrlState::kPassive) {
+        n.state = CtrlState::kActive;
+        ev = StepEvent::kCliqueToActive;
+      }
+    } else {
+      n.state = CtrlState::kFreeze;
+      ev = StepEvent::kCliqueFreeze;
+    }
+    n.agreed = 0;
+    n.failed = 0;
+  }
+  n.slot = nxt;
+  return {n, ev};
+}
+
+}  // namespace tta::ttpc

@@ -1,0 +1,123 @@
+// The TTP/C controller state machine of the paper's formal model.
+//
+// This is a literal transcription of the transition constraints in Section
+// 4.3 ("Modeling a node"), shared verbatim by the cluster simulator
+// (src/sim) and the model checker (src/mc): the simulator draws the
+// nondeterministic choices from a policy/RNG, the checker enumerates all of
+// them. Keeping one implementation guarantees the two tools agree on the
+// protocol semantics.
+//
+// One call to step() advances a node across exactly one TDMA slot. Inputs
+// are the node's current state, what it observed on the two channels during
+// the slot, and the index of the nondeterministic choice to take; outputs
+// are the next state plus a narration event used by trace printers.
+#pragma once
+
+#include <cstdint>
+
+#include "ttpc/config.h"
+#include "ttpc/types.h"
+
+namespace tta::ttpc {
+
+/// All state variables the paper models for one node (Section 4.3), plus
+/// nothing else — application data is deliberately absent.
+struct NodeState {
+  CtrlState state = CtrlState::kFreeze;
+  SlotNumber slot = 1;              ///< current TDMA slot by this node's view
+  std::uint8_t agreed = 0;          ///< agreed_slots_counter
+  std::uint8_t failed = 0;          ///< failed_slots_counter
+  bool big_bang = false;            ///< saw a cold-start frame while listening
+  std::uint8_t listen_timeout = 0;  ///< slots remaining in listen; doubles as
+                                    ///< the cold-start contention back-off
+  /// History bit maintained only when ProtocolConfig::allow_reinit is
+  /// false: distinguishes the initial power-on freeze (exitable) from a
+  /// post-expulsion freeze (absorbing without host intervention). Always
+  /// false otherwise, so default-configuration state spaces are unchanged.
+  bool ever_integrated = false;
+
+  friend bool operator==(const NodeState&, const NodeState&) = default;
+};
+
+/// Narration of what happened to a node during one step; used by the model
+/// checker's counterexample printer and the simulator's event trace to tell
+/// the paper-style story ("Node B integrates on it...").
+enum class StepEvent : std::uint8_t {
+  kNone = 0,
+  kEnteredInit,
+  kEnteredListen,
+  kBigBangArmed,             ///< first cold-start seen, ignored per big bang
+  kIntegratedOnColdStart,    ///< listen -> passive via a cold-start frame
+  kIntegratedOnCState,       ///< listen -> passive via an explicit-C-state frame
+  kListenTimeout,            ///< listen -> cold_start
+  kSentColdStart,
+  kSentCState,
+  kCliqueRetryColdStart,     ///< lone cold-starter, no traffic: try again
+  kCliqueToActive,           ///< clique test passed
+  kCliqueBackToListen,       ///< cold-start clique test failed: reintegrate
+  kCliqueFreeze,             ///< clique avoidance error: forced freeze
+  kHostFreeze,               ///< voluntary (host-commanded) freeze
+  kHostPassive               ///< voluntary active -> passive
+};
+
+const char* to_string(StepEvent event);
+
+struct StepOutcome {
+  NodeState next;
+  StepEvent event = StepEvent::kNone;
+};
+
+/// Classifies one slot's channel view for the clique counters, from the
+/// perspective of a receiver whose current slot counter is `slot`.
+/// A frame is *correct* iff its embedded id equals `slot` (the abstraction
+/// of C-state agreement); fusion across the two channels follows
+/// cfg.bad_dominates_fusion (DESIGN.md §5.4).
+SlotVerdict classify_view(const ChannelView& view, SlotNumber slot,
+                          const ProtocolConfig& cfg);
+
+class Controller {
+ public:
+  explicit Controller(const ProtocolConfig& cfg) : cfg_(cfg) {
+    cfg_.validate();
+  }
+
+  const ProtocolConfig& config() const { return cfg_; }
+
+  /// Number of nondeterministic alternatives available to a node in state
+  /// `s` (>= 1; choice indices are dense in [0, num_choices)).
+  unsigned num_choices(const NodeState& s) const;
+
+  /// The frame this node drives onto both channels during its current slot
+  /// (kind kNone if it is not transmitting). Matches the paper's
+  /// `frame_sent` definition exactly.
+  ChannelFrame frame_to_send(const NodeState& s, NodeId node_id) const;
+
+  /// Advances one TDMA slot. `view` is what the node observed on the two
+  /// channels during the slot (including its own transmission as forwarded
+  /// by the couplers), `choice` selects among num_choices(s) alternatives.
+  StepOutcome step(const NodeState& s, NodeId node_id, const ChannelView& view,
+                   unsigned choice) const;
+
+  /// Fresh power-on state (freeze, everything cleared).
+  static NodeState initial_state() { return NodeState{}; }
+
+ private:
+  StepOutcome dispatch(const NodeState& s, NodeId node_id,
+                       const ChannelView& view, unsigned choice) const;
+  StepOutcome step_freeze(const NodeState& s, unsigned choice) const;
+  StepOutcome step_init(const NodeState& s, NodeId node_id,
+                        unsigned choice) const;
+  StepOutcome step_listen(const NodeState& s, NodeId node_id,
+                          const ChannelView& view) const;
+  StepOutcome step_cold_start(const NodeState& s, NodeId node_id,
+                              const ChannelView& view) const;
+  StepOutcome step_integrated(const NodeState& s, NodeId node_id,
+                              const ChannelView& view, unsigned choice) const;
+
+  /// Saturating counter update from one slot's verdict.
+  static void apply_verdict(NodeState& s, SlotVerdict verdict);
+
+  ProtocolConfig cfg_;
+};
+
+}  // namespace tta::ttpc

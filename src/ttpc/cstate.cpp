@@ -1,0 +1,19 @@
+#include "ttpc/cstate.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace tta::ttpc {
+
+std::size_t CState::member_count() const {
+  return static_cast<std::size_t>(std::popcount(membership_));
+}
+
+std::string CState::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%u slot=%u members=0x%04x", global_time_,
+                round_slot_, membership_);
+  return buf;
+}
+
+}  // namespace tta::ttpc

@@ -1,0 +1,71 @@
+// Controller state (C-state) at the protocol level.
+//
+// The C-state is the information two TTP/C controllers must agree on to be
+// "in the same cluster": global time, position in the MEDL schedule, and the
+// membership vector. The abstract model (src/mc) compresses agreement to a
+// slot-id comparison; this type is the uncompressed version used by the
+// frame-level simulator and by the guardian's semantic analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ttpc/config.h"
+#include "ttpc/types.h"
+#include "wire/frame.h"
+
+namespace tta::ttpc {
+
+class CState {
+ public:
+  CState() = default;
+  CState(std::uint16_t global_time, SlotNumber round_slot,
+         std::uint16_t membership)
+      : global_time_(global_time),
+        round_slot_(round_slot),
+        membership_(membership) {}
+
+  std::uint16_t global_time() const { return global_time_; }
+  SlotNumber round_slot() const { return round_slot_; }
+  std::uint16_t membership() const { return membership_; }
+
+  /// Advances to the next slot: time moves forward one slot tick, the MEDL
+  /// position wraps at the round boundary.
+  void advance(const ProtocolConfig& cfg) {
+    ++global_time_;
+    round_slot_ = cfg.next_slot(round_slot_);
+  }
+
+  bool is_member(NodeId node) const {
+    return (membership_ >> (node - 1)) & 1u;
+  }
+  void set_member(NodeId node, bool present) {
+    std::uint16_t bit = static_cast<std::uint16_t>(1u << (node - 1));
+    membership_ = present ? static_cast<std::uint16_t>(membership_ | bit)
+                          : static_cast<std::uint16_t>(membership_ & ~bit);
+  }
+  std::size_t member_count() const;
+
+  /// TTP/C agreement: frames are correct only if sender and receiver
+  /// C-states match exactly.
+  friend bool operator==(const CState&, const CState&) = default;
+
+  /// Conversion to the 48-bit image carried in I-frames / seeding N-frame
+  /// CRCs.
+  wire::CStateImage to_image() const {
+    return wire::CStateImage{global_time_, round_slot_, membership_};
+  }
+  static CState from_image(const wire::CStateImage& img) {
+    return CState(img.global_time, static_cast<SlotNumber>(img.medl_position),
+                  img.membership);
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::uint16_t global_time_ = 0;
+  SlotNumber round_slot_ = 1;
+  std::uint16_t membership_ = 0;
+};
+
+}  // namespace tta::ttpc

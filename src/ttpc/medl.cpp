@@ -1,0 +1,74 @@
+#include "ttpc/medl.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tta::ttpc {
+
+Medl Medl::uniform(const ProtocolConfig& cfg, std::uint32_t frame_bits) {
+  cfg.validate();
+  Medl m;
+  for (std::uint8_t s = 1; s <= cfg.num_slots; ++s) {
+    SlotDescriptor d;
+    // Slots beyond the node count cycle back over the nodes so that every
+    // slot has an owner even in schedules with more slots than nodes.
+    d.sender = static_cast<NodeId>((s - 1) % cfg.num_nodes + 1);
+    d.frame_bits = frame_bits;
+    d.explicit_cstate = true;
+    m.slots_.push_back(d);
+  }
+  return m;
+}
+
+Medl Medl::with_sizes(const std::vector<std::uint32_t>& sizes,
+                      bool explicit_cstate) {
+  TTA_CHECK(!sizes.empty() && sizes.size() <= 255);
+  Medl m;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    SlotDescriptor d;
+    d.sender = static_cast<NodeId>(i + 1);
+    d.frame_bits = sizes[i];
+    d.explicit_cstate = explicit_cstate;
+    m.slots_.push_back(d);
+  }
+  return m;
+}
+
+const SlotDescriptor& Medl::slot(SlotNumber s) const {
+  TTA_CHECK(s >= 1 && s <= slots_.size());
+  return slots_[s - 1];
+}
+
+SlotNumber Medl::slot_of(NodeId node) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].sender == node) return static_cast<SlotNumber>(i + 1);
+  }
+  return 0;
+}
+
+std::uint64_t Medl::round_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& d : slots_) total += d.frame_bits;
+  return total;
+}
+
+std::uint32_t Medl::max_frame_bits() const {
+  TTA_CHECK(!slots_.empty());
+  return std::max_element(slots_.begin(), slots_.end(),
+                          [](const SlotDescriptor& a, const SlotDescriptor& b) {
+                            return a.frame_bits < b.frame_bits;
+                          })
+      ->frame_bits;
+}
+
+std::uint32_t Medl::min_frame_bits() const {
+  TTA_CHECK(!slots_.empty());
+  return std::min_element(slots_.begin(), slots_.end(),
+                          [](const SlotDescriptor& a, const SlotDescriptor& b) {
+                            return a.frame_bits < b.frame_bits;
+                          })
+      ->frame_bits;
+}
+
+}  // namespace tta::ttpc

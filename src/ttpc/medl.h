@@ -1,0 +1,62 @@
+// Message Descriptor List (MEDL).
+//
+// TTP/C's TDMA schedule is static and known to every component before
+// start-up: which node owns which slot, and how long each slot's frame is.
+// The cluster simulator uses it to time slots, and the central guardian's
+// time-window and semantic-analysis features are *defined* by it — a central
+// guardian can only police traffic because it holds the same MEDL as the
+// nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ttpc/config.h"
+#include "ttpc/types.h"
+
+namespace tta::ttpc {
+
+/// Static description of one TDMA slot.
+struct SlotDescriptor {
+  NodeId sender = 0;              ///< node that owns the slot
+  std::uint32_t frame_bits = 28;  ///< scheduled frame length (pre line coding)
+  bool explicit_cstate = true;    ///< I/X-frame (true) vs N-frame (false)
+
+  friend bool operator==(const SlotDescriptor&,
+                         const SlotDescriptor&) = default;
+};
+
+class Medl {
+ public:
+  /// Builds the schedule the paper's model implies: one slot per node, node
+  /// i transmits an explicit-C-state frame of `frame_bits` bits in slot i.
+  static Medl uniform(const ProtocolConfig& cfg, std::uint32_t frame_bits = 76);
+
+  /// Builds a schedule with per-slot frame lengths (sizes.size() slots,
+  /// slot i owned by node i). Used by the mixed-frame-size benches.
+  static Medl with_sizes(const std::vector<std::uint32_t>& sizes,
+                         bool explicit_cstate = true);
+
+  std::size_t num_slots() const { return slots_.size(); }
+
+  /// 1-based slot access, matching protocol slot numbering.
+  const SlotDescriptor& slot(SlotNumber s) const;
+
+  NodeId sender_of(SlotNumber s) const { return slot(s).sender; }
+
+  /// The (first) slot owned by `node`; 0 if the node owns none.
+  SlotNumber slot_of(NodeId node) const;
+
+  /// Total scheduled bits in one TDMA round.
+  std::uint64_t round_bits() const;
+
+  /// Longest / shortest scheduled frame in bits — the f_max / f_min the
+  /// Section 6 buffer analysis is parameterized by.
+  std::uint32_t max_frame_bits() const;
+  std::uint32_t min_frame_bits() const;
+
+ private:
+  std::vector<SlotDescriptor> slots_;  ///< index 0 = slot 1
+};
+
+}  // namespace tta::ttpc

@@ -1,0 +1,77 @@
+// Abstract protocol-level types shared by the simulator and model checker.
+//
+// Following the paper's Section 4 abstraction, one "step" is one TDMA slot
+// and a channel carries one abstract frame per slot: none (silence), a
+// cold-start frame, a frame with explicit C-state, a regular frame without
+// explicit C-state ("other"), or a bad frame/noise. Frames carry the slot id
+// they were (originally) sent in; comparing that id against the receiver's
+// own slot counter abstracts the C-state agreement check.
+#pragma once
+
+#include <cstdint>
+
+namespace tta::ttpc {
+
+using NodeId = std::uint8_t;      ///< 1-based; node i owns TDMA slot i
+using SlotNumber = std::uint8_t;  ///< 1..num_slots
+
+/// The abstract per-slot channel alphabet of the paper's model.
+enum class FrameKind : std::uint8_t {
+  kNone = 0,       ///< silence
+  kColdStart = 1,  ///< cold-start frame
+  kCState = 2,     ///< frame with explicit C-state
+  kOther = 3,      ///< regular frame without explicit C-state
+  kBad = 4         ///< bad frame / noise
+};
+
+const char* to_string(FrameKind kind);
+
+/// What one channel carries during one slot.
+struct ChannelFrame {
+  FrameKind kind = FrameKind::kNone;
+  SlotNumber id = 0;  ///< slot position embedded in the frame (0 if none/bad)
+  /// Membership image carried in the C-state. The formal model (src/mc)
+  /// abstracts membership away and always leaves this 0, exactly as the
+  /// paper's model does; the frame-level simulator (src/sim) uses it to
+  /// reproduce membership divergence after SOS faults.
+  std::uint16_t membership = 0;
+
+  friend bool operator==(const ChannelFrame&, const ChannelFrame&) = default;
+};
+
+/// What a node observes during one slot: both redundant channels.
+struct ChannelView {
+  ChannelFrame ch0;
+  ChannelFrame ch1;
+
+  friend bool operator==(const ChannelView&, const ChannelView&) = default;
+};
+
+/// The nine controller states of the TTP/C protocol state machine.
+enum class CtrlState : std::uint8_t {
+  kFreeze = 0,
+  kInit = 1,
+  kListen = 2,
+  kColdStart = 3,
+  kActive = 4,
+  kPassive = 5,
+  kTest = 6,
+  kAwait = 7,
+  kDownload = 8
+};
+
+const char* to_string(CtrlState state);
+
+/// Has this controller integrated into the cluster (the states the paper's
+/// correctness property quantifies over)?
+constexpr bool is_integrated(CtrlState s) {
+  return s == CtrlState::kActive || s == CtrlState::kPassive;
+}
+
+/// Per-slot verdict a receiving node forms for the clique-avoidance
+/// counters (TTP/C "correct frame" / "invalid or incorrect frame" / "null").
+enum class SlotVerdict : std::uint8_t { kAgreed, kFailed, kNull };
+
+const char* to_string(SlotVerdict verdict);
+
+}  // namespace tta::ttpc

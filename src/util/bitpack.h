@@ -1,0 +1,91 @@
+// Fixed-width bit packing.
+//
+// The explicit-state model checker (src/mc) stores every reachable world
+// state as a fixed-size little-endian bit string. PackedState is that
+// string: a POD array of 64-bit words with equality and hashing, cheap to
+// copy and to use as an unordered_map key. BitWriter/BitReader serialize
+// bounded integer fields into/out of a PackedState in declaration order, so
+// a model's encode() and decode() stay textually parallel and a mismatch is
+// caught by the round-trip unit tests.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/check.h"
+
+namespace tta::util {
+
+/// Number of 64-bit words in a packed state. 256 bits comfortably holds the
+/// paper's model (4–6 nodes, 2 couplers, fault budget) with room for
+/// extensions; widening this is an ABI-only change.
+inline constexpr std::size_t kPackedWords = 4;
+
+/// A fixed-size bit string used as a hashable state key.
+struct PackedState {
+  std::array<std::uint64_t, kPackedWords> words{};
+
+  friend bool operator==(const PackedState&, const PackedState&) = default;
+  friend auto operator<=>(const PackedState&, const PackedState&) = default;
+
+  /// Hex rendering (most-significant word first), for debugging and logs.
+  std::string to_hex() const;
+};
+
+/// 64-bit mix of all words (splitmix-style avalanche per word).
+std::size_t hash_value(const PackedState& s) noexcept;
+
+/// Sequentially writes bounded unsigned fields into a PackedState.
+class BitWriter {
+ public:
+  explicit BitWriter(PackedState& out) : out_(&out) {}
+
+  /// Appends `bits` bits of `value`. Requires value < 2^bits and that the
+  /// total stays within kPackedWords*64 bits.
+  void write(std::uint64_t value, unsigned bits);
+
+  /// Appends a boolean as one bit.
+  void write_bool(bool b) { write(b ? 1u : 0u, 1); }
+
+  unsigned bits_written() const { return pos_; }
+
+ private:
+  PackedState* out_;
+  unsigned pos_ = 0;
+};
+
+/// Sequentially reads fields written by BitWriter, in the same order.
+class BitReader {
+ public:
+  explicit BitReader(const PackedState& in) : in_(&in) {}
+
+  std::uint64_t read(unsigned bits);
+  bool read_bool() { return read(1) != 0; }
+
+  unsigned bits_read() const { return pos_; }
+
+ private:
+  const PackedState* in_;
+  unsigned pos_ = 0;
+};
+
+/// Smallest number of bits that can represent every value in [0, n].
+/// bits_for(0) == 1 by convention (a field always occupies at least a bit).
+constexpr unsigned bits_for(std::uint64_t n) {
+  unsigned b = 1;
+  while ((n >>= 1) != 0) ++b;
+  return b;
+}
+
+}  // namespace tta::util
+
+template <>
+struct std::hash<tta::util::PackedState> {
+  std::size_t operator()(const tta::util::PackedState& s) const noexcept {
+    return tta::util::hash_value(s);
+  }
+};

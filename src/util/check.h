@@ -1,0 +1,32 @@
+// Lightweight invariant checking used throughout the library.
+//
+// TTA_CHECK is always on (it guards logic errors that would silently corrupt
+// simulation or model-checking results); TTA_DCHECK compiles away in
+// release-with-NDEBUG builds and is used on hot paths (state packing,
+// successor enumeration).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tta::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "TTA_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace tta::util
+
+#define TTA_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) ::tta::util::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define TTA_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define TTA_DCHECK(expr) TTA_CHECK(expr)
+#endif

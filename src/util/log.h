@@ -1,0 +1,28 @@
+// Minimal leveled logger.
+//
+// The simulator and model checker narrate through this so examples can turn
+// verbosity up while tests and benches keep it silent. Not thread-safe by
+// design: all components in this library are single-threaded state machines.
+#pragma once
+
+#include <string>
+
+namespace tta::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// test output stays clean.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr with a level tag.
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace tta::util
+
+#define TTA_LOG_DEBUG(...) ::tta::util::log(::tta::util::LogLevel::kDebug, __VA_ARGS__)
+#define TTA_LOG_INFO(...) ::tta::util::log(::tta::util::LogLevel::kInfo, __VA_ARGS__)
+#define TTA_LOG_WARN(...) ::tta::util::log(::tta::util::LogLevel::kWarn, __VA_ARGS__)
+#define TTA_LOG_ERROR(...) ::tta::util::log(::tta::util::LogLevel::kError, __VA_ARGS__)

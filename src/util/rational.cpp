@@ -1,0 +1,12 @@
+// Rational is header-only; this translation unit exists so the library has a
+// stable archive member for it and so its inline definitions get compiled
+// (and warned about) at least once even if no other TU includes the header.
+#include "util/rational.h"
+
+namespace tta::util {
+
+static_assert(Rational(1, 2) + Rational(1, 3) == Rational(5, 6));
+static_assert(Rational(2, 4) == Rational(1, 2));
+static_assert(Rational::ppm(100).to_double() == 0.0001);
+
+}  // namespace tta::util

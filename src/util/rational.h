@@ -1,0 +1,136 @@
+// Exact rational arithmetic.
+//
+// The paper's Section 6 analysis relates clock *ratios* (eq. 10) and relative
+// rate differences rho (eq. 2) to integer bit budgets. The bit-clock
+// forwarding substrate (guardian::BitstreamForwarder) advances node and
+// guardian clocks whose rates are exact rationals, so that "guardian is
+// 100 ppm fast" means exactly 1000100/1000000 — no floating-point drift can
+// smear the measured minimum buffer occupancy that we compare against
+// eq. (1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "util/check.h"
+
+namespace tta::util {
+
+/// A normalized rational p/q with q > 0, gcd(p, q) == 1.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t numerator, std::int64_t denominator = 1)
+      : p_(numerator), q_(denominator) {
+    normalize();
+  }
+
+  constexpr std::int64_t num() const { return p_; }
+  constexpr std::int64_t den() const { return q_; }
+
+  constexpr Rational operator+(const Rational& o) const {
+    return make_checked(static_cast<__int128>(p_) * o.q_ +
+                            static_cast<__int128>(o.p_) * q_,
+                        static_cast<__int128>(q_) * o.q_);
+  }
+  constexpr Rational operator-(const Rational& o) const {
+    return make_checked(static_cast<__int128>(p_) * o.q_ -
+                            static_cast<__int128>(o.p_) * q_,
+                        static_cast<__int128>(q_) * o.q_);
+  }
+  constexpr Rational operator*(const Rational& o) const {
+    return make_checked(static_cast<__int128>(p_) * o.p_,
+                        static_cast<__int128>(q_) * o.q_);
+  }
+  constexpr Rational operator/(const Rational& o) const {
+    TTA_CHECK(o.p_ != 0);
+    return make_checked(static_cast<__int128>(p_) * o.q_,
+                        static_cast<__int128>(q_) * o.p_);
+  }
+  constexpr Rational operator-() const { return Rational(-p_, q_); }
+
+  friend constexpr bool operator==(const Rational& a, const Rational& b) {
+    return a.p_ == b.p_ && a.q_ == b.q_;
+  }
+  friend constexpr std::strong_ordering operator<=>(const Rational& a,
+                                                    const Rational& b) {
+    __int128 lhs = static_cast<__int128>(a.p_) * b.q_;
+    __int128 rhs = static_cast<__int128>(b.p_) * a.q_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  constexpr double to_double() const {
+    return static_cast<double>(p_) / static_cast<double>(q_);
+  }
+
+  /// Largest integer <= p/q.
+  constexpr std::int64_t floor() const {
+    std::int64_t d = p_ / q_;
+    if (p_ % q_ != 0 && p_ < 0) --d;
+    return d;
+  }
+  /// Smallest integer >= p/q.
+  constexpr std::int64_t ceil() const {
+    std::int64_t d = p_ / q_;
+    if (p_ % q_ != 0 && p_ > 0) ++d;
+    return d;
+  }
+
+  /// Parts-per-million constructor: ppm(100) == 100/1'000'000.
+  static constexpr Rational ppm(std::int64_t parts) {
+    return Rational(parts, 1'000'000);
+  }
+
+  std::string to_string() const {
+    return std::to_string(p_) + "/" + std::to_string(q_);
+  }
+
+ private:
+  static constexpr Rational make_checked(__int128 p, __int128 q) {
+    // Reduce in 128 bits first so intermediate products that fit after
+    // normalization do not falsely overflow.
+    TTA_CHECK(q != 0);
+    if (q < 0) {
+      p = -p;
+      q = -q;
+    }
+    __int128 a = p < 0 ? -p : p;
+    __int128 b = q;
+    while (b != 0) {
+      __int128 t = a % b;
+      a = b;
+      b = t;
+    }
+    if (a > 1) {
+      p /= a;
+      q /= a;
+    }
+    TTA_CHECK(p <= INT64_MAX && p >= INT64_MIN && q <= INT64_MAX);
+    Rational r;
+    r.p_ = static_cast<std::int64_t>(p);
+    r.q_ = static_cast<std::int64_t>(q);
+    return r;
+  }
+
+  constexpr void normalize() {
+    TTA_CHECK(q_ != 0);
+    if (q_ < 0) {
+      p_ = -p_;
+      q_ = -q_;
+    }
+    std::int64_t g = std::gcd(p_ < 0 ? -p_ : p_, q_);
+    if (g > 1) {
+      p_ /= g;
+      q_ /= g;
+    }
+  }
+
+  std::int64_t p_ = 0;
+  std::int64_t q_ = 1;
+};
+
+}  // namespace tta::util

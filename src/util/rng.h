@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Simulation runs and property-test sweeps must be exactly reproducible from
+// a seed, across platforms and standard-library versions; std::mt19937's
+// distributions are not portable, so we ship our own small generator and the
+// few bounded-draw helpers the simulator needs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace tta::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64 so that any
+/// 64-bit seed — including 0 — yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 stream to fill the 256-bit state.
+    auto next_seed = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : s_) w = next_seed();
+  }
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next_u64() {
+    auto rotl = [](std::uint64_t x, int k) {
+      return (x << k) | (x >> (64 - k));
+    };
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound) {
+    TTA_DCHECK(bound > 0);
+    // 128-bit multiply keeps the draw unbiased.
+    while (true) {
+      std::uint64_t x = next_u64();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    TTA_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tta::util

@@ -1,0 +1,62 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tta::util {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) {
+  TTA_CHECK(lo <= hi);
+  buckets_.resize(static_cast<std::size_t>(hi - lo + 1), 0);
+}
+
+void Histogram::add(std::int64_t x) {
+  if (x < lo_) {
+    x = lo_;
+    ++clamped_;
+  } else if (x > hi_) {
+    x = hi_;
+    ++clamped_;
+  }
+  ++buckets_[static_cast<std::size_t>(x - lo_)];
+  ++total_;
+}
+
+std::size_t Histogram::at(std::int64_t x) const {
+  if (x < lo_ || x > hi_) return 0;
+  return buckets_[static_cast<std::size_t>(x - lo_)];
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  TTA_CHECK(q > 0.0 && q <= 1.0);
+  TTA_CHECK(total_ > 0);
+  auto threshold =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(total_)));
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= threshold) return lo_ + static_cast<std::int64_t>(i);
+  }
+  return hi_;
+}
+
+}  // namespace tta::util

@@ -1,0 +1,66 @@
+// Streaming descriptive statistics.
+//
+// Benches and the fault-injection harness aggregate per-run metrics
+// (startup rounds, frozen-node counts, buffer occupancies). Accumulator is a
+// Welford-style online aggregator; Histogram buckets integer samples for
+// percentile-style reporting without storing every sample.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tta::util {
+
+/// Online mean/variance/min/max over double samples (Welford's algorithm:
+/// numerically stable, O(1) memory).
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact integer histogram over a closed range [lo, hi]; samples outside the
+/// range are clamped into the edge buckets and counted as clamped.
+class Histogram {
+ public:
+  Histogram(std::int64_t lo, std::int64_t hi);
+
+  void add(std::int64_t x);
+
+  std::size_t count() const { return total_; }
+  std::size_t clamped() const { return clamped_; }
+  std::size_t at(std::int64_t x) const;
+
+  /// Smallest value v such that at least `q` (0..1] of the samples are <= v.
+  std::int64_t quantile(double q) const;
+
+  std::int64_t lo() const { return lo_; }
+  std::int64_t hi() const { return hi_; }
+
+ private:
+  std::int64_t lo_;
+  std::int64_t hi_;
+  std::vector<std::size_t> buckets_;
+  std::size_t total_ = 0;
+  std::size_t clamped_ = 0;
+};
+
+}  // namespace tta::util

@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace tta::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TTA_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TTA_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    rule += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  std::string s = buf;
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace tta::util

@@ -1,0 +1,34 @@
+// Plain-text table rendering.
+//
+// Every bench binary reprints one of the paper's tables/figures as aligned
+// text rows; Table centralizes the column sizing so all outputs look alike
+// and EXPERIMENTS.md can paste them verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tta::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, columns padded to the widest cell.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` significant decimals, trimming trailing
+  /// zeros ("1.500" -> "1.5", "2.000" -> "2").
+  static std::string num(double v, int digits = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tta::util

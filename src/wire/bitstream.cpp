@@ -1,0 +1,45 @@
+#include "wire/bitstream.h"
+
+namespace tta::wire {
+
+void BitStream::push_bit(bool b) {
+  if ((size_ & 7) == 0) bytes_.push_back(0);
+  if (b) bytes_[size_ >> 3] |= static_cast<std::uint8_t>(1u << (7 - (size_ & 7)));
+  ++size_;
+}
+
+void BitStream::push_bits(std::uint64_t value, unsigned bits) {
+  TTA_DCHECK(bits >= 1 && bits <= 64);
+  TTA_DCHECK(bits == 64 || value < (1ull << bits));
+  for (unsigned i = bits; i-- > 0;) {
+    push_bit((value >> i) & 1);
+  }
+}
+
+void BitStream::append(const BitStream& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) push_bit(other.bit(i));
+}
+
+std::uint64_t BitStream::read_bits(std::size_t pos, unsigned bits) const {
+  TTA_DCHECK(bits >= 1 && bits <= 64);
+  TTA_DCHECK(pos + bits <= size_);
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    v = (v << 1) | static_cast<std::uint64_t>(bit(pos + i));
+  }
+  return v;
+}
+
+void BitStream::flip_bit(std::size_t i) {
+  TTA_CHECK(i < size_);
+  bytes_[i >> 3] ^= static_cast<std::uint8_t>(1u << (7 - (i & 7)));
+}
+
+std::string BitStream::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s += bit(i) ? '1' : '0';
+  return s;
+}
+
+}  // namespace tta::wire

@@ -1,0 +1,61 @@
+// Bit-granular byte-free frame images.
+//
+// TTP/C frame sizes are odd bit counts (28-bit N-frames, 2076-bit X-frames),
+// and the Section 6 analysis is entirely in bits, so the wire substrate
+// never rounds to bytes. BitStream is an append-only bit vector (MSB-first
+// within the logical stream) with random read access; it is what frame
+// encoders produce and what the guardian's bit-clock forwarder shuttles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tta::wire {
+
+class BitStream {
+ public:
+  BitStream() = default;
+
+  /// Appends a single bit.
+  void push_bit(bool b);
+
+  /// Appends the low `bits` bits of `value`, most significant first.
+  void push_bits(std::uint64_t value, unsigned bits);
+
+  /// Appends all bits of another stream.
+  void append(const BitStream& other);
+
+  bool bit(std::size_t i) const {
+    TTA_DCHECK(i < size_);
+    return (bytes_[i >> 3] >> (7 - (i & 7))) & 1;
+  }
+
+  /// Reads `bits` bits starting at `pos`, most significant first.
+  std::uint64_t read_bits(std::size_t pos, unsigned bits) const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() {
+    bytes_.clear();
+    size_ = 0;
+  }
+
+  /// Flips bit `i` in place (used by fault injection to corrupt frames).
+  void flip_bit(std::size_t i);
+
+  /// "0101..." rendering for tests and logs.
+  std::string to_string() const;
+
+  friend bool operator==(const BitStream& a, const BitStream& b) {
+    return a.size_ == b.size_ && a.bytes_ == b.bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tta::wire

@@ -1,0 +1,52 @@
+#include "wire/crc.h"
+
+#include "util/check.h"
+
+namespace tta::wire {
+
+CrcSpec crc24_channel(int channel) {
+  TTA_CHECK(channel == 0 || channel == 1);
+  // FlexRay frame CRC-24 polynomial; init vectors differ per channel exactly
+  // as FlexRay does (0xFEDCBA / 0xABCDEF) to give the two TTP/C channels
+  // independent CRC schedules.
+  return CrcSpec{24, 0x5D6DCB,
+                 channel == 0 ? 0xFEDCBAu : 0xABCDEFu, 0x000000};
+}
+
+CrcSpec crc16_ccitt() { return CrcSpec{16, 0x1021, 0xFFFF, 0x0000}; }
+
+CrcSpec crc8_autosar() { return CrcSpec{8, 0x2F, 0xFF, 0xFF}; }
+
+Crc::Crc(const CrcSpec& spec) : spec_(spec) {
+  TTA_CHECK(spec.width >= 8 && spec.width <= 32);
+  mask_ = spec.width == 32 ? 0xFFFFFFFFu : ((1u << spec.width) - 1);
+  topbit_ = 1u << (spec.width - 1);
+  reset();
+}
+
+void Crc::reset(std::uint32_t seed) { reg_ = (spec_.init ^ seed) & mask_; }
+
+void Crc::push_bit(bool b) {
+  bool top = (reg_ & topbit_) != 0;
+  reg_ = (reg_ << 1) & mask_;
+  if (top != b) reg_ ^= spec_.poly & mask_;
+}
+
+void Crc::push(const BitStream& bits) { push(bits, 0, bits.size()); }
+
+void Crc::push(const BitStream& bits, std::size_t pos, std::size_t len) {
+  TTA_CHECK(pos + len <= bits.size());
+  for (std::size_t i = 0; i < len; ++i) push_bit(bits.bit(pos + i));
+}
+
+std::uint32_t Crc::value() const { return (reg_ ^ spec_.xorout) & mask_; }
+
+std::uint32_t Crc::compute(const CrcSpec& spec, const BitStream& bits,
+                           std::uint32_t seed) {
+  Crc c(spec);
+  c.reset(seed);
+  c.push(bits);
+  return c.value();
+}
+
+}  // namespace tta::wire

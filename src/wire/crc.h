@@ -1,0 +1,70 @@
+// Bit-serial CRC over BitStreams.
+//
+// TTP/C protects every frame with a 24-bit CRC, and the *implicit C-state*
+// mechanism seeds that CRC with the sender's C-state bits so a receiver with
+// a different C-state rejects the frame without the C-state ever being
+// transmitted. The exact TTP/C polynomial is not published in the paper, so
+// we substitute the public CRC-24 used by the closely related FlexRay
+// protocol (poly 0x5D6DCB) — the reproduction only relies on CRC *behaviour*
+// (error detection + implicit-state seeding), not on a specific polynomial.
+// Documented as a substitution in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+
+#include "wire/bitstream.h"
+
+namespace tta::wire {
+
+/// Parameters of a non-reflected bit-serial CRC.
+struct CrcSpec {
+  unsigned width;        ///< 8..32 bits.
+  std::uint32_t poly;    ///< Generator polynomial (top bit implicit).
+  std::uint32_t init;    ///< Initial register value.
+  std::uint32_t xorout;  ///< Final XOR.
+};
+
+/// CRC-24 (FlexRay polynomial). TTP/C runs distinct CRC schedules on the two
+/// channels so a node cannot accidentally pass on the wrong channel; we model
+/// that with per-channel init vectors.
+CrcSpec crc24_channel(int channel);
+
+/// CRC-16/CCITT-FALSE, used for the short diagnostic framing in tests.
+CrcSpec crc16_ccitt();
+
+/// CRC-8 (poly 0x2F), used by the line-coding self-checks.
+CrcSpec crc8_autosar();
+
+class Crc {
+ public:
+  explicit Crc(const CrcSpec& spec);
+
+  /// Resets the register to `init` XOR-folded with a seed. Seeding is how
+  /// implicit C-state works: the seed is the C-state image, so two parties
+  /// with different C-states compute different CRCs over identical bits.
+  void reset(std::uint32_t seed = 0);
+
+  /// Clocks one bit through the register.
+  void push_bit(bool b);
+
+  /// Clocks a whole stream (optionally a [pos, pos+len) slice).
+  void push(const BitStream& bits);
+  void push(const BitStream& bits, std::size_t pos, std::size_t len);
+
+  /// Final CRC value (xorout applied; register itself is not disturbed).
+  std::uint32_t value() const;
+
+  unsigned width() const { return spec_.width; }
+
+  /// One-shot convenience.
+  static std::uint32_t compute(const CrcSpec& spec, const BitStream& bits,
+                               std::uint32_t seed = 0);
+
+ private:
+  CrcSpec spec_;
+  std::uint32_t reg_ = 0;
+  std::uint32_t mask_ = 0;
+  std::uint32_t topbit_ = 0;
+};
+
+}  // namespace tta::wire

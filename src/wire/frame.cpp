@@ -1,0 +1,214 @@
+#include "wire/frame.h"
+
+#include "util/check.h"
+
+namespace tta::wire {
+
+namespace {
+
+constexpr std::size_t kNPayloadMaxBytes = 240;
+
+void push_header(BitStream& out, const FrameHeader& h) {
+  out.push_bits(static_cast<std::uint64_t>(h.type), 2);
+  // Only 2 of the paper's 3 MCR bits fit next to a 2-bit type in the 4-bit
+  // header nibble; mode changes are out of scope for the reproduced
+  // experiments, so MCR is truncated to 2 bits here.
+  out.push_bits(h.mode_change_request & 0x3u, 2);
+}
+
+void push_cstate(BitStream& out, const CStateImage& cs) {
+  out.push_bits(cs.global_time, 16);
+  out.push_bits(cs.medl_position, 16);
+  out.push_bits(cs.membership, 16);
+}
+
+CStateImage read_cstate(const BitStream& in, std::size_t pos) {
+  CStateImage cs;
+  cs.global_time = static_cast<std::uint16_t>(in.read_bits(pos, 16));
+  cs.medl_position = static_cast<std::uint16_t>(in.read_bits(pos + 16, 16));
+  cs.membership = static_cast<std::uint16_t>(in.read_bits(pos + 32, 16));
+  return cs;
+}
+
+void push_crc(BitStream& out, int channel, std::uint32_t seed) {
+  Crc crc(crc24_channel(channel));
+  crc.reset(seed);
+  crc.push(out);
+  out.push_bits(crc.value(), 24);
+}
+
+bool check_crc(const BitStream& bits, int channel, std::uint32_t seed,
+               std::size_t covered_bits) {
+  Crc crc(crc24_channel(channel));
+  crc.reset(seed);
+  crc.push(bits, 0, covered_bits);
+  return crc.value() == bits.read_bits(covered_bits, 24);
+}
+
+}  // namespace
+
+std::uint32_t CStateImage::crc_seed() const {
+  // 48 -> 24 bit fold with multiplicative mixing so that single-field
+  // differences always change the seed.
+  std::uint64_t x = (static_cast<std::uint64_t>(global_time) << 32) |
+                    (static_cast<std::uint64_t>(medl_position) << 16) |
+                    membership;
+  x ^= x >> 23;
+  x *= 0x2127599bf4325c37ull;
+  x ^= x >> 29;
+  return static_cast<std::uint32_t>(x & 0xFFFFFF);
+}
+
+std::size_t encoded_bits(const WireFrame& frame) {
+  switch (frame.header.type) {
+    case WireFrameType::kN:
+      return kNFrameMinBits + frame.payload.size() * 8;
+    case WireFrameType::kI:
+      return kIFrameBits;
+    case WireFrameType::kX:
+      return kXFrameBits;
+    case WireFrameType::kColdStart:
+      return kColdStartFrameBits;
+  }
+  TTA_CHECK(false);
+}
+
+BitStream encode_frame(const WireFrame& frame, int channel) {
+  TTA_CHECK(channel == 0 || channel == 1);
+  BitStream out;
+  push_header(out, frame.header);
+  switch (frame.header.type) {
+    case WireFrameType::kN: {
+      TTA_CHECK(frame.payload.size() <= kNPayloadMaxBytes);
+      for (std::uint8_t b : frame.payload) out.push_bits(b, 8);
+      // Implicit C-state: the C-state never hits the wire; it seeds the CRC.
+      push_crc(out, channel, frame.cstate.crc_seed());
+      break;
+    }
+    case WireFrameType::kI: {
+      push_cstate(out, frame.cstate);
+      push_crc(out, channel, 0);
+      break;
+    }
+    case WireFrameType::kX: {
+      TTA_CHECK(frame.payload.size() * 8 == kXPayloadBits);
+      push_cstate(out, frame.cstate);
+      out.push_bits(0, 48);  // reserved half of the 96-bit X C-state area
+      for (std::uint8_t b : frame.payload) out.push_bits(b, 8);
+      // Two independent CRCs ("48 bits for two CRCs"): one per channel
+      // schedule, so either channel's receiver can verify natively.
+      {
+        Crc c0(crc24_channel(0));
+        c0.push(out);
+        std::uint32_t v0 = c0.value();
+        Crc c1(crc24_channel(1));
+        c1.push(out);
+        out.push_bits(v0, 24);
+        out.push_bits(c1.value(), 24);
+      }
+      out.push_bits(0, static_cast<unsigned>(kXPadBits));
+      break;
+    }
+    case WireFrameType::kColdStart: {
+      out.push_bits(frame.cstate.global_time, 16);
+      TTA_CHECK(frame.round_slot < (1u << kColdStartRoundSlotBits));
+      out.push_bits(frame.round_slot,
+                    static_cast<unsigned>(kColdStartRoundSlotBits));
+      push_crc(out, channel, 0);
+      break;
+    }
+  }
+  TTA_CHECK(out.size() == encoded_bits(frame));
+  return out;
+}
+
+DecodeResult decode_frame(const BitStream& bits, int channel,
+                          const CStateImage& receiver_cstate) {
+  TTA_CHECK(channel == 0 || channel == 1);
+  DecodeResult r;
+  if (bits.size() < kHeaderBits + kCrcBits) {
+    r.status = DecodeStatus::kTruncated;
+    return r;
+  }
+  auto type_raw = bits.read_bits(0, 2);
+  auto mcr = static_cast<std::uint8_t>(bits.read_bits(2, 2));
+  auto type = static_cast<WireFrameType>(type_raw);
+  r.frame.header = FrameHeader{type, mcr};
+
+  switch (type) {
+    case WireFrameType::kN: {
+      std::size_t body = bits.size() - kHeaderBits - kCrcBits;
+      if (body % 8 != 0 || body / 8 > kNPayloadMaxBytes) {
+        r.status = DecodeStatus::kBadHeader;
+        return r;
+      }
+      if (!check_crc(bits, channel, receiver_cstate.crc_seed(),
+                     bits.size() - kCrcBits)) {
+        r.status = DecodeStatus::kCrcMismatch;
+        return r;
+      }
+      r.frame.cstate = receiver_cstate;  // implicit: agreement was verified
+      for (std::size_t i = 0; i < body / 8; ++i) {
+        r.frame.payload.push_back(static_cast<std::uint8_t>(
+            bits.read_bits(kHeaderBits + i * 8, 8)));
+      }
+      return r;
+    }
+    case WireFrameType::kI: {
+      if (bits.size() != kIFrameBits) {
+        r.status = DecodeStatus::kTruncated;
+        return r;
+      }
+      if (!check_crc(bits, channel, 0, bits.size() - kCrcBits)) {
+        r.status = DecodeStatus::kCrcMismatch;
+        return r;
+      }
+      r.frame.cstate = read_cstate(bits, kHeaderBits);
+      return r;
+    }
+    case WireFrameType::kX: {
+      if (bits.size() != kXFrameBits) {
+        r.status = DecodeStatus::kTruncated;
+        return r;
+      }
+      std::size_t covered = kHeaderBits + kCStateBitsX + kXPayloadBits;
+      Crc c(crc24_channel(channel));
+      c.push(bits, 0, covered);
+      std::size_t crc_pos = covered + (channel == 0 ? 0 : kCrcBits);
+      if (c.value() != bits.read_bits(crc_pos, 24)) {
+        r.status = DecodeStatus::kCrcMismatch;
+        return r;
+      }
+      if (bits.read_bits(covered + 2 * kCrcBits,
+                         static_cast<unsigned>(kXPadBits)) != 0) {
+        r.status = DecodeStatus::kBadPadding;
+        return r;
+      }
+      r.frame.cstate = read_cstate(bits, kHeaderBits);
+      for (std::size_t i = 0; i < kXPayloadBits / 8; ++i) {
+        r.frame.payload.push_back(static_cast<std::uint8_t>(
+            bits.read_bits(kHeaderBits + kCStateBitsX + i * 8, 8)));
+      }
+      return r;
+    }
+    case WireFrameType::kColdStart: {
+      if (bits.size() != kColdStartFrameBits) {
+        r.status = DecodeStatus::kTruncated;
+        return r;
+      }
+      if (!check_crc(bits, channel, 0, bits.size() - kCrcBits)) {
+        r.status = DecodeStatus::kCrcMismatch;
+        return r;
+      }
+      r.frame.cstate.global_time =
+          static_cast<std::uint16_t>(bits.read_bits(kHeaderBits, 16));
+      r.frame.round_slot = static_cast<std::uint16_t>(bits.read_bits(
+          kHeaderBits + 16, static_cast<unsigned>(kColdStartRoundSlotBits)));
+      return r;
+    }
+  }
+  r.status = DecodeStatus::kBadHeader;
+  return r;
+}
+
+}  // namespace tta::wire

@@ -1,0 +1,114 @@
+// Concrete TTP/C frame layouts (bit-exact encode/decode).
+//
+// The paper quotes frame sizes from the TTP/C Bus-Compatibility
+// Specification: 28-bit minimal N-frame, 40-bit minimal cold-start frame,
+// 76-bit protocol I-frame, 2076-bit maximal X-frame. We implement
+// self-consistent layouts that reproduce the headline sizes the analysis
+// depends on (N = 28, I = 76, X = 2076); for the cold-start frame the
+// paper's own field list (1 + 16 + 9 + 24) does not sum to its stated 40-bit
+// total, so our wire layout uses a 4-bit header like every other frame
+// (4 + 16 + 9 + 24 = 53 bits) and the *analysis* catalog keeps the paper's
+// 40-bit headline number verbatim (see analysis/frame_catalog).
+//
+// Implicit C-state (N-frames): the C-state is not transmitted; instead it
+// seeds the CRC, so any receiver whose C-state differs sees a CRC mismatch.
+// Explicit C-state (I/X/cold-start): the fields travel in the frame and are
+// additionally covered by the CRC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "wire/bitstream.h"
+#include "wire/crc.h"
+
+namespace tta::wire {
+
+/// 48-bit controller-state image as carried by I-frames: the three fields
+/// TTP/C agreement is defined over.
+struct CStateImage {
+  std::uint16_t global_time = 0;
+  std::uint16_t medl_position = 0;  ///< round slot position in the schedule
+  std::uint16_t membership = 0;     ///< one bit per node, node 1 = LSB
+
+  friend bool operator==(const CStateImage&, const CStateImage&) = default;
+
+  /// Folds the image into a CRC seed (this is what "implicit C-state via
+  /// inclusion in the CRC calculation" means operationally).
+  std::uint32_t crc_seed() const;
+};
+
+enum class WireFrameType : std::uint8_t {
+  kN = 0,         ///< normal frame, implicit C-state
+  kI = 1,         ///< initialization frame, explicit C-state, no data
+  kX = 2,         ///< combined frame: explicit C-state + application data
+  kColdStart = 3  ///< cold-start frame sent before time agreement exists
+};
+
+/// Header nibble: 1 type-class bit + 3 mode-change-request bits, matching
+/// the paper's "4 bits for the mode change request and frame type".
+struct FrameHeader {
+  WireFrameType type = WireFrameType::kN;
+  std::uint8_t mode_change_request = 0;  ///< 0..7
+
+  friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
+};
+
+struct WireFrame {
+  FrameHeader header;
+  CStateImage cstate;                 ///< explicit or implicit depending on type
+  std::uint16_t round_slot = 0;       ///< cold-start frames only (9 bits)
+  std::vector<std::uint8_t> payload;  ///< N: 0..240 bytes, X: exactly 240
+
+  friend bool operator==(const WireFrame&, const WireFrame&) = default;
+};
+
+/// Fixed layout constants (bits).
+inline constexpr std::size_t kHeaderBits = 4;
+inline constexpr std::size_t kCrcBits = 24;
+inline constexpr std::size_t kCStateBitsI = 48;
+inline constexpr std::size_t kCStateBitsX = 96;  ///< 48 live + 48 reserved
+inline constexpr std::size_t kXPayloadBits = 1920;
+inline constexpr std::size_t kXPadBits = 8;
+inline constexpr std::size_t kColdStartRoundSlotBits = 9;
+
+inline constexpr std::size_t kNFrameMinBits = kHeaderBits + kCrcBits;  // 28
+inline constexpr std::size_t kIFrameBits =
+    kHeaderBits + kCStateBitsI + kCrcBits;  // 76
+inline constexpr std::size_t kXFrameBits = kHeaderBits + kCStateBitsX +
+                                           kXPayloadBits + 2 * kCrcBits +
+                                           kXPadBits;  // 2076
+inline constexpr std::size_t kColdStartFrameBits =
+    kHeaderBits + 16 + kColdStartRoundSlotBits + kCrcBits;  // 53
+
+/// Exact encoded size of a frame in bits (before line coding).
+std::size_t encoded_bits(const WireFrame& frame);
+
+/// Serializes `frame` for the given channel (0/1 select the CRC schedule).
+/// N-frames use frame.cstate as the implicit CRC seed.
+BitStream encode_frame(const WireFrame& frame, int channel);
+
+enum class DecodeStatus {
+  kOk,
+  kTruncated,     ///< too few bits for the claimed type
+  kBadHeader,     ///< unknown type encoding
+  kCrcMismatch,   ///< CRC check failed — corruption OR C-state disagreement;
+                  ///< a TTP/C receiver cannot tell these apart, which is
+                  ///< exactly why implicit C-state disagreements look like
+                  ///< invalid frames
+  kBadPadding     ///< X-frame tail padding not zero
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kOk;
+  WireFrame frame;  ///< valid only when status == kOk
+};
+
+/// Parses a frame image. `receiver_cstate` is the receiver's own C-state,
+/// used to validate implicit-C-state (N) frames; explicit-C-state frames
+/// decode regardless and the caller compares C-states at the protocol layer.
+DecodeResult decode_frame(const BitStream& bits, int channel,
+                          const CStateImage& receiver_cstate);
+
+}  // namespace tta::wire

@@ -1,0 +1,30 @@
+#include "wire/line_coding.h"
+
+#include "util/check.h"
+
+namespace tta::wire {
+
+LineCoding::LineCoding(unsigned preamble_bits) : preamble_bits_(preamble_bits) {
+  TTA_CHECK(preamble_bits >= 1 && preamble_bits <= 64);
+}
+
+BitStream LineCoding::encode(const BitStream& frame) const {
+  BitStream out;
+  for (unsigned i = 0; i < preamble_bits_; ++i) out.push_bit(preamble_bit(i));
+  out.append(frame);
+  return out;
+}
+
+std::optional<BitStream> LineCoding::decode(const BitStream& wire) const {
+  if (wire.size() < preamble_bits_) return std::nullopt;
+  for (unsigned i = 0; i < preamble_bits_; ++i) {
+    if (wire.bit(i) != preamble_bit(i)) return std::nullopt;
+  }
+  BitStream frame;
+  for (std::size_t i = preamble_bits_; i < wire.size(); ++i) {
+    frame.push_bit(wire.bit(i));
+  }
+  return frame;
+}
+
+}  // namespace tta::wire

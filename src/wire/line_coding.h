@@ -1,0 +1,42 @@
+// Line-coding overhead model.
+//
+// Equation (1) of the paper charges the central guardian `le` bits of buffer
+// for "line encoding" — the preamble/sync pattern a receiver needs before
+// payload bits become meaningful, which the guardian must absorb before it
+// can start re-driving the signal. We model line coding as a fixed
+// `preamble_bits`-bit alternating sync pattern prepended to the frame image
+// (default 4, the paper's le = 4), which is exactly the quantity the
+// analysis equations consume.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "wire/bitstream.h"
+
+namespace tta::wire {
+
+class LineCoding {
+ public:
+  explicit LineCoding(unsigned preamble_bits = 4);
+
+  unsigned preamble_bits() const { return preamble_bits_; }
+
+  /// Frame image -> wire image (preamble + frame bits).
+  BitStream encode(const BitStream& frame) const;
+
+  /// Wire image -> frame image; nullopt if the preamble is damaged.
+  std::optional<BitStream> decode(const BitStream& wire) const;
+
+  /// Size bookkeeping used by the leaky-bucket analysis.
+  std::size_t wire_bits(std::size_t frame_bits) const {
+    return frame_bits + preamble_bits_;
+  }
+
+ private:
+  bool preamble_bit(unsigned i) const { return (i % 2) == 0; }
+
+  unsigned preamble_bits_;
+};
+
+}  // namespace tta::wire

@@ -1,0 +1,38 @@
+#include "wire/signal.h"
+
+#include <cmath>
+
+namespace tta::wire {
+
+SignalAttrs nominal_signal() { return SignalAttrs{900.0, 0.0}; }
+
+bool accepts(const ReceiverTolerance& tol, const SignalAttrs& attrs) {
+  return attrs.amplitude_mv >= tol.min_amplitude_mv &&
+         std::abs(attrs.timing_offset_ns) <= tol.window_ns;
+}
+
+bool is_sos(const std::vector<ReceiverTolerance>& receivers,
+            const SignalAttrs& attrs) {
+  bool any_accept = false;
+  bool any_reject = false;
+  for (const auto& tol : receivers) {
+    (accepts(tol, attrs) ? any_accept : any_reject) = true;
+  }
+  return any_accept && any_reject;
+}
+
+std::vector<ReceiverTolerance> spread_tolerances(std::size_t n,
+                                                 double amplitude_step_mv,
+                                                 double window_step_ns) {
+  std::vector<ReceiverTolerance> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ReceiverTolerance tol;
+    tol.min_amplitude_mv += static_cast<double>(i) * amplitude_step_mv;
+    tol.window_ns -= static_cast<double>(i) * window_step_ns;
+    out.push_back(tol);
+  }
+  return out;
+}
+
+}  // namespace tta::wire

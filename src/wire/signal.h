@@ -1,0 +1,48 @@
+// Analog attributes of a transmitted frame and receiver acceptance.
+//
+// Slightly-off-specification (SOS) faults — the fault class the central
+// guardian's "active signal reshaping" exists to kill — are frames whose
+// amplitude or timing sits so close to the receivers' acceptance thresholds
+// that hardware tolerance spread makes *some* receivers accept and *others*
+// reject the same frame. We model exactly the two dimensions the paper
+// names: signal strength (value domain) and frame timing (time domain).
+#pragma once
+
+#include <vector>
+
+namespace tta::wire {
+
+/// Per-transmission analog attributes as seen at a receiver's input.
+struct SignalAttrs {
+  double amplitude_mv = 900.0;     ///< differential signal strength
+  double timing_offset_ns = 0.0;   ///< start-of-frame offset from slot start
+                                   ///< (positive = late)
+
+  friend bool operator==(const SignalAttrs&, const SignalAttrs&) = default;
+};
+
+/// A receiver's hardware acceptance window; spread between nodes is what
+/// turns a marginal signal into an SOS disagreement.
+struct ReceiverTolerance {
+  double min_amplitude_mv = 600.0;  ///< weaker signals are rejected
+  double window_ns = 1000.0;        ///< |offset| beyond this is rejected
+};
+
+/// Nominal attributes a healthy transmitter produces.
+SignalAttrs nominal_signal();
+
+/// Whether one receiver accepts the transmission.
+bool accepts(const ReceiverTolerance& tol, const SignalAttrs& attrs);
+
+/// A transmission is SOS w.r.t. a set of receivers iff they disagree on it.
+bool is_sos(const std::vector<ReceiverTolerance>& receivers,
+            const SignalAttrs& attrs);
+
+/// Spread-out tolerances for `n` receivers: node i's thresholds deviate from
+/// nominal by i * step in both dimensions (deterministic, so SOS scenarios
+/// in tests and benches are exactly reproducible).
+std::vector<ReceiverTolerance> spread_tolerances(std::size_t n,
+                                                 double amplitude_step_mv,
+                                                 double window_step_ns);
+
+}  // namespace tta::wire

@@ -1,0 +1,143 @@
+// Section 6 equations, including every worked number the paper prints.
+#include "analysis/equations.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/frame_catalog.h"
+
+namespace tta::analysis {
+namespace {
+
+TEST(Eq2, RelativeClockDifference) {
+  EXPECT_DOUBLE_EQ(relative_clock_difference(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_clock_difference(2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(relative_clock_difference(1.0, 2.0), 0.5);  // symmetric
+}
+
+TEST(Eq5, HundredPpmCrystalsGiveRho0002) {
+  // "the difference in clock rates between the two is 0.0002" — eq. (5).
+  EXPECT_DOUBLE_EQ(rho_from_ppm(100.0), 0.0002);
+}
+
+TEST(Eq5, ExactFormIsSlightlySmaller) {
+  // The paper's 2*tol form overestimates by a factor (1 + tol).
+  EXPECT_LT(rho_from_ppm_exact(100.0), rho_from_ppm(100.0));
+  EXPECT_NEAR(rho_from_ppm_exact(100.0), 0.0002, 1e-7);
+}
+
+TEST(Eq1, MinBufferBits) {
+  // B_min = le + rho * f_max.
+  EXPECT_DOUBLE_EQ(min_buffer_bits(4, 0.0002, 115'000.0), 4.0 + 23.0);
+  EXPECT_DOUBLE_EQ(min_buffer_bits(4, 0.0, 2076.0), 4.0);
+}
+
+TEST(Eq3, MaxBufferBits) {
+  // B_max = f_min - 1: "less than the smallest frame".
+  EXPECT_EQ(max_buffer_bits(shortest_frame_bits()), 27);
+  EXPECT_EQ(max_buffer_bits(1), 0);
+}
+
+TEST(Eq6, PaperWorkedExample115kBits) {
+  // "f_max = (28 - 1 - 4)/(0.0002) = 115,000 bits"
+  EXPECT_DOUBLE_EQ(max_frame_bits(28, 4, 0.0002), 115'000.0);
+}
+
+TEST(Eq6, LimitFarExceedsLargestTtpcFrame) {
+  // "the longest allowable frame size of 115,000 bits is much larger than
+  // the number of bits in the largest allowable frame [2076]".
+  EXPECT_GT(max_frame_bits(28, 4, rho_from_ppm(100.0)),
+            static_cast<double>(longest_frame_bits()));
+}
+
+TEST(Eq8, ProtocolIFrameAllowsThirtyPercentSkew) {
+  // "rho = (28-1-4)/(76) = 0.3026..." -> 30.26%.
+  EXPECT_NEAR(max_rho(28, 4, 76), 0.3026, 0.0001);
+}
+
+TEST(Eq9, MaximalXFrameAllowsOnePercentSkew) {
+  // "rho = (28-1-4)/(2076) = 0.0111" -> 1.11%.
+  EXPECT_NEAR(max_rho(28, 4, 2076), 0.0111, 0.0001);
+}
+
+TEST(Eq10, ClockRatioLimit) {
+  // w_max/w_min = f_max / (f_max - f_min + 1 + le).
+  EXPECT_DOUBLE_EQ(max_clock_ratio(2076, 28, 4), 2076.0 / (2076 - 28 + 1 + 4));
+}
+
+TEST(Eq10, PaperHighlightedPoint128Bits) {
+  // "if the maximum and minimum frame size are both 128 bits the ratio ...
+  // is f_max / 5 = 25" (with le = 4: denominator = 128-128+1+4 = 5).
+  EXPECT_DOUBLE_EQ(max_clock_ratio(128, 128, 4), 128.0 / 5.0);
+}
+
+TEST(Eq10, EqualFramesLimitGovernedByLePlusOne) {
+  // For f_min == f_max the denominator is 1 + le regardless of size.
+  EXPECT_DOUBLE_EQ(max_clock_ratio(1000, 1000, 4), 200.0);
+  EXPECT_DOUBLE_EQ(max_clock_ratio(10, 10, 4), 2.0);
+}
+
+TEST(Feasibility, TtpcDesignPointIsFeasible) {
+  EXPECT_TRUE(design_feasible(28, 2076, 4, rho_from_ppm(100.0)));
+}
+
+TEST(Feasibility, EdgeOfFeasibilityAt115kBits) {
+  EXPECT_TRUE(design_feasible(28, 115'000, 4, 0.0002));
+  EXPECT_FALSE(design_feasible(28, 115'001, 4, 0.0002));
+}
+
+TEST(Feasibility, WideClockSkewKillsLongFrames) {
+  // 2% skew: X-frames no longer fit behind a 27-bit buffer ceiling.
+  EXPECT_FALSE(design_feasible(28, 2076, 4, 0.02));
+  EXPECT_TRUE(design_feasible(28, 76, 4, 0.02));
+}
+
+// Exact-rational feasibility must agree with the double version across a
+// grid of parameters, including points exactly on the boundary.
+struct FeasCase {
+  std::int64_t f_min;
+  std::int64_t f_max;
+  unsigned le;
+  std::int64_t rho_num;
+  std::int64_t rho_den;
+};
+
+class FeasibilityGrid : public ::testing::TestWithParam<FeasCase> {};
+
+TEST_P(FeasibilityGrid, ExactAndDoubleAgree) {
+  const auto& p = GetParam();
+  util::Rational rho(p.rho_num, p.rho_den);
+  EXPECT_EQ(design_feasible(p.f_min, p.f_max, p.le, rho.to_double()),
+            design_feasible_exact(p.f_min, p.f_max, p.le, rho))
+      << "f_min=" << p.f_min << " f_max=" << p.f_max;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FeasibilityGrid,
+    ::testing::Values(FeasCase{28, 2076, 4, 2, 10'000},
+                      FeasCase{28, 115'000, 4, 2, 10'000},  // exact boundary
+                      FeasCase{28, 76, 4, 3026, 10'000},
+                      FeasCase{28, 76, 4, 3027, 10'000},
+                      FeasCase{128, 128, 4, 1, 2},
+                      FeasCase{40, 2076, 4, 1, 100},
+                      FeasCase{28, 28, 4, 0, 1},
+                      FeasCase{76, 2076, 8, 1, 50}));
+
+TEST(FrameCatalog, HeadlineNumbers) {
+  EXPECT_EQ(shortest_frame_bits(), 28);
+  EXPECT_EQ(cold_start_frame_bits(), 40);
+  EXPECT_EQ(protocol_i_frame_bits(), 76);
+  EXPECT_EQ(longest_frame_bits(), 2076);
+  EXPECT_EQ(default_line_encoding_bits(), 4u);
+}
+
+TEST(FrameCatalog, HasFourEntriesOrderedBySize) {
+  auto cat = frame_catalog();
+  ASSERT_EQ(cat.size(), 4u);
+  for (std::size_t i = 1; i < cat.size(); ++i) {
+    EXPECT_LT(cat[i - 1].total_bits, cat[i].total_bits);
+  }
+  EXPECT_FALSE(cat[0].field_breakdown.empty());
+}
+
+}  // namespace
+}  // namespace tta::analysis

@@ -1,0 +1,86 @@
+#include "analysis/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/equations.h"
+
+namespace tta::analysis {
+namespace {
+
+TEST(Figure3, SeriesCoverConfiguredFmins) {
+  auto series = figure3(Figure3Config{});
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].f_min, 8);
+  EXPECT_EQ(series[1].f_min, 28);
+  EXPECT_EQ(series[2].f_min, 128);
+}
+
+TEST(Figure3, PointsSkipFmaxBelowFmin) {
+  auto series = figure3(Figure3Config{});
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      EXPECT_GE(p.f_max, s.f_min);
+    }
+  }
+}
+
+TEST(Figure3, CurveDecreasesTowardOne) {
+  // ratio = f_max / (f_max - c) with c = f_min - 1 - le > 0 is strictly
+  // decreasing in f_max and approaches 1 — the shape visible in Figure 3.
+  Figure3Config cfg;
+  cfg.f_min_values = {28};
+  auto series = figure3(cfg);
+  const auto& pts = series[0].points;
+  ASSERT_GT(pts.size(), 4u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i].clock_ratio_limit, pts[i - 1].clock_ratio_limit);
+  }
+  EXPECT_GT(pts.back().clock_ratio_limit, 1.0);
+}
+
+TEST(Figure3, WiderFrameRangeMeansNarrowerClockRange) {
+  // The paper's headline sentence: "systems with a wide range of frame
+  // lengths cannot also have a wide range of clock rates." At fixed f_max,
+  // a larger f_min (narrower range) allows a larger clock ratio.
+  Figure3Config cfg;
+  cfg.f_min_values = {8, 28, 128};
+  cfg.f_max_from = 512;
+  cfg.f_max_to = 512;
+  auto series = figure3(cfg);
+  double r8 = series[0].points.at(0).clock_ratio_limit;
+  double r28 = series[1].points.at(0).clock_ratio_limit;
+  double r128 = series[2].points.at(0).clock_ratio_limit;
+  EXPECT_LT(r8, r28);
+  EXPECT_LT(r28, r128);
+}
+
+TEST(Figure3, PointsMatchEquationTen) {
+  auto series = figure3(Figure3Config{});
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      EXPECT_DOUBLE_EQ(p.clock_ratio_limit,
+                       max_clock_ratio(p.f_max, s.f_min, 4));
+    }
+  }
+}
+
+TEST(Figure3, GeometricStrideProducesNoDuplicates) {
+  auto series = figure3(Figure3Config{});
+  for (const auto& s : series) {
+    for (std::size_t i = 1; i < s.points.size(); ++i) {
+      EXPECT_GT(s.points[i].f_max, s.points[i - 1].f_max);
+    }
+  }
+}
+
+TEST(WorkedExamples, ReportContainsThePaperNumbers) {
+  std::string report = section6_worked_examples();
+  EXPECT_NE(report.find("0.0002"), std::string::npos);   // eq (5)
+  EXPECT_NE(report.find("115000"), std::string::npos);   // eq (6)
+  EXPECT_NE(report.find("0.3026"), std::string::npos);   // eq (8)
+  EXPECT_NE(report.find("0.0111"), std::string::npos);   // eq (9)
+  EXPECT_NE(report.find("25.6"), std::string::npos);     // eq (10) at 128
+}
+
+}  // namespace
+}  // namespace tta::analysis

@@ -1,0 +1,86 @@
+#include "core/buffer_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::core {
+namespace {
+
+BufferPolicyParams ttpc() { return BufferPolicyParams{}; }
+
+TEST(BufferPolicy, ZeroBitsIsPassive) {
+  BufferClass c = classify_buffer(0, ttpc());
+  EXPECT_FALSE(c.can_forward_gaplessly);
+  EXPECT_FALSE(c.can_analyze_semantics);
+  EXPECT_FALSE(c.holds_whole_frame);
+  EXPECT_TRUE(c.respects_bmax);
+  EXPECT_EQ(c.induced_authority, guardian::Authority::kPassive);
+}
+
+TEST(BufferPolicy, BmaxBudgetIsTheSweetSpot) {
+  // 27 bits (f_min - 1): everything the paper wants, nothing it forbids.
+  BufferClass c = classify_buffer(27, ttpc());
+  EXPECT_TRUE(c.can_forward_gaplessly);   // B_min = 4.42 at TTP/C defaults
+  EXPECT_TRUE(c.can_analyze_semantics);   // >= 16 inspection bits
+  EXPECT_FALSE(c.holds_whole_frame);
+  EXPECT_TRUE(c.respects_bmax);
+  EXPECT_EQ(c.induced_authority, guardian::Authority::kSmallShifting);
+}
+
+TEST(BufferPolicy, OneMoreBitMakesAFrameStore) {
+  BufferClass c = classify_buffer(28, ttpc());
+  EXPECT_TRUE(c.holds_whole_frame);
+  EXPECT_FALSE(c.respects_bmax);
+  EXPECT_EQ(c.induced_authority, guardian::Authority::kFullShifting);
+}
+
+TEST(BufferPolicy, SmallBudgetForwardsButCannotInspect) {
+  BufferClass c = classify_buffer(8, ttpc());
+  EXPECT_TRUE(c.can_forward_gaplessly);
+  EXPECT_FALSE(c.can_analyze_semantics);
+  EXPECT_EQ(c.induced_authority, guardian::Authority::kTimeWindows);
+}
+
+TEST(BufferPolicy, LooseClocksRaiseTheForwardingThreshold) {
+  BufferPolicyParams loose = ttpc();
+  loose.rho = 0.01;  // B_min = 4 + 20.76 = 24.76
+  EXPECT_FALSE(classify_buffer(24, loose).can_forward_gaplessly);
+  EXPECT_TRUE(classify_buffer(25, loose).can_forward_gaplessly);
+}
+
+TEST(BufferPolicy, InfeasibleDesignHasNoSafeSemanticBudget) {
+  // rho so large that B_min exceeds B_max: any budget that can forward
+  // gaplessly is already a frame store — the eq (4) infeasibility, visible
+  // as a gap in the policy table.
+  BufferPolicyParams broken = ttpc();
+  broken.rho = 0.02;  // B_min = 45.5 > B_max = 27
+  for (const BufferClass& c : buffer_policy_table(broken)) {
+    EXPECT_FALSE(c.can_forward_gaplessly && c.respects_bmax)
+        << "budget " << c.buffer_bits;
+  }
+}
+
+TEST(BufferPolicy, TableCoversTheThresholds) {
+  auto rows = buffer_policy_table(ttpc());
+  ASSERT_GE(rows.size(), 5u);
+  // Strictly increasing budgets.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].buffer_bits, rows[i - 1].buffer_bits);
+  }
+  // Authority is monotone in budget.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(static_cast<int>(rows[i].induced_authority),
+              static_cast<int>(rows[i - 1].induced_authority));
+  }
+  // The last row (a whole f_max buffer) is a frame store.
+  EXPECT_TRUE(rows.back().holds_whole_frame);
+}
+
+TEST(BufferPolicy, RenderContainsVerdictColumns) {
+  std::string table = render_buffer_policy(buffer_policy_table(ttpc()));
+  EXPECT_NE(table.find("induced authority"), std::string::npos);
+  EXPECT_NE(table.find("full_shifting"), std::string::npos);
+  EXPECT_NE(table.find("small_shifting"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tta::core

@@ -1,0 +1,157 @@
+// End-to-end checks of the experiment runners (the exact configurations the
+// benches print).
+#include "core/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::core {
+namespace {
+
+TEST(FeatureMatrix, ReproducesSection52Verdicts) {
+  auto rows = run_feature_matrix();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].authority, guardian::Authority::kPassive);
+  EXPECT_TRUE(rows[0].holds);
+  EXPECT_TRUE(rows[1].holds);   // time windows
+  EXPECT_TRUE(rows[2].holds);   // small shifting
+  EXPECT_FALSE(rows[3].holds);  // full shifting
+  EXPECT_GT(rows[3].trace_len, 0u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.states, 1000u);
+    EXPECT_GT(r.transitions, r.states);
+  }
+}
+
+TEST(FeatureMatrix, RenderedTableHasVerdictColumn) {
+  std::string table = render_feature_matrix(run_feature_matrix());
+  EXPECT_NE(table.find("HOLDS"), std::string::npos);
+  EXPECT_NE(table.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(table.find("full_shifting"), std::string::npos);
+}
+
+TEST(TraceExperiments, ColdStartDuplicationNarrates) {
+  TraceExperiment exp = run_trace_coldstart_duplication();
+  EXPECT_FALSE(exp.result.holds);
+  EXPECT_NE(exp.narration.find("replays the buffered cold_start"),
+            std::string::npos);
+  EXPECT_NE(exp.narration.find("FROZE"), std::string::npos);
+  EXPECT_FALSE(exp.table.empty());
+}
+
+TEST(TraceExperiments, CStateDuplicationNarrates) {
+  TraceExperiment exp = run_trace_cstate_duplication();
+  EXPECT_FALSE(exp.result.holds);
+  EXPECT_NE(exp.narration.find("replays the buffered c_state"),
+            std::string::npos);
+  EXPECT_EQ(exp.narration.find("replays the buffered cold_start"),
+            std::string::npos);
+}
+
+TEST(TraceExperiments, UnconstrainedIsShortest) {
+  TraceExperiment unconstrained = run_trace_unconstrained();
+  TraceExperiment limited = run_trace_coldstart_duplication();
+  EXPECT_LT(unconstrained.result.trace.size(), limited.result.trace.size());
+}
+
+TEST(TopologyMatrix, KeyCellsMatchThePaperStory) {
+  auto rows = run_topology_fault_matrix();
+  auto find = [&](const std::string& scenario, sim::Topology topo,
+                  guardian::Authority a) -> const TopologyFaultRow& {
+    for (const auto& r : rows) {
+      if (r.scenario == scenario && r.topology == topo && r.authority == a) {
+        return r;
+      }
+    }
+    ADD_FAILURE() << "row not found: " << scenario;
+    static TopologyFaultRow dummy;
+    return dummy;
+  };
+
+  // Fault-free baseline: everything starts everywhere.
+  EXPECT_TRUE(find("no_fault", sim::Topology::kBus,
+                   guardian::Authority::kPassive)
+                  .startup_ok);
+  EXPECT_TRUE(find("no_fault", sim::Topology::kStar,
+                   guardian::Authority::kSmallShifting)
+                  .startup_ok);
+
+  // SOS: freezes healthy nodes on the bus, eliminated by reshaping.
+  EXPECT_GT(find("sos_value", sim::Topology::kBus,
+                 guardian::Authority::kPassive)
+                .healthy_frozen,
+            0u);
+  EXPECT_EQ(find("sos_value", sim::Topology::kStar,
+                 guardian::Authority::kSmallShifting)
+                .healthy_frozen,
+            0u);
+
+  // Masquerade: captures integrations on the bus, blocked by semantics.
+  EXPECT_GT(find("masquerade_startup", sim::Topology::kBus,
+                 guardian::Authority::kPassive)
+                .masquerade_integrations,
+            0u);
+  EXPECT_EQ(find("masquerade_startup", sim::Topology::kStar,
+                 guardian::Authority::kSmallShifting)
+                .masquerade_integrations,
+            0u);
+
+  // Babbling from power-on: kills the bus, contained by the central
+  // guardian's activity supervision.
+  EXPECT_FALSE(find("babbling_from_power_on", sim::Topology::kBus,
+                    guardian::Authority::kPassive)
+                   .startup_ok);
+  EXPECT_TRUE(find("babbling_from_power_on", sim::Topology::kStar,
+                   guardian::Authority::kTimeWindows)
+                  .startup_ok);
+
+  // Bad C-state vs a late joiner: poisoned on the bus, safe behind the
+  // semantic guardian.
+  EXPECT_GT(find("bad_cstate_late_join", sim::Topology::kBus,
+                 guardian::Authority::kPassive)
+                .healthy_frozen,
+            0u);
+  EXPECT_EQ(find("bad_cstate_late_join", sim::Topology::kStar,
+                 guardian::Authority::kSmallShifting)
+                .healthy_frozen,
+            0u);
+}
+
+TEST(TopologyMatrix, RendersAllScenarios) {
+  auto rows = run_topology_fault_matrix(/*steps=*/300);
+  std::string table = render_topology_fault_matrix(rows);
+  EXPECT_NE(table.find("sos_value"), std::string::npos);
+  EXPECT_NE(table.find("masquerade_startup"), std::string::npos);
+  EXPECT_NE(table.find("babbling_steady_state"), std::string::npos);
+}
+
+TEST(IntegrationVulnerability, BusVulnerableStarProtected) {
+  auto rows = run_integration_vulnerability();
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.total, 8u);
+    if (r.topology == sim::Topology::kBus) {
+      EXPECT_GT(r.damaged, 0u);
+    }
+    if (r.authority == guardian::Authority::kSmallShifting) {
+      EXPECT_EQ(r.damaged, 0u);
+    }
+  }
+}
+
+TEST(Ablation, FullShiftingBuysFeaturesAndLosesTheProperty) {
+  auto rows = run_authority_ablation();
+  ASSERT_EQ(rows.size(), 4u);
+  const AblationRow& full = rows[3];
+  EXPECT_TRUE(full.frame_buffering);
+  EXPECT_TRUE(full.replay_fault_possible);
+  EXPECT_FALSE(full.property_holds);
+  const AblationRow& small = rows[2];
+  EXPECT_FALSE(small.frame_buffering);
+  EXPECT_TRUE(small.sos_protection);
+  EXPECT_TRUE(small.startup_masquerade_protection);
+  EXPECT_TRUE(small.property_holds);
+  std::string table = render_authority_ablation(rows);
+  EXPECT_NE(table.find("mailbox/CAN features"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tta::core

@@ -1,0 +1,71 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::core {
+namespace {
+
+TEST(Figure3Csv, HasHeaderAndNumericRows) {
+  std::string csv = figure3_csv();
+  EXPECT_EQ(csv.rfind("f_min,f_max,max_clock_ratio\n", 0), 0u);
+  // Every subsequent line has two commas.
+  std::size_t lines = 0;
+  std::size_t pos = csv.find('\n') + 1;
+  while (pos < csv.size()) {
+    std::size_t end = csv.find('\n', pos);
+    std::string line = csv.substr(pos, end - pos);
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 2) << line;
+    ++lines;
+    pos = end + 1;
+  }
+  EXPECT_GT(lines, 30u);
+}
+
+TEST(Report, ContainsEverySection) {
+  ReportOptions options;
+  options.sim_steps = 300;
+  options.include_recoverability = false;  // keep the test fast
+  options.include_leaky_bucket = false;
+  std::string report = generate_report(options);
+  EXPECT_NE(report.find("## E1"), std::string::npos);
+  EXPECT_NE(report.find("## E2"), std::string::npos);
+  EXPECT_NE(report.find("## E3"), std::string::npos);
+  EXPECT_NE(report.find("## E5"), std::string::npos);
+  EXPECT_NE(report.find("## E6/E7"), std::string::npos);
+  EXPECT_NE(report.find("## E9"), std::string::npos);
+  EXPECT_NE(report.find("## E10"), std::string::npos);
+  EXPECT_EQ(report.find("## E11"), std::string::npos);  // disabled
+}
+
+TEST(Report, ContainsTheHeadlineVerdictsAndNumbers) {
+  ReportOptions options;
+  options.sim_steps = 300;
+  options.include_recoverability = false;
+  options.include_leaky_bucket = false;
+  std::string report = generate_report(options);
+  EXPECT_NE(report.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(report.find("HOLDS"), std::string::npos);
+  EXPECT_NE(report.find("115000"), std::string::npos);  // eq (6)
+  EXPECT_NE(report.find("replays the buffered"), std::string::npos);
+  EXPECT_NE(report.find("sos_value"), std::string::npos);
+}
+
+TEST(Report, SimulationSectionsAreDeterministic) {
+  // Wall-clock columns vary run to run; the simulated sections (E9, E10)
+  // and the analytic sections (E5, E6/E7) must not.
+  ReportOptions options;
+  options.sim_steps = 200;
+  options.include_recoverability = false;
+  options.include_leaky_bucket = false;
+  std::string a = generate_report(options);
+  std::string b = generate_report(options);
+  auto section = [](const std::string& s, const char* from) {
+    std::size_t begin = s.find(from);
+    EXPECT_NE(begin, std::string::npos) << from;
+    return s.substr(begin);
+  };
+  EXPECT_EQ(section(a, "## E5"), section(b, "## E5"));
+}
+
+}  // namespace
+}  // namespace tta::core

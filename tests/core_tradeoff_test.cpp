@@ -1,0 +1,67 @@
+#include "core/tradeoff.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/equations.h"
+
+namespace tta::core {
+namespace {
+
+TEST(TradeoffAnalyzer, TtpcDefaultMatchesPaperInputs) {
+  DesignPoint p = TradeoffAnalyzer::ttpc_default();
+  EXPECT_EQ(p.f_min_bits, 28);
+  EXPECT_EQ(p.f_max_bits, 2076);
+  EXPECT_EQ(p.le_bits, 4u);
+  EXPECT_DOUBLE_EQ(p.rho, 0.0002);
+}
+
+TEST(TradeoffAnalyzer, TtpcDefaultIsFeasibleWithSlack) {
+  DesignReport r = TradeoffAnalyzer::analyze(TradeoffAnalyzer::ttpc_default());
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.b_min_bits, 4.0 + 0.0002 * 2076.0);
+  EXPECT_EQ(r.b_max_bits, 27);
+  EXPECT_GT(r.slack_bits, 20.0);
+}
+
+TEST(TradeoffAnalyzer, ReportsAllHeadrooms) {
+  DesignReport r = TradeoffAnalyzer::analyze(TradeoffAnalyzer::ttpc_default());
+  EXPECT_NEAR(r.max_rho, 0.0111, 0.0001);           // eq (9)
+  EXPECT_DOUBLE_EQ(r.max_f_max_bits, 115'000.0);    // eq (6)
+  EXPECT_DOUBLE_EQ(r.max_clock_ratio,
+                   analysis::max_clock_ratio(2076, 28, 4));
+}
+
+TEST(TradeoffAnalyzer, InfeasibleDesignReported) {
+  DesignPoint p;
+  p.f_min_bits = 28;
+  p.f_max_bits = 2076;
+  p.rho = 0.05;  // 5% skew cannot hide behind a 27-bit buffer
+  DesignReport r = TradeoffAnalyzer::analyze(p);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_LT(r.slack_bits, 0.0);
+}
+
+TEST(TradeoffAnalyzer, ZeroRhoSkipsFrameHeadroom) {
+  DesignPoint p = TradeoffAnalyzer::ttpc_default();
+  p.rho = 0.0;
+  DesignReport r = TradeoffAnalyzer::analyze(p);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.max_f_max_bits, 0.0);  // unbounded; reported as "not computed"
+}
+
+TEST(TradeoffAnalyzer, RenderMentionsVerdictAndEquations) {
+  DesignPoint p = TradeoffAnalyzer::ttpc_default();
+  DesignReport r = TradeoffAnalyzer::analyze(p);
+  std::string text = TradeoffAnalyzer::render(p, r);
+  EXPECT_NE(text.find("FEASIBLE"), std::string::npos);
+  EXPECT_NE(text.find("B_min"), std::string::npos);
+  EXPECT_NE(text.find("eq 10"), std::string::npos);
+
+  p.rho = 0.05;
+  r = TradeoffAnalyzer::analyze(p);
+  text = TradeoffAnalyzer::render(p, r);
+  EXPECT_NE(text.find("INFEASIBLE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tta::core

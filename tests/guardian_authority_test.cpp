@@ -1,0 +1,60 @@
+#include "guardian/authority.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::guardian {
+namespace {
+
+TEST(Authority, CapabilityLatticeIsMonotone) {
+  // Each level adds capabilities and never removes one.
+  auto caps = [](Authority a) {
+    return std::tuple(can_block(a), can_shift_small(a), can_reshape_signal(a),
+                      can_analyze_semantics(a), can_buffer_frames(a));
+  };
+  auto count = [&](Authority a) {
+    auto [b, s, r, sem, buf] = caps(a);
+    return int(b) + int(s) + int(r) + int(sem) + int(buf);
+  };
+  EXPECT_LT(count(Authority::kPassive), count(Authority::kTimeWindows));
+  EXPECT_LT(count(Authority::kTimeWindows), count(Authority::kSmallShifting));
+  EXPECT_LT(count(Authority::kSmallShifting), count(Authority::kFullShifting));
+}
+
+TEST(Authority, PassiveHasNoAuthority) {
+  EXPECT_FALSE(can_block(Authority::kPassive));
+  EXPECT_FALSE(can_shift_small(Authority::kPassive));
+  EXPECT_FALSE(can_reshape_signal(Authority::kPassive));
+  EXPECT_FALSE(can_analyze_semantics(Authority::kPassive));
+  EXPECT_FALSE(can_buffer_frames(Authority::kPassive));
+}
+
+TEST(Authority, OnlyFullShiftingBuffersFrames) {
+  EXPECT_FALSE(can_buffer_frames(Authority::kPassive));
+  EXPECT_FALSE(can_buffer_frames(Authority::kTimeWindows));
+  EXPECT_FALSE(can_buffer_frames(Authority::kSmallShifting));
+  EXPECT_TRUE(can_buffer_frames(Authority::kFullShifting));
+}
+
+TEST(Authority, OutOfSlotFaultRequiresBuffering) {
+  // "The out_of_slot fault occurs only if the couplers are configured for
+  // full time shifting. All other faults may be caused by any
+  // configuration."
+  for (Authority a : kAllAuthorities) {
+    EXPECT_TRUE(fault_possible(a, CouplerFault::kNone));
+    EXPECT_TRUE(fault_possible(a, CouplerFault::kSilence));
+    EXPECT_TRUE(fault_possible(a, CouplerFault::kBadFrame));
+    EXPECT_EQ(fault_possible(a, CouplerFault::kOutOfSlot),
+              a == Authority::kFullShifting);
+  }
+}
+
+TEST(Authority, Names) {
+  EXPECT_STREQ(to_string(Authority::kPassive), "passive");
+  EXPECT_STREQ(to_string(Authority::kTimeWindows), "time_windows");
+  EXPECT_STREQ(to_string(Authority::kSmallShifting), "small_shifting");
+  EXPECT_STREQ(to_string(Authority::kFullShifting), "full_shifting");
+  EXPECT_STREQ(to_string(CouplerFault::kOutOfSlot), "out_of_slot");
+}
+
+}  // namespace
+}  // namespace tta::guardian

@@ -1,0 +1,185 @@
+#include "guardian/central_guardian.h"
+
+#include <gtest/gtest.h>
+
+#include "ttpc/config.h"
+
+namespace tta::guardian {
+namespace {
+
+using ttpc::ChannelFrame;
+using ttpc::FrameKind;
+
+ttpc::Medl medl() { return ttpc::Medl::uniform(ttpc::ProtocolConfig{}); }
+
+GuardianConfig config(Authority a) {
+  GuardianConfig c;
+  c.authority = a;
+  return c;
+}
+
+PortTransmission tx(ttpc::NodeId port, FrameKind kind, ttpc::SlotNumber id,
+                    wire::SignalAttrs attrs = wire::nominal_signal()) {
+  return PortTransmission{port, ChannelFrame{kind, id}, attrs};
+}
+
+TEST(CentralGuardian, ForwardsScheduledSender) {
+  CentralGuardian g(config(Authority::kTimeWindows), medl());
+  auto res = g.arbitrate(2, {tx(2, FrameKind::kCState, 2)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.out, (ChannelFrame{FrameKind::kCState, 2}));
+  ASSERT_EQ(res.actions.size(), 1u);
+  EXPECT_EQ(res.actions[0], GuardianAction::kForwarded);
+}
+
+TEST(CentralGuardian, WindowBlocksUnscheduledSender) {
+  CentralGuardian g(config(Authority::kTimeWindows), medl());
+  auto res = g.arbitrate(2, {tx(3, FrameKind::kCState, 2)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.out.kind, FrameKind::kNone);
+  EXPECT_EQ(res.actions[0], GuardianAction::kBlockedWindow);
+}
+
+TEST(CentralGuardian, PassiveCouplerCannotBlock) {
+  CentralGuardian g(config(Authority::kPassive), medl());
+  auto res = g.arbitrate(2, {tx(3, FrameKind::kCState, 2)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.out.kind, FrameKind::kCState);  // forwarded despite window
+}
+
+TEST(CentralGuardian, UnsyncedGuardianCannotPoliceWindows) {
+  CentralGuardian g(config(Authority::kTimeWindows), medl());
+  auto res = g.arbitrate(std::nullopt, {tx(3, FrameKind::kColdStart, 3)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.out.kind, FrameKind::kColdStart);
+}
+
+TEST(CentralGuardian, ActivitySupervisionCutsBabbler) {
+  CentralGuardian g(config(Authority::kTimeWindows), medl());
+  // A babbling port transmits every slot; from the third consecutive slot
+  // it must be cut off, even before the guardian has a time base.
+  int forwarded = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto res = g.arbitrate(std::nullopt, {tx(1, FrameKind::kOther, 1)},
+                           CouplerFault::kNone);
+    if (res.actions[0] != GuardianAction::kBlockedWindow) ++forwarded;
+  }
+  EXPECT_EQ(forwarded, 2);
+}
+
+TEST(CentralGuardian, ActivitySupervisionAllowsOncePerRound) {
+  CentralGuardian g(config(Authority::kTimeWindows), medl());
+  // One transmission every 4th slot (a legal cold-start retry pattern).
+  for (int round = 0; round < 4; ++round) {
+    auto res = g.arbitrate(std::nullopt, {tx(1, FrameKind::kColdStart, 1)},
+                           CouplerFault::kNone);
+    EXPECT_EQ(res.actions[0], GuardianAction::kForwarded) << round;
+    for (int quiet = 0; quiet < 3; ++quiet) {
+      g.arbitrate(std::nullopt, {}, CouplerFault::kNone);
+    }
+  }
+}
+
+TEST(CentralGuardian, PassiveCouplerDoesNotSuperviseActivity) {
+  CentralGuardian g(config(Authority::kPassive), medl());
+  for (int i = 0; i < 6; ++i) {
+    auto res = g.arbitrate(std::nullopt, {tx(1, FrameKind::kOther, 1)},
+                           CouplerFault::kNone);
+    EXPECT_EQ(res.actions[0], GuardianAction::kForwarded);
+  }
+}
+
+TEST(CentralGuardian, ReshapesSosSignalToNominal) {
+  CentralGuardian g(config(Authority::kSmallShifting), medl());
+  wire::SignalAttrs marginal{615.0, 500.0};
+  auto res =
+      g.arbitrate(2, {tx(2, FrameKind::kCState, 2, marginal)},
+                  CouplerFault::kNone);
+  EXPECT_EQ(res.actions[0], GuardianAction::kReshaped);
+  EXPECT_EQ(res.attrs, wire::nominal_signal());
+}
+
+TEST(CentralGuardian, BlocksUnrecoverableSignal) {
+  CentralGuardian g(config(Authority::kSmallShifting), medl());
+  wire::SignalAttrs dead{100.0, 0.0};  // below recoverable amplitude
+  auto res = g.arbitrate(2, {tx(2, FrameKind::kCState, 2, dead)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.actions[0], GuardianAction::kBlockedSignal);
+  EXPECT_EQ(res.out.kind, FrameKind::kNone);
+}
+
+TEST(CentralGuardian, TimeWindowsDoNotReshape) {
+  CentralGuardian g(config(Authority::kTimeWindows), medl());
+  wire::SignalAttrs marginal{615.0, 0.0};
+  auto res = g.arbitrate(2, {tx(2, FrameKind::kCState, 2, marginal)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.actions[0], GuardianAction::kForwarded);
+  EXPECT_EQ(res.attrs, marginal);  // SOS attrs pass through to receivers
+}
+
+TEST(CentralGuardian, SemanticAnalysisBlocksStartupMasquerade) {
+  CentralGuardian g(config(Authority::kSmallShifting), medl());
+  // Port 1 sends a cold-start frame claiming slot 2, before sync.
+  auto res = g.arbitrate(std::nullopt, {tx(1, FrameKind::kColdStart, 2)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.actions[0], GuardianAction::kBlockedMasquerade);
+  EXPECT_EQ(res.out.kind, FrameKind::kNone);
+}
+
+TEST(CentralGuardian, SemanticAnalysisBlocksBadCState) {
+  CentralGuardian g(config(Authority::kSmallShifting), medl());
+  // Synced guardian at slot 2; the scheduled sender claims slot 3.
+  auto res = g.arbitrate(2, {tx(2, FrameKind::kCState, 3)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.actions[0], GuardianAction::kBlockedBadCState);
+}
+
+TEST(CentralGuardian, TimeWindowsLackSemanticAnalysis) {
+  CentralGuardian g(config(Authority::kTimeWindows), medl());
+  auto res = g.arbitrate(std::nullopt, {tx(1, FrameKind::kColdStart, 2)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.actions[0], GuardianAction::kForwarded);  // masquerade passes
+}
+
+TEST(CentralGuardian, TinyBufferDisablesSemanticAnalysis) {
+  GuardianConfig cfg = config(Authority::kSmallShifting);
+  cfg.buffer_bits = 8;  // below SemanticAnalyzer::kInspectionBits
+  CentralGuardian g(cfg, medl());
+  auto res = g.arbitrate(std::nullopt, {tx(1, FrameKind::kColdStart, 2)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.actions[0], GuardianAction::kForwarded);
+}
+
+TEST(CentralGuardian, CollisionsBecomeNoise) {
+  CentralGuardian g(config(Authority::kPassive), medl());
+  auto res = g.arbitrate(std::nullopt,
+                         {tx(1, FrameKind::kColdStart, 1),
+                          tx(2, FrameKind::kColdStart, 2)},
+                         CouplerFault::kNone);
+  EXPECT_EQ(res.out.kind, FrameKind::kBad);
+}
+
+TEST(CentralGuardian, SilenceFaultSilencesChannel) {
+  CentralGuardian g(config(Authority::kSmallShifting), medl());
+  auto res = g.arbitrate(2, {tx(2, FrameKind::kCState, 2)},
+                         CouplerFault::kSilence);
+  EXPECT_EQ(res.out.kind, FrameKind::kNone);
+}
+
+TEST(CentralGuardian, FullShiftingReplayFault) {
+  CentralGuardian g(config(Authority::kFullShifting), medl());
+  g.arbitrate(1, {tx(1, FrameKind::kCState, 1)}, CouplerFault::kNone);
+  auto res = g.arbitrate(2, {}, CouplerFault::kOutOfSlot);
+  EXPECT_EQ(res.out, (ChannelFrame{FrameKind::kCState, 1}));
+  EXPECT_EQ(res.attrs, wire::nominal_signal());
+}
+
+TEST(CentralGuardian, BufferStateObservable) {
+  CentralGuardian g(config(Authority::kFullShifting), medl());
+  g.arbitrate(1, {tx(1, FrameKind::kColdStart, 1)}, CouplerFault::kNone);
+  EXPECT_EQ(g.coupler_state().buffered_frame, FrameKind::kColdStart);
+  EXPECT_EQ(g.coupler_state().buffered_id, 1);
+}
+
+}  // namespace
+}  // namespace tta::guardian

@@ -1,0 +1,114 @@
+#include "guardian/coupler.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::guardian {
+namespace {
+
+using ttpc::ChannelFrame;
+using ttpc::FrameKind;
+
+ChannelFrame cs(ttpc::SlotNumber id) { return {FrameKind::kColdStart, id}; }
+ChannelFrame cstate(ttpc::SlotNumber id) { return {FrameKind::kCState, id}; }
+
+TEST(MergeTransmissions, EmptyIsSilence) {
+  EXPECT_EQ(AbstractCoupler::merge_transmissions({}).kind, FrameKind::kNone);
+  EXPECT_EQ(AbstractCoupler::merge_transmissions({ChannelFrame{}}).kind,
+            FrameKind::kNone);
+}
+
+TEST(MergeTransmissions, SingleSenderPassesThrough) {
+  auto merged = AbstractCoupler::merge_transmissions({ChannelFrame{}, cs(2)});
+  EXPECT_EQ(merged, cs(2));
+}
+
+TEST(MergeTransmissions, CollisionBecomesNoise) {
+  auto merged = AbstractCoupler::merge_transmissions({cs(1), cstate(3)});
+  EXPECT_EQ(merged.kind, FrameKind::kBad);
+  EXPECT_EQ(merged.id, 0);
+}
+
+TEST(Transfer, FaultFreePassesInputAndBuffers) {
+  AbstractCoupler c(Authority::kFullShifting);
+  CouplerState st;
+  auto out = c.transfer(cstate(3), CouplerFault::kNone, st);
+  EXPECT_EQ(out, cstate(3));
+  EXPECT_EQ(st.buffered_frame, FrameKind::kCState);
+  EXPECT_EQ(st.buffered_id, 3);
+}
+
+TEST(Transfer, SilenceFaultDropsFrame) {
+  AbstractCoupler c(Authority::kPassive);
+  CouplerState st;
+  auto out = c.transfer(cstate(3), CouplerFault::kSilence, st);
+  EXPECT_EQ(out.kind, FrameKind::kNone);
+  // Nothing identifiable hit the channel, so the buffer is unchanged.
+  EXPECT_EQ(st.buffered_frame, FrameKind::kNone);
+}
+
+TEST(Transfer, BadFrameFaultOverridesInput) {
+  AbstractCoupler c(Authority::kTimeWindows);
+  CouplerState st;
+  auto out = c.transfer(cstate(3), CouplerFault::kBadFrame, st);
+  EXPECT_EQ(out.kind, FrameKind::kBad);
+  EXPECT_EQ(st.buffered_id, 0);  // noise has no id to buffer
+}
+
+TEST(Transfer, OutOfSlotReplaysBufferedFrame) {
+  AbstractCoupler c(Authority::kFullShifting);
+  CouplerState st;
+  c.transfer(cs(1), CouplerFault::kNone, st);  // buffers the cold start
+  auto out = c.transfer(ChannelFrame{}, CouplerFault::kOutOfSlot, st);
+  EXPECT_EQ(out, cs(1));  // the paper's replay fault
+  // The replayed frame re-buffers itself.
+  EXPECT_EQ(st.buffered_id, 1);
+}
+
+TEST(Transfer, OutOfSlotOverridesLiveTraffic) {
+  // The model's channel_frame definition puts the buffered frame on the
+  // channel regardless of what was sent this slot.
+  AbstractCoupler c(Authority::kFullShifting);
+  CouplerState st;
+  c.transfer(cs(1), CouplerFault::kNone, st);
+  auto out = c.transfer(cstate(2), CouplerFault::kOutOfSlot, st);
+  EXPECT_EQ(out, cs(1));
+}
+
+TEST(Transfer, BufferTracksLastIdentifiableFrame) {
+  AbstractCoupler c(Authority::kFullShifting);
+  CouplerState st;
+  c.transfer(cs(1), CouplerFault::kNone, st);
+  c.transfer(cstate(2), CouplerFault::kNone, st);
+  EXPECT_EQ(st.buffered_frame, FrameKind::kCState);
+  EXPECT_EQ(st.buffered_id, 2);
+  // Silence does not clear the buffer ("if channel_id = 0 then buffered_id").
+  c.transfer(ChannelFrame{}, CouplerFault::kNone, st);
+  EXPECT_EQ(st.buffered_id, 2);
+}
+
+TEST(Transfer, BufferCarriesMembershipImage) {
+  AbstractCoupler c(Authority::kFullShifting);
+  CouplerState st;
+  ChannelFrame f = cstate(2);
+  f.membership = 0b0101;
+  c.transfer(f, CouplerFault::kNone, st);
+  auto out = c.transfer(ChannelFrame{}, CouplerFault::kOutOfSlot, st);
+  EXPECT_EQ(out.membership, 0b0101);
+}
+
+TEST(Transfer, InitialBufferReplaysNothing) {
+  AbstractCoupler c(Authority::kFullShifting);
+  CouplerState st;  // buffered_frame = none, id = 0
+  auto out = c.transfer(cstate(2), CouplerFault::kOutOfSlot, st);
+  EXPECT_EQ(out.kind, FrameKind::kNone);
+}
+
+TEST(Transfer, ReplayImpossibleWithoutBufferingAuthority) {
+  AbstractCoupler c(Authority::kSmallShifting);
+  CouplerState st;
+  EXPECT_DEATH(c.transfer(cstate(2), CouplerFault::kOutOfSlot, st),
+               "fault_possible");
+}
+
+}  // namespace
+}  // namespace tta::guardian

@@ -1,0 +1,128 @@
+// Bit-clock forwarder: the per-bit discrete simulation must agree with the
+// analytic LeakyBucket and, including the le term, with eq. (1).
+#include "guardian/forwarder.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/equations.h"
+#include "guardian/leaky_bucket.h"
+
+namespace tta::guardian {
+namespace {
+
+using util::Rational;
+
+wire::LineCoding le4() { return wire::LineCoding(4); }
+
+TEST(Forwarder, EqualClocksNeedOnlyPreamble) {
+  BitstreamForwarder f(Rational(1), Rational(1), le4());
+  EXPECT_LE(f.min_margin_bits(2076), 1);
+  EXPECT_LE(f.min_buffer_bits(2076), 5);
+}
+
+TEST(Forwarder, FullMarginAlwaysSafe) {
+  BitstreamForwarder f(Rational(1), Rational(3), le4());
+  EXPECT_FALSE(f.forward(500, 500).underrun);
+}
+
+TEST(Forwarder, ZeroMarginUnderrunsWithFastGuardian) {
+  BitstreamForwarder f(Rational(9), Rational(10), le4());
+  EXPECT_TRUE(f.forward(2076, 0).underrun);
+}
+
+TEST(Forwarder, MonotoneInMargin) {
+  BitstreamForwarder f(Rational(95), Rational(100), le4());
+  std::int64_t need = f.min_margin_bits(1000);
+  EXPECT_FALSE(f.forward(1000, need).underrun);
+  EXPECT_FALSE(f.forward(1000, need + 7).underrun);
+  if (need > 0) {
+    EXPECT_TRUE(f.forward(1000, need - 1).underrun);
+  }
+}
+
+TEST(Forwarder, PeakIncludesPreamble) {
+  BitstreamForwarder f(Rational(1), Rational(1), le4());
+  auto res = f.forward(100, 1);
+  EXPECT_GE(res.peak_buffer_bits, 4);  // at least the absorbed preamble
+}
+
+TEST(Forwarder, SlowGuardianPeakGrowsWithSkew) {
+  BitstreamForwarder mild(Rational(101), Rational(100), le4());
+  BitstreamForwarder harsh(Rational(120), Rational(100), le4());
+  auto p_mild = mild.forward(2000, mild.min_margin_bits(2000));
+  auto p_harsh = harsh.forward(2000, harsh.min_margin_bits(2000));
+  EXPECT_LT(p_mild.peak_buffer_bits, p_harsh.peak_buffer_bits);
+}
+
+struct Eq1Case {
+  std::int64_t skew_ppm;
+  std::int64_t frame_bits;
+  unsigned le;
+};
+
+class ForwarderEq1 : public ::testing::TestWithParam<Eq1Case> {};
+
+TEST_P(ForwarderEq1, MeasuredBufferBoundedByEquationOne) {
+  // Eq. (1) predicts B_min = le + rho * f_max. The per-bit measurement is
+  // never more than ~2 bits above that (store-and-forward quantization) and
+  // never more than le bits below it: waiting out the le-bit preamble
+  // already provides payload head start, which the paper's additive form
+  // double-counts — i.e. eq. (1) is a safe, slightly conservative bound.
+  const auto& p = GetParam();
+  Rational node(1'000'000 - p.skew_ppm, 1'000'000);
+  Rational hub(1'000'000 + p.skew_ppm, 1'000'000);
+  BitstreamForwarder f(node, hub, wire::LineCoding(p.le));
+
+  double rho = relative_rate_difference(node, hub).to_double();
+  double predicted =
+      analysis::min_buffer_bits(p.le, rho, static_cast<double>(p.frame_bits));
+  auto measured = static_cast<double>(f.min_buffer_bits(p.frame_bits));
+  EXPECT_GE(measured, predicted - static_cast<double>(p.le))
+      << "skew=" << p.skew_ppm << " frame=" << p.frame_bits;
+  EXPECT_LE(measured, predicted + 2.0)
+      << "skew=" << p.skew_ppm << " frame=" << p.frame_bits;
+}
+
+TEST_P(ForwarderEq1, AgreesWithAnalyticLeakyBucket) {
+  // Two independent implementations of the same physics. The forwarder's
+  // start threshold (le + margin) over the wire image of le + f bits must
+  // equal the analytic bucket's minimum head start over those same bits,
+  // floored at le (the forwarder always absorbs the full preamble first).
+  const auto& p = GetParam();
+  Rational node(1'000'000 - p.skew_ppm, 1'000'000);
+  Rational hub(1'000'000 + p.skew_ppm, 1'000'000);
+  BitstreamForwarder f(node, hub, wire::LineCoding(p.le));
+  LeakyBucket lb(node, hub);
+
+  std::int64_t wire_bits = p.le + p.frame_bits;
+  std::int64_t expected_threshold =
+      std::max<std::int64_t>(p.le, lb.min_initial_bits(wire_bits));
+  EXPECT_EQ(p.le + f.min_margin_bits(p.frame_bits), expected_threshold)
+      << "skew=" << p.skew_ppm << " frame=" << p.frame_bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewFrameLe, ForwarderEq1,
+    ::testing::Values(Eq1Case{100, 2076, 4}, Eq1Case{100, 28, 4},
+                      Eq1Case{100, 115'000, 4}, Eq1Case{1'000, 2076, 4},
+                      Eq1Case{10'000, 2076, 4}, Eq1Case{10'000, 76, 8},
+                      Eq1Case{50'000, 1000, 4}, Eq1Case{100, 2076, 16},
+                      Eq1Case{1'000, 115'000, 4}));
+
+TEST(Forwarder, PaperWorkedExampleEq6) {
+  // rho = 0.0002 and f = 115000 bits sits exactly at the feasibility edge
+  // for f_min = 28: eq. (1) gives B_min = 4 + 0.0002 * 115000 = 27
+  // = B_max = f_min - 1. The measured requirement must confirm the design
+  // point is feasible (measurement <= the analytic bound, which is
+  // conservative by up to le bits; see MeasuredBufferBoundedByEquationOne).
+  Rational node(999'900, 1'000'000);
+  Rational hub(1'000'100, 1'000'000);
+  BitstreamForwarder f(node, hub, le4());
+  std::int64_t measured = f.min_buffer_bits(115'000);
+  EXPECT_GE(measured, 27 - 4);
+  EXPECT_LE(measured, 27 + 2);
+  EXPECT_LE(measured, analysis::max_buffer_bits(28));
+}
+
+}  // namespace
+}  // namespace tta::guardian

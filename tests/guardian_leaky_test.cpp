@@ -1,0 +1,126 @@
+// Leaky-bucket buffer model: the analytic core behind eq. (1), checked both
+// against hand-derived cases and, in a parameterized sweep, against the
+// closed-form prediction B = ceil(rho * f).
+#include "guardian/leaky_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tta::guardian {
+namespace {
+
+using util::Rational;
+
+TEST(RelativeRateDifference, MatchesEq2) {
+  // rho = (w_max - w_min) / w_max, symmetric in argument order.
+  Rational fast(1'000'100, 1'000'000);
+  Rational slow(999'900, 1'000'000);
+  Rational rho = relative_rate_difference(fast, slow);
+  EXPECT_EQ(rho, Rational(200, 1'000'100));
+  EXPECT_EQ(relative_rate_difference(slow, fast), rho);
+  EXPECT_EQ(relative_rate_difference(fast, fast), Rational(0));
+}
+
+TEST(LeakyBucket, EqualRatesNeedOneBit) {
+  LeakyBucket lb(Rational(1), Rational(1));
+  EXPECT_EQ(lb.min_initial_bits(1000), 1);
+  EXPECT_FALSE(lb.run(1000, 1).underrun);
+  EXPECT_TRUE(lb.run(1000, 0).underrun);
+}
+
+TEST(LeakyBucket, FastDrainNeedsProportionalHeadStart) {
+  // Drain 25% faster than fill: must buffer ~ f * (D-F)/D = f/5 bits.
+  LeakyBucket lb(Rational(4), Rational(5));
+  std::int64_t need = lb.min_initial_bits(1000);
+  EXPECT_NEAR(static_cast<double>(need), 1000.0 / 5.0, 2.0);
+  EXPECT_FALSE(lb.run(1000, need).underrun);
+  EXPECT_TRUE(lb.run(1000, need - 1).underrun);
+}
+
+TEST(LeakyBucket, SlowDrainAccumulatesPeak) {
+  // Drain 20% slower than fill: peak ~ f * (F-D)/F = f/5 bits.
+  LeakyBucket lb(Rational(5), Rational(4));
+  auto res = lb.run(1000, 1);
+  EXPECT_FALSE(res.underrun);
+  EXPECT_NEAR(static_cast<double>(res.peak_bits), 200.0, 2.0);
+}
+
+TEST(LeakyBucket, WholeFrameBufferedIsAlwaysSafe) {
+  LeakyBucket lb(Rational(1), Rational(100));
+  auto res = lb.run(500, 500);
+  EXPECT_FALSE(res.underrun);
+  EXPECT_EQ(res.peak_bits, 500);
+  // Oversized thresholds clamp.
+  EXPECT_EQ(lb.run(500, 10'000).peak_bits, 500);
+}
+
+TEST(LeakyBucket, MinInitialIsExactBoundary) {
+  for (auto [fill, drain] :
+       {std::pair{Rational(999'900, 1'000'000), Rational(1'000'100, 1'000'000)},
+        std::pair{Rational(9), Rational(10)},
+        std::pair{Rational(1), Rational(2)}}) {
+    LeakyBucket lb(fill, drain);
+    for (std::int64_t frame : {100, 2076, 10'000}) {
+      std::int64_t need = lb.min_initial_bits(frame);
+      EXPECT_FALSE(lb.run(frame, need).underrun);
+      if (need > 0) {
+        EXPECT_TRUE(lb.run(frame, need - 1).underrun)
+            << "fill=" << fill.to_string() << " frame=" << frame;
+      }
+    }
+  }
+}
+
+TEST(LeakyBucket, PeakIsAtLeastInitialBuffer) {
+  LeakyBucket lb(Rational(10), Rational(11));
+  for (std::int64_t init : {0, 5, 50, 99}) {
+    EXPECT_GE(lb.run(100, init).peak_bits, std::min<std::int64_t>(init, 100));
+  }
+}
+
+// Parameterized sweep: the measured minimum buffer must match the eq. (1)
+// payload term ceil(rho * f) to within one bit, across clock skews from
+// 10 ppm to 10% and frame sizes from the shortest TTP/C frame to the
+// paper's 115000-bit example.
+struct SweepCase {
+  std::int64_t skew_ppm;
+  std::int64_t frame_bits;
+};
+
+class LeakyBucketSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(LeakyBucketSweep, MeasuredMinBufferMatchesEq1Term) {
+  const auto& p = GetParam();
+  Rational node(1'000'000 - p.skew_ppm, 1'000'000);
+  Rational hub(1'000'000 + p.skew_ppm, 1'000'000);
+  Rational rho = relative_rate_difference(node, hub);
+
+  // Fast guardian: the guardian must wait (head start in bits). The exact
+  // requirement is rho * f plus one store-and-forward bit (the drain cannot
+  // emit a bit it has not fully received), quantized up to whole bits.
+  LeakyBucket lb(node, hub);
+  std::int64_t measured = lb.min_initial_bits(p.frame_bits);
+  double predicted =
+      rho.to_double() * static_cast<double>(p.frame_bits) + 1.0;
+  EXPECT_NEAR(static_cast<double>(measured), predicted, 1.0)
+      << "skew=" << p.skew_ppm << "ppm frame=" << p.frame_bits;
+
+  // Slow guardian: same bound appears as peak occupancy.
+  LeakyBucket slow(hub, node);
+  auto res = slow.run(p.frame_bits, slow.min_initial_bits(p.frame_bits));
+  EXPECT_FALSE(res.underrun);
+  EXPECT_NEAR(static_cast<double>(res.peak_bits), predicted, 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewByFrame, LeakyBucketSweep,
+    ::testing::Values(SweepCase{10, 2076}, SweepCase{10, 115'000},
+                      SweepCase{100, 28}, SweepCase{100, 2076},
+                      SweepCase{100, 115'000}, SweepCase{1'000, 2076},
+                      SweepCase{1'000, 115'000}, SweepCase{10'000, 76},
+                      SweepCase{10'000, 2076}, SweepCase{100'000, 2076},
+                      SweepCase{100'000, 28}, SweepCase{50'000, 115'000}));
+
+}  // namespace
+}  // namespace tta::guardian

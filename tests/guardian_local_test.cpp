@@ -1,0 +1,71 @@
+#include "guardian/local_guardian.h"
+
+#include <gtest/gtest.h>
+
+#include "ttpc/config.h"
+
+namespace tta::guardian {
+namespace {
+
+using ttpc::ChannelFrame;
+using ttpc::FrameKind;
+
+ttpc::Medl medl() { return ttpc::Medl::uniform(ttpc::ProtocolConfig{}); }
+
+ChannelFrame frame(ttpc::SlotNumber id) { return {FrameKind::kCState, id}; }
+
+TEST(LocalGuardian, AllowsOwnerInItsSlot) {
+  LocalGuardian g(2, medl());
+  EXPECT_TRUE(g.allows(2, frame(2)));
+}
+
+TEST(LocalGuardian, BlocksOwnerOutsideItsSlot) {
+  LocalGuardian g(2, medl());
+  EXPECT_FALSE(g.allows(1, frame(2)));
+  EXPECT_FALSE(g.allows(3, frame(2)));
+  EXPECT_FALSE(g.allows(4, frame(2)));
+}
+
+TEST(LocalGuardian, SilenceAlwaysAllowed) {
+  LocalGuardian g(2, medl());
+  EXPECT_TRUE(g.allows(1, ChannelFrame{}));
+  g.inject(LocalGuardianFault::kStuckClosed);
+  EXPECT_TRUE(g.allows(1, ChannelFrame{}));
+}
+
+TEST(LocalGuardian, UnsyncedCannotPolice) {
+  // During startup there is no time base; the guardian must pass traffic
+  // (which is why the bus topology cannot stop startup masquerading).
+  LocalGuardian g(2, medl());
+  EXPECT_TRUE(g.allows(std::nullopt, frame(2)));
+}
+
+TEST(LocalGuardian, StuckClosedSilencesOwnNodeOnly) {
+  LocalGuardian g(2, medl());
+  g.inject(LocalGuardianFault::kStuckClosed);
+  EXPECT_FALSE(g.allows(2, frame(2)));  // even in its own slot
+  EXPECT_EQ(g.fault(), LocalGuardianFault::kStuckClosed);
+}
+
+TEST(LocalGuardian, StuckOpenLosesProtection) {
+  LocalGuardian g(2, medl());
+  g.inject(LocalGuardianFault::kStuckOpen);
+  EXPECT_TRUE(g.allows(1, frame(2)));  // babbling passes
+  EXPECT_TRUE(g.allows(2, frame(2)));
+}
+
+TEST(LocalGuardian, FaultIsRevertible) {
+  LocalGuardian g(2, medl());
+  g.inject(LocalGuardianFault::kStuckClosed);
+  g.inject(LocalGuardianFault::kNone);
+  EXPECT_TRUE(g.allows(2, frame(2)));
+}
+
+TEST(LocalGuardian, Names) {
+  EXPECT_STREQ(to_string(LocalGuardianFault::kNone), "none");
+  EXPECT_STREQ(to_string(LocalGuardianFault::kStuckClosed), "stuck_closed");
+  EXPECT_STREQ(to_string(LocalGuardianFault::kStuckOpen), "stuck_open");
+}
+
+}  // namespace
+}  // namespace tta::guardian

@@ -1,0 +1,86 @@
+#include "guardian/semantic.h"
+
+#include <gtest/gtest.h>
+
+#include "ttpc/config.h"
+
+namespace tta::guardian {
+namespace {
+
+using ttpc::ChannelFrame;
+using ttpc::FrameKind;
+
+ttpc::Medl medl() { return ttpc::Medl::uniform(ttpc::ProtocolConfig{}); }
+
+TEST(SemanticAnalyzer, PassesHonestColdStart) {
+  SemanticAnalyzer sa(medl(), 24);
+  EXPECT_EQ(sa.check(2, ChannelFrame{FrameKind::kColdStart, 2}, std::nullopt),
+            SemanticVerdict::kPass);
+}
+
+TEST(SemanticAnalyzer, BlocksColdStartClaimingForeignSlot) {
+  SemanticAnalyzer sa(medl(), 24);
+  for (ttpc::SlotNumber claimed : {1, 3, 4}) {
+    EXPECT_EQ(sa.check(2, ChannelFrame{FrameKind::kColdStart, claimed},
+                       std::nullopt),
+              SemanticVerdict::kMasqueradeBlocked)
+        << "claimed " << int(claimed);
+  }
+}
+
+TEST(SemanticAnalyzer, ColdStartCheckWorksWithoutTimeBase) {
+  // The port-vs-claim check needs no synchronization — that is exactly why
+  // it can stop *startup* masquerading where time windows cannot.
+  SemanticAnalyzer sa(medl(), 24);
+  EXPECT_EQ(sa.check(1, ChannelFrame{FrameKind::kColdStart, 3}, std::nullopt),
+            SemanticVerdict::kMasqueradeBlocked);
+}
+
+TEST(SemanticAnalyzer, BlocksCStateDisagreeingWithGuardianView) {
+  SemanticAnalyzer sa(medl(), 24);
+  EXPECT_EQ(sa.check(2, ChannelFrame{FrameKind::kCState, 3}, 2),
+            SemanticVerdict::kBadCStateBlocked);
+  EXPECT_EQ(sa.check(2, ChannelFrame{FrameKind::kCState, 2}, 2),
+            SemanticVerdict::kPass);
+}
+
+TEST(SemanticAnalyzer, CStateUncheckableBeforeSync) {
+  SemanticAnalyzer sa(medl(), 24);
+  EXPECT_EQ(sa.check(2, ChannelFrame{FrameKind::kCState, 3}, std::nullopt),
+            SemanticVerdict::kPass);
+}
+
+TEST(SemanticAnalyzer, SilenceAndNoiseHaveNoSemantics) {
+  SemanticAnalyzer sa(medl(), 24);
+  EXPECT_EQ(sa.check(1, ChannelFrame{}, 1), SemanticVerdict::kPass);
+  EXPECT_EQ(sa.check(1, ChannelFrame{FrameKind::kBad, 0}, 1),
+            SemanticVerdict::kPass);
+}
+
+TEST(SemanticAnalyzer, InsufficientBufferMakesFramesUncheckable) {
+  // The link to Section 6: semantic analysis *requires* buffer bits. A
+  // guardian whose buffer budget is below the inspection threshold cannot
+  // check anything.
+  SemanticAnalyzer sa(medl(), SemanticAnalyzer::kInspectionBits - 1);
+  EXPECT_EQ(sa.check(1, ChannelFrame{FrameKind::kColdStart, 3}, std::nullopt),
+            SemanticVerdict::kNotCheckable);
+  EXPECT_EQ(sa.check(2, ChannelFrame{FrameKind::kCState, 3}, 2),
+            SemanticVerdict::kNotCheckable);
+}
+
+TEST(SemanticAnalyzer, ExactInspectionBudgetSuffices) {
+  SemanticAnalyzer sa(medl(), SemanticAnalyzer::kInspectionBits);
+  EXPECT_EQ(sa.check(1, ChannelFrame{FrameKind::kColdStart, 3}, std::nullopt),
+            SemanticVerdict::kMasqueradeBlocked);
+}
+
+TEST(SemanticAnalyzer, OtherFramesJudgedAgainstGuardianSlot) {
+  SemanticAnalyzer sa(medl(), 24);
+  EXPECT_EQ(sa.check(2, ChannelFrame{FrameKind::kOther, 2}, 2),
+            SemanticVerdict::kPass);
+  EXPECT_EQ(sa.check(2, ChannelFrame{FrameKind::kOther, 1}, 2),
+            SemanticVerdict::kBadCStateBlocked);
+}
+
+}  // namespace
+}  // namespace tta::guardian

@@ -1,0 +1,165 @@
+#include "mc/checker.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::mc {
+namespace {
+
+ModelConfig config(guardian::Authority a, unsigned max_oos = 7) {
+  ModelConfig cfg;
+  cfg.authority = a;
+  cfg.max_out_of_slot_errors = max_oos;
+  return cfg;
+}
+
+bool all_active(const TtpcStarModel& model, const WorldState& w) {
+  for (std::size_t i = 0; i < model.num_nodes(); ++i) {
+    if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
+  }
+  return true;
+}
+
+TEST(Checker, StartupIsReachable) {
+  // Sanity for the whole model: the cluster can reach all-active.
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  Checker checker(model);
+  auto res = checker.find_state(
+      [&](const WorldState& w) { return all_active(model, w); });
+  EXPECT_FALSE(res.holds);  // reachable
+  ASSERT_FALSE(res.trace.empty());
+  EXPECT_TRUE(all_active(model, res.trace.back().after));
+  EXPECT_TRUE(res.stats.exhausted);
+}
+
+TEST(Checker, WitnessTraceIsConnected) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  Checker checker(model);
+  auto res = checker.find_state(
+      [&](const WorldState& w) { return all_active(model, w); });
+  ASSERT_FALSE(res.trace.empty());
+  EXPECT_EQ(res.trace.front().before, model.initial());
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    EXPECT_EQ(res.trace[i - 1].after, res.trace[i].before) << "gap at " << i;
+  }
+}
+
+TEST(Checker, GoalAtDepthZeroNeedsNoTrace) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  Checker checker(model);
+  auto res = checker.find_state([](const WorldState&) { return true; });
+  EXPECT_FALSE(res.holds);
+  EXPECT_TRUE(res.trace.empty());
+}
+
+TEST(Checker, UnreachableGoalIsExhausted) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  Checker checker(model);
+  // No node ever enters download in this model.
+  auto res = checker.find_state([](const WorldState& w) {
+    return w.nodes[0].state == ttpc::CtrlState::kDownload;
+  });
+  EXPECT_TRUE(res.holds);
+  EXPECT_TRUE(res.stats.exhausted);
+  EXPECT_GT(res.stats.states_explored, 1000u);
+}
+
+TEST(Checker, StateBudgetStopsSearchUnexhausted) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  Checker checker(model);
+  auto res = checker.find_state(
+      [](const WorldState& w) {
+        return w.nodes[0].state == ttpc::CtrlState::kDownload;
+      },
+      /*max_states=*/500);
+  EXPECT_TRUE(res.holds);           // not found...
+  EXPECT_FALSE(res.stats.exhausted);  // ...but the verdict is inconclusive
+}
+
+TEST(Checker, CounterexampleEndsWithTheViolation) {
+  TtpcStarModel model(config(guardian::Authority::kFullShifting, 1));
+  Checker checker(model);
+  auto res = checker.check(no_integrated_node_freezes());
+  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.trace.empty());
+  const TraceStep& last = res.trace.back();
+  bool violation = false;
+  for (std::size_t i = 0; i < model.num_nodes(); ++i) {
+    if (ttpc::is_integrated(last.before.nodes[i].state) &&
+        last.after.nodes[i].state == ttpc::CtrlState::kFreeze) {
+      violation = true;
+    }
+  }
+  EXPECT_TRUE(violation);
+}
+
+TEST(Checker, CounterexampleStartsAtInitialState) {
+  TtpcStarModel model(config(guardian::Authority::kFullShifting, 1));
+  Checker checker(model);
+  auto res = checker.check(no_integrated_node_freezes());
+  ASSERT_FALSE(res.trace.empty());
+  EXPECT_EQ(res.trace.front().before, model.initial());
+}
+
+TEST(Checker, BfsTraceIsMinimal) {
+  // No strictly shorter counterexample exists: re-running with a depth cap
+  // below the found length must find nothing. We approximate by checking
+  // that every prefix of the trace is violation-free.
+  TtpcStarModel model(config(guardian::Authority::kFullShifting, 1));
+  Checker checker(model);
+  auto res = checker.check(no_integrated_node_freezes());
+  ASSERT_FALSE(res.holds);
+  auto violation = no_integrated_node_freezes();
+  for (std::size_t i = 0; i + 1 < res.trace.size(); ++i) {
+    EXPECT_FALSE(violation(res.trace[i].before, res.trace[i].after))
+        << "violation already at step " << i;
+  }
+}
+
+TEST(Checker, MoreOosErrorsGiveShorterOrEqualTraces) {
+  // The paper: the unconstrained shortest trace uses four out-of-slot
+  // errors; limiting to one yields a slightly longer trace.
+  TtpcStarModel unconstrained(config(guardian::Authority::kFullShifting, 7));
+  TtpcStarModel limited(config(guardian::Authority::kFullShifting, 1));
+  auto res_u = Checker(unconstrained).check(no_integrated_node_freezes());
+  auto res_l = Checker(limited).check(no_integrated_node_freezes());
+  ASSERT_FALSE(res_u.holds);
+  ASSERT_FALSE(res_l.holds);
+  EXPECT_LE(res_u.trace.size(), res_l.trace.size());
+}
+
+TEST(Checker, StatsArePopulated) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  Checker checker(model);
+  auto res = checker.check(no_integrated_node_freezes());
+  EXPECT_TRUE(res.holds);
+  EXPECT_GT(res.stats.states_explored, 10'000u);
+  EXPECT_GT(res.stats.transitions, res.stats.states_explored);
+  EXPECT_GT(res.stats.max_depth, 10u);
+  EXPECT_GE(res.stats.seconds, 0.0);
+}
+
+TEST(Property, DetectsOnlyIntegratedFreezes) {
+  auto violation = no_integrated_node_freezes();
+  WorldState before, after;
+  // listen -> freeze is not a violation (the node never integrated).
+  before.nodes[0].state = ttpc::CtrlState::kListen;
+  after.nodes[0].state = ttpc::CtrlState::kFreeze;
+  EXPECT_FALSE(violation(before, after));
+  // active -> freeze is.
+  before.nodes[1].state = ttpc::CtrlState::kActive;
+  after.nodes[1].state = ttpc::CtrlState::kFreeze;
+  EXPECT_TRUE(violation(before, after));
+  // passive -> freeze is.
+  WorldState b2, a2;
+  b2.nodes[3].state = ttpc::CtrlState::kPassive;
+  a2.nodes[3].state = ttpc::CtrlState::kFreeze;
+  EXPECT_TRUE(violation(b2, a2));
+  // active staying active is not.
+  WorldState b3, a3;
+  b3.nodes[0].state = ttpc::CtrlState::kActive;
+  a3.nodes[0].state = ttpc::CtrlState::kActive;
+  EXPECT_FALSE(violation(b3, a3));
+}
+
+}  // namespace
+}  // namespace tta::mc

@@ -1,0 +1,220 @@
+#include "mc/model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tta::mc {
+namespace {
+
+ModelConfig full_shifting(unsigned max_oos = 7) {
+  ModelConfig cfg;
+  cfg.authority = guardian::Authority::kFullShifting;
+  cfg.max_out_of_slot_errors = max_oos;
+  return cfg;
+}
+
+ModelConfig passive() {
+  ModelConfig cfg;
+  cfg.authority = guardian::Authority::kPassive;
+  return cfg;
+}
+
+TEST(Model, InitialStateIsAllFrozen) {
+  TtpcStarModel model(passive());
+  WorldState init = model.initial();
+  for (std::size_t i = 0; i < model.num_nodes(); ++i) {
+    EXPECT_EQ(init.nodes[i].state, ttpc::CtrlState::kFreeze);
+  }
+  EXPECT_EQ(init.couplers[0].buffered_frame, ttpc::FrameKind::kNone);
+  EXPECT_EQ(init.oos_errors_used, 0);
+}
+
+TEST(Model, PackUnpackRoundTripsRandomStates) {
+  TtpcStarModel model(full_shifting());
+  util::Rng rng(31);
+  for (int iter = 0; iter < 500; ++iter) {
+    WorldState s;
+    for (std::size_t i = 0; i < model.num_nodes(); ++i) {
+      s.nodes[i].state = static_cast<ttpc::CtrlState>(rng.next_below(9));
+      s.nodes[i].slot = static_cast<ttpc::SlotNumber>(rng.next_in(1, 4));
+      s.nodes[i].agreed = static_cast<std::uint8_t>(rng.next_below(16));
+      s.nodes[i].failed = static_cast<std::uint8_t>(rng.next_below(16));
+      s.nodes[i].big_bang = rng.next_bool(0.5);
+      s.nodes[i].listen_timeout = static_cast<std::uint8_t>(rng.next_below(9));
+    }
+    for (auto& c : s.couplers) {
+      c.buffered_frame = static_cast<ttpc::FrameKind>(rng.next_below(5));
+      c.buffered_id = static_cast<ttpc::SlotNumber>(rng.next_below(5));
+    }
+    s.oos_errors_used = static_cast<std::uint8_t>(rng.next_below(8));
+    EXPECT_EQ(model.unpack(model.pack(s)), s);
+  }
+}
+
+TEST(Model, DistinctStatesPackDistinctly) {
+  TtpcStarModel model(passive());
+  WorldState a = model.initial();
+  WorldState b = a;
+  b.nodes[2].big_bang = true;
+  EXPECT_NE(model.pack(a), model.pack(b));
+  WorldState c = a;
+  c.couplers[1].buffered_id = 3;
+  EXPECT_NE(model.pack(a), model.pack(c));
+}
+
+TEST(Model, InitialSuccessorsCoverFreezeChoices) {
+  // 4 nodes x {stay, init} = 16 node-choice combinations; only the no-fault
+  // and silence/bad single-fault pairs apply (no frames buffered yet).
+  TtpcStarModel model(passive());
+  auto succs = model.successors(model.initial());
+  // fault pairs: nn, s-, -s, b-, -b = 5; choices: 2^4 = 16.
+  EXPECT_EQ(succs.size(), 5u * 16u);
+}
+
+TEST(Model, FaultAlphabetRespectsConfigFlags) {
+  ModelConfig cfg = passive();
+  cfg.allow_silence_fault = false;
+  cfg.allow_bad_frame_fault = false;
+  TtpcStarModel model(cfg);
+  auto succs = model.successors(model.initial());
+  EXPECT_EQ(succs.size(), 16u);  // only the fault-free pair remains
+}
+
+TEST(Model, ApplyReplaysSuccessorExactly) {
+  TtpcStarModel model(full_shifting());
+  WorldState s = model.initial();
+  for (int depth = 0; depth < 6; ++depth) {
+    auto succs = model.successors(s);
+    ASSERT_FALSE(succs.empty());
+    const Successor& pick = succs[succs.size() / 2];
+    auto [replayed, label] = model.apply(s, pick.choice_code);
+    EXPECT_EQ(replayed, pick.next);
+    s = pick.next;
+  }
+}
+
+TEST(Model, ReplayRequiresBufferedFrame) {
+  // out_of_slot on an empty buffer is pruned (it would be plain silence).
+  TtpcStarModel model(full_shifting());
+  for (const Successor& succ : model.successors(model.initial())) {
+    auto [next, label] = model.apply(model.initial(), succ.choice_code);
+    EXPECT_EQ(label.fault0 == guardian::CouplerFault::kOutOfSlot, false);
+    EXPECT_EQ(label.fault1 == guardian::CouplerFault::kOutOfSlot, false);
+  }
+}
+
+WorldState state_with_buffered_coldstart(const TtpcStarModel& model) {
+  WorldState s = model.initial();
+  s.couplers[0].buffered_frame = ttpc::FrameKind::kColdStart;
+  s.couplers[0].buffered_id = 1;
+  s.couplers[1].buffered_frame = ttpc::FrameKind::kColdStart;
+  s.couplers[1].buffered_id = 1;
+  return s;
+}
+
+TEST(Model, ReplayAvailableOnceBufferHoldsAFrame) {
+  TtpcStarModel model(full_shifting());
+  WorldState s = state_with_buffered_coldstart(model);
+  bool saw_replay = false;
+  for (const Successor& succ : model.successors(s)) {
+    auto [next, label] = model.apply(s, succ.choice_code);
+    if (label.fault0 == guardian::CouplerFault::kOutOfSlot) {
+      saw_replay = true;
+      EXPECT_EQ(label.ch0,
+                (ttpc::ChannelFrame{ttpc::FrameKind::kColdStart, 1}));
+      EXPECT_EQ(next.oos_errors_used, 1);
+    }
+  }
+  EXPECT_TRUE(saw_replay);
+}
+
+TEST(Model, OutOfSlotBudgetIsEnforced) {
+  TtpcStarModel model(full_shifting(/*max_oos=*/1));
+  WorldState s = state_with_buffered_coldstart(model);
+  s.oos_errors_used = 1;  // budget spent
+  for (const Successor& succ : model.successors(s)) {
+    auto [next, label] = model.apply(s, succ.choice_code);
+    EXPECT_NE(label.fault0, guardian::CouplerFault::kOutOfSlot);
+    EXPECT_NE(label.fault1, guardian::CouplerFault::kOutOfSlot);
+  }
+}
+
+TEST(Model, ColdStartDuplicationConstraintPrunesReplay) {
+  ModelConfig cfg = full_shifting();
+  cfg.allow_coldstart_duplication = false;
+  TtpcStarModel model(cfg);
+  WorldState s = state_with_buffered_coldstart(model);
+  for (const Successor& succ : model.successors(s)) {
+    auto [next, label] = model.apply(s, succ.choice_code);
+    EXPECT_NE(label.fault0, guardian::CouplerFault::kOutOfSlot);
+    EXPECT_NE(label.fault1, guardian::CouplerFault::kOutOfSlot);
+  }
+}
+
+TEST(Model, CStateDuplicationConstraintIsIndependent) {
+  ModelConfig cfg = full_shifting();
+  cfg.allow_coldstart_duplication = false;  // but C-state replay still legal
+  TtpcStarModel model(cfg);
+  WorldState s = model.initial();
+  s.couplers[0].buffered_frame = ttpc::FrameKind::kCState;
+  s.couplers[0].buffered_id = 2;
+  bool saw_replay = false;
+  for (const Successor& succ : model.successors(s)) {
+    auto [next, label] = model.apply(s, succ.choice_code);
+    if (label.fault0 == guardian::CouplerFault::kOutOfSlot) saw_replay = true;
+  }
+  EXPECT_TRUE(saw_replay);
+}
+
+TEST(Model, NonBufferingAuthoritiesNeverReplay) {
+  for (guardian::Authority a :
+       {guardian::Authority::kPassive, guardian::Authority::kTimeWindows,
+        guardian::Authority::kSmallShifting}) {
+    ModelConfig cfg;
+    cfg.authority = a;
+    TtpcStarModel model(cfg);
+    WorldState s = state_with_buffered_coldstart(model);
+    for (const Successor& succ : model.successors(s)) {
+      auto [next, label] = model.apply(s, succ.choice_code);
+      EXPECT_NE(label.fault0, guardian::CouplerFault::kOutOfSlot);
+      EXPECT_NE(label.fault1, guardian::CouplerFault::kOutOfSlot);
+    }
+  }
+}
+
+TEST(Model, AtMostOneCouplerFaultyPerStep) {
+  // "couplerA.fault = none | couplerB.fault = none"
+  TtpcStarModel model(full_shifting());
+  WorldState s = state_with_buffered_coldstart(model);
+  for (const Successor& succ : model.successors(s)) {
+    auto [next, label] = model.apply(s, succ.choice_code);
+    EXPECT_TRUE(label.fault0 == guardian::CouplerFault::kNone ||
+                label.fault1 == guardian::CouplerFault::kNone);
+  }
+}
+
+TEST(Model, SuccessorStatesAreDeduplicatableByPacking) {
+  // Different choice codes may lead to identical states (e.g. silence fault
+  // on a quiet channel); packing must make them collide for the BFS.
+  TtpcStarModel model(passive());
+  WorldState s = model.initial();
+  auto succs = model.successors(s);
+  std::size_t distinct = 0;
+  std::vector<util::PackedState> seen;
+  for (const auto& succ : succs) {
+    util::PackedState p = model.pack(succ.next);
+    bool found = false;
+    for (const auto& q : seen) found |= (q == p);
+    if (!found) {
+      seen.push_back(p);
+      ++distinct;
+    }
+  }
+  // With a silent channel, all 5 fault pairs yield the same channel view,
+  // so only the node-choice combinations remain distinct.
+  EXPECT_EQ(distinct, 16u);
+}
+
+}  // namespace
+}  // namespace tta::mc

@@ -1,0 +1,209 @@
+// The paper's Section 5 results, as executable assertions. This suite is
+// the reproduction's contract: if any of these fail, the repository no
+// longer reproduces the paper.
+#include <gtest/gtest.h>
+
+#include "mc/checker.h"
+#include "mc/trace_printer.h"
+
+namespace tta::mc {
+namespace {
+
+ModelConfig config(guardian::Authority a) {
+  ModelConfig cfg;
+  cfg.authority = a;
+  return cfg;
+}
+
+class AuthorityVerification
+    : public ::testing::TestWithParam<guardian::Authority> {};
+
+TEST_P(AuthorityVerification, NonBufferingCouplersSatisfyTheProperty) {
+  // "For the passive, time windows, and small shifting couplers we verify
+  // that the property above holds."
+  TtpcStarModel model(config(GetParam()));
+  auto res = Checker(model).check(no_integrated_node_freezes());
+  EXPECT_TRUE(res.holds);
+  EXPECT_TRUE(res.stats.exhausted);  // exhaustive, hence a real verification
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSection52, AuthorityVerification,
+                         ::testing::Values(guardian::Authority::kPassive,
+                                           guardian::Authority::kTimeWindows,
+                                           guardian::Authority::kSmallShifting));
+
+TEST(PaperResults, FullShiftingViolatesTheProperty) {
+  // "For the configuration that allows any star coupler to buffer full
+  // frames and replay them in a later time slot, we obtain counter
+  // examples."
+  TtpcStarModel model(config(guardian::Authority::kFullShifting));
+  auto res = Checker(model).check(no_integrated_node_freezes());
+  EXPECT_FALSE(res.holds);
+  EXPECT_FALSE(res.trace.empty());
+}
+
+TEST(PaperResults, UnconstrainedShortestTraceUsesMultipleReplays) {
+  // "the shortest error trace contains four out-of-slot errors" — our
+  // model's shortest unconstrained trace also leans on repeated replays
+  // (more than the single-error budget would allow).
+  TtpcStarModel model(config(guardian::Authority::kFullShifting));
+  auto res = Checker(model).check(no_integrated_node_freezes());
+  ASSERT_FALSE(res.holds);
+  unsigned replays = 0;
+  for (const TraceStep& step : res.trace) {
+    replays += (step.label.fault0 == guardian::CouplerFault::kOutOfSlot);
+    replays += (step.label.fault1 == guardian::CouplerFault::kOutOfSlot);
+  }
+  EXPECT_GE(replays, 2u);
+}
+
+TEST(PaperResults, SingleReplayStillBreaksStartupIntegration) {
+  // "we add a constraint to the model which limits the number of out-of-
+  // slot errors to one. This results in a slightly longer trace, but still
+  // produces an error."
+  ModelConfig cfg = config(guardian::Authority::kFullShifting);
+  cfg.max_out_of_slot_errors = 1;
+  TtpcStarModel model(cfg);
+  auto res = Checker(model).check(no_integrated_node_freezes());
+  ASSERT_FALSE(res.holds);
+
+  // Exactly one replay occurs, and it duplicates a cold-start frame.
+  unsigned replays = 0;
+  bool coldstart_replayed = false;
+  for (const TraceStep& step : res.trace) {
+    for (auto [fault, frame] :
+         {std::pair{step.label.fault0, step.label.ch0},
+          std::pair{step.label.fault1, step.label.ch1}}) {
+      if (fault == guardian::CouplerFault::kOutOfSlot) {
+        ++replays;
+        coldstart_replayed |= frame.kind == ttpc::FrameKind::kColdStart;
+      }
+    }
+  }
+  EXPECT_EQ(replays, 1u);
+  EXPECT_TRUE(coldstart_replayed);
+
+  // The victim is forced out by the clique-avoidance service.
+  bool clique_freeze = false;
+  for (std::size_t i = 0; i < model.num_nodes(); ++i) {
+    clique_freeze |= res.trace.back().label.events[i] ==
+                     ttpc::StepEvent::kCliqueFreeze;
+  }
+  EXPECT_TRUE(clique_freeze);
+}
+
+TEST(PaperResults, CStateDuplicationTraceExistsWhenColdStartForbidden) {
+  // "The error may also be triggered by duplicating a C-state frame. We
+  // obtain such a trace by adding a constraint which prohibits the
+  // duplication of cold start frames."
+  ModelConfig cfg = config(guardian::Authority::kFullShifting);
+  cfg.max_out_of_slot_errors = 1;
+  cfg.allow_coldstart_duplication = false;
+  TtpcStarModel model(cfg);
+  auto res = Checker(model).check(no_integrated_node_freezes());
+  ASSERT_FALSE(res.holds);
+  bool cstate_replayed = false;
+  for (const TraceStep& step : res.trace) {
+    for (auto [fault, frame] :
+         {std::pair{step.label.fault0, step.label.ch0},
+          std::pair{step.label.fault1, step.label.ch1}}) {
+      if (fault == guardian::CouplerFault::kOutOfSlot) {
+        EXPECT_NE(frame.kind, ttpc::FrameKind::kColdStart);
+        cstate_replayed |= frame.kind == ttpc::FrameKind::kCState;
+      }
+    }
+  }
+  EXPECT_TRUE(cstate_replayed);
+}
+
+TEST(PaperResults, ConstrainedTracesAreProgressivelyLonger) {
+  // Shortest unconstrained < shortest single-error < shortest
+  // no-cold-start-duplication — the ordering the paper reports.
+  auto trace_length = [](const ModelConfig& cfg) {
+    TtpcStarModel model(cfg);
+    auto res = Checker(model).check(no_integrated_node_freezes());
+    EXPECT_FALSE(res.holds);
+    return res.trace.size();
+  };
+  ModelConfig unconstrained = config(guardian::Authority::kFullShifting);
+  ModelConfig one_error = unconstrained;
+  one_error.max_out_of_slot_errors = 1;
+  ModelConfig no_cs_dup = one_error;
+  no_cs_dup.allow_coldstart_duplication = false;
+
+  std::size_t l0 = trace_length(unconstrained);
+  std::size_t l1 = trace_length(one_error);
+  std::size_t l2 = trace_length(no_cs_dup);
+  EXPECT_LT(l0, l1);
+  EXPECT_LT(l1, l2);
+}
+
+TEST(PaperResults, TracesGenerateInUnderAMinute) {
+  // "Both traces are generated in less a than a minute on a 1.5 GHz AMD
+  // machine." Modern hardware beats that by orders of magnitude; a minute
+  // is the contract.
+  ModelConfig cfg = config(guardian::Authority::kFullShifting);
+  cfg.max_out_of_slot_errors = 1;
+  TtpcStarModel m1(cfg);
+  auto r1 = Checker(m1).check(no_integrated_node_freezes());
+  cfg.allow_coldstart_duplication = false;
+  TtpcStarModel m2(cfg);
+  auto r2 = Checker(m2).check(no_integrated_node_freezes());
+  EXPECT_LT(r1.stats.seconds + r2.stats.seconds, 60.0);
+}
+
+TEST(PaperResults, NarrationMentionsTheReplayAndTheFreeze) {
+  ModelConfig cfg = config(guardian::Authority::kFullShifting);
+  cfg.max_out_of_slot_errors = 1;
+  TtpcStarModel model(cfg);
+  auto res = Checker(model).check(no_integrated_node_freezes());
+  TracePrinter printer(model);
+  std::string story = printer.narrate(res.trace);
+  EXPECT_NE(story.find("Initially, all nodes are in the freeze state"),
+            std::string::npos);
+  EXPECT_NE(story.find("replays the buffered"), std::string::npos);
+  EXPECT_NE(story.find("FROZE due to clique avoidance error"),
+            std::string::npos);
+  std::string table = printer.table(res.trace);
+  EXPECT_NE(table.find("cold_start"), std::string::npos);
+}
+
+TEST(PaperResults, BigBangRemovalMakesSingleFakeColdStartDangerous) {
+  // Ablation from DESIGN.md §7: without the big-bang rule, integration
+  // happens on the *first* cold-start frame, so a single replayed frame
+  // captures listeners immediately — counterexamples can only get shorter.
+  ModelConfig with_bb = config(guardian::Authority::kFullShifting);
+  with_bb.max_out_of_slot_errors = 1;
+  ModelConfig without_bb = with_bb;
+  without_bb.protocol.big_bang_enabled = false;
+
+  TtpcStarModel m_with(with_bb);
+  TtpcStarModel m_without(without_bb);
+  auto r_with = Checker(m_with).check(no_integrated_node_freezes());
+  auto r_without = Checker(m_without).check(no_integrated_node_freezes());
+  ASSERT_FALSE(r_with.holds);
+  ASSERT_FALSE(r_without.holds);
+  EXPECT_LE(r_without.trace.size(), r_with.trace.size());
+}
+
+TEST(PaperResults, ThreeNodeClusterShowsTheSameDichotomy) {
+  // Robustness of the result across cluster sizes.
+  for (std::uint8_t n : {std::uint8_t{3}, std::uint8_t{5}}) {
+    ModelConfig safe = config(guardian::Authority::kSmallShifting);
+    safe.protocol.num_nodes = n;
+    safe.protocol.num_slots = n;
+    TtpcStarModel m_safe(safe);
+    EXPECT_TRUE(Checker(m_safe).check(no_integrated_node_freezes()).holds)
+        << "n=" << int(n);
+
+    ModelConfig unsafe = config(guardian::Authority::kFullShifting);
+    unsafe.protocol.num_nodes = n;
+    unsafe.protocol.num_slots = n;
+    TtpcStarModel m_unsafe(unsafe);
+    EXPECT_FALSE(Checker(m_unsafe).check(no_integrated_node_freezes()).holds)
+        << "n=" << int(n);
+  }
+}
+
+}  // namespace
+}  // namespace tta::mc

@@ -1,0 +1,101 @@
+// AG EF analysis (experiment E11, an extension beyond the paper's safety
+// property): from every reachable state, can the cluster still reach full
+// operation? Separates *transient* damage (recoverable with host help) from
+// *permanent* degradation.
+#include <gtest/gtest.h>
+
+#include "mc/checker.h"
+
+namespace tta::mc {
+namespace {
+
+ModelConfig config(guardian::Authority a, bool allow_reinit) {
+  ModelConfig cfg;
+  cfg.authority = a;
+  cfg.max_out_of_slot_errors = 1;  // the paper's single-fault hypothesis
+  cfg.protocol.allow_reinit = allow_reinit;
+  return cfg;
+}
+
+Checker<TtpcStarModel>::Goal all_active(const TtpcStarModel& model) {
+  std::size_t n = model.num_nodes();
+  return [n](const WorldState& w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
+    }
+    return true;
+  };
+}
+
+TEST(Recoverability, NonBufferingCouplerIsAlwaysRecoverable) {
+  // Even without hosts awakening anyone: a small-shifting coupler never
+  // forces a freeze, so full operation stays reachable from everywhere.
+  TtpcStarModel model(
+      config(guardian::Authority::kSmallShifting, /*allow_reinit=*/false));
+  auto res = Checker(model).check_recoverability(all_active(model));
+  EXPECT_TRUE(res.stats.exhausted);
+  EXPECT_TRUE(res.recoverable_everywhere);
+  EXPECT_EQ(res.dead_states, 0u);
+}
+
+TEST(Recoverability, HostInterventionMakesReplayDamageTransient) {
+  // With freeze -> init available (the host awakens frozen controllers),
+  // even the buffering coupler's replay damage is recoverable.
+  TtpcStarModel model(
+      config(guardian::Authority::kFullShifting, /*allow_reinit=*/true));
+  auto res = Checker(model).check_recoverability(all_active(model));
+  EXPECT_TRUE(res.stats.exhausted);
+  EXPECT_TRUE(res.recoverable_everywhere);
+}
+
+TEST(Recoverability, WithoutHostsOneReplayCanBePermanent) {
+  // The extension headline: absent host intervention, a single out-of-slot
+  // replay can leave the cluster in a state from which full operation is
+  // unreachable forever.
+  TtpcStarModel model(
+      config(guardian::Authority::kFullShifting, /*allow_reinit=*/false));
+  auto res = Checker(model).check_recoverability(all_active(model));
+  EXPECT_TRUE(res.stats.exhausted);
+  EXPECT_FALSE(res.recoverable_everywhere);
+  EXPECT_GT(res.dead_states, 0u);
+  // The witness path enters the dead region through a replay-induced
+  // clique freeze.
+  ASSERT_FALSE(res.witness.empty());
+  bool replay_seen = false;
+  for (const auto& step : res.witness) {
+    replay_seen |= step.label.fault0 == guardian::CouplerFault::kOutOfSlot ||
+                   step.label.fault1 == guardian::CouplerFault::kOutOfSlot;
+  }
+  EXPECT_TRUE(replay_seen);
+}
+
+TEST(Recoverability, WitnessIsAConnectedPathFromInit) {
+  TtpcStarModel model(
+      config(guardian::Authority::kFullShifting, /*allow_reinit=*/false));
+  auto res = Checker(model).check_recoverability(all_active(model));
+  ASSERT_FALSE(res.witness.empty());
+  EXPECT_EQ(res.witness.front().before, model.initial());
+  for (std::size_t i = 1; i < res.witness.size(); ++i) {
+    EXPECT_EQ(res.witness[i - 1].after, res.witness[i].before);
+  }
+}
+
+TEST(Recoverability, BudgetExhaustionIsReportedNotGuessed) {
+  TtpcStarModel model(
+      config(guardian::Authority::kFullShifting, /*allow_reinit=*/false));
+  auto res =
+      Checker(model).check_recoverability(all_active(model), /*max=*/1'000);
+  EXPECT_FALSE(res.stats.exhausted);  // verdict withheld, not fabricated
+}
+
+TEST(Recoverability, GoalStatesThemselvesAreInTheClosure) {
+  // Once all-active, transient silence/bad faults cannot push the cluster
+  // out of the recoverable region.
+  TtpcStarModel model(
+      config(guardian::Authority::kPassive, /*allow_reinit=*/false));
+  auto res = Checker(model).check_recoverability(all_active(model));
+  EXPECT_TRUE(res.recoverable_everywhere);
+}
+
+}  // namespace
+}  // namespace tta::mc

@@ -1,0 +1,91 @@
+#include "mc/trace_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "mc/checker.h"
+
+namespace tta::mc {
+namespace {
+
+ModelConfig violating_config() {
+  ModelConfig cfg;
+  cfg.authority = guardian::Authority::kFullShifting;
+  cfg.max_out_of_slot_errors = 1;
+  return cfg;
+}
+
+class TracePrinterTest : public ::testing::Test {
+ protected:
+  TracePrinterTest() : model_(violating_config()), printer_(model_) {
+    result_ = Checker(model_).check(no_integrated_node_freezes());
+  }
+  TtpcStarModel model_;
+  TracePrinter printer_;
+  CheckResult result_;
+};
+
+TEST_F(TracePrinterTest, NarrationIsNumberedAndOrdered) {
+  std::string story = printer_.narrate(result_.trace);
+  // Numbered entries in ascending order, paper style.
+  std::size_t p1 = story.find(" 1)");
+  std::size_t p2 = story.find(" 2)");
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  EXPECT_LT(p1, p2);
+}
+
+TEST_F(TracePrinterTest, NarrationStartsWithTheInitialState) {
+  std::string story = printer_.narrate(result_.trace);
+  EXPECT_EQ(story.find("Initially, all nodes are in the freeze state"),
+            story.find("1)") + 3);
+}
+
+TEST_F(TracePrinterTest, QuietSlotsAreCompressed) {
+  // Listen-timeout countdowns must be merged, not listed slot by slot:
+  // fewer per-step narration items (each carries a "ch0=" header) than
+  // trace steps.
+  std::string story = printer_.narrate(result_.trace);
+  EXPECT_NE(story.find("quiet slot(s) pass"), std::string::npos);
+  long items = 0;
+  for (std::size_t pos = story.find("ch0="); pos != std::string::npos;
+       pos = story.find("ch0=", pos + 1)) {
+    ++items;
+  }
+  EXPECT_LT(items, static_cast<long>(result_.trace.size()));
+}
+
+TEST_F(TracePrinterTest, NodesAreLetteredLikeThePaper) {
+  std::string story = printer_.narrate(result_.trace);
+  EXPECT_NE(story.find("Node A"), std::string::npos);
+  EXPECT_NE(story.find("Node B") != std::string::npos ||
+                story.find("Node C") != std::string::npos ||
+                story.find("Node D") != std::string::npos,
+            false);
+}
+
+TEST_F(TracePrinterTest, FaultStepsAreCalledOut) {
+  std::string story = printer_.narrate(result_.trace);
+  EXPECT_NE(story.find("replays the buffered"), std::string::npos);
+}
+
+TEST_F(TracePrinterTest, TableHasOneRowPerStep) {
+  std::string table = printer_.table(result_.trace);
+  long newlines = std::count(table.begin(), table.end(), '\n');
+  EXPECT_EQ(newlines, static_cast<long>(result_.trace.size()) + 1);  // +header
+}
+
+TEST_F(TracePrinterTest, TableShowsChannelsAndStates) {
+  std::string table = printer_.table(result_.trace);
+  EXPECT_NE(table.find("ch0"), std::string::npos);
+  EXPECT_NE(table.find("freeze"), std::string::npos);
+  EXPECT_NE(table.find("cold_start"), std::string::npos);
+}
+
+TEST_F(TracePrinterTest, EmptyTraceNarratesOnlyTheInitialLine) {
+  std::string story = printer_.narrate({});
+  EXPECT_NE(story.find("Initially"), std::string::npos);
+  EXPECT_EQ(story.find(" 2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tta::mc

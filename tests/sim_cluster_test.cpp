@@ -1,0 +1,174 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::sim {
+namespace {
+
+ClusterConfig star(guardian::Authority a) {
+  ClusterConfig cfg;
+  cfg.topology = Topology::kStar;
+  cfg.guardian.authority = a;
+  return cfg;
+}
+
+ClusterConfig bus() {
+  ClusterConfig cfg;
+  cfg.topology = Topology::kBus;
+  return cfg;
+}
+
+// Startup must succeed in every fault-free configuration — parameterized
+// over topology x authority.
+struct StartupCase {
+  Topology topology;
+  guardian::Authority authority;
+};
+
+class StartupTest : public ::testing::TestWithParam<StartupCase> {};
+
+TEST_P(StartupTest, FaultFreeClusterReachesAllActive) {
+  ClusterConfig cfg;
+  cfg.topology = GetParam().topology;
+  cfg.guardian.authority = GetParam().authority;
+  Cluster cluster(cfg, FaultInjector{});
+  EXPECT_TRUE(cluster.run_until_all_healthy_active(200));
+  EXPECT_EQ(cluster.count_in_state(ttpc::CtrlState::kActive), 4u);
+  EXPECT_EQ(cluster.healthy_clique_frozen(), 0u);
+  EXPECT_EQ(cluster.metrics().masquerade_integrations, 0u);
+  EXPECT_EQ(cluster.metrics().sos_disagreements, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, StartupTest,
+    ::testing::Values(
+        StartupCase{Topology::kBus, guardian::Authority::kPassive},
+        StartupCase{Topology::kStar, guardian::Authority::kPassive},
+        StartupCase{Topology::kStar, guardian::Authority::kTimeWindows},
+        StartupCase{Topology::kStar, guardian::Authority::kSmallShifting},
+        StartupCase{Topology::kStar, guardian::Authority::kFullShifting}));
+
+TEST(Cluster, StartupIsDeterministic) {
+  Cluster a(star(guardian::Authority::kSmallShifting), FaultInjector{});
+  Cluster b(star(guardian::Authority::kSmallShifting), FaultInjector{});
+  a.run(100);
+  b.run(100);
+  for (ttpc::NodeId id = 1; id <= 4; ++id) {
+    EXPECT_EQ(a.node(id).state(), b.node(id).state());
+    EXPECT_EQ(a.node(id).membership(), b.node(id).membership());
+  }
+}
+
+TEST(Cluster, StartupTimeBoundedByAFewRounds) {
+  Cluster cluster(star(guardian::Authority::kSmallShifting), FaultInjector{});
+  ASSERT_TRUE(cluster.run_until_all_healthy_active(200));
+  // Listen timeouts are ~2 rounds; integration takes ~3 more rounds.
+  EXPECT_LE(cluster.now(), 8u * 4u);
+}
+
+TEST(Cluster, MembershipConvergesToFullSet) {
+  Cluster cluster(star(guardian::Authority::kSmallShifting), FaultInjector{});
+  cluster.run(80);
+  for (ttpc::NodeId id = 1; id <= 4; ++id) {
+    EXPECT_EQ(cluster.node(id).membership(), 0b1111)
+        << "node " << int(id);
+  }
+}
+
+TEST(Cluster, MembershipViewsAgreeAmongActiveNodes) {
+  Cluster cluster(bus(), FaultInjector{});
+  cluster.run(200);
+  std::uint16_t reference = cluster.node(1).membership();
+  for (ttpc::NodeId id = 2; id <= 4; ++id) {
+    EXPECT_EQ(cluster.node(id).membership(), reference);
+  }
+}
+
+TEST(Cluster, SlotCountersStayPhaseLocked) {
+  Cluster cluster(star(guardian::Authority::kPassive), FaultInjector{});
+  cluster.run(100);
+  // All integrated nodes share the same slot counter value each step.
+  ttpc::SlotNumber slot = cluster.node(1).state().slot;
+  for (ttpc::NodeId id = 2; id <= 4; ++id) {
+    EXPECT_EQ(cluster.node(id).state().slot, slot);
+  }
+}
+
+TEST(Cluster, EveryRoundCarriesFourFrames) {
+  ClusterConfig cfg = star(guardian::Authority::kSmallShifting);
+  Cluster cluster(cfg, FaultInjector{});
+  ASSERT_TRUE(cluster.run_until_all_healthy_active(200));
+  std::uint64_t mark = cluster.now();
+  cluster.run(8);
+  // In steady state, each of the last 8 slots carries a C-state frame.
+  const auto& recs = cluster.log().records();
+  std::size_t with_frames = 0;
+  for (const auto& r : recs) {
+    if (r.step < mark) continue;
+    if (r.channel0.kind == ttpc::FrameKind::kCState) ++with_frames;
+  }
+  EXPECT_EQ(with_frames, 8u);
+}
+
+TEST(Cluster, ChannelsCarryIdenticalContentWhenHealthy) {
+  Cluster cluster(star(guardian::Authority::kTimeWindows), FaultInjector{});
+  cluster.run(60);
+  for (const auto& r : cluster.log().records()) {
+    EXPECT_EQ(r.channel0, r.channel1) << "step " << r.step;
+  }
+}
+
+TEST(Cluster, LogRenderingMentionsStatesAndFrames) {
+  Cluster cluster(star(guardian::Authority::kPassive), FaultInjector{});
+  cluster.run(30);
+  std::string log = cluster.log().render();
+  EXPECT_NE(log.find("cold_start"), std::string::npos);
+  EXPECT_NE(log.find("listen"), std::string::npos);
+  EXPECT_NE(log.find("sent"), std::string::npos);
+}
+
+TEST(Cluster, KeepLogOffKeepsLogEmpty) {
+  ClusterConfig cfg = star(guardian::Authority::kPassive);
+  cfg.keep_log = false;
+  Cluster cluster(cfg, FaultInjector{});
+  cluster.run(50);
+  EXPECT_TRUE(cluster.log().empty());
+}
+
+TEST(Cluster, SimultaneousPowerOnStillStartsUp) {
+  ClusterConfig cfg = star(guardian::Authority::kSmallShifting);
+  cfg.power_on_steps = {0, 0, 0, 0};
+  Cluster cluster(cfg, FaultInjector{});
+  EXPECT_TRUE(cluster.run_until_all_healthy_active(200));
+}
+
+TEST(Cluster, LatePowerOnIntegratesIntoRunningCluster) {
+  ClusterConfig cfg = star(guardian::Authority::kSmallShifting);
+  cfg.power_on_steps = {0, 1, 2, 150};
+  Cluster cluster(cfg, FaultInjector{});
+  cluster.run(140);
+  EXPECT_EQ(cluster.node(4).state().state, ttpc::CtrlState::kFreeze);
+  EXPECT_EQ(cluster.count_in_state(ttpc::CtrlState::kActive), 3u);
+  cluster.run(160);
+  EXPECT_EQ(cluster.node(4).state().state, ttpc::CtrlState::kActive);
+  EXPECT_TRUE(cluster.node(4).ever_integrated());
+}
+
+TEST(Cluster, SixNodeClusterStartsUp) {
+  ClusterConfig cfg = star(guardian::Authority::kSmallShifting);
+  cfg.protocol.num_nodes = 6;
+  cfg.protocol.num_slots = 6;
+  Cluster cluster(cfg, FaultInjector{});
+  EXPECT_TRUE(cluster.run_until_all_healthy_active(400));
+  EXPECT_EQ(cluster.count_in_state(ttpc::CtrlState::kActive), 6u);
+}
+
+TEST(Cluster, MetricsStepsTrackRun) {
+  Cluster cluster(bus(), FaultInjector{});
+  cluster.run(123);
+  EXPECT_EQ(cluster.metrics().steps, 123u);
+  EXPECT_EQ(cluster.now(), 123u);
+}
+
+}  // namespace
+}  // namespace tta::sim

@@ -1,0 +1,74 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::sim {
+namespace {
+
+TEST(FaultInjector, EmptyByDefault) {
+  FaultInjector fi;
+  EXPECT_TRUE(fi.empty());
+  EXPECT_EQ(fi.coupler_fault(0, 0), guardian::CouplerFault::kNone);
+  EXPECT_EQ(fi.node_fault(1, 0), NodeFaultMode::kNone);
+  EXPECT_EQ(fi.local_guardian_fault(1, 0), guardian::LocalGuardianFault::kNone);
+  EXPECT_FALSE(fi.node_ever_faulty(1));
+}
+
+TEST(FaultInjector, CouplerWindowBoundsAreInclusive) {
+  FaultInjector fi;
+  fi.add(CouplerFaultWindow{0, guardian::CouplerFault::kSilence, 10, 20});
+  EXPECT_EQ(fi.coupler_fault(0, 9), guardian::CouplerFault::kNone);
+  EXPECT_EQ(fi.coupler_fault(0, 10), guardian::CouplerFault::kSilence);
+  EXPECT_EQ(fi.coupler_fault(0, 20), guardian::CouplerFault::kSilence);
+  EXPECT_EQ(fi.coupler_fault(0, 21), guardian::CouplerFault::kNone);
+}
+
+TEST(FaultInjector, ChannelsAreIndependent) {
+  FaultInjector fi;
+  fi.add(CouplerFaultWindow{1, guardian::CouplerFault::kBadFrame, 0, 100});
+  EXPECT_EQ(fi.coupler_fault(0, 50), guardian::CouplerFault::kNone);
+  EXPECT_EQ(fi.coupler_fault(1, 50), guardian::CouplerFault::kBadFrame);
+}
+
+TEST(FaultInjector, LaterEntriesWinOnOverlap) {
+  FaultInjector fi;
+  fi.add(NodeFaultWindow{2, NodeFaultMode::kSilent, 0, 100});
+  fi.add(NodeFaultWindow{2, NodeFaultMode::kBabbling, 50, 60});
+  EXPECT_EQ(fi.node_fault(2, 40), NodeFaultMode::kSilent);
+  EXPECT_EQ(fi.node_fault(2, 55), NodeFaultMode::kBabbling);
+  EXPECT_EQ(fi.node_fault(2, 70), NodeFaultMode::kSilent);
+}
+
+TEST(FaultInjector, NodeEverFaultyCoversNodeFaults) {
+  FaultInjector fi;
+  fi.add(NodeFaultWindow{3, NodeFaultMode::kSosValue, 100, 200});
+  EXPECT_TRUE(fi.node_ever_faulty(3));
+  EXPECT_FALSE(fi.node_ever_faulty(2));
+}
+
+TEST(FaultInjector, FaultyLocalGuardianMakesNodeFaulty) {
+  // Under the TTP/C fault hypothesis the node + its bus guardian form one
+  // fault-containment region on the bus.
+  FaultInjector fi;
+  fi.add(LocalGuardianFaultWindow{2, guardian::LocalGuardianFault::kStuckOpen,
+                                  0, UINT64_MAX});
+  EXPECT_TRUE(fi.node_ever_faulty(2));
+  EXPECT_FALSE(fi.node_ever_faulty(1));
+}
+
+TEST(FaultInjector, ExplicitNoneWindowDoesNotMarkFaulty) {
+  FaultInjector fi;
+  fi.add(NodeFaultWindow{1, NodeFaultMode::kNone, 0, 10});
+  EXPECT_FALSE(fi.node_ever_faulty(1));
+}
+
+TEST(FaultInjector, TransientWindowExpires) {
+  FaultInjector fi;
+  fi.add(NodeFaultWindow{1, NodeFaultMode::kBabbling, 5, 5});
+  EXPECT_EQ(fi.node_fault(1, 4), NodeFaultMode::kNone);
+  EXPECT_EQ(fi.node_fault(1, 5), NodeFaultMode::kBabbling);
+  EXPECT_EQ(fi.node_fault(1, 6), NodeFaultMode::kNone);
+}
+
+}  // namespace
+}  // namespace tta::sim

@@ -1,0 +1,260 @@
+// Integration tests of the fault-propagation claims (experiment E9): each
+// test pins one cell of the bus-vs-star matrix that the paper's background
+// section ([7]) reports.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+
+namespace tta::sim {
+namespace {
+
+ClusterConfig make(Topology topo, guardian::Authority a) {
+  ClusterConfig cfg;
+  cfg.topology = topo;
+  cfg.guardian.authority = a;
+  cfg.keep_log = false;
+  return cfg;
+}
+
+FaultInjector one_node_fault(ttpc::NodeId node, NodeFaultMode mode,
+                             std::uint64_t from = 0) {
+  FaultInjector fi;
+  fi.add(NodeFaultWindow{node, mode, from, UINT64_MAX});
+  return fi;
+}
+
+// ------------------------------------------------------------- babbling --
+
+TEST(Babbling, FromPowerOnKillsBusStartup) {
+  Cluster c(make(Topology::kBus, guardian::Authority::kPassive),
+            one_node_fault(1, NodeFaultMode::kBabbling));
+  c.run(600);
+  // Local guardians have no time base before startup, so the babbler owns
+  // the bus forever: the cluster never forms.
+  EXPECT_FALSE(c.all_healthy_in_state(ttpc::CtrlState::kActive));
+}
+
+TEST(Babbling, CentralGuardianActivitySupervisionSavesStartup) {
+  for (guardian::Authority a : {guardian::Authority::kTimeWindows,
+                                guardian::Authority::kSmallShifting}) {
+    Cluster c(make(Topology::kStar, a),
+              one_node_fault(1, NodeFaultMode::kBabbling));
+    c.run(600);
+    EXPECT_TRUE(c.all_healthy_in_state(ttpc::CtrlState::kActive))
+        << guardian::to_string(a);
+    EXPECT_EQ(c.healthy_clique_frozen(), 0u);
+  }
+}
+
+TEST(Babbling, PassiveStarForwardsTheBabbleLikeABus) {
+  Cluster c(make(Topology::kStar, guardian::Authority::kPassive),
+            one_node_fault(1, NodeFaultMode::kBabbling));
+  c.run(600);
+  EXPECT_FALSE(c.all_healthy_in_state(ttpc::CtrlState::kActive));
+}
+
+TEST(Babbling, SteadyStateBabblerIsContainedByLocalGuardiansOnBus) {
+  // Once the cluster (and thus the local guardians) have a time base, the
+  // classic bus guardian does its job.
+  Cluster c(make(Topology::kBus, guardian::Authority::kPassive),
+            one_node_fault(1, NodeFaultMode::kBabbling, /*from=*/100));
+  c.run(600);
+  EXPECT_EQ(c.healthy_clique_frozen(), 0u);
+  for (ttpc::NodeId id = 2; id <= 4; ++id) {
+    EXPECT_EQ(c.node(id).state().state, ttpc::CtrlState::kActive);
+  }
+}
+
+// ----------------------------------------------------------- masquerade --
+
+TEST(Masquerade, CapturesIntegrationOnBus) {
+  Cluster c(make(Topology::kBus, guardian::Authority::kPassive),
+            one_node_fault(1, NodeFaultMode::kMasqueradeColdStart));
+  c.run(600);
+  // Some healthy node adopted a cold-start frame whose claimed slot did not
+  // match the physical sender — the definition of successful masquerading.
+  EXPECT_GT(c.metrics().masquerade_integrations, 0u);
+}
+
+TEST(Masquerade, SemanticCentralGuardianBlocksIt) {
+  Cluster c(make(Topology::kStar, guardian::Authority::kSmallShifting),
+            one_node_fault(1, NodeFaultMode::kMasqueradeColdStart));
+  c.run(600);
+  EXPECT_EQ(c.metrics().masquerade_integrations, 0u);
+  EXPECT_GT(c.metrics().guardian_blocks_masquerade, 0u);
+  // The healthy remainder of the cluster starts normally.
+  EXPECT_TRUE(c.all_healthy_in_state(ttpc::CtrlState::kActive));
+}
+
+TEST(Masquerade, TimeWindowsAloneCannotStopStartupMasquerade) {
+  // Windows need a time base; before synchronization the masquerader's
+  // frames pass — this is exactly why [2] added semantic analysis.
+  Cluster c(make(Topology::kStar, guardian::Authority::kTimeWindows),
+            one_node_fault(1, NodeFaultMode::kMasqueradeColdStart));
+  c.run(600);
+  EXPECT_GT(c.metrics().masquerade_integrations, 0u);
+}
+
+// ----------------------------------------------------------- bad C-state --
+
+TEST(BadCState, SteadyStateClusterTolerates) {
+  // Integrated nodes recognize the bad frames as incorrect and just expel
+  // the sender; no healthy node is hurt.
+  Cluster c(make(Topology::kBus, guardian::Authority::kPassive),
+            one_node_fault(1, NodeFaultMode::kBadCState));
+  c.run(600);
+  EXPECT_EQ(c.healthy_clique_frozen(), 0u);
+}
+
+TEST(BadCState, LateJoinerPoisonedOnBus) {
+  // A node integrating into the running cluster adopts the first C-state it
+  // sees; at join offset 121 that is the faulty node's frame.
+  ClusterConfig cfg = make(Topology::kBus, guardian::Authority::kPassive);
+  cfg.power_on_steps = {0, 1, 2, 121};
+  Cluster c(cfg, one_node_fault(1, NodeFaultMode::kBadCState));
+  c.run(400);
+  EXPECT_TRUE(c.node(4).ever_clique_frozen());
+}
+
+TEST(BadCState, SemanticGuardianProtectsEveryJoinOffset) {
+  for (std::uint64_t off = 120; off < 128; ++off) {
+    ClusterConfig cfg =
+        make(Topology::kStar, guardian::Authority::kSmallShifting);
+    cfg.power_on_steps = {0, 1, 2, off};
+    Cluster c(cfg, one_node_fault(1, NodeFaultMode::kBadCState));
+    c.run(400);
+    EXPECT_FALSE(c.node(4).ever_clique_frozen()) << "offset " << off;
+    EXPECT_EQ(c.node(4).state().state, ttpc::CtrlState::kActive)
+        << "offset " << off;
+  }
+}
+
+// ------------------------------------------------------------------ SOS --
+
+TEST(Sos, ValueDomainFreezesHealthyNodesOnBus) {
+  Cluster c(make(Topology::kBus, guardian::Authority::kPassive),
+            one_node_fault(1, NodeFaultMode::kSosValue));
+  c.run(600);
+  EXPECT_GT(c.healthy_clique_frozen(), 0u);
+  EXPECT_GT(c.metrics().sos_disagreements, 0u);
+}
+
+TEST(Sos, TimeDomainFreezesHealthyNodesOnBus) {
+  Cluster c(make(Topology::kBus, guardian::Authority::kPassive),
+            one_node_fault(1, NodeFaultMode::kSosTime));
+  c.run(600);
+  EXPECT_GT(c.healthy_clique_frozen(), 0u);
+}
+
+TEST(Sos, TimeWindowsDoNotHelpAgainstSos) {
+  Cluster c(make(Topology::kStar, guardian::Authority::kTimeWindows),
+            one_node_fault(1, NodeFaultMode::kSosValue));
+  c.run(600);
+  EXPECT_GT(c.healthy_clique_frozen(), 0u);
+}
+
+TEST(Sos, SignalReshapingEliminatesSos) {
+  for (NodeFaultMode mode :
+       {NodeFaultMode::kSosValue, NodeFaultMode::kSosTime}) {
+    Cluster c(make(Topology::kStar, guardian::Authority::kSmallShifting),
+              one_node_fault(1, mode));
+    c.run(600);
+    EXPECT_EQ(c.healthy_clique_frozen(), 0u) << to_string(mode);
+    EXPECT_EQ(c.metrics().sos_disagreements, 0u) << to_string(mode);
+    EXPECT_TRUE(c.all_healthy_in_state(ttpc::CtrlState::kActive));
+  }
+}
+
+// -------------------------------------------------------- silent node ----
+
+TEST(SilentNode, ClusterRunsWithoutIt) {
+  Cluster c(make(Topology::kStar, guardian::Authority::kSmallShifting),
+            one_node_fault(2, NodeFaultMode::kSilent));
+  c.run(600);
+  EXPECT_TRUE(c.all_healthy_in_state(ttpc::CtrlState::kActive));
+  // The silent node never appears in the healthy nodes' membership.
+  EXPECT_FALSE((c.node(1).membership() >> 1) & 1u);
+}
+
+// -------------------------------------------- local guardian faults ------
+
+TEST(LocalGuardianFault, StuckClosedSilencesOnlyItsNode) {
+  ClusterConfig cfg = make(Topology::kBus, guardian::Authority::kPassive);
+  FaultInjector fi;
+  fi.add(LocalGuardianFaultWindow{2, guardian::LocalGuardianFault::kStuckClosed,
+                                  0, UINT64_MAX});
+  Cluster c(cfg, std::move(fi));
+  c.run(600);
+  // Node 2's frames never reach the bus; everyone else runs fine.
+  EXPECT_EQ(c.healthy_clique_frozen(), 0u);
+  for (ttpc::NodeId id : {ttpc::NodeId{1}, ttpc::NodeId{3}, ttpc::NodeId{4}}) {
+    EXPECT_EQ(c.node(id).state().state, ttpc::CtrlState::kActive);
+    EXPECT_FALSE((c.node(id).membership() >> 1) & 1u);
+  }
+}
+
+TEST(LocalGuardianFault, StuckOpenAlonePreservesService) {
+  // Losing protection is harmless until the node itself also fails — the
+  // classic dual-fault argument for guardian independence.
+  ClusterConfig cfg = make(Topology::kBus, guardian::Authority::kPassive);
+  FaultInjector fi;
+  fi.add(LocalGuardianFaultWindow{2, guardian::LocalGuardianFault::kStuckOpen,
+                                  0, UINT64_MAX});
+  Cluster c(cfg, std::move(fi));
+  c.run(600);
+  EXPECT_EQ(c.healthy_clique_frozen(), 0u);
+  EXPECT_EQ(c.count_in_state(ttpc::CtrlState::kActive), 4u);
+}
+
+// ----------------------------------------- coupler faults in simulation --
+
+TEST(CouplerFault, TransientSilenceIsMaskedByRedundantChannel) {
+  ClusterConfig cfg = make(Topology::kStar, guardian::Authority::kSmallShifting);
+  FaultInjector fi;
+  fi.add(CouplerFaultWindow{0, guardian::CouplerFault::kSilence, 50, 200});
+  Cluster c(cfg, std::move(fi));
+  c.run(600);
+  EXPECT_EQ(c.healthy_clique_frozen(), 0u);
+  EXPECT_EQ(c.count_in_state(ttpc::CtrlState::kActive), 4u);
+}
+
+TEST(CouplerFault, TransientNoiseIsMaskedByRedundantChannel) {
+  ClusterConfig cfg = make(Topology::kStar, guardian::Authority::kPassive);
+  FaultInjector fi;
+  fi.add(CouplerFaultWindow{1, guardian::CouplerFault::kBadFrame, 50, 200});
+  Cluster c(cfg, std::move(fi));
+  c.run(600);
+  EXPECT_EQ(c.healthy_clique_frozen(), 0u);
+}
+
+TEST(CouplerFault, ReplayOnBufferingCouplerCanFreezeIntegratedNode) {
+  // The headline result, reproduced in simulation: a single out-of-slot
+  // replay by a full-shifting coupler during the integration phase forces a
+  // healthy node out of the cluster.
+  ClusterConfig cfg =
+      make(Topology::kStar, guardian::Authority::kFullShifting);
+  FaultInjector fi;
+  // Replay into the integration phase (nodes integrate on the cold start
+  // around step 12; the replayed frame at 13 carries a stale slot id).
+  fi.add(CouplerFaultWindow{0, guardian::CouplerFault::kOutOfSlot, 13, 13});
+  Cluster c(cfg, std::move(fi));
+  c.run(200);
+  EXPECT_GT(c.healthy_clique_frozen(), 0u);
+}
+
+TEST(CouplerFault, ReplayImpossibleWithoutBufferingAuthority) {
+  // The same schedule against a small-shifting coupler is inert: the fault
+  // physically cannot occur (the coupler holds no frames).
+  ClusterConfig cfg =
+      make(Topology::kStar, guardian::Authority::kSmallShifting);
+  FaultInjector fi;
+  fi.add(CouplerFaultWindow{0, guardian::CouplerFault::kOutOfSlot, 13, 13});
+  Cluster c(cfg, std::move(fi));
+  c.run(200);
+  EXPECT_EQ(c.healthy_clique_frozen(), 0u);
+  EXPECT_EQ(c.metrics().replay_integrations, 0u);
+  EXPECT_TRUE(c.all_healthy_in_state(ttpc::CtrlState::kActive));
+}
+
+}  // namespace
+}  // namespace tta::sim

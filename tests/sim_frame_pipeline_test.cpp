@@ -1,0 +1,144 @@
+#include "sim/frame_pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::sim {
+namespace {
+
+FramePipeline pipe(int channel = 0) {
+  return FramePipeline(channel, wire::LineCoding(4));
+}
+
+ttpc::CState state_a() { return ttpc::CState(100, 2, 0b0111); }
+ttpc::CState state_b() { return ttpc::CState(101, 2, 0b0111); }  // time off
+
+TEST(FramePipeline, AgreementYieldsCorrectExplicit) {
+  FramePipeline p = pipe();
+  auto wire = p.transmit(state_a(), /*explicit_cstate=*/true);
+  auto r = p.receive(wire, state_a());
+  EXPECT_EQ(r.status, FrameStatus::kCorrect);
+  EXPECT_EQ(r.frame.header.type, wire::WireFrameType::kI);
+  EXPECT_EQ(ttpc::CState::from_image(r.frame.cstate), state_a());
+}
+
+TEST(FramePipeline, AgreementYieldsCorrectImplicit) {
+  FramePipeline p = pipe();
+  auto wire = p.transmit(state_a(), /*explicit_cstate=*/false, {1, 2, 3});
+  auto r = p.receive(wire, state_a());
+  EXPECT_EQ(r.status, FrameStatus::kCorrect);
+  EXPECT_EQ(r.frame.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(FramePipeline, ExplicitDisagreementIsIncorrect) {
+  // I-frame: the receiver decodes the frame fine and *sees* the C-state
+  // mismatch — the "incorrect frame" that feeds the failed counter.
+  FramePipeline p = pipe();
+  auto wire = p.transmit(state_a(), true);
+  auto r = p.receive(wire, state_b());
+  EXPECT_EQ(r.status, FrameStatus::kIncorrect);
+  EXPECT_EQ(ttpc::CState::from_image(r.frame.cstate), state_a());
+}
+
+TEST(FramePipeline, ImplicitDisagreementLooksLikeCorruption) {
+  // N-frame: the C-state seeds the CRC, so a disagreement fails the CRC —
+  // the receiver cannot distinguish it from a damaged frame. This is the
+  // wire-level reason invalid and incorrect are different categories.
+  FramePipeline p = pipe();
+  auto wire = p.transmit(state_a(), false, {9, 9});
+  auto r = p.receive(wire, state_b());
+  EXPECT_EQ(r.status, FrameStatus::kInvalid);
+}
+
+TEST(FramePipeline, EmptySlotIsNull) {
+  FramePipeline p = pipe();
+  EXPECT_EQ(p.receive(wire::BitStream{}, state_a()).status,
+            FrameStatus::kNull);
+}
+
+TEST(FramePipeline, CorruptionIsInvalidNeverIncorrect) {
+  FramePipeline p = pipe();
+  util::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto wire = p.transmit(state_a(), true);
+    FramePipeline::corrupt(wire, rng, 1 + unsigned(rng.next_below(5)));
+    auto r = p.receive(wire, state_a());
+    EXPECT_TRUE(r.status == FrameStatus::kInvalid ||
+                r.status == FrameStatus::kCorrect)  // flips may cancel: no
+        << to_string(r.status);                     // false "incorrect"
+    if (r.status == FrameStatus::kCorrect) {
+      // Only possible if the flips restored the exact image — with
+      // distinct positions that cannot happen.
+      ADD_FAILURE() << "corrupted frame accepted";
+    }
+  }
+}
+
+TEST(FramePipeline, DamagedPreambleIsInvalid) {
+  FramePipeline p = pipe();
+  auto wire = p.transmit(state_a(), true);
+  wire.flip_bit(0);  // first sync bit
+  EXPECT_EQ(p.receive(wire, state_a()).status, FrameStatus::kInvalid);
+}
+
+TEST(FramePipeline, ColdStartRoundTripsScheduleFields) {
+  FramePipeline p = pipe(1);
+  auto wire = p.transmit_cold_start(77, 3);
+  auto r = p.receive(wire, state_a());
+  EXPECT_EQ(r.status, FrameStatus::kCorrect);
+  EXPECT_EQ(r.frame.header.type, wire::WireFrameType::kColdStart);
+  EXPECT_EQ(r.frame.cstate.global_time, 77);
+  EXPECT_EQ(r.frame.round_slot, 3);
+}
+
+TEST(FramePipeline, ChannelsUseTheirOwnCrcSchedules) {
+  FramePipeline p0 = pipe(0);
+  FramePipeline p1 = pipe(1);
+  auto wire0 = p0.transmit(state_a(), true);
+  // A frame encoded for channel 0 fails channel 1's CRC schedule.
+  EXPECT_EQ(p1.receive(wire0, state_a()).status, FrameStatus::kInvalid);
+  EXPECT_EQ(p0.receive(wire0, state_a()).status, FrameStatus::kCorrect);
+}
+
+TEST(FramePipeline, MembershipDisagreementAlone) {
+  // Same time and slot, one membership bit different — explicit frames
+  // reveal it, implicit frames turn it into CRC garbage.
+  ttpc::CState sender(100, 2, 0b0111);
+  ttpc::CState receiver(100, 2, 0b0101);
+  FramePipeline p = pipe();
+  EXPECT_EQ(p.receive(p.transmit(sender, true), receiver).status,
+            FrameStatus::kIncorrect);
+  EXPECT_EQ(p.receive(p.transmit(sender, false), receiver).status,
+            FrameStatus::kInvalid);
+}
+
+TEST(FramePipeline, StatusNames) {
+  EXPECT_STREQ(to_string(FrameStatus::kNull), "null");
+  EXPECT_STREQ(to_string(FrameStatus::kInvalid), "invalid");
+  EXPECT_STREQ(to_string(FrameStatus::kIncorrect), "incorrect");
+  EXPECT_STREQ(to_string(FrameStatus::kCorrect), "correct");
+}
+
+class BitErrorSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitErrorSweep, NoUndetectedCorruptionAcrossBurstSizes) {
+  FramePipeline p = pipe();
+  util::Rng rng(GetParam());
+  ttpc::CState sender = state_a();
+  int undetected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    auto wire = p.transmit(sender, true);
+    FramePipeline::corrupt(wire, rng, GetParam());
+    auto r = p.receive(wire, sender);
+    if (r.status == FrameStatus::kCorrect ||
+        r.status == FrameStatus::kIncorrect) {
+      ++undetected;
+    }
+  }
+  EXPECT_EQ(undetected, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flips, BitErrorSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 24u));
+
+}  // namespace
+}  // namespace tta::sim

@@ -1,0 +1,121 @@
+// Membership-service invariants at the simulator level. The membership mask
+// is the refinement that lets SOS faults propagate (DESIGN.md §3), so its
+// consistency properties deserve their own suite.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+
+namespace tta::sim {
+namespace {
+
+ClusterConfig base(Topology topo) {
+  ClusterConfig cfg;
+  cfg.topology = topo;
+  cfg.guardian.authority = guardian::Authority::kSmallShifting;
+  return cfg;
+}
+
+TEST(Membership, ColdStarterBeginsWithItself) {
+  Cluster c(base(Topology::kStar), FaultInjector{});
+  // Node 1 times out first and cold-starts; catch it in that phase.
+  c.run(9);
+  ASSERT_EQ(c.node(1).state().state, ttpc::CtrlState::kColdStart);
+  EXPECT_EQ(c.node(1).membership(), 0b0001);
+}
+
+TEST(Membership, IntegratorAdoptsSenderImage) {
+  Cluster c(base(Topology::kStar), FaultInjector{});
+  c.run(17);  // nodes 2..4 have integrated on node 1's cold start by now
+  for (ttpc::NodeId id = 2; id <= 4; ++id) {
+    if (c.node(id).state().state == ttpc::CtrlState::kPassive) {
+      EXPECT_EQ(c.node(id).membership(), 0b0001) << "node " << int(id);
+    }
+  }
+}
+
+TEST(Membership, GrowsAsNodesStartSending) {
+  Cluster c(base(Topology::kStar), FaultInjector{});
+  c.run(40);
+  EXPECT_EQ(c.node(1).membership(), 0b1111);
+}
+
+TEST(Membership, SendersCountThemselvesViaOwnFrames) {
+  Cluster c(base(Topology::kStar), FaultInjector{});
+  c.run(60);
+  for (ttpc::NodeId id = 1; id <= 4; ++id) {
+    EXPECT_TRUE((c.node(id).membership() >> (id - 1)) & 1u)
+        << "node " << int(id) << " not in its own membership";
+  }
+}
+
+TEST(Membership, SilentNodeIsDroppedEverywhereConsistently) {
+  FaultInjector fi;
+  fi.add(NodeFaultWindow{3, NodeFaultMode::kSilent, 100, UINT64_MAX});
+  Cluster c(base(Topology::kStar), std::move(fi));
+  c.run(300);
+  for (ttpc::NodeId id : {ttpc::NodeId{1}, ttpc::NodeId{2}, ttpc::NodeId{4}}) {
+    EXPECT_FALSE((c.node(id).membership() >> 2) & 1u) << "node " << int(id);
+    EXPECT_EQ(c.node(id).state().state, ttpc::CtrlState::kActive);
+  }
+}
+
+TEST(Membership, RecoveredNodeRejoinsMembership) {
+  FaultInjector fi;
+  fi.add(NodeFaultWindow{3, NodeFaultMode::kSilent, 100, 200});
+  Cluster c(base(Topology::kStar), std::move(fi));
+  c.run(500);
+  for (ttpc::NodeId id = 1; id <= 4; ++id) {
+    EXPECT_TRUE((c.node(id).membership() >> 2) & 1u) << "node " << int(id);
+  }
+  EXPECT_EQ(c.count_in_state(ttpc::CtrlState::kActive), 4u);
+}
+
+TEST(Membership, HealthyRunKeepsAllViewsIdentical) {
+  // The membership service's core guarantee: every step, all integrated
+  // nodes hold the same mask.
+  Cluster c(base(Topology::kBus), FaultInjector{});
+  for (int step = 0; step < 200; ++step) {
+    c.step();
+    std::uint16_t reference = 0;
+    bool have_reference = false;
+    for (ttpc::NodeId id = 1; id <= 4; ++id) {
+      if (!ttpc::is_integrated(c.node(id).state().state)) continue;
+      if (!have_reference) {
+        reference = c.node(id).membership();
+        have_reference = true;
+      } else {
+        ASSERT_EQ(c.node(id).membership(), reference)
+            << "diverged at step " << step << " for node " << int(id);
+      }
+    }
+  }
+}
+
+TEST(Membership, SosSplitsTheViews) {
+  // The divergence mechanism itself: under an SOS-value fault, acceptors
+  // and rejecters must end up with different masks at some step.
+  FaultInjector fi;
+  fi.add(NodeFaultWindow{1, NodeFaultMode::kSosValue, 0, UINT64_MAX});
+  ClusterConfig cfg = base(Topology::kBus);
+  cfg.guardian.authority = guardian::Authority::kPassive;
+  Cluster c(cfg, std::move(fi));
+  bool diverged = false;
+  for (int step = 0; step < 400 && !diverged; ++step) {
+    c.step();
+    std::uint16_t first = 0;
+    bool have = false;
+    for (ttpc::NodeId id = 2; id <= 4; ++id) {
+      if (!ttpc::is_integrated(c.node(id).state().state)) continue;
+      if (!have) {
+        first = c.node(id).membership();
+        have = true;
+      } else if (c.node(id).membership() != first) {
+        diverged = true;
+      }
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace tta::sim

@@ -1,0 +1,103 @@
+#include "sim/slot_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::sim {
+namespace {
+
+using ttpc::ChannelFrame;
+using ttpc::FrameKind;
+
+ttpc::ProtocolConfig cfg() { return ttpc::ProtocolConfig{}; }
+
+ChannelFrame cold(ttpc::SlotNumber id) { return {FrameKind::kColdStart, id}; }
+ChannelFrame cstate(ttpc::SlotNumber id) { return {FrameKind::kCState, id}; }
+
+TEST(SlotTracker, StartsUnsynced) {
+  SlotTracker t(cfg());
+  EXPECT_FALSE(t.current().has_value());
+}
+
+TEST(SlotTracker, SilenceKeepsItUnsynced) {
+  SlotTracker t(cfg());
+  for (int i = 0; i < 10; ++i) t.observe(ChannelFrame{}, ChannelFrame{});
+  EXPECT_FALSE(t.current().has_value());
+}
+
+TEST(SlotTracker, PinsOnFirstIdentifiableFrame) {
+  SlotTracker t(cfg());
+  t.observe(cold(1), ChannelFrame{});
+  ASSERT_TRUE(t.current().has_value());
+  EXPECT_EQ(*t.current(), 2);  // the frame occupied slot 1
+}
+
+TEST(SlotTracker, PinsFromEitherChannel) {
+  SlotTracker t(cfg());
+  t.observe(ChannelFrame{}, cstate(3));
+  EXPECT_EQ(*t.current(), 4);
+}
+
+TEST(SlotTracker, FreeRunsThroughSilence) {
+  SlotTracker t(cfg());
+  t.observe(cold(1), ChannelFrame{});
+  t.observe(ChannelFrame{}, ChannelFrame{});  // slot 2 happens silently
+  t.observe(ChannelFrame{}, ChannelFrame{});  // slot 3
+  EXPECT_EQ(*t.current(), 4);
+  t.observe(ChannelFrame{}, ChannelFrame{});  // slot 4, wraps
+  EXPECT_EQ(*t.current(), 1);
+}
+
+TEST(SlotTracker, SingleBadIdDoesNotResync) {
+  // One frame with a wrong slot id (e.g. a faulty node's bad C-state) must
+  // not drag the guardian's window clock.
+  SlotTracker t(cfg());
+  t.observe(cold(1), ChannelFrame{});  // synced: next is 2
+  t.observe(cstate(4), ChannelFrame{});  // liar: claims slot 4
+  EXPECT_EQ(*t.current(), 3);  // free-ran instead of re-pinning
+}
+
+TEST(SlotTracker, ConsecutiveMismatchesResync) {
+  SlotTracker t(cfg());
+  t.observe(cold(1), ChannelFrame{});  // next = 2
+  // A genuine restart at a different phase: consistent foreign ids.
+  t.observe(cstate(4), ChannelFrame{});  // mismatch 1 -> free-run (3)
+  t.observe(cstate(1), ChannelFrame{});  // mismatch 2 -> resync to next(1)=2
+  EXPECT_EQ(*t.current(), 2);
+}
+
+TEST(SlotTracker, MatchingTrafficClearsMismatchCount) {
+  SlotTracker t(cfg());
+  t.observe(cold(1), ChannelFrame{});    // next = 2
+  t.observe(cstate(4), ChannelFrame{});  // mismatch 1; free-run -> 3
+  t.observe(cstate(3), ChannelFrame{});  // matches: counter resets, -> 4
+  t.observe(cstate(1), ChannelFrame{});  // mismatch 1 again; free-run -> 1
+  EXPECT_EQ(*t.current(), 1);
+}
+
+TEST(SlotTracker, IgnoresNonProtocolFrames) {
+  // kOther traffic (e.g. a babbling idiot) cannot pin the tracker.
+  SlotTracker t(cfg());
+  t.observe(ChannelFrame{FrameKind::kOther, 2}, ChannelFrame{});
+  EXPECT_FALSE(t.current().has_value());
+  t.observe(cold(1), ChannelFrame{});
+  // ... and cannot resync it either.
+  t.observe(ChannelFrame{FrameKind::kOther, 4}, ChannelFrame{});
+  t.observe(ChannelFrame{FrameKind::kOther, 4}, ChannelFrame{});
+  EXPECT_EQ(*t.current(), 4);  // pure free-run from the pin
+}
+
+TEST(SlotTracker, NoiseNeitherPinsNorAdvancesPhase) {
+  SlotTracker t(cfg());
+  t.observe(ChannelFrame{FrameKind::kBad, 0}, ChannelFrame{});
+  EXPECT_FALSE(t.current().has_value());
+}
+
+TEST(SlotTracker, ResetForgetsEverything) {
+  SlotTracker t(cfg());
+  t.observe(cold(1), ChannelFrame{});
+  t.reset();
+  EXPECT_FALSE(t.current().has_value());
+}
+
+}  // namespace
+}  // namespace tta::sim

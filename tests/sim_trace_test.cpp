@@ -1,0 +1,76 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::sim {
+namespace {
+
+StepRecord make_record(std::uint64_t step) {
+  StepRecord rec;
+  rec.step = step;
+  rec.channel0 = ttpc::ChannelFrame{ttpc::FrameKind::kCState, 2};
+  rec.channel1 = ttpc::ChannelFrame{ttpc::FrameKind::kBad, 0};
+  NodeSnapshot snap;
+  snap.state.state = ttpc::CtrlState::kActive;
+  snap.state.slot = 2;
+  snap.state.agreed = 3;
+  snap.event = ttpc::StepEvent::kCliqueToActive;
+  snap.sent = ttpc::ChannelFrame{ttpc::FrameKind::kCState, 2};
+  rec.nodes.push_back(snap);
+  return rec;
+}
+
+TEST(EventLog, StartsEmpty) {
+  EventLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.render(), "");
+}
+
+TEST(EventLog, RecordsInOrder) {
+  EventLog log;
+  log.record(make_record(0));
+  log.record(make_record(1));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records()[0].step, 0u);
+  EXPECT_EQ(log.records()[1].step, 1u);
+}
+
+TEST(EventLog, RenderShowsFramesStatesAndEvents) {
+  EventLog log;
+  log.record(make_record(7));
+  std::string out = log.render();
+  EXPECT_NE(out.find("step    7"), std::string::npos);
+  EXPECT_NE(out.find("c_state(id=2)"), std::string::npos);
+  EXPECT_NE(out.find("noise"), std::string::npos);
+  EXPECT_NE(out.find("active"), std::string::npos);
+  EXPECT_NE(out.find("clique test passed"), std::string::npos);
+  EXPECT_NE(out.find("[sent c_state(id=2)]"), std::string::npos);
+}
+
+TEST(EventLog, RenderTailLimitsSteps) {
+  EventLog log;
+  for (std::uint64_t s = 0; s < 10; ++s) log.record(make_record(s));
+  std::string tail = log.render(3);
+  EXPECT_EQ(tail.find("step    6"), std::string::npos);
+  EXPECT_NE(tail.find("step    7"), std::string::npos);
+  EXPECT_NE(tail.find("step    9"), std::string::npos);
+}
+
+TEST(EventLog, ClearEmptiesTheLog) {
+  EventLog log;
+  log.record(make_record(0));
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(EventLog, SilentChannelRendersAsDash) {
+  EventLog log;
+  StepRecord rec;
+  rec.step = 0;
+  std::string out = (log.record(rec), log.render());
+  EXPECT_NE(out.find("ch0=-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tta::sim

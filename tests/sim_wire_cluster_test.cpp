@@ -1,0 +1,145 @@
+// The wire-fidelity cluster: startup over real encoded frames, CRC-backed
+// C-state agreement, the replay fault at bit level — and the refinement
+// theorem in executable form: fault-free wire-level protocol evolution
+// matches the frame-level simulator step for step.
+#include "sim/wire_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+
+namespace tta::sim {
+namespace {
+
+WireClusterConfig wire_config(guardian::Authority a) {
+  WireClusterConfig cfg;
+  cfg.authority = a;
+  return cfg;
+}
+
+TEST(WireCluster, StartsUpOverRealFrames) {
+  WireCluster cluster(wire_config(guardian::Authority::kSmallShifting),
+                      FaultInjector{});
+  ASSERT_TRUE(cluster.run_until_all_active(200));
+  EXPECT_EQ(cluster.clique_frozen_count(), 0u);
+  EXPECT_TRUE(cluster.integrated_cstates_agree());
+}
+
+TEST(WireCluster, GlobalTimeAdvancesInLockstep) {
+  WireCluster cluster(wire_config(guardian::Authority::kSmallShifting),
+                      FaultInjector{});
+  ASSERT_TRUE(cluster.run_until_all_active(200));
+  std::uint16_t t = cluster.node(1).cstate().global_time();
+  cluster.run(10);
+  EXPECT_EQ(cluster.node(1).cstate().global_time(),
+            static_cast<std::uint16_t>(t + 10));
+  EXPECT_TRUE(cluster.integrated_cstates_agree());
+}
+
+TEST(WireCluster, MembershipImagesConverge) {
+  WireCluster cluster(wire_config(guardian::Authority::kSmallShifting),
+                      FaultInjector{});
+  ASSERT_TRUE(cluster.run_until_all_active(200));
+  cluster.run(8);
+  for (ttpc::NodeId id = 1; id <= 4; ++id) {
+    EXPECT_EQ(cluster.node(id).cstate().membership(), 0b1111)
+        << "node " << int(id);
+  }
+}
+
+TEST(WireCluster, RefinementMatchesFrameLevelSimulator) {
+  // The same protocol, two fidelities, identical fault-free evolution.
+  WireCluster wire(wire_config(guardian::Authority::kSmallShifting),
+                   FaultInjector{});
+  ClusterConfig frame_cfg;
+  frame_cfg.topology = Topology::kStar;
+  frame_cfg.guardian.authority = guardian::Authority::kSmallShifting;
+  Cluster frame(frame_cfg, FaultInjector{});
+
+  for (int step = 0; step < 120; ++step) {
+    wire.step();
+    frame.step();
+    for (ttpc::NodeId id = 1; id <= 4; ++id) {
+      ASSERT_EQ(wire.node(id).state(), frame.node(id).state())
+          << "diverged at step " << step << " node " << int(id);
+    }
+  }
+}
+
+TEST(WireCluster, RefinementHoldsUnderTransientSilence) {
+  FaultInjector fi_wire, fi_frame;
+  fi_wire.add(CouplerFaultWindow{0, guardian::CouplerFault::kSilence, 30, 60});
+  fi_frame.add(CouplerFaultWindow{0, guardian::CouplerFault::kSilence, 30, 60});
+
+  WireCluster wire(wire_config(guardian::Authority::kSmallShifting),
+                   std::move(fi_wire));
+  ClusterConfig frame_cfg;
+  frame_cfg.topology = Topology::kStar;
+  frame_cfg.guardian.authority = guardian::Authority::kSmallShifting;
+  Cluster frame(frame_cfg, std::move(fi_frame));
+
+  for (int step = 0; step < 120; ++step) {
+    wire.step();
+    frame.step();
+    for (ttpc::NodeId id = 1; id <= 4; ++id) {
+      ASSERT_EQ(wire.node(id).state(), frame.node(id).state())
+          << "diverged at step " << step << " node " << int(id);
+    }
+  }
+}
+
+TEST(WireCluster, NoiseFaultIsInvalidNotIncorrect) {
+  // Bad-frame faults produce undecodable bits: nobody's failed counter
+  // moves and nobody freezes (the invalid != incorrect distinction, at
+  // full fidelity).
+  FaultInjector fi;
+  fi.add(CouplerFaultWindow{1, guardian::CouplerFault::kBadFrame, 20, 120});
+  WireCluster cluster(wire_config(guardian::Authority::kSmallShifting),
+                      std::move(fi));
+  cluster.run(300);
+  EXPECT_EQ(cluster.clique_frozen_count(), 0u);
+  EXPECT_EQ(cluster.count_in_state(ttpc::CtrlState::kActive), 4u);
+}
+
+TEST(WireCluster, BitLevelReplayFreezesHealthyNodes) {
+  // The headline failure at full wire fidelity: the coupler's frame store
+  // re-drives the buffered *bits* of a cold-start frame one slot late; the
+  // stale frame decodes perfectly, an integrating node adopts it, and
+  // clique avoidance expels someone.
+  FaultInjector fi;
+  fi.add(CouplerFaultWindow{0, guardian::CouplerFault::kOutOfSlot, 13, 13});
+  WireCluster cluster(wire_config(guardian::Authority::kFullShifting),
+                      std::move(fi));
+  cluster.run(200);
+  EXPECT_GT(cluster.clique_frozen_count(), 0u);
+}
+
+TEST(WireCluster, ReplayImpossibleWithoutBufferingAuthority) {
+  FaultInjector fi;
+  fi.add(CouplerFaultWindow{0, guardian::CouplerFault::kOutOfSlot, 13, 13});
+  WireCluster cluster(wire_config(guardian::Authority::kSmallShifting),
+                      std::move(fi));
+  cluster.run(200);
+  EXPECT_EQ(cluster.clique_frozen_count(), 0u);
+  EXPECT_EQ(cluster.count_in_state(ttpc::CtrlState::kActive), 4u);
+}
+
+TEST(WireCluster, SixNodesStartUp) {
+  WireClusterConfig cfg = wire_config(guardian::Authority::kSmallShifting);
+  cfg.protocol.num_nodes = 6;
+  cfg.protocol.num_slots = 6;
+  WireCluster cluster(cfg, FaultInjector{});
+  ASSERT_TRUE(cluster.run_until_all_active(400));
+  EXPECT_TRUE(cluster.integrated_cstates_agree());
+}
+
+TEST(WireCluster, LogRendersWireTraffic) {
+  WireCluster cluster(wire_config(guardian::Authority::kSmallShifting),
+                      FaultInjector{});
+  cluster.run(30);
+  std::string log = cluster.log().render();
+  EXPECT_NE(log.find("cold_start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tta::sim

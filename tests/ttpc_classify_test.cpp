@@ -1,0 +1,103 @@
+// Parameterized coverage of the frame-status classifier and the two-channel
+// fusion rule — every (channel0, channel1) combination of the abstract
+// alphabet, under both fusion policies.
+#include <gtest/gtest.h>
+
+#include "ttpc/controller.h"
+
+namespace tta::ttpc {
+namespace {
+
+struct Case {
+  ChannelFrame ch0;
+  ChannelFrame ch1;
+  SlotNumber slot;
+  SlotVerdict optimistic;   // TTP/C rule (correct dominates)
+  SlotVerdict pessimistic;  // ablation (incorrect dominates)
+};
+
+class ClassifyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ClassifyTest, OptimisticFusion) {
+  ProtocolConfig cfg;
+  const Case& c = GetParam();
+  EXPECT_EQ(classify_view(ChannelView{c.ch0, c.ch1}, c.slot, cfg),
+            c.optimistic);
+}
+
+TEST_P(ClassifyTest, PessimisticFusionAblation) {
+  ProtocolConfig cfg;
+  cfg.bad_dominates_fusion = true;
+  const Case& c = GetParam();
+  EXPECT_EQ(classify_view(ChannelView{c.ch0, c.ch1}, c.slot, cfg),
+            c.pessimistic);
+}
+
+constexpr ChannelFrame kSilence{};
+constexpr ChannelFrame kNoise{FrameKind::kBad, 0};
+constexpr ChannelFrame kGoodCState{FrameKind::kCState, 2};
+constexpr ChannelFrame kWrongCState{FrameKind::kCState, 3};
+constexpr ChannelFrame kGoodCold{FrameKind::kColdStart, 2};
+constexpr ChannelFrame kWrongCold{FrameKind::kColdStart, 4};
+constexpr ChannelFrame kGoodOther{FrameKind::kOther, 2};
+constexpr ChannelFrame kWrongOther{FrameKind::kOther, 1};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFusions, ClassifyTest,
+    ::testing::Values(
+        // Total silence is null.
+        Case{kSilence, kSilence, 2, SlotVerdict::kNull, SlotVerdict::kNull},
+        // Noise is *invalid*, not incorrect: feeds neither counter.
+        Case{kNoise, kSilence, 2, SlotVerdict::kNull, SlotVerdict::kNull},
+        Case{kNoise, kNoise, 2, SlotVerdict::kNull, SlotVerdict::kNull},
+        // A correct frame on either channel makes the slot agreed.
+        Case{kGoodCState, kSilence, 2, SlotVerdict::kAgreed,
+             SlotVerdict::kAgreed},
+        Case{kSilence, kGoodCState, 2, SlotVerdict::kAgreed,
+             SlotVerdict::kAgreed},
+        Case{kGoodCold, kSilence, 2, SlotVerdict::kAgreed,
+             SlotVerdict::kAgreed},
+        Case{kGoodOther, kSilence, 2, SlotVerdict::kAgreed,
+             SlotVerdict::kAgreed},
+        // Valid-but-wrong-id frames are incorrect -> failed.
+        Case{kWrongCState, kSilence, 2, SlotVerdict::kFailed,
+             SlotVerdict::kFailed},
+        Case{kWrongCold, kSilence, 2, SlotVerdict::kFailed,
+             SlotVerdict::kFailed},
+        Case{kWrongOther, kSilence, 2, SlotVerdict::kFailed,
+             SlotVerdict::kFailed},
+        // Split verdicts: this is where the fusion policies differ. TTP/C's
+        // optimistic rule saves the slot when one channel is correct.
+        Case{kGoodCState, kWrongCState, 2, SlotVerdict::kAgreed,
+             SlotVerdict::kFailed},
+        Case{kWrongCState, kGoodCState, 2, SlotVerdict::kAgreed,
+             SlotVerdict::kFailed},
+        Case{kGoodCState, kNoise, 2, SlotVerdict::kAgreed,
+             SlotVerdict::kAgreed},
+        Case{kWrongCState, kNoise, 2, SlotVerdict::kFailed,
+             SlotVerdict::kFailed},
+        // Both wrong: failed either way.
+        Case{kWrongCState, kWrongCold, 2, SlotVerdict::kFailed,
+             SlotVerdict::kFailed}));
+
+TEST(Classify, IdZeroNeverMatchesAnySlot) {
+  // Frames demoted to id 0 (membership mismatch at the sim layer) must be
+  // incorrect for every receiver slot.
+  ProtocolConfig cfg;
+  for (SlotNumber slot = 1; slot <= 4; ++slot) {
+    ChannelView v{ChannelFrame{FrameKind::kCState, 0}, ChannelFrame{}};
+    EXPECT_EQ(classify_view(v, slot, cfg), SlotVerdict::kFailed);
+  }
+}
+
+TEST(Classify, MembershipFieldDoesNotAffectAbstractVerdict) {
+  // The abstract classifier compares ids only; membership is a sim-level
+  // refinement applied *before* classification.
+  ProtocolConfig cfg;
+  ChannelView a{ChannelFrame{FrameKind::kCState, 2, 0x000F}, ChannelFrame{}};
+  ChannelView b{ChannelFrame{FrameKind::kCState, 2, 0x0000}, ChannelFrame{}};
+  EXPECT_EQ(classify_view(a, 2, cfg), classify_view(b, 2, cfg));
+}
+
+}  // namespace
+}  // namespace tta::ttpc

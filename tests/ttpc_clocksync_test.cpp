@@ -1,0 +1,159 @@
+#include "ttpc/clocksync.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tta::ttpc {
+namespace {
+
+// --------------------------------------------------------- fta_correction --
+
+TEST(FtaCorrection, AveragesInterior) {
+  EXPECT_DOUBLE_EQ(fta_correction({1.0, 2.0, 3.0, 4.0}, 1), 2.5);
+  EXPECT_DOUBLE_EQ(fta_correction({-10.0, 0.0, 0.0, 10.0}, 1), 0.0);
+}
+
+TEST(FtaCorrection, DiscardsExtremesNotValues) {
+  // A single insane measurement cannot steer the correction beyond the
+  // range of the honest ones.
+  double c = fta_correction({0.0, 0.1, -0.1, 1e9}, 1);
+  EXPECT_LE(std::abs(c), 0.1);
+}
+
+TEST(FtaCorrection, SymmetricAttackIsCancelled) {
+  double c = fta_correction({-1e9, -0.1, 0.1, 1e9}, 1);
+  EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(FtaCorrection, TooFewMeasurementsYieldZero) {
+  EXPECT_DOUBLE_EQ(fta_correction({}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(fta_correction({5.0}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(fta_correction({5.0, 6.0}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(fta_correction({1.0, 2.0, 3.0, 4.0}, 2), 0.0);
+}
+
+TEST(FtaCorrection, KZeroIsPlainAverage) {
+  EXPECT_DOUBLE_EQ(fta_correction({1.0, 2.0, 3.0}, 0), 2.0);
+}
+
+TEST(FtaCorrection, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(fta_correction({4.0, 1.0, 3.0, 2.0}, 1), 2.5);
+}
+
+// ----------------------------------------------------------- simulation ---
+
+SyncConfig healthy_ensemble(std::size_t n, double drift_spread_ppm) {
+  SyncConfig cfg;
+  for (std::size_t i = 0; i < n; ++i) {
+    ClockModel c;
+    // Spread drifts evenly in [-spread/2, +spread/2].
+    c.drift_ppm = drift_spread_ppm *
+                  (static_cast<double>(i) / static_cast<double>(n - 1) - 0.5);
+    c.jitter = 1e-7;
+    cfg.clocks.push_back(c);
+  }
+  return cfg;
+}
+
+TEST(ClockSync, PerfectClocksStaySynchronized) {
+  SyncConfig cfg;
+  cfg.clocks.assign(4, ClockModel{});  // no drift, no jitter
+  ClockSyncSimulation sim(cfg);
+  auto samples = sim.run(50);
+  EXPECT_LT(samples.back().precision, 1e-12);
+  EXPECT_LT(samples.back().accuracy, 1e-12);
+}
+
+TEST(ClockSync, DriftingClocksConvergeToBoundedPrecision) {
+  SyncConfig cfg = healthy_ensemble(4, 200.0);  // +-100 ppm, paper's crystals
+  ClockSyncSimulation sim(cfg);
+  auto samples = sim.run(100);
+  double bound = sim.precision_bound();
+  // After convergence every round's precision respects the bound.
+  for (std::size_t r = 50; r < samples.size(); ++r) {
+    EXPECT_LE(samples[r].precision, bound) << "round " << r;
+  }
+  // And it is genuinely synchronized: far tighter than free-running drift
+  // over 100 rounds would be (100 * 200 ppm = 2% of a round).
+  EXPECT_LT(samples.back().precision, 1e-3);
+}
+
+TEST(ClockSync, WithoutSyncDriftAccumulates) {
+  // Control experiment: same drifts, but gain so small the correction is
+  // negligible -> offsets diverge linearly with rounds.
+  SyncConfig cfg = healthy_ensemble(4, 200.0);
+  cfg.sync_gain = 1e-9;
+  ClockSyncSimulation sim(cfg);
+  auto samples = sim.run(100);
+  EXPECT_GT(samples.back().precision, 1e-3);  // ~ 100 rounds * 200 ppm * 1s
+}
+
+TEST(ClockSync, PrecisionScalesWithDriftSpread) {
+  auto steady_precision = [](double spread_ppm) {
+    ClockSyncSimulation sim(healthy_ensemble(4, spread_ppm));
+    auto samples = sim.run(200);
+    double worst = 0.0;
+    for (std::size_t r = 100; r < samples.size(); ++r) {
+      worst = std::max(worst, samples[r].precision);
+    }
+    return worst;
+  };
+  EXPECT_LT(steady_precision(20.0), steady_precision(2000.0));
+}
+
+TEST(ClockSync, OneByzantineClockAmongFourIsTolerated) {
+  SyncConfig cfg = healthy_ensemble(4, 200.0);
+  cfg.clocks[1].faulty = true;
+  cfg.clocks[1].jitter = 0.5;  // apparent send times are garbage
+  ClockSyncSimulation sim(cfg);
+  auto samples = sim.run(200);
+  // Healthy clocks stay within the healthy-ensemble bound — the FTA
+  // discards the faulty extreme every round — and keep tracking real time.
+  double bound = sim.precision_bound();
+  for (std::size_t r = 100; r < samples.size(); ++r) {
+    EXPECT_LE(samples[r].precision, bound) << "round " << r;
+    EXPECT_LE(samples[r].accuracy, 0.05) << "round " << r;
+  }
+}
+
+TEST(ClockSync, TwoByzantineClocksAmongFourBreakSynchronization) {
+  // 2k < n fails with k = 1 discards and two liars: the healthy nodes'
+  // corrections are now steered by garbage. With full gain they all jump to
+  // the corrupted average — mutual precision can *look* fine — but the
+  // ensemble no longer tracks real time: accuracy random-walks away. This
+  // is the Byzantine resilience boundary, and why TTP/C's fault hypothesis
+  // allows exactly one faulty component.
+  SyncConfig cfg = healthy_ensemble(4, 200.0);
+  cfg.clocks[1].faulty = true;
+  cfg.clocks[1].jitter = 0.5;
+  cfg.clocks[2].faulty = true;
+  cfg.clocks[2].jitter = 0.5;
+  ClockSyncSimulation sim(cfg);
+  auto samples = sim.run(200);
+  double worst_accuracy = 0.0;
+  for (std::size_t r = 100; r < samples.size(); ++r) {
+    worst_accuracy = std::max(worst_accuracy, samples[r].accuracy);
+  }
+  EXPECT_GT(worst_accuracy, 0.2);
+}
+
+TEST(ClockSync, DeterministicForSameSeed) {
+  SyncConfig cfg = healthy_ensemble(4, 200.0);
+  cfg.clocks[0].jitter = 1e-5;
+  ClockSyncSimulation a(cfg), b(cfg);
+  a.run(50);
+  b.run(50);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a.offset(i), b.offset(i));
+  }
+}
+
+TEST(ClockSync, LargerEnsemblesSynchronizeToo) {
+  ClockSyncSimulation sim(healthy_ensemble(8, 200.0));
+  auto samples = sim.run(150);
+  EXPECT_LE(samples.back().precision, sim.precision_bound());
+}
+
+}  // namespace
+}  // namespace tta::ttpc

@@ -1,0 +1,392 @@
+// Tests the controller state machine against the transition constraints of
+// Section 4.3, clause by clause.
+#include "ttpc/controller.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::ttpc {
+namespace {
+
+ProtocolConfig four_nodes() { return ProtocolConfig{}; }
+
+ChannelView silent() { return ChannelView{}; }
+
+ChannelView on_both(FrameKind kind, SlotNumber id) {
+  return ChannelView{ChannelFrame{kind, id}, ChannelFrame{kind, id}};
+}
+
+ChannelView on_ch0(FrameKind kind, SlotNumber id) {
+  return ChannelView{ChannelFrame{kind, id}, ChannelFrame{}};
+}
+
+ChannelView on_ch1(FrameKind kind, SlotNumber id) {
+  return ChannelView{ChannelFrame{}, ChannelFrame{kind, id}};
+}
+
+NodeState listen_state(std::uint8_t timeout, bool big_bang = false) {
+  NodeState s;
+  s.state = CtrlState::kListen;
+  s.listen_timeout = timeout;
+  s.big_bang = big_bang;
+  return s;
+}
+
+// ----------------------------------------------------------- freeze/init --
+
+TEST(Freeze, StaysFrozenOnChoiceZero) {
+  Controller c(four_nodes());
+  NodeState s;  // freeze
+  auto out = c.step(s, 1, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kFreeze);
+}
+
+TEST(Freeze, TransitionsToInitOnChoiceOne) {
+  Controller c(four_nodes());
+  NodeState s;
+  auto out = c.step(s, 1, silent(), 1);
+  EXPECT_EQ(out.next.state, CtrlState::kInit);
+  EXPECT_EQ(out.event, StepEvent::kEnteredInit);
+}
+
+TEST(Freeze, ReinitializationClearsAllVariables) {
+  Controller c(four_nodes());
+  NodeState s;
+  s.agreed = 3;
+  s.failed = 2;
+  s.big_bang = true;
+  s.slot = 3;
+  auto out = c.step(s, 1, silent(), 1);
+  EXPECT_EQ(out.next.agreed, 0);
+  EXPECT_EQ(out.next.failed, 0);
+  EXPECT_FALSE(out.next.big_bang);
+}
+
+TEST(Freeze, AwaitAndTestBranchesOnlyWhenModeled) {
+  ProtocolConfig cfg = four_nodes();
+  Controller restricted(cfg);
+  EXPECT_EQ(restricted.num_choices(NodeState{}), 2u);
+
+  cfg.model_await_test = true;
+  Controller full(cfg);
+  EXPECT_EQ(full.num_choices(NodeState{}), 4u);
+  EXPECT_EQ(full.step(NodeState{}, 1, silent(), 2).next.state,
+            CtrlState::kAwait);
+  EXPECT_EQ(full.step(NodeState{}, 1, silent(), 3).next.state,
+            CtrlState::kTest);
+}
+
+TEST(Init, ListenEntryLoadsTimeoutWithSlotsPlusNodeId) {
+  // "initialized with the number of slots plus the number of the slot that
+  // is assigned to the node" (Section 4.3.2).
+  Controller c(four_nodes());
+  NodeState s;
+  s.state = CtrlState::kInit;
+  for (NodeId id : {NodeId{1}, NodeId{3}, NodeId{4}}) {
+    auto out = c.step(s, id, silent(), 1);
+    EXPECT_EQ(out.next.state, CtrlState::kListen);
+    EXPECT_EQ(out.next.listen_timeout, 4 + id);
+    EXPECT_EQ(out.event, StepEvent::kEnteredListen);
+  }
+}
+
+TEST(Init, HostFreezeBranchGatedByConfig) {
+  ProtocolConfig cfg = four_nodes();
+  NodeState s;
+  s.state = CtrlState::kInit;
+  EXPECT_EQ(Controller(cfg).num_choices(s), 2u);
+  cfg.allow_host_freeze = true;
+  Controller c(cfg);
+  EXPECT_EQ(c.num_choices(s), 3u);
+  EXPECT_EQ(c.step(s, 1, silent(), 2).next.state, CtrlState::kFreeze);
+}
+
+// ----------------------------------------------------------------- listen --
+
+TEST(Listen, QuietSlotDecrementsTimeout) {
+  Controller c(four_nodes());
+  auto out = c.step(listen_state(5), 2, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kListen);
+  EXPECT_EQ(out.next.listen_timeout, 4);
+}
+
+TEST(Listen, TimeoutZeroEntersColdStartWithOwnSlot) {
+  Controller c(four_nodes());
+  auto out = c.step(listen_state(0), 3, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kColdStart);
+  EXPECT_EQ(out.next.slot, 3);  // slot' = node_id on entry
+  EXPECT_EQ(out.next.agreed, 0);
+  EXPECT_EQ(out.next.failed, 0);
+  EXPECT_EQ(out.event, StepEvent::kListenTimeout);
+}
+
+TEST(Listen, FirstColdStartArmsBigBangAndDoesNotIntegrate) {
+  Controller c(four_nodes());
+  auto out = c.step(listen_state(3), 2, on_both(FrameKind::kColdStart, 1), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kListen);
+  EXPECT_TRUE(out.next.big_bang);
+  EXPECT_EQ(out.event, StepEvent::kBigBangArmed);
+}
+
+TEST(Listen, ColdStartRefreshesTimeoutEvenAtZero) {
+  // "the node stays in the listen state even if the timeout counter just
+  // reached zero."
+  Controller c(four_nodes());
+  auto out = c.step(listen_state(0), 2, on_both(FrameKind::kColdStart, 1), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kListen);
+  EXPECT_EQ(out.next.listen_timeout, 4 + 2);
+}
+
+TEST(Listen, SecondColdStartIntegrates) {
+  Controller c(four_nodes());
+  auto out = c.step(listen_state(3, /*big_bang=*/true),
+                    2, on_both(FrameKind::kColdStart, 1), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kPassive);
+  EXPECT_EQ(out.next.slot, 2);  // id_on_bus + 1
+  EXPECT_EQ(out.event, StepEvent::kIntegratedOnColdStart);
+}
+
+TEST(Listen, ColdStartIdWrapsAroundRound) {
+  Controller c(four_nodes());
+  auto out = c.step(listen_state(3, true), 2,
+                    on_both(FrameKind::kColdStart, 4), 0);
+  EXPECT_EQ(out.next.slot, 1);  // id == slots wraps to 1
+}
+
+TEST(Listen, CStateFrameIntegratesImmediately) {
+  // "frames with explicit C state are used for immediate integration" —
+  // no big bang needed.
+  Controller c(four_nodes());
+  auto out = c.step(listen_state(5, false), 4,
+                    on_both(FrameKind::kCState, 2), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kPassive);
+  EXPECT_EQ(out.next.slot, 3);
+  EXPECT_EQ(out.event, StepEvent::kIntegratedOnCState);
+}
+
+TEST(Listen, CStatePreferredOverColdStartForIntegration) {
+  Controller c(four_nodes());
+  ChannelView view{ChannelFrame{FrameKind::kColdStart, 1},
+                   ChannelFrame{FrameKind::kCState, 3}};
+  auto out = c.step(listen_state(5, true), 2, view, 0);
+  EXPECT_EQ(out.event, StepEvent::kIntegratedOnCState);
+  EXPECT_EQ(out.next.slot, 4);  // from the C-state frame's id
+}
+
+TEST(Listen, IntegrationWorksFromEitherChannel) {
+  Controller c(four_nodes());
+  auto out0 = c.step(listen_state(5), 2, on_ch0(FrameKind::kCState, 1), 0);
+  auto out1 = c.step(listen_state(5), 2, on_ch1(FrameKind::kCState, 1), 0);
+  EXPECT_EQ(out0.next.state, CtrlState::kPassive);
+  EXPECT_EQ(out1.next.state, CtrlState::kPassive);
+  EXPECT_EQ(out0.next.slot, out1.next.slot);
+}
+
+TEST(Listen, OtherFrameRefreshesTimeout) {
+  Controller c(four_nodes());
+  auto out = c.step(listen_state(1), 3, on_ch0(FrameKind::kOther, 2), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kListen);
+  EXPECT_EQ(out.next.listen_timeout, 4 + 3);
+}
+
+TEST(Listen, NoiseDoesNotRefreshTimeout) {
+  Controller c(four_nodes());
+  auto out = c.step(listen_state(2), 3, on_ch0(FrameKind::kBad, 0), 0);
+  EXPECT_EQ(out.next.listen_timeout, 1);
+}
+
+TEST(Listen, BigBangDisabledIntegratesOnFirstColdStart) {
+  ProtocolConfig cfg = four_nodes();
+  cfg.big_bang_enabled = false;  // ablation
+  Controller c(cfg);
+  auto out = c.step(listen_state(3, false), 2,
+                    on_both(FrameKind::kColdStart, 1), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kPassive);
+}
+
+// ------------------------------------------------------------- cold start --
+
+NodeState cold_start_state(SlotNumber slot, std::uint8_t agreed,
+                           std::uint8_t failed) {
+  NodeState s;
+  s.state = CtrlState::kColdStart;
+  s.slot = slot;
+  s.agreed = agreed;
+  s.failed = failed;
+  return s;
+}
+
+TEST(ColdStart, SendsColdStartFrameInOwnSlot) {
+  Controller c(four_nodes());
+  EXPECT_EQ(c.frame_to_send(cold_start_state(2, 0, 0), 2),
+            (ChannelFrame{FrameKind::kColdStart, 2}));
+  EXPECT_EQ(c.frame_to_send(cold_start_state(3, 0, 0), 2).kind,
+            FrameKind::kNone);
+}
+
+TEST(ColdStart, MaintainsSlotCounter) {
+  Controller c(four_nodes());
+  auto out = c.step(cold_start_state(2, 1, 0), 1, silent(), 0);
+  EXPECT_EQ(out.next.slot, 3);
+  EXPECT_EQ(out.next.state, CtrlState::kColdStart);
+}
+
+TEST(ColdStart, AloneOnBusRetriesColdStart) {
+  // agreed' <= 1 && failed' == 0 -> stay in cold start (round boundary for
+  // node 1 is the slot-4 step).
+  Controller c(four_nodes());
+  auto out = c.step(cold_start_state(4, 1, 0), 1, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kColdStart);
+  EXPECT_EQ(out.event, StepEvent::kCliqueRetryColdStart);
+  EXPECT_EQ(out.next.agreed, 0);  // counters reset at the boundary
+  EXPECT_EQ(out.next.slot, 1);
+}
+
+TEST(ColdStart, MajorityAgreedEntersActive) {
+  Controller c(four_nodes());
+  // Boundary step observes one more agreed frame (id matches slot 4).
+  auto out = c.step(cold_start_state(4, 2, 0), 1,
+                    on_both(FrameKind::kCState, 4), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kActive);
+  EXPECT_EQ(out.event, StepEvent::kCliqueToActive);
+}
+
+TEST(ColdStart, CliqueTestUsesPrimedCounters) {
+  // The paper's constraint reads agreed_slots_counter' — this slot's
+  // observation must count. agreed=1 + this slot's agreed frame = 2 > 0.
+  Controller c(four_nodes());
+  auto out = c.step(cold_start_state(4, 1, 0), 1,
+                    on_both(FrameKind::kCState, 4), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kActive);
+}
+
+TEST(ColdStart, MinorityFallsBackToListen) {
+  Controller c(four_nodes());
+  auto out = c.step(cold_start_state(4, 1, 2), 1, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kListen);
+  EXPECT_EQ(out.event, StepEvent::kCliqueBackToListen);
+  EXPECT_EQ(out.next.listen_timeout, 4 + 1);
+  EXPECT_FALSE(out.next.big_bang);
+}
+
+TEST(ColdStart, NoTestAwayFromRoundBoundary) {
+  Controller c(four_nodes());
+  auto out = c.step(cold_start_state(2, 1, 3), 1, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kColdStart);  // test only at boundary
+  EXPECT_EQ(out.next.failed, 3);
+}
+
+// ---------------------------------------------------------- active/passive --
+
+NodeState integrated(CtrlState st, SlotNumber slot, std::uint8_t agreed,
+                     std::uint8_t failed) {
+  NodeState s;
+  s.state = st;
+  s.slot = slot;
+  s.agreed = agreed;
+  s.failed = failed;
+  return s;
+}
+
+TEST(Active, SendsCStateFrameInOwnSlot) {
+  Controller c(four_nodes());
+  EXPECT_EQ(c.frame_to_send(integrated(CtrlState::kActive, 3, 0, 0), 3),
+            (ChannelFrame{FrameKind::kCState, 3}));
+  EXPECT_EQ(c.frame_to_send(integrated(CtrlState::kActive, 2, 0, 0), 3).kind,
+            FrameKind::kNone);
+}
+
+TEST(Passive, DoesNotSend) {
+  Controller c(four_nodes());
+  EXPECT_EQ(c.frame_to_send(integrated(CtrlState::kPassive, 3, 0, 0), 3).kind,
+            FrameKind::kNone);
+}
+
+TEST(Active, MaintainsSlotCounterAndCounts) {
+  Controller c(four_nodes());
+  auto out = c.step(integrated(CtrlState::kActive, 1, 0, 0), 3,
+                    on_both(FrameKind::kCState, 1), 0);
+  EXPECT_EQ(out.next.slot, 2);
+  EXPECT_EQ(out.next.agreed, 1);
+}
+
+TEST(Active, RoundBoundaryMajorityStaysActive) {
+  Controller c(four_nodes());
+  auto out = c.step(integrated(CtrlState::kActive, 2, 2, 1), 3, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kActive);
+  EXPECT_EQ(out.next.agreed, 0);  // counters reset
+  EXPECT_EQ(out.next.failed, 0);
+}
+
+TEST(Active, RoundBoundaryMinorityFreezes) {
+  // The forced freeze at the heart of the paper's property.
+  Controller c(four_nodes());
+  auto out = c.step(integrated(CtrlState::kActive, 2, 1, 2), 3, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kFreeze);
+  EXPECT_EQ(out.event, StepEvent::kCliqueFreeze);
+}
+
+TEST(Active, TieCountsAsCliqueError) {
+  Controller c(four_nodes());
+  auto out = c.step(integrated(CtrlState::kActive, 2, 1, 1), 3, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kFreeze);
+}
+
+TEST(Active, SilentRoundDoesNotFreeze) {
+  Controller c(four_nodes());
+  auto out = c.step(integrated(CtrlState::kActive, 2, 0, 0), 3, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kActive);
+}
+
+TEST(Passive, PromotesToActiveOnMajority) {
+  Controller c(four_nodes());
+  auto out = c.step(integrated(CtrlState::kPassive, 2, 2, 0), 3, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kActive);
+  EXPECT_EQ(out.event, StepEvent::kCliqueToActive);
+}
+
+TEST(Passive, FreezesOnMinority) {
+  Controller c(four_nodes());
+  auto out = c.step(integrated(CtrlState::kPassive, 2, 0, 1), 3, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kFreeze);
+  EXPECT_EQ(out.event, StepEvent::kCliqueFreeze);
+}
+
+TEST(Passive, WaitsThroughSilence) {
+  Controller c(four_nodes());
+  auto out = c.step(integrated(CtrlState::kPassive, 2, 0, 0), 3, silent(), 0);
+  EXPECT_EQ(out.next.state, CtrlState::kPassive);
+}
+
+TEST(Active, HostTransitionsGatedByConfig) {
+  ProtocolConfig cfg = four_nodes();
+  NodeState s = integrated(CtrlState::kActive, 1, 0, 0);
+  EXPECT_EQ(Controller(cfg).num_choices(s), 1u);
+  cfg.allow_host_freeze = true;
+  Controller c(cfg);
+  EXPECT_EQ(c.num_choices(s), 3u);
+  EXPECT_EQ(c.step(s, 2, silent(), 1).next.state, CtrlState::kPassive);
+  EXPECT_EQ(c.step(s, 2, silent(), 1).event, StepEvent::kHostPassive);
+  EXPECT_EQ(c.step(s, 2, silent(), 2).next.state, CtrlState::kFreeze);
+  EXPECT_EQ(c.step(s, 2, silent(), 2).event, StepEvent::kHostFreeze);
+}
+
+TEST(Counters, SaturateInsteadOfWrapping) {
+  Controller c(four_nodes());
+  NodeState s = integrated(CtrlState::kActive, 1, 15, 0);
+  auto out = c.step(s, 3, on_both(FrameKind::kCState, 1), 0);
+  EXPECT_EQ(out.next.agreed, 15);  // capped, not wrapped to 0
+}
+
+TEST(AbsorbingStates, TestAwaitDownloadStay) {
+  Controller c(four_nodes());
+  for (CtrlState st :
+       {CtrlState::kTest, CtrlState::kAwait, CtrlState::kDownload}) {
+    NodeState s;
+    s.state = st;
+    auto out = c.step(s, 1, on_both(FrameKind::kCState, 1), 0);
+    EXPECT_EQ(out.next.state, st);
+  }
+}
+
+}  // namespace
+}  // namespace tta::ttpc

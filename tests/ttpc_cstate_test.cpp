@@ -1,0 +1,76 @@
+#include "ttpc/cstate.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::ttpc {
+namespace {
+
+TEST(CState, AdvanceMovesTimeAndWrapsSlot) {
+  ProtocolConfig cfg;  // 4 slots
+  CState s(10, 3, 0);
+  s.advance(cfg);
+  EXPECT_EQ(s.global_time(), 11);
+  EXPECT_EQ(s.round_slot(), 4);
+  s.advance(cfg);
+  EXPECT_EQ(s.round_slot(), 1);  // wraps at round boundary
+  EXPECT_EQ(s.global_time(), 12);
+}
+
+TEST(CState, MembershipBitOperations) {
+  CState s;
+  EXPECT_FALSE(s.is_member(1));
+  s.set_member(1, true);
+  s.set_member(3, true);
+  EXPECT_TRUE(s.is_member(1));
+  EXPECT_FALSE(s.is_member(2));
+  EXPECT_TRUE(s.is_member(3));
+  EXPECT_EQ(s.member_count(), 2u);
+  s.set_member(1, false);
+  EXPECT_FALSE(s.is_member(1));
+  EXPECT_EQ(s.member_count(), 1u);
+}
+
+TEST(CState, SetMemberIsIdempotent) {
+  CState s;
+  s.set_member(2, true);
+  s.set_member(2, true);
+  EXPECT_EQ(s.member_count(), 1u);
+  s.set_member(2, false);
+  s.set_member(2, false);
+  EXPECT_EQ(s.member_count(), 0u);
+}
+
+TEST(CState, AgreementIsExactEquality) {
+  // TTP/C frames are correct only when the whole C-state matches.
+  CState a(5, 2, 0b0011);
+  CState b(5, 2, 0b0011);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, CState(6, 2, 0b0011));
+  EXPECT_NE(a, CState(5, 3, 0b0011));
+  EXPECT_NE(a, CState(5, 2, 0b0111));
+}
+
+TEST(CState, ImageRoundTrip) {
+  CState s(1234, 3, 0b1010);
+  CState back = CState::from_image(s.to_image());
+  EXPECT_EQ(s, back);
+}
+
+TEST(CState, ImageFieldMapping) {
+  CState s(77, 2, 0b0110);
+  wire::CStateImage img = s.to_image();
+  EXPECT_EQ(img.global_time, 77);
+  EXPECT_EQ(img.medl_position, 2);
+  EXPECT_EQ(img.membership, 0b0110);
+}
+
+TEST(CState, ToStringContainsFields) {
+  CState s(9, 1, 0x000F);
+  std::string str = s.to_string();
+  EXPECT_NE(str.find("t=9"), std::string::npos);
+  EXPECT_NE(str.find("slot=1"), std::string::npos);
+  EXPECT_NE(str.find("0x000f"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tta::ttpc

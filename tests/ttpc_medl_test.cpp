@@ -1,0 +1,55 @@
+#include "ttpc/medl.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::ttpc {
+namespace {
+
+TEST(Medl, UniformScheduleAssignsOneSlotPerNode) {
+  Medl m = Medl::uniform(ProtocolConfig{});
+  ASSERT_EQ(m.num_slots(), 4u);
+  for (SlotNumber s = 1; s <= 4; ++s) {
+    EXPECT_EQ(m.sender_of(s), s);
+    EXPECT_EQ(m.slot_of(s), s);
+  }
+}
+
+TEST(Medl, UniformDefaultsToProtocolIFrame) {
+  Medl m = Medl::uniform(ProtocolConfig{});
+  EXPECT_EQ(m.slot(1).frame_bits, 76u);
+  EXPECT_TRUE(m.slot(1).explicit_cstate);
+}
+
+TEST(Medl, MoreSlotsThanNodesCyclesOwnership) {
+  ProtocolConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.num_slots = 6;
+  Medl m = Medl::uniform(cfg);
+  EXPECT_EQ(m.sender_of(4), 1);
+  EXPECT_EQ(m.sender_of(5), 2);
+  EXPECT_EQ(m.sender_of(6), 3);
+  // slot_of returns the *first* owned slot.
+  EXPECT_EQ(m.slot_of(1), 1);
+}
+
+TEST(Medl, WithSizesPreservesPerSlotLengths) {
+  Medl m = Medl::with_sizes({28, 76, 2076, 76});
+  EXPECT_EQ(m.num_slots(), 4u);
+  EXPECT_EQ(m.slot(1).frame_bits, 28u);
+  EXPECT_EQ(m.slot(3).frame_bits, 2076u);
+  EXPECT_EQ(m.min_frame_bits(), 28u);
+  EXPECT_EQ(m.max_frame_bits(), 2076u);
+}
+
+TEST(Medl, RoundBitsSumsSchedule) {
+  Medl m = Medl::with_sizes({28, 76, 2076, 76});
+  EXPECT_EQ(m.round_bits(), 28u + 76u + 2076u + 76u);
+}
+
+TEST(Medl, UnknownNodeOwnsNoSlot) {
+  Medl m = Medl::uniform(ProtocolConfig{});
+  EXPECT_EQ(m.slot_of(9), 0);
+}
+
+}  // namespace
+}  // namespace tta::ttpc

@@ -1,0 +1,140 @@
+#include "util/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace tta::util {
+namespace {
+
+TEST(BitsFor, SmallValues) {
+  EXPECT_EQ(bits_for(0), 1u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 2u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 3u);
+  EXPECT_EQ(bits_for(255), 8u);
+  EXPECT_EQ(bits_for(256), 9u);
+}
+
+TEST(BitsFor, WideValues) {
+  EXPECT_EQ(bits_for((1ull << 32) - 1), 32u);
+  EXPECT_EQ(bits_for(1ull << 32), 33u);
+  EXPECT_EQ(bits_for(~0ull), 64u);
+}
+
+TEST(BitWriter, SingleFieldRoundTrip) {
+  PackedState p;
+  BitWriter w(p);
+  w.write(0x2A, 6);
+  BitReader r(p);
+  EXPECT_EQ(r.read(6), 0x2Au);
+}
+
+TEST(BitWriter, SequentialFieldsPreserveOrder) {
+  PackedState p;
+  BitWriter w(p);
+  w.write(5, 3);
+  w.write_bool(true);
+  w.write(1000, 10);
+  w.write(0, 1);
+  w.write(77, 7);
+  BitReader r(p);
+  EXPECT_EQ(r.read(3), 5u);
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_EQ(r.read(10), 1000u);
+  EXPECT_EQ(r.read(1), 0u);
+  EXPECT_EQ(r.read(7), 77u);
+  EXPECT_EQ(r.bits_read(), w.bits_written());
+}
+
+TEST(BitWriter, CrossesWordBoundary) {
+  PackedState p;
+  BitWriter w(p);
+  w.write(0, 60);
+  w.write(0xDEADBEEFCAFEull, 48);  // straddles words[0]/words[1]
+  w.write(0x123, 12);
+  BitReader r(p);
+  EXPECT_EQ(r.read(60), 0u);
+  EXPECT_EQ(r.read(48), 0xDEADBEEFCAFEull);
+  EXPECT_EQ(r.read(12), 0x123u);
+}
+
+TEST(BitWriter, Full64BitField) {
+  PackedState p;
+  BitWriter w(p);
+  w.write(3, 2);
+  w.write(~0ull, 64);
+  BitReader r(p);
+  EXPECT_EQ(r.read(2), 3u);
+  EXPECT_EQ(r.read(64), ~0ull);
+}
+
+TEST(BitWriter, RandomizedRoundTrip) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    PackedState p;
+    BitWriter w(p);
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    unsigned total = 0;
+    while (true) {
+      unsigned bits = 1 + static_cast<unsigned>(rng.next_below(24));
+      if (total + bits > kPackedWords * 64) break;
+      std::uint64_t value = rng.next_u64() & ((1ull << bits) - 1);
+      fields.emplace_back(value, bits);
+      w.write(value, bits);
+      total += bits;
+      if (fields.size() >= 30) break;
+    }
+    BitReader r(p);
+    for (const auto& [value, bits] : fields) {
+      EXPECT_EQ(r.read(bits), value);
+    }
+  }
+}
+
+TEST(PackedState, EqualityAndOrdering) {
+  PackedState a, b;
+  EXPECT_EQ(a, b);
+  b.words[2] = 1;
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(PackedState, HexRendering) {
+  PackedState p;
+  p.words[0] = 0xAB;
+  EXPECT_EQ(p.to_hex(),
+            "000000000000000000000000000000000000000000000000"
+            "00000000000000ab");
+}
+
+TEST(PackedState, HashSpreadsNearbyStates) {
+  // States differing in one low bit must not collide pairwise (would wreck
+  // the BFS hash map's bucket distribution).
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    PackedState p;
+    p.words[0] = i;
+    hashes.insert(hash_value(p));
+  }
+  EXPECT_GT(hashes.size(), 4090u);
+}
+
+TEST(PackedState, UsableAsUnorderedMapKey) {
+  std::unordered_set<PackedState> set;
+  PackedState a;
+  a.words[1] = 42;
+  set.insert(a);
+  set.insert(a);
+  EXPECT_EQ(set.size(), 1u);
+  PackedState b = a;
+  b.words[3] = 1;
+  set.insert(b);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tta::util

@@ -1,0 +1,59 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::util {
+namespace {
+
+// The logger writes to stderr; these tests pin the level gate (the part
+// callers depend on) and restore the global threshold they mutate.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, DefaultThresholdSuppressesInfo) {
+  // Tests and benches rely on a quiet default.
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, ThresholdIsSettableAndReadable) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LogTest, LevelsAreOrdered) {
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kOff);
+}
+
+TEST_F(LogTest, SuppressedAndEmittedCallsAreSafe) {
+  // Exercise both paths (below and above threshold) for crash-freedom and
+  // format handling; output goes to stderr and is not asserted on.
+  set_log_level(LogLevel::kOff);
+  TTA_LOG_ERROR("suppressed %d %s", 42, "args");
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  TTA_LOG_ERROR("emitted %d", 7);
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[ERROR] emitted 7"), std::string::npos);
+}
+
+TEST_F(LogTest, TagMatchesLevel) {
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  TTA_LOG_WARN("w");
+  TTA_LOG_DEBUG("d");
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[WARN] w"), std::string::npos);
+  EXPECT_NE(err.find("[DEBUG] d"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tta::util

@@ -1,0 +1,75 @@
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::util {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 4), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(0, 7).num(), 0);
+  EXPECT_EQ(Rational(0, 7).den(), 1);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 3) / Rational(4, 3), Rational(1, 2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, ComparisonIsExact) {
+  EXPECT_LT(Rational(1, 3), Rational(34, 100));
+  EXPECT_GT(Rational(1, 3), Rational(33, 100));
+  EXPECT_LE(Rational(1, 2), Rational(2, 4));
+  EXPECT_EQ(Rational(1000000, 3000000), Rational(1, 3));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6, 2).floor(), 3);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+  EXPECT_EQ(Rational(0).floor(), 0);
+}
+
+TEST(Rational, PpmConstructor) {
+  EXPECT_EQ(Rational::ppm(100), Rational(1, 10000));
+  EXPECT_DOUBLE_EQ(Rational::ppm(100).to_double(), 1e-4);
+  EXPECT_EQ(Rational::ppm(0), Rational(0));
+}
+
+TEST(Rational, LargeIntermediateProductsReduce) {
+  // Each operand is near 2^31; the raw cross product would pass 2^62 but
+  // reduces back into range.
+  Rational a(1'000'000'007, 2);
+  Rational b(2, 1'000'000'007);
+  EXPECT_EQ(a * b, Rational(1));
+  Rational c(999'999'999, 1'000'000'000);
+  Rational d = c * c;
+  EXPECT_LT(d, Rational(1));
+  EXPECT_GT(d, Rational(99, 100));
+}
+
+TEST(Rational, ClockRateUseCase) {
+  // 100 ppm fast vs 100 ppm slow — the paper's eq. (5) scenario, exactly.
+  Rational fast(1'000'100, 1'000'000);
+  Rational slow(999'900, 1'000'000);
+  Rational rho = (fast - slow) / fast;
+  EXPECT_EQ(rho, Rational(200, 1'000'100));
+  EXPECT_NEAR(rho.to_double(), 0.0002, 1e-7);
+}
+
+TEST(Rational, ToStringFormat) {
+  EXPECT_EQ(Rational(1, 3).to_string(), "1/3");
+  EXPECT_EQ(Rational(-5).to_string(), "-5/1");
+}
+
+}  // namespace
+}  // namespace tta::util

@@ -1,0 +1,84 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ZeroSeedIsWellMixed) {
+  Rng r(0);
+  EXPECT_NE(r.next_u64(), 0u);
+  EXPECT_NE(r.next_u64(), r.next_u64());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng r(9);
+  bool seen[5] = {};
+  for (int i = 0; i < 500; ++i) seen[r.next_below(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, NextInClosedRange) {
+  Rng r(11);
+  for (int i = 0; i < 500; ++i) {
+    std::int64_t v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(r.next_in(5, 5), 5);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);  // coarse uniformity check
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng r(17);
+  int hits = 0;
+  for (int i = 0; i < 2000; ++i) hits += r.next_bool(0.25);
+  EXPECT_NEAR(hits / 2000.0, 0.25, 0.04);
+  Rng r2(18);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(r2.next_bool(0.0));
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng r(21);
+  std::uint64_t first = r.next_u64();
+  r.next_u64();
+  r.reseed(21);
+  EXPECT_EQ(r.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace tta::util

@@ -1,0 +1,75 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, SingleSampleHasZeroVariance) {
+  Accumulator a;
+  a.add(3.5);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+  EXPECT_EQ(a.mean(), 3.5);
+}
+
+TEST(Accumulator, NumericallyStableForLargeOffsets) {
+  // Welford's method must not cancel catastrophically.
+  Accumulator a;
+  const double base = 1e9;
+  for (double x : {base + 1, base + 2, base + 3}) a.add(x);
+  EXPECT_NEAR(a.mean(), base + 2, 1e-6);
+  EXPECT_NEAR(a.variance(), 1.0, 1e-6);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0, 10);
+  for (std::int64_t x : {1, 2, 2, 3, 3, 3, 9}) h.add(x);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.at(2), 2u);
+  EXPECT_EQ(h.at(3), 3u);
+  EXPECT_EQ(h.at(5), 0u);
+  EXPECT_EQ(h.quantile(0.5), 3);
+  EXPECT_EQ(h.quantile(1.0), 9);
+  EXPECT_EQ(h.quantile(0.01), 1);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0, 4);
+  h.add(-10);
+  h.add(100);
+  h.add(2);
+  EXPECT_EQ(h.clamped(), 2u);
+  EXPECT_EQ(h.at(0), 1u);
+  EXPECT_EQ(h.at(4), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, QuantileOutsideSamplesReturnsEdge) {
+  Histogram h(-5, 5);
+  h.add(-5);
+  EXPECT_EQ(h.quantile(1.0), -5);
+}
+
+}  // namespace
+}  // namespace tta::util

@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::util {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"a", "b"});
+  t.add_row({"wide-cell", "x"});
+  t.add_row({"y", "z"});
+  std::string out = t.render();
+  // Every 'b'-column entry starts at the same offset on its line.
+  std::size_t header_b = out.find('b');
+  std::size_t line2 = out.find('\n', out.find('\n') + 1) + 1;  // first row
+  EXPECT_EQ(out[line2 + header_b], 'x');
+}
+
+TEST(Table, NumTrimsTrailingZeros) {
+  EXPECT_EQ(Table::num(1.5), "1.5");
+  EXPECT_EQ(Table::num(2.0), "2");
+  EXPECT_EQ(Table::num(0.25, 2), "0.25");
+  EXPECT_EQ(Table::num(0.1, 1), "0.1");
+  EXPECT_EQ(Table::num(-3.1400, 4), "-3.14");
+}
+
+TEST(Table, NumRespectsDigitBudget) {
+  EXPECT_EQ(Table::num(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(Table::num(2.0 / 3.0, 2), "0.67");
+}
+
+TEST(Table, EmptyTableRendersHeaderOnly) {
+  Table t({"only"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace tta::util

@@ -1,0 +1,102 @@
+#include "wire/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tta::wire {
+namespace {
+
+TEST(BitStream, PushAndReadSingleBits) {
+  BitStream bs;
+  bs.push_bit(true);
+  bs.push_bit(false);
+  bs.push_bit(true);
+  ASSERT_EQ(bs.size(), 3u);
+  EXPECT_TRUE(bs.bit(0));
+  EXPECT_FALSE(bs.bit(1));
+  EXPECT_TRUE(bs.bit(2));
+}
+
+TEST(BitStream, PushBitsIsMsbFirst) {
+  BitStream bs;
+  bs.push_bits(0b1011, 4);
+  EXPECT_EQ(bs.to_string(), "1011");
+  EXPECT_EQ(bs.read_bits(0, 4), 0b1011u);
+}
+
+TEST(BitStream, ReadBitsAtArbitraryOffsets) {
+  BitStream bs;
+  bs.push_bits(0xA5, 8);
+  bs.push_bits(0x3C, 8);
+  EXPECT_EQ(bs.read_bits(4, 8), 0x53u);  // spans the byte boundary
+  EXPECT_EQ(bs.read_bits(8, 8), 0x3Cu);
+}
+
+TEST(BitStream, OddLengthsAreExact) {
+  // TTP/C frames are 28/53/2076 bits — never byte-aligned.
+  BitStream bs;
+  bs.push_bits(0x1FFFFFF, 25);
+  EXPECT_EQ(bs.size(), 25u);
+  EXPECT_EQ(bs.read_bits(0, 25), 0x1FFFFFFu);
+}
+
+TEST(BitStream, AppendConcatenates) {
+  BitStream a, b;
+  a.push_bits(0b101, 3);
+  b.push_bits(0b0110, 4);
+  a.append(b);
+  EXPECT_EQ(a.to_string(), "1010110");
+}
+
+TEST(BitStream, FlipBitTogglesExactlyOne) {
+  BitStream bs;
+  bs.push_bits(0, 16);
+  bs.flip_bit(9);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(bs.bit(i), i == 9);
+  }
+  bs.flip_bit(9);
+  EXPECT_EQ(bs.read_bits(0, 16), 0u);
+}
+
+TEST(BitStream, EqualityIncludesLength) {
+  BitStream a, b;
+  a.push_bits(0, 8);
+  b.push_bits(0, 9);
+  EXPECT_FALSE(a == b);
+  BitStream c;
+  c.push_bits(0, 8);
+  EXPECT_TRUE(a == c);
+}
+
+TEST(BitStream, ClearResets) {
+  BitStream bs;
+  bs.push_bits(0xFF, 8);
+  bs.clear();
+  EXPECT_TRUE(bs.empty());
+  bs.push_bit(true);
+  EXPECT_EQ(bs.to_string(), "1");
+}
+
+TEST(BitStream, RandomizedPushReadRoundTrip) {
+  util::Rng rng(99);
+  for (int iter = 0; iter < 100; ++iter) {
+    BitStream bs;
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    for (int f = 0; f < 20; ++f) {
+      unsigned bits = 1 + static_cast<unsigned>(rng.next_below(33));
+      std::uint64_t v = rng.next_u64() & ((bits == 64) ? ~0ull : ((1ull << bits) - 1));
+      fields.emplace_back(v, bits);
+      bs.push_bits(v, bits);
+    }
+    std::size_t pos = 0;
+    for (const auto& [v, bits] : fields) {
+      EXPECT_EQ(bs.read_bits(pos, bits), v);
+      pos += bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tta::wire

@@ -1,0 +1,161 @@
+#include "wire/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::wire {
+namespace {
+
+CStateImage cs(std::uint16_t t, std::uint16_t pos, std::uint16_t members) {
+  return CStateImage{t, pos, members};
+}
+
+WireFrame n_frame(const CStateImage& state, std::size_t payload_bytes = 0) {
+  WireFrame f;
+  f.header = {WireFrameType::kN, 1};
+  f.cstate = state;
+  f.payload.assign(payload_bytes, 0x5A);
+  return f;
+}
+
+TEST(FrameSizes, MatchPaperHeadlineNumbers) {
+  EXPECT_EQ(kNFrameMinBits, 28u);   // minimal N-frame
+  EXPECT_EQ(kIFrameBits, 76u);      // protocol I-frame
+  EXPECT_EQ(kXFrameBits, 2076u);    // maximal X-frame
+  // Cold-start: self-consistent layout (the paper's own field list does not
+  // sum to its quoted 40-bit total; see wire/frame.h).
+  EXPECT_EQ(kColdStartFrameBits, 4u + 16u + 9u + 24u);
+}
+
+TEST(FrameSizes, EncodedBitsAgreesWithEncoder) {
+  CStateImage state = cs(10, 2, 0b0101);
+  for (int payload : {0, 1, 16, 240}) {
+    WireFrame f = n_frame(state, payload);
+    EXPECT_EQ(encode_frame(f, 0).size(), encoded_bits(f));
+  }
+  WireFrame i;
+  i.header.type = WireFrameType::kI;
+  EXPECT_EQ(encode_frame(i, 0).size(), kIFrameBits);
+  WireFrame x;
+  x.header.type = WireFrameType::kX;
+  x.payload.assign(240, 0);
+  EXPECT_EQ(encode_frame(x, 0).size(), kXFrameBits);
+  WireFrame cold;
+  cold.header.type = WireFrameType::kColdStart;
+  EXPECT_EQ(encode_frame(cold, 0).size(), kColdStartFrameBits);
+}
+
+TEST(IFrame, RoundTripsAllFields) {
+  WireFrame f;
+  f.header = {WireFrameType::kI, 2};
+  f.cstate = cs(0xBEEF, 3, 0b1011);
+  for (int ch : {0, 1}) {
+    DecodeResult r = decode_frame(encode_frame(f, ch), ch, CStateImage{});
+    ASSERT_EQ(r.status, DecodeStatus::kOk);
+    EXPECT_EQ(r.frame.header.type, WireFrameType::kI);
+    EXPECT_EQ(r.frame.header.mode_change_request, 2);
+    EXPECT_EQ(r.frame.cstate, f.cstate);
+  }
+}
+
+TEST(ColdStartFrame, RoundTripsGlobalTimeAndRoundSlot) {
+  WireFrame f;
+  f.header.type = WireFrameType::kColdStart;
+  f.cstate.global_time = 1234;
+  f.round_slot = 3;
+  DecodeResult r = decode_frame(encode_frame(f, 0), 0, CStateImage{});
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(r.frame.cstate.global_time, 1234);
+  EXPECT_EQ(r.frame.round_slot, 3);
+}
+
+TEST(XFrame, RoundTripsPayloadAndCState) {
+  WireFrame f;
+  f.header.type = WireFrameType::kX;
+  f.cstate = cs(7, 1, 0b1111);
+  f.payload.resize(240);
+  for (std::size_t i = 0; i < f.payload.size(); ++i) {
+    f.payload[i] = static_cast<std::uint8_t>(i * 37);
+  }
+  for (int ch : {0, 1}) {
+    DecodeResult r = decode_frame(encode_frame(f, ch), ch, CStateImage{});
+    ASSERT_EQ(r.status, DecodeStatus::kOk) << "channel " << ch;
+    EXPECT_EQ(r.frame.cstate, f.cstate);
+    EXPECT_EQ(r.frame.payload, f.payload);
+  }
+}
+
+TEST(NFrame, ImplicitCStateAcceptsMatchingReceiver) {
+  CStateImage shared = cs(42, 2, 0b0011);
+  WireFrame f = n_frame(shared, 4);
+  DecodeResult r = decode_frame(encode_frame(f, 0), 0, shared);
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(r.frame.payload, f.payload);
+}
+
+TEST(NFrame, ImplicitCStateRejectsDisagreeingReceiver) {
+  // The mechanism at the heart of TTP/C: the receiver cannot distinguish a
+  // C-state disagreement from corruption — both are a CRC mismatch.
+  CStateImage sender_state = cs(42, 2, 0b0011);
+  WireFrame f = n_frame(sender_state, 4);
+  BitStream bits = encode_frame(f, 0);
+
+  CStateImage wrong_time = cs(43, 2, 0b0011);
+  EXPECT_EQ(decode_frame(bits, 0, wrong_time).status,
+            DecodeStatus::kCrcMismatch);
+  CStateImage wrong_slot = cs(42, 3, 0b0011);
+  EXPECT_EQ(decode_frame(bits, 0, wrong_slot).status,
+            DecodeStatus::kCrcMismatch);
+  CStateImage wrong_members = cs(42, 2, 0b0111);
+  EXPECT_EQ(decode_frame(bits, 0, wrong_members).status,
+            DecodeStatus::kCrcMismatch);
+}
+
+TEST(Frame, CorruptionIsDetected) {
+  WireFrame f;
+  f.header.type = WireFrameType::kI;
+  f.cstate = cs(5, 1, 0b0001);
+  BitStream bits = encode_frame(f, 0);
+  for (std::size_t i : {0ul, 10ul, 40ul, bits.size() - 1}) {
+    BitStream corrupted = bits;
+    corrupted.flip_bit(i);
+    EXPECT_NE(decode_frame(corrupted, 0, CStateImage{}).status,
+              DecodeStatus::kOk)
+        << "flipped bit " << i;
+  }
+}
+
+TEST(Frame, WrongChannelCrcScheduleRejects) {
+  WireFrame f;
+  f.header.type = WireFrameType::kI;
+  BitStream bits = encode_frame(f, 0);
+  EXPECT_EQ(decode_frame(bits, 1, CStateImage{}).status,
+            DecodeStatus::kCrcMismatch);
+}
+
+TEST(XFrame, EitherChannelCanVerifyNatively) {
+  // The X-frame carries two CRCs so both channels validate the same image.
+  WireFrame f;
+  f.header.type = WireFrameType::kX;
+  f.payload.assign(240, 0xAB);
+  BitStream bits = encode_frame(f, 0);
+  EXPECT_EQ(decode_frame(bits, 0, CStateImage{}).status, DecodeStatus::kOk);
+  EXPECT_EQ(decode_frame(bits, 1, CStateImage{}).status, DecodeStatus::kOk);
+}
+
+TEST(Frame, TruncatedInputReportsTruncation) {
+  BitStream tiny;
+  tiny.push_bits(0, 10);
+  EXPECT_EQ(decode_frame(tiny, 0, CStateImage{}).status,
+            DecodeStatus::kTruncated);
+}
+
+TEST(CStateImage, CrcSeedSeparatesSingleFieldChanges) {
+  CStateImage base = cs(1, 1, 1);
+  EXPECT_NE(base.crc_seed(), cs(2, 1, 1).crc_seed());
+  EXPECT_NE(base.crc_seed(), cs(1, 2, 1).crc_seed());
+  EXPECT_NE(base.crc_seed(), cs(1, 1, 2).crc_seed());
+  EXPECT_LE(base.crc_seed(), 0xFFFFFFu);  // 24-bit fold
+}
+
+}  // namespace
+}  // namespace tta::wire

@@ -1,0 +1,134 @@
+// Robustness fuzzing of the wire codec: random garbage must never crash the
+// decoder and must (virtually) never pass validation; valid frames survive
+// round trips from arbitrary field values; burst corruption is caught.
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "wire/frame.h"
+#include "wire/line_coding.h"
+
+namespace tta::wire {
+namespace {
+
+BitStream random_bits(util::Rng& rng, std::size_t n) {
+  BitStream bs;
+  for (std::size_t i = 0; i < n; ++i) bs.push_bit(rng.next_bool(0.5));
+  return bs;
+}
+
+TEST(WireFuzz, RandomGarbageNeverDecodesAsValid) {
+  util::Rng rng(2024);
+  CStateImage receiver{10, 2, 0b0110};
+  int accepted = 0;
+  for (int iter = 0; iter < 5'000; ++iter) {
+    std::size_t len = rng.next_below(200);
+    BitStream garbage = random_bits(rng, len);
+    DecodeResult res = decode_frame(garbage, 0, receiver);
+    if (res.status == DecodeStatus::kOk) ++accepted;
+  }
+  // The 24-bit CRC gives a ~6e-8 acceptance rate; 5000 trials should see 0.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(WireFuzz, RandomValidFramesRoundTrip) {
+  util::Rng rng(7);
+  for (int iter = 0; iter < 2'000; ++iter) {
+    WireFrame f;
+    f.header.mode_change_request = static_cast<std::uint8_t>(rng.next_below(4));
+    f.cstate.global_time = static_cast<std::uint16_t>(rng.next_below(65536));
+    f.cstate.medl_position = static_cast<std::uint16_t>(rng.next_below(65536));
+    f.cstate.membership = static_cast<std::uint16_t>(rng.next_below(65536));
+    int channel = static_cast<int>(rng.next_below(2));
+    switch (rng.next_below(4)) {
+      case 0: {
+        f.header.type = WireFrameType::kN;
+        std::size_t payload = rng.next_below(17);
+        for (std::size_t i = 0; i < payload; ++i) {
+          f.payload.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+        }
+        DecodeResult res = decode_frame(encode_frame(f, channel), channel,
+                                        f.cstate);
+        ASSERT_EQ(res.status, DecodeStatus::kOk);
+        EXPECT_EQ(res.frame.payload, f.payload);
+        break;
+      }
+      case 1: {
+        f.header.type = WireFrameType::kI;
+        DecodeResult res = decode_frame(encode_frame(f, channel), channel,
+                                        CStateImage{});
+        ASSERT_EQ(res.status, DecodeStatus::kOk);
+        EXPECT_EQ(res.frame.cstate, f.cstate);
+        break;
+      }
+      case 2: {
+        f.header.type = WireFrameType::kX;
+        f.payload.resize(240);
+        for (auto& b : f.payload) {
+          b = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        DecodeResult res = decode_frame(encode_frame(f, channel), channel,
+                                        CStateImage{});
+        ASSERT_EQ(res.status, DecodeStatus::kOk);
+        EXPECT_EQ(res.frame.payload, f.payload);
+        break;
+      }
+      default: {
+        f.header.type = WireFrameType::kColdStart;
+        f.round_slot = static_cast<std::uint16_t>(rng.next_below(512));
+        DecodeResult res = decode_frame(encode_frame(f, channel), channel,
+                                        CStateImage{});
+        ASSERT_EQ(res.status, DecodeStatus::kOk);
+        EXPECT_EQ(res.frame.round_slot, f.round_slot);
+        break;
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, RandomBurstCorruptionIsDetected) {
+  util::Rng rng(99);
+  WireFrame f;
+  f.header.type = WireFrameType::kI;
+  f.cstate = CStateImage{100, 3, 0b1010};
+  BitStream good = encode_frame(f, 0);
+  int undetected = 0;
+  for (int iter = 0; iter < 3'000; ++iter) {
+    BitStream bad = good;
+    unsigned flips = 1 + static_cast<unsigned>(rng.next_below(8));
+    for (unsigned i = 0; i < flips; ++i) {
+      bad.flip_bit(rng.next_below(bad.size()));
+    }
+    if (bad == good) continue;  // flips cancelled out
+    if (decode_frame(bad, 0, CStateImage{}).status == DecodeStatus::kOk) {
+      ++undetected;
+    }
+  }
+  EXPECT_EQ(undetected, 0);
+}
+
+TEST(WireFuzz, TruncationsAtEveryLengthAreHandled) {
+  WireFrame f;
+  f.header.type = WireFrameType::kX;
+  f.payload.resize(240, 0x3C);
+  BitStream full = encode_frame(f, 1);
+  for (std::size_t cut = 0; cut < full.size(); cut += 97) {
+    BitStream prefix;
+    for (std::size_t i = 0; i < cut; ++i) prefix.push_bit(full.bit(i));
+    DecodeResult res = decode_frame(prefix, 1, CStateImage{});
+    EXPECT_NE(res.status, DecodeStatus::kOk) << "cut=" << cut;
+  }
+}
+
+TEST(WireFuzz, LineCodedRoundTripSurvivesArbitraryFrames) {
+  util::Rng rng(5);
+  LineCoding lc(4);
+  for (int iter = 0; iter < 500; ++iter) {
+    BitStream frame = random_bits(rng, 1 + rng.next_below(300));
+    auto decoded = lc.decode(lc.encode(frame));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, frame);
+  }
+}
+
+}  // namespace
+}  // namespace tta::wire

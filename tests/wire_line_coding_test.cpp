@@ -1,0 +1,64 @@
+#include "wire/line_coding.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::wire {
+namespace {
+
+BitStream some_frame() {
+  BitStream bs;
+  bs.push_bits(0x1234ABC, 28);
+  return bs;
+}
+
+TEST(LineCoding, DefaultPreambleIsPaperLe) {
+  EXPECT_EQ(LineCoding().preamble_bits(), 4u);
+}
+
+TEST(LineCoding, EncodePrependsPreamble) {
+  LineCoding lc(4);
+  BitStream wire = lc.encode(some_frame());
+  EXPECT_EQ(wire.size(), 32u);
+  EXPECT_EQ(wire.read_bits(0, 4), 0b1010u);  // alternating sync
+}
+
+TEST(LineCoding, DecodeStripsPreamble) {
+  LineCoding lc(6);
+  BitStream frame = some_frame();
+  auto decoded = lc.decode(lc.encode(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, frame);
+}
+
+TEST(LineCoding, DamagedPreambleRejected) {
+  LineCoding lc(4);
+  BitStream wire = lc.encode(some_frame());
+  wire.flip_bit(1);
+  EXPECT_FALSE(lc.decode(wire).has_value());
+}
+
+TEST(LineCoding, TooShortInputRejected) {
+  LineCoding lc(8);
+  BitStream tiny;
+  tiny.push_bits(0b101, 3);
+  EXPECT_FALSE(lc.decode(tiny).has_value());
+}
+
+TEST(LineCoding, WireBitsBookkeeping) {
+  LineCoding lc(4);
+  EXPECT_EQ(lc.wire_bits(28), 32u);
+  EXPECT_EQ(lc.wire_bits(2076), 2080u);
+}
+
+TEST(LineCoding, EmptyFrameStillCarriesPreamble) {
+  LineCoding lc(4);
+  BitStream empty;
+  BitStream wire = lc.encode(empty);
+  EXPECT_EQ(wire.size(), 4u);
+  auto decoded = lc.decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+}  // namespace
+}  // namespace tta::wire

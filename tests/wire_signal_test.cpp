@@ -1,0 +1,59 @@
+#include "wire/signal.h"
+
+#include <gtest/gtest.h>
+
+namespace tta::wire {
+namespace {
+
+TEST(Signal, NominalSignalAcceptedByDefaultTolerance) {
+  EXPECT_TRUE(accepts(ReceiverTolerance{}, nominal_signal()));
+}
+
+TEST(Signal, WeakAmplitudeRejected) {
+  ReceiverTolerance tol;  // floor 600 mV
+  EXPECT_FALSE(accepts(tol, SignalAttrs{599.0, 0.0}));
+  EXPECT_TRUE(accepts(tol, SignalAttrs{600.0, 0.0}));
+}
+
+TEST(Signal, TimingWindowIsSymmetric) {
+  ReceiverTolerance tol;  // window 1000 ns
+  EXPECT_TRUE(accepts(tol, SignalAttrs{900.0, 999.0}));
+  EXPECT_TRUE(accepts(tol, SignalAttrs{900.0, -999.0}));
+  EXPECT_FALSE(accepts(tol, SignalAttrs{900.0, 1001.0}));
+  EXPECT_FALSE(accepts(tol, SignalAttrs{900.0, -1001.0}));
+}
+
+TEST(Signal, SosRequiresDisagreement) {
+  auto tols = spread_tolerances(4, 10.0, 15.0);
+  // Clearly good and clearly bad signals are not SOS.
+  EXPECT_FALSE(is_sos(tols, nominal_signal()));
+  EXPECT_FALSE(is_sos(tols, SignalAttrs{100.0, 0.0}));
+  // A signal between the spread thresholds is SOS: node 0 accepts (floor
+  // 600), node 3 rejects (floor 630).
+  EXPECT_TRUE(is_sos(tols, SignalAttrs{615.0, 0.0}));
+}
+
+TEST(Signal, SosInTimeDomain) {
+  auto tols = spread_tolerances(4, 10.0, 15.0);
+  // Windows are 1000, 985, 970, 955 ns: 960 ns offset splits the cluster.
+  EXPECT_TRUE(is_sos(tols, SignalAttrs{900.0, 960.0}));
+  EXPECT_FALSE(is_sos(tols, SignalAttrs{900.0, 2000.0}));
+}
+
+TEST(Signal, SpreadToleranceShape) {
+  auto tols = spread_tolerances(3, 10.0, 15.0);
+  ASSERT_EQ(tols.size(), 3u);
+  EXPECT_DOUBLE_EQ(tols[0].min_amplitude_mv, 600.0);
+  EXPECT_DOUBLE_EQ(tols[1].min_amplitude_mv, 610.0);
+  EXPECT_DOUBLE_EQ(tols[2].min_amplitude_mv, 620.0);
+  EXPECT_DOUBLE_EQ(tols[0].window_ns, 1000.0);
+  EXPECT_DOUBLE_EQ(tols[2].window_ns, 970.0);
+}
+
+TEST(Signal, SingleReceiverNeverSos) {
+  auto tols = spread_tolerances(1, 10.0, 15.0);
+  EXPECT_FALSE(is_sos(tols, SignalAttrs{615.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace tta::wire
