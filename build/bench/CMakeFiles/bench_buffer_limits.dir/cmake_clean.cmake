@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer_limits.dir/bench_buffer_limits.cpp.o"
+  "CMakeFiles/bench_buffer_limits.dir/bench_buffer_limits.cpp.o.d"
+  "bench_buffer_limits"
+  "bench_buffer_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leaky_bucket.dir/bench_leaky_bucket.cpp.o"
+  "CMakeFiles/bench_leaky_bucket.dir/bench_leaky_bucket.cpp.o.d"
+  "bench_leaky_bucket"
+  "bench_leaky_bucket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leaky_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

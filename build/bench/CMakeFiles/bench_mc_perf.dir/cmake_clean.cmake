@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mc_perf.dir/bench_mc_perf.cpp.o"
+  "CMakeFiles/bench_mc_perf.dir/bench_mc_perf.cpp.o.d"
+  "bench_mc_perf"
+  "bench_mc_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mc_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recoverability.dir/bench_recoverability.cpp.o"
+  "CMakeFiles/bench_recoverability.dir/bench_recoverability.cpp.o.d"
+  "bench_recoverability"
+  "bench_recoverability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recoverability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_startup_stats.dir/bench_startup_stats.cpp.o"
+  "CMakeFiles/bench_startup_stats.dir/bench_startup_stats.cpp.o.d"
+  "bench_startup_stats"
+  "bench_startup_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_startup_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology_faults.dir/bench_topology_faults.cpp.o"
+  "CMakeFiles/bench_topology_faults.dir/bench_topology_faults.cpp.o.d"
+  "bench_topology_faults"
+  "bench_topology_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

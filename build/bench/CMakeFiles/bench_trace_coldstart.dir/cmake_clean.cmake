@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_coldstart.dir/bench_trace_coldstart.cpp.o"
+  "CMakeFiles/bench_trace_coldstart.dir/bench_trace_coldstart.cpp.o.d"
+  "bench_trace_coldstart"
+  "bench_trace_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

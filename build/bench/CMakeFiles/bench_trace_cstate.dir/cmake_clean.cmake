@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_cstate.dir/bench_trace_cstate.cpp.o"
+  "CMakeFiles/bench_trace_cstate.dir/bench_trace_cstate.cpp.o.d"
+  "bench_trace_cstate"
+  "bench_trace_cstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_cstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

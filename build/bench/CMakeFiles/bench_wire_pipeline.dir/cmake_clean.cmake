@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_pipeline.dir/bench_wire_pipeline.cpp.o"
+  "CMakeFiles/bench_wire_pipeline.dir/bench_wire_pipeline.cpp.o.d"
+  "bench_wire_pipeline"
+  "bench_wire_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_emulation_demo.dir/can_emulation_demo.cpp.o"
+  "CMakeFiles/can_emulation_demo.dir/can_emulation_demo.cpp.o.d"
+  "can_emulation_demo"
+  "can_emulation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_emulation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupler_fault_demo.dir/coupler_fault_demo.cpp.o"
+  "CMakeFiles/coupler_fault_demo.dir/coupler_fault_demo.cpp.o.d"
+  "coupler_fault_demo"
+  "coupler_fault_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupler_fault_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_compare.dir/topology_compare.cpp.o"
+  "CMakeFiles/topology_compare.dir/topology_compare.cpp.o.d"
+  "topology_compare"
+  "topology_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

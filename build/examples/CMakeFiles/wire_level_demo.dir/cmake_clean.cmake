@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_level_demo.dir/wire_level_demo.cpp.o"
+  "CMakeFiles/wire_level_demo.dir/wire_level_demo.cpp.o.d"
+  "wire_level_demo"
+  "wire_level_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_level_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

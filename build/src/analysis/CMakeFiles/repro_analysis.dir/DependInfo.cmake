@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/equations.cpp" "src/analysis/CMakeFiles/repro_analysis.dir/equations.cpp.o" "gcc" "src/analysis/CMakeFiles/repro_analysis.dir/equations.cpp.o.d"
+  "/root/repo/src/analysis/frame_catalog.cpp" "src/analysis/CMakeFiles/repro_analysis.dir/frame_catalog.cpp.o" "gcc" "src/analysis/CMakeFiles/repro_analysis.dir/frame_catalog.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/analysis/CMakeFiles/repro_analysis.dir/sweep.cpp.o" "gcc" "src/analysis/CMakeFiles/repro_analysis.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

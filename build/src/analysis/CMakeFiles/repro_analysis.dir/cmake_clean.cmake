@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_analysis.dir/equations.cpp.o"
+  "CMakeFiles/repro_analysis.dir/equations.cpp.o.d"
+  "CMakeFiles/repro_analysis.dir/frame_catalog.cpp.o"
+  "CMakeFiles/repro_analysis.dir/frame_catalog.cpp.o.d"
+  "CMakeFiles/repro_analysis.dir/sweep.cpp.o"
+  "CMakeFiles/repro_analysis.dir/sweep.cpp.o.d"
+  "librepro_analysis.a"
+  "librepro_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

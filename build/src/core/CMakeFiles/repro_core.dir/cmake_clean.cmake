@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/buffer_policy.cpp.o"
+  "CMakeFiles/repro_core.dir/buffer_policy.cpp.o.d"
+  "CMakeFiles/repro_core.dir/experiments.cpp.o"
+  "CMakeFiles/repro_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/repro_core.dir/report.cpp.o"
+  "CMakeFiles/repro_core.dir/report.cpp.o.d"
+  "CMakeFiles/repro_core.dir/tradeoff.cpp.o"
+  "CMakeFiles/repro_core.dir/tradeoff.cpp.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guardian/central_guardian.cpp" "src/guardian/CMakeFiles/repro_guardian.dir/central_guardian.cpp.o" "gcc" "src/guardian/CMakeFiles/repro_guardian.dir/central_guardian.cpp.o.d"
+  "/root/repo/src/guardian/coupler.cpp" "src/guardian/CMakeFiles/repro_guardian.dir/coupler.cpp.o" "gcc" "src/guardian/CMakeFiles/repro_guardian.dir/coupler.cpp.o.d"
+  "/root/repo/src/guardian/forwarder.cpp" "src/guardian/CMakeFiles/repro_guardian.dir/forwarder.cpp.o" "gcc" "src/guardian/CMakeFiles/repro_guardian.dir/forwarder.cpp.o.d"
+  "/root/repo/src/guardian/leaky_bucket.cpp" "src/guardian/CMakeFiles/repro_guardian.dir/leaky_bucket.cpp.o" "gcc" "src/guardian/CMakeFiles/repro_guardian.dir/leaky_bucket.cpp.o.d"
+  "/root/repo/src/guardian/local_guardian.cpp" "src/guardian/CMakeFiles/repro_guardian.dir/local_guardian.cpp.o" "gcc" "src/guardian/CMakeFiles/repro_guardian.dir/local_guardian.cpp.o.d"
+  "/root/repo/src/guardian/mailbox.cpp" "src/guardian/CMakeFiles/repro_guardian.dir/mailbox.cpp.o" "gcc" "src/guardian/CMakeFiles/repro_guardian.dir/mailbox.cpp.o.d"
+  "/root/repo/src/guardian/reshaper.cpp" "src/guardian/CMakeFiles/repro_guardian.dir/reshaper.cpp.o" "gcc" "src/guardian/CMakeFiles/repro_guardian.dir/reshaper.cpp.o.d"
+  "/root/repo/src/guardian/semantic.cpp" "src/guardian/CMakeFiles/repro_guardian.dir/semantic.cpp.o" "gcc" "src/guardian/CMakeFiles/repro_guardian.dir/semantic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repro_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/ttpc/CMakeFiles/repro_ttpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

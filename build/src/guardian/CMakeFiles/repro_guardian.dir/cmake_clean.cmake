@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_guardian.dir/central_guardian.cpp.o"
+  "CMakeFiles/repro_guardian.dir/central_guardian.cpp.o.d"
+  "CMakeFiles/repro_guardian.dir/coupler.cpp.o"
+  "CMakeFiles/repro_guardian.dir/coupler.cpp.o.d"
+  "CMakeFiles/repro_guardian.dir/forwarder.cpp.o"
+  "CMakeFiles/repro_guardian.dir/forwarder.cpp.o.d"
+  "CMakeFiles/repro_guardian.dir/leaky_bucket.cpp.o"
+  "CMakeFiles/repro_guardian.dir/leaky_bucket.cpp.o.d"
+  "CMakeFiles/repro_guardian.dir/local_guardian.cpp.o"
+  "CMakeFiles/repro_guardian.dir/local_guardian.cpp.o.d"
+  "CMakeFiles/repro_guardian.dir/mailbox.cpp.o"
+  "CMakeFiles/repro_guardian.dir/mailbox.cpp.o.d"
+  "CMakeFiles/repro_guardian.dir/reshaper.cpp.o"
+  "CMakeFiles/repro_guardian.dir/reshaper.cpp.o.d"
+  "CMakeFiles/repro_guardian.dir/semantic.cpp.o"
+  "CMakeFiles/repro_guardian.dir/semantic.cpp.o.d"
+  "librepro_guardian.a"
+  "librepro_guardian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_guardian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/checker.cpp" "src/mc/CMakeFiles/repro_mc.dir/checker.cpp.o" "gcc" "src/mc/CMakeFiles/repro_mc.dir/checker.cpp.o.d"
+  "/root/repo/src/mc/model.cpp" "src/mc/CMakeFiles/repro_mc.dir/model.cpp.o" "gcc" "src/mc/CMakeFiles/repro_mc.dir/model.cpp.o.d"
+  "/root/repo/src/mc/monitor.cpp" "src/mc/CMakeFiles/repro_mc.dir/monitor.cpp.o" "gcc" "src/mc/CMakeFiles/repro_mc.dir/monitor.cpp.o.d"
+  "/root/repo/src/mc/trace_printer.cpp" "src/mc/CMakeFiles/repro_mc.dir/trace_printer.cpp.o" "gcc" "src/mc/CMakeFiles/repro_mc.dir/trace_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ttpc/CMakeFiles/repro_ttpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/guardian/CMakeFiles/repro_guardian.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repro_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

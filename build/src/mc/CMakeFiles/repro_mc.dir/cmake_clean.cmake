@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_mc.dir/checker.cpp.o"
+  "CMakeFiles/repro_mc.dir/checker.cpp.o.d"
+  "CMakeFiles/repro_mc.dir/model.cpp.o"
+  "CMakeFiles/repro_mc.dir/model.cpp.o.d"
+  "CMakeFiles/repro_mc.dir/monitor.cpp.o"
+  "CMakeFiles/repro_mc.dir/monitor.cpp.o.d"
+  "CMakeFiles/repro_mc.dir/trace_printer.cpp.o"
+  "CMakeFiles/repro_mc.dir/trace_printer.cpp.o.d"
+  "librepro_mc.a"
+  "librepro_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/repro_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/fault_injector.cpp" "src/sim/CMakeFiles/repro_sim.dir/fault_injector.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/sim/frame_pipeline.cpp" "src/sim/CMakeFiles/repro_sim.dir/frame_pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/frame_pipeline.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/repro_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/repro_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/wire_cluster.cpp" "src/sim/CMakeFiles/repro_sim.dir/wire_cluster.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/wire_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repro_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/ttpc/CMakeFiles/repro_ttpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/guardian/CMakeFiles/repro_guardian.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sim.dir/cluster.cpp.o"
+  "CMakeFiles/repro_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/fault_injector.cpp.o"
+  "CMakeFiles/repro_sim.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/frame_pipeline.cpp.o"
+  "CMakeFiles/repro_sim.dir/frame_pipeline.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/node.cpp.o"
+  "CMakeFiles/repro_sim.dir/node.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/trace.cpp.o"
+  "CMakeFiles/repro_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/wire_cluster.cpp.o"
+  "CMakeFiles/repro_sim.dir/wire_cluster.cpp.o.d"
+  "librepro_sim.a"
+  "librepro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ttpc/clocksync.cpp" "src/ttpc/CMakeFiles/repro_ttpc.dir/clocksync.cpp.o" "gcc" "src/ttpc/CMakeFiles/repro_ttpc.dir/clocksync.cpp.o.d"
+  "/root/repo/src/ttpc/controller.cpp" "src/ttpc/CMakeFiles/repro_ttpc.dir/controller.cpp.o" "gcc" "src/ttpc/CMakeFiles/repro_ttpc.dir/controller.cpp.o.d"
+  "/root/repo/src/ttpc/cstate.cpp" "src/ttpc/CMakeFiles/repro_ttpc.dir/cstate.cpp.o" "gcc" "src/ttpc/CMakeFiles/repro_ttpc.dir/cstate.cpp.o.d"
+  "/root/repo/src/ttpc/medl.cpp" "src/ttpc/CMakeFiles/repro_ttpc.dir/medl.cpp.o" "gcc" "src/ttpc/CMakeFiles/repro_ttpc.dir/medl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repro_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

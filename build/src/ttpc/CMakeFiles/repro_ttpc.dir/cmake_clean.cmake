@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ttpc.dir/clocksync.cpp.o"
+  "CMakeFiles/repro_ttpc.dir/clocksync.cpp.o.d"
+  "CMakeFiles/repro_ttpc.dir/controller.cpp.o"
+  "CMakeFiles/repro_ttpc.dir/controller.cpp.o.d"
+  "CMakeFiles/repro_ttpc.dir/cstate.cpp.o"
+  "CMakeFiles/repro_ttpc.dir/cstate.cpp.o.d"
+  "CMakeFiles/repro_ttpc.dir/medl.cpp.o"
+  "CMakeFiles/repro_ttpc.dir/medl.cpp.o.d"
+  "librepro_ttpc.a"
+  "librepro_ttpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ttpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/bitstream.cpp" "src/wire/CMakeFiles/repro_wire.dir/bitstream.cpp.o" "gcc" "src/wire/CMakeFiles/repro_wire.dir/bitstream.cpp.o.d"
+  "/root/repo/src/wire/crc.cpp" "src/wire/CMakeFiles/repro_wire.dir/crc.cpp.o" "gcc" "src/wire/CMakeFiles/repro_wire.dir/crc.cpp.o.d"
+  "/root/repo/src/wire/frame.cpp" "src/wire/CMakeFiles/repro_wire.dir/frame.cpp.o" "gcc" "src/wire/CMakeFiles/repro_wire.dir/frame.cpp.o.d"
+  "/root/repo/src/wire/line_coding.cpp" "src/wire/CMakeFiles/repro_wire.dir/line_coding.cpp.o" "gcc" "src/wire/CMakeFiles/repro_wire.dir/line_coding.cpp.o.d"
+  "/root/repo/src/wire/signal.cpp" "src/wire/CMakeFiles/repro_wire.dir/signal.cpp.o" "gcc" "src/wire/CMakeFiles/repro_wire.dir/signal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_wire.dir/bitstream.cpp.o"
+  "CMakeFiles/repro_wire.dir/bitstream.cpp.o.d"
+  "CMakeFiles/repro_wire.dir/crc.cpp.o"
+  "CMakeFiles/repro_wire.dir/crc.cpp.o.d"
+  "CMakeFiles/repro_wire.dir/frame.cpp.o"
+  "CMakeFiles/repro_wire.dir/frame.cpp.o.d"
+  "CMakeFiles/repro_wire.dir/line_coding.cpp.o"
+  "CMakeFiles/repro_wire.dir/line_coding.cpp.o.d"
+  "CMakeFiles/repro_wire.dir/signal.cpp.o"
+  "CMakeFiles/repro_wire.dir/signal.cpp.o.d"
+  "librepro_wire.a"
+  "librepro_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

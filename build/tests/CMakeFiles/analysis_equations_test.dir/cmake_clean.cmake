@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_equations_test.dir/analysis_equations_test.cpp.o"
+  "CMakeFiles/analysis_equations_test.dir/analysis_equations_test.cpp.o.d"
+  "analysis_equations_test"
+  "analysis_equations_test.pdb"
+  "analysis_equations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_equations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

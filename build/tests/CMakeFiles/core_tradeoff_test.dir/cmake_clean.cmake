@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tradeoff_test.dir/core_tradeoff_test.cpp.o"
+  "CMakeFiles/core_tradeoff_test.dir/core_tradeoff_test.cpp.o.d"
+  "core_tradeoff_test"
+  "core_tradeoff_test.pdb"
+  "core_tradeoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tradeoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

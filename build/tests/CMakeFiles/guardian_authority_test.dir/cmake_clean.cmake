@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_authority_test.dir/guardian_authority_test.cpp.o"
+  "CMakeFiles/guardian_authority_test.dir/guardian_authority_test.cpp.o.d"
+  "guardian_authority_test"
+  "guardian_authority_test.pdb"
+  "guardian_authority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_authority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_central_test.dir/guardian_central_test.cpp.o"
+  "CMakeFiles/guardian_central_test.dir/guardian_central_test.cpp.o.d"
+  "guardian_central_test"
+  "guardian_central_test.pdb"
+  "guardian_central_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_central_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

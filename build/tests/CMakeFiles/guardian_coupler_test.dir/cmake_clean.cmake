@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_coupler_test.dir/guardian_coupler_test.cpp.o"
+  "CMakeFiles/guardian_coupler_test.dir/guardian_coupler_test.cpp.o.d"
+  "guardian_coupler_test"
+  "guardian_coupler_test.pdb"
+  "guardian_coupler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_coupler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

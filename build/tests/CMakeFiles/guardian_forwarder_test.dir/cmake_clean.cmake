@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_forwarder_test.dir/guardian_forwarder_test.cpp.o"
+  "CMakeFiles/guardian_forwarder_test.dir/guardian_forwarder_test.cpp.o.d"
+  "guardian_forwarder_test"
+  "guardian_forwarder_test.pdb"
+  "guardian_forwarder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_forwarder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_leaky_test.dir/guardian_leaky_test.cpp.o"
+  "CMakeFiles/guardian_leaky_test.dir/guardian_leaky_test.cpp.o.d"
+  "guardian_leaky_test"
+  "guardian_leaky_test.pdb"
+  "guardian_leaky_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_leaky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_local_test.dir/guardian_local_test.cpp.o"
+  "CMakeFiles/guardian_local_test.dir/guardian_local_test.cpp.o.d"
+  "guardian_local_test"
+  "guardian_local_test.pdb"
+  "guardian_local_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_local_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_mailbox_test.dir/guardian_mailbox_test.cpp.o"
+  "CMakeFiles/guardian_mailbox_test.dir/guardian_mailbox_test.cpp.o.d"
+  "guardian_mailbox_test"
+  "guardian_mailbox_test.pdb"
+  "guardian_mailbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_mailbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_semantic_test.dir/guardian_semantic_test.cpp.o"
+  "CMakeFiles/guardian_semantic_test.dir/guardian_semantic_test.cpp.o.d"
+  "guardian_semantic_test"
+  "guardian_semantic_test.pdb"
+  "guardian_semantic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_semantic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

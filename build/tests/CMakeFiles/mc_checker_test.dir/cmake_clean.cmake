@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_checker_test.dir/mc_checker_test.cpp.o"
+  "CMakeFiles/mc_checker_test.dir/mc_checker_test.cpp.o.d"
+  "mc_checker_test"
+  "mc_checker_test.pdb"
+  "mc_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

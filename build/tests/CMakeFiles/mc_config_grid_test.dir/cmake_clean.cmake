@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_config_grid_test.dir/mc_config_grid_test.cpp.o"
+  "CMakeFiles/mc_config_grid_test.dir/mc_config_grid_test.cpp.o.d"
+  "mc_config_grid_test"
+  "mc_config_grid_test.pdb"
+  "mc_config_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_config_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

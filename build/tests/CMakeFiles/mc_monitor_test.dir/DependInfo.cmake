@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mc_monitor_test.cpp" "tests/CMakeFiles/mc_monitor_test.dir/mc_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/mc_monitor_test.dir/mc_monitor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/repro_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/guardian/CMakeFiles/repro_guardian.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/repro_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ttpc/CMakeFiles/repro_ttpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repro_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_monitor_test.dir/mc_monitor_test.cpp.o"
+  "CMakeFiles/mc_monitor_test.dir/mc_monitor_test.cpp.o.d"
+  "mc_monitor_test"
+  "mc_monitor_test.pdb"
+  "mc_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

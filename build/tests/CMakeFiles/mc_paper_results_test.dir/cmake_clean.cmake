@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_paper_results_test.dir/mc_paper_results_test.cpp.o"
+  "CMakeFiles/mc_paper_results_test.dir/mc_paper_results_test.cpp.o.d"
+  "mc_paper_results_test"
+  "mc_paper_results_test.pdb"
+  "mc_paper_results_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_paper_results_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

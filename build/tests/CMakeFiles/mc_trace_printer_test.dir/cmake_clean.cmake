@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_trace_printer_test.dir/mc_trace_printer_test.cpp.o"
+  "CMakeFiles/mc_trace_printer_test.dir/mc_trace_printer_test.cpp.o.d"
+  "mc_trace_printer_test"
+  "mc_trace_printer_test.pdb"
+  "mc_trace_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_trace_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_frame_pipeline_test.dir/sim_frame_pipeline_test.cpp.o"
+  "CMakeFiles/sim_frame_pipeline_test.dir/sim_frame_pipeline_test.cpp.o.d"
+  "sim_frame_pipeline_test"
+  "sim_frame_pipeline_test.pdb"
+  "sim_frame_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_frame_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_membership_test.dir/sim_membership_test.cpp.o"
+  "CMakeFiles/sim_membership_test.dir/sim_membership_test.cpp.o.d"
+  "sim_membership_test"
+  "sim_membership_test.pdb"
+  "sim_membership_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_slot_tracker_test.dir/sim_slot_tracker_test.cpp.o"
+  "CMakeFiles/sim_slot_tracker_test.dir/sim_slot_tracker_test.cpp.o.d"
+  "sim_slot_tracker_test"
+  "sim_slot_tracker_test.pdb"
+  "sim_slot_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_slot_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

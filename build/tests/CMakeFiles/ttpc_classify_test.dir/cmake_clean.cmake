@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttpc_classify_test.dir/ttpc_classify_test.cpp.o"
+  "CMakeFiles/ttpc_classify_test.dir/ttpc_classify_test.cpp.o.d"
+  "ttpc_classify_test"
+  "ttpc_classify_test.pdb"
+  "ttpc_classify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttpc_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

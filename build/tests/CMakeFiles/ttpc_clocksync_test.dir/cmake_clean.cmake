@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttpc_clocksync_test.dir/ttpc_clocksync_test.cpp.o"
+  "CMakeFiles/ttpc_clocksync_test.dir/ttpc_clocksync_test.cpp.o.d"
+  "ttpc_clocksync_test"
+  "ttpc_clocksync_test.pdb"
+  "ttpc_clocksync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttpc_clocksync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttpc_controller_test.dir/ttpc_controller_test.cpp.o"
+  "CMakeFiles/ttpc_controller_test.dir/ttpc_controller_test.cpp.o.d"
+  "ttpc_controller_test"
+  "ttpc_controller_test.pdb"
+  "ttpc_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttpc_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttpc_cstate_test.dir/ttpc_cstate_test.cpp.o"
+  "CMakeFiles/ttpc_cstate_test.dir/ttpc_cstate_test.cpp.o.d"
+  "ttpc_cstate_test"
+  "ttpc_cstate_test.pdb"
+  "ttpc_cstate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttpc_cstate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttpc_medl_test.dir/ttpc_medl_test.cpp.o"
+  "CMakeFiles/ttpc_medl_test.dir/ttpc_medl_test.cpp.o.d"
+  "ttpc_medl_test"
+  "ttpc_medl_test.pdb"
+  "ttpc_medl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttpc_medl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

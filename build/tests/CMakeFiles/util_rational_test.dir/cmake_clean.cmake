@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_rational_test.dir/util_rational_test.cpp.o"
+  "CMakeFiles/util_rational_test.dir/util_rational_test.cpp.o.d"
+  "util_rational_test"
+  "util_rational_test.pdb"
+  "util_rational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_rational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

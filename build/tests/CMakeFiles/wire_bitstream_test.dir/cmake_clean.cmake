@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_bitstream_test.dir/wire_bitstream_test.cpp.o"
+  "CMakeFiles/wire_bitstream_test.dir/wire_bitstream_test.cpp.o.d"
+  "wire_bitstream_test"
+  "wire_bitstream_test.pdb"
+  "wire_bitstream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_bitstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

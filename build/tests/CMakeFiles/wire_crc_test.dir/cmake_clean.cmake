@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_crc_test.dir/wire_crc_test.cpp.o"
+  "CMakeFiles/wire_crc_test.dir/wire_crc_test.cpp.o.d"
+  "wire_crc_test"
+  "wire_crc_test.pdb"
+  "wire_crc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_crc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_frame_test.dir/wire_frame_test.cpp.o"
+  "CMakeFiles/wire_frame_test.dir/wire_frame_test.cpp.o.d"
+  "wire_frame_test"
+  "wire_frame_test.pdb"
+  "wire_frame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

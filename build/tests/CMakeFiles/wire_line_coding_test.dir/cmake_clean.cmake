@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_line_coding_test.dir/wire_line_coding_test.cpp.o"
+  "CMakeFiles/wire_line_coding_test.dir/wire_line_coding_test.cpp.o.d"
+  "wire_line_coding_test"
+  "wire_line_coding_test.pdb"
+  "wire_line_coding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_line_coding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

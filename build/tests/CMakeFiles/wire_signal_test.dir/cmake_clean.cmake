@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_signal_test.dir/wire_signal_test.cpp.o"
+  "CMakeFiles/wire_signal_test.dir/wire_signal_test.cpp.o.d"
+  "wire_signal_test"
+  "wire_signal_test.pdb"
+  "wire_signal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
