@@ -7,14 +7,24 @@
 // clique avoidance (plus mean healthy availability). The deterministic
 // matrix (bench_topology_faults) shows the mechanism; this bench shows the
 // statistics are not an artifact of one schedule.
+//
+// Every run inside a cell derives its RNG from (run, fault) alone, so the
+// cells are order-independent: the campaign fans out over a ThreadPool and
+// still reports figures identical to a sequential pass — which it also
+// times, to report the campaign-level speedup. Pass --json=FILE for
+// machine-readable results.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.h"
 #include "sim/cluster.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -59,35 +69,102 @@ CellResult run_cell(sim::Topology topo, guardian::Authority authority,
   return cell;
 }
 
-void print_campaign() {
-  std::printf("statistical fault-injection campaign: %llu randomized runs "
-              "per cell (random power-on pattern and fault onset; damage = "
-              "healthy node expelled or masquerade integration)\n\n",
-              static_cast<unsigned long long>(kRunsPerCell));
-  util::Table t({"fault", "configuration", "damaged runs",
-                 "healthy active at end (mean/3)"});
+struct Cell {
+  sim::NodeFaultMode fault;
+  sim::Topology topo;
+  guardian::Authority authority;
+};
+
+std::vector<Cell> campaign_cells() {
   const std::pair<sim::Topology, guardian::Authority> configs[] = {
       {sim::Topology::kBus, guardian::Authority::kPassive},
       {sim::Topology::kStar, guardian::Authority::kTimeWindows},
       {sim::Topology::kStar, guardian::Authority::kSmallShifting},
   };
+  std::vector<Cell> cells;
   for (sim::NodeFaultMode fault :
        {sim::NodeFaultMode::kBabbling, sim::NodeFaultMode::kMasqueradeColdStart,
         sim::NodeFaultMode::kBadCState, sim::NodeFaultMode::kSosValue,
         sim::NodeFaultMode::kSosTime}) {
     for (const auto& [topo, authority] : configs) {
-      CellResult cell = run_cell(topo, authority, fault);
-      char name[64], damaged[32];
-      std::snprintf(name, sizeof name, "%s + %s", sim::to_string(topo),
-                    guardian::to_string(authority));
-      std::snprintf(damaged, sizeof damaged, "%llu/%llu",
-                    static_cast<unsigned long long>(cell.damaged_runs),
-                    static_cast<unsigned long long>(kRunsPerCell));
-      t.add_row({sim::to_string(fault), name, damaged,
-                 util::Table::num(cell.healthy_active.mean(), 2)});
+      cells.push_back({fault, topo, authority});
     }
   }
+  return cells;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void print_campaign(bench::JsonWriter& json) {
+  std::printf("statistical fault-injection campaign: %llu randomized runs "
+              "per cell (random power-on pattern and fault onset; damage = "
+              "healthy node expelled or masquerade integration)\n\n",
+              static_cast<unsigned long long>(kRunsPerCell));
+  const std::vector<Cell> cells = campaign_cells();
+
+  // Sequential reference pass, then the pooled pass into index-addressed
+  // slots. Per-run seeding makes the two bit-identical; the reference
+  // exists to prove exactly that (and to time the speedup).
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<CellResult> sequential(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    sequential[i] = run_cell(cells[i].topo, cells[i].authority,
+                             cells[i].fault);
+  }
+  double seq_seconds = seconds_since(t0);
+
+  util::ThreadPool pool;
+  t0 = std::chrono::steady_clock::now();
+  std::vector<CellResult> results(cells.size());
+  pool.run_tasks(cells.size(), [&](std::size_t i) {
+    results[i] = run_cell(cells[i].topo, cells[i].authority, cells[i].fault);
+  });
+  double par_seconds = seconds_since(t0);
+
+  util::Table t({"fault", "configuration", "damaged runs",
+                 "healthy active at end (mean/3)"});
+  bool all_match = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = results[i];
+    all_match &= cell.damaged_runs == sequential[i].damaged_runs &&
+                 cell.healthy_active.mean() ==
+                     sequential[i].healthy_active.mean();
+    char name[64], damaged[32];
+    std::snprintf(name, sizeof name, "%s + %s",
+                  sim::to_string(cells[i].topo),
+                  guardian::to_string(cells[i].authority));
+    std::snprintf(damaged, sizeof damaged, "%llu/%llu",
+                  static_cast<unsigned long long>(cell.damaged_runs),
+                  static_cast<unsigned long long>(kRunsPerCell));
+    t.add_row({sim::to_string(cells[i].fault), name, damaged,
+               util::Table::num(cell.healthy_active.mean(), 2)});
+
+    char entry[96];
+    std::snprintf(entry, sizeof entry, "%s / %s",
+                  sim::to_string(cells[i].fault), name);
+    json.begin_entry(entry);
+    json.field("damaged_runs", cell.damaged_runs);
+    json.field("runs", kRunsPerCell);
+    json.field("healthy_active_mean", cell.healthy_active.mean());
+  }
   std::printf("%s\n", t.render().c_str());
+  std::printf("campaign wall clock: sequential %.2fs, %u-thread pool %.2fs "
+              "(%.2fx)%s\n\n",
+              seq_seconds, pool.size(), par_seconds,
+              seq_seconds / par_seconds,
+              all_match ? "; pooled results identical to sequential"
+                        : "; ** POOLED RESULTS DIVERGE FROM SEQUENTIAL **");
+  json.begin_entry("campaign_timing");
+  json.field("sequential_seconds", seq_seconds);
+  json.field("parallel_seconds", par_seconds);
+  json.field("threads", std::uint64_t{pool.size()});
+  json.field("speedup", seq_seconds / par_seconds);
+  json.field("matches_sequential", std::uint64_t{all_match});
+
   std::printf("shape to compare with [7]: SOS faults damage essentially "
               "every bus run and bad C-states hit whenever a node happens "
               "to (re)integrate during the fault; babbling and startup "
@@ -111,7 +188,10 @@ BENCHMARK(BM_OneCampaignCell)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_campaign();
+  std::string json_path = tta::bench::take_json_flag(&argc, argv);
+  tta::bench::JsonWriter json;
+  print_campaign(json);
+  if (!json_path.empty()) json.write(json_path, "bench_fault_campaign");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,114 @@
+// Machine-readable bench output, in the spirit of google-benchmark's
+// --benchmark_out=FILE: the summary sections of a bench harvest their rows
+// into a JsonWriter, and when the user passes --json=FILE the writer emits
+//
+//   {"benchmark": "<name>", "entries": [{"name": "...", ...}, ...]}
+//
+// The flag is stripped from argv before benchmark::Initialize sees it, so
+// it composes with the usual google-benchmark flags. Only the bench's own
+// summary rows go here — the microbenchmark timings already have
+// --benchmark_out for their JSON.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tta::bench {
+
+class JsonWriter {
+ public:
+  /// Starts a new result entry; subsequent field() calls attach to it.
+  void begin_entry(const std::string& name) {
+    entries_.push_back({name, {}});
+  }
+
+  void field(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    add(key, buf);
+  }
+  void field(const std::string& key, std::uint64_t value) {
+    add(key, std::to_string(value));
+  }
+  void field(const std::string& key, const std::string& value) {
+    add(key, "\"" + escape(value) + "\"");
+  }
+
+  /// Writes all entries to `path`; returns false (with a message on
+  /// stderr) if the file cannot be opened.
+  bool write(const std::string& path, const std::string& bench_name) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write JSON results to %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"entries\": [",
+                 escape(bench_name).c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\"", i ? "," : "",
+                   escape(entries_[i].name).c_str());
+      for (const Field& fld : entries_[i].fields) {
+        std::fprintf(f, ", \"%s\": %s", escape(fld.key).c_str(),
+                     fld.json_value.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("JSON results written to %s\n", path.c_str());
+    return true;
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Field {
+    std::string key;
+    std::string json_value;  ///< already-rendered JSON literal
+  };
+  struct Entry {
+    std::string name;
+    std::vector<Field> fields;
+  };
+
+  void add(const std::string& key, std::string json_value) {
+    entries_.back().fields.push_back({key, std::move(json_value)});
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Removes `--json=FILE` from argv (so benchmark::Initialize never sees an
+/// unknown flag) and returns FILE, or "" when the flag is absent.
+inline std::string take_json_flag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+}  // namespace tta::bench

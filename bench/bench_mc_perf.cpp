@@ -5,12 +5,19 @@
 // corresponding figures for our explicit-state checker: end-to-end trace
 // generation time, exhaustive-verification time, and raw state-expansion
 // throughput (states/second), plus how the state space scales with cluster
-// size.
+// size, and the serial-vs-parallel speedup of the level-synchronized BFS
+// engine (docs/CHECKER.md).
+//
+// Pass --json=FILE for machine-readable summary results alongside the
+// usual --benchmark_out for the microbenchmark timings.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "mc/checker.h"
+#include "mc/parallel_checker.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -24,17 +31,27 @@ mc::ModelConfig config(guardian::Authority a, std::uint8_t nodes = 4) {
   return cfg;
 }
 
-void print_summary() {
+void record(bench::JsonWriter& json, const char* name,
+            const mc::CheckStats& stats) {
+  json.begin_entry(name);
+  json.field("states", stats.states_explored);
+  json.field("transitions", stats.transitions);
+  json.field("depth", stats.max_depth);
+  json.field("seconds", stats.seconds);
+}
+
+void print_summary(bench::JsonWriter& json) {
   std::printf("E4: checker statistics (paper: both traces < 60 s on a "
               "1.5 GHz AMD with SMV)\n\n");
   std::printf("%-34s %10s %12s %8s %10s\n", "query", "states", "transitions",
               "depth", "seconds");
-  auto report = [](const char* name, const mc::CheckResult& res) {
+  auto report = [&json](const char* name, const mc::CheckResult& res) {
     std::printf("%-34s %10llu %12llu %8llu %10.4f\n", name,
                 static_cast<unsigned long long>(res.stats.states_explored),
                 static_cast<unsigned long long>(res.stats.transitions),
                 static_cast<unsigned long long>(res.stats.max_depth),
                 res.stats.seconds);
+    record(json, name, res.stats);
   };
   {
     mc::TtpcStarModel m(config(guardian::Authority::kSmallShifting));
@@ -75,8 +92,58 @@ void print_summary() {
                 static_cast<unsigned long long>(res.stats.transitions),
                 static_cast<unsigned long long>(res.stats.max_depth),
                 res.stats.seconds);
+    record(json, "verify passive, 6 nodes (capped)", res.stats);
   }
   std::printf("\n");
+}
+
+void print_parallel_comparison(bench::JsonWriter& json) {
+  // The headline scaling workload: 5-node passive exhaustive verification
+  // (~3.4M states). Both engines run the same level-synchronized BFS, so
+  // states/transitions/depth must agree exactly at every thread count —
+  // anything else is flagged as a MISMATCH, making this a live
+  // cross-validation as well as a speedup report.
+  std::printf("serial vs parallel engine: verify passive, 5 nodes "
+              "(exhaustive; hardware concurrency here: %u)\n\n",
+              util::ThreadPool::hardware_threads());
+  std::printf("%-22s %10s %12s %8s %10s %8s\n", "engine", "states",
+              "transitions", "depth", "seconds", "speedup");
+
+  mc::TtpcStarModel m(config(guardian::Authority::kPassive, 5));
+  auto serial = mc::Checker(m).check(mc::no_integrated_node_freezes());
+  std::printf("%-22s %10llu %12llu %8llu %10.4f %8s\n", "serial (reference)",
+              static_cast<unsigned long long>(serial.stats.states_explored),
+              static_cast<unsigned long long>(serial.stats.transitions),
+              static_cast<unsigned long long>(serial.stats.max_depth),
+              serial.stats.seconds, "1.00x");
+  record(json, "parallel_compare serial", serial.stats);
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    mc::ParallelChecker checker(m, threads);
+    auto res = checker.check(mc::no_integrated_node_freezes());
+    double speedup = serial.stats.seconds / res.stats.seconds;
+    bool same = res.stats.states_explored == serial.stats.states_explored &&
+                res.stats.transitions == serial.stats.transitions &&
+                res.stats.max_depth == serial.stats.max_depth &&
+                res.holds == serial.holds;
+    char name[32], sp[16];
+    std::snprintf(name, sizeof name, "parallel, %u threads", threads);
+    std::snprintf(sp, sizeof sp, "%.2fx", speedup);
+    std::printf("%-22s %10llu %12llu %8llu %10.4f %8s%s\n", name,
+                static_cast<unsigned long long>(res.stats.states_explored),
+                static_cast<unsigned long long>(res.stats.transitions),
+                static_cast<unsigned long long>(res.stats.max_depth),
+                res.stats.seconds, sp,
+                same ? "" : "  ** MISMATCH vs serial **");
+    char entry[48];
+    std::snprintf(entry, sizeof entry, "parallel_compare t%u", threads);
+    record(json, entry, res.stats);
+    json.field("speedup", speedup);
+    json.field("matches_serial", std::uint64_t{same});
+  }
+  std::printf("\n=> speedup scales with physical cores; on a single-core "
+              "host the parallel engine only pays its coordination "
+              "overhead.\n\n");
 }
 
 void BM_ExhaustiveVerification(benchmark::State& state) {
@@ -93,6 +160,27 @@ void BM_ExhaustiveVerification(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ExhaustiveVerification)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelExhaustiveVerification(benchmark::State& state) {
+  auto cfg = config(guardian::Authority::kSmallShifting);
+  auto threads = static_cast<unsigned>(state.range(0));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    mc::TtpcStarModel model(cfg);
+    mc::ParallelChecker checker(model, threads);
+    auto res = checker.check(mc::no_integrated_node_freezes());
+    states = res.stats.states_explored;
+    benchmark::DoNotOptimize(res.holds);
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelExhaustiveVerification)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SuccessorGeneration(benchmark::State& state) {
   mc::TtpcStarModel model(config(guardian::Authority::kFullShifting));
@@ -139,7 +227,11 @@ BENCHMARK(BM_StateSpaceByClusterSize)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_summary();
+  std::string json_path = tta::bench::take_json_flag(&argc, argv);
+  tta::bench::JsonWriter json;
+  print_summary(json);
+  print_parallel_comparison(json);
+  if (!json_path.empty()) json.write(json_path, "bench_mc_perf");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -21,6 +21,10 @@
 //     transition violates the property; otherwise a minimal trace.
 //   * find_state(goal)  — reachability: shortest path to a state satisfying
 //     the goal (used by tests to prove, e.g., that startup can succeed).
+//
+// Checker is the single-threaded reference engine; mc/parallel_checker.h
+// implements the same level-synchronized BFS semantics across a thread pool
+// and is cross-validated against this class (docs/CHECKER.md).
 #pragma once
 
 #include <chrono>
@@ -129,9 +133,19 @@ class Checker {
 
     while (!frontier.empty()) {
       if (states.size() > max_states) {
+        // Budget exceeded: the graph is incomplete, so any verdict would be
+        // unsound. Report the partial exploration honestly — timing and
+        // depth included — and withhold the verdict explicitly instead of
+        // leaking the default-true initial value.
         result.stats.exhausted = false;
         result.stats.states_explored = states.size();
-        return result;  // verdict would be unsound; bail out explicitly
+        result.stats.seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        result.recoverable_everywhere = false;
+        result.dead_states = 0;
+        return result;
       }
       std::uint32_t cur_idx = frontier.front();
       frontier.pop_front();
@@ -236,13 +250,22 @@ class Checker {
     bool is_root = false;
   };
 
+  // Level-synchronized BFS: the frontier is expanded one full depth level
+  // at a time, and a violation/goal found at level d is reported only after
+  // every state of level d has been expanded and all its successors
+  // recorded. Within a level the first hit in frontier order wins, which is
+  // the same transition the classic pop-one-state BFS would report — but
+  // the level-complete accounting makes states_explored, transitions and
+  // max_depth functions of the state graph alone, independent of intra-
+  // level visit order. ParallelChecker implements the identical semantics
+  // with the level split across threads, so the two engines can be
+  // cross-validated field-for-field (see docs/CHECKER.md).
   CheckResultT<State> run(const Violation* violation, const Goal* goal,
                           std::uint64_t max_states) const {
     const auto t0 = std::chrono::steady_clock::now();
     CheckResultT<State> result;
 
     std::unordered_map<util::PackedState, ParentInfo> visited;
-    std::deque<util::PackedState> frontier;
 
     auto finish = [&](bool holds) {
       result.holds = holds;
@@ -282,52 +305,74 @@ class Checker {
     State init = model_->initial();
     util::PackedState init_packed = model_->pack(init);
     visited.emplace(init_packed, ParentInfo{{}, 0, 0, true});
-    frontier.push_back(init_packed);
+    std::vector<util::PackedState> level{init_packed};
     if (goal && (*goal)(init)) {
       finish(false);
       return result;  // goal reachable at depth 0, empty witness
     }
 
-    while (!frontier.empty()) {
+    for (std::uint32_t depth = 0;; ++depth) {
       if (visited.size() > max_states) {
         result.stats.exhausted = false;
         break;
       }
-      util::PackedState cur_packed = frontier.front();
-      frontier.pop_front();
-      const std::uint32_t depth = visited.at(cur_packed).depth;
-      result.stats.max_depth =
-          std::max<std::uint64_t>(result.stats.max_depth, depth);
-      State cur = model_->unpack(cur_packed);
+      result.stats.max_depth = depth;
 
-      for (const auto& succ : model_->successors(cur)) {
-        ++result.stats.transitions;
-        if (violation && (*violation)(cur, succ.next)) {
-          // Counterexample: path to `cur` plus this violating transition.
-          std::vector<TraceStepT<State>> steps = reconstruct(cur_packed);
-          TraceStepT<State> final_step;
-          final_step.before = cur;
-          auto [next, label] = model_->apply(cur, succ.choice_code);
-          final_step.label = label;
-          final_step.after = next;
-          steps.push_back(final_step);
-          result.trace = std::move(steps);
-          finish(false);
-          return result;
-        }
-        util::PackedState next_packed = model_->pack(succ.next);
-        auto [it, inserted] = visited.emplace(
-            next_packed,
-            ParentInfo{cur_packed, succ.choice_code, depth + 1, false});
-        if (inserted) {
-          if (goal && (*goal)(succ.next)) {
-            result.trace = reconstruct(next_packed);
-            finish(false);
-            return result;
+      // First violating transition (frontier order) and first discovered
+      // goal state in this level, if any.
+      bool violation_found = false;
+      util::PackedState violation_state{};
+      std::uint32_t violation_choice = 0;
+      bool goal_found = false;
+      util::PackedState goal_state{};
+
+      std::vector<util::PackedState> next_level;
+      for (const util::PackedState& cur_packed : level) {
+        State cur = model_->unpack(cur_packed);
+        for (const auto& succ : model_->successors(cur)) {
+          ++result.stats.transitions;
+          if (violation && !violation_found &&
+              (*violation)(cur, succ.next)) {
+            violation_found = true;
+            violation_state = cur_packed;
+            violation_choice = succ.choice_code;
           }
-          frontier.push_back(next_packed);
+          util::PackedState next_packed = model_->pack(succ.next);
+          auto [it, inserted] = visited.emplace(
+              next_packed,
+              ParentInfo{cur_packed, succ.choice_code, depth + 1, false});
+          if (inserted) {
+            next_level.push_back(next_packed);
+            if (goal && !goal_found && (*goal)(succ.next)) {
+              goal_found = true;
+              goal_state = next_packed;
+            }
+          }
         }
       }
+
+      if (violation_found) {
+        // Counterexample: path to the violating state plus the violating
+        // transition itself.
+        std::vector<TraceStepT<State>> steps = reconstruct(violation_state);
+        TraceStepT<State> final_step;
+        final_step.before = model_->unpack(violation_state);
+        auto [next, label] = model_->apply(final_step.before,
+                                           violation_choice);
+        final_step.label = label;
+        final_step.after = next;
+        steps.push_back(final_step);
+        result.trace = std::move(steps);
+        finish(false);
+        return result;
+      }
+      if (goal_found) {
+        result.trace = reconstruct(goal_state);
+        finish(false);
+        return result;
+      }
+      if (next_level.empty()) break;
+      level = std::move(next_level);
     }
 
     finish(true);

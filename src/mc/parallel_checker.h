@@ -1,0 +1,415 @@
+// Multi-core explicit-state reachability engine.
+//
+// Implements the same level-synchronized BFS semantics as the serial
+// Checker (mc/checker.h), with every depth level split into contiguous
+// frontier chunks expanded concurrently over a util::ThreadPool and the
+// visited set held in a shared lock-free util::ConcurrentStateTable
+// (LTSmin-style). Because a level is always completed before a verdict is
+// reported, and because the set of states at depth d is a property of the
+// state graph alone, the engine reproduces the serial checker's results
+// exactly — same verdicts, same states_explored / transitions / max_depth,
+// and counterexamples of identical (minimal) length — for any thread
+// count. Only the *content* of a counterexample may differ when several
+// distinct violations exist at the minimal depth. See docs/CHECKER.md for
+// the argument.
+//
+// The table stores one 16-byte NodeInfo per state inline next to the key
+// (parent slot, choice code, depth, flags), so counterexample
+// reconstruction walks slot indices instead of hashing packed states, and
+// visited-set memory stays well below the node-allocated unordered_map of
+// the serial engine. Capacity grows by rebuilding at level barriers, where
+// exactly one thread is active; if a level overflows the table mid-flight,
+// the partially inserted level is dropped during the rebuild and the level
+// is re-expanded (insert-if-absent makes the retry idempotent).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "mc/checker.h"
+#include "util/concurrent_state_table.h"
+#include "util/thread_pool.h"
+
+namespace tta::mc {
+
+template <class Model>
+class ParallelChecker {
+ public:
+  using State = typename Model::State;
+  using Violation = std::function<bool(const State&, const State&)>;
+  using Goal = std::function<bool(const State&)>;
+
+  /// `num_threads` == 0 picks the hardware concurrency.
+  explicit ParallelChecker(const Model& model, unsigned num_threads = 0,
+                           std::size_t initial_capacity = 1u << 16)
+      : model_(&model),
+        pool_(num_threads),
+        initial_capacity_(initial_capacity) {}
+
+  unsigned num_threads() const { return pool_.size(); }
+
+  /// Test hook: states of headroom the proactive growth budgets per
+  /// frontier state. 0 disables proactive growth so a growing level must
+  /// take the mid-level overflow + retry path.
+  void set_growth_headroom(std::size_t per_frontier_state) {
+    growth_headroom_ = per_frontier_state;
+  }
+
+  /// Exhaustive safety check; see Checker::check.
+  CheckResultT<State> check(const Violation& violation,
+                            std::uint64_t max_states = 50'000'000) const {
+    return run(&violation, nullptr, max_states, nullptr);
+  }
+
+  /// Shortest witness to a goal state; see Checker::find_state.
+  CheckResultT<State> find_state(const Goal& goal,
+                                 std::uint64_t max_states = 50'000'000) const {
+    return run(nullptr, &goal, max_states, nullptr);
+  }
+
+  /// AG EF goal; see Checker::check_recoverability. The forward pass runs
+  /// on the thread pool; the backward closure is a cheap serial sweep over
+  /// the reversed edge list.
+  RecoverabilityResultT<State> check_recoverability(
+      const Goal& goal, std::uint64_t max_states = 10'000'000) const {
+    const auto t0 = std::chrono::steady_clock::now();
+    RecoverabilityResultT<State> result;
+
+    Table table(initial_capacity_);
+    std::vector<Edge> edges;
+    ForwardGraph graph{&table, &edges, &goal};
+    run(nullptr, nullptr, max_states, &graph, &result.stats);
+    if (!result.stats.exhausted) {
+      // Incomplete graph: withhold the verdict explicitly (mirrors the
+      // serial engine's budget bail-out).
+      result.recoverable_everywhere = false;
+      result.dead_states = 0;
+      result.stats.seconds = seconds_since(t0);
+      return result;
+    }
+
+    // Backward closure over reversed edges from the goal states, on slot
+    // indices (the slot array is sparse; empty slots are simply untouched).
+    const std::size_t cap = table.capacity();
+    std::vector<std::uint32_t> offsets(cap + 1, 0);
+    for (const Edge& e : edges) ++offsets[e.to + 1];
+    for (std::size_t i = 1; i < offsets.size(); ++i) {
+      offsets[i] += offsets[i - 1];
+    }
+    std::vector<std::uint32_t> reverse(edges.size());
+    {
+      std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (const Edge& e : edges) reverse[cursor[e.to]++] = e.from;
+    }
+    std::vector<bool> can_recover(cap, false);
+    std::deque<std::uint32_t> back;
+    for (std::uint32_t s = 0; s < cap; ++s) {
+      if (table.occupied(s) && (table.value_at(s).flags & kGoalFlag)) {
+        can_recover[s] = true;
+        back.push_back(s);
+      }
+    }
+    while (!back.empty()) {
+      std::uint32_t cur = back.front();
+      back.pop_front();
+      for (std::uint32_t e = offsets[cur]; e < offsets[cur + 1]; ++e) {
+        std::uint32_t pred = reverse[e];
+        if (!can_recover[pred]) {
+          can_recover[pred] = true;
+          back.push_back(pred);
+        }
+      }
+    }
+
+    // Verdict + shortest witness into the dead region.
+    std::uint32_t witness_slot = Table::kNoSlot;
+    std::uint32_t witness_depth = UINT32_MAX;
+    for (std::uint32_t s = 0; s < cap; ++s) {
+      if (!table.occupied(s) || can_recover[s]) continue;
+      ++result.dead_states;
+      if (table.value_at(s).depth < witness_depth) {
+        witness_depth = table.value_at(s).depth;
+        witness_slot = s;
+      }
+    }
+    result.recoverable_everywhere = result.dead_states == 0;
+    if (!result.recoverable_everywhere) {
+      result.witness = reconstruct(table, witness_slot);
+    }
+    result.stats.seconds = seconds_since(t0);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint8_t kRootFlag = 1;
+  static constexpr std::uint8_t kGoalFlag = 2;
+
+  /// Inline per-state value: BFS parent as a slot index (rewritten through
+  /// the remap whenever the table rebuilds), the choice code that replays
+  /// the parent -> state transition, and the BFS depth.
+  struct NodeInfo {
+    std::uint32_t parent = 0;
+    std::uint32_t choice = 0;
+    std::uint32_t depth = 0;
+    std::uint8_t flags = 0;
+  };
+  using Table = util::ConcurrentStateTable<NodeInfo>;
+
+  struct Edge {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+  };
+
+  /// When run() enumerates the full graph for check_recoverability it also
+  /// records every transition edge and tags goal states in the table.
+  struct ForwardGraph {
+    Table* table;
+    std::vector<Edge>* edges;
+    const Goal* goal;
+  };
+
+  /// First hit within a task's chunk, ordered by (frontier index,
+  /// successor index); chunks are contiguous, so the per-task first hit is
+  /// the per-task minimum and the cross-task minimum is the level minimum.
+  struct Hit {
+    std::uint64_t frontier_index = UINT64_MAX;
+    std::uint32_t slot = Table::kNoSlot;  ///< violating state / goal state
+    std::uint32_t choice = 0;             ///< violating transition's choice
+  };
+
+  static double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  }
+
+  std::vector<TraceStepT<State>> reconstruct(const Table& table,
+                                             std::uint32_t last) const {
+    std::vector<std::uint32_t> path{last};
+    while (!(table.value_at(path.back()).flags & kRootFlag)) {
+      path.push_back(table.value_at(path.back()).parent);
+    }
+    std::vector<TraceStepT<State>> steps;
+    for (std::size_t i = path.size(); i-- > 1;) {
+      TraceStepT<State> step;
+      step.before = model_->unpack(table.key_at(path[i]));
+      auto [next, label] =
+          model_->apply(step.before, table.value_at(path[i - 1]).choice);
+      TTA_CHECK(model_->pack(next) == table.key_at(path[i - 1]));
+      step.label = label;
+      step.after = next;
+      steps.push_back(step);
+    }
+    return steps;
+  }
+
+  /// Grows `table` so that `needed` entries fit under max_load(), dropping
+  /// entries selected by `drop`, and rewrites every slot reference the
+  /// checker holds: parent links in the table, the current frontier, and
+  /// (for recoverability) the accumulated edge list. Single-threaded;
+  /// called only at level barriers.
+  static void grow(Table& table, std::size_t needed,
+                   std::vector<std::uint32_t>& level, std::vector<Edge>* edges,
+                   const std::function<bool(const NodeInfo&)>& drop =
+                       nullptr) {
+    std::size_t cap = table.capacity();
+    while (cap - cap / 4 <= needed) cap <<= 1;
+    std::vector<std::uint32_t> remap = table.rebuild(cap, drop);
+    for (std::uint32_t s = 0; s < table.capacity(); ++s) {
+      if (!table.occupied(s)) continue;
+      NodeInfo& info = table.value_at(s);
+      if (!(info.flags & kRootFlag)) info.parent = remap[info.parent];
+    }
+    for (std::uint32_t& s : level) s = remap[s];
+    if (edges) {
+      for (Edge& e : *edges) {
+        e.from = remap[e.from];
+        e.to = remap[e.to];
+      }
+    }
+  }
+
+  CheckResultT<State> run(const Violation* violation, const Goal* goal,
+                          std::uint64_t max_states,
+                          const ForwardGraph* graph,
+                          CheckStats* stats_out = nullptr) const {
+    const auto t0 = std::chrono::steady_clock::now();
+    CheckResultT<State> result;
+
+    Table local_table(initial_capacity_);
+    Table& table = graph ? *graph->table : local_table;
+    std::vector<Edge>* edges = graph ? graph->edges : nullptr;
+    const Goal* tag_goal = graph ? graph->goal : nullptr;
+
+    auto finish = [&](bool holds) {
+      result.holds = holds;
+      result.stats.states_explored = table.size();
+      result.stats.seconds = seconds_since(t0);
+      if (stats_out) *stats_out = result.stats;
+    };
+
+    State init = model_->initial();
+    NodeInfo root{0, 0, 0, kRootFlag};
+    if (tag_goal && (*tag_goal)(init)) root.flags |= kGoalFlag;
+    typename Table::Insert ins = table.insert(model_->pack(init), root);
+    TTA_CHECK(ins.inserted);
+    std::vector<std::uint32_t> level{ins.slot};
+    if (goal && (*goal)(init)) {
+      finish(false);
+      return result;  // goal reachable at depth 0, empty witness
+    }
+
+    const unsigned tasks = pool_.size();
+    for (std::uint32_t depth = 0;; ++depth) {
+      if (table.size() > max_states) {
+        result.stats.exhausted = false;
+        break;
+      }
+      result.stats.max_depth = depth;
+      // Proactive growth: leave headroom for a level that discovers up to
+      // growth_headroom_ (~4) new states per frontier state, generous for
+      // this model family. A level that still outgrows the table aborts
+      // and retries below.
+      const std::size_t headroom =
+          table.size() + growth_headroom_ * level.size();
+      if (headroom >= table.max_load()) grow(table, headroom, level, edges);
+
+      std::vector<std::vector<std::uint32_t>> next(tasks);
+      std::vector<std::vector<Edge>> new_edges(tasks);
+      std::vector<std::uint64_t> transitions(tasks, 0);
+      std::vector<Hit> violation_hit(tasks);
+      std::vector<Hit> goal_hit(tasks);
+      std::atomic<bool> overflow{false};
+
+      pool_.parallel_for(
+          level.size(),
+          [&](unsigned chunk, std::size_t begin, std::size_t end) {
+            // Work on chunk-local state; publish into the index-addressed
+            // output slots once at the end (avoids false sharing on the
+            // hot transition counter).
+            std::vector<std::uint32_t> my_next;
+            std::vector<Edge> my_edges;
+            std::uint64_t my_transitions = 0;
+            Hit my_violation, my_goal;
+            for (std::size_t i = begin; i < end; ++i) {
+              if (overflow.load(std::memory_order_relaxed)) break;
+              const std::uint32_t cur_slot = level[i];
+              State cur = model_->unpack(table.key_at(cur_slot));
+              for (const auto& succ : model_->successors(cur)) {
+                ++my_transitions;
+                if (violation && my_violation.slot == Table::kNoSlot &&
+                    (*violation)(cur, succ.next)) {
+                  my_violation = Hit{i, cur_slot, succ.choice_code};
+                }
+                NodeInfo info{cur_slot, succ.choice_code, depth + 1, 0};
+                if (tag_goal && (*tag_goal)(succ.next)) {
+                  info.flags |= kGoalFlag;
+                }
+                typename Table::Insert r =
+                    table.insert(model_->pack(succ.next), info);
+                if (r.slot == Table::kNoSlot) {
+                  overflow.store(true, std::memory_order_relaxed);
+                  break;
+                }
+                if (edges) my_edges.push_back(Edge{cur_slot, r.slot});
+                if (r.inserted) {
+                  my_next.push_back(r.slot);
+                  if (goal && my_goal.slot == Table::kNoSlot &&
+                      (*goal)(succ.next)) {
+                    my_goal = Hit{i, r.slot, 0};
+                  }
+                }
+              }
+              if (overflow.load(std::memory_order_relaxed)) break;
+            }
+            next[chunk] = std::move(my_next);
+            new_edges[chunk] = std::move(my_edges);
+            transitions[chunk] = my_transitions;
+            violation_hit[chunk] = my_violation;
+            goal_hit[chunk] = my_goal;
+          });
+
+      if (overflow.load(std::memory_order_relaxed)) {
+        // The level half-finished: drop its partial discoveries, grow, and
+        // re-expand the same level from scratch. Dropped entries all have
+        // depth == depth + 1, so no surviving parent link can point at
+        // them.
+        const std::uint32_t dropped_depth = depth + 1;
+        grow(table, table.size() * 2, level, edges,
+             [dropped_depth](const NodeInfo& info) {
+               return info.depth == dropped_depth;
+             });
+        --depth;  // redo this level
+        continue;
+      }
+
+      for (unsigned c = 0; c < tasks; ++c) {
+        result.stats.transitions += transitions[c];
+      }
+
+      if (violation) {
+        Hit best;
+        for (const Hit& h : violation_hit) {
+          if (h.frontier_index < best.frontier_index) best = h;
+        }
+        if (best.slot != Table::kNoSlot) {
+          // Counterexample: path to the violating state plus the violating
+          // transition itself. Minimal depth is guaranteed because every
+          // earlier level completed without a hit.
+          std::vector<TraceStepT<State>> steps =
+              reconstruct(table, best.slot);
+          TraceStepT<State> final_step;
+          final_step.before = model_->unpack(table.key_at(best.slot));
+          auto [nxt, label] = model_->apply(final_step.before, best.choice);
+          final_step.label = label;
+          final_step.after = nxt;
+          steps.push_back(final_step);
+          result.trace = std::move(steps);
+          finish(false);
+          return result;
+        }
+      }
+      if (goal) {
+        Hit best;
+        for (const Hit& h : goal_hit) {
+          if (h.frontier_index < best.frontier_index) best = h;
+        }
+        if (best.slot != Table::kNoSlot) {
+          result.trace = reconstruct(table, best.slot);
+          finish(false);
+          return result;
+        }
+      }
+
+      std::size_t total = 0;
+      for (const auto& chunk : next) total += chunk.size();
+      if (edges) {
+        for (auto& chunk : new_edges) {
+          edges->insert(edges->end(), chunk.begin(), chunk.end());
+        }
+      }
+      if (total == 0) break;
+      std::vector<std::uint32_t> next_level;
+      next_level.reserve(total);
+      for (const auto& chunk : next) {
+        next_level.insert(next_level.end(), chunk.begin(), chunk.end());
+      }
+      level = std::move(next_level);
+    }
+
+    finish(true);
+    return result;
+  }
+
+  const Model* model_;
+  mutable util::ThreadPool pool_;
+  std::size_t initial_capacity_;
+  std::size_t growth_headroom_ = 4;
+};
+
+}  // namespace tta::mc

@@ -1,0 +1,101 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace tta::util {
+
+unsigned ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned n = num_threads == 0 ? hardware_threads() : num_threads;
+  workers_.reserve(n - 1);
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_one(std::size_t index) {
+  try {
+    (*job_)(index);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (job_ != nullptr && next_task_ < job_tasks_);
+    });
+    if (stop_) return;
+    std::size_t index = next_task_++;
+    ++in_flight_;
+    lock.unlock();
+    run_one(index);
+    lock.lock();
+    --in_flight_;
+    if (next_task_ >= job_tasks_ && in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_tasks(std::size_t num_tasks,
+                           const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  job_tasks_ = num_tasks;
+  next_task_ = 0;
+  first_error_ = nullptr;
+  work_cv_.notify_all();
+
+  // The calling thread claims tasks alongside the workers.
+  while (next_task_ < job_tasks_) {
+    std::size_t index = next_task_++;
+    ++in_flight_;
+    lock.unlock();
+    run_one(index);
+    lock.lock();
+    --in_flight_;
+  }
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  job_ = nullptr;
+
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(unsigned chunk, std::size_t begin,
+                                            std::size_t end)>& fn) {
+  if (n == 0) return;
+  std::size_t chunks = std::min<std::size_t>(size(), n);
+  run_tasks(chunks, [&](std::size_t c) {
+    std::size_t begin = n * c / chunks;
+    std::size_t end = n * (c + 1) / chunks;
+    fn(static_cast<unsigned>(c), begin, end);
+  });
+}
+
+}  // namespace tta::util

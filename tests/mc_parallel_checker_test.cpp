@@ -1,0 +1,266 @@
+// Cross-validation of the parallel reachability engine against the serial
+// reference: both implement the same level-synchronized BFS, so verdicts,
+// states_explored, transitions, max_depth and counterexample lengths must
+// be bit-identical for every thread count (docs/CHECKER.md).
+#include "mc/parallel_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "mc/checker.h"
+#include "mc/monitor.h"
+
+namespace tta::mc {
+namespace {
+
+ModelConfig config(guardian::Authority a) {
+  ModelConfig cfg;
+  cfg.authority = a;
+  return cfg;
+}
+
+constexpr guardian::Authority kAllAuthorities[] = {
+    guardian::Authority::kPassive, guardian::Authority::kTimeWindows,
+    guardian::Authority::kSmallShifting, guardian::Authority::kFullShifting};
+
+constexpr unsigned kThreadCounts[] = {1, 2, 5};
+
+void expect_same_stats(const CheckStats& serial, const CheckStats& parallel,
+                       const char* what) {
+  EXPECT_EQ(serial.states_explored, parallel.states_explored) << what;
+  EXPECT_EQ(serial.transitions, parallel.transitions) << what;
+  EXPECT_EQ(serial.max_depth, parallel.max_depth) << what;
+  EXPECT_EQ(serial.exhausted, parallel.exhausted) << what;
+}
+
+TEST(ParallelChecker, MatchesSerialVerdictsOnAllFourAuthorityLevels) {
+  for (guardian::Authority a : kAllAuthorities) {
+    TtpcStarModel model(config(a));
+    auto serial = Checker(model).check(no_integrated_node_freezes());
+    for (unsigned threads : kThreadCounts) {
+      ParallelChecker checker(model, threads);
+      auto parallel = checker.check(no_integrated_node_freezes());
+      const char* what = guardian::to_string(a);
+      EXPECT_EQ(serial.holds, parallel.holds)
+          << what << " threads=" << threads;
+      EXPECT_EQ(serial.trace.size(), parallel.trace.size())
+          << what << " threads=" << threads;
+      expect_same_stats(serial.stats, parallel.stats, what);
+    }
+  }
+}
+
+TEST(ParallelChecker, CounterexampleIsAValidMinimalViolationTrace) {
+  // The parallel trace may pick a different minimal-depth violation than
+  // the serial engine, but it must be a connected root-anchored trace whose
+  // only violating transition is the last one.
+  TtpcStarModel model(config(guardian::Authority::kFullShifting));
+  ParallelChecker checker(model, 4);
+  auto res = checker.check(no_integrated_node_freezes());
+  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.trace.empty());
+  EXPECT_EQ(res.trace.front().before, model.initial());
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    EXPECT_EQ(res.trace[i - 1].after, res.trace[i].before) << "gap at " << i;
+  }
+  auto violation = no_integrated_node_freezes();
+  for (std::size_t i = 0; i + 1 < res.trace.size(); ++i) {
+    EXPECT_FALSE(violation(res.trace[i].before, res.trace[i].after))
+        << "premature violation at step " << i;
+  }
+  EXPECT_TRUE(violation(res.trace.back().before, res.trace.back().after));
+}
+
+TEST(ParallelChecker, FindStateMatchesSerialWitnessDepth) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  auto all_active = [&model](const WorldState& w) {
+    for (std::size_t i = 0; i < model.num_nodes(); ++i) {
+      if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
+    }
+    return true;
+  };
+  auto serial = Checker(model).find_state(all_active);
+  ASSERT_FALSE(serial.holds);
+  for (unsigned threads : kThreadCounts) {
+    ParallelChecker checker(model, threads);
+    auto parallel = checker.find_state(all_active);
+    EXPECT_FALSE(parallel.holds) << "threads=" << threads;
+    EXPECT_EQ(serial.trace.size(), parallel.trace.size())
+        << "threads=" << threads;
+    expect_same_stats(serial.stats, parallel.stats, "find_state");
+    ASSERT_FALSE(parallel.trace.empty());
+    EXPECT_TRUE(all_active(parallel.trace.back().after));
+  }
+}
+
+TEST(ParallelChecker, UnreachableGoalExhaustsIdentically) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  auto impossible = [](const WorldState& w) {
+    return w.nodes[0].state == ttpc::CtrlState::kDownload;
+  };
+  auto serial = Checker(model).find_state(impossible);
+  ParallelChecker checker(model, 3);
+  auto parallel = checker.find_state(impossible);
+  EXPECT_TRUE(serial.holds);
+  EXPECT_TRUE(parallel.holds);
+  expect_same_stats(serial.stats, parallel.stats, "unreachable goal");
+}
+
+TEST(ParallelChecker, StateBudgetReportsUnexhaustedLikeSerial) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  auto impossible = [](const WorldState& w) {
+    return w.nodes[0].state == ttpc::CtrlState::kDownload;
+  };
+  auto serial = Checker(model).find_state(impossible, /*max_states=*/500);
+  for (unsigned threads : kThreadCounts) {
+    ParallelChecker checker(model, threads);
+    auto parallel = checker.find_state(impossible, /*max_states=*/500);
+    EXPECT_TRUE(parallel.holds);
+    EXPECT_FALSE(parallel.stats.exhausted);
+    // Budget bail-outs are level-synchronized in both engines, so even the
+    // partial exploration agrees.
+    expect_same_stats(serial.stats, parallel.stats, "budget");
+  }
+}
+
+TEST(ParallelChecker, PaperTracesReproduceAtEveryThreadCount) {
+  // The two narrated paper traces (Section 5.2): single-replay cold-start
+  // duplication, and C-state duplication with cold-start replay forbidden.
+  ModelConfig cfg = config(guardian::Authority::kFullShifting);
+  cfg.max_out_of_slot_errors = 1;
+  TtpcStarModel trace1(cfg);
+  cfg.allow_coldstart_duplication = false;
+  TtpcStarModel trace2(cfg);
+
+  auto serial1 = Checker(trace1).check(no_integrated_node_freezes());
+  auto serial2 = Checker(trace2).check(no_integrated_node_freezes());
+  ASSERT_FALSE(serial1.holds);
+  ASSERT_FALSE(serial2.holds);
+
+  for (unsigned threads : kThreadCounts) {
+    ParallelChecker c1(trace1, threads);
+    ParallelChecker c2(trace2, threads);
+    auto p1 = c1.check(no_integrated_node_freezes());
+    auto p2 = c2.check(no_integrated_node_freezes());
+    EXPECT_FALSE(p1.holds);
+    EXPECT_FALSE(p2.holds);
+    EXPECT_EQ(serial1.trace.size(), p1.trace.size());
+    EXPECT_EQ(serial2.trace.size(), p2.trace.size());
+    expect_same_stats(serial1.stats, p1.stats, "trace 1");
+    expect_same_stats(serial2.stats, p2.stats, "trace 2");
+  }
+}
+
+TEST(ParallelChecker, MonitoredModelWorksToo) {
+  // The engine is generic over the model concept, not just TtpcStarModel.
+  ModelConfig cfg = config(guardian::Authority::kFullShifting);
+  cfg.max_out_of_slot_errors = 1;
+  MonitoredModel model(cfg);
+  auto serial = Checker(model).check(replay_victim_freezes());
+  ParallelChecker checker(model, 4);
+  auto parallel = checker.check(replay_victim_freezes());
+  EXPECT_EQ(serial.holds, parallel.holds);
+  EXPECT_EQ(serial.trace.size(), parallel.trace.size());
+  expect_same_stats(serial.stats, parallel.stats, "monitored");
+}
+
+TEST(ParallelChecker, RecoverabilityMatchesSerialOnExhaustiveRuns) {
+  struct Case {
+    guardian::Authority authority;
+    bool allow_reinit;
+  } cases[] = {
+      {guardian::Authority::kSmallShifting, false},
+      {guardian::Authority::kFullShifting, false},
+      {guardian::Authority::kFullShifting, true},
+  };
+  for (const Case& c : cases) {
+    ModelConfig cfg = config(c.authority);
+    cfg.max_out_of_slot_errors = 1;
+    cfg.protocol.allow_reinit = c.allow_reinit;
+    TtpcStarModel model(cfg);
+    auto all_active = [&model](const WorldState& w) {
+      for (std::size_t i = 0; i < model.num_nodes(); ++i) {
+        if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
+      }
+      return true;
+    };
+    auto serial = Checker(model).check_recoverability(all_active);
+    ASSERT_TRUE(serial.stats.exhausted);
+    for (unsigned threads : {2u, 5u}) {
+      ParallelChecker checker(model, threads);
+      auto parallel = checker.check_recoverability(all_active);
+      EXPECT_EQ(serial.recoverable_everywhere,
+                parallel.recoverable_everywhere)
+          << "threads=" << threads;
+      EXPECT_EQ(serial.dead_states, parallel.dead_states)
+          << "threads=" << threads;
+      EXPECT_EQ(serial.stats.states_explored,
+                parallel.stats.states_explored);
+      EXPECT_EQ(serial.stats.transitions, parallel.stats.transitions);
+      EXPECT_TRUE(parallel.stats.exhausted);
+      if (!serial.recoverable_everywhere) {
+        // Witness enters the dead region at the same minimal depth.
+        EXPECT_EQ(serial.witness.size(), parallel.witness.size());
+        ASSERT_FALSE(parallel.witness.empty());
+        EXPECT_EQ(parallel.witness.front().before, model.initial());
+        for (std::size_t i = 1; i < parallel.witness.size(); ++i) {
+          EXPECT_EQ(parallel.witness[i - 1].after,
+                    parallel.witness[i].before);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelChecker, RecoverabilityBudgetBailIsExplicit) {
+  ModelConfig cfg = config(guardian::Authority::kFullShifting);
+  cfg.max_out_of_slot_errors = 1;
+  TtpcStarModel model(cfg);
+  auto all_active = [&model](const WorldState& w) {
+    for (std::size_t i = 0; i < model.num_nodes(); ++i) {
+      if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
+    }
+    return true;
+  };
+  ParallelChecker checker(model, 2);
+  auto res = checker.check_recoverability(all_active, /*max_states=*/1'000);
+  EXPECT_FALSE(res.stats.exhausted);
+  EXPECT_FALSE(res.recoverable_everywhere);  // withheld, not fabricated
+  EXPECT_EQ(res.dead_states, 0u);
+  EXPECT_TRUE(res.witness.empty());
+  EXPECT_GT(res.stats.seconds, 0.0);
+}
+
+TEST(ParallelChecker, TinyInitialTableGrowsThroughOverflow) {
+  // Start from a 64-slot table with proactive growth disabled, so every
+  // expanding level saturates mid-flight and must take the overflow ->
+  // drop-partial-level -> rebuild -> retry path; ~111k states later the
+  // stats must still be bit-identical to the serial reference.
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  auto serial = Checker(model).check(no_integrated_node_freezes());
+  ParallelChecker checker(model, 4, /*initial_capacity=*/64);
+  checker.set_growth_headroom(0);
+  auto parallel = checker.check(no_integrated_node_freezes());
+  EXPECT_TRUE(parallel.holds);
+  expect_same_stats(serial.stats, parallel.stats, "growth");
+}
+
+TEST(ParallelChecker, FiveNodeClusterCrossValidates) {
+  // The bench headline workload in miniature: 5-node small-shifting
+  // exhaustive verification, serial vs parallel.
+  ModelConfig cfg = config(guardian::Authority::kSmallShifting);
+  cfg.protocol.num_nodes = 5;
+  cfg.protocol.num_slots = 5;
+  // Keep the state space test-sized: no transient silence/bad-frame faults.
+  cfg.allow_silence_fault = false;
+  cfg.allow_bad_frame_fault = false;
+  TtpcStarModel model(cfg);
+  auto serial = Checker(model).check(no_integrated_node_freezes());
+  ParallelChecker checker(model);  // hardware concurrency default
+  auto parallel = checker.check(no_integrated_node_freezes());
+  EXPECT_TRUE(serial.holds);
+  EXPECT_TRUE(parallel.holds);
+  expect_same_stats(serial.stats, parallel.stats, "5-node");
+}
+
+}  // namespace
+}  // namespace tta::mc

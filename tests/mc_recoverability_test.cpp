@@ -86,6 +86,14 @@ TEST(Recoverability, BudgetExhaustionIsReportedNotGuessed) {
   auto res =
       Checker(model).check_recoverability(all_active(model), /*max=*/1'000);
   EXPECT_FALSE(res.stats.exhausted);  // verdict withheld, not fabricated
+  // The bail-out must not leak the default-true verdict, and it must still
+  // report an honest account of the partial exploration.
+  EXPECT_FALSE(res.recoverable_everywhere);
+  EXPECT_EQ(res.dead_states, 0u);
+  EXPECT_TRUE(res.witness.empty());
+  EXPECT_GT(res.stats.states_explored, 1'000u);
+  EXPECT_GT(res.stats.transitions, 0u);
+  EXPECT_GT(res.stats.seconds, 0.0);
 }
 
 TEST(Recoverability, GoalStatesThemselvesAreInTheClosure) {

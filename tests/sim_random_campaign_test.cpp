@@ -5,10 +5,18 @@
 // simulated mirror of the exhaustively verified property. And the same
 // campaign with out-of-slot faults against a full-shifting coupler *does*
 // find victims.
+//
+// The independent simulations fan out over a util::ThreadPool (results
+// collected into index-addressed slots, assertions on the main thread);
+// schedules are drawn sequentially from the shared RNG first, so the
+// campaigns are identical to the old sequential loops.
 #include <gtest/gtest.h>
+
+#include <vector>
 
 #include "sim/cluster.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tta::sim {
 namespace {
@@ -43,21 +51,41 @@ FaultInjector random_coupler_schedule(util::Rng& rng, bool include_replay,
 class RandomCampaign : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RandomCampaign, NonBufferingCouplerNeverFreezesHealthyNodes) {
+  constexpr guardian::Authority kAuthorities[] = {
+      guardian::Authority::kPassive, guardian::Authority::kTimeWindows,
+      guardian::Authority::kSmallShifting};
+
+  // Draw all three schedules from the shared RNG up front (order matters),
+  // then run the three clusters concurrently.
   util::Rng rng(GetParam());
-  for (guardian::Authority a : {guardian::Authority::kPassive,
-                                guardian::Authority::kTimeWindows,
-                                guardian::Authority::kSmallShifting}) {
+  std::vector<FaultInjector> schedules;
+  for (std::size_t i = 0; i < std::size(kAuthorities); ++i) {
+    schedules.push_back(
+        random_coupler_schedule(rng, /*include_replay=*/true, 600));
+  }
+
+  struct Outcome {
+    std::size_t healthy_frozen = 0;
+    std::uint64_t replay_integrations = 0;
+  };
+  std::vector<Outcome> outcomes(std::size(kAuthorities));
+  util::ThreadPool pool;
+  pool.run_tasks(std::size(kAuthorities), [&](std::size_t i) {
     ClusterConfig cfg;
     cfg.topology = Topology::kStar;
-    cfg.guardian.authority = a;
+    cfg.guardian.authority = kAuthorities[i];
     cfg.keep_log = false;
-    Cluster cluster(cfg,
-                    random_coupler_schedule(rng, /*include_replay=*/true,
-                                            600));
+    Cluster cluster(cfg, std::move(schedules[i]));
     cluster.run(800);
-    EXPECT_EQ(cluster.healthy_clique_frozen(), 0u)
-        << "seed=" << GetParam() << " authority=" << guardian::to_string(a);
-    EXPECT_EQ(cluster.metrics().replay_integrations, 0u);
+    outcomes[i] = {cluster.healthy_clique_frozen(),
+                   cluster.metrics().replay_integrations};
+  });
+
+  for (std::size_t i = 0; i < std::size(kAuthorities); ++i) {
+    EXPECT_EQ(outcomes[i].healthy_frozen, 0u)
+        << "seed=" << GetParam()
+        << " authority=" << guardian::to_string(kAuthorities[i]);
+    EXPECT_EQ(outcomes[i].replay_integrations, 0u);
   }
 }
 
@@ -84,10 +112,14 @@ TEST(ReplayCampaign, FullShiftingEventuallyHurtsSomeSeed) {
   // The dual direction: against a *buffering* coupler, random replay
   // schedules do find victims (matching the model checker's VIOLATED
   // verdict). Not every seed hits the integration window, so we assert
-  // over the ensemble.
-  std::size_t damaged_runs = 0;
-  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-    util::Rng rng(seed);
+  // over the ensemble — each seed owns its RNG, so the 20 runs are
+  // independent and fan out over the pool.
+  constexpr std::uint64_t kSeeds = 20;
+  // Not vector<bool>: adjacent packed bits would race across threads.
+  std::vector<unsigned char> damaged(kSeeds, 0);
+  util::ThreadPool pool;
+  pool.run_tasks(kSeeds, [&](std::size_t i) {
+    util::Rng rng(i + 1);
     ClusterConfig cfg;
     cfg.topology = Topology::kStar;
     cfg.guardian.authority = guardian::Authority::kFullShifting;
@@ -96,11 +128,11 @@ TEST(ReplayCampaign, FullShiftingEventuallyHurtsSomeSeed) {
                     random_coupler_schedule(rng, /*include_replay=*/true,
                                             600));
     cluster.run(800);
-    if (cluster.healthy_clique_frozen() > 0 ||
-        cluster.metrics().replay_integrations > 0) {
-      ++damaged_runs;
-    }
-  }
+    damaged[i] = cluster.healthy_clique_frozen() > 0 ||
+                 cluster.metrics().replay_integrations > 0;
+  });
+  std::size_t damaged_runs = 0;
+  for (unsigned char d : damaged) damaged_runs += d;
   EXPECT_GT(damaged_runs, 0u);
 }
 

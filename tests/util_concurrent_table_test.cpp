@@ -1,0 +1,162 @@
+#include "util/concurrent_state_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace tta::util {
+namespace {
+
+PackedState make_key(std::uint64_t n) {
+  PackedState p;
+  BitWriter w(p);
+  w.write(n, 64);
+  w.write(n ^ 0xDEADBEEF, 40);
+  return p;
+}
+
+TEST(ConcurrentStateTable, InsertIfAbsentBasics) {
+  ConcurrentStateTable<int> table(1024);
+  auto a = table.insert(make_key(1), 10);
+  EXPECT_TRUE(a.inserted);
+  ASSERT_NE(a.slot, ConcurrentStateTable<int>::kNoSlot);
+  auto b = table.insert(make_key(1), 99);
+  EXPECT_FALSE(b.inserted);
+  EXPECT_EQ(b.slot, a.slot);
+  EXPECT_EQ(table.value_at(a.slot), 10);  // loser's value is discarded
+  EXPECT_EQ(table.key_at(a.slot), make_key(1));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.occupied(a.slot));
+}
+
+TEST(ConcurrentStateTable, FindHitsAndMisses) {
+  ConcurrentStateTable<int> table(1024);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    table.insert(make_key(i), static_cast<int>(i));
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    std::uint32_t slot = table.find(make_key(i));
+    ASSERT_NE(slot, ConcurrentStateTable<int>::kNoSlot) << i;
+    EXPECT_EQ(table.value_at(slot), static_cast<int>(i));
+  }
+  EXPECT_EQ(table.find(make_key(12345)), ConcurrentStateTable<int>::kNoSlot);
+}
+
+TEST(ConcurrentStateTable, SaturationIsReportedNotSilent) {
+  // 64 slots -> max_load = 48 entries; the 49th insert must report kNoSlot
+  // rather than degrade or overwrite.
+  ConcurrentStateTable<int> table(64);
+  std::size_t accepted = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    if (table.insert(make_key(i), 0).slot !=
+        ConcurrentStateTable<int>::kNoSlot) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, table.max_load());
+  EXPECT_LT(table.max_load(), table.capacity());
+  // Already-present keys are still found after saturation.
+  EXPECT_NE(table.insert(make_key(0), 0).slot,
+            ConcurrentStateTable<int>::kNoSlot);
+}
+
+TEST(ConcurrentStateTable, RebuildGrowsAndRemaps) {
+  ConcurrentStateTable<int> table(64);
+  std::vector<std::uint32_t> slots;
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    slots.push_back(table.insert(make_key(i), static_cast<int>(i)).slot);
+  }
+  std::vector<std::uint32_t> remap = table.rebuild(256);
+  EXPECT_EQ(table.capacity(), 256u);
+  EXPECT_EQ(table.size(), 48u);
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    std::uint32_t moved = remap[slots[i]];
+    ASSERT_NE(moved, ConcurrentStateTable<int>::kNoSlot);
+    EXPECT_EQ(table.key_at(moved), make_key(i));
+    EXPECT_EQ(table.value_at(moved), static_cast<int>(i));
+    EXPECT_EQ(table.find(make_key(i)), moved);
+  }
+}
+
+TEST(ConcurrentStateTable, RebuildDropsSelectedEntries) {
+  ConcurrentStateTable<int> table(256);
+  std::vector<std::uint32_t> slots;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    slots.push_back(table.insert(make_key(i), static_cast<int>(i)).slot);
+  }
+  std::vector<std::uint32_t> remap =
+      table.rebuild(256, [](const int& v) { return v % 2 == 1; });
+  EXPECT_EQ(table.size(), 50u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    if (i % 2 == 1) {
+      EXPECT_EQ(remap[slots[i]], ConcurrentStateTable<int>::kNoSlot);
+      EXPECT_EQ(table.find(make_key(i)), ConcurrentStateTable<int>::kNoSlot);
+    } else {
+      EXPECT_EQ(table.find(make_key(i)), remap[slots[i]]);
+    }
+  }
+}
+
+TEST(ConcurrentStateTable, RacingInsertersAgreeOnOneWinnerPerKey) {
+  // Many threads hammer the same small key set; exactly one insert() per
+  // key may report inserted == true, and all threads must observe the same
+  // slot for a given key. Run under TSan (TTA_SANITIZE=thread) this is the
+  // core publication-race check.
+  constexpr std::uint64_t kKeys = 512;
+  constexpr unsigned kThreads = 8;
+  ConcurrentStateTable<std::uint32_t> table(4096);
+
+  std::vector<std::vector<std::uint32_t>> slot_of(
+      kThreads, std::vector<std::uint32_t>(kKeys));
+  std::vector<std::uint64_t> wins(kThreads, 0);
+  ThreadPool pool(kThreads);
+  pool.run_tasks(kThreads, [&](std::size_t t) {
+    // Each thread visits the keys in a different order.
+    for (std::uint64_t i = 0; i < kKeys; ++i) {
+      std::uint64_t k = (i * 37 + t * 101) % kKeys;
+      auto r = table.insert(make_key(k), static_cast<std::uint32_t>(k));
+      ASSERT_NE(r.slot, ConcurrentStateTable<std::uint32_t>::kNoSlot);
+      slot_of[t][k] = r.slot;
+      wins[t] += r.inserted;
+    }
+  });
+
+  EXPECT_EQ(table.size(), kKeys);
+  std::uint64_t total_wins = 0;
+  for (std::uint64_t w : wins) total_wins += w;
+  EXPECT_EQ(total_wins, kKeys);  // exactly one winner per key
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    for (unsigned t = 1; t < kThreads; ++t) {
+      ASSERT_EQ(slot_of[t][k], slot_of[0][k]) << "key " << k;
+    }
+    EXPECT_EQ(table.value_at(slot_of[0][k]), static_cast<std::uint32_t>(k));
+  }
+}
+
+TEST(ConcurrentStateTable, HashSpreadsPackedStatesAcrossBuckets) {
+  // Packed protocol states differ in few, low bits; the splitmix avalanche
+  // must still spread them. Balls-into-bins: 65536 sequential-ish keys into
+  // 65536 buckets has an expected max bucket depth around ln n / ln ln n
+  // (~10); a max of 24+ would indicate hash clustering that linear probing
+  // would amplify badly.
+  constexpr std::size_t kBuckets = 1u << 16;
+  std::vector<std::uint32_t> depth(kBuckets, 0);
+  std::uint32_t worst = 0;
+  for (std::uint64_t i = 0; i < kBuckets; ++i) {
+    std::size_t h = hash_value(make_key(i)) & (kBuckets - 1);
+    worst = std::max(worst, ++depth[h]);
+  }
+  EXPECT_LE(worst, 24u);
+  // No catastrophic emptiness either: at least half the buckets are hit
+  // (uniform expectation is 1 - 1/e ~ 63%).
+  std::size_t used = 0;
+  for (std::uint32_t d : depth) used += d != 0;
+  EXPECT_GT(used, kBuckets / 2);
+}
+
+}  // namespace
+}  // namespace tta::util

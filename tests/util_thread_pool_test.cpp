@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tta::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run_tasks(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  pool.run_tasks(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // no race: everything inline
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForCoversTheRangeWithoutOverlap) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](unsigned, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunkBoundariesAreDeterministic) {
+  // Chunking depends only on (n, pool size) — the property that makes
+  // index-addressed outputs reproduce sequential results exactly.
+  ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> bounds_a(4), bounds_b(4);
+  pool.parallel_for(103, [&](unsigned c, std::size_t b, std::size_t e) {
+    bounds_a[c] = {b, e};
+  });
+  pool.parallel_for(103, [&](unsigned c, std::size_t b, std::size_t e) {
+    bounds_b[c] = {b, e};
+  });
+  EXPECT_EQ(bounds_a, bounds_b);
+  std::size_t covered = 0;
+  for (auto [b, e] : bounds_a) covered += e - b;
+  EXPECT_EQ(covered, 103u);
+}
+
+TEST(ThreadPool, SumReductionMatchesSequential) {
+  ThreadPool pool;  // hardware default
+  std::vector<std::uint64_t> partial(pool.size(), 0);
+  pool.parallel_for(10000, [&](unsigned c, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) partial[c] += i;
+  });
+  std::uint64_t total = std::accumulate(partial.begin(), partial.end(),
+                                        std::uint64_t{0});
+  EXPECT_EQ(total, 10000ull * 9999 / 2);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.run_tasks(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  pool.parallel_for(0, [&](unsigned, std::size_t, std::size_t) {
+    ran = true;
+  });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, FirstTaskExceptionIsRethrownAfterJoin) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run_tasks(50,
+                     [&](std::size_t i) {
+                       if (i == 13) throw std::runtime_error("boom");
+                       completed.fetch_add(1);
+                     }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 49);  // every other task still ran
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.run_tasks(8, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 28);
+  }
+}
+
+}  // namespace
+}  // namespace tta::util
