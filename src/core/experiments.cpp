@@ -1,6 +1,7 @@
 #include "core/experiments.h"
 
 #include <cstdio>
+#include <optional>
 
 #include "mc/trace_printer.h"
 #include "util/table.h"
@@ -8,16 +9,6 @@
 namespace tta::core {
 
 namespace {
-
-mc::CheckResult check_authority(guardian::Authority authority,
-                                unsigned max_oos) {
-  mc::ModelConfig cfg;
-  cfg.authority = authority;
-  cfg.max_out_of_slot_errors = max_oos;
-  mc::TtpcStarModel model(cfg);
-  mc::Checker checker(model);
-  return checker.check(mc::no_integrated_node_freezes());
-}
 
 TraceExperiment run_trace(const mc::ModelConfig& cfg) {
   TraceExperiment exp;
@@ -33,19 +24,38 @@ TraceExperiment run_trace(const mc::ModelConfig& cfg) {
 
 }  // namespace
 
-std::vector<FeatureMatrixRow> run_feature_matrix(
-    unsigned max_out_of_slot_errors) {
-  std::vector<FeatureMatrixRow> rows;
+std::vector<svc::JobSpec> feature_matrix_jobs(unsigned max_out_of_slot_errors) {
+  std::vector<svc::JobSpec> jobs;
   for (guardian::Authority a : guardian::kAllAuthorities) {
-    mc::CheckResult res = check_authority(a, max_out_of_slot_errors);
+    svc::JobSpec spec;
+    spec.model.authority = a;
+    spec.model.max_out_of_slot_errors = max_out_of_slot_errors;
+    spec.property = svc::Property::kNoIntegratedNodeFreezes;
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+std::vector<FeatureMatrixRow> run_feature_matrix(
+    unsigned max_out_of_slot_errors, svc::VerificationService* service) {
+  const std::vector<svc::JobSpec> jobs =
+      feature_matrix_jobs(max_out_of_slot_errors);
+  std::optional<svc::VerificationService> local;
+  if (service == nullptr) service = &local.emplace(svc::ServiceConfig{});
+  const std::vector<svc::JobResult> results = service->run_batch(jobs);
+
+  std::vector<FeatureMatrixRow> rows;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const svc::JobResult& res = results[i];
     FeatureMatrixRow row;
-    row.authority = a;
-    row.holds = res.holds;
+    row.authority = jobs[i].model.authority;
+    row.holds = res.verdict == mc::Verdict::kHolds;
     row.states = res.stats.states_explored;
     row.transitions = res.stats.transitions;
     row.depth = res.stats.max_depth;
     row.seconds = res.stats.seconds;
     row.trace_len = res.trace.size();
+    row.from_cache = res.from_cache;
     rows.push_back(row);
   }
   return rows;

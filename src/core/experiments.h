@@ -12,6 +12,7 @@
 #include "guardian/authority.h"
 #include "mc/checker.h"
 #include "sim/cluster.h"
+#include "svc/service.h"
 
 namespace tta::core {
 
@@ -25,12 +26,21 @@ struct FeatureMatrixRow {
   std::uint64_t depth = 0;
   double seconds = 0.0;
   std::size_t trace_len = 0;
+  bool from_cache = false;  ///< served by the verification service's cache
 };
 
-/// Verifies the paper's property for all four coupler feature sets
-/// (Section 5.2's verification matrix).
-std::vector<FeatureMatrixRow> run_feature_matrix(
+/// Builds the E1 job batch: the paper's property for all four coupler
+/// feature sets (Section 5.2's verification matrix).
+std::vector<svc::JobSpec> feature_matrix_jobs(
     unsigned max_out_of_slot_errors = 7);
+
+/// Verifies the paper's property for all four coupler feature sets by
+/// running `feature_matrix_jobs` through a verification service. Pass a
+/// service to share its result cache across calls; with nullptr a private
+/// single-use service is used.
+std::vector<FeatureMatrixRow> run_feature_matrix(
+    unsigned max_out_of_slot_errors = 7,
+    svc::VerificationService* service = nullptr);
 
 std::string render_feature_matrix(const std::vector<FeatureMatrixRow>& rows);
 

@@ -2,6 +2,15 @@
 
 namespace tta::mc {
 
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kHolds: return "HOLDS";
+    case Verdict::kViolated: return "VIOLATED";
+    case Verdict::kInconclusive: return "INCONCLUSIVE";
+  }
+  return "?";
+}
+
 std::function<bool(const WorldState&, const WorldState&)>
 no_integrated_node_freezes() {
   return [](const WorldState& before, const WorldState& after) {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "mc/model.h"
+#include "util/cancel_token.h"
 #include "util/check.h"
 
 namespace tta::mc {
@@ -54,17 +55,35 @@ struct TraceStepT {
 
 using TraceStep = TraceStepT<WorldState>;
 
+/// Explicit three-valued outcome of a query. Unlike the legacy `holds`
+/// flag (which keeps its historical "default true, trust only when
+/// exhausted" semantics), every engine return path assigns a Verdict
+/// explicitly, so a budget or deadline bail-out can never leak a
+/// default verdict: it is kInconclusive by construction and only a fully
+/// exhausted search upgrades it to kHolds.
+enum class Verdict : std::uint8_t {
+  kHolds = 0,         ///< exhaustive search, property holds / goal unreachable
+  kViolated = 1,      ///< counterexample or goal witness found
+  kInconclusive = 2,  ///< state budget, deadline, or cancellation stopped it
+};
+
+const char* to_string(Verdict verdict);
+
 struct CheckStats {
   std::uint64_t states_explored = 0;   ///< distinct states expanded
   std::uint64_t transitions = 0;       ///< successor edges generated
   std::uint64_t max_depth = 0;         ///< BFS depth reached
+  std::uint64_t dedup_skips = 0;       ///< parallel engine: per-level
+                                       ///< successor dedup cache hits
   double seconds = 0.0;
   bool exhausted = true;  ///< false if the state budget stopped the search
+  bool cancelled = false;  ///< true if a CancelToken stopped the search
 };
 
 template <class State>
 struct CheckResultT {
   bool holds = true;  ///< for find_state: true means goal NOT reachable
+  Verdict verdict = Verdict::kInconclusive;  ///< always set explicitly
   std::vector<TraceStepT<State>> trace;  ///< counterexample / witness
   CheckStats stats;
 };
@@ -76,11 +95,14 @@ using CheckResult = CheckResultT<WorldState>;
 template <class State>
 struct RecoverabilityResultT {
   bool recoverable_everywhere = true;
+  Verdict verdict = Verdict::kInconclusive;  ///< always set explicitly
   std::uint64_t dead_states = 0;  ///< reachable states with no path to goal
   /// Shortest path into the recoverability-violating region (if any).
   std::vector<TraceStepT<State>> witness;
   CheckStats stats;
 };
+
+using RecoverabilityResult = RecoverabilityResultT<WorldState>;
 
 template <class Model>
 class Checker {
@@ -92,17 +114,23 @@ class Checker {
   explicit Checker(const Model& model) : model_(&model) {}
 
   /// Exhaustive safety check. `max_states` bounds memory; if the bound is
-  /// hit the result reports exhausted = false (verdict unreliable for
-  /// "holds", still sound for counterexamples).
+  /// hit the result reports exhausted = false and verdict = kInconclusive
+  /// (the legacy `holds` flag is unreliable then, still sound for
+  /// counterexamples). A non-null `cancel` token is polled once per
+  /// expanded state; tripping it ends the search with kInconclusive and
+  /// honest partial stats — never a hang, never a fabricated verdict.
   CheckResultT<State> check(const Violation& violation,
-                            std::uint64_t max_states = 50'000'000) const {
-    return run(&violation, nullptr, max_states);
+                            std::uint64_t max_states = 50'000'000,
+                            const util::CancelToken* cancel = nullptr) const {
+    return run(&violation, nullptr, max_states, cancel);
   }
 
   /// Shortest witness to a goal state; holds == true means unreachable.
   CheckResultT<State> find_state(const Goal& goal,
-                                 std::uint64_t max_states = 50'000'000) const {
-    return run(nullptr, &goal, max_states);
+                                 std::uint64_t max_states = 50'000'000,
+                                 const util::CancelToken* cancel =
+                                     nullptr) const {
+    return run(nullptr, &goal, max_states, cancel);
   }
 
   /// AG EF goal — an availability property stronger than the safety check:
@@ -111,7 +139,8 @@ class Checker {
   /// followed by a backward closure from the goal states; a state outside
   /// the closure is "dead" (the system can no longer recover from it).
   RecoverabilityResultT<State> check_recoverability(
-      const Goal& goal, std::uint64_t max_states = 10'000'000) const {
+      const Goal& goal, std::uint64_t max_states = 10'000'000,
+      const util::CancelToken* cancel = nullptr) const {
     const auto t0 = std::chrono::steady_clock::now();
     RecoverabilityResultT<State> result;
 
@@ -132,17 +161,20 @@ class Checker {
     frontier.push_back(0);
 
     while (!frontier.empty()) {
-      if (states.size() > max_states) {
-        // Budget exceeded: the graph is incomplete, so any verdict would be
-        // unsound. Report the partial exploration honestly — timing and
-        // depth included — and withhold the verdict explicitly instead of
-        // leaking the default-true initial value.
+      const bool over_budget = states.size() > max_states;
+      if (over_budget || (cancel && cancel->cancelled())) {
+        // Budget exceeded or cancelled: the graph is incomplete, so any
+        // verdict would be unsound. Report the partial exploration honestly
+        // — timing and depth included — and withhold the verdict explicitly
+        // instead of leaking the default-true initial value.
         result.stats.exhausted = false;
+        result.stats.cancelled = !over_budget;
         result.stats.states_explored = states.size();
         result.stats.seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0)
                 .count();
+        result.verdict = Verdict::kInconclusive;
         result.recoverable_everywhere = false;
         result.dead_states = 0;
         return result;
@@ -215,6 +247,8 @@ class Checker {
       }
     }
     result.recoverable_everywhere = result.dead_states == 0;
+    result.verdict = result.recoverable_everywhere ? Verdict::kHolds
+                                                   : Verdict::kViolated;
     if (!result.recoverable_everywhere) {
       std::vector<util::PackedState> path{states[witness_idx]};
       util::PackedState cur = states[witness_idx];
@@ -261,14 +295,16 @@ class Checker {
   // with the level split across threads, so the two engines can be
   // cross-validated field-for-field (see docs/CHECKER.md).
   CheckResultT<State> run(const Violation* violation, const Goal* goal,
-                          std::uint64_t max_states) const {
+                          std::uint64_t max_states,
+                          const util::CancelToken* cancel) const {
     const auto t0 = std::chrono::steady_clock::now();
     CheckResultT<State> result;
 
     std::unordered_map<util::PackedState, ParentInfo> visited;
 
-    auto finish = [&](bool holds) {
+    auto finish = [&](bool holds, Verdict verdict) {
       result.holds = holds;
+      result.verdict = verdict;
       result.stats.states_explored = visited.size();
       result.stats.seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -307,13 +343,18 @@ class Checker {
     visited.emplace(init_packed, ParentInfo{{}, 0, 0, true});
     std::vector<util::PackedState> level{init_packed};
     if (goal && (*goal)(init)) {
-      finish(false);
+      finish(false, Verdict::kViolated);
       return result;  // goal reachable at depth 0, empty witness
     }
 
+    bool was_cancelled = false;
     for (std::uint32_t depth = 0;; ++depth) {
       if (visited.size() > max_states) {
         result.stats.exhausted = false;
+        break;
+      }
+      if (cancel && cancel->cancelled_now()) {
+        was_cancelled = true;
         break;
       }
       result.stats.max_depth = depth;
@@ -328,6 +369,10 @@ class Checker {
 
       std::vector<util::PackedState> next_level;
       for (const util::PackedState& cur_packed : level) {
+        if (cancel && cancel->cancelled()) {
+          was_cancelled = true;
+          break;
+        }
         State cur = model_->unpack(cur_packed);
         for (const auto& succ : model_->successors(cur)) {
           ++result.stats.transitions;
@@ -351,6 +396,12 @@ class Checker {
         }
       }
 
+      if (was_cancelled) {
+        // The level is half-expanded, so neither a verdict nor a minimal
+        // counterexample can be reported; bail out with partial stats.
+        break;
+      }
+
       if (violation_found) {
         // Counterexample: path to the violating state plus the violating
         // transition itself.
@@ -363,19 +414,26 @@ class Checker {
         final_step.after = next;
         steps.push_back(final_step);
         result.trace = std::move(steps);
-        finish(false);
+        finish(false, Verdict::kViolated);
         return result;
       }
       if (goal_found) {
         result.trace = reconstruct(goal_state);
-        finish(false);
+        finish(false, Verdict::kViolated);
         return result;
       }
       if (next_level.empty()) break;
       level = std::move(next_level);
     }
 
-    finish(true);
+    if (was_cancelled) {
+      result.stats.exhausted = false;
+      result.stats.cancelled = true;
+    }
+    // The legacy `holds` flag stays true on a bail-out for compatibility
+    // (sound only when stats.exhausted); the verdict is the explicit one.
+    finish(true, result.stats.exhausted ? Verdict::kHolds
+                                        : Verdict::kInconclusive);
     return result;
   }
 

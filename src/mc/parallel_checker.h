@@ -23,6 +23,7 @@
 // is re-expanded (insert-if-absent makes the retry idempotent).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -62,31 +63,36 @@ class ParallelChecker {
 
   /// Exhaustive safety check; see Checker::check.
   CheckResultT<State> check(const Violation& violation,
-                            std::uint64_t max_states = 50'000'000) const {
-    return run(&violation, nullptr, max_states, nullptr);
+                            std::uint64_t max_states = 50'000'000,
+                            const util::CancelToken* cancel = nullptr) const {
+    return run(&violation, nullptr, max_states, nullptr, nullptr, cancel);
   }
 
   /// Shortest witness to a goal state; see Checker::find_state.
   CheckResultT<State> find_state(const Goal& goal,
-                                 std::uint64_t max_states = 50'000'000) const {
-    return run(nullptr, &goal, max_states, nullptr);
+                                 std::uint64_t max_states = 50'000'000,
+                                 const util::CancelToken* cancel =
+                                     nullptr) const {
+    return run(nullptr, &goal, max_states, nullptr, nullptr, cancel);
   }
 
   /// AG EF goal; see Checker::check_recoverability. The forward pass runs
   /// on the thread pool; the backward closure is a cheap serial sweep over
   /// the reversed edge list.
   RecoverabilityResultT<State> check_recoverability(
-      const Goal& goal, std::uint64_t max_states = 10'000'000) const {
+      const Goal& goal, std::uint64_t max_states = 10'000'000,
+      const util::CancelToken* cancel = nullptr) const {
     const auto t0 = std::chrono::steady_clock::now();
     RecoverabilityResultT<State> result;
 
     Table table(initial_capacity_);
     std::vector<Edge> edges;
     ForwardGraph graph{&table, &edges, &goal};
-    run(nullptr, nullptr, max_states, &graph, &result.stats);
+    run(nullptr, nullptr, max_states, &graph, &result.stats, cancel);
     if (!result.stats.exhausted) {
       // Incomplete graph: withhold the verdict explicitly (mirrors the
       // serial engine's budget bail-out).
+      result.verdict = Verdict::kInconclusive;
       result.recoverable_everywhere = false;
       result.dead_states = 0;
       result.stats.seconds = seconds_since(t0);
@@ -138,6 +144,8 @@ class ParallelChecker {
       }
     }
     result.recoverable_everywhere = result.dead_states == 0;
+    result.verdict = result.recoverable_everywhere ? Verdict::kHolds
+                                                   : Verdict::kViolated;
     if (!result.recoverable_everywhere) {
       result.witness = reconstruct(table, witness_slot);
     }
@@ -163,6 +171,33 @@ class ParallelChecker {
   struct Edge {
     std::uint32_t from = 0;
     std::uint32_t to = 0;
+  };
+
+  /// Direct-mapped cache of recently inserted successors, valid within one
+  /// level expansion of one chunk (slot indices are stable between level
+  /// barriers). An empty entry is marked by kNoSlot, which a successful
+  /// insert can never return.
+  struct DedupCache {
+    static constexpr std::size_t kSize = 1u << 12;
+
+    std::vector<util::PackedState> keys =
+        std::vector<util::PackedState>(kSize);
+    std::vector<std::uint32_t> slots =
+        std::vector<std::uint32_t>(kSize, Table::kNoSlot);
+
+    void reset() {
+      std::fill(slots.begin(), slots.end(), Table::kNoSlot);
+    }
+    std::uint32_t lookup(const util::PackedState& key) const {
+      const std::size_t h = util::hash_value(key) & (kSize - 1);
+      return slots[h] != Table::kNoSlot && keys[h] == key ? slots[h]
+                                                          : Table::kNoSlot;
+    }
+    void remember(const util::PackedState& key, std::uint32_t slot) {
+      const std::size_t h = util::hash_value(key) & (kSize - 1);
+      keys[h] = key;
+      slots[h] = slot;
+    }
   };
 
   /// When run() enumerates the full graph for check_recoverability it also
@@ -237,7 +272,8 @@ class ParallelChecker {
   CheckResultT<State> run(const Violation* violation, const Goal* goal,
                           std::uint64_t max_states,
                           const ForwardGraph* graph,
-                          CheckStats* stats_out = nullptr) const {
+                          CheckStats* stats_out = nullptr,
+                          const util::CancelToken* cancel = nullptr) const {
     const auto t0 = std::chrono::steady_clock::now();
     CheckResultT<State> result;
 
@@ -246,8 +282,9 @@ class ParallelChecker {
     std::vector<Edge>* edges = graph ? graph->edges : nullptr;
     const Goal* tag_goal = graph ? graph->goal : nullptr;
 
-    auto finish = [&](bool holds) {
+    auto finish = [&](bool holds, Verdict verdict) {
       result.holds = holds;
+      result.verdict = verdict;
       result.stats.states_explored = table.size();
       result.stats.seconds = seconds_since(t0);
       if (stats_out) *stats_out = result.stats;
@@ -260,14 +297,30 @@ class ParallelChecker {
     TTA_CHECK(ins.inserted);
     std::vector<std::uint32_t> level{ins.slot};
     if (goal && (*goal)(init)) {
-      finish(false);
+      finish(false, Verdict::kViolated);
       return result;  // goal reachable at depth 0, empty witness
     }
 
     const unsigned tasks = pool_.size();
+    // Per-chunk, per-level successor dedup: a direct-mapped cache of the
+    // most recent packed successors this chunk inserted during the current
+    // level, mapping to their table slots. Many choice combinations of one
+    // frontier state collapse to the same next state, so skipping the
+    // table's CAS + probe for those repeats cuts shared-table traffic
+    // without changing any observable result: a cache hit implies the
+    // state is already in the table (inserted == false), and the cached
+    // slot keeps recoverability edge recording exact. Slots are stable
+    // within a level (the table only rebuilds at level barriers), and the
+    // cache is reset whenever a chunk starts a level.
+    std::vector<DedupCache> dedup(tasks);
+    bool was_cancelled = false;
     for (std::uint32_t depth = 0;; ++depth) {
       if (table.size() > max_states) {
         result.stats.exhausted = false;
+        break;
+      }
+      if (cancel && cancel->cancelled_now()) {
+        was_cancelled = true;
         break;
       }
       result.stats.max_depth = depth;
@@ -282,9 +335,11 @@ class ParallelChecker {
       std::vector<std::vector<std::uint32_t>> next(tasks);
       std::vector<std::vector<Edge>> new_edges(tasks);
       std::vector<std::uint64_t> transitions(tasks, 0);
+      std::vector<std::uint64_t> dedup_skips(tasks, 0);
       std::vector<Hit> violation_hit(tasks);
       std::vector<Hit> goal_hit(tasks);
       std::atomic<bool> overflow{false};
+      std::atomic<bool> cancelled_mid_level{false};
 
       pool_.parallel_for(
           level.size(),
@@ -295,9 +350,16 @@ class ParallelChecker {
             std::vector<std::uint32_t> my_next;
             std::vector<Edge> my_edges;
             std::uint64_t my_transitions = 0;
+            std::uint64_t my_dedup_skips = 0;
             Hit my_violation, my_goal;
+            DedupCache& dd = dedup[chunk];
+            dd.reset();
             for (std::size_t i = begin; i < end; ++i) {
               if (overflow.load(std::memory_order_relaxed)) break;
+              if (cancel && cancel->cancelled()) {
+                cancelled_mid_level.store(true, std::memory_order_relaxed);
+                break;
+              }
               const std::uint32_t cur_slot = level[i];
               State cur = model_->unpack(table.key_at(cur_slot));
               for (const auto& succ : model_->successors(cur)) {
@@ -306,16 +368,26 @@ class ParallelChecker {
                     (*violation)(cur, succ.next)) {
                   my_violation = Hit{i, cur_slot, succ.choice_code};
                 }
+                util::PackedState packed = model_->pack(succ.next);
+                if (std::uint32_t cached = dd.lookup(packed);
+                    cached != Table::kNoSlot) {
+                  // Dedup hit: this chunk already inserted `packed` during
+                  // this level, so the insert would report inserted ==
+                  // false and return the cached slot — skip it entirely.
+                  ++my_dedup_skips;
+                  if (edges) my_edges.push_back(Edge{cur_slot, cached});
+                  continue;
+                }
                 NodeInfo info{cur_slot, succ.choice_code, depth + 1, 0};
                 if (tag_goal && (*tag_goal)(succ.next)) {
                   info.flags |= kGoalFlag;
                 }
-                typename Table::Insert r =
-                    table.insert(model_->pack(succ.next), info);
+                typename Table::Insert r = table.insert(packed, info);
                 if (r.slot == Table::kNoSlot) {
                   overflow.store(true, std::memory_order_relaxed);
                   break;
                 }
+                dd.remember(packed, r.slot);
                 if (edges) my_edges.push_back(Edge{cur_slot, r.slot});
                 if (r.inserted) {
                   my_next.push_back(r.slot);
@@ -330,9 +402,21 @@ class ParallelChecker {
             next[chunk] = std::move(my_next);
             new_edges[chunk] = std::move(my_edges);
             transitions[chunk] = my_transitions;
+            dedup_skips[chunk] = my_dedup_skips;
             violation_hit[chunk] = my_violation;
             goal_hit[chunk] = my_goal;
           });
+
+      if (cancelled_mid_level.load(std::memory_order_relaxed)) {
+        // The level is half-expanded: neither a verdict nor a minimal
+        // counterexample can be reported. Bail out with partial stats.
+        for (unsigned c = 0; c < tasks; ++c) {
+          result.stats.transitions += transitions[c];
+          result.stats.dedup_skips += dedup_skips[c];
+        }
+        was_cancelled = true;
+        break;
+      }
 
       if (overflow.load(std::memory_order_relaxed)) {
         // The level half-finished: drop its partial discoveries, grow, and
@@ -350,6 +434,7 @@ class ParallelChecker {
 
       for (unsigned c = 0; c < tasks; ++c) {
         result.stats.transitions += transitions[c];
+        result.stats.dedup_skips += dedup_skips[c];
       }
 
       if (violation) {
@@ -370,7 +455,7 @@ class ParallelChecker {
           final_step.after = nxt;
           steps.push_back(final_step);
           result.trace = std::move(steps);
-          finish(false);
+          finish(false, Verdict::kViolated);
           return result;
         }
       }
@@ -381,7 +466,7 @@ class ParallelChecker {
         }
         if (best.slot != Table::kNoSlot) {
           result.trace = reconstruct(table, best.slot);
-          finish(false);
+          finish(false, Verdict::kViolated);
           return result;
         }
       }
@@ -402,7 +487,14 @@ class ParallelChecker {
       level = std::move(next_level);
     }
 
-    finish(true);
+    if (was_cancelled) {
+      result.stats.exhausted = false;
+      result.stats.cancelled = true;
+    }
+    // The legacy `holds` flag stays true on a bail-out for compatibility
+    // (sound only when stats.exhausted); the verdict is the explicit one.
+    finish(true, result.stats.exhausted ? Verdict::kHolds
+                                        : Verdict::kInconclusive);
     return result;
   }
 

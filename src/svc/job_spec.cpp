@@ -1,0 +1,271 @@
+#include "svc/job_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+#include "util/digest.h"
+
+namespace tta::svc {
+
+const char* to_string(Property property) {
+  switch (property) {
+    case Property::kNoIntegratedNodeFreezes: return "safety";
+    case Property::kAllActiveReachable: return "reach_all_active";
+    case Property::kRecoverability: return "recoverability";
+  }
+  return "?";
+}
+
+const char* to_string(EngineChoice engine) {
+  switch (engine) {
+    case EngineChoice::kSerial: return "serial";
+    case EngineChoice::kParallel: return "parallel";
+    case EngineChoice::kAuto: return "auto";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> JobSpec::canonical_bytes() const {
+  // Format version 1. Every semantic field, fixed order, fixed width;
+  // bools as one byte each. Execution hints (engine, threads, deadline)
+  // are intentionally absent — see the header comment.
+  std::vector<std::uint8_t> out;
+  out.reserve(32);
+  auto u8 = [&out](std::uint8_t v) { out.push_back(v); };
+  auto u64 = [&out](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  u8(1);  // format version
+  u8(model.protocol.num_nodes);
+  u8(model.protocol.num_slots);
+  u8(model.protocol.big_bang_enabled);
+  u8(model.protocol.allow_host_freeze);
+  u8(model.protocol.model_await_test);
+  u8(model.protocol.allow_reinit);
+  u8(model.protocol.bad_dominates_fusion);
+  u8(static_cast<std::uint8_t>(model.authority));
+  u8(static_cast<std::uint8_t>(
+      std::min(model.max_out_of_slot_errors, 7u)));  // model saturates at 7
+  u8(model.allow_coldstart_duplication);
+  u8(model.allow_cstate_duplication);
+  u8(model.allow_silence_fault);
+  u8(model.allow_bad_frame_fault);
+  u8(static_cast<std::uint8_t>(property));
+  u64(max_states);
+  return out;
+}
+
+std::uint64_t JobSpec::digest() const {
+  return util::fnv1a64(canonical_bytes());
+}
+
+double JobSpec::estimated_cost() const {
+  // E4 measured the passive reachable space at 4.2k / 111k / 3.4M / >50M
+  // states for 3..6 nodes — call it 26x per node. Buffering couplers
+  // multiply the space by the replay interleavings their out-of-slot
+  // budget admits; dropping a transient fault mode roughly halves the
+  // branching; the recoverability analysis additionally stores and
+  // reverses every edge.
+  double states =
+      111'000.0 *
+      std::pow(26.0, static_cast<double>(model.protocol.num_nodes) - 4.0);
+  if (guardian::can_buffer_frames(model.authority)) {
+    states *= 1.0 + 0.5 * std::min(model.max_out_of_slot_errors, 7u);
+  }
+  if (!model.allow_silence_fault) states *= 0.5;
+  if (!model.allow_bad_frame_fault) states *= 0.5;
+  double cost = std::min(states, static_cast<double>(max_states));
+  if (property == Property::kRecoverability) cost *= 3.0;
+  return cost;
+}
+
+namespace {
+
+// Minimal JSON-lines object scanner: accepts {"key": value, ...} with
+// string / integer / boolean values, which is all the job format uses.
+struct Scanner {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool string(std::string* out) {
+    skip_ws();
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') out->push_back(*p++);
+    if (p >= end) return false;
+    ++p;
+    return true;
+  }
+  /// Bare token up to , } or whitespace (numbers, true/false).
+  bool token(std::string* out) {
+    skip_ws();
+    out->clear();
+    while (p < end && *p != ',' && *p != '}' &&
+           !std::isspace(static_cast<unsigned char>(*p))) {
+      out->push_back(*p++);
+    }
+    return !out->empty();
+  }
+};
+
+bool parse_bool(const std::string& v, bool* out) {
+  if (v == "true" || v == "1") { *out = true; return true; }
+  if (v == "false" || v == "0") { *out = false; return true; }
+  return false;
+}
+
+bool parse_u64(const std::string& v, std::uint64_t* out) {
+  if (v.empty()) return false;
+  std::uint64_t acc = 0;
+  for (char c : v) {
+    if (c < '0' || c > '9') return false;
+    acc = acc * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = acc;
+  return true;
+}
+
+bool parse_authority(const std::string& v, guardian::Authority* out) {
+  for (guardian::Authority a : guardian::kAllAuthorities) {
+    if (v == guardian::to_string(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_property(const std::string& v, Property* out) {
+  for (Property prop : {Property::kNoIntegratedNodeFreezes,
+                        Property::kAllActiveReachable,
+                        Property::kRecoverability}) {
+    if (v == to_string(prop)) {
+      *out = prop;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_engine(const std::string& v, EngineChoice* out) {
+  for (EngineChoice e : {EngineChoice::kSerial, EngineChoice::kParallel,
+                         EngineChoice::kAuto}) {
+    if (v == to_string(e)) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_job_line(const std::string& line, JobSpec* spec,
+                    std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+
+  JobSpec out;
+  Scanner s{line.data(), line.data() + line.size()};
+  if (!s.consume('{')) return fail("expected '{'");
+  if (!s.consume('}')) {
+    for (;;) {
+      std::string key;
+      if (!s.string(&key)) return fail("expected a \"key\" string");
+      if (!s.consume(':')) return fail("expected ':' after \"" + key + "\"");
+
+      std::string value;
+      bool is_string = false;
+      s.skip_ws();
+      if (s.p < s.end && *s.p == '"') {
+        if (!s.string(&value)) return fail("unterminated string value");
+        is_string = true;
+      } else if (!s.token(&value)) {
+        return fail("missing value for \"" + key + "\"");
+      }
+
+      bool ok = true;
+      std::uint64_t n = 0;
+      if (key == "authority") {
+        ok = is_string && parse_authority(value, &out.model.authority);
+      } else if (key == "property") {
+        ok = is_string && parse_property(value, &out.property);
+      } else if (key == "engine") {
+        ok = is_string && parse_engine(value, &out.engine);
+      } else if (key == "nodes") {
+        ok = parse_u64(value, &n) && n >= 2 && n <= mc::kMaxNodes;
+        if (ok) {
+          out.model.protocol.num_nodes = static_cast<std::uint8_t>(n);
+          out.model.protocol.num_slots = std::max(
+              out.model.protocol.num_slots, static_cast<std::uint8_t>(n));
+        }
+      } else if (key == "slots") {
+        ok = parse_u64(value, &n) && n >= 2 && n <= 16;
+        if (ok) out.model.protocol.num_slots = static_cast<std::uint8_t>(n);
+      } else if (key == "max_oos") {
+        ok = parse_u64(value, &n) && n <= 7;
+        if (ok) out.model.max_out_of_slot_errors = static_cast<unsigned>(n);
+      } else if (key == "big_bang") {
+        ok = parse_bool(value, &out.model.protocol.big_bang_enabled);
+      } else if (key == "bad_dominates_fusion") {
+        ok = parse_bool(value, &out.model.protocol.bad_dominates_fusion);
+      } else if (key == "allow_host_freeze") {
+        ok = parse_bool(value, &out.model.protocol.allow_host_freeze);
+      } else if (key == "model_await_test") {
+        ok = parse_bool(value, &out.model.protocol.model_await_test);
+      } else if (key == "allow_reinit") {
+        ok = parse_bool(value, &out.model.protocol.allow_reinit);
+      } else if (key == "allow_coldstart_duplication") {
+        ok = parse_bool(value, &out.model.allow_coldstart_duplication);
+      } else if (key == "allow_cstate_duplication") {
+        ok = parse_bool(value, &out.model.allow_cstate_duplication);
+      } else if (key == "allow_silence_fault") {
+        ok = parse_bool(value, &out.model.allow_silence_fault);
+      } else if (key == "allow_bad_frame_fault") {
+        ok = parse_bool(value, &out.model.allow_bad_frame_fault);
+      } else if (key == "max_states") {
+        ok = parse_u64(value, &out.max_states) && out.max_states > 0;
+      } else if (key == "deadline_ms") {
+        ok = parse_u64(value, &n) && n <= UINT32_MAX;
+        if (ok) out.deadline_ms = static_cast<std::uint32_t>(n);
+      } else if (key == "threads") {
+        ok = parse_u64(value, &n) && n <= 256;
+        if (ok) out.threads = static_cast<unsigned>(n);
+      } else {
+        return fail("unknown key \"" + key + "\"");
+      }
+      if (!ok) return fail("bad value for \"" + key + "\": " + value);
+
+      if (s.consume('}')) break;
+      if (!s.consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+  s.skip_ws();
+  if (s.p != s.end) return fail("trailing characters after '}'");
+
+  if (out.model.protocol.num_slots < out.model.protocol.num_nodes) {
+    return fail("slots must be >= nodes");
+  }
+  *spec = out;
+  return true;
+}
+
+}  // namespace tta::svc

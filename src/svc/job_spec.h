@@ -1,0 +1,83 @@
+// Declarative model-checking query descriptions for the verification job
+// service.
+//
+// A JobSpec is everything needed to reproduce one checker invocation: the
+// model configuration, the property to check, an engine choice, a state
+// budget, and an optional soft deadline. Two specs that describe the same
+// *semantic* query — same model, same property, same budget — have the
+// same canonical byte encoding and therefore the same 64-bit digest, which
+// is what the result cache is keyed on. Execution hints (engine, thread
+// count, deadline) are deliberately excluded from the digest: the serial
+// and parallel engines return identical verdicts for identical queries
+// (docs/CHECKER.md), so a result computed by either engine satisfies both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/checker.h"
+#include "mc/model.h"
+
+namespace tta::svc {
+
+/// The queries the service can answer, all in terms of the paper's model.
+enum class Property : std::uint8_t {
+  /// Section 5.1 safety property: no single coupler fault may force an
+  /// integrated node into the freeze state (exhaustive check).
+  kNoIntegratedNodeFreezes = 0,
+  /// Reachability: can the whole cluster reach the all-active state?
+  /// (kViolated means the goal IS reachable, with a shortest witness.)
+  kAllActiveReachable = 1,
+  /// AG EF all-active: from every reachable state, full operation must
+  /// still be reachable (the E11 recoverability analysis).
+  kRecoverability = 2,
+};
+
+enum class EngineChoice : std::uint8_t {
+  kSerial = 0,    ///< single-threaded reference Checker
+  kParallel = 1,  ///< level-synchronized ParallelChecker
+  kAuto = 2,      ///< service picks by estimated cost
+};
+
+const char* to_string(Property property);
+const char* to_string(EngineChoice engine);
+
+struct JobSpec {
+  mc::ModelConfig model;
+  Property property = Property::kNoIntegratedNodeFreezes;
+  EngineChoice engine = EngineChoice::kAuto;
+  std::uint64_t max_states = 50'000'000;
+
+  /// Soft deadline in milliseconds; 0 = none. Exceeding it cancels the
+  /// engine cooperatively and yields an explicit kInconclusive verdict
+  /// with partial statistics — never a hang.
+  std::uint32_t deadline_ms = 0;
+
+  /// Threads for the parallel engine; 0 = the service default.
+  unsigned threads = 0;
+
+  /// Canonical little-endian byte encoding of the semantic fields (model +
+  /// property + budget), stable across processes and builds; starts with a
+  /// format-version byte so future field additions re-key cleanly.
+  std::vector<std::uint8_t> canonical_bytes() const;
+
+  /// FNV-1a digest of canonical_bytes() — the result-cache key.
+  std::uint64_t digest() const;
+
+  /// Estimated reachable-state count, from the E4 scaling measurements
+  /// (bench_mc_perf): ~26x per added node, a buffering-authority factor,
+  /// and the fault-alphabet toggles. Used for cheapest-config-first
+  /// ordering in the job queue; only the relative order matters.
+  double estimated_cost() const;
+};
+
+/// Parses one JSON-lines job description as read by tta_verify_batch, e.g.
+///   {"authority": "full_shifting", "property": "safety", "max_oos": 1,
+///    "engine": "parallel", "deadline_ms": 5000}
+/// Unknown keys are errors (they are almost always typos). Returns false
+/// and fills *error on malformed input.
+bool parse_job_line(const std::string& line, JobSpec* spec,
+                    std::string* error);
+
+}  // namespace tta::svc

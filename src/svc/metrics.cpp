@@ -1,0 +1,99 @@
+#include "svc/metrics.h"
+
+#include <cstdio>
+
+namespace tta::svc {
+
+namespace {
+
+/// Human unit for a bucket's lower bound of 2^i microseconds.
+std::string bucket_label(std::size_t i) {
+  const std::uint64_t us = 1ull << i;
+  char buf[32];
+  if (us >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%llus",
+                  static_cast<unsigned long long>(us / 1'000'000));
+  } else if (us >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%llums",
+                  static_cast<unsigned long long>(us / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluus",
+                  static_cast<unsigned long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace
+
+double LatencyHistogram::quantile_seconds(double quantile) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      quantile * static_cast<double>(n) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      return static_cast<double>(2ull << i) / 1e6;  // bucket upper bound
+    }
+  }
+  return static_cast<double>(2ull << (kBuckets - 1)) / 1e6;
+}
+
+std::string LatencyHistogram::render() const {
+  std::string out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (!out.empty()) out += " ";
+    out += bucket_label(i) + ":" + std::to_string(c);
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+std::string Metrics::dump() const {
+  auto v = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "jobs: admitted=%llu rejected=%llu completed=%llu "
+                "cancelled=%llu\n",
+                static_cast<unsigned long long>(v(jobs_admitted)),
+                static_cast<unsigned long long>(v(jobs_rejected)),
+                static_cast<unsigned long long>(v(jobs_completed)),
+                static_cast<unsigned long long>(v(jobs_cancelled)));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "cache: hits=%llu misses=%llu hit_rate=%.3f\n",
+                static_cast<unsigned long long>(v(cache_hits)),
+                static_cast<unsigned long long>(v(cache_misses)),
+                cache_hit_rate());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "engine: states=%llu transitions=%llu seconds=%.3f "
+                "states_per_sec=%.0f\n",
+                static_cast<unsigned long long>(v(states_explored)),
+                static_cast<unsigned long long>(v(transitions)),
+                static_cast<double>(v(engine_micros)) / 1e6,
+                states_per_second());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "queue latency: mean=%.6fs p50<=%.6fs p99<=%.6fs  %s\n",
+                queue_latency.mean_seconds(),
+                queue_latency.quantile_seconds(0.5),
+                queue_latency.quantile_seconds(0.99),
+                queue_latency.render().c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "job latency:   mean=%.6fs p50<=%.6fs p99<=%.6fs  %s\n",
+                job_latency.mean_seconds(),
+                job_latency.quantile_seconds(0.5),
+                job_latency.quantile_seconds(0.99),
+                job_latency.render().c_str());
+  out += buf;
+  return out;
+}
+
+}  // namespace tta::svc

@@ -1,0 +1,98 @@
+// Service-side observability: atomic counters and log-scale latency
+// histograms, cheap enough to update from every worker on every job.
+//
+// Counter updates are relaxed atomics — metrics never synchronize
+// anything; dump() is a point-in-time text snapshot in the style of a
+// /varz or Prometheus text endpoint, and is what tta_verify_batch prints
+// after a batch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tta::svc {
+
+/// Power-of-two-bucketed histogram over microseconds: bucket i counts
+/// samples in [2^i, 2^(i+1)) us, so 30 buckets span 1 us .. ~18 min.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 30;
+
+  void record_seconds(double seconds) {
+    const double us = seconds * 1e6;
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && us >= static_cast<double>(2ull << bucket)) {
+      ++bucket;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Accumulate in integer microseconds so the mean needs no atomic<double>.
+    total_us_.fetch_add(static_cast<std::uint64_t>(us),
+                        std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double mean_seconds() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(
+                        total_us_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n) / 1e6;
+  }
+
+  /// Smallest bucket upper bound below which at least `quantile` of the
+  /// samples fall, in seconds (0 when empty).
+  double quantile_seconds(double quantile) const;
+
+  /// One "histogram: 1us:3 2us:10 ..." line; empty buckets omitted.
+  std::string render() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_us_{0};
+};
+
+class Metrics {
+ public:
+  // Admission.
+  std::atomic<std::uint64_t> jobs_admitted{0};
+  std::atomic<std::uint64_t> jobs_rejected{0};
+  // Completion.
+  std::atomic<std::uint64_t> jobs_completed{0};
+  std::atomic<std::uint64_t> jobs_cancelled{0};  ///< deadline / cancel bails
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  // Work done by the engines (cache hits contribute nothing here).
+  std::atomic<std::uint64_t> states_explored{0};
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<std::uint64_t> engine_micros{0};
+
+  LatencyHistogram queue_latency;  ///< admission -> dispatch
+  LatencyHistogram job_latency;    ///< dispatch -> result (incl. cache hits)
+
+  double cache_hit_rate() const {
+    const std::uint64_t h = cache_hits.load(std::memory_order_relaxed);
+    const std::uint64_t m = cache_misses.load(std::memory_order_relaxed);
+    return h + m == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+
+  /// Aggregate engine throughput in states/second across all jobs.
+  double states_per_second() const {
+    const std::uint64_t us = engine_micros.load(std::memory_order_relaxed);
+    return us == 0 ? 0.0
+                   : static_cast<double>(
+                         states_explored.load(std::memory_order_relaxed)) *
+                         1e6 / static_cast<double>(us);
+  }
+
+  /// Multi-line text snapshot of every counter and both histograms.
+  std::string dump() const;
+};
+
+}  // namespace tta::svc

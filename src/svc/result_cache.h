@@ -1,0 +1,124 @@
+// Bounded, thread-safe LRU cache of completed verification results.
+//
+// Keyed on JobSpec::digest(). Parameter grids and sweeps re-hit the same
+// (authority, cluster size, fault budget) cells constantly — the three
+// non-buffering authorities even share one reachable state space per E1 —
+// so a small cache turns the second pass of any grid into O(1) lookups.
+// Only *conclusive* results are stored (the service refuses to cache
+// kInconclusive: a deadline that fired once should not poison every later
+// retry with a cached non-answer).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mc/checker.h"
+#include "svc/job_spec.h"
+
+namespace tta::svc {
+
+/// Everything the service reports back for one job. For counterexample /
+/// witness queries the full trace is retained so callers can narrate it
+/// with mc::TracePrinter.
+struct JobResult {
+  std::uint64_t digest = 0;
+  Property property = Property::kNoIntegratedNodeFreezes;
+  mc::Verdict verdict = mc::Verdict::kInconclusive;
+  bool from_cache = false;
+  bool rejected = false;  ///< admission refused (queue bound); never ran
+  EngineChoice engine_used = EngineChoice::kSerial;
+  mc::CheckStats stats;
+  std::uint64_t dead_states = 0;  ///< recoverability only
+  std::vector<mc::TraceStep> trace;  ///< counterexample / witness
+  double queue_seconds = 0.0;  ///< admission -> dispatch latency
+};
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `capacity` == 0 disables caching (every lookup misses, inserts drop).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// On hit, copies the entry into *out, promotes it to most-recent, and
+  /// counts a hit; on miss counts a miss.
+  bool lookup(std::uint64_t key, JobResult* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    *out = it->second->second;
+    return true;
+  }
+
+  /// Inserts (or refreshes) a result, evicting the least-recently-used
+  /// entry beyond capacity.
+  void insert(std::uint64_t key, const JobResult& result) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = result;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, result);
+    index_.emplace(key, lru_.begin());
+    ++stats_.insertions;
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  double hit_rate() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t total = stats_.hits + stats_.misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(stats_.hits) /
+                            static_cast<double>(total);
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  /// front = most recently used.
+  std::list<std::pair<std::uint64_t, JobResult>> lru_;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t, JobResult>>::iterator>
+      index_;
+  Stats stats_;
+};
+
+}  // namespace tta::svc

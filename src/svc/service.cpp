@@ -1,0 +1,204 @@
+#include "svc/service.h"
+
+#include "mc/parallel_checker.h"
+#include "util/cancel_token.h"
+
+namespace tta::svc {
+
+namespace {
+
+mc::Checker<mc::TtpcStarModel>::Goal all_active_goal(
+    const mc::TtpcStarModel& model) {
+  const std::size_t n = model.num_nodes();
+  return [n](const mc::WorldState& w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
+    }
+    return true;
+  };
+}
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+bool JobQueue::admit(const JobSpec& spec, std::size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.size() >= max_pending_) return false;
+  queue_.push(Entry{spec, index, std::chrono::steady_clock::now(),
+                    spec.estimated_cost()});
+  return true;
+}
+
+std::optional<JobQueue::Entry> JobQueue::pop_cheapest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Entry top = queue_.top();
+  queue_.pop();
+  return top;
+}
+
+std::size_t JobQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+VerificationService::VerificationService(ServiceConfig config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      pool_(config.workers) {}
+
+JobResult VerificationService::run(const JobSpec& spec) {
+  metrics_.jobs_admitted.fetch_add(1, std::memory_order_relaxed);
+  return process(spec, std::chrono::steady_clock::now());
+}
+
+std::vector<JobResult> VerificationService::run_batch(
+    const std::vector<JobSpec>& jobs) {
+  std::vector<JobResult> results(jobs.size());
+  JobQueue queue(config_.max_pending);
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (queue.admit(jobs[i], i)) {
+      metrics_.jobs_admitted.fetch_add(1, std::memory_order_relaxed);
+      ++admitted;
+    } else {
+      metrics_.jobs_rejected.fetch_add(1, std::memory_order_relaxed);
+      results[i].digest = jobs[i].digest();
+      results[i].property = jobs[i].property;
+      results[i].rejected = true;  // verdict stays kInconclusive
+    }
+  }
+
+  // One pool task per admitted job; each task claims the cheapest job
+  // still pending at the moment it starts, so dispatch order is cheapest-
+  // first while expensive jobs still overlap across workers.
+  pool_.run_tasks(admitted, [&](std::size_t) {
+    std::optional<JobQueue::Entry> entry = queue.pop_cheapest();
+    if (!entry) return;  // can't happen: one task per admitted job
+    results[entry->index] = process(entry->spec, entry->admitted_at);
+  });
+  return results;
+}
+
+JobResult VerificationService::process(
+    const JobSpec& spec, std::chrono::steady_clock::time_point admitted_at) {
+  const auto dispatched_at = std::chrono::steady_clock::now();
+  const double queue_seconds = seconds_between(admitted_at, dispatched_at);
+  metrics_.queue_latency.record_seconds(queue_seconds);
+
+  const std::uint64_t key = spec.digest();
+  JobResult result;
+  if (cache_.lookup(key, &result)) {
+    metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    result.from_cache = true;
+    result.queue_seconds = queue_seconds;
+    metrics_.jobs_completed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.job_latency.record_seconds(
+        seconds_between(dispatched_at, std::chrono::steady_clock::now()));
+    return result;
+  }
+  metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+
+  result = execute(spec);
+  result.digest = key;
+  result.queue_seconds = queue_seconds;
+
+  metrics_.states_explored.fetch_add(result.stats.states_explored,
+                                     std::memory_order_relaxed);
+  metrics_.transitions.fetch_add(result.stats.transitions,
+                                 std::memory_order_relaxed);
+  metrics_.engine_micros.fetch_add(
+      static_cast<std::uint64_t>(result.stats.seconds * 1e6),
+      std::memory_order_relaxed);
+  if (result.stats.cancelled) {
+    metrics_.jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
+  }
+  metrics_.jobs_completed.fetch_add(1, std::memory_order_relaxed);
+  metrics_.job_latency.record_seconds(
+      seconds_between(dispatched_at, std::chrono::steady_clock::now()));
+
+  // Only conclusive verdicts are cacheable: an inconclusive result is a
+  // property of this run's deadline/budget, not of the query.
+  if (result.verdict != mc::Verdict::kInconclusive) {
+    cache_.insert(key, result);
+  }
+  return result;
+}
+
+JobResult VerificationService::execute(const JobSpec& spec) const {
+  JobResult result;
+  result.property = spec.property;
+
+  EngineChoice engine = spec.engine;
+  if (engine == EngineChoice::kAuto) {
+    engine = spec.estimated_cost() >= config_.auto_parallel_threshold
+                 ? EngineChoice::kParallel
+                 : EngineChoice::kSerial;
+  }
+  result.engine_used = engine;
+
+  const util::CancelToken token =
+      spec.deadline_ms > 0
+          ? util::CancelToken::after(
+                std::chrono::milliseconds(spec.deadline_ms))
+          : util::CancelToken();
+  const util::CancelToken* cancel = spec.deadline_ms > 0 ? &token : nullptr;
+
+  mc::TtpcStarModel model(spec.model);
+  const unsigned threads =
+      spec.threads != 0 ? spec.threads : config_.parallel_engine_threads;
+
+  auto take_check = [&result](mc::CheckResult&& res) {
+    result.verdict = res.verdict;
+    result.stats = res.stats;
+    result.trace = std::move(res.trace);
+  };
+
+  switch (spec.property) {
+    case Property::kNoIntegratedNodeFreezes: {
+      auto violation = mc::no_integrated_node_freezes();
+      if (engine == EngineChoice::kParallel) {
+        mc::ParallelChecker checker(model, threads);
+        take_check(checker.check(violation, spec.max_states, cancel));
+      } else {
+        take_check(mc::Checker(model).check(violation, spec.max_states,
+                                            cancel));
+      }
+      break;
+    }
+    case Property::kAllActiveReachable: {
+      auto goal = all_active_goal(model);
+      if (engine == EngineChoice::kParallel) {
+        mc::ParallelChecker checker(model, threads);
+        take_check(checker.find_state(goal, spec.max_states, cancel));
+      } else {
+        take_check(
+            mc::Checker(model).find_state(goal, spec.max_states, cancel));
+      }
+      break;
+    }
+    case Property::kRecoverability: {
+      auto goal = all_active_goal(model);
+      mc::RecoverabilityResult res;
+      if (engine == EngineChoice::kParallel) {
+        mc::ParallelChecker checker(model, threads);
+        res = checker.check_recoverability(goal, spec.max_states, cancel);
+      } else {
+        res = mc::Checker(model).check_recoverability(goal, spec.max_states,
+                                                      cancel);
+      }
+      result.verdict = res.verdict;
+      result.stats = res.stats;
+      result.dead_states = res.dead_states;
+      result.trace = std::move(res.witness);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace tta::svc

@@ -1,0 +1,116 @@
+// The verification job service: the serving layer between callers with
+// *families* of parameterized model-checking queries (grids, sweeps,
+// batches) and the two reachability engines.
+//
+// Pipeline per job:
+//   admit -> JobQueue (cheapest-estimated-config first) -> ResultCache
+//   probe -> engine dispatch on a shared util::ThreadPool -> cache fill ->
+//   Metrics.
+// Per-job soft deadlines ride a util::CancelToken polled by the engines,
+// so an over-deadline job returns an explicit kInconclusive verdict with
+// partial statistics — the service never hangs and never fabricates a
+// verdict. The design follows the job-oriented frontends of multi-query
+// model-checking toolsets (LTSmin's pins frontends): declarative query
+// descriptions, pluggable engines, shared result storage.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "svc/job_spec.h"
+#include "svc/metrics.h"
+#include "svc/result_cache.h"
+#include "util/thread_pool.h"
+
+namespace tta::svc {
+
+struct ServiceConfig {
+  std::size_t cache_capacity = 256;
+  /// Admission bound: jobs beyond this many pending are rejected outright
+  /// (an explicit JobResult::rejected, not an error or a hang).
+  std::size_t max_pending = 4096;
+  /// Concurrent jobs; 0 = hardware concurrency.
+  unsigned workers = 0;
+  /// Threads given to the parallel engine when a spec leaves it 0. Kept
+  /// small by default: job-level parallelism is the primary axis, so the
+  /// two multiplied together should stay near the core count.
+  unsigned parallel_engine_threads = 2;
+  /// EngineChoice::kAuto picks the parallel engine when the estimated
+  /// state count exceeds this (small spaces aren't worth the coordination).
+  double auto_parallel_threshold = 500'000.0;
+};
+
+/// Priority queue of admitted jobs, cheapest estimated cost first (the E4
+/// state-count model). Running the cheap cells of a grid first maximizes
+/// early feedback and keeps the expensive stragglers from head-blocking
+/// everything else on the pool.
+class JobQueue {
+ public:
+  struct Entry {
+    JobSpec spec;
+    std::size_t index = 0;  ///< caller's position in the submitted batch
+    std::chrono::steady_clock::time_point admitted_at{};
+    double cost = 0.0;
+  };
+
+  explicit JobQueue(std::size_t max_pending) : max_pending_(max_pending) {}
+
+  /// False when the queue is at max_pending (admission refused).
+  bool admit(const JobSpec& spec, std::size_t index);
+
+  /// Pops the cheapest pending job; nullopt when drained.
+  std::optional<Entry> pop_cheapest();
+
+  std::size_t pending() const;
+
+ private:
+  struct CostOrder {
+    bool operator()(const Entry& a, const Entry& b) const {
+      // priority_queue keeps the *largest* on top; invert for cheapest-
+      // first, tie-breaking on submission order for determinism.
+      return a.cost != b.cost ? a.cost > b.cost : a.index > b.index;
+    }
+  };
+
+  const std::size_t max_pending_;
+  mutable std::mutex mu_;
+  std::priority_queue<Entry, std::vector<Entry>, CostOrder> queue_;
+};
+
+class VerificationService {
+ public:
+  explicit VerificationService(ServiceConfig config = {});
+
+  /// Runs one job through the cache + engines, synchronously.
+  JobResult run(const JobSpec& spec);
+
+  /// Runs a batch: admission, cheapest-first dispatch across the worker
+  /// pool, results in the caller's submission order. Every job completes
+  /// or returns an explicit rejected / kInconclusive result.
+  std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs);
+
+  const ServiceConfig& config() const { return config_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  ResultCache& cache() { return cache_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  /// Cache probe + engine dispatch + cache fill + metrics, for one job.
+  JobResult process(const JobSpec& spec,
+                    std::chrono::steady_clock::time_point admitted_at);
+
+  /// Raw engine dispatch (no cache, no metrics).
+  JobResult execute(const JobSpec& spec) const;
+
+  ServiceConfig config_;
+  ResultCache cache_;
+  Metrics metrics_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace tta::svc

@@ -1,0 +1,84 @@
+// Poll-style cooperative cancellation.
+//
+// A CancelToken is shared between a controller (the verification job
+// service, a signal handler, a test) and a long-running worker (the
+// model-checking engines). The worker polls cancelled() at convenient
+// points — the engines poll once per expanded state — and winds down
+// gracefully when it returns true, reporting partial statistics instead of
+// a verdict. Cancellation is level-triggered and permanent: once a token
+// reports cancelled it stays cancelled.
+//
+// Two triggers compose in one token:
+//   * request_cancel() — an explicit external request (thread-safe);
+//   * an optional soft deadline — the token trips itself once
+//     steady_clock::now() passes it.
+// Deadline checks call the clock only every kClockPollPeriod polls, so the
+// per-state cost of polling is a relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tta::util {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : deadline_(deadline), has_deadline_(true) {}
+
+  /// Token that trips after `timeout` from now. A non-positive timeout
+  /// trips on the first clock poll.
+  static CancelToken after(std::chrono::milliseconds timeout) {
+    return CancelToken(std::chrono::steady_clock::now() + timeout);
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Thread-safe; idempotent.
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancellation was requested or the deadline passed. Cheap
+  /// enough to call per expanded state: a relaxed load, plus one clock read
+  /// every kClockPollPeriod calls when a deadline is set.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_) return false;
+    if ((polls_.fetch_add(1, std::memory_order_relaxed) &
+         (kClockPollPeriod - 1)) != 0) {
+      return false;
+    }
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Forces a clock check on the next cancelled() poll (used at level
+  /// barriers, where a stale deadline must not survive into another level).
+  bool cancelled_now() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_) return false;
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+ private:
+  static constexpr std::uint64_t kClockPollPeriod = 256;  // must be 2^k
+
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<std::uint64_t> polls_{0};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace tta::util

@@ -1,0 +1,41 @@
+#include "util/digest.h"
+
+#include <cstdio>
+
+namespace tta::util {
+
+Fnv1a64& Fnv1a64::update(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = state_;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kPrime;
+  }
+  state_ = h;
+  return *this;
+}
+
+Fnv1a64& Fnv1a64::update_u32(std::uint32_t v) {
+  std::uint8_t le[4];
+  for (int i = 0; i < 4; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return update(le, sizeof le);
+}
+
+Fnv1a64& Fnv1a64::update_u64(std::uint64_t v) {
+  std::uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return update(le, sizeof le);
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t len) {
+  return Fnv1a64().update(data, len).digest();
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace tta::util

@@ -1,0 +1,49 @@
+// Stable 64-bit content digests (FNV-1a).
+//
+// Used by the verification job service to key its result cache: a JobSpec
+// serializes itself into a canonical little-endian byte string and the
+// FNV-1a digest of those bytes identifies the query across threads,
+// processes, and runs. FNV-1a is chosen over the in-process hash_value()
+// mix because its constants are fixed by specification — the digest of a
+// given byte string never changes between builds, so digests can be
+// persisted, logged, and compared across machines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tta::util {
+
+/// Incremental FNV-1a over an arbitrary byte stream.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  Fnv1a64& update(const void* data, std::size_t len);
+
+  Fnv1a64& update_u8(std::uint8_t v) { return update(&v, 1); }
+
+  /// Little-endian, fixed width — byte order is part of the digest contract.
+  Fnv1a64& update_u32(std::uint32_t v);
+  Fnv1a64& update_u64(std::uint64_t v);
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot digest of a byte buffer.
+std::uint64_t fnv1a64(const void* data, std::size_t len);
+
+inline std::uint64_t fnv1a64(const std::vector<std::uint8_t>& bytes) {
+  return fnv1a64(bytes.data(), bytes.size());
+}
+
+/// 16-hex-digit rendering, for logs and JSON output.
+std::string digest_hex(std::uint64_t digest);
+
+}  // namespace tta::util

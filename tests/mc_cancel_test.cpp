@@ -1,0 +1,201 @@
+// Cooperative cancellation in both reachability engines: a fired
+// CancelToken (manual or deadline) must yield an explicit kInconclusive
+// verdict with honest partial statistics — never a hang, never a
+// fabricated HOLDS/VIOLATED — and a token that never fires must not
+// perturb results at all.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "mc/checker.h"
+#include "mc/parallel_checker.h"
+#include "util/cancel_token.h"
+
+namespace tta::mc {
+namespace {
+
+ModelConfig config(guardian::Authority a, std::uint8_t nodes = 4) {
+  ModelConfig cfg;
+  cfg.authority = a;
+  cfg.protocol.num_nodes = nodes;
+  cfg.protocol.num_slots = nodes;
+  return cfg;
+}
+
+Checker<TtpcStarModel>::Goal all_active(const TtpcStarModel& model) {
+  std::size_t n = model.num_nodes();
+  return [n](const WorldState& w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
+    }
+    return true;
+  };
+}
+
+TEST(CancelToken, ManualAndDeadlineFiring) {
+  util::CancelToken manual;
+  EXPECT_FALSE(manual.cancelled_now());
+  manual.request_cancel();
+  EXPECT_TRUE(manual.cancelled());
+  EXPECT_TRUE(manual.cancelled_now());
+
+  util::CancelToken deadline =
+      util::CancelToken::after(std::chrono::milliseconds(20));
+  EXPECT_FALSE(deadline.cancelled_now());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(deadline.cancelled_now());
+  // Once observed, the fast-path flag reports it too.
+  EXPECT_TRUE(deadline.cancelled());
+}
+
+TEST(SerialCancel, PreCancelledCheckIsInconclusive) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  util::CancelToken token;
+  token.request_cancel();
+  auto res = Checker(model).check(no_integrated_node_freezes(),
+                                  /*max_states=*/50'000'000, &token);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+  EXPECT_TRUE(res.stats.cancelled);
+  EXPECT_FALSE(res.stats.exhausted);
+  EXPECT_TRUE(res.trace.empty());
+  // Legacy flag keeps its "default true, trust only when exhausted"
+  // contract.
+  EXPECT_TRUE(res.holds);
+}
+
+TEST(SerialCancel, DeadlineInterruptsMidRunWithPartialStats) {
+  // 4-node passive is ~110k states / hundreds of ms: a few-ms deadline
+  // fires mid-search.
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  util::CancelToken token =
+      util::CancelToken::after(std::chrono::milliseconds(2));
+  auto res = Checker(model).check(no_integrated_node_freezes(),
+                                  /*max_states=*/50'000'000, &token);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+  EXPECT_TRUE(res.stats.cancelled);
+  EXPECT_FALSE(res.stats.exhausted);
+  EXPECT_GT(res.stats.states_explored, 0u);
+  EXPECT_LT(res.stats.states_explored, 110'956u);
+}
+
+TEST(SerialCancel, BudgetBailIsInconclusiveNotHolds) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  auto res =
+      Checker(model).check(no_integrated_node_freezes(), /*max_states=*/1'000);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+  EXPECT_FALSE(res.stats.exhausted);
+  EXPECT_FALSE(res.stats.cancelled);  // budget, not cancellation
+  EXPECT_TRUE(res.holds);             // legacy contract unchanged
+}
+
+TEST(SerialCancel, ExhaustiveVerdictsAreExplicit) {
+  {
+    TtpcStarModel model(config(guardian::Authority::kSmallShifting));
+    auto res = Checker(model).check(no_integrated_node_freezes());
+    EXPECT_EQ(res.verdict, Verdict::kHolds);
+    EXPECT_TRUE(res.stats.exhausted);
+  }
+  {
+    TtpcStarModel model(config(guardian::Authority::kFullShifting));
+    auto res = Checker(model).check(no_integrated_node_freezes());
+    EXPECT_EQ(res.verdict, Verdict::kViolated);
+    EXPECT_FALSE(res.trace.empty());
+  }
+}
+
+TEST(SerialCancel, LiveTokenThatNeverFiresChangesNothing) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  auto plain = Checker(model).check(no_integrated_node_freezes());
+  util::CancelToken token;  // no deadline, never cancelled
+  auto tracked = Checker(model).check(no_integrated_node_freezes(),
+                                      /*max_states=*/50'000'000, &token);
+  EXPECT_EQ(tracked.verdict, plain.verdict);
+  EXPECT_EQ(tracked.stats.states_explored, plain.stats.states_explored);
+  EXPECT_EQ(tracked.stats.transitions, plain.stats.transitions);
+  EXPECT_EQ(tracked.stats.max_depth, plain.stats.max_depth);
+  EXPECT_FALSE(tracked.stats.cancelled);
+}
+
+TEST(SerialCancel, RecoverabilityHonorsToken) {
+  TtpcStarModel model(config(guardian::Authority::kSmallShifting));
+  util::CancelToken token;
+  token.request_cancel();
+  auto res = Checker(model).check_recoverability(
+      all_active(model), /*max_states=*/10'000'000, &token);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+  EXPECT_TRUE(res.stats.cancelled);
+  EXPECT_FALSE(res.stats.exhausted);
+  // The bail-out must not leak a fabricated verdict or partial artifacts.
+  EXPECT_FALSE(res.recoverable_everywhere);
+  EXPECT_EQ(res.dead_states, 0u);
+  EXPECT_TRUE(res.witness.empty());
+}
+
+TEST(SerialCancel, RecoverabilityBudgetBailStaysInconclusive) {
+  TtpcStarModel model(config(guardian::Authority::kFullShifting));
+  auto res = Checker(model).check_recoverability(all_active(model),
+                                                 /*max_states=*/1'000);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+  EXPECT_FALSE(res.stats.cancelled);  // budget, not cancellation
+  EXPECT_FALSE(res.stats.exhausted);
+}
+
+TEST(ParallelCancel, PreCancelledCheckIsInconclusive) {
+  for (unsigned threads : {1u, 4u}) {
+    TtpcStarModel model(config(guardian::Authority::kPassive));
+    util::CancelToken token;
+    token.request_cancel();
+    ParallelChecker checker(model, threads);
+    auto res = checker.check(no_integrated_node_freezes(),
+                             /*max_states=*/50'000'000, &token);
+    EXPECT_EQ(res.verdict, Verdict::kInconclusive) << threads;
+    EXPECT_TRUE(res.stats.cancelled) << threads;
+    EXPECT_FALSE(res.stats.exhausted) << threads;
+    EXPECT_TRUE(res.trace.empty()) << threads;
+  }
+}
+
+TEST(ParallelCancel, DeadlineInterruptsMidRunWithPartialStats) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  util::CancelToken token =
+      util::CancelToken::after(std::chrono::milliseconds(2));
+  ParallelChecker checker(model, 4);
+  auto res = checker.check(no_integrated_node_freezes(),
+                           /*max_states=*/50'000'000, &token);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+  EXPECT_TRUE(res.stats.cancelled);
+  EXPECT_FALSE(res.stats.exhausted);
+  EXPECT_LT(res.stats.states_explored, 110'956u);
+}
+
+TEST(ParallelCancel, VerdictsMatchSerialWhenUncancelled) {
+  for (guardian::Authority a : {guardian::Authority::kSmallShifting,
+                                guardian::Authority::kFullShifting}) {
+    TtpcStarModel model(config(a));
+    auto serial = Checker(model).check(no_integrated_node_freezes());
+    ParallelChecker checker(model, 4);
+    util::CancelToken token;  // never fires
+    auto parallel = checker.check(no_integrated_node_freezes(),
+                                  /*max_states=*/50'000'000, &token);
+    EXPECT_EQ(parallel.verdict, serial.verdict) << guardian::to_string(a);
+    EXPECT_EQ(parallel.stats.states_explored, serial.stats.states_explored);
+    EXPECT_EQ(parallel.stats.transitions, serial.stats.transitions);
+  }
+}
+
+TEST(ParallelCancel, RecoverabilityHonorsToken) {
+  TtpcStarModel model(config(guardian::Authority::kSmallShifting));
+  util::CancelToken token;
+  token.request_cancel();
+  ParallelChecker checker(model, 2);
+  auto res = checker.check_recoverability(all_active(model),
+                                          /*max_states=*/10'000'000, &token);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+  EXPECT_TRUE(res.stats.cancelled);
+  EXPECT_FALSE(res.recoverable_everywhere);
+  EXPECT_TRUE(res.witness.empty());
+}
+
+}  // namespace
+}  // namespace tta::mc

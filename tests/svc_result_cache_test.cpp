@@ -1,0 +1,102 @@
+// ResultCache: hit/miss accounting, LRU eviction order, refresh semantics,
+// and the capacity-zero escape hatch.
+#include <gtest/gtest.h>
+
+#include "svc/result_cache.h"
+
+namespace tta::svc {
+namespace {
+
+JobResult result_with(std::uint64_t digest, mc::Verdict verdict) {
+  JobResult r;
+  r.digest = digest;
+  r.verdict = verdict;
+  r.stats.states_explored = digest * 10;
+  return r;
+}
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(4);
+  JobResult out;
+  EXPECT_FALSE(cache.lookup(1, &out));
+  cache.insert(1, result_with(1, mc::Verdict::kHolds));
+  ASSERT_TRUE(cache.lookup(1, &out));
+  EXPECT_EQ(out.verdict, mc::Verdict::kHolds);
+  EXPECT_EQ(out.stats.states_explored, 10u);
+
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.insert(1, result_with(1, mc::Verdict::kHolds));
+  cache.insert(2, result_with(2, mc::Verdict::kViolated));
+
+  // Touch 1 so 2 becomes the LRU entry, then overflow.
+  JobResult out;
+  ASSERT_TRUE(cache.lookup(1, &out));
+  cache.insert(3, result_with(3, mc::Verdict::kHolds));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(1, &out));
+  EXPECT_FALSE(cache.lookup(2, &out));  // evicted
+  EXPECT_TRUE(cache.lookup(3, &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, InsertRefreshesExistingKeyWithoutEviction) {
+  ResultCache cache(2);
+  cache.insert(1, result_with(1, mc::Verdict::kHolds));
+  cache.insert(2, result_with(2, mc::Verdict::kHolds));
+  cache.insert(1, result_with(1, mc::Verdict::kViolated));  // refresh
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  JobResult out;
+  ASSERT_TRUE(cache.lookup(1, &out));
+  EXPECT_EQ(out.verdict, mc::Verdict::kViolated);
+
+  // The refresh also promoted key 1: key 2 is now the eviction victim.
+  cache.insert(3, result_with(3, mc::Verdict::kHolds));
+  EXPECT_FALSE(cache.lookup(2, &out));
+  EXPECT_TRUE(cache.lookup(1, &out));
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.insert(1, result_with(1, mc::Verdict::kHolds));
+  JobResult out;
+  EXPECT_FALSE(cache.lookup(1, &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, ClearEmptiesButKeepsCounters) {
+  ResultCache cache(4);
+  cache.insert(1, result_with(1, mc::Verdict::kHolds));
+  JobResult out;
+  ASSERT_TRUE(cache.lookup(1, &out));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(1, &out));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCache, TracesSurviveTheRoundTrip) {
+  ResultCache cache(4);
+  JobResult in = result_with(9, mc::Verdict::kViolated);
+  in.trace.resize(11);
+  cache.insert(9, in);
+  JobResult out;
+  ASSERT_TRUE(cache.lookup(9, &out));
+  EXPECT_EQ(out.trace.size(), 11u);
+}
+
+}  // namespace
+}  // namespace tta::svc

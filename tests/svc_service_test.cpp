@@ -1,0 +1,187 @@
+// VerificationService end-to-end: the E1 verdict matrix through the batch
+// pipeline, cache behavior across passes, serial/parallel engine
+// agreement for the same batch, deadline degradation, and admission
+// bounds. Labeled `parallel`: jobs run concurrently on the service's
+// worker pool, so this doubles as a TSan workload.
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+#include "svc/service.h"
+
+namespace tta::svc {
+namespace {
+
+std::vector<JobSpec> e1_jobs() { return core::feature_matrix_jobs(); }
+
+TEST(VerificationService, E1GridReproducesTheSection52Matrix) {
+  VerificationService service;
+  const std::vector<JobSpec> jobs = e1_jobs();
+  const std::vector<JobResult> results = service.run_batch(jobs);
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const bool buffering =
+        jobs[i].model.authority == guardian::Authority::kFullShifting;
+    EXPECT_EQ(results[i].verdict,
+              buffering ? mc::Verdict::kViolated : mc::Verdict::kHolds)
+        << guardian::to_string(jobs[i].model.authority);
+    EXPECT_FALSE(results[i].rejected);
+    EXPECT_FALSE(results[i].from_cache);
+    EXPECT_EQ(results[i].digest, jobs[i].digest());
+    if (buffering) {
+      EXPECT_FALSE(results[i].trace.empty());
+    } else {
+      // E1 pinned numbers: the three non-buffering authorities share one
+      // reachable state space.
+      EXPECT_EQ(results[i].stats.states_explored, 110'956u);
+      EXPECT_EQ(results[i].stats.transitions, 875'440u);
+    }
+  }
+}
+
+TEST(VerificationService, SecondPassIsServedFromTheCache) {
+  VerificationService service;
+  const std::vector<JobSpec> jobs = e1_jobs();
+  const std::vector<JobResult> first = service.run_batch(jobs);
+  const std::vector<JobResult> second = service.run_batch(jobs);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_TRUE(second[i].from_cache) << i;
+    EXPECT_EQ(second[i].verdict, first[i].verdict) << i;
+    EXPECT_EQ(second[i].stats.states_explored,
+              first[i].stats.states_explored)
+        << i;
+    EXPECT_EQ(second[i].trace.size(), first[i].trace.size()) << i;
+  }
+  EXPECT_GT(service.metrics().cache_hit_rate(), 0.0);
+  EXPECT_EQ(service.metrics().cache_hits.load(), 4u);
+  EXPECT_EQ(service.metrics().jobs_completed.load(), 8u);
+}
+
+TEST(VerificationService, SerialAndParallelEnginesAgreeOnTheSameBatch) {
+  // Same JobSpec batch forced through each engine, caching disabled so
+  // both actually run. The engines are documented bit-identical: verdicts
+  // and exploration statistics must match exactly.
+  ServiceConfig cfg;
+  cfg.cache_capacity = 0;
+  VerificationService service(cfg);
+
+  std::vector<JobSpec> serial_jobs = e1_jobs();
+  std::vector<JobSpec> parallel_jobs = e1_jobs();
+  for (auto& j : serial_jobs) j.engine = EngineChoice::kSerial;
+  for (auto& j : parallel_jobs) {
+    j.engine = EngineChoice::kParallel;
+    j.threads = 4;
+  }
+  const std::vector<JobResult> serial = service.run_batch(serial_jobs);
+  const std::vector<JobResult> parallel = service.run_batch(parallel_jobs);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].engine_used, EngineChoice::kSerial);
+    EXPECT_EQ(parallel[i].engine_used, EngineChoice::kParallel);
+    EXPECT_EQ(serial[i].verdict, parallel[i].verdict) << i;
+    EXPECT_EQ(serial[i].stats.states_explored,
+              parallel[i].stats.states_explored)
+        << i;
+    EXPECT_EQ(serial[i].stats.transitions, parallel[i].stats.transitions)
+        << i;
+    EXPECT_EQ(serial[i].stats.max_depth, parallel[i].stats.max_depth) << i;
+    EXPECT_EQ(serial[i].trace.size(), parallel[i].trace.size()) << i;
+    // And both engines hash to the same cache key by construction.
+    EXPECT_EQ(serial_jobs[i].digest(), parallel_jobs[i].digest()) << i;
+  }
+}
+
+TEST(VerificationService, DeadlineDegradesToExplicitInconclusive) {
+  VerificationService service;
+  JobSpec spec;
+  spec.model.authority = guardian::Authority::kPassive;
+  spec.property = Property::kNoIntegratedNodeFreezes;
+  spec.deadline_ms = 1;  // ~110k-state space: fires mid-search
+
+  const JobResult result = service.run(spec);
+  EXPECT_EQ(result.verdict, mc::Verdict::kInconclusive);
+  EXPECT_TRUE(result.stats.cancelled);
+  EXPECT_FALSE(result.stats.exhausted);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(service.metrics().jobs_cancelled.load(), 1u);
+
+  // Inconclusive results must not be cached: a retry without the deadline
+  // really runs and really concludes.
+  JobSpec retry = spec;
+  retry.deadline_ms = 0;
+  const JobResult concluded = service.run(retry);
+  EXPECT_FALSE(concluded.from_cache);
+  EXPECT_EQ(concluded.verdict, mc::Verdict::kHolds);
+}
+
+TEST(VerificationService, AdmissionBoundRejectsExplicitly) {
+  ServiceConfig cfg;
+  cfg.max_pending = 2;
+  VerificationService service(cfg);
+  std::vector<JobSpec> jobs(5);
+  for (auto& j : jobs) {
+    j.model.authority = guardian::Authority::kPassive;
+    // Tiny budget keeps the accepted jobs fast; rejection happens before
+    // execution anyway.
+    j.max_states = 1'000;
+  }
+  const std::vector<JobResult> results = service.run_batch(jobs);
+  std::size_t rejected = 0;
+  for (const JobResult& r : results) {
+    if (r.rejected) {
+      ++rejected;
+      EXPECT_EQ(r.verdict, mc::Verdict::kInconclusive);
+      EXPECT_EQ(r.stats.states_explored, 0u);
+    }
+  }
+  EXPECT_EQ(rejected, 3u);
+  EXPECT_EQ(service.metrics().jobs_rejected.load(), 3u);
+  EXPECT_EQ(service.metrics().jobs_admitted.load(), 2u);
+}
+
+TEST(JobQueue, PopsCheapestFirst) {
+  JobQueue queue(16);
+  JobSpec cheap;
+  cheap.model.authority = guardian::Authority::kPassive;
+  cheap.model.allow_silence_fault = false;
+  cheap.model.allow_bad_frame_fault = false;
+  JobSpec medium;
+  medium.model.authority = guardian::Authority::kPassive;
+  JobSpec expensive;
+  expensive.model.authority = guardian::Authority::kPassive;
+  expensive.model.protocol.num_nodes = 5;
+  expensive.model.protocol.num_slots = 5;
+
+  ASSERT_TRUE(queue.admit(expensive, 0));
+  ASSERT_TRUE(queue.admit(cheap, 1));
+  ASSERT_TRUE(queue.admit(medium, 2));
+  EXPECT_EQ(queue.pending(), 3u);
+
+  EXPECT_EQ(queue.pop_cheapest()->index, 1u);
+  EXPECT_EQ(queue.pop_cheapest()->index, 2u);
+  EXPECT_EQ(queue.pop_cheapest()->index, 0u);
+  EXPECT_FALSE(queue.pop_cheapest().has_value());
+}
+
+TEST(JobQueue, TieBreaksOnSubmissionOrder) {
+  JobQueue queue(4);
+  JobSpec spec;  // identical cost
+  ASSERT_TRUE(queue.admit(spec, 2));
+  ASSERT_TRUE(queue.admit(spec, 0));
+  ASSERT_TRUE(queue.admit(spec, 1));
+  EXPECT_EQ(queue.pop_cheapest()->index, 0u);
+  EXPECT_EQ(queue.pop_cheapest()->index, 1u);
+  EXPECT_EQ(queue.pop_cheapest()->index, 2u);
+}
+
+TEST(JobQueue, RefusesBeyondMaxPending) {
+  JobQueue queue(1);
+  JobSpec spec;
+  EXPECT_TRUE(queue.admit(spec, 0));
+  EXPECT_FALSE(queue.admit(spec, 1));
+  queue.pop_cheapest();
+  EXPECT_TRUE(queue.admit(spec, 2));
+}
+
+}  // namespace
+}  // namespace tta::svc
