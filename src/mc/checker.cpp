@@ -7,6 +7,7 @@ const char* to_string(Verdict verdict) {
     case Verdict::kHolds: return "HOLDS";
     case Verdict::kViolated: return "VIOLATED";
     case Verdict::kInconclusive: return "INCONCLUSIVE";
+    case Verdict::kEngineDivergence: return "ENGINE_DIVERGENCE";
   }
   return "?";
 }

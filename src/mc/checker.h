@@ -27,6 +27,7 @@
 // and is cross-validated against this class (docs/CHECKER.md).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -34,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mc/checkpoint.h"
 #include "mc/model.h"
 #include "util/cancel_token.h"
 #include "util/check.h"
@@ -65,6 +67,13 @@ enum class Verdict : std::uint8_t {
   kHolds = 0,         ///< exhaustive search, property holds / goal unreachable
   kViolated = 1,      ///< counterexample or goal witness found
   kInconclusive = 2,  ///< state budget, deadline, or cancellation stopped it
+  /// Redundant dual-engine execution (svc) ran the serial and parallel
+  /// engines on the same query and they disagreed — on the verdict or on
+  /// the exploration statistics the engines are documented to reproduce
+  /// bit-identically. Always a bug (most likely in the lock-free table or
+  /// the level-synchronization argument), never cached, and reported with
+  /// both engines' stat blocks so the divergence is debuggable.
+  kEngineDivergence = 3,
 };
 
 const char* to_string(Verdict verdict);
@@ -78,6 +87,7 @@ struct CheckStats {
   double seconds = 0.0;
   bool exhausted = true;  ///< false if the state budget stopped the search
   bool cancelled = false;  ///< true if a CancelToken stopped the search
+  bool resumed = false;    ///< search continued from a checkpoint file
 };
 
 template <class State>
@@ -119,18 +129,24 @@ class Checker {
   /// counterexamples). A non-null `cancel` token is polled once per
   /// expanded state; tripping it ends the search with kInconclusive and
   /// honest partial stats — never a hang, never a fabricated verdict.
+  /// A non-null `checkpoint` makes the search resumable: the wavefront is
+  /// saved at level barriers and a later invocation with the same config
+  /// continues from it to a bit-identical result (mc/checkpoint.h).
   CheckResultT<State> check(const Violation& violation,
                             std::uint64_t max_states = 50'000'000,
-                            const util::CancelToken* cancel = nullptr) const {
-    return run(&violation, nullptr, max_states, cancel);
+                            const util::CancelToken* cancel = nullptr,
+                            const CheckpointConfig* checkpoint =
+                                nullptr) const {
+    return run(&violation, nullptr, max_states, cancel, checkpoint);
   }
 
   /// Shortest witness to a goal state; holds == true means unreachable.
   CheckResultT<State> find_state(const Goal& goal,
                                  std::uint64_t max_states = 50'000'000,
-                                 const util::CancelToken* cancel =
+                                 const util::CancelToken* cancel = nullptr,
+                                 const CheckpointConfig* checkpoint =
                                      nullptr) const {
-    return run(nullptr, &goal, max_states, cancel);
+    return run(nullptr, &goal, max_states, cancel, checkpoint);
   }
 
   /// AG EF goal — an availability property stronger than the safety check:
@@ -294,11 +310,41 @@ class Checker {
   // level visit order. ParallelChecker implements the identical semantics
   // with the level split across threads, so the two engines can be
   // cross-validated field-for-field (see docs/CHECKER.md).
+  /// Serializes the wavefront for save_checkpoint: the visited map in any
+  /// order (content-addressed on restore) but the frontier in exactly its
+  /// expansion order, which the bit-identity contract depends on.
+  CheckpointData make_checkpoint(
+      const std::unordered_map<util::PackedState, ParentInfo>& visited,
+      const std::vector<util::PackedState>& level, std::uint32_t next_depth,
+      const CheckStats& stats, CheckpointData::Mode mode) const {
+    CheckpointData data;
+    data.mode = mode;
+    data.next_depth = next_depth;
+    data.transitions = stats.transitions;
+    data.dedup_skips = stats.dedup_skips;
+    data.visited.reserve(visited.size());
+    for (const auto& [key, info] : visited) {
+      CheckpointEntry e;
+      e.key = key;
+      e.parent = info.is_root ? key : info.parent;
+      e.choice = info.choice_code;
+      e.depth = info.depth;
+      e.flags = info.is_root ? CheckpointEntry::kRootFlag : 0;
+      data.visited.push_back(e);
+    }
+    data.frontier = level;
+    return data;
+  }
+
   CheckResultT<State> run(const Violation* violation, const Goal* goal,
                           std::uint64_t max_states,
-                          const util::CancelToken* cancel) const {
+                          const util::CancelToken* cancel,
+                          const CheckpointConfig* checkpoint = nullptr) const {
     const auto t0 = std::chrono::steady_clock::now();
     CheckResultT<State> result;
+    const CheckpointData::Mode ckpt_mode =
+        violation ? CheckpointData::Mode::kSafetyCheck
+                  : CheckpointData::Mode::kFindState;
 
     std::unordered_map<util::PackedState, ParentInfo> visited;
 
@@ -338,17 +384,38 @@ class Checker {
       return steps;
     };
 
-    State init = model_->initial();
-    util::PackedState init_packed = model_->pack(init);
-    visited.emplace(init_packed, ParentInfo{{}, 0, 0, true});
-    std::vector<util::PackedState> level{init_packed};
-    if (goal && (*goal)(init)) {
-      finish(false, Verdict::kViolated);
-      return result;  // goal reachable at depth 0, empty witness
+    std::vector<util::PackedState> level;
+    std::uint32_t start_depth = 0;
+    if (checkpoint) {
+      CheckpointData data;
+      if (load_checkpoint(*checkpoint, &data, ckpt_mode)) {
+        visited.reserve(data.visited.size());
+        for (const CheckpointEntry& e : data.visited) {
+          visited.emplace(
+              e.key,
+              ParentInfo{e.parent, e.choice, e.depth,
+                         (e.flags & CheckpointEntry::kRootFlag) != 0});
+        }
+        level = std::move(data.frontier);
+        start_depth = data.next_depth;
+        result.stats.transitions = data.transitions;
+        result.stats.dedup_skips = data.dedup_skips;
+        result.stats.resumed = true;
+      }
+    }
+    if (!result.stats.resumed) {
+      State init = model_->initial();
+      util::PackedState init_packed = model_->pack(init);
+      visited.emplace(init_packed, ParentInfo{{}, 0, 0, true});
+      level.push_back(init_packed);
+      if (goal && (*goal)(init)) {
+        finish(false, Verdict::kViolated);
+        return result;  // goal reachable at depth 0, empty witness
+      }
     }
 
     bool was_cancelled = false;
-    for (std::uint32_t depth = 0;; ++depth) {
+    for (std::uint32_t depth = start_depth;; ++depth) {
       if (visited.size() > max_states) {
         result.stats.exhausted = false;
         break;
@@ -424,6 +491,15 @@ class Checker {
       }
       if (next_level.empty()) break;
       level = std::move(next_level);
+      // Level barrier: persist the wavefront so a later run — after a
+      // crash, a fired deadline, or a budget bail — continues from here
+      // instead of re-exploring everything. Best-effort by design.
+      if (checkpoint &&
+          (depth + 1) % std::max(1u, checkpoint->every_levels) == 0) {
+        save_checkpoint(*checkpoint,
+                        make_checkpoint(visited, level, depth + 1,
+                                        result.stats, ckpt_mode));
+      }
     }
 
     if (was_cancelled) {

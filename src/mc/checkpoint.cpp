@@ -1,0 +1,180 @@
+#include "mc/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "util/crc32.h"
+
+namespace tta::mc {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x31544B43'41545427ull;  // "'TATCKT1" tag
+constexpr std::uint32_t kVersion = 1;
+
+/// Serialization cursor over a growing byte buffer (writing) or a fixed
+/// one (reading). Little-endian fixed-width fields, like the JobSpec
+/// canonical encoding.
+struct ByteWriter {
+  std::vector<std::uint8_t>* out;
+
+  void u8(std::uint8_t v) { out->push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void packed(const util::PackedState& s) {
+    for (std::uint64_t w : s.words) u64(w);
+  }
+};
+
+struct ByteReader {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+  bool ok = true;
+
+  bool need(std::size_t n) {
+    if (static_cast<std::size_t>(end - p) < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return *p++;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(*p++) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(*p++) << (8 * i);
+    return v;
+  }
+  util::PackedState packed() {
+    util::PackedState s;
+    for (std::uint64_t& w : s.words) w = u64();
+    return s;
+  }
+};
+
+}  // namespace
+
+bool save_checkpoint(const CheckpointConfig& config,
+                     const CheckpointData& data) {
+  if (config.path.empty()) return false;
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(64 + data.visited.size() * 73 + data.frontier.size() * 32);
+  ByteWriter w{&bytes};
+  w.u64(kMagic);
+  w.u32(kVersion);
+  w.u64(config.binding);
+  w.u8(static_cast<std::uint8_t>(data.mode));
+  w.u32(data.next_depth);
+  w.u64(data.transitions);
+  w.u64(data.dedup_skips);
+  w.u64(data.visited.size());
+  w.u64(data.frontier.size());
+  for (const CheckpointEntry& e : data.visited) {
+    w.packed(e.key);
+    w.packed(e.parent);
+    w.u32(e.choice);
+    w.u32(e.depth);
+    w.u8(e.flags);
+  }
+  for (const util::PackedState& s : data.frontier) w.packed(s);
+  const std::uint32_t crc = util::crc32(bytes.data(), bytes.size());
+  w.u32(crc);
+
+  const std::string tmp = config.path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, config.path, ec);
+  return !ec;
+}
+
+bool load_checkpoint(const CheckpointConfig& config, CheckpointData* data,
+                     CheckpointData::Mode expected_mode) {
+  if (config.path.empty()) return false;
+  std::FILE* f = std::fopen(config.path.c_str(), "rb");
+  if (!f) return false;
+  std::vector<std::uint8_t> bytes;
+  {
+    std::uint8_t buf[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + got);
+    }
+  }
+  std::fclose(f);
+  if (bytes.size() < 4) return false;
+  const std::size_t body = bytes.size() - 4;
+  ByteReader trailer{bytes.data() + body, bytes.data() + bytes.size()};
+  if (trailer.u32() != util::crc32(bytes.data(), body)) return false;
+
+  ByteReader r{bytes.data(), bytes.data() + body};
+  if (r.u64() != kMagic) return false;
+  if (r.u32() != kVersion) return false;
+  if (r.u64() != config.binding) return false;
+  const std::uint8_t mode = r.u8();
+  if (mode != static_cast<std::uint8_t>(expected_mode)) return false;
+
+  CheckpointData out;
+  out.mode = expected_mode;
+  out.next_depth = r.u32();
+  out.transitions = r.u64();
+  out.dedup_skips = r.u64();
+  const std::uint64_t visited_count = r.u64();
+  const std::uint64_t frontier_count = r.u64();
+  if (!r.ok) return false;
+  // The CRC already vouches for the byte count; these bounds only guard
+  // against allocating on a count field from a hostile/foreign file.
+  if (visited_count * 73 + frontier_count * 32 >
+      static_cast<std::uint64_t>(body)) {
+    return false;
+  }
+  out.visited.resize(visited_count);
+  for (CheckpointEntry& e : out.visited) {
+    e.key = r.packed();
+    e.parent = r.packed();
+    e.choice = r.u32();
+    e.depth = r.u32();
+    e.flags = r.u8();
+  }
+  out.frontier.resize(frontier_count);
+  for (util::PackedState& s : out.frontier) s = r.packed();
+  if (!r.ok || r.p != r.end || out.frontier.empty()) return false;
+  *data = std::move(out);
+  return true;
+}
+
+void remove_checkpoint(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(path + ".tmp", ec);
+}
+
+}  // namespace tta::mc

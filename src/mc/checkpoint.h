@@ -1,0 +1,92 @@
+// Checkpoint/resume for the BFS reachability engines.
+//
+// A long 6-node run explores tens of millions of states over hours; losing
+// all of it to a deadline, a crash, or a restart is exactly the kind of
+// centralized-failure cost this project studies. Both engines therefore
+// can serialize their level-synchronized BFS wavefront — the visited set
+// with parent links plus the current frontier *in order* — to a checkpoint
+// file at level barriers, and resume an interrupted run to a bit-identical
+// result: same verdict, same states/transitions/max_depth, same
+// counterexample. Bit-identity holds because the engines are deterministic
+// given a frontier order, and the checkpoint preserves that order exactly.
+//
+// The file format is versioned, bound to the query (the caller supplies a
+// binding digest — the service uses JobSpec::digest()), and closed by a
+// CRC-32 trailer over every preceding byte (util::crc32). Publication is
+// atomic: the writer produces `path.tmp` and renames it over `path`, so a
+// crash mid-checkpoint leaves the previous checkpoint intact. A missing,
+// corrupt, torn, or mismatched checkpoint is *not* an error — load fails
+// softly and the engine simply starts fresh, which is always correct.
+//
+// Scope: check() and find_state() on both engines. check_recoverability()
+// additionally accumulates the full edge list for the backward closure;
+// checkpointing that is out of scope (an interrupted recoverability run
+// re-executes), which the service layer documents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitpack.h"
+
+namespace tta::mc {
+
+struct CheckpointConfig {
+  std::string path;
+  /// Caller-chosen query identity (the service passes JobSpec::digest());
+  /// a checkpoint written under a different binding is ignored on load.
+  std::uint64_t binding = 0;
+  /// Write a checkpoint every N completed BFS levels. 1 checkpoints at
+  /// every barrier — right for this model family's level sizes; raise it
+  /// when frontier serialization starts to rival level expansion cost.
+  std::uint32_t every_levels = 1;
+};
+
+/// One visited state: its packed key, its BFS parent (as a packed key, not
+/// a slot index — slot indices do not survive a restart), the choice code
+/// that replays parent -> state, and the depth. Roots carry kRootFlag and
+/// reference themselves as parent.
+struct CheckpointEntry {
+  static constexpr std::uint8_t kRootFlag = 1;
+
+  util::PackedState key;
+  util::PackedState parent;
+  std::uint32_t choice = 0;
+  std::uint32_t depth = 0;
+  std::uint8_t flags = 0;
+};
+
+/// The engine-agnostic wavefront snapshot both engines save and restore.
+struct CheckpointData {
+  /// What kind of query the wavefront belongs to; a safety checkpoint must
+  /// not resume a reachability query (their per-level verdict logic
+  /// differs), so load rejects a mode mismatch.
+  enum class Mode : std::uint8_t { kSafetyCheck = 0, kFindState = 1 };
+
+  Mode mode = Mode::kSafetyCheck;
+  std::uint32_t next_depth = 0;  ///< the level the resumed run expands first
+  std::uint64_t transitions = 0;   ///< stats accumulated before the barrier
+  std::uint64_t dedup_skips = 0;
+  std::vector<CheckpointEntry> visited;
+  /// The frontier at the barrier, in exactly the engine's expansion order
+  /// (this order decides which minimal counterexample is reported, so it
+  /// is part of the bit-identity contract).
+  std::vector<util::PackedState> frontier;
+};
+
+/// Serializes `data` to config.path atomically (tmp + rename). Best-effort:
+/// returns false on I/O failure and the engine carries on unchecked.
+bool save_checkpoint(const CheckpointConfig& config,
+                     const CheckpointData& data);
+
+/// Loads and validates a checkpoint. Returns false — never throws, never
+/// aborts — when the file is missing, torn, CRC-corrupt, of a different
+/// format version, bound to a different query, or of a different mode.
+bool load_checkpoint(const CheckpointConfig& config, CheckpointData* data,
+                     CheckpointData::Mode expected_mode);
+
+/// Removes a checkpoint file (after its run concluded). Missing is fine.
+void remove_checkpoint(const std::string& path);
+
+}  // namespace tta::mc

@@ -61,19 +61,28 @@ class ParallelChecker {
     growth_headroom_ = per_frontier_state;
   }
 
-  /// Exhaustive safety check; see Checker::check.
+  /// Exhaustive safety check; see Checker::check. `checkpoint` makes the
+  /// search resumable across restarts (mc/checkpoint.h); parent slot
+  /// indices are converted to packed keys on save and rebuilt on load, so
+  /// a serial-written checkpoint even resumes under this engine and vice
+  /// versa — the wavefront is engine-agnostic.
   CheckResultT<State> check(const Violation& violation,
                             std::uint64_t max_states = 50'000'000,
-                            const util::CancelToken* cancel = nullptr) const {
-    return run(&violation, nullptr, max_states, nullptr, nullptr, cancel);
+                            const util::CancelToken* cancel = nullptr,
+                            const CheckpointConfig* checkpoint =
+                                nullptr) const {
+    return run(&violation, nullptr, max_states, nullptr, nullptr, cancel,
+               checkpoint);
   }
 
   /// Shortest witness to a goal state; see Checker::find_state.
   CheckResultT<State> find_state(const Goal& goal,
                                  std::uint64_t max_states = 50'000'000,
-                                 const util::CancelToken* cancel =
+                                 const util::CancelToken* cancel = nullptr,
+                                 const CheckpointConfig* checkpoint =
                                      nullptr) const {
-    return run(nullptr, &goal, max_states, nullptr, nullptr, cancel);
+    return run(nullptr, &goal, max_states, nullptr, nullptr, cancel,
+               checkpoint);
   }
 
   /// AG EF goal; see Checker::check_recoverability. The forward pass runs
@@ -269,11 +278,43 @@ class ParallelChecker {
     }
   }
 
+  /// Converts the table + frontier into the engine-agnostic checkpoint
+  /// form: parent slot indices become packed keys (slots do not survive a
+  /// restart), the frontier keeps its exact expansion order.
+  CheckpointData make_checkpoint(const Table& table,
+                                 const std::vector<std::uint32_t>& level,
+                                 std::uint32_t next_depth,
+                                 const CheckStats& stats,
+                                 CheckpointData::Mode mode) const {
+    CheckpointData data;
+    data.mode = mode;
+    data.next_depth = next_depth;
+    data.transitions = stats.transitions;
+    data.dedup_skips = stats.dedup_skips;
+    data.visited.reserve(table.size());
+    for (std::uint32_t s = 0; s < table.capacity(); ++s) {
+      if (!table.occupied(s)) continue;
+      const NodeInfo& info = table.value_at(s);
+      CheckpointEntry e;
+      e.key = table.key_at(s);
+      e.parent = (info.flags & kRootFlag) ? table.key_at(s)
+                                          : table.key_at(info.parent);
+      e.choice = info.choice;
+      e.depth = info.depth;
+      e.flags = (info.flags & kRootFlag) ? CheckpointEntry::kRootFlag : 0;
+      data.visited.push_back(e);
+    }
+    data.frontier.reserve(level.size());
+    for (std::uint32_t s : level) data.frontier.push_back(table.key_at(s));
+    return data;
+  }
+
   CheckResultT<State> run(const Violation* violation, const Goal* goal,
                           std::uint64_t max_states,
                           const ForwardGraph* graph,
                           CheckStats* stats_out = nullptr,
-                          const util::CancelToken* cancel = nullptr) const {
+                          const util::CancelToken* cancel = nullptr,
+                          const CheckpointConfig* checkpoint = nullptr) const {
     const auto t0 = std::chrono::steady_clock::now();
     CheckResultT<State> result;
 
@@ -281,6 +322,12 @@ class ParallelChecker {
     Table& table = graph ? *graph->table : local_table;
     std::vector<Edge>* edges = graph ? graph->edges : nullptr;
     const Goal* tag_goal = graph ? graph->goal : nullptr;
+    // Recoverability's forward pass also accumulates the edge list, which
+    // the checkpoint format does not carry — graph mode never checkpoints.
+    const CheckpointConfig* ckpt = graph ? nullptr : checkpoint;
+    const CheckpointData::Mode ckpt_mode =
+        violation ? CheckpointData::Mode::kSafetyCheck
+                  : CheckpointData::Mode::kFindState;
 
     auto finish = [&](bool holds, Verdict verdict) {
       result.holds = holds;
@@ -290,15 +337,59 @@ class ParallelChecker {
       if (stats_out) *stats_out = result.stats;
     };
 
-    State init = model_->initial();
-    NodeInfo root{0, 0, 0, kRootFlag};
-    if (tag_goal && (*tag_goal)(init)) root.flags |= kGoalFlag;
-    typename Table::Insert ins = table.insert(model_->pack(init), root);
-    TTA_CHECK(ins.inserted);
-    std::vector<std::uint32_t> level{ins.slot};
-    if (goal && (*goal)(init)) {
-      finish(false, Verdict::kViolated);
-      return result;  // goal reachable at depth 0, empty witness
+    std::vector<std::uint32_t> level;
+    std::uint32_t start_depth = 0;
+    if (ckpt) {
+      CheckpointData data;
+      if (load_checkpoint(*ckpt, &data, ckpt_mode)) {
+        // Restore in two passes: inserts assign fresh slots, then parent
+        // keys are resolved back into slot indices. The frontier keeps its
+        // checkpointed order, which the bit-identity contract depends on.
+        const std::size_t needed =
+            data.visited.size() + growth_headroom_ * data.frontier.size();
+        if (needed >= table.max_load()) {
+          std::size_t cap = table.capacity();
+          while (cap - cap / 4 <= needed) cap <<= 1;
+          table.rebuild(cap);
+        }
+        for (const CheckpointEntry& e : data.visited) {
+          NodeInfo info{0, e.choice, e.depth,
+                        (e.flags & CheckpointEntry::kRootFlag)
+                            ? kRootFlag
+                            : std::uint8_t{0}};
+          typename Table::Insert r = table.insert(e.key, info);
+          TTA_CHECK(r.inserted);
+        }
+        for (const CheckpointEntry& e : data.visited) {
+          if (e.flags & CheckpointEntry::kRootFlag) continue;
+          const std::uint32_t slot = table.find(e.key);
+          const std::uint32_t parent = table.find(e.parent);
+          TTA_CHECK(slot != Table::kNoSlot && parent != Table::kNoSlot);
+          table.value_at(slot).parent = parent;
+        }
+        level.reserve(data.frontier.size());
+        for (const util::PackedState& s : data.frontier) {
+          const std::uint32_t slot = table.find(s);
+          TTA_CHECK(slot != Table::kNoSlot);
+          level.push_back(slot);
+        }
+        start_depth = data.next_depth;
+        result.stats.transitions = data.transitions;
+        result.stats.dedup_skips = data.dedup_skips;
+        result.stats.resumed = true;
+      }
+    }
+    if (!result.stats.resumed) {
+      State init = model_->initial();
+      NodeInfo root{0, 0, 0, kRootFlag};
+      if (tag_goal && (*tag_goal)(init)) root.flags |= kGoalFlag;
+      typename Table::Insert ins = table.insert(model_->pack(init), root);
+      TTA_CHECK(ins.inserted);
+      level.push_back(ins.slot);
+      if (goal && (*goal)(init)) {
+        finish(false, Verdict::kViolated);
+        return result;  // goal reachable at depth 0, empty witness
+      }
     }
 
     const unsigned tasks = pool_.size();
@@ -314,7 +405,7 @@ class ParallelChecker {
     // cache is reset whenever a chunk starts a level.
     std::vector<DedupCache> dedup(tasks);
     bool was_cancelled = false;
-    for (std::uint32_t depth = 0;; ++depth) {
+    for (std::uint32_t depth = start_depth;; ++depth) {
       if (table.size() > max_states) {
         result.stats.exhausted = false;
         break;
@@ -485,6 +576,12 @@ class ParallelChecker {
         next_level.insert(next_level.end(), chunk.begin(), chunk.end());
       }
       level = std::move(next_level);
+      // Level barrier (single-threaded here): persist the wavefront so an
+      // interrupted run resumes instead of re-exploring. Best-effort.
+      if (ckpt && (depth + 1) % std::max(1u, ckpt->every_levels) == 0) {
+        save_checkpoint(*ckpt, make_checkpoint(table, level, depth + 1,
+                                               result.stats, ckpt_mode));
+      }
     }
 
     if (was_cancelled) {

@@ -23,6 +23,7 @@ const char* to_string(EngineChoice engine) {
     case EngineChoice::kSerial: return "serial";
     case EngineChoice::kParallel: return "parallel";
     case EngineChoice::kAuto: return "auto";
+    case EngineChoice::kRedundant: return "redundant";
   }
   return "?";
 }
@@ -165,7 +166,7 @@ bool parse_property(const std::string& v, Property* out) {
 
 bool parse_engine(const std::string& v, EngineChoice* out) {
   for (EngineChoice e : {EngineChoice::kSerial, EngineChoice::kParallel,
-                         EngineChoice::kAuto}) {
+                         EngineChoice::kAuto, EngineChoice::kRedundant}) {
     if (v == to_string(e)) {
       *out = e;
       return true;

@@ -38,6 +38,13 @@ enum class EngineChoice : std::uint8_t {
   kSerial = 0,    ///< single-threaded reference Checker
   kParallel = 1,  ///< level-synchronized ParallelChecker
   kAuto = 2,      ///< service picks by estimated cost
+  /// Mirrors the paper's dual star couplers: the same query runs on BOTH
+  /// engines concurrently and the verdicts + statistics are cross-checked.
+  /// Disagreement surfaces as mc::Verdict::kEngineDivergence — a standing
+  /// correctness tripwire for the lock-free table — while one engine
+  /// stalling (deadline, budget) is masked by the other's conclusive
+  /// answer. Costs roughly the sum of both engines.
+  kRedundant = 3,
 };
 
 const char* to_string(Property property);

@@ -80,6 +80,26 @@ std::string Metrics::dump() const {
                 states_per_second());
   out += buf;
   std::snprintf(buf, sizeof buf,
+                "persistent: hits=%llu recovered=%llu corrupt=%llu "
+                "truncated=%llu quarantined_bytes=%llu compactions=%llu\n",
+                static_cast<unsigned long long>(v(persistent_hits)),
+                static_cast<unsigned long long>(v(persistent_recovered)),
+                static_cast<unsigned long long>(v(persistent_corrupt_records)),
+                static_cast<unsigned long long>(
+                    v(persistent_truncated_records)),
+                static_cast<unsigned long long>(
+                    v(persistent_quarantined_bytes)),
+                static_cast<unsigned long long>(v(persistent_compactions)));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "resilience: retried=%llu redundant=%llu divergence=%llu "
+                "resumes=%llu\n",
+                static_cast<unsigned long long>(v(jobs_retried)),
+                static_cast<unsigned long long>(v(redundant_runs)),
+                static_cast<unsigned long long>(v(engine_divergence)),
+                static_cast<unsigned long long>(v(checkpoint_resumes)));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
                 "queue latency: mean=%.6fs p50<=%.6fs p99<=%.6fs  %s\n",
                 queue_latency.mean_seconds(),
                 queue_latency.quantile_seconds(0.5),

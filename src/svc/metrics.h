@@ -71,6 +71,20 @@ class Metrics {
   std::atomic<std::uint64_t> states_explored{0};
   std::atomic<std::uint64_t> transitions{0};
   std::atomic<std::uint64_t> engine_micros{0};
+  // Persistent (on-disk) cache: hits served, entries recovered at startup,
+  // and damage tolerated — corrupt frames, torn tails, quarantined bytes.
+  std::atomic<std::uint64_t> persistent_hits{0};
+  std::atomic<std::uint64_t> persistent_recovered{0};
+  std::atomic<std::uint64_t> persistent_corrupt_records{0};
+  std::atomic<std::uint64_t> persistent_truncated_records{0};
+  std::atomic<std::uint64_t> persistent_quarantined_bytes{0};
+  std::atomic<std::uint64_t> persistent_compactions{0};
+  // Fault-tolerance machinery: retry re-admissions, redundant dual-engine
+  // runs, cross-check disagreements, checkpoint resumes.
+  std::atomic<std::uint64_t> jobs_retried{0};
+  std::atomic<std::uint64_t> redundant_runs{0};
+  std::atomic<std::uint64_t> engine_divergence{0};
+  std::atomic<std::uint64_t> checkpoint_resumes{0};
 
   LatencyHistogram queue_latency;  ///< admission -> dispatch
   LatencyHistogram job_latency;    ///< dispatch -> result (incl. cache hits)

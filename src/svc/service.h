@@ -12,21 +12,50 @@
 // verdict. The design follows the job-oriented frontends of multi-query
 // model-checking toolsets (LTSmin's pins frontends): declarative query
 // descriptions, pluggable engines, shared result storage.
+//
+// Fault-tolerance layers (docs/SERVICE.md):
+//   * cache_dir enables the crash-safe PersistentCache under the LRU, so
+//     conclusive verdicts survive restarts and SIGKILL;
+//   * checkpoint_dir enables BFS checkpoint/resume in the engines, so a
+//     killed long run resumes at its last level barrier bit-identically;
+//   * RetryPolicy re-admits kInconclusive jobs (deadline / budget bails)
+//     with exponential backoff and an escalating deadline;
+//   * EngineChoice::kRedundant cross-checks both engines' answers and
+//     surfaces disagreement as mc::Verdict::kEngineDivergence.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "svc/job_spec.h"
 #include "svc/metrics.h"
+#include "svc/persistent_cache.h"
 #include "svc/result_cache.h"
+#include "util/backoff.h"
 #include "util/thread_pool.h"
 
 namespace tta::svc {
+
+/// Re-admission of jobs whose attempt ended kInconclusive — the soft
+/// deadline fired or the state budget bailed. Those are properties of the
+/// *attempt*, not the query, so a later attempt with a longer leash can
+/// still conclude. Retries never change max_states (that is part of the
+/// query digest — a different budget is a different query).
+struct RetryPolicy {
+  /// Total attempts per job including the first; 1 disables retries.
+  unsigned max_attempts = 1;
+  /// Each retry multiplies the job's soft deadline by this (jobs with no
+  /// deadline just rerun and rely on the backoff for changed conditions).
+  double deadline_escalation = 2.0;
+  /// Deterministic exponential backoff slept between retry rounds.
+  util::BackoffPolicy backoff;
+};
 
 struct ServiceConfig {
   std::size_t cache_capacity = 256;
@@ -42,6 +71,16 @@ struct ServiceConfig {
   /// EngineChoice::kAuto picks the parallel engine when the estimated
   /// state count exceeds this (small spaces aren't worth the coordination).
   double auto_parallel_threshold = 500'000.0;
+  /// Directory for the crash-safe persistent result cache; empty disables
+  /// it (in-memory LRU only).
+  std::string cache_dir;
+  /// Directory for engine BFS checkpoints (one file per job digest); empty
+  /// disables checkpoint/resume. Redundant jobs and recoverability queries
+  /// never checkpoint — see docs/SERVICE.md.
+  std::string checkpoint_dir;
+  RetryPolicy retry;
+  /// Journal appends between persistent-cache compactions.
+  std::size_t persistent_compact_after = 1024;
 };
 
 /// Priority queue of admitted jobs, cheapest estimated cost first (the E4
@@ -85,12 +124,14 @@ class VerificationService {
  public:
   explicit VerificationService(ServiceConfig config = {});
 
-  /// Runs one job through the cache + engines, synchronously.
+  /// Runs one job through the caches + engines (+ retries), synchronously.
+  /// Equivalent to run_batch({spec})[0].
   JobResult run(const JobSpec& spec);
 
   /// Runs a batch: admission, cheapest-first dispatch across the worker
-  /// pool, results in the caller's submission order. Every job completes
-  /// or returns an explicit rejected / kInconclusive result.
+  /// pool, retry rounds for inconclusive attempts, results in the caller's
+  /// submission order. Every job completes or returns an explicit
+  /// rejected / kInconclusive result.
   std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs);
 
   const ServiceConfig& config() const { return config_; }
@@ -98,19 +139,40 @@ class VerificationService {
   const Metrics& metrics() const { return metrics_; }
   ResultCache& cache() { return cache_; }
   const ResultCache& cache() const { return cache_; }
+  /// Null unless ServiceConfig::cache_dir is set.
+  PersistentCache* persistent() { return persistent_.get(); }
 
  private:
-  /// Cache probe + engine dispatch + cache fill + metrics, for one job.
+  /// Cache probes + engine dispatch + cache fills + metrics, for one job.
   JobResult process(const JobSpec& spec,
                     std::chrono::steady_clock::time_point admitted_at);
 
-  /// Raw engine dispatch (no cache, no metrics).
+  /// Raw engine dispatch (no cache, no metrics). Fans out to both engines
+  /// for EngineChoice::kRedundant.
   JobResult execute(const JobSpec& spec) const;
+
+  /// One engine invocation; `allow_checkpoint` is false inside redundant
+  /// fan-out (two engines must not share one checkpoint file).
+  JobResult execute_single(const JobSpec& spec, bool allow_checkpoint) const;
+
+  /// Path of the engine checkpoint for `spec`, or "" when disabled.
+  std::string checkpoint_path(const JobSpec& spec) const;
 
   ServiceConfig config_;
   ResultCache cache_;
   Metrics metrics_;
+  std::unique_ptr<PersistentCache> persistent_;
   util::ThreadPool pool_;
 };
+
+/// Merges the results of a redundant dual-engine run (exposed for tests).
+/// Rules: both conclusive and agreeing (verdict + state counts + depth +
+/// trace length) -> the serial reference result with the parallel stats
+/// attached; both conclusive but disagreeing -> kEngineDivergence with
+/// both stat blocks and no trace; exactly one conclusive -> that answer
+/// (the redundancy payoff: one stalled engine no longer blocks the job);
+/// neither conclusive -> a merged kInconclusive.
+JobResult cross_check_results(const JobResult& serial,
+                              const JobResult& parallel);
 
 }  // namespace tta::svc

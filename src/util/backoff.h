@@ -1,0 +1,36 @@
+// Deterministic exponential backoff schedule.
+//
+// Used by the verification service's retry path: a job whose soft deadline
+// fired is re-admitted only after a growing delay, so a batch that hit a
+// transient stall (machine load, an over-tight deadline) does not hammer
+// the engines in a tight loop. The schedule is a pure function of the
+// attempt number — no RNG, no clock — so tests can pin it exactly and two
+// runs of the same batch back off identically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tta::util {
+
+struct BackoffPolicy {
+  std::uint32_t initial_delay_ms = 10;
+  double multiplier = 2.0;
+  std::uint32_t max_delay_ms = 2'000;
+
+  /// Delay before retry number `retry` (1-based: the delay between the
+  /// first failure and the second attempt is delay_ms(1)). Grows
+  /// geometrically from initial_delay_ms and saturates at max_delay_ms.
+  std::uint32_t delay_ms(unsigned retry) const {
+    if (retry == 0) return 0;
+    double d = static_cast<double>(initial_delay_ms);
+    for (unsigned i = 1; i < retry; ++i) {
+      d *= multiplier;
+      if (d >= static_cast<double>(max_delay_ms)) break;
+    }
+    return static_cast<std::uint32_t>(
+        std::min(d, static_cast<double>(max_delay_ms)));
+  }
+};
+
+}  // namespace tta::util

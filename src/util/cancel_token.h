@@ -14,6 +14,16 @@
 //     steady_clock::now() passes it.
 // Deadline checks call the clock only every kClockPollPeriod polls, so the
 // per-state cost of polling is a relaxed atomic load.
+//
+// Overshoot bound: because the clock is consulted only every
+// kClockPollPeriod-th cancelled() call, a fired deadline is observed at
+// most kClockPollPeriod polls after the clock actually passed it — i.e.
+// the engines expand at most kClockPollPeriod - 1 further states beyond
+// the first post-deadline poll, plus whatever one clock read costs. Level
+// barriers use cancelled_now(), which forces the clock check, so a stale
+// deadline never survives into another BFS level. The bound is pinned by
+// CancelTokenDeadline.OvershootIsBoundedByTheClockPollPeriod in
+// tests/mc_cancel_test.cpp.
 #pragma once
 
 #include <atomic>
@@ -24,6 +34,11 @@ namespace tta::util {
 
 class CancelToken {
  public:
+  /// How many cancelled() polls may pass between deadline clock reads;
+  /// public because it is the worst-case post-deadline overshoot in polls
+  /// (see the header comment) and tests assert against it. Must be 2^k.
+  static constexpr std::uint64_t kClockPollPeriod = 256;
+
   CancelToken() = default;
 
   explicit CancelToken(std::chrono::steady_clock::time_point deadline)
@@ -73,8 +88,6 @@ class CancelToken {
   bool has_deadline() const { return has_deadline_; }
 
  private:
-  static constexpr std::uint64_t kClockPollPeriod = 256;  // must be 2^k
-
   mutable std::atomic<bool> cancelled_{false};
   mutable std::atomic<std::uint64_t> polls_{0};
   std::chrono::steady_clock::time_point deadline_{};

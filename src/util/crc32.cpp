@@ -1,0 +1,60 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace tta::util {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x04C11DB7u;
+
+// MSB-first (non-reflected) table: entry i is the register after clocking
+// the byte i through the polynomial, exactly what wire::Crc computes
+// bit-serially with spec crc32_bzip2().
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t r = i << 24;
+    for (int bit = 0; bit < 8; ++bit) {
+      r = (r & 0x80000000u) ? (r << 1) ^ kPoly : (r << 1);
+    }
+    table[i] = r;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+Crc32& Crc32::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t s = state_;
+  for (std::size_t i = 0; i < len; ++i) {
+    s = (s << 8) ^ kTable[((s >> 24) ^ p[i]) & 0xFFu];
+  }
+  state_ = s;
+  return *this;
+}
+
+Crc32& Crc32::update_u32(std::uint32_t v) {
+  std::uint8_t bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return update(bytes, sizeof bytes);
+}
+
+Crc32& Crc32::update_u64(std::uint64_t v) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return update(bytes, sizeof bytes);
+}
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  return Crc32().update(data, len).value();
+}
+
+}  // namespace tta::util

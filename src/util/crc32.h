@@ -1,0 +1,41 @@
+// Byte-oriented CRC-32 for file formats (journals, snapshots, checkpoints).
+//
+// The wire layer already carries a bit-serial CRC engine (wire::Crc) for
+// frame-level checksums; the persistence layer needs the same error
+// detection over *byte* records at file-write speed. This is the identical
+// polynomial family, computed MSB-first over whole bytes with a 256-entry
+// table: CRC-32/BZIP2 (poly 0x04C11DB7, init/xorout 0xFFFFFFFF,
+// non-reflected). Non-reflected is chosen deliberately so the value can be
+// cross-validated bit-for-bit against wire::Crc running the same spec
+// (wire::crc32_bzip2()) — util_file_journal_test.cpp pins that equivalence,
+// which keeps the two CRC implementations from silently drifting apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tta::util {
+
+/// Incremental CRC-32/BZIP2 over a byte stream.
+class Crc32 {
+ public:
+  Crc32& update(const void* data, std::size_t len);
+  Crc32& update_u32(std::uint32_t v);  ///< little-endian, like Fnv1a64
+  Crc32& update_u64(std::uint64_t v);
+
+  /// Final value (xorout applied; the running state is not disturbed).
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC of a byte buffer.
+std::uint32_t crc32(const void* data, std::size_t len);
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace tta::util

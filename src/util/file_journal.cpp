@@ -1,0 +1,138 @@
+#include "util/file_journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <system_error>
+
+#include "util/crc32.h"
+
+namespace tta::util {
+
+namespace {
+
+/// Sanity cap on one record: a length field beyond this is corruption, not
+/// a record the cache could ever have written.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void write_u32le(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+}  // namespace
+
+JournalScan scan_journal(
+    const std::string& path,
+    const std::function<void(const std::uint8_t*, std::size_t)>& fn) {
+  JournalScan scan;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    scan.file_missing = true;
+    return scan;
+  }
+
+  std::vector<std::uint8_t> payload;
+  std::uint64_t offset = 0;
+  for (;;) {
+    std::uint8_t header[8];
+    const std::size_t got = std::fread(header, 1, sizeof header, f);
+    if (got == 0) break;  // clean end of file
+    if (got < sizeof header) {
+      // Torn header: the process died mid-write of the frame itself.
+      scan.truncated_records = 1;
+      scan.quarantined_bytes += got;
+      break;
+    }
+    const std::uint32_t len = read_u32le(header);
+    const std::uint32_t crc = read_u32le(header + 4);
+    if (len > kMaxRecordBytes) {
+      // A length this absurd means the header bytes themselves are damaged.
+      scan.corrupt_records = 1;
+      scan.quarantined_bytes += sizeof header;
+      break;
+    }
+    payload.resize(len);
+    const std::size_t body = std::fread(payload.data(), 1, len, f);
+    if (body < len) {
+      scan.truncated_records = 1;
+      scan.quarantined_bytes += sizeof header + body;
+      break;
+    }
+    if (crc32(payload.data(), len) != crc) {
+      scan.corrupt_records = 1;
+      scan.quarantined_bytes += sizeof header + len;
+      break;
+    }
+    offset += sizeof header + len;
+    ++scan.records;
+    if (fn) fn(payload.data(), payload.size());
+  }
+  scan.valid_bytes = offset;
+
+  // Everything after the valid prefix is quarantined, including bytes the
+  // loop never looked at (e.g. records behind a corrupt one).
+  std::error_code ec;
+  const std::uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (!ec && file_size > offset) {
+    scan.quarantined_bytes = file_size - offset;
+  }
+  std::fclose(f);
+  return scan;
+}
+
+bool JournalWriter::open(const std::string& path, std::uint64_t keep_bytes) {
+  close();
+  // Create the file if it does not exist, then physically drop any
+  // quarantined tail so new appends land directly after the valid prefix.
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    std::FILE* create = std::fopen(path.c_str(), "wb");
+    if (!create) return false;
+    std::fclose(create);
+  }
+  std::filesystem::resize_file(path, keep_bytes, ec);
+  if (ec) return false;
+  file_ = std::fopen(path.c_str(), "ab");
+  if (!file_) return false;
+  bytes_written_ = keep_bytes;
+  return true;
+}
+
+bool JournalWriter::append(const void* payload, std::size_t len) {
+  if (!file_ || len > SIZE_MAX - 8) return false;
+  std::uint8_t header[8];
+  write_u32le(header, static_cast<std::uint32_t>(len));
+  write_u32le(header + 4, crc32(payload, len));
+  if (std::fwrite(header, 1, sizeof header, file_) != sizeof header) {
+    return false;
+  }
+  if (len > 0 && std::fwrite(payload, 1, len, file_) != len) return false;
+  // Push the record into the kernel so it survives SIGKILL; stable-storage
+  // durability is sync()'s job.
+  if (std::fflush(file_) != 0) return false;
+  bytes_written_ += sizeof header + len;
+  return true;
+}
+
+bool JournalWriter::sync() {
+  if (!file_) return false;
+  if (std::fflush(file_) != 0) return false;
+  return ::fsync(::fileno(file_)) == 0;
+}
+
+void JournalWriter::close() {
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace tta::util

@@ -1,0 +1,94 @@
+// Append-only journal of checksummed byte records, with crash-tolerant
+// recovery.
+//
+// This is the storage primitive under svc::PersistentCache (and usable for
+// any write-ahead log): a file holding a sequence of framed records
+//
+//   [u32 payload_length][u32 crc32(payload)][payload bytes]
+//
+// appended strictly at the tail. The writer flushes every record to the
+// OS (fflush) so the data survives a SIGKILL of the process; fsync is
+// explicit (sync()) and reserved for points where surviving an OS crash
+// matters — snapshot publication, shutdown.
+//
+// Recovery (scan_journal) is the fault-tolerant half of the contract: the
+// scan walks the file record by record and *stops* at the first frame that
+// is truncated (fewer bytes than the header promises) or corrupt (CRC
+// mismatch, absurd length). Everything before that point is delivered to
+// the caller; everything from it onward is quarantined — counted, reported,
+// and truncated away when a writer reopens the file — never a crash, never
+// an abort. A torn final write, the expected failure mode of a killed
+// process, therefore costs exactly the record that was in flight.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tta::util {
+
+/// Outcome of scanning a journal file for valid records.
+struct JournalScan {
+  std::uint64_t valid_bytes = 0;   ///< length of the intact record prefix
+  std::uint64_t records = 0;       ///< records recovered from the prefix
+  std::uint64_t corrupt_records = 0;   ///< 1 if the scan hit a CRC mismatch
+  std::uint64_t truncated_records = 0; ///< 1 if the tail frame was torn
+  std::uint64_t quarantined_bytes = 0; ///< bytes past the valid prefix
+  bool file_missing = false;       ///< no file at all (fresh start, not damage)
+
+  bool damaged() const { return corrupt_records + truncated_records > 0; }
+};
+
+/// Reads `path` record by record, invoking `fn(payload, length)` for every
+/// intact record, and stops at the first truncated or corrupt frame. Never
+/// throws and never aborts on damage — the damage is described in the
+/// returned JournalScan instead.
+JournalScan scan_journal(
+    const std::string& path,
+    const std::function<void(const std::uint8_t*, std::size_t)>& fn);
+
+/// Appends framed records to a journal file. Not thread-safe; callers
+/// (svc::PersistentCache) serialize access externally.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter() { close(); }
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Opens `path` for appending after truncating it to `keep_bytes` —
+  /// normally JournalScan::valid_bytes, so a quarantined tail is physically
+  /// removed before new records can land after it. Creates the file if
+  /// missing. Returns false on I/O failure.
+  bool open(const std::string& path, std::uint64_t keep_bytes);
+
+  /// Opens `path` truncated to empty (snapshot writing, tests).
+  bool open_fresh(const std::string& path) { return open(path, 0); }
+
+  /// Frames, checksums, writes, and flushes one record. Returns false on
+  /// I/O failure (the journal is then in an undefined tail state, which
+  /// the next recovery scan handles like any other torn write).
+  bool append(const void* payload, std::size_t len);
+  bool append(const std::vector<std::uint8_t>& payload) {
+    return append(payload.data(), payload.size());
+  }
+
+  /// fsync to stable storage. Use at publication points (snapshot rename,
+  /// shutdown); per-record durability against process death needs only the
+  /// fflush append() already does.
+  bool sync();
+
+  void close();
+
+  bool is_open() const { return file_ != nullptr; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace tta::util

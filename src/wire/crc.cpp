@@ -17,6 +17,10 @@ CrcSpec crc16_ccitt() { return CrcSpec{16, 0x1021, 0xFFFF, 0x0000}; }
 
 CrcSpec crc8_autosar() { return CrcSpec{8, 0x2F, 0xFF, 0xFF}; }
 
+CrcSpec crc32_bzip2() {
+  return CrcSpec{32, 0x04C11DB7, 0xFFFFFFFF, 0xFFFFFFFF};
+}
+
 Crc::Crc(const CrcSpec& spec) : spec_(spec) {
   TTA_CHECK(spec.width >= 8 && spec.width <= 32);
   mask_ = spec.width == 32 ? 0xFFFFFFFFu : ((1u << spec.width) - 1);

@@ -35,6 +35,12 @@ CrcSpec crc16_ccitt();
 /// CRC-8 (poly 0x2F), used by the line-coding self-checks.
 CrcSpec crc8_autosar();
 
+/// CRC-32/BZIP2 (poly 0x04C11DB7, non-reflected). The persistence layer's
+/// byte-oriented util::crc32 computes exactly this spec table-driven;
+/// exposing it here lets the tests cross-validate the two implementations
+/// bit for bit (util_file_journal_test.cpp).
+CrcSpec crc32_bzip2();
+
 class Crc {
  public:
   explicit Crc(const CrcSpec& spec);

@@ -49,6 +49,35 @@ TEST(CancelToken, ManualAndDeadlineFiring) {
   EXPECT_TRUE(deadline.cancelled());
 }
 
+TEST(CancelTokenDeadline, OvershootIsBoundedByTheClockPollPeriod) {
+  // The amortized deadline clock promises (util/cancel_token.h): a fired
+  // deadline is observed at most kClockPollPeriod cancelled() polls after
+  // the clock passed it. Desynchronize the poll counter, let the deadline
+  // fire, and count the polls until observation.
+  util::CancelToken token =
+      util::CancelToken::after(std::chrono::milliseconds(25));
+  // A handful of pre-deadline polls leave the counter mid-period (these
+  // take nanoseconds; the deadline is comfortably far away).
+  for (int i = 0; i < 7; ++i) (void)token.cancelled();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The deadline has passed on the wall clock but the fast path may not
+  // know yet. Poll until it fires: the worst case is one full period.
+  std::uint64_t polls = 0;
+  while (!token.cancelled()) {
+    ++polls;
+    ASSERT_LE(polls, util::CancelToken::kClockPollPeriod)
+        << "deadline overshoot exceeded the documented bound";
+  }
+  EXPECT_LE(polls, util::CancelToken::kClockPollPeriod);
+
+  // cancelled_now() has no such lag: a fresh token past its deadline
+  // reports cancellation on the first forced check.
+  util::CancelToken expired =
+      util::CancelToken::after(std::chrono::milliseconds(-1));
+  EXPECT_TRUE(expired.cancelled_now());
+}
+
 TEST(SerialCancel, PreCancelledCheckIsInconclusive) {
   TtpcStarModel model(config(guardian::Authority::kPassive));
   util::CancelToken token;

@@ -1,0 +1,319 @@
+// Checkpoint/resume for both BFS engines: an interrupted run resumed from
+// its last level barrier must reach a bit-identical result — same verdict,
+// same states/transitions/max_depth, same counterexample — and a damaged,
+// mismatched, or missing checkpoint must fail softly (fresh start), never
+// crash.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mc/checker.h"
+#include "mc/checkpoint.h"
+#include "mc/parallel_checker.h"
+
+namespace tta::mc {
+namespace {
+
+ModelConfig config(guardian::Authority a, std::uint8_t nodes = 4) {
+  ModelConfig cfg;
+  cfg.authority = a;
+  cfg.protocol.num_nodes = nodes;
+  cfg.protocol.num_slots = nodes;
+  return cfg;
+}
+
+std::string test_path(const std::string& name) {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  std::filesystem::path dir = std::filesystem::path(testing::TempDir()) /
+                              "tta_checkpoint" / info->name();
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+CheckpointData sample_data() {
+  CheckpointData data;
+  data.mode = CheckpointData::Mode::kFindState;
+  data.next_depth = 7;
+  data.transitions = 12'345;
+  data.dedup_skips = 99;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    CheckpointEntry e;
+    e.key.words[0] = i + 1;
+    e.key.words[3] = ~i;
+    e.parent.words[0] = i;  // entry 0's "parent" is itself below
+    e.choice = static_cast<std::uint32_t>(i * 3);
+    e.depth = static_cast<std::uint32_t>(i);
+    if (i == 0) {
+      e.parent = e.key;
+      e.flags = CheckpointEntry::kRootFlag;
+    }
+    data.visited.push_back(e);
+  }
+  data.frontier.push_back(data.visited[3].key);
+  data.frontier.push_back(data.visited[4].key);
+  return data;
+}
+
+TEST(CheckpointFile, SaveLoadRoundTripPreservesEverything) {
+  CheckpointConfig cfg{test_path("run.ckpt"), /*binding=*/0xABCDEF01u, 1};
+  const CheckpointData data = sample_data();
+  ASSERT_TRUE(save_checkpoint(cfg, data));
+
+  CheckpointData loaded;
+  ASSERT_TRUE(load_checkpoint(cfg, &loaded, CheckpointData::Mode::kFindState));
+  EXPECT_EQ(loaded.mode, data.mode);
+  EXPECT_EQ(loaded.next_depth, data.next_depth);
+  EXPECT_EQ(loaded.transitions, data.transitions);
+  EXPECT_EQ(loaded.dedup_skips, data.dedup_skips);
+  ASSERT_EQ(loaded.visited.size(), data.visited.size());
+  for (std::size_t i = 0; i < data.visited.size(); ++i) {
+    EXPECT_EQ(loaded.visited[i].key, data.visited[i].key) << i;
+    EXPECT_EQ(loaded.visited[i].parent, data.visited[i].parent) << i;
+    EXPECT_EQ(loaded.visited[i].choice, data.visited[i].choice) << i;
+    EXPECT_EQ(loaded.visited[i].depth, data.visited[i].depth) << i;
+    EXPECT_EQ(loaded.visited[i].flags, data.visited[i].flags) << i;
+  }
+  ASSERT_EQ(loaded.frontier.size(), data.frontier.size());
+  EXPECT_EQ(loaded.frontier[0], data.frontier[0]);
+  EXPECT_EQ(loaded.frontier[1], data.frontier[1]);
+}
+
+TEST(CheckpointFile, LoadFailsSoftlyOnEveryDamageMode) {
+  CheckpointConfig cfg{test_path("run.ckpt"), 42, 1};
+  CheckpointData loaded;
+
+  // Missing file.
+  EXPECT_FALSE(
+      load_checkpoint(cfg, &loaded, CheckpointData::Mode::kSafetyCheck));
+
+  const CheckpointData data = sample_data();
+  ASSERT_TRUE(save_checkpoint(cfg, data));
+
+  // Wrong mode: a reachability wavefront must not resume a safety check.
+  EXPECT_FALSE(
+      load_checkpoint(cfg, &loaded, CheckpointData::Mode::kSafetyCheck));
+
+  // Wrong binding: a checkpoint for a different query is ignored.
+  CheckpointConfig other = cfg;
+  other.binding = 43;
+  EXPECT_FALSE(
+      load_checkpoint(other, &loaded, CheckpointData::Mode::kFindState));
+
+  // Bit flip anywhere trips the CRC trailer.
+  const std::vector<std::uint8_t> intact = read_file(cfg.path);
+  for (std::size_t at : {std::size_t{0}, intact.size() / 2}) {
+    auto damaged = intact;
+    damaged[at] ^= 0x40;
+    write_file(cfg.path, damaged);
+    EXPECT_FALSE(
+        load_checkpoint(cfg, &loaded, CheckpointData::Mode::kFindState))
+        << "flip at " << at;
+  }
+
+  // Torn tail (the crash the tmp+rename publication protects against, but
+  // load must survive it anyway).
+  auto torn = intact;
+  torn.resize(torn.size() / 2);
+  write_file(cfg.path, torn);
+  EXPECT_FALSE(
+      load_checkpoint(cfg, &loaded, CheckpointData::Mode::kFindState));
+
+  // Zero-length file.
+  write_file(cfg.path, {});
+  EXPECT_FALSE(
+      load_checkpoint(cfg, &loaded, CheckpointData::Mode::kFindState));
+
+  // The intact bytes still load (the damage above never wrote through
+  // save_checkpoint, so publication atomicity is not what saved us).
+  write_file(cfg.path, intact);
+  EXPECT_TRUE(
+      load_checkpoint(cfg, &loaded, CheckpointData::Mode::kFindState));
+
+  remove_checkpoint(cfg.path);
+  EXPECT_FALSE(std::filesystem::exists(cfg.path));
+  remove_checkpoint(cfg.path);  // idempotent on a missing file
+}
+
+TEST(CheckpointVerdict, EngineDivergenceHasAName) {
+  EXPECT_STREQ(to_string(Verdict::kEngineDivergence), "ENGINE_DIVERGENCE");
+}
+
+// Interrupt a safety check with a state budget (leaving checkpoints at
+// every completed level), then resume with the full budget: the final
+// result must be bit-identical to an uninterrupted run.
+TEST(SerialResume, SafetyCheckResumesBitIdentical) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  const auto baseline = Checker(model).check(no_integrated_node_freezes());
+  ASSERT_EQ(baseline.verdict, Verdict::kHolds);
+  ASSERT_EQ(baseline.stats.states_explored, 110'956u);
+
+  CheckpointConfig cfg{test_path("safety.ckpt"), 0xFEED, 1};
+  auto partial = Checker(model).check(no_integrated_node_freezes(),
+                                      /*max_states=*/20'000, nullptr, &cfg);
+  ASSERT_EQ(partial.verdict, Verdict::kInconclusive);
+  ASSERT_TRUE(std::filesystem::exists(cfg.path));
+
+  auto resumed = Checker(model).check(no_integrated_node_freezes(),
+                                      /*max_states=*/50'000'000, nullptr,
+                                      &cfg);
+  EXPECT_TRUE(resumed.stats.resumed);
+  EXPECT_EQ(resumed.verdict, baseline.verdict);
+  EXPECT_EQ(resumed.stats.states_explored, baseline.stats.states_explored);
+  EXPECT_EQ(resumed.stats.transitions, baseline.stats.transitions);
+  EXPECT_EQ(resumed.stats.max_depth, baseline.stats.max_depth);
+}
+
+// The violated case additionally pins the counterexample: the resumed run
+// must report the *same* minimal trace, which is the strongest evidence
+// that the frontier order survived the round trip.
+TEST(SerialResume, ViolatedTraceIsIdenticalAfterResume) {
+  TtpcStarModel model(config(guardian::Authority::kFullShifting));
+  const auto baseline = Checker(model).check(no_integrated_node_freezes());
+  ASSERT_EQ(baseline.verdict, Verdict::kViolated);
+  ASSERT_FALSE(baseline.trace.empty());
+
+  CheckpointConfig cfg{test_path("violated.ckpt"), 0xBEEF, 1};
+  auto partial = Checker(model).check(no_integrated_node_freezes(),
+                                      /*max_states=*/10'000, nullptr, &cfg);
+  ASSERT_EQ(partial.verdict, Verdict::kInconclusive);
+
+  auto resumed = Checker(model).check(no_integrated_node_freezes(),
+                                      /*max_states=*/50'000'000, nullptr,
+                                      &cfg);
+  EXPECT_TRUE(resumed.stats.resumed);
+  EXPECT_EQ(resumed.verdict, Verdict::kViolated);
+  EXPECT_EQ(resumed.stats.states_explored, baseline.stats.states_explored);
+  EXPECT_EQ(resumed.stats.transitions, baseline.stats.transitions);
+  ASSERT_EQ(resumed.trace.size(), baseline.trace.size());
+  for (std::size_t i = 0; i < baseline.trace.size(); ++i) {
+    EXPECT_EQ(model.pack(resumed.trace[i].before),
+              model.pack(baseline.trace[i].before))
+        << i;
+    EXPECT_EQ(model.pack(resumed.trace[i].after),
+              model.pack(baseline.trace[i].after))
+        << i;
+  }
+}
+
+TEST(SerialResume, FindStateResumesToSameWitness) {
+  TtpcStarModel model(config(guardian::Authority::kTimeWindows));
+  const std::size_t n = model.num_nodes();
+  Checker<TtpcStarModel>::Goal goal = [n](const WorldState& w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
+    }
+    return true;
+  };
+  const auto baseline = Checker(model).find_state(goal);
+  ASSERT_EQ(baseline.verdict, Verdict::kViolated);  // goal reachable
+
+  CheckpointConfig cfg{test_path("find.ckpt"), 0xF00D, 1};
+  auto partial =
+      Checker(model).find_state(goal, /*max_states=*/5'000, nullptr, &cfg);
+  ASSERT_EQ(partial.verdict, Verdict::kInconclusive);
+
+  auto resumed = Checker(model).find_state(goal, /*max_states=*/50'000'000,
+                                           nullptr, &cfg);
+  EXPECT_TRUE(resumed.stats.resumed);
+  EXPECT_EQ(resumed.verdict, baseline.verdict);
+  EXPECT_EQ(resumed.stats.max_depth, baseline.stats.max_depth);
+  ASSERT_EQ(resumed.trace.size(), baseline.trace.size());
+  for (std::size_t i = 0; i < baseline.trace.size(); ++i) {
+    EXPECT_EQ(model.pack(resumed.trace[i].after),
+              model.pack(baseline.trace[i].after))
+        << i;
+  }
+}
+
+TEST(ParallelResume, SafetyCheckResumesBitIdentical) {
+  TtpcStarModel model(config(guardian::Authority::kPassive));
+  ParallelChecker baseline_checker(model, 4);
+  const auto baseline =
+      baseline_checker.check(no_integrated_node_freezes());
+  ASSERT_EQ(baseline.verdict, Verdict::kHolds);
+
+  CheckpointConfig cfg{test_path("psafety.ckpt"), 0xFEED, 1};
+  ParallelChecker checker(model, 4);
+  auto partial = checker.check(no_integrated_node_freezes(),
+                               /*max_states=*/20'000, nullptr, &cfg);
+  ASSERT_EQ(partial.verdict, Verdict::kInconclusive);
+  ASSERT_TRUE(std::filesystem::exists(cfg.path));
+
+  auto resumed = checker.check(no_integrated_node_freezes(),
+                               /*max_states=*/50'000'000, nullptr, &cfg);
+  EXPECT_TRUE(resumed.stats.resumed);
+  EXPECT_EQ(resumed.verdict, baseline.verdict);
+  EXPECT_EQ(resumed.stats.states_explored, baseline.stats.states_explored);
+  EXPECT_EQ(resumed.stats.transitions, baseline.stats.transitions);
+  EXPECT_EQ(resumed.stats.max_depth, baseline.stats.max_depth);
+}
+
+TEST(ParallelResume, ViolatedTraceSurvivesEngineHandoff) {
+  // The checkpoint format is engine-agnostic: a wavefront saved by the
+  // serial engine resumes under the parallel engine (and vice versa) to
+  // the same verdict and the same trace shape, because both engines honor
+  // the serialized frontier order.
+  TtpcStarModel model(config(guardian::Authority::kFullShifting));
+  const auto baseline = Checker(model).check(no_integrated_node_freezes());
+  ASSERT_EQ(baseline.verdict, Verdict::kViolated);
+
+  CheckpointConfig cfg{test_path("handoff.ckpt"), 0xCAFE, 1};
+  auto partial = Checker(model).check(no_integrated_node_freezes(),
+                                      /*max_states=*/10'000, nullptr, &cfg);
+  ASSERT_EQ(partial.verdict, Verdict::kInconclusive);
+
+  ParallelChecker checker(model, 4);
+  auto resumed = checker.check(no_integrated_node_freezes(),
+                               /*max_states=*/50'000'000, nullptr, &cfg);
+  EXPECT_TRUE(resumed.stats.resumed);
+  EXPECT_EQ(resumed.verdict, Verdict::kViolated);
+  EXPECT_EQ(resumed.stats.states_explored, baseline.stats.states_explored);
+  EXPECT_EQ(resumed.stats.max_depth, baseline.stats.max_depth);
+  ASSERT_EQ(resumed.trace.size(), baseline.trace.size());
+  for (std::size_t i = 0; i < baseline.trace.size(); ++i) {
+    EXPECT_EQ(model.pack(resumed.trace[i].before),
+              model.pack(baseline.trace[i].before))
+        << i;
+  }
+}
+
+TEST(Resume, CorruptCheckpointMeansFreshStartNotCrash) {
+  TtpcStarModel model(config(guardian::Authority::kPassive, 3));
+  CheckpointConfig cfg{test_path("corrupt.ckpt"), 7, 1};
+  auto partial = Checker(model).check(no_integrated_node_freezes(),
+                                      /*max_states=*/1'000, nullptr, &cfg);
+  ASSERT_EQ(partial.verdict, Verdict::kInconclusive);
+  ASSERT_TRUE(std::filesystem::exists(cfg.path));
+
+  auto damaged = read_file(cfg.path);
+  damaged[damaged.size() / 3] ^= 0x01;
+  write_file(cfg.path, damaged);
+
+  auto res = Checker(model).check(no_integrated_node_freezes(),
+                                  /*max_states=*/50'000'000, nullptr, &cfg);
+  EXPECT_FALSE(res.stats.resumed);  // fresh start
+  EXPECT_EQ(res.verdict, Verdict::kHolds);
+  // A fresh start is always correct: same result as never checkpointing.
+  const auto plain = Checker(model).check(no_integrated_node_freezes());
+  EXPECT_EQ(res.stats.states_explored, plain.stats.states_explored);
+}
+
+}  // namespace
+}  // namespace tta::mc

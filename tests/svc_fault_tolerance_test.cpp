@@ -1,0 +1,263 @@
+// End-to-end fault tolerance through the service: retry/backoff concludes
+// jobs whose first attempt hit a deadline (with checkpoints preserving
+// progress across attempts), redundant dual-engine execution cross-checks
+// verdicts, and a service "restart" over the same cache directory serves
+// the whole batch from disk.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "svc/service.h"
+
+namespace tta::svc {
+namespace {
+
+std::string test_dir(const char* sub) {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  std::filesystem::path dir = std::filesystem::path(testing::TempDir()) /
+                              "tta_ft" / info->name() / sub;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+JobSpec spec_for(guardian::Authority a, Property p, std::uint8_t nodes = 4) {
+  JobSpec spec;
+  spec.model.authority = a;
+  spec.model.protocol.num_nodes = nodes;
+  spec.model.protocol.num_slots = nodes;
+  spec.property = p;
+  return spec;
+}
+
+mc::CheckStats stats_with(std::uint64_t states, std::uint64_t transitions) {
+  mc::CheckStats s;
+  s.states_explored = states;
+  s.transitions = transitions;
+  s.max_depth = 11;
+  s.exhausted = true;
+  return s;
+}
+
+TEST(CrossCheck, AgreementAdoptsSerialAndKeepsBothStatBlocks) {
+  JobResult serial, parallel;
+  serial.verdict = parallel.verdict = mc::Verdict::kHolds;
+  serial.stats = stats_with(100, 900);
+  parallel.stats = stats_with(100, 900);
+  parallel.stats.seconds = 0.5;
+  serial.stats.seconds = 0.9;
+
+  const JobResult merged = cross_check_results(serial, parallel);
+  EXPECT_EQ(merged.verdict, mc::Verdict::kHolds);
+  EXPECT_TRUE(merged.redundant);
+  EXPECT_EQ(merged.engine_used, EngineChoice::kRedundant);
+  EXPECT_EQ(merged.stats.seconds, 0.9);            // serial primary
+  EXPECT_EQ(merged.secondary_stats.seconds, 0.5);  // parallel attached
+}
+
+TEST(CrossCheck, DisagreementIsEngineDivergenceWithNoTrace) {
+  JobResult serial, parallel;
+  serial.verdict = mc::Verdict::kHolds;
+  parallel.verdict = mc::Verdict::kViolated;
+  serial.stats = stats_with(100, 900);
+  parallel.stats = stats_with(100, 900);
+  parallel.trace.resize(3);
+
+  const JobResult merged = cross_check_results(serial, parallel);
+  EXPECT_EQ(merged.verdict, mc::Verdict::kEngineDivergence);
+  EXPECT_TRUE(merged.trace.empty());
+  EXPECT_EQ(merged.stats.states_explored, 100u);
+  EXPECT_EQ(merged.secondary_stats.states_explored, 100u);
+}
+
+TEST(CrossCheck, StatMismatchIsDivergenceEvenWithSameVerdict) {
+  // The engines are contractually bit-identical; a one-state delta means
+  // one of them dropped or duplicated work, so the answer is not trusted.
+  JobResult serial, parallel;
+  serial.verdict = parallel.verdict = mc::Verdict::kHolds;
+  serial.stats = stats_with(100, 900);
+  parallel.stats = stats_with(101, 900);
+  const JobResult merged = cross_check_results(serial, parallel);
+  EXPECT_EQ(merged.verdict, mc::Verdict::kEngineDivergence);
+}
+
+TEST(CrossCheck, OneConclusiveEngineMasksTheOthersStall) {
+  JobResult serial, parallel;
+  serial.verdict = mc::Verdict::kInconclusive;  // deadline fired
+  serial.stats = stats_with(40, 200);
+  serial.stats.cancelled = true;
+  serial.stats.exhausted = false;
+  parallel.verdict = mc::Verdict::kViolated;
+  parallel.stats = stats_with(100, 900);
+  parallel.trace.resize(5);
+
+  const JobResult merged = cross_check_results(serial, parallel);
+  EXPECT_EQ(merged.verdict, mc::Verdict::kViolated);
+  EXPECT_EQ(merged.trace.size(), 5u);
+  EXPECT_EQ(merged.stats.states_explored, 100u);
+  EXPECT_EQ(merged.secondary_stats.states_explored, 40u);
+}
+
+TEST(CrossCheck, BothInconclusiveStaysInconclusive) {
+  JobResult serial, parallel;
+  serial.stats = stats_with(40, 200);
+  parallel.stats = stats_with(90, 500);
+  const JobResult merged = cross_check_results(serial, parallel);
+  EXPECT_EQ(merged.verdict, mc::Verdict::kInconclusive);
+  EXPECT_EQ(merged.stats.states_explored, 90u);  // the further attempt
+  EXPECT_EQ(merged.secondary_stats.states_explored, 40u);
+}
+
+TEST(Redundant, BothEnginesAgreeOnRealQueries) {
+  ServiceConfig config;
+  config.workers = 2;
+  VerificationService service(config);
+
+  JobSpec safety = spec_for(guardian::Authority::kPassive,
+                            Property::kNoIntegratedNodeFreezes, 3);
+  safety.engine = EngineChoice::kRedundant;
+  JobSpec reach = spec_for(guardian::Authority::kTimeWindows,
+                           Property::kAllActiveReachable, 3);
+  reach.engine = EngineChoice::kRedundant;
+  JobSpec recov = spec_for(guardian::Authority::kSmallShifting,
+                           Property::kRecoverability, 3);
+  recov.engine = EngineChoice::kRedundant;
+
+  const std::vector<JobResult> results =
+      service.run_batch({safety, reach, recov});
+  for (const JobResult& r : results) {
+    EXPECT_TRUE(r.redundant);
+    EXPECT_EQ(r.engine_used, EngineChoice::kRedundant);
+    EXPECT_NE(r.verdict, mc::Verdict::kInconclusive);
+    EXPECT_NE(r.verdict, mc::Verdict::kEngineDivergence);
+    // Agreement implies the secondary explored the identical space.
+    EXPECT_EQ(r.secondary_stats.states_explored, r.stats.states_explored);
+    EXPECT_EQ(r.secondary_stats.transitions, r.stats.transitions);
+  }
+  EXPECT_EQ(service.metrics().redundant_runs.load(), 3u);
+  EXPECT_EQ(service.metrics().engine_divergence.load(), 0u);
+}
+
+TEST(Retry, DeadlineJobsConcludeViaEscalationAndCheckpointProgress) {
+  // First attempt gets a deadline far too small for the ~110k-state space.
+  // With checkpointing, every attempt resumes where the previous one
+  // stopped, and with escalation each attempt also gets a longer leash —
+  // so the job concludes within the attempt budget, deterministically
+  // reaching the exact pinned state count.
+  ServiceConfig config;
+  config.workers = 1;
+  config.checkpoint_dir = test_dir("ckpt");
+  config.retry.max_attempts = 8;
+  config.retry.deadline_escalation = 2.0;
+  config.retry.backoff.initial_delay_ms = 1;
+  config.retry.backoff.max_delay_ms = 8;
+
+  VerificationService service(config);
+  JobSpec spec = spec_for(guardian::Authority::kPassive,
+                          Property::kNoIntegratedNodeFreezes);
+  spec.engine = EngineChoice::kSerial;
+  spec.deadline_ms = 120;
+
+  const JobResult result = service.run(spec);
+  EXPECT_EQ(result.verdict, mc::Verdict::kHolds);
+  EXPECT_EQ(result.stats.states_explored, 110'956u);
+  ASSERT_GE(result.attempts.size(), 2u);
+  EXPECT_EQ(result.attempts.front().verdict, mc::Verdict::kInconclusive);
+  EXPECT_TRUE(result.attempts.front().cancelled);
+  EXPECT_EQ(result.attempts.front().deadline_ms, 120u);
+  EXPECT_GT(result.attempts.back().deadline_ms, 120u);  // escalated
+  EXPECT_EQ(result.attempts.back().verdict, mc::Verdict::kHolds);
+  EXPECT_GE(service.metrics().jobs_retried.load(), 1u);
+  EXPECT_GE(service.metrics().checkpoint_resumes.load(), 1u);
+  // Conclusion removes the checkpoint file.
+  EXPECT_TRUE(
+      std::filesystem::is_empty(std::filesystem::path(config.checkpoint_dir)));
+}
+
+TEST(Retry, BoundedAttemptsGiveUpExplicitly) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.retry.max_attempts = 2;
+  config.retry.backoff.initial_delay_ms = 1;
+
+  VerificationService service(config);
+  JobSpec spec = spec_for(guardian::Authority::kPassive,
+                          Property::kNoIntegratedNodeFreezes);
+  spec.engine = EngineChoice::kSerial;
+  spec.deadline_ms = 1;  // hopeless without checkpoints
+
+  const JobResult result = service.run(spec);
+  EXPECT_EQ(result.verdict, mc::Verdict::kInconclusive);
+  EXPECT_EQ(result.attempts.size(), 2u);  // bounded, then an honest answer
+  EXPECT_EQ(service.metrics().jobs_retried.load(), 1u);
+}
+
+TEST(Retry, ConclusiveAndCachedJobsNeverRetry) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.retry.max_attempts = 4;
+  VerificationService service(config);
+  JobSpec spec = spec_for(guardian::Authority::kPassive,
+                          Property::kNoIntegratedNodeFreezes, 3);
+
+  const JobResult first = service.run(spec);
+  EXPECT_EQ(first.verdict, mc::Verdict::kHolds);
+  EXPECT_EQ(first.attempts.size(), 1u);
+
+  const JobResult second = service.run(spec);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_TRUE(second.attempts.empty());  // a cache hit attempts nothing
+  EXPECT_EQ(service.metrics().jobs_retried.load(), 0u);
+}
+
+TEST(ServiceRestart, BatchIsServedFromDiskAfterRestart) {
+  const std::string cache_dir = test_dir("cache");
+  std::vector<JobSpec> jobs;
+  jobs.push_back(spec_for(guardian::Authority::kPassive,
+                          Property::kNoIntegratedNodeFreezes, 3));
+  jobs.push_back(spec_for(guardian::Authority::kTimeWindows,
+                          Property::kAllActiveReachable, 3));
+  {
+    JobSpec violated = spec_for(guardian::Authority::kFullShifting,
+                                Property::kNoIntegratedNodeFreezes);
+    violated.model.max_out_of_slot_errors = 1;
+    jobs.push_back(violated);
+  }
+
+  std::vector<JobResult> first;
+  {
+    ServiceConfig config;
+    config.cache_dir = cache_dir;
+    config.workers = 2;
+    VerificationService service(config);
+    first = service.run_batch(jobs);
+    for (const JobResult& r : first) {
+      ASSERT_NE(r.verdict, mc::Verdict::kInconclusive);
+      EXPECT_FALSE(r.from_persistent);
+    }
+  }  // service destroyed: the "crash-free restart"
+
+  ServiceConfig config;
+  config.cache_dir = cache_dir;
+  config.workers = 2;
+  VerificationService service(config);
+  const std::vector<JobResult> second = service.run_batch(jobs);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_TRUE(second[i].from_persistent) << i;
+    EXPECT_TRUE(second[i].from_cache) << i;
+    EXPECT_EQ(second[i].verdict, first[i].verdict) << i;
+    EXPECT_EQ(second[i].stats.states_explored,
+              first[i].stats.states_explored)
+        << i;
+    EXPECT_EQ(second[i].trace.size(), first[i].trace.size()) << i;
+  }
+  EXPECT_EQ(service.metrics().persistent_hits.load(), jobs.size());
+  EXPECT_EQ(service.metrics().persistent_recovered.load(), jobs.size());
+  EXPECT_EQ(service.metrics().states_explored.load(), 0u);  // no engine work
+}
+
+}  // namespace
+}  // namespace tta::svc

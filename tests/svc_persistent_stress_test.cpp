@@ -1,0 +1,121 @@
+// Concurrency stress for the result stores (run under TTA_SANITIZE=thread
+// via the `parallel` ctest label): many threads hammer the in-memory LRU
+// and the persistent cache with mixed lookups and inserts while a
+// dedicated writer compacts snapshots underneath them. The assertions are
+// deliberately coarse — no lost entries, no decode failures, a clean
+// recovery afterwards — because the real assertion is TSan finding no
+// races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/metrics.h"
+#include "svc/persistent_cache.h"
+#include "svc/result_cache.h"
+
+namespace tta::svc {
+namespace {
+
+std::string test_dir() {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  std::filesystem::path dir = std::filesystem::path(testing::TempDir()) /
+                              "tta_pstress" / info->name();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+JobSpec spec_n(std::uint64_t n) {
+  JobSpec spec;
+  spec.model.authority = guardian::Authority::kPassive;
+  spec.property = Property::kNoIntegratedNodeFreezes;
+  spec.max_states = 100'000 + n;  // distinct budget => distinct digest
+  return spec;
+}
+
+JobResult result_n(const JobSpec& spec, std::uint64_t n) {
+  JobResult r;
+  r.digest = spec.digest();
+  r.property = spec.property;
+  r.verdict = n % 2 == 0 ? mc::Verdict::kHolds : mc::Verdict::kViolated;
+  r.stats.states_explored = n;
+  r.stats.transitions = n * 7;
+  r.stats.max_depth = n % 64;
+  return r;
+}
+
+TEST(PersistentStress, ConcurrentInsertLookupWithCompactingWriter) {
+  const std::string dir = test_dir();
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 64;
+
+  Metrics metrics;
+  std::atomic<std::uint64_t> decode_failures{0};
+  std::atomic<bool> stop{false};
+  {
+    // Small compaction interval so automatic compactions also fire from
+    // inserter threads, concurrently with the dedicated compactor.
+    PersistentCache cache(PersistentCacheConfig{dir, /*compact_after=*/16},
+                          &metrics);
+    ResultCache lru(/*capacity=*/64);
+
+    std::thread compactor([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        cache.compact();
+        std::this_thread::yield();
+      }
+    });
+
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          const std::uint64_t n = t * kPerThread + i;
+          const JobSpec spec = spec_n(n);
+          const JobResult mine = result_n(spec, n);
+          cache.insert(spec, mine);
+          lru.insert(spec.digest(), mine);
+
+          // Read back my own entry and a neighbor's (which may or may not
+          // exist yet — a miss is fine, a mangled hit is not).
+          JobResult out;
+          if (!cache.lookup(spec, &out) ||
+              out.stats.states_explored != n) {
+            decode_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          const JobSpec other = spec_n((n * 31 + 7) % (kThreads * kPerThread));
+          if (cache.lookup(other, &out) && out.digest != other.digest()) {
+            decode_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          lru.lookup(other.digest(), &out);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    stop.store(true, std::memory_order_relaxed);
+    compactor.join();
+
+    EXPECT_EQ(decode_failures.load(), 0u);
+    EXPECT_EQ(cache.size(), kThreads * kPerThread);
+  }
+
+  // Everything written under fire must be recoverable afterwards.
+  Metrics recovery_metrics;
+  PersistentCache reopened(PersistentCacheConfig{dir, 1024},
+                           &recovery_metrics);
+  EXPECT_EQ(reopened.size(), kThreads * kPerThread);
+  EXPECT_EQ(recovery_metrics.persistent_corrupt_records.load(), 0u);
+  EXPECT_EQ(recovery_metrics.persistent_truncated_records.load(), 0u);
+  for (std::uint64_t n = 0; n < kThreads * kPerThread; n += 37) {
+    JobResult out;
+    ASSERT_TRUE(reopened.lookup(spec_n(n), &out)) << n;
+    EXPECT_EQ(out.stats.states_explored, n);
+  }
+}
+
+}  // namespace
+}  // namespace tta::svc

@@ -12,6 +12,18 @@
 // --passes=N re-submits the same batch N times; every pass after the
 // first should be served almost entirely from the result cache, which the
 // printed hit rate makes visible.
+//
+// Fault-tolerance flags (docs/SERVICE.md): --cache-dir=DIR persists
+// conclusive results across process restarts (crash-safe journal +
+// snapshot); --checkpoint-dir=DIR lets interrupted engine runs resume at
+// their last BFS level; --retries=N re-admits inconclusive jobs up to N
+// times with exponential backoff and deadline escalation; --redundant
+// forces every job through both engines with cross-checked verdicts.
+//
+// Exit status: 0 when every job in the final pass ended conclusively
+// (HOLDS or VIOLATED — a violated property is an answer, not a tool
+// failure), 1 when any job ended rejected, inconclusive, or diverged,
+// 2 on usage/input errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +43,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s JOBFILE [--passes=N] [--workers=N] [--cache=N] "
                "[--json=FILE]\n"
+               "          [--cache-dir=DIR] [--checkpoint-dir=DIR] "
+               "[--retries=N] [--redundant]\n"
                "JOBFILE holds one JSON job per line, e.g.\n"
                "  {\"authority\": \"full_shifting\", \"property\": "
                "\"safety\", \"max_oos\": 1, \"deadline_ms\": 5000}\n",
@@ -57,6 +71,7 @@ int main(int argc, char** argv) {
   std::string job_path;
   std::string json_path;
   unsigned passes = 1;
+  bool redundant = false;
   svc::ServiceConfig config;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -66,6 +81,15 @@ int main(int argc, char** argv) {
       config.workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (flag_value(argv[i], "--cache", &v)) {
       config.cache_capacity = std::strtoul(v, nullptr, 10);
+    } else if (flag_value(argv[i], "--cache-dir", &v)) {
+      config.cache_dir = v;
+    } else if (flag_value(argv[i], "--checkpoint-dir", &v)) {
+      config.checkpoint_dir = v;
+    } else if (flag_value(argv[i], "--retries", &v)) {
+      config.retry.max_attempts =
+          1 + static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--redundant") == 0) {
+      redundant = true;
     } else if (flag_value(argv[i], "--json", &v)) {
       json_path = v;
     } else if (argv[i][0] == '-') {
@@ -102,8 +126,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (redundant) {
+    for (svc::JobSpec& spec : jobs) spec.engine = svc::EngineChoice::kRedundant;
+  }
+
   svc::VerificationService service(config);
   bench::JsonWriter json;
+  std::size_t final_failures = 0;
   for (unsigned pass = 1; pass <= passes; ++pass) {
     std::printf("pass %u/%u: %zu jobs\n", pass, passes, jobs.size());
     std::printf("%-4s %-16s %-22s %-14s %-12s %10s %9s %7s %6s\n", "job",
@@ -142,8 +171,37 @@ int main(int argc, char** argv) {
       json.field("dead_states", r.dead_states);
       json.field("engine_seconds", r.stats.seconds);
       json.field("queue_seconds", r.queue_seconds);
+      json.field("from_persistent", std::uint64_t{r.from_persistent});
+      json.field("resumed", std::uint64_t{r.stats.resumed});
+      json.field("redundant", std::uint64_t{r.redundant});
+      json.field("attempts", std::uint64_t{r.attempts.size()});
     }
-    std::printf("\n");
+
+    // Per-class summary, plus the final pass's failure count for the exit
+    // status: rejected / inconclusive / diverged jobs mean the batch did
+    // not fully answer its queries.
+    std::size_t holds = 0, violated = 0, inconclusive = 0, divergence = 0,
+                rejected = 0;
+    std::uint64_t attempts = 0;
+    for (const svc::JobResult& r : results) {
+      attempts += r.attempts.size();
+      if (r.rejected) {
+        ++rejected;
+      } else if (r.verdict == mc::Verdict::kHolds) {
+        ++holds;
+      } else if (r.verdict == mc::Verdict::kViolated) {
+        ++violated;
+      } else if (r.verdict == mc::Verdict::kEngineDivergence) {
+        ++divergence;
+      } else {
+        ++inconclusive;
+      }
+    }
+    std::printf("summary: holds=%zu violated=%zu inconclusive=%zu "
+                "divergence=%zu rejected=%zu attempts=%llu\n\n",
+                holds, violated, inconclusive, divergence, rejected,
+                static_cast<unsigned long long>(attempts));
+    final_failures = inconclusive + divergence + rejected;
   }
 
   std::printf("service metrics after %u pass(es):\n%s", passes,
@@ -154,7 +212,13 @@ int main(int argc, char** argv) {
     json.field("states_per_second", service.metrics().states_per_second());
     json.field("jobs_cancelled",
                service.metrics().jobs_cancelled.load());
+    json.field("persistent_hits",
+               service.metrics().persistent_hits.load());
+    json.field("checkpoint_resumes",
+               service.metrics().checkpoint_resumes.load());
+    json.field("engine_divergence",
+               service.metrics().engine_divergence.load());
     json.write(json_path, "tta_verify_batch");
   }
-  return 0;
+  return final_failures == 0 ? 0 : 1;
 }
