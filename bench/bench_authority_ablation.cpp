@@ -70,8 +70,8 @@ void print_ablation() {
       std::printf("%-15s %-38s %-12s %s\n", guardian::to_string(a),
                   pessimistic ? "pessimistic (incorrect dominates)"
                               : "TTP/C optimistic (correct dominates)",
-                  res.holds ? "HOLDS" : "VIOLATED",
-                  res.holds ? "-"
+                  res.holds() ? "HOLDS" : "VIOLATED",
+                  res.holds() ? "-"
                             : (std::to_string(res.trace.size()) + " steps")
                                   .c_str());
     }

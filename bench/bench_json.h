@@ -36,6 +36,12 @@ class JsonWriter {
   void field(const std::string& key, const std::string& value) {
     add(key, "\"" + escape(value) + "\"");
   }
+  /// Attaches an already-rendered JSON value (object, array, or literal)
+  /// verbatim — for embedding structures built elsewhere, e.g.
+  /// svc::JobOutcome::to_json().
+  void raw(const std::string& key, std::string json_value) {
+    add(key, std::move(json_value));
+  }
 
   /// Writes all entries to `path`; returns false (with a message on
   /// stderr) if the file cannot be opened.

@@ -126,7 +126,7 @@ void print_parallel_comparison(bench::JsonWriter& json) {
     bool same = res.stats.states_explored == serial.stats.states_explored &&
                 res.stats.transitions == serial.stats.transitions &&
                 res.stats.max_depth == serial.stats.max_depth &&
-                res.holds == serial.holds;
+                res.holds() == serial.holds();
     char name[32], sp[16];
     std::snprintf(name, sizeof name, "parallel, %u threads", threads);
     std::snprintf(sp, sizeof sp, "%.2fx", speedup);
@@ -158,7 +158,7 @@ void BM_ExhaustiveVerification(benchmark::State& state) {
     mc::TtpcStarModel model(cfg);
     auto res = mc::Checker(model).check(mc::no_integrated_node_freezes());
     states = res.stats.states_explored;
-    benchmark::DoNotOptimize(res.holds);
+    benchmark::DoNotOptimize(res.holds());
   }
   state.counters["states/s"] = benchmark::Counter(
       static_cast<double>(states * state.iterations()),
@@ -175,7 +175,7 @@ void BM_ParallelExhaustiveVerification(benchmark::State& state) {
     mc::ParallelChecker checker(model, threads);
     auto res = checker.check(mc::no_integrated_node_freezes());
     states = res.stats.states_explored;
-    benchmark::DoNotOptimize(res.holds);
+    benchmark::DoNotOptimize(res.holds());
   }
   state.counters["states/s"] = benchmark::Counter(
       static_cast<double>(states * state.iterations()),

@@ -30,14 +30,14 @@ int main(int argc, char** argv) {
 
     std::printf("%-15s : %s  (%llu states, %llu transitions, %.3f s)\n",
                 guardian::to_string(authority),
-                result.holds ? "property HOLDS (exhaustive)"
+                result.holds() ? "property HOLDS (exhaustive)"
                              : "property VIOLATED",
                 static_cast<unsigned long long>(
                     result.stats.states_explored),
                 static_cast<unsigned long long>(result.stats.transitions),
                 result.stats.seconds);
 
-    if (!result.holds) {
+    if (!result.holds()) {
       mc::TracePrinter printer(model);
       std::printf("\nshortest counterexample (%zu steps):\n%s\n",
                   result.trace.size(),

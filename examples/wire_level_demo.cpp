@@ -25,7 +25,7 @@ int main() {
     auto res = mc::Checker(model).check(mc::no_integrated_node_freezes());
     std::printf("level 1 (model checker): property %s for full-shifting "
                 "couplers — shortest counterexample %zu steps.\n",
-                res.holds ? "HOLDS" : "VIOLATED", res.trace.size());
+                res.holds() ? "HOLDS" : "VIOLATED", res.trace.size());
   }
 
   // Levels 2 and 3 — the same concrete scenario at two fidelities.

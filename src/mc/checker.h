@@ -57,12 +57,10 @@ struct TraceStepT {
 
 using TraceStep = TraceStepT<WorldState>;
 
-/// Explicit three-valued outcome of a query. Unlike the legacy `holds`
-/// flag (which keeps its historical "default true, trust only when
-/// exhausted" semantics), every engine return path assigns a Verdict
-/// explicitly, so a budget or deadline bail-out can never leak a
-/// default verdict: it is kInconclusive by construction and only a fully
-/// exhausted search upgrades it to kHolds.
+/// Explicit three-valued outcome of a query. Every engine return path
+/// assigns a Verdict explicitly, so a budget or deadline bail-out can
+/// never leak a default verdict: it is kInconclusive by construction and
+/// only a fully exhausted search upgrades it to kHolds.
 enum class Verdict : std::uint8_t {
   kHolds = 0,         ///< exhaustive search, property holds / goal unreachable
   kViolated = 1,      ///< counterexample or goal witness found
@@ -92,10 +90,15 @@ struct CheckStats {
 
 template <class State>
 struct CheckResultT {
-  bool holds = true;  ///< for find_state: true means goal NOT reachable
   Verdict verdict = Verdict::kInconclusive;  ///< always set explicitly
   std::vector<TraceStepT<State>> trace;  ///< counterexample / witness
   CheckStats stats;
+
+  /// True iff the search concluded that the property holds (for
+  /// find_state: the goal is NOT reachable). Computed from the verdict,
+  /// so — unlike the removed legacy bool, which stayed default-true on a
+  /// bail-out — an inconclusive result is never mistaken for a pass.
+  bool holds() const { return verdict == Verdict::kHolds; }
 };
 
 using CheckResult = CheckResultT<WorldState>;
@@ -124,9 +127,8 @@ class Checker {
   explicit Checker(const Model& model) : model_(&model) {}
 
   /// Exhaustive safety check. `max_states` bounds memory; if the bound is
-  /// hit the result reports exhausted = false and verdict = kInconclusive
-  /// (the legacy `holds` flag is unreliable then, still sound for
-  /// counterexamples). A non-null `cancel` token is polled once per
+  /// hit the result reports exhausted = false and verdict = kInconclusive.
+  /// A non-null `cancel` token is polled once per
   /// expanded state; tripping it ends the search with kInconclusive and
   /// honest partial stats — never a hang, never a fabricated verdict.
   /// A non-null `checkpoint` makes the search resumable: the wavefront is
@@ -140,7 +142,7 @@ class Checker {
     return run(&violation, nullptr, max_states, cancel, checkpoint);
   }
 
-  /// Shortest witness to a goal state; holds == true means unreachable.
+  /// Shortest witness to a goal state; holds() == true means unreachable.
   CheckResultT<State> find_state(const Goal& goal,
                                  std::uint64_t max_states = 50'000'000,
                                  const util::CancelToken* cancel = nullptr,
@@ -348,8 +350,7 @@ class Checker {
 
     std::unordered_map<util::PackedState, ParentInfo> visited;
 
-    auto finish = [&](bool holds, Verdict verdict) {
-      result.holds = holds;
+    auto finish = [&](Verdict verdict) {
       result.verdict = verdict;
       result.stats.states_explored = visited.size();
       result.stats.seconds =
@@ -409,7 +410,7 @@ class Checker {
       visited.emplace(init_packed, ParentInfo{{}, 0, 0, true});
       level.push_back(init_packed);
       if (goal && (*goal)(init)) {
-        finish(false, Verdict::kViolated);
+        finish(Verdict::kViolated);
         return result;  // goal reachable at depth 0, empty witness
       }
     }
@@ -481,12 +482,12 @@ class Checker {
         final_step.after = next;
         steps.push_back(final_step);
         result.trace = std::move(steps);
-        finish(false, Verdict::kViolated);
+        finish(Verdict::kViolated);
         return result;
       }
       if (goal_found) {
         result.trace = reconstruct(goal_state);
-        finish(false, Verdict::kViolated);
+        finish(Verdict::kViolated);
         return result;
       }
       if (next_level.empty()) break;
@@ -506,10 +507,8 @@ class Checker {
       result.stats.exhausted = false;
       result.stats.cancelled = true;
     }
-    // The legacy `holds` flag stays true on a bail-out for compatibility
-    // (sound only when stats.exhausted); the verdict is the explicit one.
-    finish(true, result.stats.exhausted ? Verdict::kHolds
-                                        : Verdict::kInconclusive);
+    finish(result.stats.exhausted ? Verdict::kHolds
+                                  : Verdict::kInconclusive);
     return result;
   }
 

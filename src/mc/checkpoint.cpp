@@ -171,6 +171,38 @@ bool load_checkpoint(const CheckpointConfig& config, CheckpointData* data,
   return true;
 }
 
+bool peek_checkpoint(const CheckpointConfig& config, CheckpointPeek* out) {
+  if (config.path.empty()) return false;
+  std::FILE* f = std::fopen(config.path.c_str(), "rb");
+  if (!f) return false;
+  // The fixed header: magic u64, version u32, binding u64, mode u8,
+  // next_depth u32, transitions u64, dedup_skips u64, visited u64,
+  // frontier u64 — 57 bytes before the variable-length entries.
+  std::uint8_t buf[57];
+  const bool got = std::fread(buf, 1, sizeof buf, f) == sizeof buf;
+  std::fclose(f);
+  if (!got) return false;
+
+  ByteReader r{buf, buf + sizeof buf};
+  if (r.u64() != kMagic) return false;
+  if (r.u32() != kVersion) return false;
+  if (r.u64() != config.binding) return false;
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(CheckpointData::Mode::kFindState)) {
+    return false;
+  }
+  CheckpointPeek peek;
+  peek.mode = static_cast<CheckpointData::Mode>(mode);
+  peek.next_depth = r.u32();
+  peek.transitions = r.u64();
+  r.u64();  // dedup_skips: not part of the progress surface
+  peek.visited = r.u64();
+  peek.frontier = r.u64();
+  if (!r.ok) return false;
+  *out = peek;
+  return true;
+}
+
 void remove_checkpoint(const std::string& path) {
   std::error_code ec;
   std::filesystem::remove(path, ec);

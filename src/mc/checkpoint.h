@@ -86,6 +86,23 @@ bool save_checkpoint(const CheckpointConfig& config,
 bool load_checkpoint(const CheckpointConfig& config, CheckpointData* data,
                      CheckpointData::Mode expected_mode);
 
+/// Advisory header-only snapshot of a checkpoint file, for progress
+/// reporting: how deep the owning run's wavefront has gotten without
+/// deserializing (or CRC-validating) the full visited set.
+struct CheckpointPeek {
+  CheckpointData::Mode mode = CheckpointData::Mode::kSafetyCheck;
+  std::uint32_t next_depth = 0;    ///< the BFS level the run expands next
+  std::uint64_t transitions = 0;   ///< accumulated before the barrier
+  std::uint64_t visited = 0;       ///< states in the checkpointed set
+  std::uint64_t frontier = 0;      ///< states in the checkpointed frontier
+};
+
+/// Reads only the fixed-size header (magic / version / binding validated;
+/// the CRC trailer is NOT checked — a torn file can yield stale counts,
+/// which is acceptable for progress display and nothing else). Returns
+/// false softly, like load_checkpoint.
+bool peek_checkpoint(const CheckpointConfig& config, CheckpointPeek* out);
+
 /// Removes a checkpoint file (after its run concluded). Missing is fine.
 void remove_checkpoint(const std::string& path);
 

@@ -329,8 +329,7 @@ class ParallelChecker {
         violation ? CheckpointData::Mode::kSafetyCheck
                   : CheckpointData::Mode::kFindState;
 
-    auto finish = [&](bool holds, Verdict verdict) {
-      result.holds = holds;
+    auto finish = [&](Verdict verdict) {
       result.verdict = verdict;
       result.stats.states_explored = table.size();
       result.stats.seconds = seconds_since(t0);
@@ -387,7 +386,7 @@ class ParallelChecker {
       TTA_CHECK(ins.inserted);
       level.push_back(ins.slot);
       if (goal && (*goal)(init)) {
-        finish(false, Verdict::kViolated);
+        finish(Verdict::kViolated);
         return result;  // goal reachable at depth 0, empty witness
       }
     }
@@ -546,7 +545,7 @@ class ParallelChecker {
           final_step.after = nxt;
           steps.push_back(final_step);
           result.trace = std::move(steps);
-          finish(false, Verdict::kViolated);
+          finish(Verdict::kViolated);
           return result;
         }
       }
@@ -557,7 +556,7 @@ class ParallelChecker {
         }
         if (best.slot != Table::kNoSlot) {
           result.trace = reconstruct(table, best.slot);
-          finish(false, Verdict::kViolated);
+          finish(Verdict::kViolated);
           return result;
         }
       }
@@ -588,10 +587,8 @@ class ParallelChecker {
       result.stats.exhausted = false;
       result.stats.cancelled = true;
     }
-    // The legacy `holds` flag stays true on a bail-out for compatibility
-    // (sound only when stats.exhausted); the verdict is the explicit one.
-    finish(true, result.stats.exhausted ? Verdict::kHolds
-                                        : Verdict::kInconclusive);
+    finish(result.stats.exhausted ? Verdict::kHolds
+                                  : Verdict::kInconclusive);
     return result;
   }
 

@@ -1,0 +1,74 @@
+#include "svc/engine_factory.h"
+
+#include <utility>
+
+namespace tta::svc {
+
+namespace {
+
+mc::Checker<mc::TtpcStarModel>::Goal all_active_goal(
+    const mc::TtpcStarModel& model) {
+  const std::size_t n = model.num_nodes();
+  return [n](const mc::WorldState& w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
+    }
+    return true;
+  };
+}
+
+}  // namespace
+
+EngineSelection make_engine(const JobSpec& spec,
+                            const ServiceConfig& config) {
+  EngineChoice choice = spec.engine;
+  if (choice == EngineChoice::kAuto) {
+    choice = spec.estimated_cost() >= config.auto_parallel_threshold
+                 ? EngineChoice::kParallel
+                 : EngineChoice::kSerial;
+  }
+  const unsigned threads =
+      spec.threads != 0 ? spec.threads : config.parallel_engine_threads;
+
+  EngineSelection selection;
+  selection.resolved = choice;
+  switch (choice) {
+    case EngineChoice::kSerial:
+      selection.engine = std::make_unique<mc::SerialEngine>();
+      break;
+    case EngineChoice::kParallel:
+      selection.engine = std::make_unique<mc::ParallelEngine>(threads);
+      break;
+    case EngineChoice::kRedundant:
+      selection.engine = std::make_unique<mc::RedundantEngine>(
+          std::make_unique<mc::SerialEngine>(),
+          std::make_unique<mc::ParallelEngine>(threads));
+      break;
+    case EngineChoice::kAuto:
+      break;  // unreachable: resolved above
+  }
+  return selection;
+}
+
+mc::EngineQuery make_engine_query(const JobSpec& spec,
+                                  const mc::TtpcStarModel& model) {
+  mc::EngineQuery query;
+  query.max_states = spec.max_states;
+  switch (spec.property) {
+    case Property::kNoIntegratedNodeFreezes:
+      query.kind = mc::EngineQuery::Kind::kSafetyCheck;
+      query.violation = mc::no_integrated_node_freezes();
+      break;
+    case Property::kAllActiveReachable:
+      query.kind = mc::EngineQuery::Kind::kFindState;
+      query.goal = all_active_goal(model);
+      break;
+    case Property::kRecoverability:
+      query.kind = mc::EngineQuery::Kind::kRecoverability;
+      query.goal = all_active_goal(model);
+      break;
+  }
+  return query;
+}
+
+}  // namespace tta::svc

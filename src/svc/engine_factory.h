@@ -1,0 +1,35 @@
+// The single point where a JobSpec's EngineChoice becomes an mc::Engine
+// object, and where a service Property becomes an mc::EngineQuery.
+//
+// Everything above this file schedules engines through the uniform
+// mc::Engine interface; per-engine branching lives here and nowhere else
+// in src/svc. Adding an engine (a TMR tiebreaker, a disk-backed table)
+// means one new case in make_engine, not a new arm in every dispatch site.
+#pragma once
+
+#include <memory>
+
+#include "mc/engine.h"
+#include "svc/job_spec.h"
+#include "svc/service_config.h"
+
+namespace tta::svc {
+
+struct EngineSelection {
+  /// The concrete choice after kAuto resolution (never kAuto).
+  EngineChoice resolved = EngineChoice::kSerial;
+  std::unique_ptr<mc::Engine> engine;
+};
+
+/// Builds the engine for `spec`: kAuto resolves by estimated cost against
+/// ServiceConfig::auto_parallel_threshold; kRedundant composes the serial
+/// reference with a parallel shadow via mc::RedundantEngine.
+EngineSelection make_engine(const JobSpec& spec, const ServiceConfig& config);
+
+/// Maps the spec's Property onto the declarative engine query (predicate +
+/// kind + budget). `model` is only consulted for its node count; the query
+/// does not retain a reference to it.
+mc::EngineQuery make_engine_query(const JobSpec& spec,
+                                  const mc::TtpcStarModel& model);
+
+}  // namespace tta::svc

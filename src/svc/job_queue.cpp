@@ -1,0 +1,35 @@
+#include "svc/job_queue.h"
+
+namespace tta::svc {
+
+JobQueue::Ticket JobQueue::admit(const JobSpec& spec, std::uint64_t session,
+                                 std::uint64_t sequence) {
+  // Canonicalize before the bound check: a rejected job must still report
+  // its digest (admission refusal is an explicit result, and callers
+  // correlate it with the submitted spec by identity).
+  Ticket ticket;
+  ticket.digest = spec.digest();
+  ticket.cost = spec.estimated_cost();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.size() >= max_pending_) return ticket;
+  queue_.push(Entry{spec, session, sequence, ticket.digest, next_order_++,
+                    std::chrono::steady_clock::now(), ticket.cost});
+  ticket.admitted = true;
+  return ticket;
+}
+
+std::optional<JobQueue::Entry> JobQueue::pop_cheapest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Entry top = queue_.top();
+  queue_.pop();
+  return top;
+}
+
+std::size_t JobQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace tta::svc

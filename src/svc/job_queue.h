@@ -1,0 +1,68 @@
+// Priority queue of admitted jobs, cheapest estimated cost first (the E4
+// state-count model). Running the cheap cells of a grid first maximizes
+// early feedback and keeps the expensive stragglers from head-blocking
+// everything else on the workers. Shared by every session of an
+// AsyncService, so one queue orders work across concurrent sessions.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "svc/job_spec.h"
+
+namespace tta::svc {
+
+class JobQueue {
+ public:
+  /// Admission outcome. The spec is canonicalized (digest + cost) *before*
+  /// the bound check, so a rejected job still reports its identity and
+  /// callers can correlate rejections with specs in streamed output.
+  struct Ticket {
+    bool admitted = false;
+    std::uint64_t digest = 0;
+    double cost = 0.0;
+  };
+
+  struct Entry {
+    JobSpec spec;
+    std::uint64_t session = 0;   ///< owning session id (0 for direct use)
+    std::uint64_t sequence = 0;  ///< session-scoped submission sequence
+    std::uint64_t digest = 0;    ///< canonical digest, computed at admit
+    std::uint64_t order = 0;     ///< global admission order (tie-break)
+    std::chrono::steady_clock::time_point admitted_at{};
+    double cost = 0.0;
+  };
+
+  explicit JobQueue(std::size_t max_pending) : max_pending_(max_pending) {}
+
+  /// Ticket::admitted is false when the queue is at max_pending; the
+  /// ticket's digest and cost are valid either way.
+  Ticket admit(const JobSpec& spec, std::uint64_t session,
+               std::uint64_t sequence);
+
+  /// Pops the cheapest pending job; nullopt when drained.
+  std::optional<Entry> pop_cheapest();
+
+  std::size_t pending() const;
+
+ private:
+  struct CostOrder {
+    bool operator()(const Entry& a, const Entry& b) const {
+      // priority_queue keeps the *largest* on top; invert for cheapest-
+      // first, tie-breaking on admission order for determinism.
+      return a.cost != b.cost ? a.cost > b.cost : a.order > b.order;
+    }
+  };
+
+  const std::size_t max_pending_;
+  mutable std::mutex mu_;
+  std::uint64_t next_order_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, CostOrder> queue_;
+};
+
+}  // namespace tta::svc

@@ -1,0 +1,95 @@
+#include "svc/job_result.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/digest.h"
+
+namespace tta::svc {
+
+namespace {
+
+std::string number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string number(std::uint64_t v) { return std::to_string(v); }
+
+std::string stats_json(const mc::CheckStats& stats) {
+  std::string out = "{";
+  out += "\"states\":" + number(stats.states_explored);
+  out += ",\"transitions\":" + number(stats.transitions);
+  out += ",\"depth\":" + number(stats.max_depth);
+  out += ",\"seconds\":" + number(stats.seconds);
+  out += ",\"exhausted\":" + number(std::uint64_t{stats.exhausted});
+  out += ",\"cancelled\":" + number(std::uint64_t{stats.cancelled});
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string JobOutcome::to_json() const {
+  std::string out = "{";
+  out += "\"rejected\":" + number(std::uint64_t{rejected});
+  out += ",\"redundant\":" + number(std::uint64_t{redundant});
+  out += ",\"attempts\":[";
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const Attempt& a = attempts[i];
+    if (i) out += ",";
+    out += "{\"verdict\":\"";
+    out += mc::to_string(a.verdict);
+    out += "\",\"cancelled\":" + number(std::uint64_t{a.cancelled});
+    out += ",\"seconds\":" + number(a.seconds);
+    out += ",\"deadline_ms\":" + number(std::uint64_t{a.deadline_ms});
+    out += "}";
+  }
+  out += "]";
+  if (redundant) out += ",\"secondary\":" + stats_json(secondary_stats);
+  out += "}";
+  return out;
+}
+
+std::string config_label(const JobSpec& spec) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s/n%u/oos%u",
+                guardian::to_string(spec.model.authority),
+                spec.model.protocol.num_nodes,
+                std::min(spec.model.max_out_of_slot_errors, 7u));
+  return buf;
+}
+
+std::string result_json(const JobSpec& spec, const JobResult& result,
+                        unsigned pass, std::uint64_t seq, double ts_ms) {
+  std::string out = "{";
+  out += "\"pass\":" + number(std::uint64_t{pass});
+  out += ",\"seq\":" + number(seq);
+  out += ",\"ts_ms\":" + number(ts_ms);
+  out += ",\"digest\":\"" + util::digest_hex(result.digest) + "\"";
+  out += ",\"config\":\"" + config_label(spec) + "\"";
+  out += ",\"property\":\"";
+  out += to_string(spec.property);
+  out += "\",\"engine\":\"";
+  out += to_string(result.engine_used);
+  out += "\",\"verdict\":\"";
+  out += mc::to_string(result.verdict);
+  out += "\",\"states\":" + number(result.stats.states_explored);
+  out += ",\"transitions\":" + number(result.stats.transitions);
+  out += ",\"depth\":" + number(result.stats.max_depth);
+  out += ",\"trace_len\":" + number(std::uint64_t{result.trace.size()});
+  out += ",\"dead_states\":" + number(result.dead_states);
+  out += ",\"engine_seconds\":" + number(result.stats.seconds);
+  out += ",\"queue_seconds\":" + number(result.queue_seconds);
+  out += ",\"deadline_hit\":" + number(std::uint64_t{result.stats.cancelled});
+  out += ",\"from_cache\":" + number(std::uint64_t{result.from_cache});
+  out += ",\"from_persistent\":" +
+         number(std::uint64_t{result.from_persistent});
+  out += ",\"resumed\":" + number(std::uint64_t{result.stats.resumed});
+  out += ",\"outcome\":" + result.outcome.to_json();
+  out += "}";
+  return out;
+}
+
+}  // namespace tta::svc

@@ -1,0 +1,80 @@
+// What the service reports back for one job, and the single definition of
+// its JSON wire format.
+//
+// JobResult carries the answer (verdict, stats, trace); JobOutcome groups
+// the how-it-got-there summary — admission rejection, the retry attempt
+// history, and the redundant run's second stat block — behind one stable
+// to_json(), so both tta_verify_batch output modes (--json and --stream)
+// serialize the same bytes for the same job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/checker.h"
+#include "svc/job_spec.h"
+
+namespace tta::svc {
+
+/// How a job concluded, beyond the verdict itself.
+struct JobOutcome {
+  /// One engine invocation in the job's retry history (recorded only for
+  /// runs that actually executed — cache hits and rejections attempt
+  /// nothing).
+  struct Attempt {
+    mc::Verdict verdict = mc::Verdict::kInconclusive;
+    bool cancelled = false;       ///< the deadline fired / cancel() landed
+    double seconds = 0.0;         ///< engine wall time for this attempt
+    std::uint32_t deadline_ms = 0;  ///< (escalated) deadline it ran under
+  };
+
+  /// Admission refused (session bound or queue bound) or the session
+  /// drained before the job ran; the job never executed.
+  bool rejected = false;
+  /// Produced by the redundant dual-engine composition.
+  bool redundant = false;
+  /// Attempt history across retries; size > 1 means the job was retried
+  /// after an inconclusive attempt.
+  std::vector<Attempt> attempts;
+  /// Redundant execution only: the cross-checked second engine's stats
+  /// (JobResult::stats holds the engine whose answer was adopted).
+  mc::CheckStats secondary_stats;
+
+  /// Stable one-line JSON object, e.g.
+  ///   {"rejected":0,"redundant":0,"attempts":[{"verdict":"INCONCLUSIVE",
+  ///    "cancelled":1,"seconds":0.12,"deadline_ms":120}]}
+  /// with a "secondary" stats object appended when redundant.
+  std::string to_json() const;
+};
+
+/// Everything the service reports back for one job. For counterexample /
+/// witness queries the full trace is retained so callers can narrate it
+/// with mc::TracePrinter.
+struct JobResult {
+  std::uint64_t digest = 0;
+  Property property = Property::kNoIntegratedNodeFreezes;
+  mc::Verdict verdict = mc::Verdict::kInconclusive;
+  bool from_cache = false;
+  bool from_persistent = false;  ///< hit served by the on-disk cache
+  EngineChoice engine_used = EngineChoice::kSerial;
+  mc::CheckStats stats;
+  std::uint64_t dead_states = 0;  ///< recoverability only
+  std::vector<mc::TraceStep> trace;  ///< counterexample / witness
+  double queue_seconds = 0.0;  ///< admission -> dispatch latency
+  JobOutcome outcome;
+};
+
+/// The full per-job JSON-lines record emitted by tta_verify_batch --stream:
+/// one self-contained object per concluded job, timestamped (`ts_ms` is
+/// milliseconds since the pass started) and ordered by conclusion, e.g.
+///   {"pass":1,"seq":3,"ts_ms":41.8,"digest":"...","config":"passive/n4/
+///    oos2","property":"safety","engine":"serial","verdict":"HOLDS",...,
+///    "outcome":{...}}
+std::string result_json(const JobSpec& spec, const JobResult& result,
+                        unsigned pass, std::uint64_t seq, double ts_ms);
+
+/// The "authority/nN/oosK" config cell used in tables and JSON records.
+std::string config_label(const JobSpec& spec);
+
+}  // namespace tta::svc

@@ -100,6 +100,12 @@ std::string Metrics::dump() const {
                 static_cast<unsigned long long>(v(checkpoint_resumes)));
   out += buf;
   std::snprintf(buf, sizeof buf,
+                "async: sessions=%llu streamed=%llu drain_rejected=%llu\n",
+                static_cast<unsigned long long>(v(sessions_opened)),
+                static_cast<unsigned long long>(v(results_streamed)),
+                static_cast<unsigned long long>(v(drain_rejected)));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
                 "queue latency: mean=%.6fs p50<=%.6fs p99<=%.6fs  %s\n",
                 queue_latency.mean_seconds(),
                 queue_latency.quantile_seconds(0.5),

@@ -85,6 +85,12 @@ class Metrics {
   std::atomic<std::uint64_t> redundant_runs{0};
   std::atomic<std::uint64_t> engine_divergence{0};
   std::atomic<std::uint64_t> checkpoint_resumes{0};
+  // Async serving: sessions opened, results delivered onto session streams
+  // (completions, cancellations, and buffered rejections alike), and jobs
+  // rejected by drain() while still queued.
+  std::atomic<std::uint64_t> sessions_opened{0};
+  std::atomic<std::uint64_t> results_streamed{0};
+  std::atomic<std::uint64_t> drain_rejected{0};
 
   LatencyHistogram queue_latency;  ///< admission -> dispatch
   LatencyHistogram job_latency;    ///< dispatch -> result (incl. cache hits)

@@ -14,47 +14,10 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
-#include <vector>
 
-#include "mc/checker.h"
-#include "svc/job_spec.h"
+#include "svc/job_result.h"
 
 namespace tta::svc {
-
-/// Everything the service reports back for one job. For counterexample /
-/// witness queries the full trace is retained so callers can narrate it
-/// with mc::TracePrinter.
-struct JobResult {
-  /// One engine invocation in this job's retry history (recorded only for
-  /// runs that actually executed — cache hits and rejections attempt
-  /// nothing).
-  struct Attempt {
-    mc::Verdict verdict = mc::Verdict::kInconclusive;
-    bool cancelled = false;       ///< the soft deadline fired
-    double seconds = 0.0;         ///< engine wall time for this attempt
-    std::uint32_t deadline_ms = 0;  ///< (escalated) deadline it ran under
-  };
-
-  std::uint64_t digest = 0;
-  Property property = Property::kNoIntegratedNodeFreezes;
-  mc::Verdict verdict = mc::Verdict::kInconclusive;
-  bool from_cache = false;
-  bool from_persistent = false;  ///< hit served by the on-disk cache
-  bool rejected = false;  ///< admission refused (queue bound); never ran
-  EngineChoice engine_used = EngineChoice::kSerial;
-  mc::CheckStats stats;
-  std::uint64_t dead_states = 0;  ///< recoverability only
-  std::vector<mc::TraceStep> trace;  ///< counterexample / witness
-  double queue_seconds = 0.0;  ///< admission -> dispatch latency
-  /// Attempt history across retry rounds; size > 1 means the job was
-  /// re-admitted after an inconclusive attempt.
-  std::vector<Attempt> attempts;
-  /// Redundant execution only: the cross-checked second engine's stats
-  /// (`stats` holds the engine whose answer was adopted — the serial
-  /// reference when both concluded).
-  bool redundant = false;
-  mc::CheckStats secondary_stats;
-};
 
 class ResultCache {
  public:

@@ -1,0 +1,24 @@
+#include "svc/result_stream.h"
+
+namespace tta::svc {
+
+std::optional<StreamedResult> ResultStream::consumed(
+    std::optional<StreamedResult> item) {
+  if (item && open_) open_->fetch_sub(1, std::memory_order_relaxed);
+  return item;
+}
+
+std::optional<StreamedResult> ResultStream::try_next() {
+  return consumed(queue_.try_pop());
+}
+
+std::optional<StreamedResult> ResultStream::next() {
+  return consumed(queue_.pop());
+}
+
+std::optional<StreamedResult> ResultStream::next(
+    std::chrono::milliseconds timeout) {
+  return consumed(queue_.pop_for(timeout));
+}
+
+}  // namespace tta::svc

@@ -1,0 +1,77 @@
+// Completion-order result delivery for async verification sessions.
+//
+// Each svc::Session owns one ResultStream. Workers push a StreamedResult
+// the moment a job concludes (in completion order, not submission order);
+// the session's consumer polls try_next() or blocks on next(), optionally
+// with a deadline. The stream is bounded, but its backpressure is exerted
+// at *submission*: a job counts as open from submit() until its result is
+// consumed here, and the session rejects submissions beyond
+// ServiceConfig::max_pending open jobs — so pushes never block a worker,
+// and a slow consumer throttles its own submitters instead of the service.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "svc/job_result.h"
+#include "util/bounded_mpsc.h"
+
+namespace tta::svc {
+
+/// Ticket for one submission: the query's canonical digest plus the
+/// session-scoped submission sequence number (1-based; 0 = invalid, from
+/// a submission the session could not even buffer a rejection for).
+struct JobHandle {
+  std::uint64_t digest = 0;
+  std::uint64_t sequence = 0;
+  bool valid() const { return sequence != 0; }
+};
+
+struct StreamedResult {
+  JobHandle handle;
+  JobResult result;
+};
+
+class ResultStream {
+ public:
+  ResultStream(const ResultStream&) = delete;
+  ResultStream& operator=(const ResultStream&) = delete;
+
+  /// Non-blocking poll; nullopt when nothing has concluded yet (or the
+  /// stream is exhausted — use exhausted() to tell the two apart).
+  std::optional<StreamedResult> try_next();
+
+  /// Blocks until a result concludes or the stream ends (drain/close).
+  std::optional<StreamedResult> next();
+
+  /// Blocks up to `timeout`; nullopt on timeout or end-of-stream.
+  std::optional<StreamedResult> next(std::chrono::milliseconds timeout);
+
+  /// Closed (session drained) and fully consumed: no result will ever
+  /// arrive again.
+  bool exhausted() const { return queue_.exhausted(); }
+
+  /// Results concluded but not yet consumed.
+  std::size_t buffered() const { return queue_.size(); }
+
+ private:
+  friend class AsyncService;
+  friend class Session;
+
+  /// `open` is the owning session's open-job gauge, decremented as results
+  /// are consumed (consumption is what frees an admission slot).
+  ResultStream(std::size_t capacity, std::atomic<std::uint64_t>* open)
+      : queue_(capacity), open_(open) {}
+
+  bool push(StreamedResult item) { return queue_.try_push(std::move(item)); }
+  void close() { queue_.close(); }
+
+  std::optional<StreamedResult> consumed(std::optional<StreamedResult> item);
+
+  util::BoundedMpscQueue<StreamedResult> queue_;
+  std::atomic<std::uint64_t>* open_;
+};
+
+}  // namespace tta::svc

@@ -1,76 +1,12 @@
 #include "svc/service.h"
 
-#include <cstdio>
-#include <filesystem>
-#include <system_error>
-#include <thread>
-
-#include "mc/checkpoint.h"
-#include "mc/parallel_checker.h"
-#include "util/cancel_token.h"
+#include <unordered_map>
+#include <utility>
 
 namespace tta::svc {
 
-namespace {
-
-mc::Checker<mc::TtpcStarModel>::Goal all_active_goal(
-    const mc::TtpcStarModel& model) {
-  const std::size_t n = model.num_nodes();
-  return [n](const mc::WorldState& w) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
-    }
-    return true;
-  };
-}
-
-double seconds_between(std::chrono::steady_clock::time_point a,
-                       std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-bool conclusive(mc::Verdict verdict) {
-  return verdict == mc::Verdict::kHolds || verdict == mc::Verdict::kViolated;
-}
-
-}  // namespace
-
-bool JobQueue::admit(const JobSpec& spec, std::size_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (queue_.size() >= max_pending_) return false;
-  queue_.push(Entry{spec, index, std::chrono::steady_clock::now(),
-                    spec.estimated_cost()});
-  return true;
-}
-
-std::optional<JobQueue::Entry> JobQueue::pop_cheapest() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (queue_.empty()) return std::nullopt;
-  Entry top = queue_.top();
-  queue_.pop();
-  return top;
-}
-
-std::size_t JobQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
-}
-
 VerificationService::VerificationService(ServiceConfig config)
-    : config_(config),
-      cache_(config.cache_capacity),
-      pool_(config.workers) {
-  if (!config_.cache_dir.empty()) {
-    persistent_ = std::make_unique<PersistentCache>(
-        PersistentCacheConfig{config_.cache_dir,
-                              config_.persistent_compact_after},
-        &metrics_);
-  }
-  if (!config_.checkpoint_dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(config_.checkpoint_dir, ec);
-  }
-}
+    : async_(std::move(config)) {}
 
 JobResult VerificationService::run(const JobSpec& spec) {
   return run_batch({spec})[0];
@@ -79,311 +15,35 @@ JobResult VerificationService::run(const JobSpec& spec) {
 std::vector<JobResult> VerificationService::run_batch(
     const std::vector<JobSpec>& jobs) {
   std::vector<JobResult> results(jobs.size());
-  // Deadlines escalate across retry rounds; everything else about a spec is
-  // immutable (max_states is part of the digest — the query's identity).
-  std::vector<JobSpec> attempt_specs = jobs;
-  std::vector<std::vector<JobResult::Attempt>> history(jobs.size());
 
-  JobQueue queue(config_.max_pending);
-  std::vector<std::size_t> pending;
+  std::shared_ptr<Session> session = async_.open_session();
+  std::unordered_map<std::uint64_t, std::size_t> by_sequence;
+  by_sequence.reserve(jobs.size());
+  std::size_t expected = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (queue.admit(jobs[i], i)) {
-      metrics_.jobs_admitted.fetch_add(1, std::memory_order_relaxed);
-      pending.push_back(i);
+    const JobHandle handle = session->submit(jobs[i]);
+    if (handle.valid()) {
+      by_sequence.emplace(handle.sequence, i);
+      ++expected;
     } else {
-      metrics_.jobs_rejected.fetch_add(1, std::memory_order_relaxed);
-      results[i].digest = jobs[i].digest();
+      // Past the rejection buffer too: synthesize the explicit rejection
+      // the stream could not carry.
+      results[i].digest = handle.digest;
       results[i].property = jobs[i].property;
-      results[i].rejected = true;  // verdict stays kInconclusive
+      results[i].outcome.rejected = true;  // verdict stays kInconclusive
     }
   }
 
-  const unsigned max_attempts = std::max(1u, config_.retry.max_attempts);
-  for (unsigned attempt = 1;; ++attempt) {
-    // One pool task per pending job; each task claims the cheapest job
-    // still queued at the moment it starts, so dispatch order is cheapest-
-    // first while expensive jobs still overlap across workers.
-    pool_.run_tasks(pending.size(), [&](std::size_t) {
-      std::optional<JobQueue::Entry> entry = queue.pop_cheapest();
-      if (!entry) return;  // can't happen: one task per queued job
-      results[entry->index] = process(entry->spec, entry->admitted_at);
-    });
-
-    std::vector<std::size_t> retry;
-    for (std::size_t i : pending) {
-      const JobResult& r = results[i];
-      if (r.from_cache || r.rejected) continue;
-      history[i].push_back(JobResult::Attempt{
-          r.verdict, r.stats.cancelled, r.stats.seconds,
-          attempt_specs[i].deadline_ms});
-      if (r.verdict == mc::Verdict::kInconclusive) retry.push_back(i);
-    }
-    if (retry.empty() || attempt >= max_attempts) break;
-
-    // Back off before the next round (deterministic — no RNG, no clock
-    // reads beyond the sleep itself), then re-admit with a longer leash.
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(config_.retry.backoff.delay_ms(attempt)));
-    pending.clear();
-    for (std::size_t i : retry) {
-      JobSpec& spec = attempt_specs[i];
-      if (spec.deadline_ms > 0) {
-        const double escalated = static_cast<double>(spec.deadline_ms) *
-                                 config_.retry.deadline_escalation;
-        spec.deadline_ms = escalated >= static_cast<double>(UINT32_MAX)
-                               ? UINT32_MAX
-                               : static_cast<std::uint32_t>(escalated);
-      }
-      if (queue.admit(spec, i)) {
-        metrics_.jobs_retried.fetch_add(1, std::memory_order_relaxed);
-        pending.push_back(i);
-      }
-    }
-    if (pending.empty()) break;
+  while (expected > 0) {
+    std::optional<StreamedResult> item = session->results().next();
+    if (!item) break;  // stream ended early (service shutdown)
+    auto it = by_sequence.find(item->handle.sequence);
+    if (it == by_sequence.end()) continue;
+    results[it->second] = std::move(item->result);
+    --expected;
   }
-
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    results[i].attempts = std::move(history[i]);
-  }
+  session->drain();
   return results;
-}
-
-JobResult VerificationService::process(
-    const JobSpec& spec, std::chrono::steady_clock::time_point admitted_at) {
-  const auto dispatched_at = std::chrono::steady_clock::now();
-  const double queue_seconds = seconds_between(admitted_at, dispatched_at);
-  metrics_.queue_latency.record_seconds(queue_seconds);
-
-  auto finish_hit = [&](JobResult& result) {
-    result.queue_seconds = queue_seconds;
-    metrics_.jobs_completed.fetch_add(1, std::memory_order_relaxed);
-    metrics_.job_latency.record_seconds(
-        seconds_between(dispatched_at, std::chrono::steady_clock::now()));
-  };
-
-  const std::uint64_t key = spec.digest();
-  JobResult result;
-  if (cache_.lookup(key, &result)) {
-    metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-    result.from_cache = true;
-    finish_hit(result);
-    return result;
-  }
-  metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
-
-  // LRU missed; the on-disk store may still know the answer (an earlier
-  // process computed it, or this one before a crash / restart).
-  if (persistent_ && persistent_->lookup(spec, &result)) {
-    metrics_.persistent_hits.fetch_add(1, std::memory_order_relaxed);
-    cache_.insert(key, result);  // promote for the rest of the batch
-    // A crash can leave the job's wavefront behind even though its verdict
-    // reached the journal (insert and remove are not atomic together);
-    // since the answer is durable, the checkpoint is garbage.
-    if (const std::string path = checkpoint_path(spec); !path.empty()) {
-      mc::remove_checkpoint(path);
-    }
-    finish_hit(result);
-    return result;
-  }
-
-  result = execute(spec);
-  result.digest = key;
-  result.queue_seconds = queue_seconds;
-
-  metrics_.states_explored.fetch_add(result.stats.states_explored,
-                                     std::memory_order_relaxed);
-  metrics_.transitions.fetch_add(result.stats.transitions,
-                                 std::memory_order_relaxed);
-  metrics_.engine_micros.fetch_add(
-      static_cast<std::uint64_t>(result.stats.seconds * 1e6),
-      std::memory_order_relaxed);
-  if (result.stats.cancelled) {
-    metrics_.jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (result.stats.resumed) {
-    metrics_.checkpoint_resumes.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (result.redundant) {
-    metrics_.redundant_runs.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (result.verdict == mc::Verdict::kEngineDivergence) {
-    metrics_.engine_divergence.fetch_add(1, std::memory_order_relaxed);
-  }
-  metrics_.jobs_completed.fetch_add(1, std::memory_order_relaxed);
-  metrics_.job_latency.record_seconds(
-      seconds_between(dispatched_at, std::chrono::steady_clock::now()));
-
-  // Only conclusive verdicts are cacheable: an inconclusive result is a
-  // property of this run's deadline/budget, not of the query, and a
-  // divergence is a defect report, not an answer.
-  if (conclusive(result.verdict)) {
-    cache_.insert(key, result);
-    if (persistent_) persistent_->insert(spec, result);
-    if (const std::string path = checkpoint_path(spec); !path.empty()) {
-      mc::remove_checkpoint(path);  // the wavefront served its purpose
-    }
-  }
-  return result;
-}
-
-JobResult VerificationService::execute(const JobSpec& spec) const {
-  if (spec.engine != EngineChoice::kRedundant) {
-    return execute_single(spec, /*allow_checkpoint=*/true);
-  }
-  // Redundant fan-out: the same query on both engines, concurrently, each
-  // under its own deadline token. Checkpointing is disabled for both —
-  // two engines racing on one wavefront file would corrupt it, and
-  // per-engine files would let a resumed half diverge for free.
-  JobSpec serial_spec = spec;
-  serial_spec.engine = EngineChoice::kSerial;
-  JobSpec parallel_spec = spec;
-  parallel_spec.engine = EngineChoice::kParallel;
-
-  JobResult serial_result;
-  std::thread serial_thread([&] {
-    serial_result = execute_single(serial_spec, /*allow_checkpoint=*/false);
-  });
-  JobResult parallel_result =
-      execute_single(parallel_spec, /*allow_checkpoint=*/false);
-  serial_thread.join();
-  return cross_check_results(serial_result, parallel_result);
-}
-
-JobResult VerificationService::execute_single(const JobSpec& spec,
-                                              bool allow_checkpoint) const {
-  JobResult result;
-  result.property = spec.property;
-
-  EngineChoice engine = spec.engine;
-  if (engine == EngineChoice::kAuto) {
-    engine = spec.estimated_cost() >= config_.auto_parallel_threshold
-                 ? EngineChoice::kParallel
-                 : EngineChoice::kSerial;
-  }
-  result.engine_used = engine;
-
-  const util::CancelToken token =
-      spec.deadline_ms > 0
-          ? util::CancelToken::after(
-                std::chrono::milliseconds(spec.deadline_ms))
-          : util::CancelToken();
-  const util::CancelToken* cancel = spec.deadline_ms > 0 ? &token : nullptr;
-
-  mc::CheckpointConfig ckpt_config;
-  const mc::CheckpointConfig* ckpt = nullptr;
-  if (allow_checkpoint) {
-    if (const std::string path = checkpoint_path(spec); !path.empty()) {
-      ckpt_config.path = path;
-      ckpt_config.binding = spec.digest();
-      ckpt = &ckpt_config;
-    }
-  }
-
-  mc::TtpcStarModel model(spec.model);
-  const unsigned threads =
-      spec.threads != 0 ? spec.threads : config_.parallel_engine_threads;
-
-  auto take_check = [&result](mc::CheckResult&& res) {
-    result.verdict = res.verdict;
-    result.stats = res.stats;
-    result.trace = std::move(res.trace);
-  };
-
-  switch (spec.property) {
-    case Property::kNoIntegratedNodeFreezes: {
-      auto violation = mc::no_integrated_node_freezes();
-      if (engine == EngineChoice::kParallel) {
-        mc::ParallelChecker checker(model, threads);
-        take_check(checker.check(violation, spec.max_states, cancel, ckpt));
-      } else {
-        take_check(mc::Checker(model).check(violation, spec.max_states,
-                                            cancel, ckpt));
-      }
-      break;
-    }
-    case Property::kAllActiveReachable: {
-      auto goal = all_active_goal(model);
-      if (engine == EngineChoice::kParallel) {
-        mc::ParallelChecker checker(model, threads);
-        take_check(checker.find_state(goal, spec.max_states, cancel, ckpt));
-      } else {
-        take_check(mc::Checker(model).find_state(goal, spec.max_states,
-                                                 cancel, ckpt));
-      }
-      break;
-    }
-    case Property::kRecoverability: {
-      auto goal = all_active_goal(model);
-      mc::RecoverabilityResult res;
-      if (engine == EngineChoice::kParallel) {
-        mc::ParallelChecker checker(model, threads);
-        res = checker.check_recoverability(goal, spec.max_states, cancel);
-      } else {
-        res = mc::Checker(model).check_recoverability(goal, spec.max_states,
-                                                      cancel);
-      }
-      result.verdict = res.verdict;
-      result.stats = res.stats;
-      result.dead_states = res.dead_states;
-      result.trace = std::move(res.witness);
-      break;
-    }
-  }
-  return result;
-}
-
-std::string VerificationService::checkpoint_path(const JobSpec& spec) const {
-  if (config_.checkpoint_dir.empty()) return {};
-  // Recoverability carries the full edge list, which the checkpoint format
-  // deliberately does not (see mc/checkpoint.h) — it re-executes instead.
-  if (spec.property == Property::kRecoverability) return {};
-  if (spec.engine == EngineChoice::kRedundant) return {};
-  char name[32];
-  std::snprintf(name, sizeof name, "%016llx.ckpt",
-                static_cast<unsigned long long>(spec.digest()));
-  return config_.checkpoint_dir + "/" + name;
-}
-
-JobResult cross_check_results(const JobResult& serial,
-                              const JobResult& parallel) {
-  const bool s_ok = conclusive(serial.verdict);
-  const bool p_ok = conclusive(parallel.verdict);
-
-  JobResult merged;
-  bool serial_primary = true;
-  if (s_ok && p_ok) {
-    // Both answered: they must agree not just on the verdict but on the
-    // whole exploration fingerprint — the engines are contractually
-    // bit-identical (docs/CHECKER.md), so any delta means one of them is
-    // wrong and the result cannot be trusted.
-    const bool agree =
-        serial.verdict == parallel.verdict &&
-        serial.stats.states_explored == parallel.stats.states_explored &&
-        serial.stats.transitions == parallel.stats.transitions &&
-        serial.stats.max_depth == parallel.stats.max_depth &&
-        serial.dead_states == parallel.dead_states &&
-        serial.trace.size() == parallel.trace.size();
-    merged = serial;  // the single-threaded reference is the primary
-    if (!agree) {
-      merged.verdict = mc::Verdict::kEngineDivergence;
-      merged.trace.clear();  // neither trace deserves trust
-    }
-  } else if (s_ok != p_ok) {
-    // Exactly one engine concluded (the other hit its deadline or budget):
-    // the conclusive answer stands — this is the availability half of the
-    // redundancy tradeoff.
-    serial_primary = s_ok;
-    merged = s_ok ? serial : parallel;
-  } else {
-    // Neither concluded; report the attempt that got further.
-    serial_primary =
-        serial.stats.states_explored > parallel.stats.states_explored;
-    merged = serial_primary ? serial : parallel;
-  }
-  merged.redundant = true;
-  merged.engine_used = EngineChoice::kRedundant;
-  merged.secondary_stats = serial_primary ? parallel.stats : serial.stats;
-  return merged;
 }
 
 }  // namespace tta::svc

@@ -1,124 +1,37 @@
-// The verification job service: the serving layer between callers with
-// *families* of parameterized model-checking queries (grids, sweeps,
-// batches) and the two reachability engines.
+// Synchronous compatibility shim over the async verification service.
 //
-// Pipeline per job:
-//   admit -> JobQueue (cheapest-estimated-config first) -> ResultCache
-//   probe -> engine dispatch on a shared util::ThreadPool -> cache fill ->
-//   Metrics.
-// Per-job soft deadlines ride a util::CancelToken polled by the engines,
-// so an over-deadline job returns an explicit kInconclusive verdict with
-// partial statistics — the service never hangs and never fabricates a
-// verdict. The design follows the job-oriented frontends of multi-query
-// model-checking toolsets (LTSmin's pins frontends): declarative query
-// descriptions, pluggable engines, shared result storage.
+// The serving layer proper lives in svc/async_service.h: session-based
+// submission, completion-order streaming, per-job cancellation and
+// progress, graceful drain. VerificationService wraps exactly one Session
+// per batch so existing callers — and the paper's §5.2 grid — keep their
+// blocking call-and-return shape with bit-identical results:
 //
-// Fault-tolerance layers (docs/SERVICE.md):
-//   * cache_dir enables the crash-safe PersistentCache under the LRU, so
-//     conclusive verdicts survive restarts and SIGKILL;
-//   * checkpoint_dir enables BFS checkpoint/resume in the engines, so a
-//     killed long run resumes at its last level barrier bit-identically;
-//   * RetryPolicy re-admits kInconclusive jobs (deadline / budget bails)
-//     with exponential backoff and an escalating deadline;
-//   * EngineChoice::kRedundant cross-checks both engines' answers and
-//     surfaces disagreement as mc::Verdict::kEngineDivergence.
+//   run_batch(jobs): open a session, submit every spec, consume the stream
+//   until each submission has answered, drain, and hand the results back in
+//   the caller's submission order.
+//
+// Everything the shim does is expressible in the public async API; nothing
+// here touches engines, caches, or the queue directly. New code should use
+// AsyncService — this header stays for the one-shot batch idiom.
+//
+// Fault-tolerance layers (docs/SERVICE.md) are unchanged: the crash-safe
+// PersistentCache under the LRU, BFS checkpoint/resume, RetryPolicy
+// re-attempts for kInconclusive bails, and EngineChoice::kRedundant
+// cross-checking through mc::RedundantEngine.
 #pragma once
 
-#include <chrono>
-#include <cstddef>
 #include <memory>
-#include <mutex>
-#include <optional>
-#include <queue>
-#include <string>
 #include <vector>
 
+#include "svc/async_service.h"
+#include "svc/job_result.h"
 #include "svc/job_spec.h"
 #include "svc/metrics.h"
 #include "svc/persistent_cache.h"
 #include "svc/result_cache.h"
-#include "util/backoff.h"
-#include "util/thread_pool.h"
+#include "svc/service_config.h"
 
 namespace tta::svc {
-
-/// Re-admission of jobs whose attempt ended kInconclusive — the soft
-/// deadline fired or the state budget bailed. Those are properties of the
-/// *attempt*, not the query, so a later attempt with a longer leash can
-/// still conclude. Retries never change max_states (that is part of the
-/// query digest — a different budget is a different query).
-struct RetryPolicy {
-  /// Total attempts per job including the first; 1 disables retries.
-  unsigned max_attempts = 1;
-  /// Each retry multiplies the job's soft deadline by this (jobs with no
-  /// deadline just rerun and rely on the backoff for changed conditions).
-  double deadline_escalation = 2.0;
-  /// Deterministic exponential backoff slept between retry rounds.
-  util::BackoffPolicy backoff;
-};
-
-struct ServiceConfig {
-  std::size_t cache_capacity = 256;
-  /// Admission bound: jobs beyond this many pending are rejected outright
-  /// (an explicit JobResult::rejected, not an error or a hang).
-  std::size_t max_pending = 4096;
-  /// Concurrent jobs; 0 = hardware concurrency.
-  unsigned workers = 0;
-  /// Threads given to the parallel engine when a spec leaves it 0. Kept
-  /// small by default: job-level parallelism is the primary axis, so the
-  /// two multiplied together should stay near the core count.
-  unsigned parallel_engine_threads = 2;
-  /// EngineChoice::kAuto picks the parallel engine when the estimated
-  /// state count exceeds this (small spaces aren't worth the coordination).
-  double auto_parallel_threshold = 500'000.0;
-  /// Directory for the crash-safe persistent result cache; empty disables
-  /// it (in-memory LRU only).
-  std::string cache_dir;
-  /// Directory for engine BFS checkpoints (one file per job digest); empty
-  /// disables checkpoint/resume. Redundant jobs and recoverability queries
-  /// never checkpoint — see docs/SERVICE.md.
-  std::string checkpoint_dir;
-  RetryPolicy retry;
-  /// Journal appends between persistent-cache compactions.
-  std::size_t persistent_compact_after = 1024;
-};
-
-/// Priority queue of admitted jobs, cheapest estimated cost first (the E4
-/// state-count model). Running the cheap cells of a grid first maximizes
-/// early feedback and keeps the expensive stragglers from head-blocking
-/// everything else on the pool.
-class JobQueue {
- public:
-  struct Entry {
-    JobSpec spec;
-    std::size_t index = 0;  ///< caller's position in the submitted batch
-    std::chrono::steady_clock::time_point admitted_at{};
-    double cost = 0.0;
-  };
-
-  explicit JobQueue(std::size_t max_pending) : max_pending_(max_pending) {}
-
-  /// False when the queue is at max_pending (admission refused).
-  bool admit(const JobSpec& spec, std::size_t index);
-
-  /// Pops the cheapest pending job; nullopt when drained.
-  std::optional<Entry> pop_cheapest();
-
-  std::size_t pending() const;
-
- private:
-  struct CostOrder {
-    bool operator()(const Entry& a, const Entry& b) const {
-      // priority_queue keeps the *largest* on top; invert for cheapest-
-      // first, tie-breaking on submission order for determinism.
-      return a.cost != b.cost ? a.cost > b.cost : a.index > b.index;
-    }
-  };
-
-  const std::size_t max_pending_;
-  mutable std::mutex mu_;
-  std::priority_queue<Entry, std::vector<Entry>, CostOrder> queue_;
-};
 
 class VerificationService {
  public:
@@ -128,51 +41,22 @@ class VerificationService {
   /// Equivalent to run_batch({spec})[0].
   JobResult run(const JobSpec& spec);
 
-  /// Runs a batch: admission, cheapest-first dispatch across the worker
-  /// pool, retry rounds for inconclusive attempts, results in the caller's
+  /// Runs a batch: admission, cheapest-first dispatch across the workers,
+  /// retry rounds for inconclusive attempts, results in the caller's
   /// submission order. Every job completes or returns an explicit
   /// rejected / kInconclusive result.
   std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs);
 
-  const ServiceConfig& config() const { return config_; }
-  Metrics& metrics() { return metrics_; }
-  const Metrics& metrics() const { return metrics_; }
-  ResultCache& cache() { return cache_; }
-  const ResultCache& cache() const { return cache_; }
+  const ServiceConfig& config() const { return async_.config(); }
+  Metrics& metrics() { return async_.metrics(); }
+  const Metrics& metrics() const { return async_.metrics(); }
+  ResultCache& cache() { return async_.cache(); }
+  const ResultCache& cache() const { return async_.cache(); }
   /// Null unless ServiceConfig::cache_dir is set.
-  PersistentCache* persistent() { return persistent_.get(); }
+  PersistentCache* persistent() { return async_.persistent(); }
 
  private:
-  /// Cache probes + engine dispatch + cache fills + metrics, for one job.
-  JobResult process(const JobSpec& spec,
-                    std::chrono::steady_clock::time_point admitted_at);
-
-  /// Raw engine dispatch (no cache, no metrics). Fans out to both engines
-  /// for EngineChoice::kRedundant.
-  JobResult execute(const JobSpec& spec) const;
-
-  /// One engine invocation; `allow_checkpoint` is false inside redundant
-  /// fan-out (two engines must not share one checkpoint file).
-  JobResult execute_single(const JobSpec& spec, bool allow_checkpoint) const;
-
-  /// Path of the engine checkpoint for `spec`, or "" when disabled.
-  std::string checkpoint_path(const JobSpec& spec) const;
-
-  ServiceConfig config_;
-  ResultCache cache_;
-  Metrics metrics_;
-  std::unique_ptr<PersistentCache> persistent_;
-  util::ThreadPool pool_;
+  AsyncService async_;
 };
-
-/// Merges the results of a redundant dual-engine run (exposed for tests).
-/// Rules: both conclusive and agreeing (verdict + state counts + depth +
-/// trace length) -> the serial reference result with the parallel stats
-/// attached; both conclusive but disagreeing -> kEngineDivergence with
-/// both stat blocks and no trace; exactly one conclusive -> that answer
-/// (the redundancy payoff: one stalled engine no longer blocks the job);
-/// neither conclusive -> a merged kInconclusive.
-JobResult cross_check_results(const JobResult& serial,
-                              const JobResult& parallel);
 
 }  // namespace tta::svc

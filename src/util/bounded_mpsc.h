@@ -1,0 +1,120 @@
+// Bounded multi-producer / single-consumer queue, the delivery primitive
+// under svc::ResultStream.
+//
+// Deliberately a mutex + condvar queue, not a lock-free ring: items are
+// whole JobResults (traces included), so the copy dominates any lock cost,
+// and the consumer-side API needs deadline waits, which condvars give for
+// free. The queue closes exactly once; after close() producers fail fast
+// and the consumer drains whatever is buffered before seeing end-of-stream
+// (pop returning nullopt on a closed, empty queue).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tta::util {
+
+template <class T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Blocks while the queue is full; false once the queue is closed (the
+  /// item is dropped — there is no consumer left that could see it).
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when nothing is buffered (closed or not).
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return take_locked();
+  }
+
+  /// Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return take_locked();
+  }
+
+  /// Blocks up to `timeout`; nullopt on timeout or end-of-stream (use
+  /// exhausted() to tell the two apart).
+  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    return take_locked();
+  }
+
+  /// Idempotent. Wakes every blocked producer (they fail) and the consumer
+  /// (it drains the buffer, then sees end-of-stream).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Closed and fully drained: no item will ever be produced again.
+  bool exhausted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ && items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> take_locked() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tta::util

@@ -31,7 +31,7 @@ TEST(FeatureMatrix, RenderedTableHasVerdictColumn) {
 
 TEST(TraceExperiments, ColdStartDuplicationNarrates) {
   TraceExperiment exp = run_trace_coldstart_duplication();
-  EXPECT_FALSE(exp.result.holds);
+  EXPECT_FALSE(exp.result.holds());
   EXPECT_NE(exp.narration.find("replays the buffered cold_start"),
             std::string::npos);
   EXPECT_NE(exp.narration.find("FROZE"), std::string::npos);
@@ -40,7 +40,7 @@ TEST(TraceExperiments, ColdStartDuplicationNarrates) {
 
 TEST(TraceExperiments, CStateDuplicationNarrates) {
   TraceExperiment exp = run_trace_cstate_duplication();
-  EXPECT_FALSE(exp.result.holds);
+  EXPECT_FALSE(exp.result.holds());
   EXPECT_NE(exp.narration.find("replays the buffered c_state"),
             std::string::npos);
   EXPECT_EQ(exp.narration.find("replays the buffered cold_start"),

@@ -88,9 +88,9 @@ TEST(SerialCancel, PreCancelledCheckIsInconclusive) {
   EXPECT_TRUE(res.stats.cancelled);
   EXPECT_FALSE(res.stats.exhausted);
   EXPECT_TRUE(res.trace.empty());
-  // Legacy flag keeps its "default true, trust only when exhausted"
-  // contract.
-  EXPECT_TRUE(res.holds);
+  // holds() is computed from the verdict, so a bail can no longer
+  // masquerade as a pass (the old bool defaulted to true here).
+  EXPECT_FALSE(res.holds());
 }
 
 TEST(SerialCancel, DeadlineInterruptsMidRunWithPartialStats) {
@@ -115,7 +115,7 @@ TEST(SerialCancel, BudgetBailIsInconclusiveNotHolds) {
   EXPECT_EQ(res.verdict, Verdict::kInconclusive);
   EXPECT_FALSE(res.stats.exhausted);
   EXPECT_FALSE(res.stats.cancelled);  // budget, not cancellation
-  EXPECT_TRUE(res.holds);             // legacy contract unchanged
+  EXPECT_FALSE(res.holds());          // a bail is not a pass
 }
 
 TEST(SerialCancel, ExhaustiveVerdictsAreExplicit) {

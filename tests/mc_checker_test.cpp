@@ -25,7 +25,7 @@ TEST(Checker, StartupIsReachable) {
   Checker checker(model);
   auto res = checker.find_state(
       [&](const WorldState& w) { return all_active(model, w); });
-  EXPECT_FALSE(res.holds);  // reachable
+  EXPECT_FALSE(res.holds());  // reachable
   ASSERT_FALSE(res.trace.empty());
   EXPECT_TRUE(all_active(model, res.trace.back().after));
   EXPECT_TRUE(res.stats.exhausted);
@@ -47,7 +47,7 @@ TEST(Checker, GoalAtDepthZeroNeedsNoTrace) {
   TtpcStarModel model(config(guardian::Authority::kPassive));
   Checker checker(model);
   auto res = checker.find_state([](const WorldState&) { return true; });
-  EXPECT_FALSE(res.holds);
+  EXPECT_FALSE(res.holds());
   EXPECT_TRUE(res.trace.empty());
 }
 
@@ -58,7 +58,7 @@ TEST(Checker, UnreachableGoalIsExhausted) {
   auto res = checker.find_state([](const WorldState& w) {
     return w.nodes[0].state == ttpc::CtrlState::kDownload;
   });
-  EXPECT_TRUE(res.holds);
+  EXPECT_TRUE(res.holds());
   EXPECT_TRUE(res.stats.exhausted);
   EXPECT_GT(res.stats.states_explored, 1000u);
 }
@@ -71,15 +71,16 @@ TEST(Checker, StateBudgetStopsSearchUnexhausted) {
         return w.nodes[0].state == ttpc::CtrlState::kDownload;
       },
       /*max_states=*/500);
-  EXPECT_TRUE(res.holds);           // not found...
-  EXPECT_FALSE(res.stats.exhausted);  // ...but the verdict is inconclusive
+  EXPECT_FALSE(res.holds());          // a budget bail is not "unreachable"
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+  EXPECT_FALSE(res.stats.exhausted);
 }
 
 TEST(Checker, CounterexampleEndsWithTheViolation) {
   TtpcStarModel model(config(guardian::Authority::kFullShifting, 1));
   Checker checker(model);
   auto res = checker.check(no_integrated_node_freezes());
-  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.holds());
   ASSERT_FALSE(res.trace.empty());
   const TraceStep& last = res.trace.back();
   bool violation = false;
@@ -107,7 +108,7 @@ TEST(Checker, BfsTraceIsMinimal) {
   TtpcStarModel model(config(guardian::Authority::kFullShifting, 1));
   Checker checker(model);
   auto res = checker.check(no_integrated_node_freezes());
-  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.holds());
   auto violation = no_integrated_node_freezes();
   for (std::size_t i = 0; i + 1 < res.trace.size(); ++i) {
     EXPECT_FALSE(violation(res.trace[i].before, res.trace[i].after))
@@ -122,8 +123,8 @@ TEST(Checker, MoreOosErrorsGiveShorterOrEqualTraces) {
   TtpcStarModel limited(config(guardian::Authority::kFullShifting, 1));
   auto res_u = Checker(unconstrained).check(no_integrated_node_freezes());
   auto res_l = Checker(limited).check(no_integrated_node_freezes());
-  ASSERT_FALSE(res_u.holds);
-  ASSERT_FALSE(res_l.holds);
+  ASSERT_FALSE(res_u.holds());
+  ASSERT_FALSE(res_l.holds());
   EXPECT_LE(res_u.trace.size(), res_l.trace.size());
 }
 
@@ -131,7 +132,7 @@ TEST(Checker, StatsArePopulated) {
   TtpcStarModel model(config(guardian::Authority::kPassive));
   Checker checker(model);
   auto res = checker.check(no_integrated_node_freezes());
-  EXPECT_TRUE(res.holds);
+  EXPECT_TRUE(res.holds());
   EXPECT_GT(res.stats.states_explored, 10'000u);
   EXPECT_GT(res.stats.transitions, res.stats.states_explored);
   EXPECT_GT(res.stats.max_depth, 10u);

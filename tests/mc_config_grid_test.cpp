@@ -26,7 +26,7 @@ TEST_P(ConfigGrid, VerdictMatchesExpectation) {
   cfg.protocol.bad_dominates_fusion = p.bad_dominates_fusion;
   TtpcStarModel model(cfg);
   auto res = Checker(model).check(no_integrated_node_freezes());
-  EXPECT_EQ(res.holds, p.expect_holds)
+  EXPECT_EQ(res.holds(), p.expect_holds)
       << guardian::to_string(p.authority) << " big_bang=" << p.big_bang
       << " bad_dominates=" << p.bad_dominates_fusion;
   EXPECT_TRUE(res.stats.exhausted);
@@ -72,8 +72,8 @@ TEST(ConfigGridExtra, PessimisticFusionForfeitsChannelRedundancy) {
   TtpcStarModel m_pess(pess);
   auto r_opt = Checker(m_opt).check(no_integrated_node_freezes());
   auto r_pess = Checker(m_pess).check(no_integrated_node_freezes());
-  ASSERT_FALSE(r_opt.holds);
-  ASSERT_FALSE(r_pess.holds);
+  ASSERT_FALSE(r_opt.holds());
+  ASSERT_FALSE(r_pess.holds());
   EXPECT_LE(r_pess.trace.size(), r_opt.trace.size());
 }
 

@@ -54,7 +54,7 @@ TEST(MonitoredModel, PaperTraceOneShapeIsReachable) {
   MonitoredModel model(paper_trace1_config());
   Checker checker(model);
   auto res = checker.check(replay_victim_freezes());
-  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.holds());
   ASSERT_FALSE(res.trace.empty());
 
   // The victim both integrated via a replayed frame and froze.
@@ -89,8 +89,8 @@ TEST(MonitoredModel, ReplayVictimTraceIsLongerThanPlainShortest) {
   auto plain_res = Checker(plain).check(no_integrated_node_freezes());
   MonitoredModel monitored(paper_trace1_config());
   auto mon_res = Checker(monitored).check(replay_victim_freezes());
-  ASSERT_FALSE(plain_res.holds);
-  ASSERT_FALSE(mon_res.holds);
+  ASSERT_FALSE(plain_res.holds());
+  ASSERT_FALSE(mon_res.holds());
   EXPECT_GE(mon_res.trace.size(), plain_res.trace.size());
 }
 
@@ -99,14 +99,14 @@ TEST(MonitoredModel, NoReplayVictimsWithoutBufferingAuthority) {
   cfg.authority = guardian::Authority::kSmallShifting;
   MonitoredModel model(cfg);
   auto res = Checker(model).check(replay_victim_freezes());
-  EXPECT_TRUE(res.holds);
+  EXPECT_TRUE(res.holds());
   EXPECT_TRUE(res.stats.exhausted);
 }
 
 TEST(MonitoredModel, StripMonitorPreservesLabelsForNarration) {
   MonitoredModel model(paper_trace1_config());
   auto res = Checker(model).check(replay_victim_freezes());
-  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.holds());
   std::vector<TraceStep> base_trace = strip_monitor(res.trace);
   ASSERT_EQ(base_trace.size(), res.trace.size());
   TracePrinter printer(model.inner());
@@ -121,7 +121,7 @@ TEST(MonitoredModel, CStateVariantAlsoHasReplayVictims) {
   cfg.allow_coldstart_duplication = false;
   MonitoredModel model(cfg);
   auto res = Checker(model).check(replay_victim_freezes());
-  EXPECT_FALSE(res.holds);
+  EXPECT_FALSE(res.holds());
 }
 
 }  // namespace

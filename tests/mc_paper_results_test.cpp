@@ -23,7 +23,7 @@ TEST_P(AuthorityVerification, NonBufferingCouplersSatisfyTheProperty) {
   // that the property above holds."
   TtpcStarModel model(config(GetParam()));
   auto res = Checker(model).check(no_integrated_node_freezes());
-  EXPECT_TRUE(res.holds);
+  EXPECT_TRUE(res.holds());
   EXPECT_TRUE(res.stats.exhausted);  // exhaustive, hence a real verification
 }
 
@@ -38,7 +38,7 @@ TEST(PaperResults, FullShiftingViolatesTheProperty) {
   // examples."
   TtpcStarModel model(config(guardian::Authority::kFullShifting));
   auto res = Checker(model).check(no_integrated_node_freezes());
-  EXPECT_FALSE(res.holds);
+  EXPECT_FALSE(res.holds());
   EXPECT_FALSE(res.trace.empty());
 }
 
@@ -48,7 +48,7 @@ TEST(PaperResults, UnconstrainedShortestTraceUsesMultipleReplays) {
   // (more than the single-error budget would allow).
   TtpcStarModel model(config(guardian::Authority::kFullShifting));
   auto res = Checker(model).check(no_integrated_node_freezes());
-  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.holds());
   unsigned replays = 0;
   for (const TraceStep& step : res.trace) {
     replays += (step.label.fault0 == guardian::CouplerFault::kOutOfSlot);
@@ -65,7 +65,7 @@ TEST(PaperResults, SingleReplayStillBreaksStartupIntegration) {
   cfg.max_out_of_slot_errors = 1;
   TtpcStarModel model(cfg);
   auto res = Checker(model).check(no_integrated_node_freezes());
-  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.holds());
 
   // Exactly one replay occurs, and it duplicates a cold-start frame.
   unsigned replays = 0;
@@ -101,7 +101,7 @@ TEST(PaperResults, CStateDuplicationTraceExistsWhenColdStartForbidden) {
   cfg.allow_coldstart_duplication = false;
   TtpcStarModel model(cfg);
   auto res = Checker(model).check(no_integrated_node_freezes());
-  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.holds());
   bool cstate_replayed = false;
   for (const TraceStep& step : res.trace) {
     for (auto [fault, frame] :
@@ -122,7 +122,7 @@ TEST(PaperResults, ConstrainedTracesAreProgressivelyLonger) {
   auto trace_length = [](const ModelConfig& cfg) {
     TtpcStarModel model(cfg);
     auto res = Checker(model).check(no_integrated_node_freezes());
-    EXPECT_FALSE(res.holds);
+    EXPECT_FALSE(res.holds());
     return res.trace.size();
   };
   ModelConfig unconstrained = config(guardian::Authority::kFullShifting);
@@ -181,8 +181,8 @@ TEST(PaperResults, BigBangRemovalMakesSingleFakeColdStartDangerous) {
   TtpcStarModel m_without(without_bb);
   auto r_with = Checker(m_with).check(no_integrated_node_freezes());
   auto r_without = Checker(m_without).check(no_integrated_node_freezes());
-  ASSERT_FALSE(r_with.holds);
-  ASSERT_FALSE(r_without.holds);
+  ASSERT_FALSE(r_with.holds());
+  ASSERT_FALSE(r_without.holds());
   EXPECT_LE(r_without.trace.size(), r_with.trace.size());
 }
 
@@ -193,14 +193,14 @@ TEST(PaperResults, ThreeNodeClusterShowsTheSameDichotomy) {
     safe.protocol.num_nodes = n;
     safe.protocol.num_slots = n;
     TtpcStarModel m_safe(safe);
-    EXPECT_TRUE(Checker(m_safe).check(no_integrated_node_freezes()).holds)
+    EXPECT_TRUE(Checker(m_safe).check(no_integrated_node_freezes()).holds())
         << "n=" << int(n);
 
     ModelConfig unsafe = config(guardian::Authority::kFullShifting);
     unsafe.protocol.num_nodes = n;
     unsafe.protocol.num_slots = n;
     TtpcStarModel m_unsafe(unsafe);
-    EXPECT_FALSE(Checker(m_unsafe).check(no_integrated_node_freezes()).holds)
+    EXPECT_FALSE(Checker(m_unsafe).check(no_integrated_node_freezes()).holds())
         << "n=" << int(n);
   }
 }

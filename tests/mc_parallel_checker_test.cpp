@@ -40,7 +40,7 @@ TEST(ParallelChecker, MatchesSerialVerdictsOnAllFourAuthorityLevels) {
       ParallelChecker checker(model, threads);
       auto parallel = checker.check(no_integrated_node_freezes());
       const char* what = guardian::to_string(a);
-      EXPECT_EQ(serial.holds, parallel.holds)
+      EXPECT_EQ(serial.holds(), parallel.holds())
           << what << " threads=" << threads;
       EXPECT_EQ(serial.trace.size(), parallel.trace.size())
           << what << " threads=" << threads;
@@ -56,7 +56,7 @@ TEST(ParallelChecker, CounterexampleIsAValidMinimalViolationTrace) {
   TtpcStarModel model(config(guardian::Authority::kFullShifting));
   ParallelChecker checker(model, 4);
   auto res = checker.check(no_integrated_node_freezes());
-  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.holds());
   ASSERT_FALSE(res.trace.empty());
   EXPECT_EQ(res.trace.front().before, model.initial());
   for (std::size_t i = 1; i < res.trace.size(); ++i) {
@@ -79,11 +79,11 @@ TEST(ParallelChecker, FindStateMatchesSerialWitnessDepth) {
     return true;
   };
   auto serial = Checker(model).find_state(all_active);
-  ASSERT_FALSE(serial.holds);
+  ASSERT_FALSE(serial.holds());
   for (unsigned threads : kThreadCounts) {
     ParallelChecker checker(model, threads);
     auto parallel = checker.find_state(all_active);
-    EXPECT_FALSE(parallel.holds) << "threads=" << threads;
+    EXPECT_FALSE(parallel.holds()) << "threads=" << threads;
     EXPECT_EQ(serial.trace.size(), parallel.trace.size())
         << "threads=" << threads;
     expect_same_stats(serial.stats, parallel.stats, "find_state");
@@ -100,8 +100,8 @@ TEST(ParallelChecker, UnreachableGoalExhaustsIdentically) {
   auto serial = Checker(model).find_state(impossible);
   ParallelChecker checker(model, 3);
   auto parallel = checker.find_state(impossible);
-  EXPECT_TRUE(serial.holds);
-  EXPECT_TRUE(parallel.holds);
+  EXPECT_TRUE(serial.holds());
+  EXPECT_TRUE(parallel.holds());
   expect_same_stats(serial.stats, parallel.stats, "unreachable goal");
 }
 
@@ -114,7 +114,8 @@ TEST(ParallelChecker, StateBudgetReportsUnexhaustedLikeSerial) {
   for (unsigned threads : kThreadCounts) {
     ParallelChecker checker(model, threads);
     auto parallel = checker.find_state(impossible, /*max_states=*/500);
-    EXPECT_TRUE(parallel.holds);
+    EXPECT_FALSE(parallel.holds());  // a budget bail is not "unreachable"
+    EXPECT_EQ(parallel.verdict, Verdict::kInconclusive);
     EXPECT_FALSE(parallel.stats.exhausted);
     // Budget bail-outs are level-synchronized in both engines, so even the
     // partial exploration agrees.
@@ -133,16 +134,16 @@ TEST(ParallelChecker, PaperTracesReproduceAtEveryThreadCount) {
 
   auto serial1 = Checker(trace1).check(no_integrated_node_freezes());
   auto serial2 = Checker(trace2).check(no_integrated_node_freezes());
-  ASSERT_FALSE(serial1.holds);
-  ASSERT_FALSE(serial2.holds);
+  ASSERT_FALSE(serial1.holds());
+  ASSERT_FALSE(serial2.holds());
 
   for (unsigned threads : kThreadCounts) {
     ParallelChecker c1(trace1, threads);
     ParallelChecker c2(trace2, threads);
     auto p1 = c1.check(no_integrated_node_freezes());
     auto p2 = c2.check(no_integrated_node_freezes());
-    EXPECT_FALSE(p1.holds);
-    EXPECT_FALSE(p2.holds);
+    EXPECT_FALSE(p1.holds());
+    EXPECT_FALSE(p2.holds());
     EXPECT_EQ(serial1.trace.size(), p1.trace.size());
     EXPECT_EQ(serial2.trace.size(), p2.trace.size());
     expect_same_stats(serial1.stats, p1.stats, "trace 1");
@@ -158,7 +159,7 @@ TEST(ParallelChecker, MonitoredModelWorksToo) {
   auto serial = Checker(model).check(replay_victim_freezes());
   ParallelChecker checker(model, 4);
   auto parallel = checker.check(replay_victim_freezes());
-  EXPECT_EQ(serial.holds, parallel.holds);
+  EXPECT_EQ(serial.holds(), parallel.holds());
   EXPECT_EQ(serial.trace.size(), parallel.trace.size());
   expect_same_stats(serial.stats, parallel.stats, "monitored");
 }
@@ -240,7 +241,7 @@ TEST(ParallelChecker, TinyInitialTableGrowsThroughOverflow) {
   ParallelChecker checker(model, 4, /*initial_capacity=*/64);
   checker.set_growth_headroom(0);
   auto parallel = checker.check(no_integrated_node_freezes());
-  EXPECT_TRUE(parallel.holds);
+  EXPECT_TRUE(parallel.holds());
   expect_same_stats(serial.stats, parallel.stats, "growth");
 }
 
@@ -257,8 +258,8 @@ TEST(ParallelChecker, FiveNodeClusterCrossValidates) {
   auto serial = Checker(model).check(no_integrated_node_freezes());
   ParallelChecker checker(model);  // hardware concurrency default
   auto parallel = checker.check(no_integrated_node_freezes());
-  EXPECT_TRUE(serial.holds);
-  EXPECT_TRUE(parallel.holds);
+  EXPECT_TRUE(serial.holds());
+  EXPECT_TRUE(parallel.holds());
   expect_same_stats(serial.stats, parallel.stats, "5-node");
 }
 

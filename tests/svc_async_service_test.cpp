@@ -1,0 +1,399 @@
+// The async session contract end-to-end: completion-order streaming,
+// deadline-bounded next(), cancel-while-queued vs cancel-while-running,
+// drain semantics, explicit admission rejection with digests, checkpoint-
+// backed progress, a many-producer stress round, and the sync shim's
+// equivalence to manual session use. Labeled `parallel` and `async` (the
+// TSan job runs both).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiments.h"
+#include "svc/async_service.h"
+#include "svc/service.h"
+
+namespace tta::svc {
+namespace {
+
+std::string test_dir(const char* sub) {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  std::filesystem::path dir = std::filesystem::path(testing::TempDir()) /
+                              "tta_async" / info->name() / sub;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+JobSpec spec_for(guardian::Authority a, std::uint8_t nodes = 4) {
+  JobSpec spec;
+  spec.model.authority = a;
+  spec.model.protocol.num_nodes = nodes;
+  spec.model.protocol.num_slots = nodes;
+  spec.property = Property::kNoIntegratedNodeFreezes;
+  return spec;
+}
+
+/// Polls progress() until the job reports `state` (or a generous timeout;
+/// the surrounding assertions then fail with the last observed state).
+JobState wait_for_state(Session& session, const JobHandle& handle,
+                        JobState state,
+                        std::chrono::seconds timeout = std::chrono::seconds(60)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  JobState seen = JobState::kQueued;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::optional<JobProgress> progress = session.progress(handle);
+    if (!progress) break;
+    seen = progress->state;
+    if (seen == state) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return seen;
+}
+
+TEST(AsyncSession, ResultsStreamInCompletionOrderNotSubmissionOrder) {
+  ServiceConfig config;
+  config.workers = 1;  // deterministic: one worker, cheapest-first queue
+  AsyncService service(config);
+  std::shared_ptr<Session> session = service.open_session();
+
+  // The blocker occupies the single worker; only then are the expensive
+  // and the cheap job submitted, so the worker's next pop must take the
+  // cheap one even though the expensive one was submitted first.
+  const JobHandle blocker =
+      session->submit(spec_for(guardian::Authority::kPassive));
+  ASSERT_EQ(wait_for_state(*session, blocker, JobState::kRunning),
+            JobState::kRunning);
+  const JobHandle expensive =
+      session->submit(spec_for(guardian::Authority::kTimeWindows));
+  const JobHandle cheap =
+      session->submit(spec_for(guardian::Authority::kSmallShifting, 3));
+
+  std::vector<std::uint64_t> completion_order;
+  for (int i = 0; i < 3; ++i) {
+    std::optional<StreamedResult> item = session->results().next();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_FALSE(item->result.outcome.rejected);
+    EXPECT_EQ(item->result.verdict, mc::Verdict::kHolds);
+    completion_order.push_back(item->handle.sequence);
+  }
+  const std::vector<std::uint64_t> expected = {
+      blocker.sequence, cheap.sequence, expensive.sequence};
+  EXPECT_EQ(completion_order, expected);  // != submission order
+
+  session->drain();
+  EXPECT_TRUE(session->results().exhausted());
+  EXPECT_EQ(service.metrics().results_streamed.load(), 3u);
+  EXPECT_EQ(service.metrics().sessions_opened.load(), 1u);
+}
+
+TEST(AsyncSession, NextWithDeadlineTimesOutWithoutEndingTheStream) {
+  AsyncService service;
+  std::shared_ptr<Session> session = service.open_session();
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(
+      session->results().next(std::chrono::milliseconds(40)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(35));
+  EXPECT_FALSE(session->results().exhausted());  // timed out, not ended
+
+  // The stream still works afterwards.
+  const JobHandle h =
+      session->submit(spec_for(guardian::Authority::kSmallShifting, 3));
+  ASSERT_TRUE(h.valid());
+  std::optional<StreamedResult> item =
+      session->results().next(std::chrono::minutes(5));
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->handle.sequence, h.sequence);
+  session->drain();
+}
+
+TEST(AsyncSession, CancelWhileQueuedConcludesImmediately) {
+  ServiceConfig config;
+  config.workers = 1;
+  AsyncService service(config);
+  std::shared_ptr<Session> session = service.open_session();
+
+  const JobHandle blocker =
+      session->submit(spec_for(guardian::Authority::kPassive));
+  ASSERT_EQ(wait_for_state(*session, blocker, JobState::kRunning),
+            JobState::kRunning);
+  const JobHandle queued =
+      session->submit(spec_for(guardian::Authority::kTimeWindows));
+  ASSERT_EQ(session->progress(queued)->state, JobState::kQueued);
+
+  EXPECT_TRUE(session->cancel(queued));
+  EXPECT_EQ(session->progress(queued)->state, JobState::kCancelled);
+  EXPECT_FALSE(session->cancel(queued));  // already concluded
+
+  // The cancelled conclusion is streamed ahead of the still-running
+  // blocker — the worker never touches the job.
+  std::optional<StreamedResult> first = session->results().next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->handle.sequence, queued.sequence);
+  EXPECT_EQ(first->result.verdict, mc::Verdict::kInconclusive);
+  EXPECT_TRUE(first->result.stats.cancelled);
+  EXPECT_FALSE(first->result.stats.exhausted);
+
+  std::optional<StreamedResult> second = session->results().next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->handle.sequence, blocker.sequence);
+  EXPECT_EQ(second->result.verdict, mc::Verdict::kHolds);
+  session->drain();
+  EXPECT_EQ(service.metrics().jobs_cancelled.load(), 1u);
+}
+
+TEST(AsyncSession, CancelWhileRunningTripsTheTokenAndReportsPartialStats) {
+  ServiceConfig config;
+  config.workers = 1;
+  AsyncService service(config);
+  std::shared_ptr<Session> session = service.open_session();
+
+  // 5-node space: many seconds of work, so the cancel lands mid-search.
+  const JobHandle running =
+      session->submit(spec_for(guardian::Authority::kPassive, 5));
+  ASSERT_EQ(wait_for_state(*session, running, JobState::kRunning),
+            JobState::kRunning);
+  EXPECT_TRUE(session->cancel(running));
+
+  std::optional<StreamedResult> item =
+      session->results().next(std::chrono::minutes(5));
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->handle.sequence, running.sequence);
+  EXPECT_EQ(item->result.verdict, mc::Verdict::kInconclusive);
+  EXPECT_TRUE(item->result.stats.cancelled);
+  EXPECT_FALSE(item->result.stats.exhausted);
+  EXPECT_EQ(session->progress(running)->state, JobState::kCancelled);
+  session->drain();
+}
+
+TEST(AsyncSession, DrainRejectsQueuedJobsAndConcludesTheRunningOne) {
+  ServiceConfig config;
+  config.workers = 1;
+  AsyncService service(config);
+  std::shared_ptr<Session> session = service.open_session();
+
+  const JobHandle blocker =
+      session->submit(spec_for(guardian::Authority::kPassive));
+  ASSERT_EQ(wait_for_state(*session, blocker, JobState::kRunning),
+            JobState::kRunning);
+  const JobHandle q1 =
+      session->submit(spec_for(guardian::Authority::kTimeWindows));
+  const JobHandle q2 =
+      session->submit(spec_for(guardian::Authority::kSmallShifting));
+
+  session->drain();  // rejects q1/q2, waits for the blocker, ends stream
+
+  std::size_t rejected = 0, concluded = 0;
+  for (;;) {
+    std::optional<StreamedResult> item = session->results().next();
+    if (!item) break;
+    if (item->result.outcome.rejected) {
+      ++rejected;
+      EXPECT_TRUE(item->handle.sequence == q1.sequence ||
+                  item->handle.sequence == q2.sequence);
+      EXPECT_NE(item->result.digest, 0u);
+    } else {
+      ++concluded;
+      EXPECT_EQ(item->handle.sequence, blocker.sequence);
+      EXPECT_EQ(item->result.verdict, mc::Verdict::kHolds);
+    }
+  }
+  EXPECT_EQ(rejected, 2u);
+  EXPECT_EQ(concluded, 1u);
+  EXPECT_TRUE(session->results().exhausted());
+  EXPECT_EQ(service.metrics().drain_rejected.load(), 2u);
+
+  // Submissions after drain are hard-rejected: invalid handle, digest set.
+  const JobSpec late = spec_for(guardian::Authority::kPassive, 3);
+  const JobHandle rejected_handle = session->submit(late);
+  EXPECT_FALSE(rejected_handle.valid());
+  EXPECT_EQ(rejected_handle.digest, late.digest());
+
+  session->drain();  // idempotent
+}
+
+TEST(AsyncSession, AdmissionRejectionStreamsAnExplicitResultWithDigest) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_pending = 1;
+  AsyncService service(config);
+  std::shared_ptr<Session> session = service.open_session();
+
+  const JobSpec admitted_spec = spec_for(guardian::Authority::kPassive, 3);
+  const JobSpec rejected_spec = spec_for(guardian::Authority::kTimeWindows);
+  const JobHandle admitted = session->submit(admitted_spec);
+  const JobHandle rejected = session->submit(rejected_spec);  // over bound
+  ASSERT_TRUE(admitted.valid());
+  ASSERT_TRUE(rejected.valid());  // the rejection itself was buffered
+
+  bool saw_rejection = false, saw_conclusion = false;
+  for (int i = 0; i < 2; ++i) {
+    std::optional<StreamedResult> item = session->results().next();
+    ASSERT_TRUE(item.has_value());
+    if (item->handle.sequence == rejected.sequence) {
+      saw_rejection = true;
+      EXPECT_TRUE(item->result.outcome.rejected);
+      // The satellite bugfix end-to-end: the rejected job still reports
+      // the digest of the spec it refused.
+      EXPECT_EQ(item->result.digest, rejected_spec.digest());
+      EXPECT_EQ(item->result.verdict, mc::Verdict::kInconclusive);
+      EXPECT_EQ(item->result.stats.states_explored, 0u);
+    } else {
+      saw_conclusion = true;
+      EXPECT_EQ(item->handle.sequence, admitted.sequence);
+      EXPECT_FALSE(item->result.outcome.rejected);
+    }
+  }
+  EXPECT_TRUE(saw_rejection);
+  EXPECT_TRUE(saw_conclusion);
+  EXPECT_EQ(service.metrics().jobs_rejected.load(), 1u);
+  EXPECT_EQ(service.metrics().jobs_admitted.load(), 1u);
+  session->drain();
+}
+
+TEST(AsyncSession, ProgressReportsBfsLevelFromTheCheckpointHeader) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.checkpoint_dir = test_dir("ckpt");
+  AsyncService service(config);
+  std::shared_ptr<Session> session = service.open_session();
+
+  // Long 5-node run with per-level checkpoints: progress() should observe
+  // an advisory BFS level once the first barrier is written.
+  const JobHandle h =
+      session->submit(spec_for(guardian::Authority::kPassive, 5));
+  ASSERT_EQ(wait_for_state(*session, h, JobState::kRunning),
+            JobState::kRunning);
+
+  bool saw_level = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::optional<JobProgress> progress = session->progress(h);
+    ASSERT_TRUE(progress.has_value());
+    if (progress->state != JobState::kRunning) break;  // finished early
+    EXPECT_EQ(progress->attempt, 1u);
+    if (progress->has_bfs_level) {
+      saw_level = true;
+      EXPECT_GE(progress->bfs_level, 1u);
+      EXPECT_GT(progress->checkpoint_states, 0u);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(saw_level);
+
+  session->cancel(h);  // no need to finish the 5-node space
+  EXPECT_TRUE(session->results().next(std::chrono::minutes(5)).has_value());
+  session->drain();
+}
+
+TEST(AsyncSession, ManyProducersEveryHandleAnsweredExactlyOnce) {
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 25;
+  ServiceConfig config;
+  config.workers = 4;
+  AsyncService service(config);
+  std::shared_ptr<Session> session = service.open_session();
+
+  std::mutex mu;
+  std::vector<JobHandle> handles;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        // Tiny budget: every job concludes (inconclusive) in microseconds,
+        // and inconclusive results are never cached, so each one runs.
+        JobSpec spec = spec_for(guardian::Authority::kPassive, 3);
+        spec.max_states = 50 + s;  // distinct digests per submitter
+        const JobHandle h = session->submit(spec);
+        ASSERT_TRUE(h.valid());
+        std::lock_guard<std::mutex> lock(mu);
+        handles.push_back(h);
+        if (i % 7 == 3) session->cancel(h);  // sprinkle cancellations
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  std::set<std::uint64_t> answered;
+  for (int n = 0; n < kSubmitters * kPerSubmitter; ++n) {
+    std::optional<StreamedResult> item =
+        session->results().next(std::chrono::minutes(5));
+    ASSERT_TRUE(item.has_value()) << "after " << n << " results";
+    EXPECT_TRUE(answered.insert(item->handle.sequence).second)
+        << "duplicate result for sequence " << item->handle.sequence;
+  }
+  session->drain();
+  EXPECT_TRUE(session->results().exhausted());
+
+  std::set<std::uint64_t> submitted;
+  for (const JobHandle& h : handles) submitted.insert(h.sequence);
+  EXPECT_EQ(answered, submitted);
+  EXPECT_EQ(session->open_jobs(), 0u);
+}
+
+TEST(SyncShim, RunBatchMatchesManualSessionUseOnTheE1Grid) {
+  const std::vector<JobSpec> jobs = core::feature_matrix_jobs();
+
+  VerificationService shim;
+  const std::vector<JobResult> via_shim = shim.run_batch(jobs);
+
+  AsyncService async;
+  std::shared_ptr<Session> session = async.open_session();
+  std::vector<JobResult> via_session(jobs.size());
+  std::vector<JobHandle> handles;
+  handles.reserve(jobs.size());
+  for (const JobSpec& spec : jobs) handles.push_back(session->submit(spec));
+  for (std::size_t n = 0; n < jobs.size(); ++n) {
+    std::optional<StreamedResult> item = session->results().next();
+    ASSERT_TRUE(item.has_value());
+    const auto it = std::find_if(
+        handles.begin(), handles.end(), [&](const JobHandle& h) {
+          return h.sequence == item->handle.sequence;
+        });
+    ASSERT_NE(it, handles.end());
+    via_session[static_cast<std::size_t>(it - handles.begin())] =
+        std::move(item->result);
+  }
+  session->drain();
+
+  ASSERT_EQ(via_shim.size(), via_session.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(via_shim[i].verdict, via_session[i].verdict) << i;
+    EXPECT_EQ(via_shim[i].digest, via_session[i].digest) << i;
+    EXPECT_EQ(via_shim[i].stats.states_explored,
+              via_session[i].stats.states_explored)
+        << i;
+    EXPECT_EQ(via_shim[i].stats.transitions,
+              via_session[i].stats.transitions)
+        << i;
+    EXPECT_EQ(via_shim[i].stats.max_depth, via_session[i].stats.max_depth)
+        << i;
+    EXPECT_EQ(via_shim[i].trace.size(), via_session[i].trace.size()) << i;
+    EXPECT_EQ(via_shim[i].outcome.attempts.size(),
+              via_session[i].outcome.attempts.size())
+        << i;
+  }
+  // The E1 pinned numbers hold through both paths.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].model.authority == guardian::Authority::kFullShifting) {
+      EXPECT_EQ(via_shim[i].verdict, mc::Verdict::kViolated);
+    } else {
+      EXPECT_EQ(via_shim[i].stats.states_explored, 110'956u);
+      EXPECT_EQ(via_shim[i].stats.transitions, 875'440u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tta::svc

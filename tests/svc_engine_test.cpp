@@ -1,0 +1,164 @@
+// The mc::Engine interface and the service's engine factory: kAuto
+// resolution against the cost threshold, serial/parallel bit-identity
+// through the uniform run() surface, the redundant composition's
+// cross-checked answers, and query construction for every property.
+// Labeled `parallel`: the parallel and redundant engines spawn threads.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mc/engine.h"
+#include "svc/engine_factory.h"
+
+namespace tta::svc {
+namespace {
+
+JobSpec spec_for(guardian::Authority a, Property p, std::uint8_t nodes = 3) {
+  JobSpec spec;
+  spec.model.authority = a;
+  spec.model.protocol.num_nodes = nodes;
+  spec.model.protocol.num_slots = nodes;
+  spec.property = p;
+  return spec;
+}
+
+TEST(EngineFactory, AutoResolvesByEstimatedCost) {
+  JobSpec spec = spec_for(guardian::Authority::kPassive,
+                          Property::kNoIntegratedNodeFreezes);
+  spec.engine = EngineChoice::kAuto;
+
+  ServiceConfig cheap_threshold;
+  cheap_threshold.auto_parallel_threshold = 1.0;  // everything is "big"
+  EXPECT_EQ(make_engine(spec, cheap_threshold).resolved,
+            EngineChoice::kParallel);
+
+  ServiceConfig huge_threshold;
+  huge_threshold.auto_parallel_threshold = 1e18;  // nothing is "big"
+  EXPECT_EQ(make_engine(spec, huge_threshold).resolved,
+            EngineChoice::kSerial);
+}
+
+TEST(EngineFactory, ExplicitChoicesMapToTheirEngines) {
+  JobSpec spec = spec_for(guardian::Authority::kPassive,
+                          Property::kNoIntegratedNodeFreezes);
+  ServiceConfig config;
+
+  spec.engine = EngineChoice::kSerial;
+  EngineSelection serial = make_engine(spec, config);
+  EXPECT_EQ(serial.resolved, EngineChoice::kSerial);
+  EXPECT_STREQ(serial.engine->name(), "serial");
+  EXPECT_TRUE(serial.engine->supports_checkpoint());
+
+  spec.engine = EngineChoice::kParallel;
+  EngineSelection parallel = make_engine(spec, config);
+  EXPECT_EQ(parallel.resolved, EngineChoice::kParallel);
+  EXPECT_STREQ(parallel.engine->name(), "parallel");
+
+  spec.engine = EngineChoice::kRedundant;
+  EngineSelection redundant = make_engine(spec, config);
+  EXPECT_EQ(redundant.resolved, EngineChoice::kRedundant);
+  EXPECT_STREQ(redundant.engine->name(), "redundant");
+  // Two engines must never share one checkpoint file.
+  EXPECT_FALSE(redundant.engine->supports_checkpoint());
+}
+
+TEST(Engine, SerialAndParallelAreBitIdenticalThroughTheInterface) {
+  for (Property property : {Property::kNoIntegratedNodeFreezes,
+                            Property::kAllActiveReachable,
+                            Property::kRecoverability}) {
+    const JobSpec spec =
+        spec_for(guardian::Authority::kSmallShifting, property);
+    mc::TtpcStarModel model(spec.model);
+    const mc::EngineQuery query = make_engine_query(spec, model);
+
+    const mc::EngineResult serial =
+        mc::SerialEngine().run(model, query, nullptr, nullptr);
+    const mc::EngineResult parallel =
+        mc::ParallelEngine(4).run(model, query, nullptr, nullptr);
+
+    EXPECT_EQ(serial.verdict, parallel.verdict) << to_string(property);
+    EXPECT_EQ(serial.stats.states_explored, parallel.stats.states_explored);
+    EXPECT_EQ(serial.stats.transitions, parallel.stats.transitions);
+    EXPECT_EQ(serial.stats.max_depth, parallel.stats.max_depth);
+    EXPECT_EQ(serial.dead_states, parallel.dead_states);
+    EXPECT_EQ(serial.trace.size(), parallel.trace.size());
+    EXPECT_FALSE(serial.redundant);
+  }
+}
+
+TEST(Engine, SafetyQueriesAnswerTheSection52Dichotomy) {
+  const JobSpec safe = spec_for(guardian::Authority::kSmallShifting,
+                                Property::kNoIntegratedNodeFreezes);
+  mc::TtpcStarModel safe_model(safe.model);
+  EXPECT_EQ(mc::SerialEngine()
+                .run(safe_model, make_engine_query(safe, safe_model),
+                     nullptr, nullptr)
+                .verdict,
+            mc::Verdict::kHolds);
+
+  JobSpec unsafe = spec_for(guardian::Authority::kFullShifting,
+                            Property::kNoIntegratedNodeFreezes, 4);
+  mc::TtpcStarModel unsafe_model(unsafe.model);
+  const mc::EngineResult violated = mc::SerialEngine().run(
+      unsafe_model, make_engine_query(unsafe, unsafe_model), nullptr,
+      nullptr);
+  EXPECT_EQ(violated.verdict, mc::Verdict::kViolated);
+  EXPECT_FALSE(violated.trace.empty());
+}
+
+TEST(Engine, RedundantCompositionAgreesWithItsReference) {
+  const JobSpec spec = spec_for(guardian::Authority::kPassive,
+                                Property::kNoIntegratedNodeFreezes);
+  mc::TtpcStarModel model(spec.model);
+  const mc::EngineQuery query = make_engine_query(spec, model);
+
+  const mc::EngineResult reference =
+      mc::SerialEngine().run(model, query, nullptr, nullptr);
+  const mc::RedundantEngine redundant(std::make_unique<mc::SerialEngine>(),
+                                      std::make_unique<mc::ParallelEngine>(2));
+  const mc::EngineResult merged =
+      redundant.run(model, query, nullptr, nullptr);
+
+  EXPECT_EQ(merged.verdict, reference.verdict);
+  EXPECT_TRUE(merged.redundant);
+  EXPECT_EQ(merged.stats.states_explored, reference.stats.states_explored);
+  // Agreement implies the shadow explored the identical space.
+  EXPECT_EQ(merged.secondary_stats.states_explored,
+            reference.stats.states_explored);
+  EXPECT_EQ(merged.secondary_stats.transitions,
+            reference.stats.transitions);
+}
+
+TEST(Engine, RedundantHonorsASharedCancelToken) {
+  const JobSpec spec = spec_for(guardian::Authority::kPassive,
+                                Property::kNoIntegratedNodeFreezes, 4);
+  mc::TtpcStarModel model(spec.model);
+  const mc::EngineQuery query = make_engine_query(spec, model);
+
+  util::CancelToken token;
+  token.request_cancel();
+  const mc::RedundantEngine redundant(std::make_unique<mc::SerialEngine>(),
+                                      std::make_unique<mc::ParallelEngine>(2));
+  const mc::EngineResult res = redundant.run(model, query, &token, nullptr);
+  EXPECT_EQ(res.verdict, mc::Verdict::kInconclusive);
+  EXPECT_TRUE(res.stats.cancelled);
+}
+
+TEST(EngineFactory, QueryKindsFollowTheProperty) {
+  const ServiceConfig config;
+  JobSpec spec = spec_for(guardian::Authority::kPassive,
+                          Property::kNoIntegratedNodeFreezes);
+  mc::TtpcStarModel model(spec.model);
+
+  EXPECT_EQ(make_engine_query(spec, model).kind,
+            mc::EngineQuery::Kind::kSafetyCheck);
+  spec.property = Property::kAllActiveReachable;
+  EXPECT_EQ(make_engine_query(spec, model).kind,
+            mc::EngineQuery::Kind::kFindState);
+  spec.property = Property::kRecoverability;
+  EXPECT_EQ(make_engine_query(spec, model).kind,
+            mc::EngineQuery::Kind::kRecoverability);
+}
+
+}  // namespace
+}  // namespace tta::svc

@@ -24,7 +24,7 @@ TEST(VerificationService, E1GridReproducesTheSection52Matrix) {
     EXPECT_EQ(results[i].verdict,
               buffering ? mc::Verdict::kViolated : mc::Verdict::kHolds)
         << guardian::to_string(jobs[i].model.authority);
-    EXPECT_FALSE(results[i].rejected);
+    EXPECT_FALSE(results[i].outcome.rejected);
     EXPECT_FALSE(results[i].from_cache);
     EXPECT_EQ(results[i].digest, jobs[i].digest());
     if (buffering) {
@@ -128,7 +128,7 @@ TEST(VerificationService, AdmissionBoundRejectsExplicitly) {
   const std::vector<JobResult> results = service.run_batch(jobs);
   std::size_t rejected = 0;
   for (const JobResult& r : results) {
-    if (r.rejected) {
+    if (r.outcome.rejected) {
       ++rejected;
       EXPECT_EQ(r.verdict, mc::Verdict::kInconclusive);
       EXPECT_EQ(r.stats.states_explored, 0u);
@@ -152,35 +152,48 @@ TEST(JobQueue, PopsCheapestFirst) {
   expensive.model.protocol.num_nodes = 5;
   expensive.model.protocol.num_slots = 5;
 
-  ASSERT_TRUE(queue.admit(expensive, 0));
-  ASSERT_TRUE(queue.admit(cheap, 1));
-  ASSERT_TRUE(queue.admit(medium, 2));
+  ASSERT_TRUE(queue.admit(expensive, 0, 1).admitted);
+  ASSERT_TRUE(queue.admit(cheap, 0, 2).admitted);
+  ASSERT_TRUE(queue.admit(medium, 0, 3).admitted);
   EXPECT_EQ(queue.pending(), 3u);
 
-  EXPECT_EQ(queue.pop_cheapest()->index, 1u);
-  EXPECT_EQ(queue.pop_cheapest()->index, 2u);
-  EXPECT_EQ(queue.pop_cheapest()->index, 0u);
+  EXPECT_EQ(queue.pop_cheapest()->sequence, 2u);
+  EXPECT_EQ(queue.pop_cheapest()->sequence, 3u);
+  EXPECT_EQ(queue.pop_cheapest()->sequence, 1u);
   EXPECT_FALSE(queue.pop_cheapest().has_value());
 }
 
-TEST(JobQueue, TieBreaksOnSubmissionOrder) {
+TEST(JobQueue, TieBreaksOnAdmissionOrder) {
   JobQueue queue(4);
   JobSpec spec;  // identical cost
-  ASSERT_TRUE(queue.admit(spec, 2));
-  ASSERT_TRUE(queue.admit(spec, 0));
-  ASSERT_TRUE(queue.admit(spec, 1));
-  EXPECT_EQ(queue.pop_cheapest()->index, 0u);
-  EXPECT_EQ(queue.pop_cheapest()->index, 1u);
-  EXPECT_EQ(queue.pop_cheapest()->index, 2u);
+  ASSERT_TRUE(queue.admit(spec, 0, 7).admitted);
+  ASSERT_TRUE(queue.admit(spec, 0, 3).admitted);
+  ASSERT_TRUE(queue.admit(spec, 0, 5).admitted);
+  EXPECT_EQ(queue.pop_cheapest()->sequence, 7u);
+  EXPECT_EQ(queue.pop_cheapest()->sequence, 3u);
+  EXPECT_EQ(queue.pop_cheapest()->sequence, 5u);
 }
 
 TEST(JobQueue, RefusesBeyondMaxPending) {
   JobQueue queue(1);
   JobSpec spec;
-  EXPECT_TRUE(queue.admit(spec, 0));
-  EXPECT_FALSE(queue.admit(spec, 1));
+  EXPECT_TRUE(queue.admit(spec, 0, 1).admitted);
+  EXPECT_FALSE(queue.admit(spec, 0, 2).admitted);
   queue.pop_cheapest();
-  EXPECT_TRUE(queue.admit(spec, 2));
+  EXPECT_TRUE(queue.admit(spec, 0, 3).admitted);
+}
+
+TEST(JobQueue, RejectionTicketStillCarriesTheDigest) {
+  // The satellite bugfix: canonicalization happens before the bound check,
+  // so a rejected admission still identifies the job it refused.
+  JobQueue queue(1);
+  JobSpec spec;
+  spec.model.authority = guardian::Authority::kPassive;
+  ASSERT_TRUE(queue.admit(spec, 0, 1).admitted);
+  const JobQueue::Ticket rejected = queue.admit(spec, 0, 2);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.digest, spec.digest());
+  EXPECT_EQ(rejected.cost, spec.estimated_cost());
 }
 
 }  // namespace

@@ -1,0 +1,127 @@
+// The bounded MPSC queue under svc::ResultStream: capacity enforcement,
+// blocking and deadline pops, close semantics (producers fail fast, the
+// consumer drains the buffer before end-of-stream), and a many-producer
+// hammering round. Labeled `parallel` for the TSan build.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/bounded_mpsc.h"
+
+namespace tta::util {
+namespace {
+
+TEST(BoundedMpsc, FifoWithinCapacity) {
+  BoundedMpscQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_EQ(q.try_pop(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedMpsc, TryPushFailsWhenFull) {
+  BoundedMpscQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_TRUE(q.try_push(3));  // a pop frees a slot
+}
+
+TEST(BoundedMpsc, ZeroCapacityIsClampedToOne) {
+  BoundedMpscQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_FALSE(q.try_push(8));
+}
+
+TEST(BoundedMpsc, BlockingPushWaitsForSpace) {
+  BoundedMpscQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread producer([&] { EXPECT_TRUE(q.push(2)); });
+  // The producer is (very likely) blocked on the full queue now; one pop
+  // unblocks it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedMpsc, PopForTimesOutOnAnEmptyOpenQueue) {
+  BoundedMpscQueue<int> q(2);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(25));
+  EXPECT_FALSE(q.exhausted());  // timed out, not ended
+}
+
+TEST(BoundedMpsc, CloseDrainsBufferThenReportsEndOfStream) {
+  BoundedMpscQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.exhausted());  // still buffered
+  EXPECT_FALSE(q.try_push(3));  // producers fail fast after close
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // end-of-stream, no block
+  EXPECT_TRUE(q.exhausted());
+}
+
+TEST(BoundedMpsc, CloseWakesABlockedConsumer) {
+  BoundedMpscQueue<int> q(2);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedMpsc, CloseWakesABlockedProducer) {
+  BoundedMpscQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+}
+
+TEST(BoundedMpsc, ManyProducersDeliverEveryItemExactlyOnce) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 250;
+  BoundedMpscQueue<int> q(16);  // smaller than the item count: forces waits
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+
+  std::set<int> seen;
+  for (int n = 0; n < kProducers * kPerProducer; ++n) {
+    std::optional<int> item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_TRUE(seen.insert(*item).second) << "duplicate " << *item;
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace tta::util

@@ -1,0 +1,65 @@
+# Smoke test for tta_verify_batch --stream: two passes over the E1 grid
+# must emit one timestamped JSON line per job per pass, the second pass
+# must be served entirely from the result cache, and both passes must
+# report the identical digest -> verdict mapping. Run as
+#   cmake -DTOOL=<tta_verify_batch> -DJOBS=<e1_grid.jobs> -P stream_smoke.cmake
+if(NOT TOOL OR NOT JOBS)
+  message(FATAL_ERROR "usage: cmake -DTOOL=... -DJOBS=... -P stream_smoke.cmake")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} ${JOBS} --stream --passes=2 --workers=2
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "tta_verify_batch --stream exited ${code}")
+endif()
+
+# Count the jobs in the grid (non-comment, non-blank lines).
+file(STRINGS ${JOBS} job_lines REGEX "^[ \t]*\\{")
+list(LENGTH job_lines jobs)
+if(jobs EQUAL 0)
+  message(FATAL_ERROR "no jobs parsed from ${JOBS}")
+endif()
+
+string(REPLACE "\n" ";" lines "${out}")
+set(streamed 0)
+set(pass1 "")
+set(pass2 "")
+foreach(line IN LISTS lines)
+  if(NOT line MATCHES "^{\"pass\":([12]),.*\"ts_ms\":")
+    continue()
+  endif()
+  set(pass "${CMAKE_MATCH_1}")
+  math(EXPR streamed "${streamed} + 1")
+  if(NOT line MATCHES "\"digest\":\"([0-9a-f]+)\"")
+    message(FATAL_ERROR "streamed line without a digest: ${line}")
+  endif()
+  set(digest "${CMAKE_MATCH_1}")
+  if(NOT line MATCHES "\"verdict\":\"([A-Z_]+)\"")
+    message(FATAL_ERROR "streamed line without a verdict: ${line}")
+  endif()
+  list(APPEND pass${pass} "${digest}=${CMAKE_MATCH_1}")
+  # Every pass-2 result must be a cache hit: nothing re-explores.
+  if(pass EQUAL 2 AND NOT line MATCHES "\"from_cache\":1")
+    message(FATAL_ERROR "pass-2 result not served from the cache: ${line}")
+  endif()
+endforeach()
+
+math(EXPR expected "2 * ${jobs}")
+if(NOT streamed EQUAL expected)
+  message(FATAL_ERROR
+    "expected ${expected} streamed JSON lines (2 passes x ${jobs} jobs), "
+    "saw ${streamed}")
+endif()
+
+# The cache must change latency only, never answers: identical digest ->
+# verdict multisets across passes.
+list(SORT pass1)
+list(SORT pass2)
+if(NOT pass1 STREQUAL pass2)
+  message(FATAL_ERROR "pass verdicts differ:\n  pass1: ${pass1}\n  pass2: ${pass2}")
+endif()
+
+message(STATUS "stream smoke: ${jobs} jobs x 2 passes streamed, "
+  "pass 2 fully cache-served, verdicts identical")

@@ -1,13 +1,20 @@
 // Batched model-checking driver for the verification job service.
 //
 // Reads a JSON-lines job file (one JobSpec per line, '#' comments and
-// blank lines ignored), runs the whole batch through
-// svc::VerificationService — admission, cheapest-config-first dispatch,
-// result cache, per-job soft deadlines — and prints one verdict row per
-// job plus the service metrics snapshot. With --json=FILE every per-job
-// result is also emitted machine-readably via bench/bench_json.h.
+// blank lines ignored), submits the whole batch to one svc::AsyncService
+// session — admission, cheapest-config-first dispatch, result cache,
+// per-job soft deadlines — and prints one verdict row per job *as each
+// concludes* (completion order; the job column keys rows back to the
+// submission order). After the batch, the service metrics snapshot.
 //
 //   ./tta_verify_batch tools/e1_grid.jobs --passes=2 --json=results.json
+//
+// --stream additionally emits one self-contained JSON object per job on
+// stdout the moment it concludes (svc::result_json — timestamped with
+// milliseconds since the pass started), so a consumer piping this tool
+// sees verdicts incrementally instead of waiting for the batch.
+// --json=FILE collects the same per-job records into a single document
+// via bench/bench_json.h after all passes.
 //
 // --passes=N re-submits the same batch N times; every pass after the
 // first should be served almost entirely from the result cache, which the
@@ -24,15 +31,17 @@
 // (HOLDS or VIOLATED — a violated property is an answer, not a tool
 // failure), 1 when any job ended rejected, inconclusive, or diverged,
 // 2 on usage/input errors.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_json.h"
-#include "svc/service.h"
+#include "svc/async_service.h"
 #include "util/digest.h"
 
 using namespace tta;
@@ -44,7 +53,7 @@ int usage(const char* argv0) {
                "usage: %s JOBFILE [--passes=N] [--workers=N] [--cache=N] "
                "[--json=FILE]\n"
                "          [--cache-dir=DIR] [--checkpoint-dir=DIR] "
-               "[--retries=N] [--redundant]\n"
+               "[--retries=N] [--redundant] [--stream]\n"
                "JOBFILE holds one JSON job per line, e.g.\n"
                "  {\"authority\": \"full_shifting\", \"property\": "
                "\"safety\", \"max_oos\": 1, \"deadline_ms\": 5000}\n",
@@ -60,9 +69,20 @@ bool flag_value(const char* arg, const char* name, const char** out) {
 }
 
 const char* verdict_cell(const svc::JobResult& r) {
-  if (r.rejected) return "REJECTED";
+  if (r.outcome.rejected) return "REJECTED";
   if (r.stats.cancelled) return "DEADLINE";
   return mc::to_string(r.verdict);
+}
+
+void print_row(std::size_t job, const svc::JobSpec& spec,
+               const svc::JobResult& r) {
+  std::printf("%-4zu %-16s %-22s %-14s %-12s %10llu %9.4f %7zu %6s\n", job,
+              util::digest_hex(r.digest).c_str(),
+              svc::config_label(spec).c_str(),
+              svc::to_string(spec.property), verdict_cell(r),
+              static_cast<unsigned long long>(r.stats.states_explored),
+              r.stats.seconds, r.trace.size(),
+              r.from_cache ? "yes" : "no");
 }
 
 }  // namespace
@@ -72,6 +92,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   unsigned passes = 1;
   bool redundant = false;
+  bool stream = false;
   svc::ServiceConfig config;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -90,6 +111,8 @@ int main(int argc, char** argv) {
           1 + static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (std::strcmp(argv[i], "--redundant") == 0) {
       redundant = true;
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      stream = true;
     } else if (flag_value(argv[i], "--json", &v)) {
       json_path = v;
     } else if (argv[i][0] == '-') {
@@ -130,7 +153,7 @@ int main(int argc, char** argv) {
     for (svc::JobSpec& spec : jobs) spec.engine = svc::EngineChoice::kRedundant;
   }
 
-  svc::VerificationService service(config);
+  svc::AsyncService service(config);
   bench::JsonWriter json;
   std::size_t final_failures = 0;
   for (unsigned pass = 1; pass <= passes; ++pass) {
@@ -138,31 +161,67 @@ int main(int argc, char** argv) {
     std::printf("%-4s %-16s %-22s %-14s %-12s %10s %9s %7s %6s\n", "job",
                 "digest", "config", "property", "verdict", "states",
                 "seconds", "trace", "cached");
-    std::vector<svc::JobResult> results = service.run_batch(jobs);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const svc::JobSpec& spec = jobs[i];
-      const svc::JobResult& r = results[i];
-      char cfg[32];
-      std::snprintf(cfg, sizeof cfg, "%s/n%u/oos%u",
-                    guardian::to_string(spec.model.authority),
-                    spec.model.protocol.num_nodes,
-                    std::min(spec.model.max_out_of_slot_errors, 7u));
-      std::printf("%-4zu %-16s %-22s %-14s %-12s %10llu %9.4f %7zu %6s\n",
-                  i, util::digest_hex(r.digest).c_str(), cfg,
-                  svc::to_string(spec.property), verdict_cell(r),
-                  static_cast<unsigned long long>(r.stats.states_explored),
-                  r.stats.seconds, r.trace.size(),
-                  r.from_cache ? "yes" : "no");
 
+    const auto pass_start = std::chrono::steady_clock::now();
+    std::shared_ptr<svc::Session> session = service.open_session();
+    std::vector<svc::JobResult> results(jobs.size());
+    std::unordered_map<std::uint64_t, std::size_t> by_sequence;
+    by_sequence.reserve(jobs.size());
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const svc::JobHandle handle = session->submit(jobs[i]);
+      if (handle.valid()) {
+        by_sequence.emplace(handle.sequence, i);
+        ++expected;
+      } else {
+        // Not even the rejection notice fit the stream; report it here.
+        results[i].digest = handle.digest;
+        results[i].property = jobs[i].property;
+        results[i].outcome.rejected = true;
+        print_row(i, jobs[i], results[i]);
+        if (stream) {
+          std::printf("%s\n",
+                      svc::result_json(jobs[i], results[i], pass, 0, 0.0)
+                          .c_str());
+          std::fflush(stdout);
+        }
+      }
+    }
+
+    // Rows print the moment each job concludes — completion order, which
+    // with cheapest-first dispatch is the early-feedback order.
+    while (expected > 0) {
+      std::optional<svc::StreamedResult> item = session->results().next();
+      if (!item) break;  // stream ended early (service shutdown)
+      auto it = by_sequence.find(item->handle.sequence);
+      if (it == by_sequence.end()) continue;
+      const std::size_t i = it->second;
+      results[i] = std::move(item->result);
+      --expected;
+      print_row(i, jobs[i], results[i]);
+      if (stream) {
+        const double ts_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - pass_start)
+                .count();
+        std::printf("%s\n", svc::result_json(jobs[i], results[i], pass,
+                                             item->handle.sequence, ts_ms)
+                                .c_str());
+        std::fflush(stdout);
+      }
+    }
+    session->drain();
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const svc::JobResult& r = results[i];
       char name[48];
       std::snprintf(name, sizeof name, "pass%u job%zu", pass, i);
       json.begin_entry(name);
       json.field("digest", util::digest_hex(r.digest));
-      json.field("config", std::string(cfg));
-      json.field("property", std::string(svc::to_string(spec.property)));
+      json.field("config", svc::config_label(jobs[i]));
+      json.field("property", std::string(svc::to_string(jobs[i].property)));
       json.field("engine", std::string(svc::to_string(r.engine_used)));
       json.field("verdict", std::string(mc::to_string(r.verdict)));
-      json.field("rejected", std::uint64_t{r.rejected});
       json.field("deadline_hit", std::uint64_t{r.stats.cancelled});
       json.field("from_cache", std::uint64_t{r.from_cache});
       json.field("states", r.stats.states_explored);
@@ -173,8 +232,7 @@ int main(int argc, char** argv) {
       json.field("queue_seconds", r.queue_seconds);
       json.field("from_persistent", std::uint64_t{r.from_persistent});
       json.field("resumed", std::uint64_t{r.stats.resumed});
-      json.field("redundant", std::uint64_t{r.redundant});
-      json.field("attempts", std::uint64_t{r.attempts.size()});
+      json.raw("outcome", r.outcome.to_json());
     }
 
     // Per-class summary, plus the final pass's failure count for the exit
@@ -184,8 +242,8 @@ int main(int argc, char** argv) {
                 rejected = 0;
     std::uint64_t attempts = 0;
     for (const svc::JobResult& r : results) {
-      attempts += r.attempts.size();
-      if (r.rejected) {
+      attempts += r.outcome.attempts.size();
+      if (r.outcome.rejected) {
         ++rejected;
       } else if (r.verdict == mc::Verdict::kHolds) {
         ++holds;
