@@ -73,7 +73,28 @@ Session::Session(AsyncService* service, std::uint64_t id,
 
 Session::~Session() { stream_.close(); }
 
-JobHandle Session::submit(const JobSpec& spec) {
+void Session::stream_locked(JobHandle handle, JobResult&& result) {
+  Metrics& metrics = service_->metrics_;
+  switch (stream_.push({handle, std::move(result)})) {
+    case util::PushStatus::kOk:
+      break;
+    case util::PushStatus::kOverflow:
+      // Delivered anyway — the stream never drops a concluded verdict for
+      // buffer space — but the capacity excursion is worth counting: it
+      // means the open-job accounting and the 2x sizing disagreed.
+      metrics.stream_overflows.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case util::PushStatus::kClosed:
+      // The only true loss path (a conclusion racing the stream's close);
+      // never silent: counted here and reported by drain().
+      lost_.fetch_add(1, std::memory_order_relaxed);
+      metrics.stream_lost.fetch_add(1, std::memory_order_relaxed);
+      return;
+  }
+  metrics.results_streamed.fetch_add(1, std::memory_order_relaxed);
+}
+
+JobHandle Session::submit(const JobSpec& spec, std::int32_t priority) {
   const std::uint64_t digest = spec.digest();
   Metrics& metrics = service_->metrics_;
 
@@ -85,7 +106,7 @@ JobHandle Session::submit(const JobSpec& spec) {
   bool admitted = false;
   if (!draining_ && open < max_open_) {
     const JobQueue::Ticket ticket =
-        service_->queue_.admit(spec, id_, seq);
+        service_->queue_.admit(spec, id_, seq, priority);
     admitted = ticket.admitted;
   }
 
@@ -119,8 +140,7 @@ JobHandle Session::submit(const JobSpec& spec) {
     record.state = JobState::kRejected;
     jobs_.emplace(seq, std::move(record));
     open_.fetch_add(1, std::memory_order_relaxed);
-    stream_.push({handle, rejected_result(digest, spec.property)});
-    metrics.results_streamed.fetch_add(1, std::memory_order_relaxed);
+    stream_locked(handle, rejected_result(digest, spec.property));
   } else {
     handle.sequence = 0;
   }
@@ -138,11 +158,10 @@ bool Session::cancel(const JobHandle& handle) {
       // entry sees the state change and skips it.
       record.state = JobState::kCancelled;
       record.cancel_requested = true;
-      stream_.push({JobHandle{record.digest, it->first},
-                    cancelled_result(record.digest, record.spec.property)});
-      Metrics& metrics = service_->metrics_;
-      metrics.jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
-      metrics.results_streamed.fetch_add(1, std::memory_order_relaxed);
+      stream_locked(JobHandle{record.digest, it->first},
+                    cancelled_result(record.digest, record.spec.property));
+      service_->metrics_.jobs_cancelled.fetch_add(1,
+                                                  std::memory_order_relaxed);
       return true;
     }
     case JobState::kRunning:
@@ -182,20 +201,20 @@ std::optional<JobProgress> Session::progress(const JobHandle& handle) const {
   return progress;
 }
 
-void Session::drain() {
+std::uint64_t Session::drain() {
   std::unique_lock<std::mutex> lock(mu_);
   draining_ = true;
   Metrics& metrics = service_->metrics_;
   for (auto& [seq, record] : jobs_) {
     if (record.state != JobState::kQueued) continue;
     record.state = JobState::kRejected;
-    stream_.push({JobHandle{record.digest, seq},
-                  rejected_result(record.digest, record.spec.property)});
+    stream_locked(JobHandle{record.digest, seq},
+                  rejected_result(record.digest, record.spec.property));
     metrics.drain_rejected.fetch_add(1, std::memory_order_relaxed);
-    metrics.results_streamed.fetch_add(1, std::memory_order_relaxed);
   }
   idle_cv_.wait(lock, [&] { return running_ == 0; });
   stream_.close();
+  return lost_.load(std::memory_order_relaxed);
 }
 
 // ----------------------------------------------------------- AsyncService
@@ -268,7 +287,7 @@ void AsyncService::worker_loop() {
       work_cv_.wait(lock,
                     [&] { return stopping_ || queue_.pending() > 0; });
       if (stopping_) return;
-      entry = queue_.pop_cheapest();
+      entry = queue_.pop_next();
     }
     if (!entry) continue;  // another worker won the race
     if (std::shared_ptr<Session> session = find_session(entry->session)) {
@@ -365,9 +384,8 @@ void AsyncService::run_entry(const JobQueue::Entry& entry,
                                         : JobState::kDone;
     record.active_token = nullptr;
     --session->running_;
-    session->stream_.push(
-        {JobHandle{entry.digest, entry.sequence}, std::move(result)});
-    metrics_.results_streamed.fetch_add(1, std::memory_order_relaxed);
+    session->stream_locked(JobHandle{entry.digest, entry.sequence},
+                           std::move(result));
   }
   session->idle_cv_.notify_all();
 }

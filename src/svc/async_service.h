@@ -1,8 +1,9 @@
 // The session-based, non-blocking front end of the verification service.
 //
 // An AsyncService owns the shared machinery — dedicated worker threads, a
-// cheapest-first JobQueue spanning all sessions, the LRU ResultCache, the
-// crash-safe PersistentCache, Metrics — and hands out Sessions:
+// (priority, cheapest-cost) JobQueue spanning all sessions, the LRU
+// ResultCache, the crash-safe PersistentCache, Metrics — and hands out
+// Sessions:
 //
 //   auto service = svc::AsyncService(config);
 //   auto session = service.open_session();
@@ -92,8 +93,11 @@ class Session {
   /// draining or the rejection itself could not be buffered (stream
   /// saturated at 2x max_pending open jobs); an invalid handle still
   /// carries the spec's digest. Every valid handle is answered by exactly
-  /// one StreamedResult, rejections included.
-  JobHandle submit(const JobSpec& spec);
+  /// one StreamedResult, rejections included. `priority` is a QoS hint:
+  /// higher-priority jobs dispatch ahead of lower ones across all of the
+  /// service's sessions (cheapest-first within a priority band). It never
+  /// affects the job's identity or its cached result.
+  JobHandle submit(const JobSpec& spec, std::int32_t priority = 0);
 
   /// Completion-order result delivery for this session's jobs.
   ResultStream& results() { return stream_; }
@@ -118,8 +122,16 @@ class Session {
   /// Graceful shutdown: stops admissions, rejects still-queued jobs
   /// explicitly (each streams a rejected result), waits for running jobs
   /// to conclude, then ends the stream. Buffered results remain
-  /// consumable. Idempotent.
-  void drain();
+  /// consumable. Idempotent. Returns the number of this session's
+  /// concluded results that could NOT be delivered (stream closed under a
+  /// racing drain — also counted in Metrics::stream_lost); 0 means every
+  /// verdict reached, or still sits buffered on, the stream.
+  std::uint64_t drain();
+
+  /// Running total of this session's undeliverable results (see drain()).
+  std::uint64_t lost_results() const {
+    return lost_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class AsyncService;
@@ -137,6 +149,10 @@ class Session {
 
   Session(AsyncService* service, std::uint64_t id, std::size_t max_open);
 
+  /// Delivers one concluded result onto the stream, accounting for it in
+  /// Metrics (streamed / overflowed / lost). Call with mu_ held.
+  void stream_locked(JobHandle handle, JobResult&& result);
+
   AsyncService* service_;
   const std::uint64_t id_;
   const std::size_t max_open_;
@@ -147,6 +163,7 @@ class Session {
   std::uint64_t running_ = 0;
   bool draining_ = false;
   std::atomic<std::uint64_t> open_{0};
+  std::atomic<std::uint64_t> lost_{0};  ///< results the stream couldn't take
   ResultStream stream_;
 };
 

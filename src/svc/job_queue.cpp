@@ -3,7 +3,8 @@
 namespace tta::svc {
 
 JobQueue::Ticket JobQueue::admit(const JobSpec& spec, std::uint64_t session,
-                                 std::uint64_t sequence) {
+                                 std::uint64_t sequence,
+                                 std::int32_t priority) {
   // Canonicalize before the bound check: a rejected job must still report
   // its digest (admission refusal is an explicit result, and callers
   // correlate it with the submitted spec by identity).
@@ -14,12 +15,13 @@ JobQueue::Ticket JobQueue::admit(const JobSpec& spec, std::uint64_t session,
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.size() >= max_pending_) return ticket;
   queue_.push(Entry{spec, session, sequence, ticket.digest, next_order_++,
-                    std::chrono::steady_clock::now(), ticket.cost});
+                    std::chrono::steady_clock::now(), ticket.cost,
+                    priority});
   ticket.admitted = true;
   return ticket;
 }
 
-std::optional<JobQueue::Entry> JobQueue::pop_cheapest() {
+std::optional<JobQueue::Entry> JobQueue::pop_next() {
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.empty()) return std::nullopt;
   Entry top = queue_.top();

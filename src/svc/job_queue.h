@@ -1,7 +1,11 @@
-// Priority queue of admitted jobs, cheapest estimated cost first (the E4
-// state-count model). Running the cheap cells of a grid first maximizes
-// early feedback and keeps the expensive stragglers from head-blocking
-// everything else on the workers. Shared by every session of an
+// Priority queue of admitted jobs, ordered by two keys: caller priority
+// first (higher runs sooner — the QoS lever a networked client pulls via
+// the wire protocol's "priority" field), then cheapest estimated cost (the
+// E4 state-count model) within a priority band. Running the cheap cells of
+// a grid first maximizes early feedback and keeps the expensive stragglers
+// from head-blocking everything else on the workers; the priority key on
+// top lets an interactive session's jobs overtake a bulk grid sweep that
+// another session queued first. Shared by every session of an
 // AsyncService, so one queue orders work across concurrent sessions.
 #pragma once
 
@@ -36,33 +40,40 @@ class JobQueue {
     std::uint64_t order = 0;     ///< global admission order (tie-break)
     std::chrono::steady_clock::time_point admitted_at{};
     double cost = 0.0;
+    std::int32_t priority = 0;  ///< higher dispatches sooner (default 0)
   };
 
   explicit JobQueue(std::size_t max_pending) : max_pending_(max_pending) {}
 
   /// Ticket::admitted is false when the queue is at max_pending; the
-  /// ticket's digest and cost are valid either way.
+  /// ticket's digest and cost are valid either way. `priority` is an
+  /// execution hint, not part of the job's identity (it never enters the
+  /// digest — the same query at any priority is the same query).
   Ticket admit(const JobSpec& spec, std::uint64_t session,
-               std::uint64_t sequence);
+               std::uint64_t sequence, std::int32_t priority = 0);
 
-  /// Pops the cheapest pending job; nullopt when drained.
-  std::optional<Entry> pop_cheapest();
+  /// Pops the next job under the (priority desc, cost asc) order; nullopt
+  /// when drained.
+  std::optional<Entry> pop_next();
 
   std::size_t pending() const;
 
  private:
-  struct CostOrder {
+  struct DispatchOrder {
     bool operator()(const Entry& a, const Entry& b) const {
-      // priority_queue keeps the *largest* on top; invert for cheapest-
-      // first, tie-breaking on admission order for determinism.
-      return a.cost != b.cost ? a.cost > b.cost : a.order > b.order;
+      // priority_queue keeps the *largest* on top: highest priority first,
+      // then cheapest cost within a band, tie-breaking on admission order
+      // for determinism.
+      if (a.priority != b.priority) return a.priority < b.priority;
+      if (a.cost != b.cost) return a.cost > b.cost;
+      return a.order > b.order;
     }
   };
 
   const std::size_t max_pending_;
   mutable std::mutex mu_;
   std::uint64_t next_order_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, CostOrder> queue_;
+  std::priority_queue<Entry, std::vector<Entry>, DispatchOrder> queue_;
 };
 
 }  // namespace tta::svc

@@ -61,9 +61,34 @@ std::string config_label(const JobSpec& spec) {
   return buf;
 }
 
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 std::string result_json(const JobSpec& spec, const JobResult& result,
-                        unsigned pass, std::uint64_t seq, double ts_ms) {
+                        unsigned pass, std::uint64_t seq, double ts_ms,
+                        const std::string& id) {
   std::string out = "{";
+  if (!id.empty()) out += "\"id\":\"" + json_escape(id) + "\",";
   out += "\"pass\":" + number(std::uint64_t{pass});
   out += ",\"seq\":" + number(seq);
   out += ",\"ts_ms\":" + number(ts_ms);

@@ -175,10 +175,25 @@ bool parse_engine(const std::string& v, EngineChoice* out) {
   return false;
 }
 
-}  // namespace
+bool parse_priority(const std::string& v, std::int32_t* out) {
+  std::string digits = v;
+  bool negative = false;
+  if (!digits.empty() && digits[0] == '-') {
+    negative = true;
+    digits.erase(0, 1);
+  }
+  std::uint64_t magnitude = 0;
+  if (!parse_u64(digits, &magnitude) || magnitude > 1'000'000) return false;
+  *out = negative ? -static_cast<std::int32_t>(magnitude)
+                  : static_cast<std::int32_t>(magnitude);
+  return true;
+}
 
-bool parse_job_line(const std::string& line, JobSpec* spec,
-                    std::string* error) {
+/// Shared body of parse_job_line / parse_request_line. When `request` is
+/// null the wire-only keys ("priority", "id") are unknown keys, exactly as
+/// the job-file grammar has always treated them.
+bool parse_line_impl(const std::string& line, JobSpec* spec,
+                     WireRequest* request, std::string* error) {
   auto fail = [error](const std::string& msg) {
     if (error) *error = msg;
     return false;
@@ -250,6 +265,11 @@ bool parse_job_line(const std::string& line, JobSpec* spec,
       } else if (key == "threads") {
         ok = parse_u64(value, &n) && n <= 256;
         if (ok) out.threads = static_cast<unsigned>(n);
+      } else if (request && key == "priority") {
+        ok = !is_string && parse_priority(value, &request->priority);
+      } else if (request && key == "id") {
+        ok = is_string;
+        if (ok) request->id = value;
       } else {
         return fail("unknown key \"" + key + "\"");
       }
@@ -266,6 +286,21 @@ bool parse_job_line(const std::string& line, JobSpec* spec,
     return fail("slots must be >= nodes");
   }
   *spec = out;
+  return true;
+}
+
+}  // namespace
+
+bool parse_job_line(const std::string& line, JobSpec* spec,
+                    std::string* error) {
+  return parse_line_impl(line, spec, nullptr, error);
+}
+
+bool parse_request_line(const std::string& line, WireRequest* request,
+                        std::string* error) {
+  WireRequest out;
+  if (!parse_line_impl(line, &out.spec, &out, error)) return false;
+  *request = std::move(out);
   return true;
 }
 

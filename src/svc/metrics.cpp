@@ -100,10 +100,22 @@ std::string Metrics::dump() const {
                 static_cast<unsigned long long>(v(checkpoint_resumes)));
   out += buf;
   std::snprintf(buf, sizeof buf,
-                "async: sessions=%llu streamed=%llu drain_rejected=%llu\n",
+                "async: sessions=%llu streamed=%llu drain_rejected=%llu "
+                "overflow=%llu lost=%llu\n",
                 static_cast<unsigned long long>(v(sessions_opened)),
                 static_cast<unsigned long long>(v(results_streamed)),
-                static_cast<unsigned long long>(v(drain_rejected)));
+                static_cast<unsigned long long>(v(drain_rejected)),
+                static_cast<unsigned long long>(v(stream_overflows)),
+                static_cast<unsigned long long>(v(stream_lost)));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "net: connections=%llu lines_in=%llu lines_out=%llu "
+                "malformed=%llu drains=%llu\n",
+                static_cast<unsigned long long>(v(net_connections)),
+                static_cast<unsigned long long>(v(net_lines_in)),
+                static_cast<unsigned long long>(v(net_lines_out)),
+                static_cast<unsigned long long>(v(net_malformed)),
+                static_cast<unsigned long long>(v(net_drains)));
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "queue latency: mean=%.6fs p50<=%.6fs p99<=%.6fs  %s\n",

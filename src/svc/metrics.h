@@ -87,10 +87,26 @@ class Metrics {
   std::atomic<std::uint64_t> checkpoint_resumes{0};
   // Async serving: sessions opened, results delivered onto session streams
   // (completions, cancellations, and buffered rejections alike), and jobs
-  // rejected by drain() while still queued.
+  // rejected by drain() while still queued. stream_overflows counts pushes
+  // that exceeded the stream's capacity bound (delivered anyway — a
+  // verdict is never dropped for buffer space); stream_lost counts results
+  // that could not be delivered because the stream was already closed —
+  // the only way a concluded verdict can fail to reach its consumer, and
+  // never a silent one (Session::drain() reports the session's share).
   std::atomic<std::uint64_t> sessions_opened{0};
   std::atomic<std::uint64_t> results_streamed{0};
   std::atomic<std::uint64_t> drain_rejected{0};
+  std::atomic<std::uint64_t> stream_overflows{0};
+  std::atomic<std::uint64_t> stream_lost{0};
+  // Network serving (tools/tta_verifyd): connections accepted, protocol
+  // lines read and written, malformed request lines answered with an
+  // error line, and connections whose session was drained with jobs still
+  // unanswered (client disconnect mid-stream or server shutdown).
+  std::atomic<std::uint64_t> net_connections{0};
+  std::atomic<std::uint64_t> net_lines_in{0};
+  std::atomic<std::uint64_t> net_lines_out{0};
+  std::atomic<std::uint64_t> net_malformed{0};
+  std::atomic<std::uint64_t> net_drains{0};
 
   LatencyHistogram queue_latency;  ///< admission -> dispatch
   LatencyHistogram job_latency;    ///< dispatch -> result (incl. cache hits)

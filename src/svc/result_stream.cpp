@@ -16,9 +16,13 @@ std::optional<StreamedResult> ResultStream::next() {
   return consumed(queue_.pop());
 }
 
-std::optional<StreamedResult> ResultStream::next(
-    std::chrono::milliseconds timeout) {
-  return consumed(queue_.pop_for(timeout));
+util::PopStatus ResultStream::next_for(std::chrono::milliseconds timeout,
+                                       StreamedResult* out) {
+  const util::PopStatus status = queue_.pop_for(timeout, out);
+  if (status == util::PopStatus::kItem && open_) {
+    open_->fetch_sub(1, std::memory_order_relaxed);
+  }
+  return status;
 }
 
 }  // namespace tta::svc

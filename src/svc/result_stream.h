@@ -3,11 +3,17 @@
 // Each svc::Session owns one ResultStream. Workers push a StreamedResult
 // the moment a job concludes (in completion order, not submission order);
 // the session's consumer polls try_next() or blocks on next(), optionally
-// with a deadline. The stream is bounded, but its backpressure is exerted
-// at *submission*: a job counts as open from submit() until its result is
-// consumed here, and the session rejects submissions beyond
-// ServiceConfig::max_pending open jobs — so pushes never block a worker,
-// and a slow consumer throttles its own submitters instead of the service.
+// with a deadline via next_for(). The stream is bounded, but its
+// backpressure is exerted at *submission*: a job counts as open from
+// submit() until its result is consumed here, and the session rejects
+// submissions beyond ServiceConfig::max_pending open jobs — so pushes
+// never block a worker, and a slow consumer throttles its own submitters
+// instead of the service.
+//
+// A concluded verdict is never dropped for lack of buffer space: push()
+// enqueues past the capacity bound if it must (util::PushStatus::kOverflow,
+// counted in Metrics::stream_overflows) and can fail only once the stream
+// is closed (kClosed — the session counts the loss and drain() reports it).
 #pragma once
 
 #include <atomic>
@@ -40,14 +46,18 @@ class ResultStream {
   ResultStream& operator=(const ResultStream&) = delete;
 
   /// Non-blocking poll; nullopt when nothing has concluded yet (or the
-  /// stream is exhausted — use exhausted() to tell the two apart).
+  /// stream is exhausted — use next_for() when the distinction matters).
   std::optional<StreamedResult> try_next();
 
   /// Blocks until a result concludes or the stream ends (drain/close).
   std::optional<StreamedResult> next();
 
-  /// Blocks up to `timeout`; nullopt on timeout or end-of-stream.
-  std::optional<StreamedResult> next(std::chrono::milliseconds timeout);
+  /// Blocks up to `timeout`. Three-way status, decided atomically with the
+  /// pop itself: kItem fills *out, kTimeout means nothing concluded within
+  /// the deadline (the stream is still open), kEnded means the stream is
+  /// over — closed and fully consumed. No racing exhausted() probe needed.
+  util::PopStatus next_for(std::chrono::milliseconds timeout,
+                           StreamedResult* out);
 
   /// Closed (session drained) and fully consumed: no result will ever
   /// arrive again.
@@ -65,7 +75,12 @@ class ResultStream {
   ResultStream(std::size_t capacity, std::atomic<std::uint64_t>* open)
       : queue_(capacity), open_(open) {}
 
-  bool push(StreamedResult item) { return queue_.try_push(std::move(item)); }
+  /// Delivers one concluded result. Never drops for capacity (see the
+  /// header comment); kClosed is the only loss and the caller must count
+  /// it.
+  util::PushStatus push(StreamedResult item) {
+    return queue_.push_overflow(std::move(item));
+  }
   void close() { queue_.close(); }
 
   std::optional<StreamedResult> consumed(std::optional<StreamedResult> item);

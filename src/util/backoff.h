@@ -21,15 +21,24 @@ struct BackoffPolicy {
   /// Delay before retry number `retry` (1-based: the delay between the
   /// first failure and the second attempt is delay_ms(1)). Grows
   /// geometrically from initial_delay_ms and saturates at max_delay_ms.
+  ///
+  /// Misconfigured policies are clamped rather than looped on:
+  /// multiplier <= 1 degenerates to a constant schedule (answered in O(1),
+  /// not after `retry` no-progress iterations), an initial delay above the
+  /// saturation bound is capped at max_delay_ms, and a zero initial delay
+  /// stays zero at every retry (zero never grows).
   std::uint32_t delay_ms(unsigned retry) const {
     if (retry == 0) return 0;
-    double d = static_cast<double>(initial_delay_ms);
+    const double cap = static_cast<double>(max_delay_ms);
+    double d = std::min(static_cast<double>(initial_delay_ms), cap);
+    if (d <= 0.0 || multiplier <= 1.0) {
+      return static_cast<std::uint32_t>(d);
+    }
     for (unsigned i = 1; i < retry; ++i) {
       d *= multiplier;
-      if (d >= static_cast<double>(max_delay_ms)) break;
+      if (d >= cap) break;  // saturated; further rounds change nothing
     }
-    return static_cast<std::uint32_t>(
-        std::min(d, static_cast<double>(max_delay_ms)));
+    return static_cast<std::uint32_t>(std::min(d, cap));
   }
 };
 

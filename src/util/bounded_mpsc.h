@@ -7,6 +7,12 @@
 // free. The queue closes exactly once; after close() producers fail fast
 // and the consumer drains whatever is buffered before seeing end-of-stream
 // (pop returning nullopt on a closed, empty queue).
+//
+// Two producer flavors exist because the callers have two kinds of items:
+// try_push/push respect the capacity bound (flow control), while
+// push_overflow enqueues past it — for items that must never be dropped
+// (a concluded verdict) — and reports the overflow so the caller can
+// account for it instead of losing the item silently.
 #pragma once
 
 #include <chrono>
@@ -17,13 +23,34 @@
 #include <optional>
 #include <utility>
 
+#include "util/check.h"
+
 namespace tta::util {
+
+/// Outcome of a deadline-bounded pop, disambiguated atomically with the
+/// pop itself (a separate exhausted() probe would race a concurrent push).
+enum class PopStatus : std::uint8_t {
+  kItem = 0,     ///< an item was dequeued into *out
+  kTimeout = 1,  ///< deadline passed; the queue is open and may still fill
+  kEnded = 2,    ///< closed and fully drained; nothing will ever arrive
+};
+
+/// Outcome of a push_overflow (capacity-ignoring) producer call.
+enum class PushStatus : std::uint8_t {
+  kOk = 0,        ///< enqueued within capacity
+  kOverflow = 1,  ///< enqueued, but the queue was already at capacity
+  kClosed = 2,    ///< dropped: the queue is closed, no consumer remains
+};
 
 template <class T>
 class BoundedMpscQueue {
  public:
-  explicit BoundedMpscQueue(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  /// Precondition: capacity > 0. A zero-capacity queue could never deliver
+  /// anything, so silently rewriting it to 1 (as earlier revisions did)
+  /// only hid a caller bug.
+  explicit BoundedMpscQueue(std::size_t capacity) : capacity_(capacity) {
+    TTA_CHECK(capacity > 0);
+  }
 
   BoundedMpscQueue(const BoundedMpscQueue&) = delete;
   BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
@@ -49,6 +76,20 @@ class BoundedMpscQueue {
     return true;
   }
 
+  /// Never-lose producer: enqueues even when the queue is at capacity
+  /// (reporting kOverflow so the caller can count the excursion) and fails
+  /// only once the queue is closed. For items whose loss would be silent
+  /// data loss — the capacity bound is flow control, not a license to
+  /// drop.
+  PushStatus push_overflow(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushStatus::kClosed;
+    const bool over = items_.size() >= capacity_;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return over ? PushStatus::kOverflow : PushStatus::kOk;
+  }
+
   /// Non-blocking pop; nullopt when nothing is buffered (closed or not).
   std::optional<T> try_pop() {
     std::lock_guard<std::mutex> lock(mu_);
@@ -62,13 +103,20 @@ class BoundedMpscQueue {
     return take_locked();
   }
 
-  /// Blocks up to `timeout`; nullopt on timeout or end-of-stream (use
-  /// exhausted() to tell the two apart).
-  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+  /// Blocks up to `timeout`. The returned status is decided under the same
+  /// lock as the pop, so kTimeout vs kEnded is authoritative — no separate
+  /// exhausted() check (which could race a concurrent push) is needed.
+  PopStatus pop_for(std::chrono::milliseconds timeout, T* out) {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait_for(lock, timeout,
                         [&] { return closed_ || !items_.empty(); });
-    return take_locked();
+    if (!items_.empty()) {
+      *out = std::move(items_.front());
+      items_.pop_front();
+      not_full_.notify_one();
+      return PopStatus::kItem;
+    }
+    return closed_ ? PopStatus::kEnded : PopStatus::kTimeout;
   }
 
   /// Idempotent. Wakes every blocked producer (they fail) and the consumer

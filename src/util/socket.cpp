@@ -1,0 +1,230 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace tta::util {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped to >= 0. A negative
+/// `timeout_ms` at the call site means "wait forever", which callers here
+/// never use — the protocol requires bounded waits.
+int remaining_ms(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 3'600'000) return 3'600'000;
+  return static_cast<int>(left.count());
+}
+
+/// poll(2) for `events` on `fd`, retrying EINTR against the same deadline.
+/// Returns >0 when ready, 0 on timeout, -1 on error.
+int poll_until(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (rc >= 0) return rc;
+    if (errno != EINTR) return -1;
+    if (Clock::now() >= deadline) return 0;
+  }
+}
+
+void fill_error(std::string* error, const char* what) {
+  if (error) *error = std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc < 0 && errno == EINTR);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::listen_on(std::uint16_t port, std::uint16_t* bound_port,
+                         std::string* error) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    fill_error(error, "socket");
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    fill_error(error, "bind");
+    return Socket();
+  }
+  if (::listen(sock.fd(), 64) < 0) {
+    fill_error(error, "listen");
+    return Socket();
+  }
+  if (bound_port) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) < 0) {
+      fill_error(error, "getsockname");
+      return Socket();
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Socket Socket::accept_for(int timeout_ms) const {
+  if (!valid()) return Socket();
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  if (poll_until(fd_, POLLIN, deadline) <= 0) return Socket();
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno != EINTR) return Socket();
+  }
+}
+
+Socket Socket::connect_to(const std::string& host, std::uint16_t port,
+                          int timeout_ms, std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "unresolvable host \"" + host + "\" (dotted quad only)";
+    return Socket();
+  }
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!sock.valid()) {
+    fill_error(error, "socket");
+    return Socket();
+  }
+
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  int rc;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno != EINPROGRESS) {
+      fill_error(error, "connect");
+      return Socket();
+    }
+    if (poll_until(sock.fd(), POLLOUT, deadline) <= 0) {
+      if (error) *error = "connect: timed out";
+      return Socket();
+    }
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+        so_error != 0) {
+      if (error) {
+        *error = std::string("connect: ") +
+                 std::strerror(so_error != 0 ? so_error : errno);
+      }
+      return Socket();
+    }
+  }
+
+  // Back to blocking mode; all further waits are poll-bounded anyway.
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  if (flags >= 0) ::fcntl(sock.fd(), F_SETFL, flags & ~O_NONBLOCK);
+  return sock;
+}
+
+LineConn::LineConn(Socket sock) : sock_(std::move(sock)) {
+  if (sock_.valid()) {
+    const int one = 1;
+    ::setsockopt(sock_.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+}
+
+LineConn::Io LineConn::read_line(std::string* line, int timeout_ms) {
+  if (!sock_.valid()) return Io::kError;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return Io::kOk;
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      sock_.close();
+      return Io::kError;
+    }
+
+    const int ready = poll_until(sock_.fd(), POLLIN, deadline);
+    if (ready == 0) return Io::kTimeout;
+    if (ready < 0) return Io::kError;
+
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::recv(sock_.fd(), chunk, sizeof chunk, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return Io::kError;
+    if (n == 0) return Io::kEof;  // any partial tail in buffer_ is dropped
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+LineConn::Io LineConn::write_line(const std::string& line, int timeout_ms) {
+  if (!sock_.valid()) return Io::kError;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const int ready = poll_until(sock_.fd(), POLLOUT, deadline);
+    if (ready == 0) return Io::kTimeout;
+    if (ready < 0) return Io::kError;
+
+    ssize_t n;
+    do {
+      n = ::send(sock_.fd(), framed.data() + off, framed.size() - off,
+                 MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Io::kError;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Io::kOk;
+}
+
+void LineConn::shutdown_write() {
+  if (sock_.valid()) ::shutdown(sock_.fd(), SHUT_WR);
+}
+
+}  // namespace tta::util

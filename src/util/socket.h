@@ -1,0 +1,105 @@
+// Minimal POSIX TCP wrappers for the verification server (tta_verifyd)
+// and its clients: loopback listen/accept/connect plus a line-oriented
+// connection that matches the service's JSON-lines wire protocol
+// (docs/SERVICE.md).
+//
+// Design constraints, in order:
+//   - no third-party dependencies — raw sockets + poll(2) only;
+//   - every blocking call takes an explicit timeout and retries EINTR, so
+//     signal-driven shutdown (SIGTERM drain) can never wedge a thread;
+//   - writes never raise SIGPIPE (MSG_NOSIGNAL); a dead peer surfaces as
+//     Io::kError from write_line, which is the server's disconnect signal.
+//
+// Socket owns the fd (move-only, closes on destruction). LineConn layers a
+// read buffer over a connected Socket and speaks newline-delimited frames:
+// read_line strips the trailing '\n', write_line appends one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tta::util {
+
+/// Move-only owner of one socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+  /// port) with SO_REUSEADDR; the actually-bound port lands in
+  /// *bound_port. Returns an invalid Socket and fills *error on failure.
+  static Socket listen_on(std::uint16_t port, std::uint16_t* bound_port,
+                          std::string* error);
+
+  /// Accepts one connection, waiting at most `timeout_ms` (poll-based,
+  /// EINTR-safe). Returns an invalid Socket on timeout or error; the two
+  /// are distinguishable by valid() alone not being needed — callers in
+  /// the accept loop just retry until told to stop.
+  Socket accept_for(int timeout_ms) const;
+
+  /// Connects to host:port with a bounded, EINTR-safe non-blocking
+  /// connect (poll + SO_ERROR). Returns an invalid Socket and fills
+  /// *error on refusal, timeout, or resolution failure.
+  static Socket connect_to(const std::string& host, std::uint16_t port,
+                           int timeout_ms, std::string* error);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Newline-delimited framing over a connected Socket.
+class LineConn {
+ public:
+  /// Outcome of one read_line / write_line call.
+  enum class Io : std::uint8_t {
+    kOk = 0,       ///< a full line moved
+    kTimeout = 1,  ///< deadline expired; the connection is still usable
+    kEof = 2,      ///< orderly peer close (half-close) on read
+    kError = 3,    ///< connection broken / line too long / invalid socket
+  };
+
+  /// Takes ownership of `sock` and disables Nagle (TCP_NODELAY) so each
+  /// response line leaves immediately.
+  explicit LineConn(Socket sock);
+
+  bool valid() const { return sock_.valid(); }
+
+  /// Reads one '\n'-terminated line (terminator stripped) into *line,
+  /// waiting at most `timeout_ms` total across however many reads it
+  /// takes. A partial line followed by peer close is reported as kEof and
+  /// discarded — the wire protocol is strictly line-framed. Lines longer
+  /// than kMaxLineBytes break the connection (kError).
+  Io read_line(std::string* line, int timeout_ms);
+
+  /// Writes `line` plus a trailing '\n', looping over partial writes,
+  /// waiting at most `timeout_ms` total for the socket to drain. Never
+  /// raises SIGPIPE; a closed peer is kError.
+  Io write_line(const std::string& line, int timeout_ms);
+
+  /// Half-close: shuts down the write side so the peer reads EOF after
+  /// the last line, while responses can still flow back. This is how the
+  /// client says "no more requests" without abandoning pending results.
+  void shutdown_write();
+
+  /// Defensive bound on one wire line (requests are < 1 KiB in practice;
+  /// response lines with long traces stay well under 1 MiB).
+  static constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+ private:
+  Socket sock_;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace tta::util

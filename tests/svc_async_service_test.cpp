@@ -1,5 +1,5 @@
 // The async session contract end-to-end: completion-order streaming,
-// deadline-bounded next(), cancel-while-queued vs cancel-while-running,
+// three-way next_for(), cancel-while-queued vs cancel-while-running,
 // drain semantics, explicit admission rejection with digests, checkpoint-
 // backed progress, a many-producer stress round, and the sync shim's
 // equivalence to manual session use. Labeled `parallel` and `async` (the
@@ -93,13 +93,14 @@ TEST(AsyncSession, ResultsStreamInCompletionOrderNotSubmissionOrder) {
   EXPECT_EQ(service.metrics().sessions_opened.load(), 1u);
 }
 
-TEST(AsyncSession, NextWithDeadlineTimesOutWithoutEndingTheStream) {
+TEST(AsyncSession, NextForReportsTimeoutItemAndEndAsDistinctStatuses) {
   AsyncService service;
   std::shared_ptr<Session> session = service.open_session();
 
+  StreamedResult item;
   const auto start = std::chrono::steady_clock::now();
-  EXPECT_FALSE(
-      session->results().next(std::chrono::milliseconds(40)).has_value());
+  EXPECT_EQ(session->results().next_for(std::chrono::milliseconds(40), &item),
+            util::PopStatus::kTimeout);
   EXPECT_GE(std::chrono::steady_clock::now() - start,
             std::chrono::milliseconds(35));
   EXPECT_FALSE(session->results().exhausted());  // timed out, not ended
@@ -108,11 +109,16 @@ TEST(AsyncSession, NextWithDeadlineTimesOutWithoutEndingTheStream) {
   const JobHandle h =
       session->submit(spec_for(guardian::Authority::kSmallShifting, 3));
   ASSERT_TRUE(h.valid());
-  std::optional<StreamedResult> item =
-      session->results().next(std::chrono::minutes(5));
-  ASSERT_TRUE(item.has_value());
-  EXPECT_EQ(item->handle.sequence, h.sequence);
-  session->drain();
+  EXPECT_EQ(session->results().next_for(std::chrono::minutes(5), &item),
+            util::PopStatus::kItem);
+  EXPECT_EQ(item.handle.sequence, h.sequence);
+
+  // After drain the status is kEnded — no longer confusable with a
+  // timeout, and atomic with the pop (no exhausted() race window).
+  EXPECT_EQ(session->drain(), 0u);
+  EXPECT_EQ(session->results().next_for(std::chrono::milliseconds(0), &item),
+            util::PopStatus::kEnded);
+  EXPECT_TRUE(session->results().exhausted());
 }
 
 TEST(AsyncSession, CancelWhileQueuedConcludesImmediately) {
@@ -163,13 +169,13 @@ TEST(AsyncSession, CancelWhileRunningTripsTheTokenAndReportsPartialStats) {
             JobState::kRunning);
   EXPECT_TRUE(session->cancel(running));
 
-  std::optional<StreamedResult> item =
-      session->results().next(std::chrono::minutes(5));
-  ASSERT_TRUE(item.has_value());
-  EXPECT_EQ(item->handle.sequence, running.sequence);
-  EXPECT_EQ(item->result.verdict, mc::Verdict::kInconclusive);
-  EXPECT_TRUE(item->result.stats.cancelled);
-  EXPECT_FALSE(item->result.stats.exhausted);
+  StreamedResult item;
+  ASSERT_EQ(session->results().next_for(std::chrono::minutes(5), &item),
+            util::PopStatus::kItem);
+  EXPECT_EQ(item.handle.sequence, running.sequence);
+  EXPECT_EQ(item.result.verdict, mc::Verdict::kInconclusive);
+  EXPECT_TRUE(item.result.stats.cancelled);
+  EXPECT_FALSE(item.result.stats.exhausted);
   EXPECT_EQ(session->progress(running)->state, JobState::kCancelled);
   session->drain();
 }
@@ -292,7 +298,9 @@ TEST(AsyncSession, ProgressReportsBfsLevelFromTheCheckpointHeader) {
   EXPECT_TRUE(saw_level);
 
   session->cancel(h);  // no need to finish the 5-node space
-  EXPECT_TRUE(session->results().next(std::chrono::minutes(5)).has_value());
+  StreamedResult item;
+  EXPECT_EQ(session->results().next_for(std::chrono::minutes(5), &item),
+            util::PopStatus::kItem);
   session->drain();
 }
 
@@ -327,11 +335,12 @@ TEST(AsyncSession, ManyProducersEveryHandleAnsweredExactlyOnce) {
 
   std::set<std::uint64_t> answered;
   for (int n = 0; n < kSubmitters * kPerSubmitter; ++n) {
-    std::optional<StreamedResult> item =
-        session->results().next(std::chrono::minutes(5));
-    ASSERT_TRUE(item.has_value()) << "after " << n << " results";
-    EXPECT_TRUE(answered.insert(item->handle.sequence).second)
-        << "duplicate result for sequence " << item->handle.sequence;
+    StreamedResult item;
+    ASSERT_EQ(session->results().next_for(std::chrono::minutes(5), &item),
+              util::PopStatus::kItem)
+        << "after " << n << " results";
+    EXPECT_TRUE(answered.insert(item.handle.sequence).second)
+        << "duplicate result for sequence " << item.handle.sequence;
   }
   session->drain();
   EXPECT_TRUE(session->results().exhausted());
@@ -340,6 +349,92 @@ TEST(AsyncSession, ManyProducersEveryHandleAnsweredExactlyOnce) {
   for (const JobHandle& h : handles) submitted.insert(h.sequence);
   EXPECT_EQ(answered, submitted);
   EXPECT_EQ(session->open_jobs(), 0u);
+}
+
+TEST(AsyncSession, StalledConsumerAtTheOverflowBoundaryLosesNothing) {
+  // Pins the satellite bugfix: with the consumer stalled, fill the result
+  // stream to exactly its capacity (2x max_pending: max_pending concluded
+  // results + max_pending buffered rejections) and check that no push was
+  // dropped or even reported as an overflow — the 2x sizing and the
+  // open-job gauge agree at the boundary.
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_pending = 2;  // stream capacity 4
+  AsyncService service(config);
+  std::shared_ptr<Session> session = service.open_session();
+
+  const JobHandle a =
+      session->submit(spec_for(guardian::Authority::kPassive, 3));
+  const JobHandle b =
+      session->submit(spec_for(guardian::Authority::kSmallShifting, 3));
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  // Both conclude with nobody consuming: 2 results sit buffered.
+  ASSERT_EQ(wait_for_state(*session, a, JobState::kDone), JobState::kDone);
+  ASSERT_EQ(wait_for_state(*session, b, JobState::kDone), JobState::kDone);
+
+  // Two more submissions are rejected (open gauge at max_pending) and
+  // their rejection notices fill the remaining two slots exactly.
+  const JobHandle r1 =
+      session->submit(spec_for(guardian::Authority::kTimeWindows));
+  const JobHandle r2 =
+      session->submit(spec_for(guardian::Authority::kFullShifting));
+  ASSERT_TRUE(r1.valid());
+  ASSERT_TRUE(r2.valid());
+
+  // The fifth submission finds the stream saturated: hard rejection,
+  // invalid handle, digest still reported.
+  const JobSpec fifth = spec_for(guardian::Authority::kPassive, 5);
+  const JobHandle hard = session->submit(fifth);
+  EXPECT_FALSE(hard.valid());
+  EXPECT_EQ(hard.digest, fifth.digest());
+
+  // At exactly-full, nothing overflowed and nothing was lost.
+  EXPECT_EQ(service.metrics().stream_overflows.load(), 0u);
+  EXPECT_EQ(service.metrics().stream_lost.load(), 0u);
+
+  std::size_t concluded = 0, rejected = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::optional<StreamedResult> item = session->results().next();
+    ASSERT_TRUE(item.has_value());
+    item->result.outcome.rejected ? ++rejected : ++concluded;
+  }
+  EXPECT_EQ(concluded, 2u);
+  EXPECT_EQ(rejected, 2u);
+  EXPECT_EQ(session->drain(), 0u);  // no undeliverable results
+  EXPECT_EQ(session->lost_results(), 0u);
+}
+
+TEST(AsyncSession, HigherPriorityOvertakesCheaperQueuedJobs) {
+  ServiceConfig config;
+  config.workers = 1;
+  AsyncService service(config);
+  std::shared_ptr<Session> session = service.open_session();
+
+  // Occupy the single worker, then queue a cheap default-priority job and
+  // an expensive high-priority one. Cheapest-first alone would run the
+  // cheap job next; the priority band must win.
+  const JobHandle blocker =
+      session->submit(spec_for(guardian::Authority::kPassive));
+  ASSERT_EQ(wait_for_state(*session, blocker, JobState::kRunning),
+            JobState::kRunning);
+  const JobHandle cheap =
+      session->submit(spec_for(guardian::Authority::kSmallShifting, 3));
+  const JobHandle urgent = session->submit(
+      spec_for(guardian::Authority::kTimeWindows), /*priority=*/5);
+  ASSERT_TRUE(cheap.valid());
+  ASSERT_TRUE(urgent.valid());
+
+  std::vector<std::uint64_t> completion_order;
+  for (int i = 0; i < 3; ++i) {
+    std::optional<StreamedResult> item = session->results().next();
+    ASSERT_TRUE(item.has_value());
+    completion_order.push_back(item->handle.sequence);
+  }
+  const std::vector<std::uint64_t> expected = {
+      blocker.sequence, urgent.sequence, cheap.sequence};
+  EXPECT_EQ(completion_order, expected);
+  session->drain();
 }
 
 TEST(SyncShim, RunBatchMatchesManualSessionUseOnTheE1Grid) {

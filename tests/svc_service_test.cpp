@@ -157,10 +157,10 @@ TEST(JobQueue, PopsCheapestFirst) {
   ASSERT_TRUE(queue.admit(medium, 0, 3).admitted);
   EXPECT_EQ(queue.pending(), 3u);
 
-  EXPECT_EQ(queue.pop_cheapest()->sequence, 2u);
-  EXPECT_EQ(queue.pop_cheapest()->sequence, 3u);
-  EXPECT_EQ(queue.pop_cheapest()->sequence, 1u);
-  EXPECT_FALSE(queue.pop_cheapest().has_value());
+  EXPECT_EQ(queue.pop_next()->sequence, 2u);
+  EXPECT_EQ(queue.pop_next()->sequence, 3u);
+  EXPECT_EQ(queue.pop_next()->sequence, 1u);
+  EXPECT_FALSE(queue.pop_next().has_value());
 }
 
 TEST(JobQueue, TieBreaksOnAdmissionOrder) {
@@ -169,9 +169,32 @@ TEST(JobQueue, TieBreaksOnAdmissionOrder) {
   ASSERT_TRUE(queue.admit(spec, 0, 7).admitted);
   ASSERT_TRUE(queue.admit(spec, 0, 3).admitted);
   ASSERT_TRUE(queue.admit(spec, 0, 5).admitted);
-  EXPECT_EQ(queue.pop_cheapest()->sequence, 7u);
-  EXPECT_EQ(queue.pop_cheapest()->sequence, 3u);
-  EXPECT_EQ(queue.pop_cheapest()->sequence, 5u);
+  EXPECT_EQ(queue.pop_next()->sequence, 7u);
+  EXPECT_EQ(queue.pop_next()->sequence, 3u);
+  EXPECT_EQ(queue.pop_next()->sequence, 5u);
+}
+
+TEST(JobQueue, PriorityBandsDominateCost) {
+  // Two-key order: priority desc, then cheapest-first within a band.
+  JobQueue queue(16);
+  JobSpec cheap;
+  cheap.model.authority = guardian::Authority::kPassive;
+  cheap.model.allow_silence_fault = false;
+  cheap.model.allow_bad_frame_fault = false;
+  JobSpec expensive;
+  expensive.model.authority = guardian::Authority::kPassive;
+  expensive.model.protocol.num_nodes = 5;
+  expensive.model.protocol.num_slots = 5;
+
+  ASSERT_TRUE(queue.admit(cheap, 0, 1, /*priority=*/0).admitted);
+  ASSERT_TRUE(queue.admit(expensive, 0, 2, /*priority=*/10).admitted);
+  ASSERT_TRUE(queue.admit(cheap, 0, 3, /*priority=*/10).admitted);
+  ASSERT_TRUE(queue.admit(expensive, 0, 4, /*priority=*/-5).admitted);
+
+  EXPECT_EQ(queue.pop_next()->sequence, 3u);  // high band, cheaper
+  EXPECT_EQ(queue.pop_next()->sequence, 2u);  // high band, dearer
+  EXPECT_EQ(queue.pop_next()->sequence, 1u);  // default band
+  EXPECT_EQ(queue.pop_next()->sequence, 4u);  // negative band last
 }
 
 TEST(JobQueue, RefusesBeyondMaxPending) {
@@ -179,7 +202,7 @@ TEST(JobQueue, RefusesBeyondMaxPending) {
   JobSpec spec;
   EXPECT_TRUE(queue.admit(spec, 0, 1).admitted);
   EXPECT_FALSE(queue.admit(spec, 0, 2).admitted);
-  queue.pop_cheapest();
+  queue.pop_next();
   EXPECT_TRUE(queue.admit(spec, 0, 3).admitted);
 }
 

@@ -1,0 +1,79 @@
+// Known-answer tests for the retry backoff schedule, including the
+// degenerate configurations that used to spin: multiplier <= 1.0 made
+// delay_ms loop `retry` times multiplying by a factor that never grows,
+// and an initial delay of 0 looped the same way while staying 0. Both are
+// now answered in O(1) by clamping, and the well-formed schedule is pinned
+// exactly (it is part of the service's reproducibility story).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "util/backoff.h"
+
+namespace tta::util {
+namespace {
+
+TEST(Backoff, DefaultScheduleIsPinned) {
+  const BackoffPolicy policy;  // 10ms, x2, cap 2000ms
+  EXPECT_EQ(policy.delay_ms(0), 0u);  // "retry 0" is the first attempt
+  EXPECT_EQ(policy.delay_ms(1), 10u);
+  EXPECT_EQ(policy.delay_ms(2), 20u);
+  EXPECT_EQ(policy.delay_ms(3), 40u);
+  EXPECT_EQ(policy.delay_ms(4), 80u);
+  EXPECT_EQ(policy.delay_ms(8), 1280u);
+  EXPECT_EQ(policy.delay_ms(9), 2000u);   // 2560 saturates at the cap
+  EXPECT_EQ(policy.delay_ms(100), 2000u);  // stays saturated
+}
+
+TEST(Backoff, MultiplierOneIsAConstantSchedule) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 50;
+  policy.multiplier = 1.0;
+  EXPECT_EQ(policy.delay_ms(1), 50u);
+  EXPECT_EQ(policy.delay_ms(2), 50u);
+  EXPECT_EQ(policy.delay_ms(1'000'000'000), 50u);
+}
+
+TEST(Backoff, MultiplierBelowOneClampsToConstantInsteadOfShrinking) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 80;
+  policy.multiplier = 0.5;  // misconfigured: backoff must never shrink
+  EXPECT_EQ(policy.delay_ms(1), 80u);
+  EXPECT_EQ(policy.delay_ms(7), 80u);
+  EXPECT_EQ(policy.delay_ms(1'000'000'000), 80u);
+}
+
+TEST(Backoff, InitialAboveMaxIsCappedAtMax) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 10'000;
+  policy.max_delay_ms = 2'000;
+  EXPECT_EQ(policy.delay_ms(1), 2000u);
+  EXPECT_EQ(policy.delay_ms(5), 2000u);
+}
+
+TEST(Backoff, ZeroInitialDelayStaysZero) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 0;
+  EXPECT_EQ(policy.delay_ms(1), 0u);
+  EXPECT_EQ(policy.delay_ms(64), 0u);  // zero never grows; no spin either
+}
+
+TEST(Backoff, HugeRetryCountsAnswerInstantlyEvenWhenDegenerate) {
+  // The regression that motivated the fix: delay_ms(2^31) with a
+  // non-growing schedule used to iterate two billion times. Bound the
+  // whole probe well under a millisecond's worth of wall time.
+  BackoffPolicy constant;
+  constant.multiplier = 1.0;
+  BackoffPolicy shrinking;
+  shrinking.multiplier = 0.25;
+  const auto start = std::chrono::steady_clock::now();
+  for (unsigned i = 0; i < 1000; ++i) {
+    EXPECT_EQ(constant.delay_ms(0x8000'0000u + i), 10u);
+    EXPECT_EQ(shrinking.delay_ms(0x8000'0000u + i), 10u);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+}
+
+}  // namespace
+}  // namespace tta::util

@@ -36,11 +36,10 @@ TEST(BoundedMpsc, TryPushFailsWhenFull) {
   EXPECT_TRUE(q.try_push(3));  // a pop frees a slot
 }
 
-TEST(BoundedMpsc, ZeroCapacityIsClampedToOne) {
-  BoundedMpscQueue<int> q(0);
-  EXPECT_EQ(q.capacity(), 1u);
-  EXPECT_TRUE(q.try_push(7));
-  EXPECT_FALSE(q.try_push(8));
+TEST(BoundedMpscDeathTest, ZeroCapacityIsARejectedPrecondition) {
+  // Capacity 0 used to be silently rewritten to 1, which masked caller
+  // bugs (a "bounded" queue nobody sized). It is now a hard precondition.
+  EXPECT_DEATH(BoundedMpscQueue<int>(0), "capacity");
 }
 
 TEST(BoundedMpsc, BlockingPushWaitsForSpace) {
@@ -55,13 +54,43 @@ TEST(BoundedMpsc, BlockingPushWaitsForSpace) {
   EXPECT_EQ(q.pop(), 2);
 }
 
-TEST(BoundedMpsc, PopForTimesOutOnAnEmptyOpenQueue) {
+TEST(BoundedMpsc, PopForDistinguishesTimeoutItemAndEnd) {
   BoundedMpscQueue<int> q(2);
+  int out = 0;
+
+  // Empty + open: an unambiguous timeout, decided under the queue lock.
   const auto start = std::chrono::steady_clock::now();
-  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(30)).has_value());
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(30), &out),
+            PopStatus::kTimeout);
   EXPECT_GE(std::chrono::steady_clock::now() - start,
             std::chrono::milliseconds(25));
-  EXPECT_FALSE(q.exhausted());  // timed out, not ended
+
+  // Buffered item: delivered even after close (drain-before-end).
+  ASSERT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(0), &out), PopStatus::kItem);
+  EXPECT_EQ(out, 7);
+
+  // Empty + closed: end-of-stream, never a timeout.
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(0), &out), PopStatus::kEnded);
+  EXPECT_TRUE(q.exhausted());
+}
+
+TEST(BoundedMpsc, PushOverflowNeverDropsAndReportsTheBreach) {
+  BoundedMpscQueue<int> q(2);
+  EXPECT_EQ(q.push_overflow(1), PushStatus::kOk);
+  EXPECT_EQ(q.push_overflow(2), PushStatus::kOk);
+  // The queue is at capacity: the push still lands (no silent drop) but
+  // the breach is reported so callers can count it.
+  EXPECT_EQ(q.push_overflow(3), PushStatus::kOverflow);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_EQ(q.try_pop(), 3);
+
+  q.close();
+  EXPECT_EQ(q.push_overflow(4), PushStatus::kClosed);  // the only lossy path
+  EXPECT_TRUE(q.exhausted());
 }
 
 TEST(BoundedMpsc, CloseDrainsBufferThenReportsEndOfStream) {

@@ -1,0 +1,163 @@
+// The loopback socket layer under tta_verifyd: ephemeral-port listen,
+// bounded accept/connect, line framing across packet boundaries, read
+// timeouts that keep the connection usable, half-close (EOF) semantics,
+// the oversized-line defense, and write-after-peer-close error reporting.
+// Labeled `parallel` for the TSan build (client and server threads).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "util/socket.h"
+
+namespace tta::util {
+namespace {
+
+using Io = LineConn::Io;
+
+struct Loopback {
+  Socket listener;
+  std::uint16_t port = 0;
+
+  Loopback() {
+    std::string error;
+    listener = Socket::listen_on(0, &port, &error);
+    EXPECT_TRUE(listener.valid()) << error;
+    EXPECT_NE(port, 0u);
+  }
+
+  LineConn connect() {
+    std::string error;
+    Socket sock = Socket::connect_to("127.0.0.1", port, 2000, &error);
+    EXPECT_TRUE(sock.valid()) << error;
+    return LineConn(std::move(sock));
+  }
+
+  LineConn accept() {
+    Socket sock = listener.accept_for(2000);
+    EXPECT_TRUE(sock.valid());
+    return LineConn(std::move(sock));
+  }
+};
+
+TEST(Socket, EphemeralListenConnectAcceptRoundTrip) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+  ASSERT_TRUE(client.valid());
+  ASSERT_TRUE(server.valid());
+
+  ASSERT_EQ(client.write_line("{\"hello\":1}", 1000), Io::kOk);
+  std::string line;
+  ASSERT_EQ(server.read_line(&line, 1000), Io::kOk);
+  EXPECT_EQ(line, "{\"hello\":1}");
+
+  ASSERT_EQ(server.write_line("{\"ack\":1}", 1000), Io::kOk);
+  ASSERT_EQ(client.read_line(&line, 1000), Io::kOk);
+  EXPECT_EQ(line, "{\"ack\":1}");
+}
+
+TEST(Socket, ManyLinesSurviveArbitraryPacketBoundaries) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  // Write 200 lines from a thread; TCP is free to coalesce or split them.
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(client.write_line("line-" + std::to_string(i), 2000), Io::kOk);
+    }
+    client.shutdown_write();
+  });
+  std::string line;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(server.read_line(&line, 2000), Io::kOk) << "line " << i;
+    EXPECT_EQ(line, "line-" + std::to_string(i));
+  }
+  EXPECT_EQ(server.read_line(&line, 2000), Io::kEof);  // orderly half-close
+  writer.join();
+}
+
+TEST(Socket, ReadTimeoutLeavesTheConnectionUsable) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  std::string line;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(server.read_line(&line, 50), Io::kTimeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(45));
+
+  ASSERT_EQ(client.write_line("after-timeout", 1000), Io::kOk);
+  ASSERT_EQ(server.read_line(&line, 1000), Io::kOk);
+  EXPECT_EQ(line, "after-timeout");
+}
+
+TEST(Socket, HalfCloseStillDeliversResponses) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  // The client pattern: send every request, shut down the write side,
+  // then keep reading responses.
+  ASSERT_EQ(client.write_line("req", 1000), Io::kOk);
+  client.shutdown_write();
+
+  std::string line;
+  ASSERT_EQ(server.read_line(&line, 1000), Io::kOk);
+  EXPECT_EQ(line, "req");
+  EXPECT_EQ(server.read_line(&line, 1000), Io::kEof);
+
+  ASSERT_EQ(server.write_line("resp", 1000), Io::kOk);
+  ASSERT_EQ(client.read_line(&line, 1000), Io::kOk);
+  EXPECT_EQ(line, "resp");
+}
+
+TEST(Socket, OversizedLineBreaksTheConnectionInsteadOfGrowingForever) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  // One 2 MiB "line": the reader must hit its kMaxLineBytes bound before
+  // ever seeing the terminator and break the connection rather than
+  // buffer without limit. The writer's result is irrelevant (the reset
+  // can land mid-send).
+  std::thread flooder([&] {
+    const std::string huge(2 * 1024 * 1024, 'z');
+    (void)client.write_line(huge, 10'000);
+  });
+  std::string line;
+  EXPECT_EQ(server.read_line(&line, 10'000), Io::kError);
+  flooder.join();
+}
+
+TEST(Socket, ConnectToNobodyFailsFast) {
+  std::string error;
+  // Grab an ephemeral port, then close the listener: connecting there is
+  // refused (or at worst times out) — either way, an invalid socket.
+  std::uint16_t dead_port = 0;
+  {
+    Socket listener = Socket::listen_on(0, &dead_port, &error);
+    ASSERT_TRUE(listener.valid()) << error;
+  }
+  Socket sock = Socket::connect_to("127.0.0.1", dead_port, 500, &error);
+  EXPECT_FALSE(sock.valid());
+  EXPECT_FALSE(error.empty());
+
+  Socket bad = Socket::connect_to("not-a-dotted-quad", 1, 500, &error);
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST(Socket, AcceptTimesOutWithoutAClient) {
+  Loopback loop;
+  const auto start = std::chrono::steady_clock::now();
+  Socket sock = loop.listener.accept_for(50);
+  EXPECT_FALSE(sock.valid());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(45));
+}
+
+}  // namespace
+}  // namespace tta::util

@@ -1,0 +1,169 @@
+// Line-protocol client for tta_verifyd (docs/SERVICE.md).
+//
+// Replays a tta_verify_batch job file against a running server: every job
+// line is validated locally (same grammar, same error messages as the
+// batch tool), decorated with the connection-wide --priority and a
+// per-job --id-prefix tag, and sent as one request line. The write side
+// is then shut down — the protocol's "no more requests" signal — and
+// every response line is printed to stdout as it arrives, so piping this
+// tool behaves exactly like piping tta_verify_batch --stream.
+//
+//   ./tta_verify_client 127.0.0.1:7410 tools/e1_grid.jobs \
+//       --priority=10 --id-prefix=urgent
+//
+// Exit status: 0 when every job came back conclusive (HOLDS or VIOLATED),
+// 1 when any response is missing, rejected, inconclusive, or an error
+// line, 2 on usage/input/connection errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "svc/job_result.h"
+#include "svc/job_spec.h"
+#include "util/socket.h"
+
+using namespace tta;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s HOST:PORT JOBFILE [--priority=N] [--id-prefix=S]\n"
+               "Replays JOBFILE (tta_verify_batch job grammar) against a "
+               "tta_verifyd server\nand prints one response line per job "
+               "(docs/SERVICE.md).\n",
+               argv0);
+  return 2;
+}
+
+bool flag_value(const char* arg, const char* name, const char** out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+/// Splices the wire-only keys into a validated job line: '{...}' becomes
+/// '{..., "priority":N,"id":"tag"}'. The line was already parsed, so the
+/// closing brace is real structure, not string content.
+std::string decorate(const std::string& job_line, std::int32_t priority,
+                     const std::string& id) {
+  const std::size_t close = job_line.rfind('}');
+  std::string out = job_line.substr(0, close);
+  const std::size_t open = out.find('{');
+  const bool empty_object =
+      out.find_first_not_of(" \t", open + 1) == std::string::npos;
+  std::string extra = "\"priority\":" + std::to_string(priority);
+  if (!id.empty()) extra += ",\"id\":\"" + svc::json_escape(id) + "\"";
+  out += empty_object ? extra : "," + extra;
+  out += job_line.substr(close);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoint;
+  std::string job_path;
+  std::string id_prefix;
+  std::int32_t priority = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (flag_value(argv[i], "--priority", &v)) {
+      priority = static_cast<std::int32_t>(std::strtol(v, nullptr, 10));
+    } else if (flag_value(argv[i], "--id-prefix", &v)) {
+      id_prefix = v;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (endpoint.empty()) {
+      endpoint = argv[i];
+    } else if (job_path.empty()) {
+      job_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  const std::size_t colon = endpoint.rfind(':');
+  if (endpoint.empty() || job_path.empty() || colon == std::string::npos) {
+    return usage(argv[0]);
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const unsigned long port = std::strtoul(endpoint.c_str() + colon + 1,
+                                          nullptr, 10);
+  if (port == 0 || port > 65535) return usage(argv[0]);
+
+  std::ifstream in(job_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open job file %s\n", job_path.c_str());
+    return 2;
+  }
+  std::vector<std::string> requests;
+  std::string line;
+  for (int lineno = 1; std::getline(in, line); ++lineno) {
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    svc::JobSpec spec;
+    std::string error;
+    if (!svc::parse_job_line(line, &spec, &error)) {
+      std::fprintf(stderr, "%s:%d: %s\n", job_path.c_str(), lineno,
+                   error.c_str());
+      return 2;
+    }
+    std::string id;
+    if (!id_prefix.empty()) {
+      id = id_prefix + "-" + std::to_string(requests.size());
+    }
+    requests.push_back(decorate(line, priority, id));
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "%s: no jobs\n", job_path.c_str());
+    return 2;
+  }
+
+  std::string error;
+  util::Socket sock = util::Socket::connect_to(
+      host, static_cast<std::uint16_t>(port), 10'000, &error);
+  if (!sock.valid()) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n", endpoint.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  util::LineConn conn(std::move(sock));
+
+  using Io = util::LineConn::Io;
+  for (const std::string& request : requests) {
+    if (conn.write_line(request, 30'000) != Io::kOk) {
+      std::fprintf(stderr, "connection lost while sending requests\n");
+      return 2;
+    }
+  }
+  conn.shutdown_write();  // "no more requests"; responses keep flowing
+
+  // One response per request, in completion order. Conclusiveness is read
+  // off the wire the same way a shell consumer would.
+  std::size_t responses = 0;
+  std::size_t conclusive = 0;
+  for (;;) {
+    // Generous per-line deadline: a single 5-node job can run minutes.
+    const Io io = conn.read_line(&line, 600'000);
+    if (io == Io::kEof) break;
+    if (io != Io::kOk) {
+      std::fprintf(stderr, "connection lost while awaiting responses\n");
+      return 1;
+    }
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    ++responses;
+    if (line.find("\"verdict\":\"HOLDS\"") != std::string::npos ||
+        line.find("\"verdict\":\"VIOLATED\"") != std::string::npos) {
+      ++conclusive;
+    }
+  }
+
+  std::fprintf(stderr, "%zu/%zu jobs answered, %zu conclusive\n", responses,
+               requests.size(), conclusive);
+  return conclusive == requests.size() ? 0 : 1;
+}

@@ -1,0 +1,311 @@
+// Socket-level integration smoke for tta_verifyd (registered as the
+// ctest `tools.verifyd_smoke`, label `async` so the TSan job runs it).
+//
+//   verifyd_smoke VERIFYD CLIENT BATCH JOBS
+//
+// Phases, against one server started on an ephemeral port with one worker
+// and the in-memory cache disabled (so every job really executes and the
+// dispatch order is observable):
+//
+//   1. reference — run `BATCH JOBS --stream` and collect the E1 grid's
+//      (digest, verdict) multiset from its JSON lines;
+//   2. concurrency + priority — a bulk client replays the grid at priority
+//      0; once its first answer lands, an urgent client replays the same
+//      grid at priority 10 on a second connection. The urgent client must
+//      (a) return the identical verdict multiset and (b) finish strictly
+//      before the bulk client does — high-priority jobs overtake the
+//      ~19 still-queued bulk jobs on the shared one-worker queue;
+//   3. malformed + disconnect — a raw connection sends garbage (expects an
+//      {"error":...} line back), submits real jobs, reads one answer, and
+//      disconnects abruptly mid-stream; the server must drain, not wedge;
+//   4. clean shutdown — SIGTERM must exit 0 after flushing, and the final
+//      metrics dump must report the connections, the malformed line, and
+//      the mid-stream drain from phase 3.
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/socket.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using tta::util::LineConn;
+using tta::util::Socket;
+
+int g_failures = 0;
+
+#define CHECK(cond, ...)                                          \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::fprintf(stderr, "FAIL %s:%d: ", __FILE__, __LINE__);   \
+      std::fprintf(stderr, __VA_ARGS__);                          \
+      std::fprintf(stderr, "\n");                                 \
+      ++g_failures;                                               \
+    }                                                             \
+  } while (0)
+
+std::string shell_quote(const std::string& s) { return "'" + s + "'"; }
+
+/// Runs a command line via popen, recording each stdout line with its
+/// arrival time. Returns the exit status (-1 on popen failure).
+struct RunResult {
+  int status = -1;
+  std::vector<std::pair<std::string, Clock::time_point>> lines;
+};
+
+RunResult run_streaming(const std::string& cmd,
+                        std::atomic<bool>* first_line_seen = nullptr) {
+  RunResult result;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  char buf[1 << 16];
+  while (std::fgets(buf, sizeof buf, pipe)) {
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    result.lines.emplace_back(std::move(line), Clock::now());
+    if (first_line_seen) first_line_seen->store(true);
+  }
+  result.status = pclose(pipe);
+  return result;
+}
+
+/// Extracts "key":"value" from a JSON line (the smoke only needs string
+/// fields with known keys).
+std::string json_str_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+/// (digest, verdict) multiset from --stream / wire response lines.
+std::map<std::pair<std::string, std::string>, int> verdict_multiset(
+    const std::vector<std::pair<std::string, Clock::time_point>>& lines) {
+  std::map<std::pair<std::string, std::string>, int> out;
+  for (const auto& [line, when] : lines) {
+    (void)when;
+    const std::string digest = json_str_field(line, "digest");
+    const std::string verdict = json_str_field(line, "verdict");
+    if (!digest.empty() && !verdict.empty()) ++out[{digest, verdict}];
+  }
+  return out;
+}
+
+bool wait_for_file(const std::string& path, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    std::ifstream f(path);
+    std::string content;
+    if (f && std::getline(f, content) && !content.empty()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 5) {
+    std::fprintf(stderr, "usage: %s VERIFYD CLIENT BATCH JOBS\n", argv[0]);
+    return 2;
+  }
+  const std::string verifyd = argv[1];
+  const std::string client = argv[2];
+  const std::string batch = argv[3];
+  const std::string jobs = argv[4];
+
+  char dir_template[] = "/tmp/verifyd_smoke.XXXXXX";
+  const char* dir = mkdtemp(dir_template);
+  if (!dir) {
+    std::perror("mkdtemp");
+    return 2;
+  }
+  const std::string port_file = std::string(dir) + "/port.txt";
+  const std::string server_log = std::string(dir) + "/server.log";
+
+  // ---- phase 1: the reference multiset from the batch tool ------------
+  const RunResult reference = run_streaming(
+      shell_quote(batch) + " " + shell_quote(jobs) + " --stream 2>/dev/null");
+  CHECK(reference.status == 0, "tta_verify_batch exited %d", reference.status);
+  const auto expected = verdict_multiset(reference.lines);
+  CHECK(expected.size() >= 10, "reference grid too small: %zu distinct rows",
+        expected.size());
+  std::size_t expected_total = 0;
+  for (const auto& [key, n] : expected) expected_total += std::size_t(n);
+  std::fprintf(stderr, "reference: %zu verdicts, %zu distinct\n",
+               expected_total, expected.size());
+
+  // ---- start the server ----------------------------------------------
+  const pid_t server = fork();
+  if (server == 0) {
+    std::FILE* log = std::freopen(server_log.c_str(), "w", stdout);
+    (void)log;
+    execl(verifyd.c_str(), verifyd.c_str(), "--port=0",
+          ("--port-file=" + port_file).c_str(), "--workers=1", "--cache=0",
+          static_cast<char*>(nullptr));
+    std::perror("execl tta_verifyd");
+    _exit(127);
+  }
+  CHECK(server > 0, "fork failed");
+  if (!wait_for_file(port_file, 10'000)) {
+    std::fprintf(stderr, "FAIL: server never wrote %s\n", port_file.c_str());
+    if (server > 0) kill(server, SIGKILL);
+    return 1;
+  }
+  std::string port;
+  {
+    std::ifstream f(port_file);
+    std::getline(f, port);
+  }
+  const std::string endpoint = "127.0.0.1:" + port;
+  std::fprintf(stderr, "server pid %d on %s\n", server, endpoint.c_str());
+
+  // ---- phase 2: two concurrent connections, different priorities ------
+  std::atomic<bool> bulk_started{false};
+  RunResult bulk;
+  std::thread bulk_thread([&] {
+    bulk = run_streaming(shell_quote(client) + " " + endpoint + " " +
+                             shell_quote(jobs) +
+                             " --priority=0 --id-prefix=bulk 2>/dev/null",
+                         &bulk_started);
+  });
+  while (!bulk_started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // The bulk batch is now admitted and at most one job deep into a single
+  // worker; everything the urgent client submits must overtake the rest.
+  const RunResult urgent = run_streaming(
+      shell_quote(client) + " " + endpoint + " " + shell_quote(jobs) +
+      " --priority=10 --id-prefix=urgent 2>/dev/null");
+  bulk_thread.join();
+
+  CHECK(WIFEXITED(bulk.status) && WEXITSTATUS(bulk.status) == 0,
+        "bulk client exited %d", bulk.status);
+  CHECK(WIFEXITED(urgent.status) && WEXITSTATUS(urgent.status) == 0,
+        "urgent client exited %d", urgent.status);
+  CHECK(verdict_multiset(urgent.lines) == expected,
+        "urgent client verdict multiset != tta_verify_batch reference");
+  CHECK(verdict_multiset(bulk.lines) == expected,
+        "bulk client verdict multiset != tta_verify_batch reference");
+  for (const auto& [line, when] : urgent.lines) {
+    (void)when;
+    CHECK(json_str_field(line, "id").rfind("urgent-", 0) == 0,
+          "response id not echoed: %s", line.c_str());
+  }
+  if (!bulk.lines.empty() && !urgent.lines.empty()) {
+    const auto urgent_done = urgent.lines.back().second;
+    const auto bulk_done = bulk.lines.back().second;
+    CHECK(urgent_done < bulk_done,
+          "priority inversion: urgent client finished %.0f ms AFTER bulk",
+          std::chrono::duration<double, std::milli>(urgent_done - bulk_done)
+              .count());
+  }
+
+  // ---- phase 3: malformed line, then abrupt disconnect mid-stream -----
+  {
+    std::string error;
+    Socket sock = Socket::connect_to(
+        "127.0.0.1", static_cast<std::uint16_t>(std::stoi(port)), 5'000,
+        &error);
+    CHECK(sock.valid(), "raw connect failed: %s", error.c_str());
+    // SO_LINGER with zero timeout turns the eventual close() into an RST:
+    // the server observes a hard connection error (not an orderly EOF),
+    // which is the abrupt-disconnect path this phase is pinning.
+    const struct linger abort_on_close = {1, 0};
+    setsockopt(sock.fd(), SOL_SOCKET, SO_LINGER, &abort_on_close,
+               sizeof abort_on_close);
+    LineConn conn(std::move(sock));
+    using Io = LineConn::Io;
+    CHECK(conn.write_line("this is not json", 5'000) == Io::kOk,
+          "garbage write failed");
+    std::string line;
+    CHECK(conn.read_line(&line, 30'000) == Io::kOk, "no error response");
+    CHECK(line.find("\"error\"") != std::string::npos,
+          "expected an error line, got: %s", line.c_str());
+
+    // Real work on the same (still healthy) connection, then vanish.
+    CHECK(conn.write_line("{\"authority\":\"passive\",\"property\":"
+                          "\"safety\",\"id\":\"doomed-0\"}",
+                          5'000) == Io::kOk,
+          "request write failed");
+    CHECK(conn.write_line("{\"authority\":\"time_windows\",\"property\":"
+                          "\"safety\",\"id\":\"doomed-1\"}",
+                          5'000) == Io::kOk,
+          "request write failed");
+    CHECK(conn.read_line(&line, 120'000) == Io::kOk,
+          "no answer before disconnect");
+    CHECK(json_str_field(line, "id").rfind("doomed-", 0) == 0,
+          "unexpected first answer: %s", line.c_str());
+  }  // destructor closes the socket abruptly: one answer still owed
+
+  // The server must still serve a fresh connection after the drain.
+  {
+    const RunResult after = run_streaming(
+        shell_quote(client) + " " + endpoint + " " + shell_quote(jobs) +
+        " --id-prefix=after 2>/dev/null");
+    CHECK(WIFEXITED(after.status) && WEXITSTATUS(after.status) == 0,
+          "post-drain client exited %d", after.status);
+    CHECK(verdict_multiset(after.lines) == expected,
+          "post-drain client verdict multiset != reference");
+  }
+
+  // ---- phase 4: SIGTERM drains and exits 0 ----------------------------
+  kill(server, SIGTERM);
+  int status = -1;
+  const auto deadline = Clock::now() + std::chrono::seconds(60);
+  pid_t reaped = 0;
+  while (Clock::now() < deadline) {
+    reaped = waitpid(server, &status, WNOHANG);
+    if (reaped == server) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (reaped != server) {
+    std::fprintf(stderr, "FAIL: server ignored SIGTERM; killing\n");
+    kill(server, SIGKILL);
+    waitpid(server, &status, 0);
+    ++g_failures;
+  } else {
+    CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+          "server exit status %d after SIGTERM", status);
+  }
+
+  // The final metrics dump accounts for everything this smoke did.
+  {
+    std::ifstream f(server_log);
+    std::string log((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+    CHECK(log.find("tta_verifyd listening on 127.0.0.1:") !=
+              std::string::npos,
+          "startup banner missing from server log");
+    CHECK(log.find("net: connections=4 ") != std::string::npos,
+          "expected 4 connections in metrics; log tail:\n%.400s",
+          log.size() > 400 ? log.c_str() + log.size() - 400 : log.c_str());
+    CHECK(log.find("malformed=1 drains=1") != std::string::npos,
+          "expected one malformed request and one mid-stream drain");
+  }
+
+  if (g_failures == 0) std::fprintf(stderr, "verifyd_smoke: all phases OK\n");
+  return g_failures == 0 ? 0 : 1;
+}
