@@ -9,14 +9,18 @@
 // engine (docs/CHECKER.md).
 //
 // Pass --json=FILE for machine-readable summary results alongside the
-// usual --benchmark_out for the microbenchmark timings.
+// usual --benchmark_out for the microbenchmark timings. Pass --memory-only
+// to run just the memory panel (the CI memory-budget smoke step does).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_json.h"
 #include "mc/checker.h"
 #include "mc/parallel_checker.h"
+#include "util/compact_state_table.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -151,6 +155,173 @@ void print_parallel_comparison(bench::JsonWriter& json) {
               "state table.\n\n");
 }
 
+// ---- Memory panel: flat vs compact visited-table backends ----
+
+/// Peak-RSS watermark (VmHWM) in kB; 0 off Linux.
+std::uint64_t read_vm_hwm_kb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%llu", reinterpret_cast<unsigned long long*>(&kb));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+/// Resets the VmHWM watermark so the next read prices one workload alone.
+void reset_peak_rss() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f) {
+    std::fputs("5", f);
+    std::fclose(f);
+  }
+#endif
+}
+
+struct MemoryRow {
+  mc::CheckStats stats;
+  bool holds = false;
+  std::uint64_t rss_delta_kb = 0;
+};
+
+template <template <class> class TableT>
+MemoryRow memory_case(const mc::TtpcStarModel& m, unsigned threads) {
+  MemoryRow row;
+  reset_peak_rss();
+  const std::uint64_t before = read_vm_hwm_kb();
+  mc::ParallelChecker<mc::TtpcStarModel, TableT> checker(m, threads);
+  auto res = checker.check(mc::no_integrated_node_freezes());
+  const std::uint64_t after = read_vm_hwm_kb();
+  row.stats = res.stats;
+  row.holds = res.holds();
+  row.rss_delta_kb = after > before ? after - before : 0;
+  return row;
+}
+
+void record_memory_row(bench::JsonWriter& json, const char* backend,
+                       unsigned threads, const MemoryRow& row) {
+  const double bytes_per_state =
+      row.stats.states_explored
+          ? static_cast<double>(row.stats.table_bytes) /
+                static_cast<double>(row.stats.states_explored)
+          : 0.0;
+  const double states_per_sec =
+      row.stats.seconds > 0.0
+          ? static_cast<double>(row.stats.states_explored) /
+                row.stats.seconds
+          : 0.0;
+  char name[48];
+  std::snprintf(name, sizeof name, "memory %s t%u", backend, threads);
+  json.begin_entry(name);
+  json.field("backend", std::string(backend));
+  json.field("threads", std::uint64_t{threads});
+  json.field("states", row.stats.states_explored);
+  json.field("holds", std::uint64_t{row.holds});
+  json.field("seconds", row.stats.seconds);
+  json.field("states_per_sec", states_per_sec);
+  json.field("table_bytes", row.stats.table_bytes);
+  json.field("table_capacity", row.stats.table_capacity);
+  json.field("bytes_per_state", bytes_per_state);
+  json.field("rss_peak_delta_kb", row.rss_delta_kb);
+  json.field("hash_recomputes", row.stats.hash_recomputes);
+  json.field("probe_max", row.stats.probe_max);
+  json.field("probe_avg", row.stats.probe_avg);
+  std::string hist = "[";
+  for (std::size_t i = 0; i < row.stats.probe_hist.size(); ++i) {
+    hist += (i ? "," : "") + std::to_string(row.stats.probe_hist[i]);
+  }
+  hist += "]";
+  json.raw("probe_hist", hist);
+  std::printf("%-10s %7u %10llu %10.4f %12.0f %12.1f %14llu %9llu %9.2f\n",
+              backend, threads,
+              static_cast<unsigned long long>(row.stats.states_explored),
+              row.stats.seconds, states_per_sec, bytes_per_state,
+              static_cast<unsigned long long>(row.rss_delta_kb),
+              static_cast<unsigned long long>(row.stats.probe_max),
+              row.stats.probe_avg);
+}
+
+void print_memory_panel(bench::JsonWriter& json) {
+  // The largest HOLDS configuration of the E1 grid (tools/e1_grid.jobs) at
+  // the paper's 4-node cluster: a small_shifting guardian with the full
+  // out-of-slot replay budget. 4 nodes pack to 119 significant bits, so
+  // the compact backend stores 17-byte quotient slots against the flat
+  // backend's 56-byte full-key slots — the 0.5x budget CI enforces.
+  std::printf("memory panel: flat vs compact visited table "
+              "(small_shifting, max_oos 7, 4 nodes, safety)\n\n");
+  std::printf("%-10s %7s %10s %10s %12s %12s %14s %9s %9s\n", "backend",
+              "threads", "states", "seconds", "states/s", "bytes/state",
+              "rss_delta_kB", "probe_max", "probe_avg");
+  auto cfg = config(guardian::Authority::kSmallShifting);
+  cfg.max_out_of_slot_errors = 7;
+  mc::TtpcStarModel m(cfg);
+
+  MemoryRow flat8, compact8;
+  for (unsigned threads : {1u, 8u}) {
+    MemoryRow flat = memory_case<util::ConcurrentStateTable>(m, threads);
+    record_memory_row(json, "flat", threads, flat);
+    if (threads == 8) flat8 = flat;
+  }
+  for (unsigned threads : {1u, 8u}) {
+    MemoryRow compact = memory_case<util::CompactStateTable>(m, threads);
+    record_memory_row(json, "compact", threads, compact);
+    if (threads == 8) compact8 = compact;
+  }
+
+  const double flat_bps =
+      static_cast<double>(flat8.stats.table_bytes) /
+      static_cast<double>(flat8.stats.states_explored);
+  const double compact_bps =
+      static_cast<double>(compact8.stats.table_bytes) /
+      static_cast<double>(compact8.stats.states_explored);
+  const double ratio = compact_bps / flat_bps;
+  const double throughput_ratio =
+      flat8.stats.seconds > 0.0 && compact8.stats.seconds > 0.0
+          ? flat8.stats.seconds / compact8.stats.seconds
+          : 0.0;
+  const bool identical =
+      flat8.holds == compact8.holds &&
+      flat8.stats.states_explored == compact8.stats.states_explored &&
+      flat8.stats.transitions == compact8.stats.transitions &&
+      flat8.stats.max_depth == compact8.stats.max_depth;
+  json.begin_entry("memory_ratio");
+  json.field("flat_bytes_per_state", flat_bps);
+  json.field("compact_bytes_per_state", compact_bps);
+  json.field("compact_vs_flat_bytes_per_state", ratio);
+  json.field("compact_vs_flat_throughput_t8", throughput_ratio);
+  json.field("backends_identical", std::uint64_t{identical});
+  std::printf("\n=> compact/flat bytes-per-state ratio: %.3f (budget: "
+              "<= 0.5); compact/flat throughput at 8 threads: %.2fx; "
+              "backends %s\n\n",
+              ratio, throughput_ratio,
+              identical ? "bit-identical" : "** DIVERGED **");
+}
+
+/// Strips `flag` from argv; returns whether it was present.
+bool take_flag(int* argc, char** argv, const char* flag) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return found;
+}
+
 void BM_ExhaustiveVerification(benchmark::State& state) {
   auto cfg = config(guardian::Authority::kSmallShifting);
   std::uint64_t states = 0;
@@ -233,10 +404,15 @@ BENCHMARK(BM_StateSpaceByClusterSize)
 
 int main(int argc, char** argv) {
   std::string json_path = tta::bench::take_json_flag(&argc, argv);
+  const bool memory_only = take_flag(&argc, argv, "--memory-only");
   tta::bench::JsonWriter json;
-  print_summary(json);
-  print_parallel_comparison(json);
+  if (!memory_only) {
+    print_summary(json);
+    print_parallel_comparison(json);
+  }
+  print_memory_panel(json);
   if (!json_path.empty()) json.write(json_path, "bench_mc_perf");
+  if (memory_only) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,6 +12,14 @@ const char* to_string(Verdict verdict) {
   return "?";
 }
 
+const char* to_string(TableBackend backend) {
+  switch (backend) {
+    case TableBackend::kFlat: return "flat";
+    case TableBackend::kCompact: return "compact";
+  }
+  return "?";
+}
+
 std::function<bool(const WorldState&, const WorldState&)>
 no_integrated_node_freezes() {
   return [](const WorldState& before, const WorldState& after) {

@@ -13,8 +13,18 @@
 //   std::pair<State, TransitionLabel> apply(const State&, uint32_t) const;
 //   util::PackedState pack(const State&) const;
 //   State unpack(const util::PackedState&) const;
-// Both TtpcStarModel (the paper's model) and MonitoredModel (the
+// and may provide packed_bits() — the number of significant low bits of
+// its pack() encoding — which the compact table backend uses to quotient
+// keys (models without it fall back to the full 256-bit width). Both
+// TtpcStarModel (the paper's model) and MonitoredModel (the
 // history-augmented variant in mc/monitor.h) satisfy this.
+//
+// Both engines are additionally generic over the visited-table storage
+// policy (TableT): util::ConcurrentStateTable (flat, full keys inline) or
+// util::CompactStateTable (Cleary-style quotiented keys, ~0.5x the bytes
+// per state). The backends answer membership identically, so verdicts,
+// statistics, and traces are bit-identical across them; mc::cross_check
+// (engine.h) and the known-answer tests gate that contract.
 //
 // Two query modes:
 //   * check(violation)  — safety over transitions: holds iff no reachable
@@ -28,17 +38,21 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mc/checkpoint.h"
 #include "mc/model.h"
 #include "util/cancel_token.h"
 #include "util/check.h"
+#include "util/concurrent_state_table.h"
+#include "util/state_table_base.h"
 
 namespace tta::mc {
 
@@ -76,12 +90,43 @@ enum class Verdict : std::uint8_t {
 
 const char* to_string(Verdict verdict);
 
+/// Visited-table storage policy for the BFS engines (docs/CHECKER.md,
+/// "Memory model"). Selectable end-to-end: CheckOptions on the engines,
+/// "table" on a svc::JobSpec. An execution hint — both backends produce
+/// bit-identical verdicts and statistics, so it is excluded from the job
+/// digest like the engine choice itself.
+enum class TableBackend : std::uint8_t {
+  kFlat = 0,     ///< util::ConcurrentStateTable — full 256-bit keys inline
+  kCompact = 1,  ///< util::CompactStateTable — quotiented keys, ~0.5x bytes
+};
+
+const char* to_string(TableBackend backend);
+
+/// Engine-construction knobs that do not change any verdict.
+struct CheckOptions {
+  TableBackend table = TableBackend::kFlat;
+};
+
 struct CheckStats {
   std::uint64_t states_explored = 0;   ///< distinct states expanded
   std::uint64_t transitions = 0;       ///< successor edges generated
   std::uint64_t max_depth = 0;         ///< BFS depth reached
   std::uint64_t dedup_skips = 0;       ///< parallel engine: per-level
                                        ///< successor dedup cache hits
+  /// Times a state's hash/mix was computed again for a state the search
+  /// had already hashed once: flat-table rebuild rehashes, checkpoint-
+  /// restore lookups, and re-expansion after a mid-level overflow. The
+  /// successor fast path memoizes the hash at generation time, so a clean
+  /// non-growing run reports 0. Diagnostic — like dedup_skips it may
+  /// differ between engines/backends and is outside the bit-identity set.
+  std::uint64_t hash_recomputes = 0;
+  /// Visited-table footprint and probe behavior at the end of the search
+  /// (diagnostic; feeds the bench_mc_perf memory panel).
+  std::uint64_t table_bytes = 0;
+  std::uint64_t table_capacity = 0;
+  std::array<std::uint64_t, 8> probe_hist{};  ///< last bin = distance >= 7
+  std::uint64_t probe_max = 0;
+  double probe_avg = 0.0;
   double seconds = 0.0;
   bool exhausted = true;  ///< false if the state budget stopped the search
   bool cancelled = false;  ///< true if a CancelToken stopped the search
@@ -117,14 +162,216 @@ struct RecoverabilityResultT {
 
 using RecoverabilityResult = RecoverabilityResultT<WorldState>;
 
+namespace detail {
+
+inline constexpr std::uint8_t kBfsRootFlag = 1;
+inline constexpr std::uint8_t kBfsGoalFlag = 2;
+
+/// Inline per-state value both engines store in the visited table: BFS
+/// parent as a slot index (rewritten through the remap whenever the table
+/// rebuilds), the choice code that replays parent -> state, and the BFS
+/// depth. Kept at 12 bytes (u16 depth — this model family's diameters are
+/// in the hundreds) because the value rides in every slot of both
+/// backends; see the bytes/state budget in docs/CHECKER.md.
+struct BfsNode {
+  std::uint32_t parent = 0;
+  std::uint32_t choice = 0;
+  std::uint16_t depth = 0;
+  std::uint8_t flags = 0;
+};
+static_assert(sizeof(BfsNode) == 12, "BfsNode rides in every table slot");
+
+struct BfsEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+};
+
+/// The model's significant packed width, for key quotienting; models that
+/// do not declare packed_bits() use all 256 bits (always correct).
 template <class Model>
+unsigned packed_key_bits(const Model& model) {
+  if constexpr (requires { model.packed_bits(); }) {
+    return model.packed_bits();
+  } else {
+    return static_cast<unsigned>(util::kPackedWords) * 64;
+  }
+}
+
+/// Builds the trace root -> ... -> `last` by walking parent slots, then
+/// replaying each stored choice to recover the labels.
+template <class Model, class Table>
+std::vector<TraceStepT<typename Model::State>> reconstruct_trace(
+    const Model& model, const Table& table, std::uint32_t last) {
+  std::vector<std::uint32_t> path{last};
+  while (!(table.value_at(path.back()).flags & kBfsRootFlag)) {
+    path.push_back(table.value_at(path.back()).parent);
+  }
+  std::vector<TraceStepT<typename Model::State>> steps;
+  for (std::size_t i = path.size(); i-- > 1;) {
+    TraceStepT<typename Model::State> step;
+    step.before = model.unpack(table.key_at(path[i]));
+    auto [next, label] =
+        model.apply(step.before, table.value_at(path[i - 1]).choice);
+    TTA_CHECK(model.pack(next) == table.key_at(path[i - 1]));
+    step.label = label;
+    step.after = next;
+    steps.push_back(step);
+  }
+  return steps;
+}
+
+/// Grows `table` so `needed` entries fit under max_load(), dropping
+/// entries selected by `drop`, and rewrites the parent links inside the
+/// table. Returns the remap so the caller can rewrite every slot index it
+/// holds (frontiers, edge lists, pending hits). Single-threaded; called
+/// only at synchronization points.
+template <class Table, class Drop>
+std::vector<std::uint32_t> grow_table(Table& table, std::size_t needed,
+                                      Drop&& drop) {
+  std::size_t cap = table.capacity();
+  while (cap - cap / 4 <= needed) cap <<= 1;
+  std::vector<std::uint32_t> remap =
+      table.rebuild(cap, std::forward<Drop>(drop));
+  for (std::uint32_t s = 0; s < table.capacity(); ++s) {
+    if (!table.occupied(s)) continue;
+    BfsNode& info = table.value_at(s);
+    if (!(info.flags & kBfsRootFlag)) info.parent = remap[info.parent];
+  }
+  return remap;
+}
+
+struct KeepAll {
+  bool operator()(const BfsNode&) const { return false; }
+};
+
+/// Stamps the table's end-of-search footprint and probe behavior into the
+/// stats block (and folds in the hashes the table recomputed internally).
+template <class Table>
+void fill_table_stats(const Table& table, CheckStats* stats) {
+  stats->table_bytes = table.memory_bytes();
+  stats->table_capacity = table.capacity();
+  stats->hash_recomputes += table.hash_recomputes();
+  const util::TableProbeStats probe = table.probe_stats();
+  stats->probe_hist = probe.hist;
+  stats->probe_max = probe.max_probe;
+  stats->probe_avg = probe.avg_probe;
+}
+
+/// Serializes the wavefront for save_checkpoint: the visited set in slot
+/// order (content-addressed on restore) with parent slot indices converted
+/// to packed keys — slots do not survive a restart — and the frontier in
+/// exactly its expansion order, which the bit-identity contract depends
+/// on. The format stores full keys, so a checkpoint written under one
+/// table backend (or engine) restores under any other.
+template <class Table>
+CheckpointData snapshot_wavefront(const Table& table,
+                                  const std::vector<std::uint32_t>& level,
+                                  std::uint32_t next_depth,
+                                  const CheckStats& stats,
+                                  CheckpointData::Mode mode) {
+  CheckpointData data;
+  data.mode = mode;
+  data.next_depth = next_depth;
+  data.transitions = stats.transitions;
+  data.dedup_skips = stats.dedup_skips;
+  data.hash_recomputes = stats.hash_recomputes + table.hash_recomputes();
+  data.visited.reserve(table.size());
+  for (std::uint32_t s = 0; s < table.capacity(); ++s) {
+    if (!table.occupied(s)) continue;
+    const BfsNode& info = table.value_at(s);
+    CheckpointEntry e;
+    e.key = table.key_at(s);
+    e.parent = (info.flags & kBfsRootFlag) ? e.key
+                                           : table.key_at(info.parent);
+    e.choice = info.choice;
+    e.depth = info.depth;
+    e.flags = (info.flags & kBfsRootFlag) ? CheckpointEntry::kRootFlag : 0;
+    data.visited.push_back(e);
+  }
+  data.frontier.reserve(level.size());
+  for (std::uint32_t s : level) data.frontier.push_back(table.key_at(s));
+  return data;
+}
+
+/// Loads a checkpoint into `table` + `level`. Restore happens in two
+/// passes: inserts assign fresh slots (remembered in insertion order, so
+/// no per-entry re-hash), then parent keys are resolved back into slot
+/// indices. The parent/frontier find()s are genuine hash recomputes and
+/// are counted as such. Returns false softly when there is nothing to
+/// resume.
+template <class Table>
+bool restore_wavefront(const CheckpointConfig& ckpt,
+                       CheckpointData::Mode mode, Table& table,
+                       std::vector<std::uint32_t>* level,
+                       std::uint32_t* start_depth, CheckStats* stats,
+                       std::size_t frontier_headroom) {
+  CheckpointData data;
+  if (!load_checkpoint(ckpt, &data, mode)) return false;
+  const std::size_t needed =
+      data.visited.size() + frontier_headroom * data.frontier.size();
+  if (needed >= table.max_load()) {
+    std::size_t cap = table.capacity();
+    while (cap - cap / 4 <= needed) cap <<= 1;
+    table.rebuild(cap);
+  }
+  std::vector<std::uint32_t> slots;
+  slots.reserve(data.visited.size());
+  for (const CheckpointEntry& e : data.visited) {
+    TTA_CHECK(e.depth <= UINT16_MAX);
+    BfsNode info{0, e.choice, static_cast<std::uint16_t>(e.depth),
+                 (e.flags & CheckpointEntry::kRootFlag)
+                     ? kBfsRootFlag
+                     : std::uint8_t{0}};
+    typename Table::Insert r = table.insert(e.key, info);
+    if (r.slot == Table::kNoSlot) {
+      // The compact backend can saturate on its displacement bound before
+      // the load ceiling; grow and retry (parents are still placeholders,
+      // so only the slot list needs rewriting).
+      std::vector<std::uint32_t> remap =
+          grow_table(table, table.size() * 2, KeepAll{});
+      for (std::uint32_t& s : slots) s = remap[s];
+      r = table.insert(e.key, info);
+    }
+    TTA_CHECK(r.inserted);
+    slots.push_back(r.slot);
+  }
+  for (std::size_t i = 0; i < data.visited.size(); ++i) {
+    const CheckpointEntry& e = data.visited[i];
+    if (e.flags & CheckpointEntry::kRootFlag) continue;
+    const std::uint32_t parent = table.find(e.parent);
+    ++stats->hash_recomputes;
+    TTA_CHECK(parent != Table::kNoSlot);
+    table.value_at(slots[i]).parent = parent;
+  }
+  level->clear();
+  level->reserve(data.frontier.size());
+  for (const util::PackedState& s : data.frontier) {
+    const std::uint32_t slot = table.find(s);
+    ++stats->hash_recomputes;
+    TTA_CHECK(slot != Table::kNoSlot);
+    level->push_back(slot);
+  }
+  *start_depth = data.next_depth;
+  stats->transitions = data.transitions;
+  stats->dedup_skips = data.dedup_skips;
+  stats->hash_recomputes += data.hash_recomputes;
+  stats->resumed = true;
+  return true;
+}
+
+}  // namespace detail
+
+template <class Model,
+          template <class> class TableT = util::ConcurrentStateTable>
 class Checker {
  public:
   using State = typename Model::State;
   using Violation = std::function<bool(const State&, const State&)>;
   using Goal = std::function<bool(const State&)>;
 
-  explicit Checker(const Model& model) : model_(&model) {}
+  explicit Checker(const Model& model,
+                   std::size_t initial_capacity = 1u << 16)
+      : model_(&model), initial_capacity_(initial_capacity) {}
 
   /// Exhaustive safety check. `max_states` bounds memory; if the bound is
   /// hit the result reports exhausted = false and verdict = kInconclusive.
@@ -156,6 +403,8 @@ class Checker {
   /// state. Computed as a forward exploration of the full reachable graph
   /// followed by a backward closure from the goal states; a state outside
   /// the closure is "dead" (the system can no longer recover from it).
+  /// (Serial recoverability keys its index on full packed states — the
+  /// table backend policy applies to check()/find_state().)
   RecoverabilityResultT<State> check_recoverability(
       const Goal& goal, std::uint64_t max_states = 10'000'000,
       const util::CancelToken* cancel = nullptr) const {
@@ -295,6 +544,8 @@ class Checker {
   }
 
  private:
+  using Table = TableT<detail::BfsNode>;
+
   struct ParentInfo {
     util::PackedState parent;
     std::uint32_t choice_code = 0;
@@ -312,32 +563,12 @@ class Checker {
   // level visit order. ParallelChecker implements the identical semantics
   // with the level split across threads, so the two engines can be
   // cross-validated field-for-field (see docs/CHECKER.md).
-  /// Serializes the wavefront for save_checkpoint: the visited map in any
-  /// order (content-addressed on restore) but the frontier in exactly its
-  /// expansion order, which the bit-identity contract depends on.
-  CheckpointData make_checkpoint(
-      const std::unordered_map<util::PackedState, ParentInfo>& visited,
-      const std::vector<util::PackedState>& level, std::uint32_t next_depth,
-      const CheckStats& stats, CheckpointData::Mode mode) const {
-    CheckpointData data;
-    data.mode = mode;
-    data.next_depth = next_depth;
-    data.transitions = stats.transitions;
-    data.dedup_skips = stats.dedup_skips;
-    data.visited.reserve(visited.size());
-    for (const auto& [key, info] : visited) {
-      CheckpointEntry e;
-      e.key = key;
-      e.parent = info.is_root ? key : info.parent;
-      e.choice = info.choice_code;
-      e.depth = info.depth;
-      e.flags = info.is_root ? CheckpointEntry::kRootFlag : 0;
-      data.visited.push_back(e);
-    }
-    data.frontier = level;
-    return data;
-  }
-
+  //
+  // The visited set lives in a slot table (the TableT policy), like the
+  // parallel engine's: the frontier holds slot indices, parents are slot
+  // links, and growth remaps them — in place, mid-level, since exactly one
+  // thread is active here (the parallel engine instead drops the partial
+  // level and retries at the barrier).
   CheckResultT<State> run(const Violation* violation, const Goal* goal,
                           std::uint64_t max_states,
                           const util::CancelToken* cancel,
@@ -348,67 +579,30 @@ class Checker {
         violation ? CheckpointData::Mode::kSafetyCheck
                   : CheckpointData::Mode::kFindState;
 
-    std::unordered_map<util::PackedState, ParentInfo> visited;
+    Table table(initial_capacity_, detail::packed_key_bits(*model_));
 
     auto finish = [&](Verdict verdict) {
       result.verdict = verdict;
-      result.stats.states_explored = visited.size();
+      result.stats.states_explored = table.size();
+      detail::fill_table_stats(table, &result.stats);
       result.stats.seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
     };
 
-    // Builds the trace root -> ... -> `last` by walking parents, then
-    // replaying each stored choice to recover the labels.
-    auto reconstruct = [&](const util::PackedState& last) {
-      std::vector<util::PackedState> path{last};
-      util::PackedState cur = last;
-      while (true) {
-        const ParentInfo& info = visited.at(cur);
-        if (info.is_root) break;
-        path.push_back(info.parent);
-        cur = info.parent;
-      }
-      std::vector<TraceStepT<State>> steps;
-      for (std::size_t i = path.size(); i-- > 1;) {
-        const util::PackedState& from = path[i];
-        const util::PackedState& to = path[i - 1];
-        TraceStepT<State> step;
-        step.before = model_->unpack(from);
-        auto [next, label] =
-            model_->apply(step.before, visited.at(to).choice_code);
-        TTA_CHECK(model_->pack(next) == to);
-        step.label = label;
-        step.after = next;
-        steps.push_back(step);
-      }
-      return steps;
-    };
-
-    std::vector<util::PackedState> level;
+    std::vector<std::uint32_t> level;
     std::uint32_t start_depth = 0;
     if (checkpoint) {
-      CheckpointData data;
-      if (load_checkpoint(*checkpoint, &data, ckpt_mode)) {
-        visited.reserve(data.visited.size());
-        for (const CheckpointEntry& e : data.visited) {
-          visited.emplace(
-              e.key,
-              ParentInfo{e.parent, e.choice, e.depth,
-                         (e.flags & CheckpointEntry::kRootFlag) != 0});
-        }
-        level = std::move(data.frontier);
-        start_depth = data.next_depth;
-        result.stats.transitions = data.transitions;
-        result.stats.dedup_skips = data.dedup_skips;
-        result.stats.resumed = true;
-      }
+      detail::restore_wavefront(*checkpoint, ckpt_mode, table, &level,
+                                &start_depth, &result.stats,
+                                /*frontier_headroom=*/0);
     }
     if (!result.stats.resumed) {
       State init = model_->initial();
-      util::PackedState init_packed = model_->pack(init);
-      visited.emplace(init_packed, ParentInfo{{}, 0, 0, true});
-      level.push_back(init_packed);
+      detail::BfsNode root{0, 0, 0, detail::kBfsRootFlag};
+      typename Table::Insert ins = table.insert(model_->pack(init), root);
+      TTA_CHECK(ins.inserted);
+      level.push_back(ins.slot);
       if (goal && (*goal)(init)) {
         finish(Verdict::kViolated);
         return result;  // goal reachable at depth 0, empty witness
@@ -417,7 +611,7 @@ class Checker {
 
     bool was_cancelled = false;
     for (std::uint32_t depth = start_depth;; ++depth) {
-      if (visited.size() > max_states) {
+      if (table.size() > max_states) {
         result.stats.exhausted = false;
         break;
       }
@@ -425,40 +619,59 @@ class Checker {
         was_cancelled = true;
         break;
       }
+      TTA_CHECK(depth < UINT16_MAX);  // BfsNode stores depth as u16
       result.stats.max_depth = depth;
 
       // First violating transition (frontier order) and first discovered
-      // goal state in this level, if any.
+      // goal state in this level, if any — tracked as slots, remapped on
+      // growth.
       bool violation_found = false;
-      util::PackedState violation_state{};
+      std::uint32_t violation_slot = Table::kNoSlot;
       std::uint32_t violation_choice = 0;
       bool goal_found = false;
-      util::PackedState goal_state{};
+      std::uint32_t goal_slot = Table::kNoSlot;
 
-      std::vector<util::PackedState> next_level;
-      for (const util::PackedState& cur_packed : level) {
+      std::vector<std::uint32_t> next_level;
+      for (std::size_t i = 0; i < level.size(); ++i) {
         if (cancel && cancel->cancelled()) {
           was_cancelled = true;
           break;
         }
-        State cur = model_->unpack(cur_packed);
+        std::uint32_t cur_slot = level[i];
+        State cur = model_->unpack(table.key_at(cur_slot));
         for (const auto& succ : model_->successors(cur)) {
           ++result.stats.transitions;
           if (violation && !violation_found &&
               (*violation)(cur, succ.next)) {
             violation_found = true;
-            violation_state = cur_packed;
+            violation_slot = cur_slot;
             violation_choice = succ.choice_code;
           }
           util::PackedState next_packed = model_->pack(succ.next);
-          auto [it, inserted] = visited.emplace(
-              next_packed,
-              ParentInfo{cur_packed, succ.choice_code, depth + 1, false});
-          if (inserted) {
-            next_level.push_back(next_packed);
+          const typename Table::Hashed hashed = table.hash(next_packed);
+          detail::BfsNode node{cur_slot, succ.choice_code,
+                               static_cast<std::uint16_t>(depth + 1), 0};
+          typename Table::Insert r = table.insert(next_packed, node, hashed);
+          if (r.slot == Table::kNoSlot) {
+            // In-place growth: single-threaded, so remap every slot index
+            // in flight and retry the same insert with the same memoized
+            // hash — no transition is recounted, no level is redone.
+            std::vector<std::uint32_t> remap = detail::grow_table(
+                table, table.size() * 2, detail::KeepAll{});
+            for (std::uint32_t& s : level) s = remap[s];
+            for (std::uint32_t& s : next_level) s = remap[s];
+            if (violation_found) violation_slot = remap[violation_slot];
+            if (goal_found) goal_slot = remap[goal_slot];
+            cur_slot = remap[cur_slot];
+            node.parent = cur_slot;
+            r = table.insert(next_packed, node, hashed);
+            TTA_CHECK(r.slot != Table::kNoSlot);
+          }
+          if (r.inserted) {
+            next_level.push_back(r.slot);
             if (goal && !goal_found && (*goal)(succ.next)) {
               goal_found = true;
-              goal_state = next_packed;
+              goal_slot = r.slot;
             }
           }
         }
@@ -473,9 +686,10 @@ class Checker {
       if (violation_found) {
         // Counterexample: path to the violating state plus the violating
         // transition itself.
-        std::vector<TraceStepT<State>> steps = reconstruct(violation_state);
+        std::vector<TraceStepT<State>> steps =
+            detail::reconstruct_trace(*model_, table, violation_slot);
         TraceStepT<State> final_step;
-        final_step.before = model_->unpack(violation_state);
+        final_step.before = model_->unpack(table.key_at(violation_slot));
         auto [next, label] = model_->apply(final_step.before,
                                            violation_choice);
         final_step.label = label;
@@ -486,7 +700,7 @@ class Checker {
         return result;
       }
       if (goal_found) {
-        result.trace = reconstruct(goal_state);
+        result.trace = detail::reconstruct_trace(*model_, table, goal_slot);
         finish(Verdict::kViolated);
         return result;
       }
@@ -498,8 +712,8 @@ class Checker {
       if (checkpoint &&
           (depth + 1) % std::max(1u, checkpoint->every_levels) == 0) {
         save_checkpoint(*checkpoint,
-                        make_checkpoint(visited, level, depth + 1,
-                                        result.stats, ckpt_mode));
+                        detail::snapshot_wavefront(table, level, depth + 1,
+                                                   result.stats, ckpt_mode));
       }
     }
 
@@ -513,6 +727,7 @@ class Checker {
   }
 
   const Model* model_;
+  std::size_t initial_capacity_;
 };
 
 }  // namespace tta::mc

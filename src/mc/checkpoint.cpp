@@ -11,7 +11,12 @@ namespace tta::mc {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x31544B43'41545427ull;  // "'TATCKT1" tag
-constexpr std::uint32_t kVersion = 1;
+// v2 (current) appends hash_recomputes to the stats block; v1 files are
+// still accepted on load (the field reads as 0). The entry and frontier
+// encodings are unchanged across both versions — the format stores full
+// packed keys precisely so a checkpoint restores under either table
+// backend (flat or compact) and either engine.
+constexpr std::uint32_t kVersion = 2;
 
 /// Serialization cursor over a growing byte buffer (writing) or a fixed
 /// one (reading). Little-endian fixed-width fields, like the JobSpec
@@ -86,6 +91,7 @@ bool save_checkpoint(const CheckpointConfig& config,
   w.u32(data.next_depth);
   w.u64(data.transitions);
   w.u64(data.dedup_skips);
+  w.u64(data.hash_recomputes);
   w.u64(data.visited.size());
   w.u64(data.frontier.size());
   for (const CheckpointEntry& e : data.visited) {
@@ -137,7 +143,8 @@ bool load_checkpoint(const CheckpointConfig& config, CheckpointData* data,
 
   ByteReader r{bytes.data(), bytes.data() + body};
   if (r.u64() != kMagic) return false;
-  if (r.u32() != kVersion) return false;
+  const std::uint32_t version = r.u32();
+  if (version != 1 && version != kVersion) return false;
   if (r.u64() != config.binding) return false;
   const std::uint8_t mode = r.u8();
   if (mode != static_cast<std::uint8_t>(expected_mode)) return false;
@@ -147,6 +154,7 @@ bool load_checkpoint(const CheckpointConfig& config, CheckpointData* data,
   out.next_depth = r.u32();
   out.transitions = r.u64();
   out.dedup_skips = r.u64();
+  out.hash_recomputes = version >= 2 ? r.u64() : 0;
   const std::uint64_t visited_count = r.u64();
   const std::uint64_t frontier_count = r.u64();
   if (!r.ok) return false;
@@ -176,16 +184,19 @@ bool peek_checkpoint(const CheckpointConfig& config, CheckpointPeek* out) {
   std::FILE* f = std::fopen(config.path.c_str(), "rb");
   if (!f) return false;
   // The fixed header: magic u64, version u32, binding u64, mode u8,
-  // next_depth u32, transitions u64, dedup_skips u64, visited u64,
-  // frontier u64 — 57 bytes before the variable-length entries.
-  std::uint8_t buf[57];
-  const bool got = std::fread(buf, 1, sizeof buf, f) == sizeof buf;
+  // next_depth u32, transitions u64, dedup_skips u64, [v2:
+  // hash_recomputes u64,] visited u64, frontier u64 — 57 bytes for v1,
+  // 65 for v2, before the variable-length entries.
+  std::uint8_t buf[65];
+  const std::size_t got = std::fread(buf, 1, sizeof buf, f);
   std::fclose(f);
-  if (!got) return false;
+  if (got < 57) return false;
 
-  ByteReader r{buf, buf + sizeof buf};
+  ByteReader r{buf, buf + got};
   if (r.u64() != kMagic) return false;
-  if (r.u32() != kVersion) return false;
+  const std::uint32_t version = r.u32();
+  if (version != 1 && version != kVersion) return false;
+  if (version >= 2 && got < 65) return false;
   if (r.u64() != config.binding) return false;
   const std::uint8_t mode = r.u8();
   if (mode > static_cast<std::uint8_t>(CheckpointData::Mode::kFindState)) {
@@ -196,6 +207,7 @@ bool peek_checkpoint(const CheckpointConfig& config, CheckpointPeek* out) {
   peek.next_depth = r.u32();
   peek.transitions = r.u64();
   r.u64();  // dedup_skips: not part of the progress surface
+  if (version >= 2) r.u64();  // hash_recomputes: likewise diagnostic-only
   peek.visited = r.u64();
   peek.frontier = r.u64();
   if (!r.ok) return false;

@@ -68,6 +68,10 @@ struct CheckpointData {
   std::uint32_t next_depth = 0;  ///< the level the resumed run expands first
   std::uint64_t transitions = 0;   ///< stats accumulated before the barrier
   std::uint64_t dedup_skips = 0;
+  /// Hash recomputations accumulated before the barrier (format v2; loads
+  /// of v1 files report 0). Diagnostic, carried so a resumed run's counter
+  /// stays cumulative.
+  std::uint64_t hash_recomputes = 0;
   std::vector<CheckpointEntry> visited;
   /// The frontier at the barrier, in exactly the engine's expansion order
   /// (this order decides which minimal counterexample is reported, so it

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mc/parallel_checker.h"
+#include "util/compact_state_table.h"
 
 namespace tta::mc {
 
@@ -30,13 +31,12 @@ EngineResult from_recoverability(RecoverabilityResult&& res) {
   return out;
 }
 
-}  // namespace
-
-EngineResult SerialEngine::run(const TtpcStarModel& model,
-                               const EngineQuery& query,
-                               const util::CancelToken* cancel,
-                               const CheckpointConfig* checkpoint) const {
-  Checker checker(model);
+/// One query dispatch over an already-constructed checker (either engine,
+/// either table backend — the checkers share the query surface).
+template <class Checker>
+EngineResult dispatch(const Checker& checker, const EngineQuery& query,
+                      const util::CancelToken* cancel,
+                      const CheckpointConfig* checkpoint) {
   switch (query.kind) {
     case EngineQuery::Kind::kSafetyCheck:
       return from_check(
@@ -53,25 +53,31 @@ EngineResult SerialEngine::run(const TtpcStarModel& model,
   return EngineResult{};  // unreachable
 }
 
+}  // namespace
+
+EngineResult SerialEngine::run(const TtpcStarModel& model,
+                               const EngineQuery& query,
+                               const util::CancelToken* cancel,
+                               const CheckpointConfig* checkpoint) const {
+  if (options_.table == TableBackend::kCompact) {
+    Checker<TtpcStarModel, util::CompactStateTable> checker(model);
+    return dispatch(checker, query, cancel, checkpoint);
+  }
+  Checker<TtpcStarModel> checker(model);
+  return dispatch(checker, query, cancel, checkpoint);
+}
+
 EngineResult ParallelEngine::run(const TtpcStarModel& model,
                                  const EngineQuery& query,
                                  const util::CancelToken* cancel,
                                  const CheckpointConfig* checkpoint) const {
-  ParallelChecker checker(model, threads_);
-  switch (query.kind) {
-    case EngineQuery::Kind::kSafetyCheck:
-      return from_check(
-          checker.check(query.violation, query.max_states, cancel,
-                        checkpoint));
-    case EngineQuery::Kind::kFindState:
-      return from_check(
-          checker.find_state(query.goal, query.max_states, cancel,
-                             checkpoint));
-    case EngineQuery::Kind::kRecoverability:
-      return from_recoverability(
-          checker.check_recoverability(query.goal, query.max_states, cancel));
+  if (options_.table == TableBackend::kCompact) {
+    ParallelChecker<TtpcStarModel, util::CompactStateTable> checker(model,
+                                                                    threads_);
+    return dispatch(checker, query, cancel, checkpoint);
   }
-  return EngineResult{};  // unreachable
+  ParallelChecker<TtpcStarModel> checker(model, threads_);
+  return dispatch(checker, query, cancel, checkpoint);
 }
 
 RedundantEngine::RedundantEngine(std::unique_ptr<Engine> reference,

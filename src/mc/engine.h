@@ -77,28 +77,40 @@ class Engine {
 };
 
 /// The single-threaded reference Checker behind the Engine interface.
+/// `options.table` selects the visited-table backend (flat/compact); both
+/// backends are contractually bit-identical, so the choice is invisible in
+/// the result and only moves the memory/throughput tradeoff.
 class SerialEngine final : public Engine {
  public:
+  explicit SerialEngine(CheckOptions options = {}) : options_(options) {}
+
   const char* name() const override { return "serial"; }
+  TableBackend table_backend() const { return options_.table; }
   EngineResult run(const TtpcStarModel& model, const EngineQuery& query,
                    const util::CancelToken* cancel,
                    const CheckpointConfig* checkpoint) const override;
+
+ private:
+  CheckOptions options_;
 };
 
 /// The level-synchronized ParallelChecker behind the Engine interface.
 class ParallelEngine final : public Engine {
  public:
   /// `threads` == 0 picks the hardware concurrency.
-  explicit ParallelEngine(unsigned threads = 0) : threads_(threads) {}
+  explicit ParallelEngine(unsigned threads = 0, CheckOptions options = {})
+      : threads_(threads), options_(options) {}
 
   const char* name() const override { return "parallel"; }
   unsigned threads() const { return threads_; }
+  TableBackend table_backend() const { return options_.table; }
   EngineResult run(const TtpcStarModel& model, const EngineQuery& query,
                    const util::CancelToken* cancel,
                    const CheckpointConfig* checkpoint) const override;
 
  private:
   unsigned threads_;
+  CheckOptions options_;
 };
 
 /// Redundant composition, mirroring the paper's dual star couplers: the

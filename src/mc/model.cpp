@@ -164,6 +164,15 @@ util::PackedState TtpcStarModel::pack(const WorldState& s) const {
   return p;
 }
 
+unsigned TtpcStarModel::packed_bits() const {
+  // Mirrors pack() exactly: per-node fields, two couplers, the oos budget.
+  const unsigned per_node = kStateBits + kSlotBits + kCounterBits +
+                            kCounterBits + 1 + kTimeoutBits + 1;
+  const unsigned per_coupler = kKindBits + kSlotBits;
+  return static_cast<unsigned>(num_nodes()) * per_node + 2 * per_coupler +
+         kOosBits;
+}
+
 WorldState TtpcStarModel::unpack(const util::PackedState& p) const {
   WorldState s;
   util::BitReader r(p);

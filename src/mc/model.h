@@ -97,6 +97,12 @@ class TtpcStarModel {
   util::PackedState pack(const WorldState& s) const;
   WorldState unpack(const util::PackedState& p) const;
 
+  /// Number of significant low bits pack() writes (every higher bit of the
+  /// PackedState is zero). Lets the compact visited-table backend quotient
+  /// keys down to the model's true width — 119 bits for the paper's 4-node
+  /// cluster instead of the container's 256.
+  unsigned packed_bits() const;
+
  private:
   struct FaultPair {
     guardian::CouplerFault f0 = guardian::CouplerFault::kNone;

@@ -3,24 +3,26 @@
 // Implements the same level-synchronized BFS semantics as the serial
 // Checker (mc/checker.h), with every depth level split into contiguous
 // frontier chunks expanded concurrently over a util::ThreadPool and the
-// visited set held in a shared lock-free util::ConcurrentStateTable
-// (LTSmin-style). Because a level is always completed before a verdict is
-// reported, and because the set of states at depth d is a property of the
-// state graph alone, the engine reproduces the serial checker's results
-// exactly — same verdicts, same states_explored / transitions / max_depth,
-// and counterexamples of identical (minimal) length — for any thread
-// count. Only the *content* of a counterexample may differ when several
-// distinct violations exist at the minimal depth. See docs/CHECKER.md for
-// the argument.
+// visited set held in a shared lock-free table (LTSmin-style). Because a
+// level is always completed before a verdict is reported, and because the
+// set of states at depth d is a property of the state graph alone, the
+// engine reproduces the serial checker's results exactly — same verdicts,
+// same states_explored / transitions / max_depth, and counterexamples of
+// identical (minimal) length — for any thread count. Only the *content* of
+// a counterexample may differ when several distinct violations exist at
+// the minimal depth. See docs/CHECKER.md for the argument.
 //
-// The table stores one 16-byte NodeInfo per state inline next to the key
-// (parent slot, choice code, depth, flags), so counterexample
-// reconstruction walks slot indices instead of hashing packed states, and
-// visited-set memory stays well below the node-allocated unordered_map of
-// the serial engine. Capacity grows by rebuilding at level barriers, where
-// exactly one thread is active; if a level overflows the table mid-flight,
-// the partially inserted level is dropped during the rebuild and the level
-// is re-expanded (insert-if-absent makes the retry idempotent).
+// Like the serial engine, the visited table is a storage policy (TableT):
+// the flat util::ConcurrentStateTable or the quotienting
+// util::CompactStateTable, selected via CheckOptions / svc::JobSpec. The
+// table stores one 12-byte detail::BfsNode per state inline next to the
+// (full or quotiented) key, so counterexample reconstruction walks slot
+// indices instead of hashing packed states. Capacity grows by rebuilding
+// at level barriers, where exactly one thread is active; if a level
+// overflows the table mid-flight, the partially inserted level is dropped
+// during the rebuild and the level is re-expanded (insert-if-absent makes
+// the retry idempotent; the re-expansion's hashes are surfaced in
+// CheckStats::hash_recomputes).
 #pragma once
 
 #include <algorithm>
@@ -38,7 +40,8 @@
 
 namespace tta::mc {
 
-template <class Model>
+template <class Model,
+          template <class> class TableT = util::ConcurrentStateTable>
 class ParallelChecker {
  public:
   using State = typename Model::State;
@@ -64,8 +67,9 @@ class ParallelChecker {
   /// Exhaustive safety check; see Checker::check. `checkpoint` makes the
   /// search resumable across restarts (mc/checkpoint.h); parent slot
   /// indices are converted to packed keys on save and rebuilt on load, so
-  /// a serial-written checkpoint even resumes under this engine and vice
-  /// versa — the wavefront is engine-agnostic.
+  /// a serial-written checkpoint even resumes under this engine — and a
+  /// flat-table checkpoint under a compact table — and vice versa: the
+  /// wavefront is engine- and backend-agnostic.
   CheckResultT<State> check(const Violation& violation,
                             std::uint64_t max_states = 50'000'000,
                             const util::CancelToken* cancel = nullptr,
@@ -94,7 +98,7 @@ class ParallelChecker {
     const auto t0 = std::chrono::steady_clock::now();
     RecoverabilityResultT<State> result;
 
-    Table table(initial_capacity_);
+    Table table(initial_capacity_, detail::packed_key_bits(*model_));
     std::vector<Edge> edges;
     ForwardGraph graph{&table, &edges, &goal};
     run(nullptr, nullptr, max_states, &graph, &result.stats, cancel);
@@ -124,7 +128,8 @@ class ParallelChecker {
     std::vector<bool> can_recover(cap, false);
     std::deque<std::uint32_t> back;
     for (std::uint32_t s = 0; s < cap; ++s) {
-      if (table.occupied(s) && (table.value_at(s).flags & kGoalFlag)) {
+      if (table.occupied(s) &&
+          (table.value_at(s).flags & detail::kBfsGoalFlag)) {
         can_recover[s] = true;
         back.push_back(s);
       }
@@ -156,36 +161,23 @@ class ParallelChecker {
     result.verdict = result.recoverable_everywhere ? Verdict::kHolds
                                                    : Verdict::kViolated;
     if (!result.recoverable_everywhere) {
-      result.witness = reconstruct(table, witness_slot);
+      result.witness = detail::reconstruct_trace(*model_, table,
+                                                 witness_slot);
     }
     result.stats.seconds = seconds_since(t0);
     return result;
   }
 
  private:
-  static constexpr std::uint8_t kRootFlag = 1;
-  static constexpr std::uint8_t kGoalFlag = 2;
-
-  /// Inline per-state value: BFS parent as a slot index (rewritten through
-  /// the remap whenever the table rebuilds), the choice code that replays
-  /// the parent -> state transition, and the BFS depth.
-  struct NodeInfo {
-    std::uint32_t parent = 0;
-    std::uint32_t choice = 0;
-    std::uint32_t depth = 0;
-    std::uint8_t flags = 0;
-  };
-  using Table = util::ConcurrentStateTable<NodeInfo>;
-
-  struct Edge {
-    std::uint32_t from = 0;
-    std::uint32_t to = 0;
-  };
+  using NodeInfo = detail::BfsNode;
+  using Table = TableT<NodeInfo>;
+  using Edge = detail::BfsEdge;
 
   /// Direct-mapped cache of recently inserted successors, valid within one
   /// level expansion of one chunk (slot indices are stable between level
   /// barriers). An empty entry is marked by kNoSlot, which a successful
-  /// insert can never return.
+  /// insert can never return. Indexed by the caller's memoized raw hash,
+  /// so a cache probe never re-hashes the key.
   struct DedupCache {
     static constexpr std::size_t kSize = 1u << 12;
 
@@ -197,13 +189,15 @@ class ParallelChecker {
     void reset() {
       std::fill(slots.begin(), slots.end(), Table::kNoSlot);
     }
-    std::uint32_t lookup(const util::PackedState& key) const {
-      const std::size_t h = util::hash_value(key) & (kSize - 1);
+    std::uint32_t lookup(const util::PackedState& key,
+                         std::size_t raw_hash) const {
+      const std::size_t h = raw_hash & (kSize - 1);
       return slots[h] != Table::kNoSlot && keys[h] == key ? slots[h]
                                                           : Table::kNoSlot;
     }
-    void remember(const util::PackedState& key, std::uint32_t slot) {
-      const std::size_t h = util::hash_value(key) & (kSize - 1);
+    void remember(const util::PackedState& key, std::size_t raw_hash,
+                  std::uint32_t slot) {
+      const std::size_t h = raw_hash & (kSize - 1);
       keys[h] = key;
       slots[h] = slot;
     }
@@ -232,43 +226,16 @@ class ParallelChecker {
         .count();
   }
 
-  std::vector<TraceStepT<State>> reconstruct(const Table& table,
-                                             std::uint32_t last) const {
-    std::vector<std::uint32_t> path{last};
-    while (!(table.value_at(path.back()).flags & kRootFlag)) {
-      path.push_back(table.value_at(path.back()).parent);
-    }
-    std::vector<TraceStepT<State>> steps;
-    for (std::size_t i = path.size(); i-- > 1;) {
-      TraceStepT<State> step;
-      step.before = model_->unpack(table.key_at(path[i]));
-      auto [next, label] =
-          model_->apply(step.before, table.value_at(path[i - 1]).choice);
-      TTA_CHECK(model_->pack(next) == table.key_at(path[i - 1]));
-      step.label = label;
-      step.after = next;
-      steps.push_back(step);
-    }
-    return steps;
-  }
-
-  /// Grows `table` so that `needed` entries fit under max_load(), dropping
-  /// entries selected by `drop`, and rewrites every slot reference the
-  /// checker holds: parent links in the table, the current frontier, and
-  /// (for recoverability) the accumulated edge list. Single-threaded;
-  /// called only at level barriers.
+  /// Grows `table` (detail::grow_table rewrites the parent links), then
+  /// rewrites the slot references only this engine holds: the current
+  /// frontier and (for recoverability) the accumulated edge list.
+  /// Single-threaded; called only at level barriers.
+  template <class Drop>
   static void grow(Table& table, std::size_t needed,
-                   std::vector<std::uint32_t>& level, std::vector<Edge>* edges,
-                   const std::function<bool(const NodeInfo&)>& drop =
-                       nullptr) {
-    std::size_t cap = table.capacity();
-    while (cap - cap / 4 <= needed) cap <<= 1;
-    std::vector<std::uint32_t> remap = table.rebuild(cap, drop);
-    for (std::uint32_t s = 0; s < table.capacity(); ++s) {
-      if (!table.occupied(s)) continue;
-      NodeInfo& info = table.value_at(s);
-      if (!(info.flags & kRootFlag)) info.parent = remap[info.parent];
-    }
+                   std::vector<std::uint32_t>& level,
+                   std::vector<Edge>* edges, Drop&& drop) {
+    std::vector<std::uint32_t> remap =
+        detail::grow_table(table, needed, std::forward<Drop>(drop));
     for (std::uint32_t& s : level) s = remap[s];
     if (edges) {
       for (Edge& e : *edges) {
@@ -276,37 +243,6 @@ class ParallelChecker {
         e.to = remap[e.to];
       }
     }
-  }
-
-  /// Converts the table + frontier into the engine-agnostic checkpoint
-  /// form: parent slot indices become packed keys (slots do not survive a
-  /// restart), the frontier keeps its exact expansion order.
-  CheckpointData make_checkpoint(const Table& table,
-                                 const std::vector<std::uint32_t>& level,
-                                 std::uint32_t next_depth,
-                                 const CheckStats& stats,
-                                 CheckpointData::Mode mode) const {
-    CheckpointData data;
-    data.mode = mode;
-    data.next_depth = next_depth;
-    data.transitions = stats.transitions;
-    data.dedup_skips = stats.dedup_skips;
-    data.visited.reserve(table.size());
-    for (std::uint32_t s = 0; s < table.capacity(); ++s) {
-      if (!table.occupied(s)) continue;
-      const NodeInfo& info = table.value_at(s);
-      CheckpointEntry e;
-      e.key = table.key_at(s);
-      e.parent = (info.flags & kRootFlag) ? table.key_at(s)
-                                          : table.key_at(info.parent);
-      e.choice = info.choice;
-      e.depth = info.depth;
-      e.flags = (info.flags & kRootFlag) ? CheckpointEntry::kRootFlag : 0;
-      data.visited.push_back(e);
-    }
-    data.frontier.reserve(level.size());
-    for (std::uint32_t s : level) data.frontier.push_back(table.key_at(s));
-    return data;
   }
 
   CheckResultT<State> run(const Violation* violation, const Goal* goal,
@@ -318,7 +254,7 @@ class ParallelChecker {
     const auto t0 = std::chrono::steady_clock::now();
     CheckResultT<State> result;
 
-    Table local_table(initial_capacity_);
+    Table local_table(initial_capacity_, detail::packed_key_bits(*model_));
     Table& table = graph ? *graph->table : local_table;
     std::vector<Edge>* edges = graph ? graph->edges : nullptr;
     const Goal* tag_goal = graph ? graph->goal : nullptr;
@@ -332,6 +268,7 @@ class ParallelChecker {
     auto finish = [&](Verdict verdict) {
       result.verdict = verdict;
       result.stats.states_explored = table.size();
+      detail::fill_table_stats(table, &result.stats);
       result.stats.seconds = seconds_since(t0);
       if (stats_out) *stats_out = result.stats;
     };
@@ -339,49 +276,14 @@ class ParallelChecker {
     std::vector<std::uint32_t> level;
     std::uint32_t start_depth = 0;
     if (ckpt) {
-      CheckpointData data;
-      if (load_checkpoint(*ckpt, &data, ckpt_mode)) {
-        // Restore in two passes: inserts assign fresh slots, then parent
-        // keys are resolved back into slot indices. The frontier keeps its
-        // checkpointed order, which the bit-identity contract depends on.
-        const std::size_t needed =
-            data.visited.size() + growth_headroom_ * data.frontier.size();
-        if (needed >= table.max_load()) {
-          std::size_t cap = table.capacity();
-          while (cap - cap / 4 <= needed) cap <<= 1;
-          table.rebuild(cap);
-        }
-        for (const CheckpointEntry& e : data.visited) {
-          NodeInfo info{0, e.choice, e.depth,
-                        (e.flags & CheckpointEntry::kRootFlag)
-                            ? kRootFlag
-                            : std::uint8_t{0}};
-          typename Table::Insert r = table.insert(e.key, info);
-          TTA_CHECK(r.inserted);
-        }
-        for (const CheckpointEntry& e : data.visited) {
-          if (e.flags & CheckpointEntry::kRootFlag) continue;
-          const std::uint32_t slot = table.find(e.key);
-          const std::uint32_t parent = table.find(e.parent);
-          TTA_CHECK(slot != Table::kNoSlot && parent != Table::kNoSlot);
-          table.value_at(slot).parent = parent;
-        }
-        level.reserve(data.frontier.size());
-        for (const util::PackedState& s : data.frontier) {
-          const std::uint32_t slot = table.find(s);
-          TTA_CHECK(slot != Table::kNoSlot);
-          level.push_back(slot);
-        }
-        start_depth = data.next_depth;
-        result.stats.transitions = data.transitions;
-        result.stats.dedup_skips = data.dedup_skips;
-        result.stats.resumed = true;
-      }
+      detail::restore_wavefront(*ckpt, ckpt_mode, table, &level,
+                                &start_depth, &result.stats,
+                                growth_headroom_);
     }
     if (!result.stats.resumed) {
       State init = model_->initial();
-      NodeInfo root{0, 0, 0, kRootFlag};
-      if (tag_goal && (*tag_goal)(init)) root.flags |= kGoalFlag;
+      NodeInfo root{0, 0, 0, detail::kBfsRootFlag};
+      if (tag_goal && (*tag_goal)(init)) root.flags |= detail::kBfsGoalFlag;
       typename Table::Insert ins = table.insert(model_->pack(init), root);
       TTA_CHECK(ins.inserted);
       level.push_back(ins.slot);
@@ -404,6 +306,10 @@ class ParallelChecker {
     // cache is reset whenever a chunk starts a level.
     std::vector<DedupCache> dedup(tasks);
     bool was_cancelled = false;
+    // Set when a level overflowed and is being re-expanded; the successful
+    // pass re-hashes every successor the dropped pass already hashed, and
+    // that cost is surfaced in hash_recomputes when the retry completes.
+    bool retried_level = false;
     for (std::uint32_t depth = start_depth;; ++depth) {
       if (table.size() > max_states) {
         result.stats.exhausted = false;
@@ -413,6 +319,7 @@ class ParallelChecker {
         was_cancelled = true;
         break;
       }
+      TTA_CHECK(depth < UINT16_MAX);  // BfsNode stores depth as u16
       result.stats.max_depth = depth;
       // Proactive growth: leave headroom for a level that discovers up to
       // growth_headroom_ (~4) new states per frontier state, generous for
@@ -420,7 +327,9 @@ class ParallelChecker {
       // and retries below.
       const std::size_t headroom =
           table.size() + growth_headroom_ * level.size();
-      if (headroom >= table.max_load()) grow(table, headroom, level, edges);
+      if (headroom >= table.max_load()) {
+        grow(table, headroom, level, edges, detail::KeepAll{});
+      }
 
       std::vector<std::vector<std::uint32_t>> next(tasks);
       std::vector<std::vector<Edge>> new_edges(tasks);
@@ -459,7 +368,10 @@ class ParallelChecker {
                   my_violation = Hit{i, cur_slot, succ.choice_code};
                 }
                 util::PackedState packed = model_->pack(succ.next);
-                if (std::uint32_t cached = dd.lookup(packed);
+                // Hash once per successor; the token feeds the dedup
+                // cache's index and the table's probe sequence.
+                const typename Table::Hashed hashed = table.hash(packed);
+                if (std::uint32_t cached = dd.lookup(packed, hashed.raw());
                     cached != Table::kNoSlot) {
                   // Dedup hit: this chunk already inserted `packed` during
                   // this level, so the insert would report inserted ==
@@ -468,16 +380,17 @@ class ParallelChecker {
                   if (edges) my_edges.push_back(Edge{cur_slot, cached});
                   continue;
                 }
-                NodeInfo info{cur_slot, succ.choice_code, depth + 1, 0};
+                NodeInfo info{cur_slot, succ.choice_code,
+                              static_cast<std::uint16_t>(depth + 1), 0};
                 if (tag_goal && (*tag_goal)(succ.next)) {
-                  info.flags |= kGoalFlag;
+                  info.flags |= detail::kBfsGoalFlag;
                 }
-                typename Table::Insert r = table.insert(packed, info);
+                typename Table::Insert r = table.insert(packed, info, hashed);
                 if (r.slot == Table::kNoSlot) {
                   overflow.store(true, std::memory_order_relaxed);
                   break;
                 }
-                dd.remember(packed, r.slot);
+                dd.remember(packed, hashed.raw(), r.slot);
                 if (edges) my_edges.push_back(Edge{cur_slot, r.slot});
                 if (r.inserted) {
                   my_next.push_back(r.slot);
@@ -513,11 +426,13 @@ class ParallelChecker {
         // re-expand the same level from scratch. Dropped entries all have
         // depth == depth + 1, so no surviving parent link can point at
         // them.
-        const std::uint32_t dropped_depth = depth + 1;
+        const std::uint16_t dropped_depth =
+            static_cast<std::uint16_t>(depth + 1);
         grow(table, table.size() * 2, level, edges,
              [dropped_depth](const NodeInfo& info) {
                return info.depth == dropped_depth;
              });
+        retried_level = true;
         --depth;  // redo this level
         continue;
       }
@@ -525,6 +440,14 @@ class ParallelChecker {
       for (unsigned c = 0; c < tasks; ++c) {
         result.stats.transitions += transitions[c];
         result.stats.dedup_skips += dedup_skips[c];
+      }
+      if (retried_level) {
+        // Every successor of this level was hashed at least twice: once in
+        // the pass that overflowed and again in this completed one.
+        for (unsigned c = 0; c < tasks; ++c) {
+          result.stats.hash_recomputes += transitions[c];
+        }
+        retried_level = false;
       }
 
       if (violation) {
@@ -537,7 +460,7 @@ class ParallelChecker {
           // transition itself. Minimal depth is guaranteed because every
           // earlier level completed without a hit.
           std::vector<TraceStepT<State>> steps =
-              reconstruct(table, best.slot);
+              detail::reconstruct_trace(*model_, table, best.slot);
           TraceStepT<State> final_step;
           final_step.before = model_->unpack(table.key_at(best.slot));
           auto [nxt, label] = model_->apply(final_step.before, best.choice);
@@ -555,7 +478,8 @@ class ParallelChecker {
           if (h.frontier_index < best.frontier_index) best = h;
         }
         if (best.slot != Table::kNoSlot) {
-          result.trace = reconstruct(table, best.slot);
+          result.trace = detail::reconstruct_trace(*model_, table,
+                                                   best.slot);
           finish(Verdict::kViolated);
           return result;
         }
@@ -578,8 +502,9 @@ class ParallelChecker {
       // Level barrier (single-threaded here): persist the wavefront so an
       // interrupted run resumes instead of re-exploring. Best-effort.
       if (ckpt && (depth + 1) % std::max(1u, ckpt->every_levels) == 0) {
-        save_checkpoint(*ckpt, make_checkpoint(table, level, depth + 1,
-                                               result.stats, ckpt_mode));
+        save_checkpoint(*ckpt,
+                        detail::snapshot_wavefront(table, level, depth + 1,
+                                                   result.stats, ckpt_mode));
       }
     }
 

@@ -29,20 +29,26 @@ EngineSelection make_engine(const JobSpec& spec,
   }
   const unsigned threads =
       spec.threads != 0 ? spec.threads : config.parallel_engine_threads;
+  const mc::CheckOptions options{spec.table_backend};
 
   EngineSelection selection;
   selection.resolved = choice;
   switch (choice) {
     case EngineChoice::kSerial:
-      selection.engine = std::make_unique<mc::SerialEngine>();
+      selection.engine = std::make_unique<mc::SerialEngine>(options);
       break;
     case EngineChoice::kParallel:
-      selection.engine = std::make_unique<mc::ParallelEngine>(threads);
+      selection.engine = std::make_unique<mc::ParallelEngine>(threads,
+                                                              options);
       break;
     case EngineChoice::kRedundant:
+      // The reference half always runs the serial engine on the flat
+      // (reference) table; the shadow gets the requested backend. With
+      // "table": "compact" this composition is therefore a literal
+      // flat-vs-compact cross-check on top of the serial-vs-parallel one.
       selection.engine = std::make_unique<mc::RedundantEngine>(
           std::make_unique<mc::SerialEngine>(),
-          std::make_unique<mc::ParallelEngine>(threads));
+          std::make_unique<mc::ParallelEngine>(threads, options));
       break;
     case EngineChoice::kAuto:
       break;  // unreachable: resolved above

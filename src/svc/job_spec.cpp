@@ -265,6 +265,15 @@ bool parse_line_impl(const std::string& line, JobSpec* spec,
       } else if (key == "threads") {
         ok = parse_u64(value, &n) && n <= 256;
         if (ok) out.threads = static_cast<unsigned>(n);
+      } else if (key == "table") {
+        ok = is_string;
+        if (value == "flat") {
+          out.table_backend = mc::TableBackend::kFlat;
+        } else if (value == "compact") {
+          out.table_backend = mc::TableBackend::kCompact;
+        } else {
+          ok = false;
+        }
       } else if (request && key == "priority") {
         ok = !is_string && parse_priority(value, &request->priority);
       } else if (request && key == "id") {

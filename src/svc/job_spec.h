@@ -64,6 +64,13 @@ struct JobSpec {
   /// Threads for the parallel engine; 0 = the service default.
   unsigned threads = 0;
 
+  /// Visited-table backend for the BFS engines ("table" in the JSON
+  /// grammar). An execution hint like engine/threads/deadline: both
+  /// backends are contractually bit-identical (docs/CHECKER.md), so it is
+  /// excluded from canonical_bytes()/digest() and a cached result computed
+  /// under either backend satisfies both.
+  mc::TableBackend table_backend = mc::TableBackend::kFlat;
+
   /// Canonical little-endian byte encoding of the semantic fields (model +
   /// property + budget), stable across processes and builds; starts with a
   /// format-version byte so future field additions re-key cleanly.

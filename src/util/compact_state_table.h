@@ -1,0 +1,504 @@
+// Compact-hash visited-state table: Cleary-style key quotienting.
+//
+// Same open-addressed, linear-probed, status-byte-guarded design as
+// util::ConcurrentStateTable (the "flat" backend), but a slot does not
+// store its 32-byte PackedState key. Instead the key is passed through an
+// *invertible* mix over exactly its significant `key_bits` low bits; the
+// low bits of the mixed value select the home bucket and only the
+// remaining `key_bits - log2(capacity)` bits — the remainder, bit-packed
+// into whole bytes per slot — are stored, next to an 8-bit linear-probe
+// displacement that recovers the home bucket from the slot index. Because
+// the mix is a bijection (not a lossy hash), (home bucket, remainder)
+// reconstructs the key exactly: membership answers are exact and key_at()
+// re-materializes the original PackedState on demand. The displacement
+// bound is the only approximation, and it is fail-safe: a probe that would
+// exceed 255 reports saturation (the caller rebuilds larger) rather than
+// ever conflating two keys — see docs/CHECKER.md.
+//
+// Layout is struct-of-arrays: the one-byte atomic statuses live in their
+// own contiguous array (so CAS traffic touches cache lines holding nothing
+// else), and displacement / remainder / value arrays are plain bytes
+// synchronized through the status protocol (empty -> writing -> ready,
+// publish with a release store, observe with an acquire load — identical
+// to the flat table). Remainders occupy whole bytes per slot so concurrent
+// writers never share a byte.
+//
+// Memory per slot: 2 bytes (status + displacement) + ceil((key_bits -
+// log2(capacity)) / 8) remainder bytes + sizeof(Value), versus the flat
+// table's padded status + 32-byte key + value. For the 4-node model
+// (key_bits = 119) at 2^18 buckets that is 27 vs 56 bytes — under 0.5x.
+//
+// Concurrency contract, growth-at-barrier rebuild(), and the insert/find
+// surface mirror ConcurrentStateTable exactly; the checkers are templated
+// over the backend and treat the two interchangeably. rebuild() re-places
+// entries from their stored (home, remainder) quotients directly — the mix
+// is never inverted and no full key is ever materialized during growth.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/bitpack.h"
+#include "util/check.h"
+#include "util/state_table_base.h"
+
+namespace tta::util {
+
+namespace compact_detail {
+
+/// splitmix64 finalizer: full 64-bit avalanche, used as the per-word round
+/// function of the multi-word mix (the xor-fold keeps the whole bijective).
+inline std::uint64_t mix64(std::uint64_t z) {
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z;
+}
+
+/// Multiplicative inverse of an odd constant mod 2^64 (Newton iteration).
+constexpr std::uint64_t mod_inverse(std::uint64_t a) {
+  std::uint64_t x = 3 * a ^ 2;  // correct to 5 bits
+  for (int i = 0; i < 5; ++i) x *= 2 - a * x;
+  return x;
+}
+
+/// Inverse of y = z ^ (z >> s) on a <= 64-bit value; s >= 1.
+inline std::uint64_t inv_xorshift(std::uint64_t y, unsigned s) {
+  std::uint64_t x = y;
+  for (unsigned done = 0; done < 64; done += s) x = y ^ (x >> s);
+  return x;
+}
+
+inline constexpr std::uint64_t kOdd[2] = {0x9E3779B97F4A7C15ull,
+                                          0xBF58476D1CE4E5B9ull};
+inline constexpr std::uint64_t kOddInv[2] = {mod_inverse(kOdd[0]),
+                                             mod_inverse(kOdd[1])};
+inline constexpr std::uint64_t kSalt[2] = {0xD6E8FEB86659FD93ull,
+                                           0xCA1392FBDB8C12F5ull};
+
+}  // namespace compact_detail
+
+template <class Value>
+class CompactStateTable {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  struct Insert {
+    std::uint32_t slot = kNoSlot;
+    bool inserted = false;  ///< true iff this call created the entry
+  };
+
+  /// Memoized hash token: the fully mixed key words. Capacity-independent
+  /// (the bucket split happens per call), so a token computed once at
+  /// successor-generation time stays valid across rebuilds.
+  struct Hashed {
+    std::array<std::uint64_t, kPackedWords> mixed{};
+    std::size_t raw() const { return static_cast<std::size_t>(mixed[0]); }
+  };
+
+  /// `key_bits` is the number of significant low bits of every key the
+  /// table will see (the model's packed width); keys must be zero above it
+  /// or distinct keys could quotient identically.
+  explicit CompactStateTable(std::size_t min_capacity = 1u << 16,
+                             unsigned key_bits = kPackedWords * 64)
+      : key_bits_(key_bits == 0 ? 1 : key_bits) {
+    TTA_CHECK(key_bits_ <= kPackedWords * 64);
+    words_ = (key_bits_ + 63) / 64;
+    last_word_bits_ = key_bits_ - 64 * (words_ - 1);
+    last_word_mask_ = last_word_bits_ == 64
+                          ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << last_word_bits_) - 1;
+    half_shift_ = last_word_bits_ / 2;
+    allocate(round_up_pow2(min_capacity));
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::size_t max_load() const { return capacity() - capacity() / 4; }
+  unsigned key_bits() const { return key_bits_; }
+
+  Hashed hash(const PackedState& key) const {
+    Hashed h;
+    for (unsigned i = 0; i < words_; ++i) h.mixed[i] = key.words[i];
+    TTA_DCHECK((h.mixed[words_ - 1] & ~word_mask(words_ - 1)) == 0);
+    for (unsigned i = words_; i < kPackedWords; ++i) {
+      TTA_DCHECK(key.words[i] == 0);
+    }
+    forward_mix(h.mixed.data());
+    return h;
+  }
+
+  Insert insert(const PackedState& key, const Value& value) {
+    return insert(key, value, hash(key));
+  }
+
+  /// Thread-safe insert-if-absent; same contract as the flat table.
+  /// {kNoSlot, false} on saturation — load ceiling reached, or the new
+  /// entry's probe displacement would overflow its 8-bit field.
+  Insert insert(const PackedState& /*key*/, const Value& value,
+                const Hashed& hashed) {
+    std::uint8_t rem[kMaxRemBytes];
+    remainder_bytes(hashed, rem);
+    std::size_t idx = hashed.mixed[0] & mask_;
+    for (std::size_t probes = 0; probes <= mask_;
+         ++probes, idx = (idx + 1) & mask_) {
+      std::uint8_t status = status_[idx].load(std::memory_order_acquire);
+      if (status == kEmpty) {
+        if (probes > kMaxDisplacement ||
+            size_.load(std::memory_order_relaxed) >= max_load()) {
+          return {};
+        }
+        std::uint8_t expected = kEmpty;
+        if (status_[idx].compare_exchange_strong(expected, kWriting,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+          disp_[idx] = static_cast<std::uint8_t>(probes);
+          if (rem_bytes_ != 0) {
+            std::memcpy(rem_.data() + idx * rem_bytes_, rem, rem_bytes_);
+          }
+          values_[idx] = value;
+          status_[idx].store(kReady, std::memory_order_release);
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return {static_cast<std::uint32_t>(idx), true};
+        }
+        status = expected;  // lost the claim race; fall through
+      }
+      SpinWaiter waiter;
+      while (status == kWriting) {
+        waiter.wait();
+        status = status_[idx].load(std::memory_order_acquire);
+      }
+      if (matches(idx, probes, rem)) {
+        return {static_cast<std::uint32_t>(idx), false};
+      }
+    }
+    return {};
+  }
+
+  std::uint32_t find(const PackedState& key) const {
+    return find(key, hash(key));
+  }
+
+  std::uint32_t find(const PackedState& /*key*/, const Hashed& hashed) const {
+    std::uint8_t rem[kMaxRemBytes];
+    remainder_bytes(hashed, rem);
+    std::size_t idx = hashed.mixed[0] & mask_;
+    for (std::size_t probes = 0; probes <= mask_;
+         ++probes, idx = (idx + 1) & mask_) {
+      std::uint8_t status = status_[idx].load(std::memory_order_acquire);
+      SpinWaiter waiter;
+      while (status == kWriting) {
+        waiter.wait();
+        status = status_[idx].load(std::memory_order_acquire);
+      }
+      if (status == kEmpty) return kNoSlot;
+      if (matches(idx, probes, rem)) return static_cast<std::uint32_t>(idx);
+    }
+    return kNoSlot;
+  }
+
+  bool occupied(std::uint32_t slot) const {
+    return status_[slot].load(std::memory_order_acquire) == kReady;
+  }
+
+  /// Re-materializes the slot's key by inverting the mix over the stored
+  /// (home bucket, remainder) quotient. Exact — the mix is a bijection.
+  PackedState key_at(std::uint32_t slot) const {
+    const std::size_t home = (slot - disp_[slot]) & mask_;
+    Hashed h =
+        reassemble(home, rem_.data() + slot * rem_bytes_, bucket_bits_);
+    inverse_mix(h.mixed.data());
+    PackedState p;
+    for (unsigned i = 0; i < words_; ++i) p.words[i] = h.mixed[i];
+    for (unsigned i = words_; i < kPackedWords; ++i) p.words[i] = 0;
+    return p;
+  }
+
+  const Value& value_at(std::uint32_t slot) const { return values_[slot]; }
+  /// Mutation is only safe at synchronization points.
+  Value& value_at(std::uint32_t slot) { return values_[slot]; }
+
+  /// Single-threaded growth at a barrier; same remap contract as the flat
+  /// table. Entries are re-placed directly from their stored quotients —
+  /// the new home/remainder split is recomputed from the mixed words, the
+  /// mix is never inverted, and no full key is materialized. If the new
+  /// capacity trips the displacement bound mid-rebuild, the rebuild
+  /// restarts internally at double the capacity (fail-safe, never lossy).
+  template <class Drop>
+  std::vector<std::uint32_t> rebuild(std::size_t new_capacity, Drop&& drop) {
+    auto old_status = std::move(status_);
+    auto old_disp = std::move(disp_);
+    auto old_rem = std::move(rem_);
+    auto old_values = std::move(values_);
+    const std::size_t old_mask = mask_;
+    const unsigned old_bucket_bits = bucket_bits_;
+    const std::size_t old_rem_bytes = rem_bytes_;
+
+    std::size_t cap = round_up_pow2(new_capacity);
+    std::vector<std::uint32_t> remap;
+    for (;;) {
+      allocate(cap);
+      remap.assign(old_status.size(), kNoSlot);
+      bool ok = true;
+      for (std::size_t i = 0; i < old_status.size(); ++i) {
+        if (old_status[i].load(std::memory_order_relaxed) != kReady) {
+          continue;
+        }
+        if (drop(old_values[i])) continue;
+        const std::size_t home = (i - old_disp[i]) & old_mask;
+        const Hashed h = reassemble(
+            home, old_rem.data() + i * old_rem_bytes, old_bucket_bits);
+        const std::uint32_t slot = place(h, old_values[i]);
+        if (slot == kNoSlot) {
+          ok = false;
+          break;
+        }
+        remap[i] = slot;
+      }
+      if (ok) return remap;
+      cap <<= 1;
+    }
+  }
+
+  std::vector<std::uint32_t> rebuild(std::size_t new_capacity) {
+    return rebuild(new_capacity, [](const Value&) { return false; });
+  }
+
+  /// The compact backend never rehashes: rebuild() works on stored mixed
+  /// quotients. Kept for interface parity with the flat table.
+  std::uint64_t hash_recomputes() const { return 0; }
+
+  /// Bytes held by the slot arrays: status + displacement + remainder +
+  /// value per slot, no padding between slots of one array.
+  std::size_t memory_bytes() const {
+    const std::size_t cap = capacity();
+    return cap * (2 + rem_bytes_ + sizeof(Value));
+  }
+
+  /// Probe-length distribution; O(capacity), no hashing (displacements are
+  /// stored). Only meaningful at a synchronization point.
+  TableProbeStats probe_stats() const {
+    TableProbeStats stats;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      if (status_[i].load(std::memory_order_acquire) != kReady) continue;
+      stats.record(disp_[i]);
+    }
+    stats.finalize();
+    return stats;
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kWriting = 1;
+  static constexpr std::uint8_t kReady = 2;
+  static constexpr std::size_t kMaxDisplacement = 255;
+  static constexpr std::size_t kMaxRemBytes = sizeof(PackedState);
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 64;  // same floor as the flat table
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::uint64_t word_mask(unsigned i) const {
+    return i + 1 == words_ ? last_word_mask_ : ~std::uint64_t{0};
+  }
+
+  void allocate(std::size_t cap) {
+    // Slot indices are uint32 with kNoSlot reserved.
+    TTA_CHECK(cap <= (std::size_t{1} << 31));
+    mask_ = cap - 1;
+    bucket_bits_ = 0;
+    while ((std::size_t{1} << bucket_bits_) < cap) ++bucket_bits_;
+    const unsigned rem_bits =
+        key_bits_ > bucket_bits_ ? key_bits_ - bucket_bits_ : 0;
+    rem_bytes_ = (rem_bits + 7) / 8;
+    status_ = std::vector<std::atomic<std::uint8_t>>(cap);
+    disp_.assign(cap, 0);
+    rem_.assign(cap * rem_bytes_, 0);
+    values_.assign(cap, Value{});
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Entry identity test: same displacement for this probe's home bucket
+  /// (so the entry's home equals ours) and identical remainder bytes. The
+  /// mix being a bijection makes this exact, never probabilistic.
+  bool matches(std::size_t idx, std::size_t probes,
+               const std::uint8_t* rem) const {
+    return probes <= kMaxDisplacement &&
+           disp_[idx] == static_cast<std::uint8_t>(probes) &&
+           (rem_bytes_ == 0 ||
+            std::memcmp(rem_.data() + idx * rem_bytes_, rem, rem_bytes_) ==
+                0);
+  }
+
+  /// The invertible mix. One word (key_bits <= 64): two rounds of odd
+  /// multiply mod 2^key_bits then fold-down xorshift — both bijective on
+  /// the key_bits-wide domain. Multiple words: two passes of an xor chain,
+  /// w[i] ^= mix64(w[i-1 mod K] + salt + i); each step xors a word with a
+  /// function of *other* words (bijective), and after two passes the low
+  /// (bucket) bits of word 0 depend on every key bit through two full
+  /// avalanche layers.
+  void forward_mix(std::uint64_t* w) const {
+    using namespace compact_detail;
+    if (words_ == 1) {
+      std::uint64_t z = w[0] & last_word_mask_;
+      for (int round = 0; round < 2; ++round) {
+        z = (z * kOdd[round]) & last_word_mask_;
+        if (half_shift_ != 0) z ^= z >> half_shift_;
+      }
+      w[0] = z;
+      return;
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      for (unsigned i = 0; i < words_; ++i) {
+        const std::uint64_t prev = w[(i + words_ - 1) % words_];
+        w[i] = (w[i] ^ mix64(prev + kSalt[pass] + i)) & word_mask(i);
+      }
+    }
+  }
+
+  void inverse_mix(std::uint64_t* w) const {
+    using namespace compact_detail;
+    if (words_ == 1) {
+      std::uint64_t z = w[0];
+      for (int round = 1; round >= 0; --round) {
+        if (half_shift_ != 0) z = inv_xorshift(z, half_shift_);
+        z = (z * kOddInv[round]) & last_word_mask_;
+      }
+      w[0] = z;
+      return;
+    }
+    // Undo the xor chain in exact reverse order; at each step the "prev"
+    // word already holds the value it had when the forward step ran.
+    for (int pass = 1; pass >= 0; --pass) {
+      for (unsigned i = words_; i-- > 0;) {
+        const std::uint64_t prev = w[(i + words_ - 1) % words_];
+        w[i] = (w[i] ^ mix64(prev + kSalt[pass] + i)) & word_mask(i);
+      }
+    }
+  }
+
+  /// Serializes the mixed words minus the bucket bits into little-endian
+  /// remainder bytes (exactly rem_bytes_ of them; spare high bits zero so
+  /// slots compare with one memcmp).
+  void remainder_bytes(const Hashed& h, std::uint8_t* out) const {
+    if (rem_bytes_ == 0) return;
+    std::memset(out, 0, rem_bytes_);
+    std::uint64_t acc = 0;
+    unsigned acc_bits = 0;
+    std::size_t pos = 0;
+    auto emit = [&](std::uint64_t v, unsigned bits) {
+      while (bits > 0) {
+        const unsigned take = bits < 56 ? bits : 56;
+        acc |= (v & ((std::uint64_t{1} << take) - 1)) << acc_bits;
+        acc_bits += take;
+        v >>= take;
+        bits -= take;
+        while (acc_bits >= 8) {
+          out[pos++] = static_cast<std::uint8_t>(acc);
+          acc >>= 8;
+          acc_bits -= 8;
+        }
+      }
+    };
+    if (words_ == 1) {
+      emit(h.mixed[0] >> bucket_bits_, key_bits_ - bucket_bits_);
+    } else {
+      emit(h.mixed[0] >> bucket_bits_, 64 - bucket_bits_);
+      for (unsigned i = 1; i + 1 < words_; ++i) emit(h.mixed[i], 64);
+      emit(h.mixed[words_ - 1], last_word_bits_);
+    }
+    if (acc_bits > 0) out[pos] = static_cast<std::uint8_t>(acc);
+  }
+
+  /// Inverse of remainder_bytes + bucket split: rebuilds the mixed words
+  /// from a home bucket index and the stored remainder, under the bucket
+  /// geometry `bucket_bits` (rebuild() passes the *old* geometry).
+  Hashed reassemble(std::size_t home, const std::uint8_t* rem,
+                    unsigned bucket_bits) const {
+    Hashed h;
+    const unsigned rem_bits =
+        key_bits_ > bucket_bits ? key_bits_ - bucket_bits : 0;
+    const std::size_t total_bytes = (rem_bits + 7) / 8;
+    std::uint64_t acc = 0;
+    unsigned acc_bits = 0;
+    std::size_t pos = 0;
+    auto pull = [&](unsigned bits) {
+      std::uint64_t v = 0;
+      unsigned got = 0;
+      while (got < bits) {
+        if (acc_bits == 0) {
+          acc = pos < total_bytes ? rem[pos++] : 0;
+          acc_bits = 8;
+        }
+        const unsigned take = std::min(bits - got, acc_bits);
+        v |= (acc & ((std::uint64_t{1} << take) - 1)) << got;
+        acc >>= take;
+        acc_bits -= take;
+        got += take;
+      }
+      return v;
+    };
+    if (words_ == 1) {
+      h.mixed[0] = home;
+      if (rem_bits != 0) h.mixed[0] |= pull(rem_bits) << bucket_bits;
+    } else {
+      h.mixed[0] = home | (pull(64 - bucket_bits) << bucket_bits);
+      for (unsigned i = 1; i + 1 < words_; ++i) h.mixed[i] = pull(64);
+      h.mixed[words_ - 1] = pull(last_word_bits_);
+    }
+    return h;
+  }
+
+  /// Single-threaded placement from a mixed quotient (rebuild only; keys
+  /// are known distinct, so no identity checks along the probe).
+  std::uint32_t place(const Hashed& h, const Value& value) {
+    std::uint8_t rem[kMaxRemBytes];
+    remainder_bytes(h, rem);
+    std::size_t idx = h.mixed[0] & mask_;
+    for (std::size_t probes = 0; probes <= mask_;
+         ++probes, idx = (idx + 1) & mask_) {
+      if (status_[idx].load(std::memory_order_relaxed) == kReady) continue;
+      if (probes > kMaxDisplacement ||
+          size_.load(std::memory_order_relaxed) >= max_load()) {
+        return kNoSlot;
+      }
+      status_[idx].store(kReady, std::memory_order_relaxed);
+      disp_[idx] = static_cast<std::uint8_t>(probes);
+      if (rem_bytes_ != 0) {
+        std::memcpy(rem_.data() + idx * rem_bytes_, rem, rem_bytes_);
+      }
+      values_[idx] = value;
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<std::uint32_t>(idx);
+    }
+    return kNoSlot;
+  }
+
+  unsigned key_bits_;
+  unsigned words_ = 1;
+  unsigned last_word_bits_ = 64;
+  std::uint64_t last_word_mask_ = ~std::uint64_t{0};
+  unsigned half_shift_ = 32;
+
+  std::size_t mask_ = 0;
+  unsigned bucket_bits_ = 0;
+  std::size_t rem_bytes_ = 0;
+
+  std::vector<std::atomic<std::uint8_t>> status_;
+  std::vector<std::uint8_t> disp_;
+  std::vector<std::uint8_t> rem_;
+  std::vector<Value> values_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace tta::util

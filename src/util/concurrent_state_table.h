@@ -10,7 +10,10 @@
 // Memory: one slot is the 32-byte key plus the value plus one status byte
 // (padded), laid out contiguously. At the checker's working load factor this
 // is well under half of what a node-based std::unordered_map spends per
-// state (node allocation, bucket array, malloc headers).
+// state (node allocation, bucket array, malloc headers) — and
+// util::CompactStateTable (compact_state_table.h) halves it again by
+// storing quotiented keys. Both backends expose the same interface so the
+// checkers can be templated over the storage policy.
 //
 // Capacity is fixed during concurrent use. Growth is the caller's job at a
 // synchronization point: rebuild() single-threadedly rehashes into a larger
@@ -23,13 +26,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/bitpack.h"
 #include "util/check.h"
+#include "util/state_table_base.h"
 
 namespace tta::util {
 
@@ -45,7 +47,20 @@ class ConcurrentStateTable {
     bool inserted = false;  ///< true iff this call created the entry
   };
 
-  explicit ConcurrentStateTable(std::size_t min_capacity = 1u << 16) {
+  /// Memoized hash token: hash(key) once at successor-generation time, then
+  /// pass the token through insert()/find() so a state is hashed once per
+  /// BFS touch. raw() feeds caller-side caches (the per-chunk dedup cache).
+  struct Hashed {
+    std::size_t h = 0;
+    std::size_t raw() const { return h; }
+  };
+
+  /// `key_bits` is the number of significant low bits of every key. The
+  /// flat backend stores full keys and ignores it; it is accepted so both
+  /// backends construct uniformly from the model's packed width.
+  explicit ConcurrentStateTable(std::size_t min_capacity = 1u << 16,
+                                unsigned key_bits = kPackedWords * 64) {
+    (void)key_bits;
     slots_ = std::vector<Slot>(round_up_pow2(min_capacity));
   }
 
@@ -59,12 +74,20 @@ class ConcurrentStateTable {
   /// linear probing degrade; callers should rebuild() larger well before.
   std::size_t max_load() const { return capacity() - capacity() / 4; }
 
+  Hashed hash(const PackedState& key) const { return {hash_value(key)}; }
+
   /// Thread-safe insert-if-absent. Returns the key's slot and whether this
   /// call inserted it; {kNoSlot, false} means the table is saturated and
   /// the caller must rebuild() at the next synchronization point.
   Insert insert(const PackedState& key, const Value& value) {
+    return insert(key, value, hash(key));
+  }
+
+  /// insert() with a memoized hash token (from hash()).
+  Insert insert(const PackedState& key, const Value& value,
+                const Hashed& hashed) {
     const std::size_t mask = slots_.size() - 1;
-    std::size_t idx = hash_value(key) & mask;
+    std::size_t idx = hashed.h & mask;
     for (std::size_t probes = 0; probes <= mask;
          ++probes, idx = (idx + 1) & mask) {
       Slot& s = slots_[idx];
@@ -85,9 +108,11 @@ class ConcurrentStateTable {
         }
         status = expected;  // lost the claim race; fall through
       }
-      // The claiming thread publishes in a handful of stores; spin briefly.
+      // The claiming thread publishes in a handful of stores; pause, then
+      // yield, and abort loudly if the writer is wedged (state_table_base.h).
+      SpinWaiter waiter;
       while (status == kWriting) {
-        std::this_thread::yield();
+        waiter.wait();
         status = s.status.load(std::memory_order_acquire);
       }
       if (s.key == key) return {static_cast<std::uint32_t>(idx), false};
@@ -97,14 +122,19 @@ class ConcurrentStateTable {
 
   /// Thread-safe lookup; kNoSlot if absent.
   std::uint32_t find(const PackedState& key) const {
+    return find(key, hash(key));
+  }
+
+  std::uint32_t find(const PackedState& key, const Hashed& hashed) const {
     const std::size_t mask = slots_.size() - 1;
-    std::size_t idx = hash_value(key) & mask;
+    std::size_t idx = hashed.h & mask;
     for (std::size_t probes = 0; probes <= mask;
          ++probes, idx = (idx + 1) & mask) {
       const Slot& s = slots_[idx];
       std::uint8_t status = s.status.load(std::memory_order_acquire);
+      SpinWaiter waiter;
       while (status == kWriting) {
-        std::this_thread::yield();
+        waiter.wait();
         status = s.status.load(std::memory_order_acquire);
       }
       if (status == kEmpty) return kNoSlot;
@@ -129,22 +159,55 @@ class ConcurrentStateTable {
   /// power of two), dropping entries for which `drop(value)` is true, and
   /// returns the old-slot -> new-slot remapping (kNoSlot for dropped
   /// entries). Callers holding slot indices — parent links, frontiers, edge
-  /// lists — must rewrite them through the returned map.
-  std::vector<std::uint32_t> rebuild(
-      std::size_t new_capacity,
-      const std::function<bool(const Value&)>& drop = nullptr) {
+  /// lists — must rewrite them through the returned map. `Drop` is a plain
+  /// template parameter (not std::function) so the predicate inlines and
+  /// the no-predicate overload below has no per-entry branch at all.
+  template <class Drop>
+  std::vector<std::uint32_t> rebuild(std::size_t new_capacity, Drop&& drop) {
     std::vector<Slot> old = std::exchange(
         slots_, std::vector<Slot>(round_up_pow2(new_capacity)));
     size_.store(0, std::memory_order_relaxed);
     std::vector<std::uint32_t> remap(old.size(), kNoSlot);
     for (std::size_t i = 0; i < old.size(); ++i) {
       if (old[i].status.load(std::memory_order_relaxed) != kReady) continue;
-      if (drop && drop(old[i].value)) continue;
+      if (drop(old[i].value)) continue;
+      // The flat layout stores no hash, so every kept key is hashed again
+      // here — the recompute the compact backend's stored quotient avoids.
+      ++rebuild_rehashes_;
       Insert ins = insert(old[i].key, old[i].value);
       TTA_CHECK(ins.inserted);  // new_capacity must exceed the kept load
       remap[i] = ins.slot;
     }
     return remap;
+  }
+
+  /// rebuild() keeping every entry.
+  std::vector<std::uint32_t> rebuild(std::size_t new_capacity) {
+    return rebuild(new_capacity, [](const Value&) { return false; });
+  }
+
+  /// Hashes recomputed by table internals (flat: one per entry kept across
+  /// each rebuild). Feeds CheckStats::hash_recomputes.
+  std::uint64_t hash_recomputes() const { return rebuild_rehashes_; }
+
+  /// Bytes held by the slot array (the table's whole footprint).
+  std::size_t memory_bytes() const { return slots_.size() * sizeof(Slot); }
+
+  /// Probe-length distribution of the current contents; full scan, only
+  /// meaningful at a synchronization point. Diagnostic — the rehash here is
+  /// deliberately not counted in hash_recomputes().
+  TableProbeStats probe_stats() const {
+    TableProbeStats stats;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].status.load(std::memory_order_acquire) != kReady) {
+        continue;
+      }
+      const std::size_t home = hash_value(slots_[i].key) & mask;
+      stats.record((i - home) & mask);
+    }
+    stats.finalize();
+    return stats;
   }
 
  private:
@@ -166,6 +229,7 @@ class ConcurrentStateTable {
 
   std::vector<Slot> slots_;
   std::atomic<std::size_t> size_{0};
+  std::uint64_t rebuild_rehashes_ = 0;
 };
 
 }  // namespace tta::util

@@ -1,0 +1,78 @@
+// Pieces shared by the visited-state table backends (the flat
+// ConcurrentStateTable and the quotienting CompactStateTable): the bounded
+// spin-wait used while another thread is mid-publication on a slot, and the
+// probe-length statistics surface both backends export so the bench memory
+// panel can price compression against probe behavior.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <thread>
+
+#include "util/check.h"
+
+namespace tta::util {
+
+/// One CPU-relax hint: cheaper than a thread yield and exactly right while
+/// waiting out another core's handful of publication stores.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Bounded waiter for a slot stuck in its "writing" window. A writer
+/// publishes in a handful of stores, so the fast path is a few pause
+/// instructions; a longer wait escalates to yield() so an oversubscribed
+/// writer thread can be scheduled; a pathological wait means the writer is
+/// wedged (or its thread died mid-publication) and aborting loudly beats
+/// livelocking the whole search.
+class SpinWaiter {
+ public:
+  void wait() {
+    ++spins_;
+    if (spins_ <= kPauseSpins) {
+      cpu_relax();
+      return;
+    }
+    TTA_CHECK(spins_ < kAbortSpins);  // wedged writer: surface, don't livelock
+    std::this_thread::yield();
+  }
+
+ private:
+  static constexpr std::uint64_t kPauseSpins = 64;
+  static constexpr std::uint64_t kAbortSpins = std::uint64_t{1} << 26;
+  std::uint64_t spins_ = 0;
+};
+
+/// Probe-length distribution of the occupied slots of an open-addressed
+/// table, computed by a full scan at a synchronization point. hist[d]
+/// counts entries at linear-probe distance d from their home bucket; the
+/// last bin aggregates every distance >= hist.size() - 1.
+struct TableProbeStats {
+  std::array<std::uint64_t, 8> hist{};
+  std::uint64_t entries = 0;
+  std::uint64_t max_probe = 0;
+  double avg_probe = 0.0;
+
+  void record(std::uint64_t distance) {
+    ++hist[distance < hist.size() - 1 ? distance : hist.size() - 1];
+    ++entries;
+    if (distance > max_probe) max_probe = distance;
+    sum_ += distance;
+  }
+  void finalize() {
+    avg_probe = entries ? static_cast<double>(sum_) /
+                              static_cast<double>(entries)
+                        : 0.0;
+  }
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace tta::util

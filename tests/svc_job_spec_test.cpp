@@ -52,6 +52,7 @@ TEST(JobSpec, DigestCoversSemanticFieldsOnly) {
   hints.engine = EngineChoice::kParallel;
   hints.threads = 8;
   hints.deadline_ms = 1234;
+  hints.table_backend = mc::TableBackend::kCompact;
   EXPECT_EQ(hints.digest(), base.digest());
 
   // Semantic fields must re-key.
@@ -122,6 +123,28 @@ TEST(JobSpecParse, AcceptsFullJobLine) {
   EXPECT_EQ(spec.max_states, 1'000'000u);
   EXPECT_EQ(spec.deadline_ms, 250u);
   EXPECT_EQ(spec.threads, 4u);
+}
+
+TEST(JobSpecParse, TableBackendIsAnExecutionHint) {
+  // "table" selects the visited-table layout; like engine/threads it must
+  // parse, steer execution, and stay out of the semantic digest.
+  JobSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_job_line(R"({"authority": "passive", "table": "compact"})",
+                             &spec, &error))
+      << error;
+  EXPECT_EQ(spec.table_backend, mc::TableBackend::kCompact);
+  EXPECT_EQ(spec.digest(), spec_for(guardian::Authority::kPassive).digest());
+
+  ASSERT_TRUE(parse_job_line(R"({"authority": "passive", "table": "flat"})",
+                             &spec, &error))
+      << error;
+  EXPECT_EQ(spec.table_backend, mc::TableBackend::kFlat);
+
+  EXPECT_FALSE(parse_job_line(R"({"authority": "passive", "table": "tiny"})",
+                              &spec, &error));
+  EXPECT_FALSE(parse_job_line(R"({"authority": "passive", "table": 1})",
+                              &spec, &error));
 }
 
 TEST(JobSpecParse, DefaultsMatchDefaultSpec) {

@@ -101,6 +101,61 @@ TEST(ConcurrentStateTable, RebuildDropsSelectedEntries) {
   }
 }
 
+TEST(ConcurrentStateTable, SaturationRecoversAfterRebuild) {
+  // The checker's growth path: saturate, rebuild bigger, retry the refused
+  // inserts, verify everything already stored survived.
+  ConcurrentStateTable<int> table(64);
+  std::vector<std::uint64_t> refused;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    if (table.insert(make_key(i), static_cast<int>(i)).slot ==
+        ConcurrentStateTable<int>::kNoSlot) {
+      refused.push_back(i);
+    }
+  }
+  ASSERT_FALSE(refused.empty());
+  table.rebuild(1024);
+  for (std::uint64_t i : refused) {
+    EXPECT_TRUE(table.insert(make_key(i), static_cast<int>(i)).inserted)
+        << i;
+  }
+  EXPECT_EQ(table.size(), 200u);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    std::uint32_t slot = table.find(make_key(i));
+    ASSERT_NE(slot, ConcurrentStateTable<int>::kNoSlot) << i;
+    EXPECT_EQ(table.value_at(slot), static_cast<int>(i));
+  }
+}
+
+TEST(ConcurrentStateTable, MemoizedHashTokenMatchesPlainCalls) {
+  // The 3-arg insert/find with a hash() token must behave exactly like the
+  // hashing overloads (the BFS engines hash once per successor and pass
+  // the token through).
+  ConcurrentStateTable<int> table(256);
+  const auto hashed = table.hash(make_key(42));
+  auto a = table.insert(make_key(42), 1, hashed);
+  EXPECT_TRUE(a.inserted);
+  auto b = table.insert(make_key(42), 2);
+  EXPECT_FALSE(b.inserted);
+  EXPECT_EQ(b.slot, a.slot);
+  EXPECT_EQ(table.find(make_key(42), hashed), a.slot);
+  EXPECT_EQ(table.find(make_key(42)), a.slot);
+}
+
+TEST(ConcurrentStateTable, RebuildCountsHashRecomputes) {
+  // The flat layout stores no hash, so every rebuild re-hashes each kept
+  // entry — that is the recompute cost CheckStats::hash_recomputes
+  // surfaces (and the compact backend's stored quotients avoid).
+  ConcurrentStateTable<int> table(256);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    table.insert(make_key(i), static_cast<int>(i));
+  }
+  EXPECT_EQ(table.hash_recomputes(), 0u);
+  table.rebuild(1024);
+  EXPECT_EQ(table.hash_recomputes(), 100u);
+  table.rebuild(1024, [](const int& v) { return v >= 50; });
+  EXPECT_EQ(table.hash_recomputes(), 150u);  // only kept entries re-hash
+}
+
 TEST(ConcurrentStateTable, RacingInsertersAgreeOnOneWinnerPerKey) {
   // Many threads hammer the same small key set; exactly one insert() per
   // key may report inserted == true, and all threads must observe the same
