@@ -20,6 +20,9 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "campaign/estimate.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
 #include "sim/cluster.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -175,6 +178,96 @@ void print_campaign(bench::JsonWriter& json) {
               static_cast<unsigned long long>(kRunsPerCell));
 }
 
+/// The campaign subsystem's reference workload: dual-channel silence at
+/// 0.4 each, so a startup failure needs both channels dark (p ~= 0.16).
+/// min_trials == max_trials pins the trial count, making every figure a
+/// pure function of the spec.
+campaign::CampaignSpec probabilistic_spec(std::uint32_t trials) {
+  campaign::CampaignSpec spec;
+  spec.criterion = campaign::Criterion::kAllActiveReached;
+  spec.steps = 64;
+  spec.seed = 20040628;
+  spec.min_trials = trials;
+  spec.max_trials = trials;
+  spec.batch_size = 256;
+  spec.epsilon_ppm = 1;  // unreachable: never stop before max_trials
+  spec.coupler_faults.push_back(
+      {0, guardian::CouplerFault::kSilence, 400'000, 0, UINT64_MAX});
+  spec.coupler_faults.push_back(
+      {1, guardian::CouplerFault::kSilence, 400'000, 0, UINT64_MAX});
+  return spec;
+}
+
+void print_probabilistic_campaign(bench::JsonWriter& json) {
+  std::printf("probabilistic campaign (src/campaign): dual-channel silence "
+              "at p=0.4 each,\ncriterion all_active, Wilson 95%% interval\n\n");
+
+  // Panel 1: interval half-width vs trial count. trial_fails() is a pure
+  // function of (spec, index), so one incremental pass scores every
+  // checkpoint of the same campaign.
+  const campaign::CampaignSpec spec = probabilistic_spec(16'384);
+  util::Table ci_table({"trials", "p_hat", "half-width (ppm)"});
+  std::uint64_t failures = 0;
+  std::uint64_t next_checkpoint = 256;
+  for (std::uint64_t i = 0; i < 16'384; ++i) {
+    failures += campaign::trial_fails(spec, i) ? 1 : 0;
+    if (i + 1 == next_checkpoint) {
+      const campaign::Estimate est =
+          campaign::wilson_estimate(failures, i + 1);
+      ci_table.add_row({std::to_string(i + 1),
+                        util::Table::num(est.p_hat, 4),
+                        util::Table::num(est.half_width() * 1e6, 0)});
+      char entry[48];
+      std::snprintf(entry, sizeof entry, "ci_halfwidth/trials=%llu",
+                    static_cast<unsigned long long>(i + 1));
+      json.begin_entry(entry);
+      json.field("trials", i + 1);
+      json.field("failures", failures);
+      json.field("p_hat", est.p_hat);
+      json.field("half_width_ppm", est.half_width() * 1e6);
+      next_checkpoint *= 4;
+    }
+  }
+  std::printf("%s\n", ci_table.render().c_str());
+
+  // Panels 2+3: throughput and the sequential-vs-pooled cross-check on the
+  // full runner (batching, stopping rule, accounting included).
+  auto t0 = std::chrono::steady_clock::now();
+  const campaign::CampaignResult seq =
+      campaign::run_campaign(spec, nullptr);
+  const double seq_seconds = seconds_since(t0);
+
+  util::ThreadPool pool;
+  t0 = std::chrono::steady_clock::now();
+  const campaign::CampaignResult par =
+      campaign::run_campaign(spec, &pool);
+  const double par_seconds = seconds_since(t0);
+
+  const bool match =
+      seq.estimate.trials == par.estimate.trials &&
+      seq.estimate.failures == par.estimate.failures &&
+      seq.estimate.p_hat == par.estimate.p_hat;
+  const double trials = static_cast<double>(seq.estimate.trials);
+  std::printf("runner: %llu trials; sequential %.2fs (%.0f trials/s), "
+              "%u-thread pool %.2fs (%.0f trials/s), speedup %.2fx%s\n\n",
+              static_cast<unsigned long long>(seq.estimate.trials),
+              seq_seconds, trials / seq_seconds, pool.size(), par_seconds,
+              trials / par_seconds, seq_seconds / par_seconds,
+              match ? "; pooled estimate identical to sequential"
+                    : "; ** POOLED ESTIMATE DIVERGES FROM SEQUENTIAL **");
+  json.begin_entry("probabilistic_runner");
+  json.field("trials", seq.estimate.trials);
+  json.field("failures", seq.estimate.failures);
+  json.field("p_hat", seq.estimate.p_hat);
+  json.field("sequential_seconds", seq_seconds);
+  json.field("parallel_seconds", par_seconds);
+  json.field("threads", std::uint64_t{pool.size()});
+  json.field("speedup", seq_seconds / par_seconds);
+  json.field("trials_per_sec_sequential", trials / seq_seconds);
+  json.field("trials_per_sec_parallel", trials / par_seconds);
+  json.field("matches_sequential", std::uint64_t{match});
+}
+
 void BM_OneCampaignCell(benchmark::State& state) {
   for (auto _ : state) {
     CellResult cell =
@@ -191,6 +284,7 @@ int main(int argc, char** argv) {
   std::string json_path = tta::bench::take_json_flag(&argc, argv);
   tta::bench::JsonWriter json;
   print_campaign(json);
+  print_probabilistic_campaign(json);
   if (!json_path.empty()) json.write(json_path, "bench_fault_campaign");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

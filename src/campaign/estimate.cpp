@@ -1,0 +1,32 @@
+#include "campaign/estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tta::campaign {
+
+Estimate wilson_estimate(std::uint64_t failures, std::uint64_t trials,
+                         double z) {
+  TTA_CHECK(failures <= trials);
+  Estimate est;
+  est.trials = trials;
+  est.failures = failures;
+  if (trials == 0) return est;  // vacuous [0, 1]
+
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(failures) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double spread =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+
+  est.p_hat = p;
+  est.ci_low = std::max(0.0, center - spread);
+  est.ci_high = std::min(1.0, center + spread);
+  return est;
+}
+
+}  // namespace tta::campaign

@@ -1,0 +1,36 @@
+// Binomial-proportion estimation for Monte Carlo fault campaigns.
+//
+// A campaign observes `failures` out of `trials` independent Bernoulli
+// trials and reports the failure probability with a Wilson score interval —
+// the methodology Simonot et al. use to attach confidence levels to
+// TDMA-network safety figures. Wilson is preferred over the normal (Wald)
+// approximation because campaign probabilities sit near 0, where Wald
+// collapses to a zero-width interval after a streak of successes; Wilson
+// stays honest there.
+#pragma once
+
+#include <cstdint>
+
+namespace tta::campaign {
+
+/// Point estimate plus a two-sided Wilson score confidence interval.
+/// Invariant: 0 <= ci_low <= p_hat <= ci_high <= 1 whenever trials > 0.
+struct Estimate {
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;
+  double p_hat = 0.0;    ///< failures / trials (0 when trials == 0)
+  double ci_low = 0.0;
+  double ci_high = 1.0;  ///< the empty campaign knows nothing
+
+  double half_width() const { return (ci_high - ci_low) / 2.0; }
+};
+
+/// z-score of the default 95% two-sided interval.
+inline constexpr double kDefaultZ = 1.959964;
+
+/// Wilson score interval for `failures` successes in `trials` draws.
+/// trials == 0 yields the vacuous [0, 1] interval.
+Estimate wilson_estimate(std::uint64_t failures, std::uint64_t trials,
+                         double z = kDefaultZ);
+
+}  // namespace tta::campaign

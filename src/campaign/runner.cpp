@@ -1,0 +1,140 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tta::campaign {
+
+namespace {
+
+/// Per-trial stream seed: the campaign seed mixed with the trial index by a
+/// fixed odd multiplier. util::Rng::reseed() runs the result through
+/// splitmix64, so nearby indices still yield independent-looking streams.
+std::uint64_t trial_seed(std::uint64_t campaign_seed, std::uint64_t index) {
+  return campaign_seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+}
+
+/// Instantiates the probabilistic dictionary into a concrete schedule.
+/// Draw order is fixed (coupler entries, then node entries, each drawing
+/// the Bernoulli first and the uniform victim second) — it is part of the
+/// campaign's identity, so tests can hand-compute scenarios.
+sim::FaultInjector draw_schedule(const CampaignSpec& spec, util::Rng& rng) {
+  sim::FaultInjector injector;
+  for (const CouplerFaultEntry& e : spec.coupler_faults) {
+    const bool fires = rng.next_below(kPpmScale) < e.ppm;
+    if (!fires) continue;
+    sim::CouplerFaultWindow w;
+    w.channel = e.channel == kAnyTarget
+                    ? static_cast<int>(rng.next_below(spec.num_channels))
+                    : e.channel;
+    w.fault = e.fault;
+    w.from_step = e.from_step;
+    w.to_step = e.to_step;
+    injector.add(w);
+  }
+  for (const NodeFaultEntry& e : spec.node_faults) {
+    const bool fires = rng.next_below(kPpmScale) < e.ppm;
+    if (!fires) continue;
+    sim::NodeFaultWindow w;
+    w.node = e.node == kAnyTarget
+                 ? static_cast<ttpc::NodeId>(1 + rng.next_below(spec.num_nodes))
+                 : static_cast<ttpc::NodeId>(e.node);
+    w.mode = e.mode;
+    w.from_step = e.from_step;
+    w.to_step = e.to_step;
+    injector.add(w);
+  }
+  return injector;
+}
+
+sim::ClusterConfig cluster_config(const CampaignSpec& spec) {
+  sim::ClusterConfig cfg;
+  cfg.protocol.num_nodes = static_cast<std::uint8_t>(spec.num_nodes);
+  cfg.protocol.num_slots = static_cast<std::uint8_t>(spec.num_nodes);
+  cfg.topology = spec.topology;
+  cfg.num_channels = static_cast<int>(spec.num_channels);
+  cfg.guardian.authority = spec.authority;
+  cfg.keep_log = false;  // statistical runs never replay the event log
+  return cfg;
+}
+
+}  // namespace
+
+bool trial_fails(const CampaignSpec& spec, std::uint64_t trial_index) {
+  util::Rng rng(trial_seed(spec.seed, trial_index));
+  sim::Cluster cluster(cluster_config(spec), draw_schedule(spec, rng));
+  switch (spec.criterion) {
+    case Criterion::kAllActiveReached:
+      return !cluster.run_until_all_healthy_active(spec.steps);
+    case Criterion::kNoHealthyCliqueFreeze:
+      cluster.run(spec.steps);
+      return cluster.healthy_clique_frozen() > 0;
+  }
+  return false;
+}
+
+bool stop_rule_met(const CampaignSpec& spec, const Estimate& est) {
+  const double scale = static_cast<double>(kPpmScale);
+  const double bound = static_cast<double>(spec.fail_bound_ppm) / scale;
+  if (est.half_width() * scale <= static_cast<double>(spec.epsilon_ppm)) {
+    return true;
+  }
+  // The interval cleared the verdict boundary: more trials cannot change
+  // the answer, only narrow the figure.
+  return est.ci_high <= bound || est.ci_low > bound;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
+                            const util::CancelToken* cancel,
+                            const ProgressFn& progress) {
+  TTA_CHECK(spec.validate().empty());
+  const auto started = std::chrono::steady_clock::now();
+
+  CampaignResult result;
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;
+  std::vector<std::uint8_t> outcomes;
+
+  while (trials < spec.max_trials) {
+    if (cancel && cancel->cancelled()) {
+      result.cancelled = true;
+      break;
+    }
+    const std::uint64_t batch = std::min<std::uint64_t>(
+        spec.batch_size, spec.max_trials - trials);
+    const std::uint64_t base = trials;
+    outcomes.assign(static_cast<std::size_t>(batch), 0);
+    auto evaluate = [&](std::size_t i) {
+      outcomes[i] = trial_fails(spec, base + i) ? 1 : 0;
+    };
+    if (pool) {
+      pool->run_tasks(static_cast<std::size_t>(batch), evaluate);
+    } else {
+      for (std::size_t i = 0; i < batch; ++i) evaluate(i);
+    }
+    // Accumulate in index order — identical at any thread count.
+    for (std::uint8_t o : outcomes) failures += o;
+    trials += batch;
+    ++result.batches;
+
+    result.estimate = wilson_estimate(failures, trials);
+    if (progress) progress(BatchUpdate{result.batches, result.estimate});
+    if (trials >= spec.min_trials && stop_rule_met(spec, result.estimate)) {
+      result.conclusive = true;
+      break;
+    }
+  }
+  if (result.batches == 0) result.estimate = wilson_estimate(0, 0);
+
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
+  return result;
+}
+
+}  // namespace tta::campaign

@@ -1,0 +1,60 @@
+// Monte Carlo campaign execution over sim::Cluster.
+//
+// Determinism contract: every trial's outcome is a pure function of
+// (spec, trial_index) — each trial owns a counter-based RNG stream seeded
+// from the campaign seed mixed with its index, so trial i draws the same
+// fault instantiation whether it runs on the calling thread, a 2-thread
+// pool, or a 64-thread pool. Trials are scored in fixed-size batches and
+// the stopping rule (Wilson half-width <= epsilon, or the interval clearing
+// the fail bound) is evaluated only at batch boundaries over counts
+// accumulated in index order; the trial count, failure count, and estimate
+// of a campaign are therefore bit-identical at any thread count. Pinned by
+// tests/campaign_runner_test.cpp.
+#pragma once
+
+#include <functional>
+
+#include "campaign/estimate.h"
+#include "campaign/spec.h"
+#include "util/cancel_token.h"
+#include "util/thread_pool.h"
+
+namespace tta::campaign {
+
+/// Snapshot delivered after every completed batch (progress streaming).
+struct BatchUpdate {
+  std::uint64_t batches = 0;  ///< batches completed so far (1-based)
+  Estimate estimate;          ///< over all trials scored so far
+};
+
+using ProgressFn = std::function<void(const BatchUpdate&)>;
+
+struct CampaignResult {
+  Estimate estimate;
+  std::uint64_t batches = 0;
+  /// The stopping rule was satisfied: the estimate answers the query. A
+  /// campaign that exhausts max_trials without reaching epsilon (and
+  /// without the interval clearing the fail bound) is NOT conclusive.
+  bool conclusive = false;
+  bool cancelled = false;  ///< cancel token tripped at a batch boundary
+  double seconds = 0.0;    ///< wall time
+};
+
+/// Evaluates one trial: instantiates the fault dictionary with the trial's
+/// private RNG stream, runs the cluster for spec.steps slots, scores the
+/// criterion. Pure function of (spec, trial_index); exposed for tests and
+/// benches.
+bool trial_fails(const CampaignSpec& spec, std::uint64_t trial_index);
+
+/// True once `est` satisfies the spec's stopping rule (interval narrower
+/// than epsilon, or conclusively on one side of the fail bound).
+bool stop_rule_met(const CampaignSpec& spec, const Estimate& est);
+
+/// Runs the campaign. `pool` == nullptr runs trials sequentially on the
+/// calling thread; results are identical either way. `progress` (optional)
+/// is invoked on the calling thread after every batch.
+CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
+                            const util::CancelToken* cancel = nullptr,
+                            const ProgressFn& progress = nullptr);
+
+}  // namespace tta::campaign

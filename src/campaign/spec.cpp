@@ -1,0 +1,261 @@
+#include "campaign/spec.h"
+
+#include <cstdio>
+
+namespace tta::campaign {
+
+const char* to_string(Criterion criterion) {
+  switch (criterion) {
+    case Criterion::kAllActiveReached: return "all_active";
+    case Criterion::kNoHealthyCliqueFreeze: return "no_healthy_freeze";
+  }
+  return "?";
+}
+
+std::string CampaignSpec::validate() const {
+  if (num_nodes < 2 || num_nodes > 16) {
+    return "campaign nodes must be in [2, 16]";
+  }
+  if (num_channels < 1 || num_channels > 2) {
+    return "campaign channels must be 1 or 2";
+  }
+  if (steps == 0) return "campaign steps must be > 0";
+  if (batch_size == 0) return "campaign batch must be > 0";
+  if (max_trials == 0) return "campaign max_trials must be > 0";
+  if (min_trials > max_trials) return "campaign min_trials > max_trials";
+  if (epsilon_ppm == 0 || epsilon_ppm > kPpmScale) {
+    return "campaign epsilon_ppm must be in [1, 1000000]";
+  }
+  if (fail_bound_ppm > kPpmScale) {
+    return "campaign fail_bound_ppm must be <= 1000000";
+  }
+  if (coupler_faults.empty() && node_faults.empty()) {
+    return "campaign fault dictionary is empty";
+  }
+  for (const CouplerFaultEntry& e : coupler_faults) {
+    if (e.channel != kAnyTarget &&
+        (e.channel < 0 || e.channel >= static_cast<std::int32_t>(num_channels))) {
+      return "coupler fault channel out of range";
+    }
+    if (e.fault == guardian::CouplerFault::kNone) {
+      return "coupler fault entry must name a fault";
+    }
+    if (e.ppm > kPpmScale) return "coupler fault ppm > 1000000";
+    if (e.to_step < e.from_step) return "coupler fault window is empty";
+  }
+  for (const NodeFaultEntry& e : node_faults) {
+    if (e.node != kAnyTarget &&
+        (e.node < 1 || e.node > static_cast<std::int32_t>(num_nodes))) {
+      return "node fault id out of range";
+    }
+    if (e.mode == sim::NodeFaultMode::kNone) {
+      return "node fault entry must name a mode";
+    }
+    if (e.ppm > kPpmScale) return "node fault ppm > 1000000";
+    if (e.to_step < e.from_step) return "node fault window is empty";
+  }
+  return {};
+}
+
+void CampaignSpec::append_canonical_bytes(std::vector<std::uint8_t>* out) const {
+  auto u8 = [out](std::uint8_t v) { out->push_back(v); };
+  auto u32 = [out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  auto u64 = [out](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  // kAnyTarget (-1) encodes as 0xff; concrete targets fit a byte.
+  auto target = [&u8](std::int32_t t) {
+    u8(t == kAnyTarget ? 0xff : static_cast<std::uint8_t>(t));
+  };
+
+  u8(static_cast<std::uint8_t>(num_nodes));
+  u8(static_cast<std::uint8_t>(num_channels));
+  u8(static_cast<std::uint8_t>(topology));
+  u8(static_cast<std::uint8_t>(authority));
+  u8(static_cast<std::uint8_t>(criterion));
+  u64(steps);
+  u64(seed);
+  u32(min_trials);
+  u32(max_trials);
+  u32(batch_size);
+  u32(epsilon_ppm);
+  u32(fail_bound_ppm);
+  u8(static_cast<std::uint8_t>(coupler_faults.size()));
+  for (const CouplerFaultEntry& e : coupler_faults) {
+    target(e.channel);
+    u8(static_cast<std::uint8_t>(e.fault));
+    u32(e.ppm);
+    u64(e.from_step);
+    u64(e.to_step);
+  }
+  u8(static_cast<std::uint8_t>(node_faults.size()));
+  for (const NodeFaultEntry& e : node_faults) {
+    target(e.node);
+    u8(static_cast<std::uint8_t>(e.mode));
+    u32(e.ppm);
+    u64(e.from_step);
+    u64(e.to_step);
+  }
+}
+
+namespace {
+
+constexpr sim::NodeFaultMode kAllNodeModes[] = {
+    sim::NodeFaultMode::kSilent,
+    sim::NodeFaultMode::kBabbling,
+    sim::NodeFaultMode::kMasqueradeColdStart,
+    sim::NodeFaultMode::kBadCState,
+    sim::NodeFaultMode::kSosValue,
+    sim::NodeFaultMode::kSosTime,
+    sim::NodeFaultMode::kClockDrift,
+    sim::NodeFaultMode::kClockJump,
+};
+
+bool parse_u64_field(const std::string& v, std::uint64_t* out) {
+  if (v.empty()) return false;
+  std::uint64_t acc = 0;
+  for (char c : v) {
+    if (c < '0' || c > '9') return false;
+    acc = acc * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = acc;
+  return true;
+}
+
+/// Splits `text` on `sep`, keeping empty pieces (they are grammar errors
+/// the caller reports with context).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool parse_target(const std::string& v, std::int32_t* out) {
+  if (v == "*") {
+    *out = kAnyTarget;
+    return true;
+  }
+  std::uint64_t n = 0;
+  if (!parse_u64_field(v, &n) || n > 16) return false;
+  *out = static_cast<std::int32_t>(n);
+  return true;
+}
+
+bool parse_entry(const std::string& entry, CampaignSpec* spec,
+                 std::string* error) {
+  auto fail = [error, &entry](const char* what) {
+    if (error) *error = std::string(what) + " in fault entry \"" + entry + "\"";
+    return false;
+  };
+
+  // Optional trailing "@from-to" window.
+  std::string body = entry;
+  std::uint64_t from = 0, to = UINT64_MAX;
+  if (std::size_t at = entry.find('@'); at != std::string::npos) {
+    body = entry.substr(0, at);
+    const std::string window = entry.substr(at + 1);
+    const std::size_t dash = window.find('-');
+    if (dash == std::string::npos) return fail("expected @from-to window");
+    if (!parse_u64_field(window.substr(0, dash), &from) ||
+        !parse_u64_field(window.substr(dash + 1), &to)) {
+      return fail("bad step window");
+    }
+  }
+
+  const std::vector<std::string> parts = split(body, ':');
+  if (parts.size() != 4) return fail("expected target:where:mode:ppm");
+
+  std::int32_t where = 0;
+  if (!parse_target(parts[1], &where)) return fail("bad target");
+  std::uint64_t ppm = 0;
+  if (!parse_u64_field(parts[3], &ppm) || ppm > kPpmScale) {
+    return fail("bad ppm");
+  }
+
+  if (parts[0] == "coupler") {
+    CouplerFaultEntry e;
+    e.channel = where;
+    e.ppm = static_cast<std::uint32_t>(ppm);
+    e.from_step = from;
+    e.to_step = to;
+    bool known = false;
+    for (guardian::CouplerFault f : guardian::kAllCouplerFaults) {
+      if (f != guardian::CouplerFault::kNone &&
+          parts[2] == guardian::to_string(f)) {
+        e.fault = f;
+        known = true;
+      }
+    }
+    if (!known) return fail("unknown coupler fault");
+    spec->coupler_faults.push_back(e);
+    return true;
+  }
+  if (parts[0] == "node") {
+    NodeFaultEntry e;
+    e.node = where;
+    e.ppm = static_cast<std::uint32_t>(ppm);
+    e.from_step = from;
+    e.to_step = to;
+    bool known = false;
+    for (sim::NodeFaultMode m : kAllNodeModes) {
+      if (parts[2] == sim::to_string(m)) {
+        e.mode = m;
+        known = true;
+      }
+    }
+    if (!known) return fail("unknown node fault mode");
+    spec->node_faults.push_back(e);
+    return true;
+  }
+  return fail("unknown fault target kind");
+}
+
+void append_window(std::string* out, std::uint64_t from, std::uint64_t to) {
+  if (from == 0 && to == UINT64_MAX) return;
+  *out += "@" + std::to_string(from) + "-" + std::to_string(to);
+}
+
+std::string target_string(std::int32_t t) {
+  return t == kAnyTarget ? "*" : std::to_string(t);
+}
+
+}  // namespace
+
+bool parse_fault_dictionary(const std::string& text, CampaignSpec* spec,
+                            std::string* error) {
+  for (const std::string& entry : split(text, ';')) {
+    if (!parse_entry(entry, spec, error)) return false;
+  }
+  return true;
+}
+
+std::string format_fault_dictionary(const CampaignSpec& spec) {
+  std::string out;
+  for (const CouplerFaultEntry& e : spec.coupler_faults) {
+    if (!out.empty()) out += ";";
+    out += "coupler:" + target_string(e.channel) + ":" +
+           guardian::to_string(e.fault) + ":" + std::to_string(e.ppm);
+    append_window(&out, e.from_step, e.to_step);
+  }
+  for (const NodeFaultEntry& e : spec.node_faults) {
+    if (!out.empty()) out += ";";
+    out += "node:" + target_string(e.node) + ":" + sim::to_string(e.mode) +
+           ":" + std::to_string(e.ppm);
+    append_window(&out, e.from_step, e.to_step);
+  }
+  return out;
+}
+
+}  // namespace tta::campaign

@@ -1,0 +1,119 @@
+// Declarative description of one Monte Carlo fault campaign.
+//
+// A campaign asks: over a parameterized N-node / M-channel cluster with a
+// *probabilistic* fault dictionary, how likely is it that a run violates
+// the chosen correctness criterion? Each trial instantiates the dictionary
+// by independent Bernoulli draws (one per entry), runs the full-fidelity
+// simulator (sim::Cluster) for a fixed number of TDMA slots, and scores
+// pass/fail; the campaign aggregates trials into a failure-probability
+// estimate with a Wilson confidence interval (campaign/estimate.h).
+//
+// Probabilities are carried as integer parts-per-million, never doubles:
+// ppm values have one canonical byte encoding (the job digest depends on
+// it) and admit exact Bernoulli draws via util::Rng::next_below(1e6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "guardian/authority.h"
+#include "sim/fault_injector.h"
+#include "sim/topology.h"
+
+namespace tta::campaign {
+
+/// Probability denominator: entries draw with probability ppm / 1e6.
+inline constexpr std::uint32_t kPpmScale = 1'000'000;
+
+/// Pass/fail criterion scored at the end of each trial.
+enum class Criterion : std::uint8_t {
+  /// Failure iff the healthy nodes did not all reach the active state
+  /// within the trial's step budget (startup / integration failure).
+  kAllActiveReached = 0,
+  /// Failure iff any *healthy* node was ever forced out of the cluster by
+  /// a clique-avoidance error — the paper's fault-propagation metric.
+  kNoHealthyCliqueFreeze = 1,
+};
+
+const char* to_string(Criterion criterion);
+
+/// One probabilistic coupler/channel fault. With probability `ppm` the
+/// trial schedules `fault` on `channel` for steps [from_step, to_step].
+struct CouplerFaultEntry {
+  /// Channel index, or kAnyTarget to draw uniformly over the cluster's
+  /// channels when the entry fires.
+  std::int32_t channel = 0;
+  guardian::CouplerFault fault = guardian::CouplerFault::kSilence;
+  std::uint32_t ppm = 0;
+  std::uint64_t from_step = 0;
+  std::uint64_t to_step = UINT64_MAX;  ///< inclusive
+};
+
+/// One probabilistic node fault; `node` is 1-based or kAnyTarget.
+struct NodeFaultEntry {
+  std::int32_t node = 1;
+  sim::NodeFaultMode mode = sim::NodeFaultMode::kSilent;
+  std::uint32_t ppm = 0;
+  std::uint64_t from_step = 0;
+  std::uint64_t to_step = UINT64_MAX;
+};
+
+/// Sentinel target: draw the victim uniformly when the entry fires.
+inline constexpr std::int32_t kAnyTarget = -1;
+
+struct CampaignSpec {
+  // ---- Cluster shape (the parameterized axes).
+  std::uint32_t num_nodes = 4;
+  std::uint32_t num_channels = 2;  ///< couplers / buses, 1 or 2
+  sim::Topology topology = sim::Topology::kStar;
+  guardian::Authority authority = guardian::Authority::kFullShifting;
+
+  // ---- Per-trial run.
+  Criterion criterion = Criterion::kNoHealthyCliqueFreeze;
+  std::uint64_t steps = 64;  ///< TDMA slots simulated per trial
+
+  // ---- Sampling plan. Trials are scored in batches; stopping decisions
+  // happen only at batch boundaries so the trial count is a pure function
+  // of the spec, independent of thread count.
+  std::uint64_t seed = 1;          ///< semantic: re-keys the estimate
+  std::uint32_t min_trials = 64;
+  std::uint32_t max_trials = 100'000;
+  std::uint32_t batch_size = 64;
+  /// Stop once the Wilson interval's half-width is <= epsilon (in ppm).
+  std::uint32_t epsilon_ppm = 50'000;
+  /// The verdict boundary: the campaign concludes HOLDS iff the estimated
+  /// failure probability is <= fail_bound_ppm / 1e6.
+  std::uint32_t fail_bound_ppm = 500'000;
+
+  // ---- Probabilistic fault dictionary. Entries draw independently, in
+  // declaration order (couplers first) — the draw schedule is part of the
+  // campaign's identity.
+  std::vector<CouplerFaultEntry> coupler_faults;
+  std::vector<NodeFaultEntry> node_faults;
+
+  /// Non-empty error string when the spec is internally inconsistent
+  /// (node/channel bounds, ppm ranges, targets, batch plan).
+  std::string validate() const;
+
+  /// Appends this spec's canonical little-endian byte encoding — every
+  /// semantic field in fixed order and width — to `out`. Stable across
+  /// processes/builds; svc::JobSpec::canonical_bytes() embeds it under the
+  /// campaign format-version byte.
+  void append_canonical_bytes(std::vector<std::uint8_t>* out) const;
+};
+
+/// Parses the compact fault-dictionary grammar used by the JSON job line's
+/// "faults" key: ';'-separated entries, each
+///   coupler:<channel|*>:<fault>:<ppm>[@<from>-<to>]
+///   node:<id|*>:<mode>:<ppm>[@<from>-<to>]
+/// e.g. "coupler:0:silence:141000;node:*:clock_drift:250000@0-47".
+/// Appends to spec->coupler_faults / spec->node_faults. Returns false and
+/// fills *error on malformed input.
+bool parse_fault_dictionary(const std::string& text, CampaignSpec* spec,
+                            std::string* error);
+
+/// Inverse of parse_fault_dictionary (round-trips exactly).
+std::string format_fault_dictionary(const CampaignSpec& spec);
+
+}  // namespace tta::campaign

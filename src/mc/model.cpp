@@ -21,6 +21,7 @@ TtpcStarModel::TtpcStarModel(const ModelConfig& config)
       controller_(config.protocol),
       coupler_(config.authority) {
   TTA_CHECK(config_.protocol.num_nodes <= kMaxNodes);
+  TTA_CHECK(config_.num_couplers >= 1 && config_.num_couplers <= 2);
 
   // Build the static fault lattice: every (f0, f1) pair with at most one
   // coupler faulty and each fault possible for this authority level. The
@@ -38,7 +39,8 @@ TtpcStarModel::TtpcStarModel(const ModelConfig& config)
   }
   for (guardian::CouplerFault f : singles) {
     fault_pairs_.push_back(FaultPair{f, guardian::CouplerFault::kNone});
-    if (f != guardian::CouplerFault::kNone) {
+    // A single-coupler cluster has no channel 1 to fault.
+    if (f != guardian::CouplerFault::kNone && config_.num_couplers == 2) {
       fault_pairs_.push_back(FaultPair{guardian::CouplerFault::kNone, f});
     }
   }
@@ -81,9 +83,12 @@ std::pair<WorldState, TransitionLabel> TtpcStarModel::apply(
   }
   ttpc::ChannelFrame merged = guardian::AbstractCoupler::merge_transmissions(sent);
 
-  // 2. Coupler transfer (updates the frame buffers in `next`).
+  // 2. Coupler transfer (updates the frame buffers in `next`). A missing
+  // coupler 1 carries permanent silence and keeps no buffer state.
   label.ch0 = coupler_.transfer(merged, pair.f0, next.couplers[0]);
-  label.ch1 = coupler_.transfer(merged, pair.f1, next.couplers[1]);
+  label.ch1 = config_.num_couplers == 2
+                  ? coupler_.transfer(merged, pair.f1, next.couplers[1])
+                  : ttpc::ChannelFrame{};
   if (pair.f0 == guardian::CouplerFault::kOutOfSlot ||
       pair.f1 == guardian::CouplerFault::kOutOfSlot) {
     if (next.oos_errors_used < 7) ++next.oos_errors_used;
@@ -156,9 +161,10 @@ util::PackedState TtpcStarModel::pack(const WorldState& s) const {
     w.write(ns.listen_timeout, kTimeoutBits);
     w.write_bool(ns.ever_integrated);
   }
-  for (const guardian::CouplerState& c : s.couplers) {
-    w.write(static_cast<std::uint64_t>(c.buffered_frame), kKindBits);
-    w.write(c.buffered_id, kSlotBits);
+  for (std::size_t c = 0; c < config_.num_couplers; ++c) {
+    w.write(static_cast<std::uint64_t>(s.couplers[c].buffered_frame),
+            kKindBits);
+    w.write(s.couplers[c].buffered_id, kSlotBits);
   }
   w.write(s.oos_errors_used, kOosBits);
   return p;
@@ -169,8 +175,8 @@ unsigned TtpcStarModel::packed_bits() const {
   const unsigned per_node = kStateBits + kSlotBits + kCounterBits +
                             kCounterBits + 1 + kTimeoutBits + 1;
   const unsigned per_coupler = kKindBits + kSlotBits;
-  return static_cast<unsigned>(num_nodes()) * per_node + 2 * per_coupler +
-         kOosBits;
+  return static_cast<unsigned>(num_nodes()) * per_node +
+         config_.num_couplers * per_coupler + kOosBits;
 }
 
 WorldState TtpcStarModel::unpack(const util::PackedState& p) const {
@@ -186,9 +192,11 @@ WorldState TtpcStarModel::unpack(const util::PackedState& p) const {
     ns.listen_timeout = static_cast<std::uint8_t>(r.read(kTimeoutBits));
     ns.ever_integrated = r.read_bool();
   }
-  for (guardian::CouplerState& c : s.couplers) {
-    c.buffered_frame = static_cast<ttpc::FrameKind>(r.read(kKindBits));
-    c.buffered_id = static_cast<ttpc::SlotNumber>(r.read(kSlotBits));
+  for (std::size_t c = 0; c < config_.num_couplers; ++c) {
+    s.couplers[c].buffered_frame =
+        static_cast<ttpc::FrameKind>(r.read(kKindBits));
+    s.couplers[c].buffered_id =
+        static_cast<ttpc::SlotNumber>(r.read(kSlotBits));
   }
   s.oos_errors_used = static_cast<std::uint8_t>(r.read(kOosBits));
   return s;

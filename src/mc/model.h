@@ -34,6 +34,13 @@ struct ModelConfig {
   ttpc::ProtocolConfig protocol;  ///< defaults: 4 nodes, restricted choices
   guardian::Authority authority = guardian::Authority::kFullShifting;
 
+  /// Star couplers in the composition (1 or 2). The paper's cluster is the
+  /// dual-coupler star; the single-coupler point removes channel 1 entirely
+  /// (permanent silence, no coupler-1 faults, no coupler-1 state), which
+  /// both shrinks the packed state and drops channel redundancy — the
+  /// degraded axis the campaign subsystem sweeps.
+  unsigned num_couplers = 2;
+
   /// Budget of out_of_slot replays across a run (paper Section 5.2 limits
   /// this to 1 for the narrated trace). Saturates at 7.
   unsigned max_out_of_slot_errors = 7;

@@ -9,6 +9,7 @@ Cluster::Cluster(const ClusterConfig& config, FaultInjector injector)
       injector_(std::move(injector)),
       medl_(ttpc::Medl::uniform(config.protocol, config.medl_frame_bits)) {
   config_.protocol.validate();
+  TTA_CHECK(config_.num_channels >= 1 && config_.num_channels <= 2);
   const std::size_t n = config_.protocol.num_nodes;
 
   if (config_.power_on_steps.empty()) {
@@ -35,7 +36,7 @@ Cluster::Cluster(const ClusterConfig& config, FaultInjector injector)
   }
 
   if (config_.topology == Topology::kStar) {
-    for (int ch = 0; ch < 2; ++ch) {
+    for (int ch = 0; ch < config_.num_channels; ++ch) {
       hubs_.emplace_back(config_.guardian, medl_);
       hub_trackers_.emplace_back(config_.protocol);
     }
@@ -170,20 +171,22 @@ void Cluster::step() {
     transmissions.push_back(nodes_[i].transmit(fault, step_));
   }
 
-  // 2. Channel arbitration.
+  // 2. Channel arbitration. A single-channel cluster leaves channel 1 at
+  // permanent silence (the default ChannelOutput).
+  const bool dual = config_.num_channels == 2;
   ChannelOutput ch0, ch1;
   if (config_.topology == Topology::kStar) {
     ch0 = arbitrate_star(0, transmissions);
-    ch1 = arbitrate_star(1, transmissions);
+    if (dual) ch1 = arbitrate_star(1, transmissions);
   } else {
     ch0 = arbitrate_bus(0, transmissions);
-    ch1 = arbitrate_bus(1, transmissions);
+    if (dual) ch1 = arbitrate_bus(1, transmissions);
   }
 
   // 3. Guardians' slot trackers learn from this slot's traffic.
   if (config_.topology == Topology::kStar) {
     hub_trackers_[0].observe(ch0.content.frame, ch0.content.frame);
-    hub_trackers_[1].observe(ch1.content.frame, ch1.content.frame);
+    if (dual) hub_trackers_[1].observe(ch1.content.frame, ch1.content.frame);
   } else {
     for (auto& tracker : local_trackers_) {
       tracker.observe(ch0.content.frame, ch1.content.frame);

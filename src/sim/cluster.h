@@ -32,8 +32,13 @@ namespace tta::sim {
 struct ClusterConfig {
   ttpc::ProtocolConfig protocol;
   Topology topology = Topology::kStar;
-  guardian::GuardianConfig guardian;  ///< used by both hubs (star only)
+  guardian::GuardianConfig guardian;  ///< used by every hub (star only)
   std::uint32_t medl_frame_bits = 76;
+
+  /// Replicated channels (star couplers / buses). TTP/C specifies 2; a
+  /// single-channel cluster is the degraded-redundancy point the campaign
+  /// subsystem sweeps. Channel 1 carries permanent silence when absent.
+  int num_channels = 2;
 
   /// Per-node power-on step (freeze -> init). Defaults to staggered power-on
   /// (node i at step i-1) when empty.

@@ -18,6 +18,10 @@ const char* to_string(NodeFaultMode mode) {
       return "sos_value";
     case NodeFaultMode::kSosTime:
       return "sos_time";
+    case NodeFaultMode::kClockDrift:
+      return "clock_drift";
+    case NodeFaultMode::kClockJump:
+      return "clock_jump";
   }
   return "?";
 }

@@ -24,7 +24,15 @@ enum class NodeFaultMode : std::uint8_t {
   kMasqueradeColdStart,  ///< cold-start frames claiming another node's slot
   kBadCState,            ///< frames carrying an incorrect C-state position
   kSosValue,             ///< marginal signal amplitude (value-domain SOS)
-  kSosTime               ///< marginal frame timing (time-domain SOS)
+  kSosTime,              ///< marginal frame timing (time-domain SOS)
+  /// WALDEN-style clock desynchronization: the node's local clock drifts,
+  /// so its frame timing sweeps deterministically across the receivers'
+  /// acceptance windows — some slots are marginal (receivers disagree),
+  /// some clearly late. The time-domain analogue of a wandering oscillator.
+  kClockDrift,
+  /// A clock step change: every frame lands at a fixed large offset well
+  /// outside all acceptance windows (all receivers see invalid traffic).
+  kClockJump
 };
 
 const char* to_string(NodeFaultMode mode);

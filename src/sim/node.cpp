@@ -61,6 +61,8 @@ SimFrame SimNode::transmit(NodeFaultMode fault, std::uint64_t step) const {
       break;
     case NodeFaultMode::kSosValue:
     case NodeFaultMode::kSosTime:
+    case NodeFaultMode::kClockDrift:
+    case NodeFaultMode::kClockJump:
       break;  // frame content fine; attrs handled below
   }
   if (f.kind == ttpc::FrameKind::kNone) return out;
@@ -76,6 +78,22 @@ SimFrame SimNode::transmit(NodeFaultMode fault, std::uint64_t step) const {
       break;
     case NodeFaultMode::kSosTime:
       out.attrs = profile_.sos_time;
+      break;
+    case NodeFaultMode::kClockDrift:
+      // A drifting local clock: frame timing sweeps a deterministic
+      // sawtooth across the receivers' window spread (wire::
+      // spread_tolerances tightens windows per node), so some slots are
+      // accepted by everyone, some by nobody, and some split the cluster —
+      // exactly the desynchronization scenarios of the WALDEN clock-sync
+      // analysis, expressed in the time domain the guardian can reshape.
+      out.attrs = profile_.nominal;
+      out.attrs.timing_offset_ns = 920.0 + 10.0 * static_cast<double>(step % 11);
+      break;
+    case NodeFaultMode::kClockJump:
+      // A clock step change: every frame lands far outside all acceptance
+      // windows, so the whole cluster sees invalid traffic in this slot.
+      out.attrs = profile_.nominal;
+      out.attrs.timing_offset_ns = 1500.0;
       break;
     default:
       out.attrs = profile_.nominal;

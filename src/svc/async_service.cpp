@@ -115,6 +115,9 @@ JobHandle Session::submit(const JobSpec& spec, std::int32_t priority) {
     record.spec = spec;
     record.digest = digest;
     record.state = JobState::kQueued;
+    if (spec.kind == JobKind::kCampaign) {
+      record.board = std::make_shared<CampaignProgressBoard>();
+    }
     jobs_.emplace(seq, std::move(record));
     open_.fetch_add(1, std::memory_order_relaxed);
     metrics.jobs_admitted.fetch_add(1, std::memory_order_relaxed);
@@ -184,6 +187,26 @@ std::optional<JobProgress> Session::progress(const JobHandle& handle) const {
   JobProgress progress;
   progress.state = record.state;
   progress.attempt = record.attempt;
+  if (record.board) {
+    const CampaignProgressBoard& board = *record.board;
+    progress.has_campaign = true;
+    progress.campaign_trials =
+        board.trials.load(std::memory_order_relaxed);
+    progress.campaign_failures =
+        board.failures.load(std::memory_order_relaxed);
+    progress.campaign_batches =
+        board.batches.load(std::memory_order_relaxed);
+    progress.campaign_p_hat =
+        static_cast<double>(board.p_ppm.load(std::memory_order_relaxed)) /
+        1e6;
+    progress.campaign_ci_low =
+        static_cast<double>(board.low_ppm.load(std::memory_order_relaxed)) /
+        1e6;
+    progress.campaign_ci_high =
+        static_cast<double>(
+            board.high_ppm.load(std::memory_order_relaxed)) /
+        1e6;
+  }
   if (record.state == JobState::kRunning) {
     if (const std::string path = service_->checkpoint_path(record.spec);
         !path.empty()) {
@@ -301,6 +324,7 @@ void AsyncService::worker_loop() {
 void AsyncService::run_entry(const JobQueue::Entry& entry,
                              const std::shared_ptr<Session>& session) {
   JobSpec attempt_spec;
+  std::shared_ptr<CampaignProgressBoard> board;
   {
     std::lock_guard<std::mutex> lock(session->mu_);
     auto it = session->jobs_.find(entry.sequence);
@@ -312,6 +336,7 @@ void AsyncService::run_entry(const JobQueue::Entry& entry,
     record.state = JobState::kRunning;
     ++session->running_;
     attempt_spec = record.spec;
+    board = record.board;
   }
 
   const unsigned max_attempts = std::max(1u, config_.retry.max_attempts);
@@ -338,7 +363,7 @@ void AsyncService::run_entry(const JobQueue::Entry& entry,
       record.active_token = &token;
     }
 
-    result = process(attempt_spec, entry.admitted_at, &token);
+    result = process(attempt_spec, entry.admitted_at, &token, board.get());
 
     bool cancel_requested = false;
     {
@@ -392,7 +417,7 @@ void AsyncService::run_entry(const JobQueue::Entry& entry,
 
 JobResult AsyncService::process(
     const JobSpec& spec, std::chrono::steady_clock::time_point admitted_at,
-    const util::CancelToken* cancel) {
+    const util::CancelToken* cancel, CampaignProgressBoard* board) {
   const auto dispatched_at = std::chrono::steady_clock::now();
   const double queue_seconds = seconds_between(admitted_at, dispatched_at);
   metrics_.queue_latency.record_seconds(queue_seconds);
@@ -415,8 +440,11 @@ JobResult AsyncService::process(
   metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
 
   // LRU missed; the on-disk store may still know the answer (an earlier
-  // process computed it, or this one before a crash / restart).
-  if (persistent_ && persistent_->lookup(spec, &result)) {
+  // process computed it, or this one before a crash / restart). The
+  // persistent record format carries verification results only, so
+  // campaign jobs skip it (their conclusive estimates live in the LRU).
+  if (spec.kind == JobKind::kVerify && persistent_ &&
+      persistent_->lookup(spec, &result)) {
     metrics_.persistent_hits.fetch_add(1, std::memory_order_relaxed);
     cache_.insert(key, result);  // promote for the rest of the batch
     // A crash can leave the job's wavefront behind even though its verdict
@@ -429,10 +457,20 @@ JobResult AsyncService::process(
     return result;
   }
 
-  result = execute(spec, cancel);
+  result = execute(spec, cancel, board);
   result.digest = key;
   result.queue_seconds = queue_seconds;
 
+  if (result.has_campaign) {
+    metrics_.campaigns_run.fetch_add(1, std::memory_order_relaxed);
+    metrics_.campaign_trials.fetch_add(result.campaign.trials,
+                                       std::memory_order_relaxed);
+    metrics_.campaign_batches.fetch_add(result.campaign.batches,
+                                        std::memory_order_relaxed);
+    if (result.campaign.conclusive) {
+      metrics_.campaigns_conclusive.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   metrics_.states_explored.fetch_add(result.stats.states_explored,
                                      std::memory_order_relaxed);
   metrics_.transitions.fetch_add(result.stats.transitions,
@@ -461,7 +499,9 @@ JobResult AsyncService::process(
   // divergence is a defect report, not an answer.
   if (conclusive(result.verdict)) {
     cache_.insert(key, result);
-    if (persistent_) persistent_->insert(spec, result);
+    if (spec.kind == JobKind::kVerify && persistent_) {
+      persistent_->insert(spec, result);
+    }
     if (const std::string path = checkpoint_path(spec); !path.empty()) {
       mc::remove_checkpoint(path);  // the wavefront served its purpose
     }
@@ -470,7 +510,30 @@ JobResult AsyncService::process(
 }
 
 JobResult AsyncService::execute(const JobSpec& spec,
-                                const util::CancelToken* cancel) const {
+                                const util::CancelToken* cancel,
+                                CampaignProgressBoard* board) const {
+  if (spec.kind == JobKind::kCampaign) {
+    campaign::ProgressFn progress;
+    if (board) {
+      progress = [board](const campaign::BatchUpdate& update) {
+        const campaign::Estimate& est = update.estimate;
+        board->trials.store(est.trials, std::memory_order_relaxed);
+        board->failures.store(est.failures, std::memory_order_relaxed);
+        board->p_ppm.store(static_cast<std::uint64_t>(est.p_hat * 1e6),
+                           std::memory_order_relaxed);
+        board->low_ppm.store(static_cast<std::uint64_t>(est.ci_low * 1e6),
+                             std::memory_order_relaxed);
+        board->high_ppm.store(static_cast<std::uint64_t>(est.ci_high * 1e6),
+                              std::memory_order_relaxed);
+        // Advisory snapshot: a racing reader may mix two adjacent
+        // batches' values, which is fine for a progress row. The final
+        // estimate travels in the JobResult, not here.
+        board->batches.store(update.batches, std::memory_order_relaxed);
+      };
+    }
+    return run_campaign_job(spec, config_, cancel, progress);
+  }
+
   JobResult result;
   result.property = spec.property;
 
@@ -503,6 +566,8 @@ JobResult AsyncService::execute(const JobSpec& spec,
 
 std::string AsyncService::checkpoint_path(const JobSpec& spec) const {
   if (config_.checkpoint_dir.empty()) return {};
+  // Campaigns restart from their seed, not a BFS wavefront.
+  if (spec.kind == JobKind::kCampaign) return {};
   // Recoverability carries the full edge list, which the checkpoint format
   // deliberately does not (see mc/checkpoint.h) — it re-executes instead.
   // Redundant compositions refuse checkpoints via supports_checkpoint().

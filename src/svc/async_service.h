@@ -77,6 +77,30 @@ struct JobProgress {
   bool has_bfs_level = false;
   std::uint32_t bfs_level = 0;        ///< next BFS depth to expand
   std::uint64_t checkpoint_states = 0;  ///< visited set size at the barrier
+  /// Campaign jobs: the running estimate as of the last completed batch
+  /// (all zero / [0,1] before the first batch lands). Reading progress
+  /// never blocks the worker — the snapshot is lock-free.
+  bool has_campaign = false;
+  std::uint64_t campaign_trials = 0;
+  std::uint64_t campaign_failures = 0;
+  std::uint64_t campaign_batches = 0;
+  double campaign_p_hat = 0.0;
+  double campaign_ci_low = 0.0;
+  double campaign_ci_high = 1.0;
+};
+
+/// Per-job campaign progress shared between the worker (writer, after each
+/// batch) and Session::progress() (reader). Probabilities are stored as
+/// integer ppm so every field is a relaxed 64-bit atomic; readers may see
+/// a snapshot that straddles a batch boundary, which is harmless for an
+/// advisory progress row.
+struct CampaignProgressBoard {
+  std::atomic<std::uint64_t> trials{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> p_ppm{0};
+  std::atomic<std::uint64_t> low_ppm{0};
+  std::atomic<std::uint64_t> high_ppm{1'000'000};
 };
 
 /// One caller's window onto the service: a private sequence space, result
@@ -145,6 +169,10 @@ class Session {
     /// The running attempt's token; valid only while non-null, guarded by
     /// the session mutex.
     util::CancelToken* active_token = nullptr;
+    /// Campaign jobs only: created at submit, written by the worker after
+    /// every batch, read by progress(). Shared so a racing progress() can
+    /// never outlive the record's board.
+    std::shared_ptr<CampaignProgressBoard> board;
   };
 
   Session(AsyncService* service, std::uint64_t id, std::size_t max_open);
@@ -196,13 +224,15 @@ class AsyncService {
   void run_entry(const JobQueue::Entry& entry,
                  const std::shared_ptr<Session>& session);
   /// Cache probes + engine dispatch + cache fills + metrics, for one
-  /// attempt (unchanged from the pre-session service).
+  /// attempt (unchanged from the pre-session service). `board` (may be
+  /// null) receives per-batch campaign progress.
   JobResult process(const JobSpec& spec,
                     std::chrono::steady_clock::time_point admitted_at,
-                    const util::CancelToken* cancel);
+                    const util::CancelToken* cancel,
+                    CampaignProgressBoard* board);
   /// Engine dispatch through the factory (no cache, no metrics).
-  JobResult execute(const JobSpec& spec,
-                    const util::CancelToken* cancel) const;
+  JobResult execute(const JobSpec& spec, const util::CancelToken* cancel,
+                    CampaignProgressBoard* board) const;
   /// Path of the engine checkpoint for `spec`, or "" when disabled (no
   /// checkpoint_dir, or a recoverability query).
   std::string checkpoint_path(const JobSpec& spec) const;

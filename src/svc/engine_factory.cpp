@@ -1,6 +1,9 @@
 #include "svc/engine_factory.h"
 
+#include <memory>
 #include <utility>
+
+#include "util/thread_pool.h"
 
 namespace tta::svc {
 
@@ -75,6 +78,50 @@ mc::EngineQuery make_engine_query(const JobSpec& spec,
       break;
   }
   return query;
+}
+
+JobResult run_campaign_job(const JobSpec& spec, const ServiceConfig& config,
+                           const util::CancelToken* cancel,
+                           const campaign::ProgressFn& progress) {
+  JobResult result;
+  result.property = spec.property;
+
+  const unsigned threads =
+      spec.threads != 0 ? spec.threads : config.parallel_engine_threads;
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+  result.engine_used =
+      pool ? EngineChoice::kParallel : EngineChoice::kSerial;
+
+  const campaign::CampaignResult run =
+      campaign::run_campaign(spec.campaign, pool.get(), cancel, progress);
+
+  result.has_campaign = true;
+  result.campaign.trials = run.estimate.trials;
+  result.campaign.failures = run.estimate.failures;
+  result.campaign.batches = run.batches;
+  result.campaign.p_hat = run.estimate.p_hat;
+  result.campaign.ci_low = run.estimate.ci_low;
+  result.campaign.ci_high = run.estimate.ci_high;
+  result.campaign.conclusive = run.conclusive;
+
+  // Stats are repurposed minimally: wall time, cancellation, and whether
+  // the sampling plan ran to a conclusive stop. states/transitions stay 0 —
+  // campaign work is counted by the campaign metrics, not the engine ones.
+  result.stats.seconds = run.seconds;
+  result.stats.cancelled = run.cancelled;
+  result.stats.exhausted = run.conclusive;
+
+  if (run.conclusive) {
+    const double bound =
+        static_cast<double>(spec.campaign.fail_bound_ppm) /
+        static_cast<double>(campaign::kPpmScale);
+    result.verdict = run.estimate.p_hat <= bound ? mc::Verdict::kHolds
+                                                 : mc::Verdict::kViolated;
+  } else {
+    result.verdict = mc::Verdict::kInconclusive;
+  }
+  return result;
 }
 
 }  // namespace tta::svc

@@ -9,9 +9,12 @@
 
 #include <memory>
 
+#include "campaign/runner.h"
 #include "mc/engine.h"
+#include "svc/job_result.h"
 #include "svc/job_spec.h"
 #include "svc/service_config.h"
+#include "util/cancel_token.h"
 
 namespace tta::svc {
 
@@ -31,5 +34,17 @@ EngineSelection make_engine(const JobSpec& spec, const ServiceConfig& config);
 /// does not retain a reference to it.
 mc::EngineQuery make_engine_query(const JobSpec& spec,
                                   const mc::TtpcStarModel& model);
+
+/// Runs a campaign-kind JobSpec to a JobResult: resolves the thread count
+/// (spec.threads, else ServiceConfig::parallel_engine_threads; <= 1 runs
+/// sequentially — results are bit-identical either way), drives
+/// campaign::run_campaign, and maps the estimate onto a verdict: a
+/// conclusive campaign concludes kHolds iff the estimated failure
+/// probability is <= fail_bound_ppm, kViolated otherwise; an exhausted or
+/// cancelled campaign stays kInconclusive. `progress` (optional) receives
+/// every per-batch update on the calling thread.
+JobResult run_campaign_job(const JobSpec& spec, const ServiceConfig& config,
+                           const util::CancelToken* cancel,
+                           const campaign::ProgressFn& progress = nullptr);
 
 }  // namespace tta::svc

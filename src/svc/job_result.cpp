@@ -53,11 +53,17 @@ std::string JobOutcome::to_json() const {
 }
 
 std::string config_label(const JobSpec& spec) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%s/n%u/oos%u",
-                guardian::to_string(spec.model.authority),
-                spec.model.protocol.num_nodes,
-                std::min(spec.model.max_out_of_slot_errors, 7u));
+  char buf[64];
+  if (spec.kind == JobKind::kCampaign) {
+    std::snprintf(buf, sizeof buf, "campaign/%s/n%u/m%u",
+                  guardian::to_string(spec.campaign.authority),
+                  spec.campaign.num_nodes, spec.campaign.num_channels);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s/n%u/oos%u",
+                  guardian::to_string(spec.model.authority),
+                  spec.model.protocol.num_nodes,
+                  std::min(spec.model.max_out_of_slot_errors, 7u));
+  }
   return buf;
 }
 
@@ -112,6 +118,20 @@ std::string result_json(const JobSpec& spec, const JobResult& result,
   out += ",\"from_persistent\":" +
          number(std::uint64_t{result.from_persistent});
   out += ",\"resumed\":" + number(std::uint64_t{result.stats.resumed});
+  if (result.has_campaign) {
+    const CampaignEstimate& c = result.campaign;
+    out += ",\"campaign\":{";
+    out += "\"criterion\":\"";
+    out += campaign::to_string(spec.campaign.criterion);
+    out += "\",\"trials\":" + number(c.trials);
+    out += ",\"failures\":" + number(c.failures);
+    out += ",\"batches\":" + number(c.batches);
+    out += ",\"p_hat\":" + number(c.p_hat);
+    out += ",\"ci_low\":" + number(c.ci_low);
+    out += ",\"ci_high\":" + number(c.ci_high);
+    out += ",\"conclusive\":" + number(std::uint64_t{c.conclusive});
+    out += "}";
+  }
   out += ",\"outcome\":" + result.outcome.to_json();
   out += "}";
   return out;

@@ -48,6 +48,21 @@ struct JobOutcome {
   std::string to_json() const;
 };
 
+/// A campaign job's answer: the Monte Carlo failure-probability estimate
+/// with its Wilson interval. Kept as plain counts + doubles (no dependency
+/// on campaign/estimate.h) so job_result stays a leaf of the svc layer.
+struct CampaignEstimate {
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t batches = 0;
+  double p_hat = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 1.0;
+  /// The stopping rule was satisfied (interval narrower than epsilon or
+  /// clear of the fail bound); mirrored into the verdict.
+  bool conclusive = false;
+};
+
 /// Everything the service reports back for one job. For counterexample /
 /// witness queries the full trace is retained so callers can narrate it
 /// with mc::TracePrinter.
@@ -63,6 +78,9 @@ struct JobResult {
   std::vector<mc::TraceStep> trace;  ///< counterexample / witness
   double queue_seconds = 0.0;  ///< admission -> dispatch latency
   JobOutcome outcome;
+  /// Campaign jobs only: the probability estimate behind the verdict.
+  bool has_campaign = false;
+  CampaignEstimate campaign;
 };
 
 /// The full per-job JSON-lines record emitted by tta_verify_batch --stream
@@ -82,7 +100,8 @@ std::string result_json(const JobSpec& spec, const JobResult& result,
 /// client-supplied tags embedded in response lines.
 std::string json_escape(const std::string& raw);
 
-/// The "authority/nN/oosK" config cell used in tables and JSON records.
+/// The "authority/nN/oosK" config cell used in tables and JSON records;
+/// campaign jobs render as "campaign/authority/nN/mM".
 std::string config_label(const JobSpec& spec);
 
 }  // namespace tta::svc

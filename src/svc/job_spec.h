@@ -16,10 +16,23 @@
 #include <string>
 #include <vector>
 
+#include "campaign/spec.h"
 #include "mc/checker.h"
 #include "mc/model.h"
 
 namespace tta::svc {
+
+/// What kind of work a JobSpec describes. Verification jobs run a model
+/// checker to an exact verdict; campaign jobs run a Monte Carlo fault
+/// campaign (src/campaign) to a probability estimate with a confidence
+/// interval. Both kinds flow through the same queue, sessions, caches, and
+/// wire protocol.
+enum class JobKind : std::uint8_t {
+  kVerify = 0,
+  kCampaign = 1,
+};
+
+const char* to_string(JobKind kind);
 
 /// The queries the service can answer, all in terms of the paper's model.
 enum class Property : std::uint8_t {
@@ -51,10 +64,16 @@ const char* to_string(Property property);
 const char* to_string(EngineChoice engine);
 
 struct JobSpec {
+  JobKind kind = JobKind::kVerify;
+
+  // ---- Verification kind (ignored for campaigns).
   mc::ModelConfig model;
   Property property = Property::kNoIntegratedNodeFreezes;
   EngineChoice engine = EngineChoice::kAuto;
   std::uint64_t max_states = 50'000'000;
+
+  // ---- Campaign kind (ignored for verification).
+  campaign::CampaignSpec campaign;
 
   /// Soft deadline in milliseconds; 0 = none. Exceeding it cancels the
   /// engine cooperatively and yields an explicit kInconclusive verdict
@@ -71,9 +90,13 @@ struct JobSpec {
   /// under either backend satisfies both.
   mc::TableBackend table_backend = mc::TableBackend::kFlat;
 
-  /// Canonical little-endian byte encoding of the semantic fields (model +
-  /// property + budget), stable across processes and builds; starts with a
-  /// format-version byte so future field additions re-key cleanly.
+  /// Canonical little-endian byte encoding of the semantic fields, stable
+  /// across processes and builds; starts with a format-version byte so
+  /// field additions re-key cleanly. Three formats share the version-byte
+  /// space: v1 is the original dual-coupler verification layout (every
+  /// digest pinned before couplers became a parameter still holds), v2 is
+  /// v1 plus the coupler-count byte (emitted only when num_couplers != 2),
+  /// and 0x81 is the campaign encoding (campaign::append_canonical_bytes).
   std::vector<std::uint8_t> canonical_bytes() const;
 
   /// FNV-1a digest of canonical_bytes() — the result-cache key.

@@ -92,6 +92,14 @@ std::string Metrics::dump() const {
                 static_cast<unsigned long long>(v(persistent_compactions)));
   out += buf;
   std::snprintf(buf, sizeof buf,
+                "campaign: run=%llu trials=%llu batches=%llu "
+                "conclusive=%llu\n",
+                static_cast<unsigned long long>(v(campaigns_run)),
+                static_cast<unsigned long long>(v(campaign_trials)),
+                static_cast<unsigned long long>(v(campaign_batches)),
+                static_cast<unsigned long long>(v(campaigns_conclusive)));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
                 "resilience: retried=%llu redundant=%llu divergence=%llu "
                 "resumes=%llu\n",
                 static_cast<unsigned long long>(v(jobs_retried)),

@@ -79,6 +79,13 @@ class Metrics {
   std::atomic<std::uint64_t> persistent_truncated_records{0};
   std::atomic<std::uint64_t> persistent_quarantined_bytes{0};
   std::atomic<std::uint64_t> persistent_compactions{0};
+  // Monte Carlo campaign jobs: campaigns executed (cache hits excluded),
+  // trials simulated, batch boundaries crossed, and campaigns that reached
+  // a conclusive stop (epsilon or a cleared fail bound).
+  std::atomic<std::uint64_t> campaigns_run{0};
+  std::atomic<std::uint64_t> campaign_trials{0};
+  std::atomic<std::uint64_t> campaign_batches{0};
+  std::atomic<std::uint64_t> campaigns_conclusive{0};
   // Fault-tolerance machinery: retry re-admissions, redundant dual-engine
   // runs, cross-check disagreements, checkpoint resumes.
   std::atomic<std::uint64_t> jobs_retried{0};

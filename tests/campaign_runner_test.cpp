@@ -1,0 +1,298 @@
+// Wilson estimation and the Monte Carlo campaign runner: known-answer
+// intervals, the three-armed stopping rule, counter-based per-trial
+// determinism across thread counts (the runner's headline contract,
+// labeled `parallel` so the TSan job covers it), analytic coverage on a
+// hand-computable dual-silence scenario, and the fault-dictionary
+// grammar's round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/estimate.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+#include "util/cancel_token.h"
+#include "util/thread_pool.h"
+
+namespace tta::campaign {
+namespace {
+
+/// Dual-channel silence at probability `ppm` each, scored by the startup
+/// criterion. Failure needs BOTH channels dead — a single silent channel
+/// is masked by the replica — so the analytic failure probability is
+/// exactly (ppm / 1e6)^2.
+CampaignSpec dual_silence_spec(std::uint32_t ppm, std::uint32_t trials) {
+  CampaignSpec spec;
+  spec.criterion = Criterion::kAllActiveReached;
+  spec.steps = 64;
+  spec.seed = 20040628;
+  spec.min_trials = trials;
+  spec.max_trials = trials;
+  spec.batch_size = 64;
+  spec.epsilon_ppm = 1;  // unreachable: always run the pinned trial count
+  for (int ch = 0; ch < 2; ++ch) {
+    CouplerFaultEntry e;
+    e.channel = ch;
+    e.fault = guardian::CouplerFault::kSilence;
+    e.ppm = ppm;
+    spec.coupler_faults.push_back(e);
+  }
+  return spec;
+}
+
+TEST(WilsonEstimate, EmptyCampaignKnowsNothing) {
+  const Estimate est = wilson_estimate(0, 0);
+  EXPECT_EQ(est.trials, 0u);
+  EXPECT_EQ(est.failures, 0u);
+  EXPECT_DOUBLE_EQ(est.p_hat, 0.0);
+  EXPECT_DOUBLE_EQ(est.ci_low, 0.0);
+  EXPECT_DOUBLE_EQ(est.ci_high, 1.0);
+  EXPECT_DOUBLE_EQ(est.half_width(), 0.5);
+}
+
+TEST(WilsonEstimate, KnownAnswers) {
+  // 0/100 at 95%: the Wilson upper limit is z^2/n / (1 + z^2/n) = 0.03700
+  // — finite even after a pure-success streak, which is the reason Wilson
+  // is used over Wald (whose interval collapses to width zero here).
+  const Estimate none = wilson_estimate(0, 100);
+  EXPECT_DOUBLE_EQ(none.p_hat, 0.0);
+  EXPECT_DOUBLE_EQ(none.ci_low, 0.0);
+  EXPECT_NEAR(none.ci_high, 0.03700, 5e-4);
+
+  // 50/100: symmetric around 1/2 with half-width 0.09617.
+  const Estimate half = wilson_estimate(50, 100);
+  EXPECT_DOUBLE_EQ(half.p_hat, 0.5);
+  EXPECT_NEAR(half.ci_low, 0.40383, 1e-3);
+  EXPECT_NEAR(half.ci_high, 0.59617, 1e-3);
+  EXPECT_NEAR(half.ci_high - 0.5, 0.5 - half.ci_low, 1e-12);
+
+  // All-failure campaigns pin the upper limit to exactly 1.
+  const Estimate all = wilson_estimate(100, 100);
+  EXPECT_DOUBLE_EQ(all.p_hat, 1.0);
+  EXPECT_DOUBLE_EQ(all.ci_high, 1.0);
+  EXPECT_GT(all.ci_low, 0.9);
+}
+
+TEST(WilsonEstimate, IntervalNarrowsWithTrials) {
+  double previous = 1.0;
+  for (std::uint64_t n : {10u, 100u, 1000u, 10000u}) {
+    const Estimate est = wilson_estimate(n / 10, n);
+    EXPECT_LE(0.0, est.ci_low);
+    EXPECT_LE(est.ci_low, est.p_hat);
+    EXPECT_LE(est.p_hat, est.ci_high);
+    EXPECT_LE(est.ci_high, 1.0);
+    EXPECT_LT(est.half_width(), previous);
+    previous = est.half_width();
+  }
+}
+
+TEST(StopRule, ThreeArms) {
+  CampaignSpec spec = dual_silence_spec(400'000, 64);
+  spec.epsilon_ppm = 10'000;
+  spec.fail_bound_ppm = 200'000;
+
+  Estimate est;
+  est.trials = 1000;
+  est.p_hat = 0.3;
+
+  // Straddling the bound with a wide interval: keep sampling.
+  est.ci_low = 0.1;
+  est.ci_high = 0.5;
+  EXPECT_FALSE(stop_rule_met(spec, est));
+
+  // Arm 1: the interval is narrower than epsilon.
+  est.ci_low = 0.299;
+  est.ci_high = 0.301;
+  EXPECT_TRUE(stop_rule_met(spec, est));
+
+  // Arm 2: the whole interval sits at or below the bound — HOLDS is
+  // decided no matter how many more trials run.
+  est.ci_low = 0.05;
+  est.ci_high = 0.2;
+  EXPECT_TRUE(stop_rule_met(spec, est));
+
+  // Arm 3: the whole interval sits above the bound — VIOLATED is decided.
+  est.ci_low = 0.201;
+  est.ci_high = 0.6;
+  EXPECT_TRUE(stop_rule_met(spec, est));
+}
+
+TEST(CampaignRunner, TrialOutcomeIsAPureFunctionOfSpecAndIndex) {
+  const CampaignSpec spec = dual_silence_spec(400'000, 64);
+  std::vector<bool> first;
+  for (std::uint64_t i = 0; i < 64; ++i) first.push_back(trial_fails(spec, i));
+  // Replaying any trial — in any order, after any other trials — gives the
+  // same outcome; there is no hidden stream state.
+  for (std::uint64_t i = 64; i-- > 0;) {
+    EXPECT_EQ(trial_fails(spec, i), first[static_cast<std::size_t>(i)])
+        << "trial " << i;
+  }
+}
+
+TEST(CampaignRunner, BitIdenticalAtAnyThreadCount) {
+  const CampaignSpec spec = dual_silence_spec(400'000, 512);
+
+  const CampaignResult sequential = run_campaign(spec, nullptr);
+  util::ThreadPool two(2);
+  const CampaignResult pooled2 = run_campaign(spec, &two);
+  util::ThreadPool eight(8);
+  const CampaignResult pooled8 = run_campaign(spec, &eight);
+
+  for (const CampaignResult* r : {&pooled2, &pooled8}) {
+    EXPECT_EQ(r->estimate.trials, sequential.estimate.trials);
+    EXPECT_EQ(r->estimate.failures, sequential.estimate.failures);
+    EXPECT_EQ(r->estimate.p_hat, sequential.estimate.p_hat);
+    EXPECT_EQ(r->estimate.ci_low, sequential.estimate.ci_low);
+    EXPECT_EQ(r->estimate.ci_high, sequential.estimate.ci_high);
+    EXPECT_EQ(r->batches, sequential.batches);
+    EXPECT_EQ(r->conclusive, sequential.conclusive);
+  }
+  EXPECT_EQ(sequential.estimate.trials, 512u);
+  EXPECT_GT(sequential.estimate.failures, 0u);
+}
+
+TEST(CampaignRunner, WilsonIntervalCoversAnalyticProbability) {
+  // Hand-computable scenario: two independent channel-silence entries at
+  // p = 0.4 each. The startup criterion fails iff both fire, so the true
+  // failure probability is 0.4^2 = 0.16; the 95% interval at 4096 trials
+  // must cover it.
+  const CampaignSpec spec = dual_silence_spec(400'000, 4096);
+  const CampaignResult run = run_campaign(spec, nullptr);
+  EXPECT_EQ(run.estimate.trials, 4096u);
+  EXPECT_LE(run.estimate.ci_low, 0.16);
+  EXPECT_GE(run.estimate.ci_high, 0.16);
+  EXPECT_NEAR(run.estimate.p_hat, 0.16, 0.03);
+}
+
+TEST(CampaignRunner, WideEpsilonStopsAtMinTrials) {
+  CampaignSpec spec = dual_silence_spec(400'000, 64);
+  spec.min_trials = 64;
+  spec.max_trials = 100'000;
+  spec.epsilon_ppm = kPpmScale;  // any interval satisfies epsilon
+  const CampaignResult run = run_campaign(spec, nullptr);
+  EXPECT_TRUE(run.conclusive);
+  EXPECT_EQ(run.estimate.trials, 64u);
+  EXPECT_EQ(run.batches, 1u);
+}
+
+TEST(CampaignRunner, ExhaustedCampaignIsInconclusive) {
+  // Unreachable epsilon and a fail bound inside the interval: the runner
+  // must spend exactly max_trials and admit it cannot answer.
+  CampaignSpec spec = dual_silence_spec(400'000, 512);
+  spec.fail_bound_ppm = 160'000;  // the analytic probability itself
+  const CampaignResult run = run_campaign(spec, nullptr);
+  EXPECT_FALSE(run.conclusive);
+  EXPECT_EQ(run.estimate.trials, 512u);
+  EXPECT_LE(run.estimate.ci_low, 0.16);
+  EXPECT_GE(run.estimate.ci_high, 0.16);
+}
+
+TEST(CampaignRunner, CancelBeforeFirstBatch) {
+  const CampaignSpec spec = dual_silence_spec(400'000, 512);
+  util::CancelToken cancel;
+  cancel.request_cancel();
+  const CampaignResult run = run_campaign(spec, nullptr, &cancel);
+  EXPECT_TRUE(run.cancelled);
+  EXPECT_FALSE(run.conclusive);
+  EXPECT_EQ(run.batches, 0u);
+  EXPECT_EQ(run.estimate.trials, 0u);
+  EXPECT_DOUBLE_EQ(run.estimate.ci_low, 0.0);
+  EXPECT_DOUBLE_EQ(run.estimate.ci_high, 1.0);
+}
+
+TEST(CampaignRunner, ProgressReportsEveryBatchInOrder) {
+  const CampaignSpec spec = dual_silence_spec(400'000, 256);
+  std::vector<BatchUpdate> updates;
+  const CampaignResult run = run_campaign(
+      spec, nullptr, nullptr,
+      [&updates](const BatchUpdate& u) { updates.push_back(u); });
+  ASSERT_EQ(updates.size(), 4u);  // 256 trials / 64-trial batches
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(updates[i].batches, i + 1);
+    EXPECT_EQ(updates[i].estimate.trials, 64u * (i + 1));
+  }
+  EXPECT_EQ(updates.back().estimate.p_hat, run.estimate.p_hat);
+  EXPECT_EQ(updates.back().estimate.failures, run.estimate.failures);
+}
+
+TEST(FaultDictionary, RoundTripsThroughTheGrammar) {
+  const std::string text =
+      "coupler:0:silence:400000;coupler:*:bad_frame:10000@5-9;"
+      "node:*:clock_drift:250000;node:2:silent:5000@0-63";
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_fault_dictionary(text, &spec, &error)) << error;
+  ASSERT_EQ(spec.coupler_faults.size(), 2u);
+  ASSERT_EQ(spec.node_faults.size(), 2u);
+  EXPECT_EQ(spec.coupler_faults[0].channel, 0);
+  EXPECT_EQ(spec.coupler_faults[0].fault, guardian::CouplerFault::kSilence);
+  EXPECT_EQ(spec.coupler_faults[0].ppm, 400'000u);
+  EXPECT_EQ(spec.coupler_faults[1].channel, kAnyTarget);
+  EXPECT_EQ(spec.coupler_faults[1].from_step, 5u);
+  EXPECT_EQ(spec.coupler_faults[1].to_step, 9u);
+  EXPECT_EQ(spec.node_faults[0].node, kAnyTarget);
+  EXPECT_EQ(spec.node_faults[0].mode, sim::NodeFaultMode::kClockDrift);
+  EXPECT_EQ(spec.node_faults[1].node, 2);
+  EXPECT_EQ(spec.node_faults[1].mode, sim::NodeFaultMode::kSilent);
+  EXPECT_EQ(format_fault_dictionary(spec), text);
+}
+
+TEST(FaultDictionary, MalformedEntriesNameTheEntry) {
+  CampaignSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_fault_dictionary("coupler:0:silence", &spec, &error));
+  EXPECT_NE(error.find("coupler:0:silence"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(
+      parse_fault_dictionary("node:1:warp_core:100", &spec, &error));
+  EXPECT_NE(error.find("unknown node fault mode"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(
+      parse_fault_dictionary("coupler:0:silence:2000000", &spec, &error));
+  EXPECT_NE(error.find("bad ppm"), std::string::npos);
+}
+
+TEST(CampaignSpecValidate, RejectsInconsistentPlans) {
+  CampaignSpec ok = dual_silence_spec(400'000, 64);
+  EXPECT_TRUE(ok.validate().empty());
+
+  CampaignSpec bad = ok;
+  bad.num_channels = 3;
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = ok;
+  bad.min_trials = 100;
+  bad.max_trials = 50;
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = ok;
+  bad.batch_size = 0;
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = ok;
+  bad.coupler_faults.clear();
+  EXPECT_FALSE(bad.validate().empty());  // dictionary must be non-empty
+
+  bad = ok;
+  bad.coupler_faults[0].channel = 2;  // only channels 0/1 exist
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = ok;
+  NodeFaultEntry e;
+  e.node = 5;  // 4-node cluster
+  e.mode = sim::NodeFaultMode::kSilent;
+  e.ppm = 1000;
+  bad.node_faults.push_back(e);
+  EXPECT_FALSE(bad.validate().empty());
+}
+
+TEST(CampaignSpec, CriterionNames) {
+  EXPECT_STREQ(to_string(Criterion::kAllActiveReached), "all_active");
+  EXPECT_STREQ(to_string(Criterion::kNoHealthyCliqueFreeze),
+               "no_healthy_freeze");
+}
+
+}  // namespace
+}  // namespace tta::campaign

@@ -216,5 +216,49 @@ TEST(Model, SuccessorStatesAreDeduplicatableByPacking) {
   EXPECT_EQ(distinct, 16u);
 }
 
+TEST(Model, SingleCouplerHasNoChannelOneFaults) {
+  // The single-coupler composition removes channel 1 entirely: no fault
+  // pairs target it and its view is permanent silence.
+  ModelConfig cfg = full_shifting();
+  cfg.num_couplers = 1;
+  TtpcStarModel model(cfg);
+  for (const Successor& succ : model.successors(model.initial())) {
+    auto [next, label] = model.apply(model.initial(), succ.choice_code);
+    EXPECT_EQ(label.fault1, guardian::CouplerFault::kNone);
+    EXPECT_EQ(label.ch1.kind, ttpc::FrameKind::kNone);
+    EXPECT_EQ(next.couplers[1].buffered_frame, ttpc::FrameKind::kNone);
+  }
+}
+
+TEST(Model, SingleCouplerHalvesTheFaultAlphabet) {
+  // Dual star: each single fault appears as (f, none) and (none, f).
+  // Single star: only (f, none) survives, so the initial state has half
+  // the faulty branches.
+  ModelConfig dual = passive();
+  ModelConfig single = passive();
+  single.num_couplers = 1;
+  const auto dual_succs = TtpcStarModel(dual).successors(
+      TtpcStarModel(dual).initial());
+  const auto single_succs = TtpcStarModel(single).successors(
+      TtpcStarModel(single).initial());
+  EXPECT_LT(single_succs.size(), dual_succs.size());
+}
+
+TEST(Model, SingleCouplerShrinksThePackedState) {
+  ModelConfig dual = full_shifting();
+  ModelConfig single = full_shifting();
+  single.num_couplers = 1;
+  TtpcStarModel dual_model(dual);
+  TtpcStarModel single_model(single);
+  EXPECT_LT(single_model.packed_bits(), dual_model.packed_bits());
+
+  // Round-trip still holds at the narrower width.
+  WorldState s = single_model.initial();
+  s.nodes[0].state = ttpc::CtrlState::kActive;
+  s.couplers[0].buffered_frame = ttpc::FrameKind::kCState;
+  s.couplers[0].buffered_id = 3;
+  EXPECT_EQ(single_model.unpack(single_model.pack(s)), s);
+}
+
 }  // namespace
 }  // namespace tta::mc

@@ -1,0 +1,111 @@
+// WALDEN-style clock-desynchronization faults and the single-channel
+// cluster point — the two sim-layer extensions behind the campaign
+// subsystem's fault dictionary and parameterized topology.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/cluster.h"
+#include "sim/fault_injector.h"
+#include "ttpc/types.h"
+
+namespace tta::sim {
+namespace {
+
+ClusterConfig base_config() {
+  ClusterConfig cfg;
+  cfg.protocol.num_nodes = 4;
+  cfg.protocol.num_slots = 4;
+  return cfg;
+}
+
+TEST(ClockFaults, TransmitAttrsSweepAndJump) {
+  Cluster cluster(base_config(), FaultInjector{});
+  ASSERT_TRUE(cluster.run_until_all_healthy_active(200));
+
+  // Find a slot in the next round where node 1 actually transmits, then
+  // re-evaluate that transmission under each clock fault.
+  const std::uint64_t start = cluster.now();
+  for (std::uint64_t s = start; s < start + 4; ++s) {
+    const SimFrame nominal =
+        cluster.node(1).transmit(NodeFaultMode::kNone, s);
+    if (nominal.frame.kind == ttpc::FrameKind::kNone) continue;
+
+    // Drift: a deterministic sawtooth over the receivers' window spread —
+    // 920..1020 ns as the step advances, never the nominal timing.
+    const SimFrame drift =
+        cluster.node(1).transmit(NodeFaultMode::kClockDrift, s);
+    EXPECT_EQ(drift.frame.kind, nominal.frame.kind);
+    EXPECT_DOUBLE_EQ(drift.attrs.timing_offset_ns,
+                     920.0 + 10.0 * static_cast<double>(s % 11));
+
+    // Jump: a fixed step change far outside every acceptance window.
+    const SimFrame jump =
+        cluster.node(1).transmit(NodeFaultMode::kClockJump, s);
+    EXPECT_EQ(jump.frame.kind, nominal.frame.kind);
+    EXPECT_DOUBLE_EQ(jump.attrs.timing_offset_ns, 1500.0);
+    return;
+  }
+  FAIL() << "node 1 never transmitted in a full round";
+}
+
+TEST(ClockFaults, DriftSweepsAcrossTheToleranceSpread) {
+  // The drift sawtooth (920..1020 ns) crosses the per-node acceptance
+  // windows (spread 1000 - 15i ns), so as the offset sweeps, receivers
+  // genuinely disagree about frame validity in some slots — the
+  // slightly-off-specification signature in the time domain. On the bus
+  // there is no central guardian to reshape the marginal timing (the
+  // star's defense), so the disagreement reaches the receivers.
+  ClusterConfig cfg = base_config();
+  cfg.topology = Topology::kBus;
+  FaultInjector fi;
+  fi.add(NodeFaultWindow{2, NodeFaultMode::kClockDrift, 0, UINT64_MAX});
+  Cluster cluster(cfg, std::move(fi));
+  cluster.run(200);
+  EXPECT_GT(cluster.metrics().sos_disagreements, 0u);
+}
+
+TEST(ClockFaults, JumpedClockIsRejectedByEveryReceiver) {
+  // 1500 ns sits outside every window, so all receivers agree the traffic
+  // is invalid: no disagreement, and the healthy majority still starts up.
+  ClusterConfig cfg = base_config();
+  FaultInjector fi;
+  fi.add(NodeFaultWindow{2, NodeFaultMode::kClockJump, 0, UINT64_MAX});
+  Cluster cluster(cfg, std::move(fi));
+  EXPECT_TRUE(cluster.run_until_all_healthy_active(400));
+  EXPECT_EQ(cluster.healthy_clique_frozen(), 0u);
+}
+
+TEST(ClockFaults, Names) {
+  EXPECT_STREQ(to_string(NodeFaultMode::kClockDrift), "clock_drift");
+  EXPECT_STREQ(to_string(NodeFaultMode::kClockJump), "clock_jump");
+}
+
+TEST(SingleChannelCluster, StartsUpWithoutFaults) {
+  // Removing channel redundancy alone costs nothing in a fault-free run.
+  ClusterConfig cfg = base_config();
+  cfg.num_channels = 1;
+  Cluster cluster(cfg, FaultInjector{});
+  EXPECT_TRUE(cluster.run_until_all_healthy_active(200));
+}
+
+TEST(SingleChannelCluster, ChannelSilenceIsUnmasked) {
+  // The same silence fault that a dual-channel cluster masks via the
+  // replica is fatal once the cluster has only one channel — the
+  // degraded-redundancy axis the campaign subsystem sweeps.
+  FaultInjector silence;
+  silence.add(
+      CouplerFaultWindow{0, guardian::CouplerFault::kSilence, 0, UINT64_MAX});
+
+  ClusterConfig dual = base_config();
+  Cluster masked(dual, silence);
+  EXPECT_TRUE(masked.run_until_all_healthy_active(200));
+
+  ClusterConfig single = base_config();
+  single.num_channels = 1;
+  Cluster exposed(single, silence);
+  EXPECT_FALSE(exposed.run_until_all_healthy_active(200));
+}
+
+}  // namespace
+}  // namespace tta::sim

@@ -1,0 +1,279 @@
+// End-to-end smoke for campaign jobs served by tta_verifyd (registered as
+// the ctest `tools.campaign_smoke`, label `async`).
+//
+//   campaign_smoke VERIFYD
+//
+// Phases, against one server on an ephemeral port with one worker and a
+// single-entry LRU cache:
+//
+//   1. streaming — submit a pinned-seed 200-trial campaign (dual-channel
+//      silence plus a WALDEN-style clock-drift entry) and require at least
+//      one {"progress":1,...} row before the result row, every streamed
+//      estimate well-formed (0 <= ci_low <= p_hat <= ci_high <= 1,
+//      failures <= trials), and the final row's campaign object scoring
+//      exactly 200 trials;
+//   2. reproducibility — resubmit the identical spec on a fresh
+//      connection; the campaign is inconclusive (epsilon unreachable), so
+//      nothing was cached and the server recomputes: the point estimate
+//      must come back bit-identical;
+//   3. caching — a conclusive campaign (wide epsilon) twice: the first
+//      run computes, the second must answer "from_cache":1 with the same
+//      estimate and a conclusive verdict;
+//   4. shutdown — SIGTERM exits 0 and the final metrics dump reports the
+//      campaign counters.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/socket.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using tta::util::LineConn;
+using tta::util::Socket;
+
+int g_failures = 0;
+
+#define CHECK(cond, ...)                                          \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::fprintf(stderr, "FAIL %s:%d: ", __FILE__, __LINE__);   \
+      std::fprintf(stderr, __VA_ARGS__);                          \
+      std::fprintf(stderr, "\n");                                 \
+      ++g_failures;                                               \
+    }                                                             \
+  } while (0)
+
+bool wait_for_file(const std::string& path, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    std::ifstream f(path);
+    std::string content;
+    if (f && std::getline(f, content) && !content.empty()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+/// Numeric field ("key":123 or "key":0.25) from a JSON line; NaN when
+/// absent. The smoke only reads fields it wrote, so no escaping concerns.
+double json_num_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+std::string json_str_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+/// One request -> (progress rows..., result row) exchange on a fresh
+/// connection. Returns false on any transport failure.
+bool exchange(const std::string& port, const std::string& request,
+              std::vector<std::string>* progress_rows,
+              std::string* result_row) {
+  std::string error;
+  Socket sock = Socket::connect_to(
+      "127.0.0.1", static_cast<std::uint16_t>(std::stoi(port)), 5'000,
+      &error);
+  if (!sock.valid()) {
+    std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+    return false;
+  }
+  LineConn conn(std::move(sock));
+  using Io = LineConn::Io;
+  if (conn.write_line(request, 5'000) != Io::kOk) return false;
+  conn.shutdown_write();
+  std::string line;
+  for (;;) {
+    switch (conn.read_line(&line, 120'000)) {
+      case Io::kOk:
+        break;
+      case Io::kEof:
+        return !result_row->empty();
+      default:
+        return false;
+    }
+    if (line.find("\"progress\":1") != std::string::npos) {
+      progress_rows->push_back(line);
+    } else {
+      *result_row = line;
+    }
+  }
+}
+
+/// Streamed estimates must always be internally consistent, progress rows
+/// and final rows alike.
+void check_estimate(const std::string& row) {
+  const double trials = json_num_field(row, "trials");
+  const double failures = json_num_field(row, "failures");
+  const double p_hat = json_num_field(row, "p_hat");
+  const double ci_low = json_num_field(row, "ci_low");
+  const double ci_high = json_num_field(row, "ci_high");
+  CHECK(failures >= 0 && failures <= trials,
+        "failures out of range: %s", row.c_str());
+  CHECK(0.0 <= ci_low && ci_low <= p_hat && p_hat <= ci_high &&
+            ci_high <= 1.0,
+        "malformed confidence interval: %s", row.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s VERIFYD\n", argv[0]);
+    return 2;
+  }
+  const std::string verifyd = argv[1];
+
+  char dir_template[] = "/tmp/campaign_smoke.XXXXXX";
+  const char* dir = mkdtemp(dir_template);
+  if (!dir) {
+    std::perror("mkdtemp");
+    return 2;
+  }
+  const std::string port_file = std::string(dir) + "/port.txt";
+  const std::string server_log = std::string(dir) + "/server.log";
+
+  const pid_t server = fork();
+  if (server == 0) {
+    std::FILE* log = std::freopen(server_log.c_str(), "w", stdout);
+    (void)log;
+    execl(verifyd.c_str(), verifyd.c_str(), "--port=0",
+          ("--port-file=" + port_file).c_str(), "--workers=1", "--cache=1",
+          static_cast<char*>(nullptr));
+    std::perror("execl tta_verifyd");
+    _exit(127);
+  }
+  CHECK(server > 0, "fork failed");
+  if (!wait_for_file(port_file, 10'000)) {
+    std::fprintf(stderr, "FAIL: server never wrote %s\n", port_file.c_str());
+    if (server > 0) kill(server, SIGKILL);
+    return 1;
+  }
+  std::string port;
+  {
+    std::ifstream f(port_file);
+    std::getline(f, port);
+  }
+  std::fprintf(stderr, "server pid %d on 127.0.0.1:%s\n", server,
+               port.c_str());
+
+  // ---- phase 1: pinned-seed 200-trial campaign, streamed ---------------
+  // epsilon_ppm=1 is unreachable and the Wilson interval at 200 trials
+  // straddles fail_bound_ppm=200000 (p ~= 0.16 from the dual-silence
+  // product), so the campaign runs all 200 trials and concludes
+  // INCONCLUSIVE — which also keeps it out of the cache, setting up the
+  // recompute in phase 2. The dictionary carries the WALDEN-style
+  // clock-drift entry alongside the channel-silence pair.
+  const std::string pinned =
+      "{\"kind\":\"campaign\",\"nodes\":4,\"channels\":2,"
+      "\"criterion\":\"all_active\",\"steps\":32,\"seed\":7,"
+      "\"min_trials\":200,\"max_trials\":200,\"batch\":50,"
+      "\"epsilon_ppm\":1,\"fail_bound_ppm\":200000,"
+      "\"faults\":\"coupler:0:silence:400000;"
+      "coupler:1:silence:400000;node:*:clock_drift:250000\","
+      "\"id\":\"camp-0\"}";
+  std::vector<std::string> progress;
+  std::string result;
+  CHECK(exchange(port, pinned, &progress, &result), "phase 1 exchange died");
+  CHECK(!progress.empty(), "no progress rows streamed");
+  for (const std::string& row : progress) check_estimate(row);
+  CHECK(result.find("\"campaign\":{") != std::string::npos,
+        "result row lacks campaign object: %s", result.c_str());
+  check_estimate(result);
+  CHECK(json_num_field(result, "trials") == 200.0,
+        "expected exactly 200 trials: %s", result.c_str());
+  CHECK(json_str_field(result, "verdict") == "INCONCLUSIVE",
+        "unreachable epsilon should stay inconclusive: %s", result.c_str());
+  CHECK(json_str_field(result, "id") == "camp-0", "id not echoed");
+  const double p1 = json_num_field(result, "p_hat");
+  std::fprintf(stderr, "phase 1: %zu progress rows, p_hat=%g\n",
+               progress.size(), p1);
+
+  // ---- phase 2: same seed, fresh connection -> identical estimate ------
+  std::vector<std::string> progress2;
+  std::string result2;
+  CHECK(exchange(port, pinned, &progress2, &result2),
+        "phase 2 exchange died");
+  CHECK(json_num_field(result2, "from_cache") == 0.0,
+        "inconclusive estimate must not be served from cache: %s",
+        result2.c_str());
+  CHECK(json_num_field(result2, "p_hat") == p1 &&
+            json_num_field(result2, "failures") ==
+                json_num_field(result, "failures"),
+        "pinned seed did not reproduce: %s vs %s", result.c_str(),
+        result2.c_str());
+
+  // ---- phase 3: conclusive campaign is cached --------------------------
+  const std::string conclusive =
+      "{\"kind\":\"campaign\",\"criterion\":\"all_active\",\"steps\":32,"
+      "\"seed\":11,\"min_trials\":64,\"max_trials\":512,\"batch\":64,"
+      "\"epsilon_ppm\":400000,\"faults\":\"coupler:*:silence:300000\","
+      "\"id\":\"camp-hot\"}";
+  std::vector<std::string> progress3;
+  std::string first, second;
+  CHECK(exchange(port, conclusive, &progress3, &first),
+        "phase 3 first exchange died");
+  const std::string verdict = json_str_field(first, "verdict");
+  CHECK(verdict == "HOLDS" || verdict == "VIOLATED",
+        "wide epsilon should conclude: %s", first.c_str());
+  progress3.clear();
+  CHECK(exchange(port, conclusive, &progress3, &second),
+        "phase 3 second exchange died");
+  CHECK(json_num_field(second, "from_cache") == 1.0,
+        "conclusive estimate should be served from cache: %s",
+        second.c_str());
+  CHECK(json_num_field(second, "p_hat") == json_num_field(first, "p_hat"),
+        "cached estimate differs: %s vs %s", first.c_str(), second.c_str());
+  CHECK(json_str_field(second, "verdict") == verdict,
+        "cached verdict differs: %s vs %s", first.c_str(), second.c_str());
+
+  // ---- phase 4: SIGTERM exits 0, metrics mention campaigns -------------
+  kill(server, SIGTERM);
+  int status = -1;
+  const auto deadline = Clock::now() + std::chrono::seconds(60);
+  pid_t reaped = 0;
+  while (Clock::now() < deadline) {
+    reaped = waitpid(server, &status, WNOHANG);
+    if (reaped == server) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (reaped != server) {
+    CHECK(false, "server did not exit after SIGTERM");
+    kill(server, SIGKILL);
+    waitpid(server, &status, 0);
+  } else {
+    CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+          "server exited %d", status);
+    std::ifstream log(server_log);
+    const std::string dump((std::istreambuf_iterator<char>(log)),
+                           std::istreambuf_iterator<char>());
+    CHECK(dump.find("campaign: run=") != std::string::npos,
+          "metrics dump lacks campaign counters");
+  }
+
+  std::fprintf(stderr, "%s\n", g_failures == 0 ? "campaign_smoke PASS"
+                                               : "campaign_smoke FAIL");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -13,7 +13,11 @@
 //
 // Exit status: 0 when every job came back conclusive (HOLDS or VIOLATED),
 // 1 when any response is missing, rejected, inconclusive, or an error
-// line, 2 on usage/input/connection errors.
+// line, 2 on usage/input/connection errors or when --timeout-ms expires
+// before the last response arrives. Campaign progress rows are printed as
+// they stream but never count as responses.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,9 +36,11 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s HOST:PORT JOBFILE [--priority=N] [--id-prefix=S]\n"
+               "          [--timeout-ms=N]\n"
                "Replays JOBFILE (tta_verify_batch job grammar) against a "
                "tta_verifyd server\nand prints one response line per job "
-               "(docs/SERVICE.md).\n",
+               "(docs/SERVICE.md). --timeout-ms bounds\nthe whole response "
+               "phase; expiry exits 2 with the answers so far printed.\n",
                argv0);
   return 2;
 }
@@ -70,12 +76,16 @@ int main(int argc, char** argv) {
   std::string job_path;
   std::string id_prefix;
   std::int32_t priority = 0;
+  long timeout_ms = 0;  // 0 = no overall deadline
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
     if (flag_value(argv[i], "--priority", &v)) {
       priority = static_cast<std::int32_t>(std::strtol(v, nullptr, 10));
     } else if (flag_value(argv[i], "--id-prefix", &v)) {
       id_prefix = v;
+    } else if (flag_value(argv[i], "--timeout-ms", &v)) {
+      timeout_ms = std::strtol(v, nullptr, 10);
+      if (timeout_ms <= 0) return usage(argv[0]);
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else if (endpoint.empty()) {
@@ -143,19 +153,38 @@ int main(int argc, char** argv) {
   conn.shutdown_write();  // "no more requests"; responses keep flowing
 
   // One response per request, in completion order. Conclusiveness is read
-  // off the wire the same way a shell consumer would.
+  // off the wire the same way a shell consumer would. Campaign progress
+  // rows ({"progress":1,...}) are passed through but are not responses.
+  const auto response_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   std::size_t responses = 0;
   std::size_t conclusive = 0;
   for (;;) {
     // Generous per-line deadline: a single 5-node job can run minutes.
-    const Io io = conn.read_line(&line, 600'000);
+    int wait_ms = 600'000;
+    if (timeout_ms > 0) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(response_deadline -
+                                     std::chrono::steady_clock::now());
+      wait_ms = static_cast<int>(
+          std::min<long long>(wait_ms, remaining.count()));
+      if (wait_ms <= 0) {
+        std::fprintf(stderr,
+                     "timeout: %zu/%zu responses within %ld ms\n",
+                     responses, requests.size(), timeout_ms);
+        return 2;
+      }
+    }
+    const Io io = conn.read_line(&line, wait_ms);
     if (io == Io::kEof) break;
+    if (io == Io::kTimeout && timeout_ms > 0) continue;  // re-check deadline
     if (io != Io::kOk) {
       std::fprintf(stderr, "connection lost while awaiting responses\n");
       return 1;
     }
     std::printf("%s\n", line.c_str());
     std::fflush(stdout);
+    if (line.find("\"progress\":1") != std::string::npos) continue;
     ++responses;
     if (line.find("\"verdict\":\"HOLDS\"") != std::string::npos ||
         line.find("\"verdict\":\"VIOLATED\"") != std::string::npos) {

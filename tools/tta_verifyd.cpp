@@ -11,6 +11,9 @@
 //             connections) and "id" (opaque tag echoed on the response);
 //   response  one svc::result_json row per concluded job, in completion
 //             order, ts_ms measured from the connection's first byte;
+//   progress  campaign jobs additionally stream {"progress":1,...} rows
+//             (one per completed trial batch) with the running estimate
+//             and Wilson interval; result rows never carry "progress";
 //   error     {"error":"<reason>","line":N} for a malformed request line
 //             (the connection stays up — one bad line costs one answer).
 //
@@ -41,12 +44,14 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "svc/async_service.h"
+#include "util/digest.h"
 #include "util/socket.h"
 
 using namespace tta;
@@ -98,6 +103,10 @@ void serve_connection(util::LineConn conn, svc::AsyncService* service) {
   struct PendingJob {
     svc::JobSpec spec;
     std::string id;
+    svc::JobHandle handle;
+    /// Batches already reported in a progress row (campaign jobs only);
+    /// a row goes out only when the worker has crossed a new boundary.
+    std::uint64_t last_batches = 0;
   };
   std::unordered_map<std::uint64_t, PendingJob> pending;  // by sequence
   std::string line;
@@ -117,6 +126,55 @@ void serve_connection(util::LineConn conn, svc::AsyncService* service) {
       metrics.net_lines_out.fetch_add(1, std::memory_order_relaxed);
     } else {
       broken = true;
+    }
+  };
+  const auto number = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  // Campaign jobs stream advisory progress rows between responses: one
+  // {"progress":1,...} row per newly completed batch, carrying the running
+  // Wilson interval (docs/SERVICE.md). Clients that only want final rows
+  // can filter on the "progress" key — result rows never carry it.
+  auto emit_progress_row = [&](std::uint64_t seq, PendingJob& job,
+                               const char* state, std::uint64_t trials,
+                               std::uint64_t failures, std::uint64_t batches,
+                               double p_hat, double ci_low, double ci_high) {
+    job.last_batches = batches;
+    std::string row = "{";
+    if (!job.id.empty()) {
+      row += "\"id\":\"" + svc::json_escape(job.id) + "\",";
+    }
+    row += "\"progress\":1";
+    row += ",\"seq\":" + std::to_string(seq);
+    row += ",\"ts_ms\":" + number(ts_ms());
+    row += ",\"digest\":\"" + util::digest_hex(job.handle.digest) + "\"";
+    row += ",\"state\":\"";
+    row += state;
+    row += "\",\"trials\":" + std::to_string(trials);
+    row += ",\"failures\":" + std::to_string(failures);
+    row += ",\"batches\":" + std::to_string(batches);
+    row += ",\"p_hat\":" + number(p_hat);
+    row += ",\"ci_low\":" + number(ci_low);
+    row += ",\"ci_high\":" + number(ci_high);
+    row += "}";
+    emit(row);
+  };
+  auto flush_progress = [&] {
+    for (auto& [seq, job] : pending) {
+      if (broken) return;
+      if (job.spec.kind != svc::JobKind::kCampaign) continue;
+      const std::optional<svc::JobProgress> p =
+          session->progress(job.handle);
+      if (!p || !p->has_campaign ||
+          p->campaign_batches <= job.last_batches) {
+        continue;
+      }
+      emit_progress_row(seq, job, svc::to_string(p->state),
+                        p->campaign_trials, p->campaign_failures,
+                        p->campaign_batches, p->campaign_p_hat,
+                        p->campaign_ci_low, p->campaign_ci_high);
     }
   };
 
@@ -152,7 +210,8 @@ void serve_connection(util::LineConn conn, svc::AsyncService* service) {
               session->submit(request.spec, request.priority);
           if (handle.valid()) {
             pending.emplace(handle.sequence,
-                            PendingJob{request.spec, std::move(request.id)});
+                            PendingJob{request.spec, std::move(request.id),
+                                       handle, 0});
           } else {
             // Hard rejection (stream saturated): the session could not
             // even buffer a rejection row, so synthesize it here.
@@ -176,6 +235,8 @@ void serve_connection(util::LineConn conn, svc::AsyncService* service) {
       }
     }
 
+    flush_progress();
+
     // Flush concluded results; block only when there is nothing to read.
     svc::StreamedResult item;
     const auto wait = std::chrono::milliseconds(reading ? 0 : 50);
@@ -183,6 +244,16 @@ void serve_connection(util::LineConn conn, svc::AsyncService* service) {
       case util::PopStatus::kItem: {
         const auto it = pending.find(item.handle.sequence);
         if (it != pending.end()) {
+          // A campaign that outran the poll above still reports its last
+          // batch: every campaign answer is preceded by at least one
+          // progress row, however fast the job was.
+          if (item.result.has_campaign &&
+              item.result.campaign.batches > it->second.last_batches) {
+            const svc::CampaignEstimate& c = item.result.campaign;
+            emit_progress_row(item.handle.sequence, it->second, "done",
+                              c.trials, c.failures, c.batches, c.p_hat,
+                              c.ci_low, c.ci_high);
+          }
           emit(svc::result_json(it->second.spec, item.result, /*pass=*/1,
                                 item.handle.sequence, ts_ms(),
                                 it->second.id));
