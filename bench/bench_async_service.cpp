@@ -16,6 +16,7 @@
 
 #include "svc/async_service.h"
 #include "svc/service.h"
+#include "util/fail_point.h"
 
 namespace {
 
@@ -46,6 +47,33 @@ svc::JobSpec cached_job() {
   spec.engine = svc::EngineChoice::kSerial;
   return spec;
 }
+
+/// The fail-point cost model's acceptance gate (util/fail_point.h):
+/// compiled in but unarmed — the production default — an evaluation is one
+/// relaxed atomic load, so the serving stack can keep its injection sites
+/// at zero measurable cost. Compare against BM_SubmitConsumeRoundTrip:
+/// the per-site nanoseconds vanish inside one microsecond-scale job.
+void BM_FailPointUnarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    util::FailDecision d = util::fail_point("bench.noop");
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_FailPointUnarmed);
+
+/// Worst production-adjacent case: some OTHER site is armed, so every
+/// evaluation takes the slow path (registry mutex + map lookup) and
+/// misses. This is what a chaos run costs the sites it is not injecting.
+void BM_FailPointArmedOtherSite(benchmark::State& state) {
+  std::string error;
+  util::FailPoints::instance().arm("bench.other=error:prob(0)", &error);
+  for (auto _ : state) {
+    util::FailDecision d = util::fail_point("bench.noop");
+    benchmark::DoNotOptimize(d);
+  }
+  util::FailPoints::instance().disarm_all();
+}
+BENCHMARK(BM_FailPointArmedOtherSite);
 
 void BM_SubmitConsumeRoundTrip(benchmark::State& state) {
   svc::ServiceConfig config;

@@ -1,10 +1,12 @@
 #include "mc/checkpoint.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
 
 #include "util/crc32.h"
+#include "util/fail_point.h"
 
 namespace tta::mc {
 
@@ -105,11 +107,31 @@ bool save_checkpoint(const CheckpointConfig& config,
   const std::uint32_t crc = util::crc32(bytes.data(), bytes.size());
   w.u32(crc);
 
+  // Fail point `ckpt.save.crc`: flip one CRC bit, producing a file that is
+  // complete and well-shaped but must fail load_checkpoint's validation —
+  // the "bit rot between save and load" case.
+  if (util::fail_point("ckpt.save.crc").error()) {
+    bytes.back() ^= 0x01;
+  }
+  // Fail point `ckpt.save.torn` (short-io(n)): only n bytes reach the
+  // file, yet the rename below still publishes it — simulating a torn
+  // frame that beat the atomic-publish protocol at the filesystem level
+  // (e.g. a crash after rename of a partially synced file). Resume must
+  // reject it and fall back to a fresh run.
+  const util::FailDecision torn = util::fail_point("ckpt.save.torn");
+  const std::size_t write_len =
+      torn.short_io() ? static_cast<std::size_t>(std::min<std::uint64_t>(
+                            torn.arg, bytes.size()))
+                      : bytes.size();
+  // Fail point `ckpt.save.error`: the filesystem refuses the write
+  // outright (nothing published).
+  if (util::fail_point("ckpt.save.error").error()) return false;
+
   const std::string tmp = config.path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return false;
   const bool wrote =
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fwrite(bytes.data(), 1, write_len, f) == write_len &&
       std::fflush(f) == 0;
   std::fclose(f);
   if (!wrote) {
@@ -119,12 +141,15 @@ bool save_checkpoint(const CheckpointConfig& config,
   }
   std::error_code ec;
   std::filesystem::rename(tmp, config.path, ec);
-  return !ec;
+  return !ec && write_len == bytes.size();
 }
 
 bool load_checkpoint(const CheckpointConfig& config, CheckpointData* data,
                      CheckpointData::Mode expected_mode) {
   if (config.path.empty()) return false;
+  // Fail point `ckpt.load.error`: the file is unreadable (I/O error,
+  // permissions). Load always fails soft — the engine restarts fresh.
+  if (util::fail_point("ckpt.load.error").error()) return false;
   std::FILE* f = std::fopen(config.path.c_str(), "rb");
   if (!f) return false;
   std::vector<std::uint8_t> bytes;

@@ -7,6 +7,7 @@
 
 #include "mc/checkpoint.h"
 #include "svc/engine_factory.h"
+#include "util/fail_point.h"
 
 namespace tta::svc {
 
@@ -460,6 +461,18 @@ JobResult AsyncService::process(
   result = execute(spec, cancel, board);
   result.digest = key;
   result.queue_seconds = queue_seconds;
+
+  // Fail point `svc.attempt`: `error` turns this attempt's conclusive
+  // verdict into a spurious kInconclusive — never cached (only conclusive
+  // verdicts are), so the retry loop in run_entry re-admits the job like
+  // any deadline-bailed attempt; `delay(ms)` has already slept inside the
+  // evaluation, modelling a straggler completion.
+  if (spec.kind == JobKind::kVerify && conclusive(result.verdict) &&
+      util::fail_point("svc.attempt").error()) {
+    result.verdict = mc::Verdict::kInconclusive;
+    result.trace.clear();
+    result.dead_states = 0;
+  }
 
   if (result.has_campaign) {
     metrics_.campaigns_run.fetch_add(1, std::memory_order_relaxed);

@@ -79,9 +79,12 @@ std::string Metrics::dump() const {
                 static_cast<double>(v(engine_micros)) / 1e6,
                 states_per_second());
   out += buf;
+  // New fields append at the end of each line: the CI recovery steps and
+  // verifyd_smoke grep for prefixes of these lines verbatim.
   std::snprintf(buf, sizeof buf,
                 "persistent: hits=%llu recovered=%llu corrupt=%llu "
-                "truncated=%llu quarantined_bytes=%llu compactions=%llu\n",
+                "truncated=%llu quarantined_bytes=%llu compactions=%llu "
+                "io_errors=%llu\n",
                 static_cast<unsigned long long>(v(persistent_hits)),
                 static_cast<unsigned long long>(v(persistent_recovered)),
                 static_cast<unsigned long long>(v(persistent_corrupt_records)),
@@ -89,7 +92,8 @@ std::string Metrics::dump() const {
                     v(persistent_truncated_records)),
                 static_cast<unsigned long long>(
                     v(persistent_quarantined_bytes)),
-                static_cast<unsigned long long>(v(persistent_compactions)));
+                static_cast<unsigned long long>(v(persistent_compactions)),
+                static_cast<unsigned long long>(v(persistent_io_errors)));
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "campaign: run=%llu trials=%llu batches=%llu "
@@ -118,12 +122,13 @@ std::string Metrics::dump() const {
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "net: connections=%llu lines_in=%llu lines_out=%llu "
-                "malformed=%llu drains=%llu\n",
+                "malformed=%llu drains=%llu accept_errors=%llu\n",
                 static_cast<unsigned long long>(v(net_connections)),
                 static_cast<unsigned long long>(v(net_lines_in)),
                 static_cast<unsigned long long>(v(net_lines_out)),
                 static_cast<unsigned long long>(v(net_malformed)),
-                static_cast<unsigned long long>(v(net_drains)));
+                static_cast<unsigned long long>(v(net_drains)),
+                static_cast<unsigned long long>(v(net_accept_errors)));
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "queue latency: mean=%.6fs p50<=%.6fs p99<=%.6fs  %s\n",

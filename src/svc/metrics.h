@@ -79,6 +79,11 @@ class Metrics {
   std::atomic<std::uint64_t> persistent_truncated_records{0};
   std::atomic<std::uint64_t> persistent_quarantined_bytes{0};
   std::atomic<std::uint64_t> persistent_compactions{0};
+  /// Journal appends, fsyncs, or snapshot publications that failed
+  /// (ENOSPC, short write, injected faults). Every one was handled — the
+  /// result stayed served from memory and durability was re-attempted —
+  /// but a nonzero value means the disk is losing writes.
+  std::atomic<std::uint64_t> persistent_io_errors{0};
   // Monte Carlo campaign jobs: campaigns executed (cache hits excluded),
   // trials simulated, batch boundaries crossed, and campaigns that reached
   // a conclusive stop (epsilon or a cleared fail bound).
@@ -114,6 +119,9 @@ class Metrics {
   std::atomic<std::uint64_t> net_lines_out{0};
   std::atomic<std::uint64_t> net_malformed{0};
   std::atomic<std::uint64_t> net_drains{0};
+  /// accept() failures survived (EMFILE/ENFILE/ECONNABORTED, injected
+  /// faults): the server logged, backed off, and kept serving.
+  std::atomic<std::uint64_t> net_accept_errors{0};
 
   LatencyHistogram queue_latency;  ///< admission -> dispatch
   LatencyHistogram job_latency;    ///< dispatch -> result (incl. cache hits)

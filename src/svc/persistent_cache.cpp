@@ -8,6 +8,7 @@
 #include "mc/model.h"
 #include "svc/metrics.h"
 #include "util/bitpack.h"
+#include "util/fail_point.h"
 
 namespace tta::svc {
 
@@ -276,7 +277,17 @@ void PersistentCache::insert(const JobSpec& spec, const JobResult& result) {
   auto [it, inserted] = entries_.try_emplace(spec.digest());
   if (!inserted && it->second == payload) return;  // re-run of a cached cell
   it->second = std::move(payload);
-  if (journal_.is_open()) journal_.append(it->second);
+  // The entry serves from memory either way; what a failed append (ENOSPC,
+  // short write, torn-write injection) costs is durability. Count it and
+  // immediately try to restore durability by rewriting the snapshot —
+  // which also reopens a fresh journal if the writer poisoned itself.
+  if (!journal_.is_open() || !journal_.append(it->second)) {
+    if (metrics_) {
+      metrics_->persistent_io_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    compact_locked();
+    return;
+  }
   if (++appends_since_compact_ >= config_.compact_after_appends) {
     compact_locked();
   }
@@ -288,19 +299,36 @@ void PersistentCache::compact() {
 }
 
 void PersistentCache::compact_locked() {
+  // Any failure below leaves the old snapshot + journal authoritative (the
+  // tmp file is discarded, never renamed) and is counted as an io_error;
+  // the cache keeps serving from memory and a later insert retries.
+  const auto io_error = [this] {
+    if (metrics_) {
+      metrics_->persistent_io_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
   const std::string tmp = snapshot_path() + ".tmp";
   {
     util::JournalWriter writer;
-    if (!writer.open_fresh(tmp)) return;
+    if (!writer.open_fresh(tmp)) return io_error();
     for (const auto& [digest, payload] : entries_) {
       (void)digest;
-      if (!writer.append(payload)) return;
+      if (!writer.append(payload)) return io_error();
     }
-    if (!writer.sync()) return;  // publication point: must reach stable storage
+    // Publication point: must reach stable storage before the rename.
+    if (!writer.sync()) return io_error();
+  }
+  // Fail point `cache.compact.rename`: a crash between fsync and rename —
+  // the fully written tmp snapshot never becomes visible.
+  if (util::fail_point("cache.compact.rename").error()) {
+    io_error();
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return;
   }
   std::error_code ec;
   std::filesystem::rename(tmp, snapshot_path(), ec);
-  if (ec) return;
+  if (ec) return io_error();
   // The snapshot now carries every live entry; restart the journal empty.
   journal_.open(journal_path(), 0);
   appends_since_compact_ = 0;

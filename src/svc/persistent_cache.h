@@ -78,7 +78,11 @@ class PersistentCache {
   void insert(const JobSpec& spec, const JobResult& result);
 
   /// Rewrites the snapshot from the live entries and truncates the
-  /// journal. Publication is atomic (tmp + rename + fsync).
+  /// journal. Publication is atomic (tmp + rename + fsync); on any write
+  /// or fsync failure the old snapshot + journal stay authoritative, the
+  /// failure lands in Metrics::persistent_io_errors, and a later insert
+  /// retries. insert() also compacts eagerly after a failed journal
+  /// append, to win durability back for the record that missed the log.
   void compact();
 
   std::size_t size() const;

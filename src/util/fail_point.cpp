@@ -1,0 +1,317 @@
+#include "util/fail_point.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/digest.h"
+
+namespace tta::util {
+
+namespace detail {
+std::atomic<std::uint32_t> g_failpoints_armed{0};
+
+FailDecision fail_point_slow(const char* site) {
+  return FailPoints::instance().evaluate(site);
+}
+}  // namespace detail
+
+namespace {
+
+/// One grammar fragment with surrounding whitespace stripped.
+std::string_view trimmed(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses "name(arg1[,arg2])" or bare "name"; false when the parentheses
+/// are unbalanced or an argument is not a decimal number.
+bool parse_call(std::string_view text, std::string_view* name,
+                std::vector<std::uint64_t>* args) {
+  const std::size_t open = text.find('(');
+  if (open == std::string_view::npos) {
+    *name = text;
+    return true;
+  }
+  if (text.back() != ')') return false;
+  *name = text.substr(0, open);
+  std::string_view inner = text.substr(open + 1, text.size() - open - 2);
+  while (!inner.empty()) {
+    const std::size_t comma = inner.find(',');
+    const std::string_view token =
+        trimmed(comma == std::string_view::npos ? inner
+                                                : inner.substr(0, comma));
+    inner.remove_prefix(comma == std::string_view::npos ? inner.size()
+                                                        : comma + 1);
+    if (token.empty()) return false;
+    std::uint64_t value = 0;
+    for (char c : token) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    args->push_back(value);
+  }
+  return true;
+}
+
+bool parse_spec(std::string_view text, FailSpec* spec, std::string* error) {
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= text.size()) {
+    const std::size_t colon = text.find(':', start);
+    const std::string_view part = trimmed(
+        colon == std::string_view::npos ? text.substr(start)
+                                        : text.substr(start, colon - start));
+    start = colon == std::string_view::npos ? text.size() + 1 : colon + 1;
+
+    std::string_view name;
+    std::vector<std::uint64_t> args;
+    if (part.empty() || !parse_call(part, &name, &args)) {
+      if (error) *error = "malformed fragment \"" + std::string(part) + "\"";
+      return false;
+    }
+    if (first) {
+      first = false;
+      if (name == "error" && args.empty()) {
+        spec->action = FailAction::kError;
+      } else if (name == "abort" && args.empty()) {
+        spec->action = FailAction::kAbort;
+      } else if (name == "delay" && args.size() == 1) {
+        spec->action = FailAction::kDelay;
+        spec->arg = args[0];
+      } else if (name == "short-io" && args.size() == 1) {
+        spec->action = FailAction::kShortIo;
+        spec->arg = args[0];
+      } else {
+        if (error) *error = "unknown action \"" + std::string(part) + "\"";
+        return false;
+      }
+      continue;
+    }
+    if (name == "prob" && args.size() == 1 && args[0] <= 1'000'000) {
+      spec->prob_ppm = static_cast<std::uint32_t>(args[0]);
+    } else if (name == "hits" && args.size() == 1 && args[0] >= 1) {
+      spec->first_hit = args[0];
+      spec->last_hit = UINT64_MAX;
+    } else if (name == "hits" && args.size() == 2 && args[0] >= 1 &&
+               args[0] <= args[1]) {
+      spec->first_hit = args[0];
+      spec->last_hit = args[1];
+    } else {
+      if (error) *error = "unknown modifier \"" + std::string(part) + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Site {
+  FailSpec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
+/// Runs before main() in any binary that links a fail-point call site, so
+/// TTA_FAILPOINTS in the environment arms a server/tool without any code
+/// path having to remember to ask.
+struct EnvArmHook {
+  EnvArmHook() {
+    if (FailPoints::compiled_in()) FailPoints::instance().arm_from_env();
+  }
+};
+const EnvArmHook g_env_arm_hook;
+
+}  // namespace
+
+bool parse_failpoints(std::string_view config,
+                      std::vector<std::pair<std::string, FailSpec>>* out,
+                      std::string* error) {
+  std::size_t start = 0;
+  while (start <= config.size()) {
+    const std::size_t semi = config.find(';', start);
+    const std::string_view entry = trimmed(
+        semi == std::string_view::npos ? config.substr(start)
+                                       : config.substr(start, semi - start));
+    start = semi == std::string_view::npos ? config.size() + 1 : semi + 1;
+    if (entry.empty()) continue;  // tolerate trailing / doubled separators
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      if (error) *error = "expected <site>=<action> in \"" +
+                          std::string(entry) + "\"";
+      return false;
+    }
+    const std::string site(trimmed(entry.substr(0, eq)));
+    FailSpec spec;
+    if (!parse_spec(entry.substr(eq + 1), &spec, error)) return false;
+    out->emplace_back(site, spec);
+  }
+  return true;
+}
+
+struct FailPoints::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, Site> sites;  // ordered so render() is stable
+  std::uint64_t seed = 0;
+};
+
+FailPoints& FailPoints::instance() {
+  static FailPoints points;
+  return points;
+}
+
+FailPoints::Impl& FailPoints::impl() const {
+  static Impl state;
+  return state;
+}
+
+bool FailPoints::arm(std::string_view config, std::string* error) {
+  std::vector<std::pair<std::string, FailSpec>> parsed;
+  if (!parse_failpoints(config, &parsed, error)) return false;
+  for (auto& [site, spec] : parsed) arm_site(site, spec);
+  return true;
+}
+
+void FailPoints::arm_site(const std::string& site, const FailSpec& spec) {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto [it, inserted] = s.sites.try_emplace(site);
+  it->second = Site{spec, 0, 0};  // re-arming restarts the hit sequence
+  if (inserted) {
+    detail::g_failpoints_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::disarm(const std::string& site) {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.sites.erase(site) > 0) {
+    detail::g_failpoints_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::disarm_all() {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  detail::g_failpoints_armed.fetch_sub(
+      static_cast<std::uint32_t>(s.sites.size()), std::memory_order_relaxed);
+  s.sites.clear();
+}
+
+void FailPoints::arm_from_env() {
+  if (const char* seed_env = std::getenv("TTA_FAILPOINTS_SEED")) {
+    set_seed(std::strtoull(seed_env, nullptr, 10));
+  }
+  const char* config = std::getenv("TTA_FAILPOINTS");
+  if (!config || *config == '\0') return;
+  std::string error;
+  if (!arm(config, &error)) {
+    std::fprintf(stderr, "TTA_FAILPOINTS: %s\n", error.c_str());
+    std::exit(2);
+  }
+}
+
+void FailPoints::set_seed(std::uint64_t seed) {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.seed = seed;
+}
+
+std::uint64_t FailPoints::seed() const {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.seed;
+}
+
+std::uint64_t FailPoints::hits(const std::string& site) const {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.sites.find(site);
+  return it == s.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FailPoints::fired(const std::string& site) const {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.sites.find(site);
+  return it == s.sites.end() ? 0 : it->second.fired;
+}
+
+std::vector<FailSiteStats> FailPoints::snapshot() const {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<FailSiteStats> out;
+  out.reserve(s.sites.size());
+  for (const auto& [site, state] : s.sites) {
+    out.push_back(FailSiteStats{site, state.spec, state.hits, state.fired});
+  }
+  return out;
+}
+
+std::string FailPoints::render() const {
+  std::string out;
+  for (const FailSiteStats& site : snapshot()) {
+    out += "failpoint: site=" + site.site +
+           " hits=" + std::to_string(site.hits) +
+           " fired=" + std::to_string(site.fired) + "\n";
+  }
+  return out;
+}
+
+bool FailPoints::deterministic_fire(std::uint64_t seed, std::string_view site,
+                                    std::uint64_t hit_index,
+                                    std::uint32_t prob_ppm) {
+  if (prob_ppm >= 1'000'000) return true;
+  if (prob_ppm == 0) return false;
+  // splitmix64 finalizer over the (seed, site-hash, hit-index) triple: no
+  // stream state, so concurrent hits at other sites cannot perturb this
+  // site's firing sequence.
+  std::uint64_t x = fnv1a64(site.data(), site.size());
+  x += seed * 0x9e3779b97f4a7c15ull;
+  x += hit_index * 0xd1b54a32d192ed03ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x % 1'000'000 < prob_ppm;
+}
+
+FailDecision FailPoints::evaluate(const char* site) {
+  FailDecision out;
+  {
+    Impl& s = impl();
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.sites.find(site);
+    if (it == s.sites.end()) return out;
+    Site& state = it->second;
+    const std::uint64_t hit = ++state.hits;
+    if (hit < state.spec.first_hit || hit > state.spec.last_hit) return out;
+    if (!deterministic_fire(s.seed, site, hit, state.spec.prob_ppm)) {
+      return out;
+    }
+    ++state.fired;
+    out.action = state.spec.action;
+    out.arg = state.spec.arg;
+  }
+  if (out.action == FailAction::kAbort) {
+    std::fprintf(stderr, "TTA_FAILPOINTS: abort injected at site %s\n", site);
+    std::abort();
+  }
+  if (out.action == FailAction::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(out.arg));
+  }
+  return out;
+}
+
+}  // namespace tta::util

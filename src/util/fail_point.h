@@ -1,0 +1,173 @@
+// Deterministic fail-point fault injection (docs/SERVICE.md, "Fault
+// injection & chaos testing").
+//
+// A fail point is a named site in a failure path — `journal.sync`,
+// `sock.send`, `ckpt.save.torn` — where a fault can be injected on demand:
+//
+//   const FailDecision fp = util::fail_point("journal.sync");
+//   if (fp.error()) { ++io_errors_; return false; }
+//
+// Sites are dormant until *armed*, either through the runtime API
+// (FailPoints::instance().arm(...)) or the TTA_FAILPOINTS environment
+// variable read once at process start:
+//
+//   TTA_FAILPOINTS="<site>=<action>[:<modifier>...][;<site>=...]"
+//   action    error | abort | delay(MS) | short-io(BYTES)
+//   modifier  prob(PPM)         fire with probability PPM/1e6 per hit
+//             hits(FROM[,TO])   fire only on hit indices in [FROM,TO]
+//                               (1-based, inclusive; TO omitted = forever)
+//   TTA_FAILPOINTS_SEED=N       seed for the firing PRNG (default 0)
+//
+// Determinism is the contract that makes chaos runs replayable: each site
+// keeps a hit counter, and whether hit number H of site S fires is a pure
+// function of (seed, S, H) — a counter-based PRNG, not shared mutable
+// stream state — so the same seed and the same per-site hit sequence
+// reproduce the same faults regardless of thread interleaving across
+// *different* sites.
+//
+// Cost model: compiled out (cmake -DTTA_FAILPOINTS=OFF), fail_point() is a
+// constexpr empty decision — no atomic load, no branch survives
+// optimization. Compiled in but unarmed (the production default), it is
+// one relaxed atomic load of a process-global arm counter. Only armed
+// processes pay the registry mutex. bench_async_service prices all three.
+//
+// Action semantics are owned by the call site: `error` means "this
+// operation failed" in whatever way the site fails (EMFILE for accept,
+// a reset for send, false for a journal append); `short-io(N)` means "only
+// N bytes made it"; `delay(MS)` sleeps inside the evaluation and then
+// reports kDelay (call sites treat it as a non-event); `abort` calls
+// std::abort() — the chaos harness never arms it, CI asserts no aborts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tta::util {
+
+enum class FailAction : std::uint8_t {
+  kOff = 0,      ///< site not armed, or armed but this hit did not fire
+  kError = 1,    ///< the operation fails the way this site fails
+  kShortIo = 2,  ///< only `arg` bytes of the operation take effect
+  kDelay = 3,    ///< already slept `arg` ms inside the evaluation
+  kAbort = 4,    ///< never observed: evaluation calls std::abort()
+};
+
+/// What one fail_point() evaluation decided.
+struct FailDecision {
+  FailAction action = FailAction::kOff;
+  std::uint64_t arg = 0;  ///< short-io byte count / delay ms
+
+  bool fired() const { return action != FailAction::kOff; }
+  bool error() const { return action == FailAction::kError; }
+  bool short_io() const { return action == FailAction::kShortIo; }
+};
+
+/// How an armed site behaves, as parsed from the grammar above.
+struct FailSpec {
+  FailAction action = FailAction::kError;
+  std::uint64_t arg = 0;
+  std::uint32_t prob_ppm = 1'000'000;  ///< firing probability per hit
+  std::uint64_t first_hit = 1;         ///< 1-based inclusive window
+  std::uint64_t last_hit = UINT64_MAX;
+};
+
+struct FailSiteStats {
+  std::string site;
+  FailSpec spec;
+  std::uint64_t hits = 0;   ///< evaluations while armed
+  std::uint64_t fired = 0;  ///< evaluations that injected
+};
+
+/// Parses the TTA_FAILPOINTS grammar into (site, spec) pairs. On failure
+/// returns false and names the offending fragment in *error.
+bool parse_failpoints(std::string_view config,
+                      std::vector<std::pair<std::string, FailSpec>>* out,
+                      std::string* error);
+
+namespace detail {
+/// Number of armed sites; the fast path's only read. Relaxed everywhere —
+/// arming mid-flight is inherently racy with in-progress operations and
+/// the registry mutex orders everything that matters.
+extern std::atomic<std::uint32_t> g_failpoints_armed;
+FailDecision fail_point_slow(const char* site);
+}  // namespace detail
+
+/// Process-wide registry of armed sites. Thread-safe; a Meyers singleton
+/// so tools, tests, and the env hook all see the same arming state.
+class FailPoints {
+ public:
+  static FailPoints& instance();
+
+  /// True when the build carries injection support (TTA_FAILPOINTS=ON,
+  /// the default). When false, fail_point() is a compiled-out no-op and
+  /// arming only updates the registry bookkeeping.
+  static constexpr bool compiled_in() {
+#if TTA_FAILPOINTS_ENABLED
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Arms every site in a grammar string (additive; later specs for the
+  /// same site replace earlier ones). False + *error on a parse failure,
+  /// in which case nothing was armed.
+  bool arm(std::string_view config, std::string* error);
+  void arm_site(const std::string& site, const FailSpec& spec);
+  void disarm(const std::string& site);
+  void disarm_all();
+
+  /// Reads TTA_FAILPOINTS / TTA_FAILPOINTS_SEED. Called once automatically
+  /// before main(); exposed for tests. Exits the process with a diagnostic
+  /// on a malformed value — a chaos run with a typo must not silently
+  /// become a clean run.
+  void arm_from_env();
+
+  void set_seed(std::uint64_t seed);
+  std::uint64_t seed() const;
+
+  std::uint64_t hits(const std::string& site) const;
+  std::uint64_t fired(const std::string& site) const;
+  std::vector<FailSiteStats> snapshot() const;
+  /// "failpoint: site=<s> hits=<h> fired=<f>\n" per armed site, sorted;
+  /// empty when nothing is armed. tta_verifyd appends it to the final
+  /// metrics dump so chaos logs show what actually fired.
+  std::string render() const;
+
+  /// The counter-based PRNG: does hit number `hit_index` (1-based) of
+  /// `site` fire under `seed` at probability `prob_ppm`? Pure — this is
+  /// the whole determinism contract, pinned by util_fail_point_test.
+  static bool deterministic_fire(std::uint64_t seed, std::string_view site,
+                                 std::uint64_t hit_index,
+                                 std::uint32_t prob_ppm);
+
+  /// Slow path behind fail_point(); public so tests can drive evaluation
+  /// directly in compiled-out builds.
+  FailDecision evaluate(const char* site);
+
+ private:
+  FailPoints() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+#if TTA_FAILPOINTS_ENABLED
+/// Hot-path hook: one relaxed load when nothing is armed anywhere.
+inline FailDecision fail_point(const char* site) {
+  if (detail::g_failpoints_armed.load(std::memory_order_relaxed) == 0) {
+    return FailDecision{};
+  }
+  return detail::fail_point_slow(site);
+}
+#else
+/// Compiled out: the call folds to an empty decision and dead branches.
+inline constexpr FailDecision fail_point(const char* /*site*/) {
+  return FailDecision{};
+}
+#endif
+
+}  // namespace tta::util

@@ -2,11 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <filesystem>
 #include <system_error>
 
 #include "util/crc32.h"
+#include "util/fail_point.h"
 
 namespace tta::util {
 
@@ -111,21 +113,62 @@ bool JournalWriter::append(const void* payload, std::size_t len) {
   std::uint8_t header[8];
   write_u32le(header, static_cast<std::uint32_t>(len));
   write_u32le(header + 4, crc32(payload, len));
-  if (std::fwrite(header, 1, sizeof header, file_) != sizeof header) {
+
+  const FailDecision torn = fail_point("journal.append.torn");
+  if (torn.short_io()) {
+    // Injected crash mid-write: `arg` bytes of the frame reach the file
+    // and the writer never comes back, exactly like a SIGKILL between
+    // fwrite and fflush. No healing — the torn tail must be there for the
+    // next recovery scan to quarantine.
+    const std::uint64_t n =
+        std::min<std::uint64_t>(torn.arg, sizeof header + len);
+    std::fwrite(header, 1, static_cast<std::size_t>(
+                               std::min<std::uint64_t>(n, sizeof header)),
+                file_);
+    if (n > sizeof header) {
+      std::fwrite(payload, 1, static_cast<std::size_t>(n - sizeof header),
+                  file_);
+    }
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+    ++io_errors_;
     return false;
   }
-  if (len > 0 && std::fwrite(payload, 1, len, file_) != len) return false;
-  // Push the record into the kernel so it survives SIGKILL; stable-storage
-  // durability is sync()'s job.
-  if (std::fflush(file_) != 0) return false;
+
+  if (fail_point("journal.append.enospc").error() ||
+      std::fwrite(header, 1, sizeof header, file_) != sizeof header ||
+      (len > 0 && std::fwrite(payload, 1, len, file_) != len) ||
+      // Push the record into the kernel so it survives SIGKILL;
+      // stable-storage durability is sync()'s job. ENOSPC surfaces here.
+      std::fflush(file_) != 0) {
+    ++io_errors_;
+    heal_tail();
+    return false;
+  }
   bytes_written_ += sizeof header + len;
   return true;
 }
 
+void JournalWriter::heal_tail() {
+  if (!file_) return;
+  std::fflush(file_);  // drop what we can; the truncate is the real healer
+  // The stream is in append mode, so after the truncate the next fwrite
+  // lands back at the record boundary — no seek needed. If even the
+  // truncate fails, the partial frame stays and the next recovery scan
+  // quarantines it like any torn write.
+  const int rc = ::ftruncate(::fileno(file_), static_cast<off_t>(bytes_written_));
+  (void)rc;
+}
+
 bool JournalWriter::sync() {
   if (!file_) return false;
-  if (std::fflush(file_) != 0) return false;
-  return ::fsync(::fileno(file_)) == 0;
+  if (fail_point("journal.sync").error() || std::fflush(file_) != 0 ||
+      ::fsync(::fileno(file_)) != 0) {
+    ++io_errors_;
+    return false;
+  }
+  return true;
 }
 
 void JournalWriter::close() {

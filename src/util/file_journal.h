@@ -69,8 +69,17 @@ class JournalWriter {
   bool open_fresh(const std::string& path) { return open(path, 0); }
 
   /// Frames, checksums, writes, and flushes one record. Returns false on
-  /// I/O failure (the journal is then in an undefined tail state, which
-  /// the next recovery scan handles like any other torn write).
+  /// I/O failure (short write, ENOSPC) — never aborts. A failed write
+  /// quarantines its own tail immediately: the file is truncated back to
+  /// the last record boundary, so the journal stays valid and further
+  /// appends can land once the condition clears. Failures are counted in
+  /// io_errors().
+  ///
+  /// Fail points: `journal.append.enospc` (action `error`) simulates the
+  /// write failing with nothing durable; `journal.append.torn` (action
+  /// `short-io(n)`) simulates a crash mid-write — n bytes of the frame
+  /// land on disk and the writer closes, leaving the torn tail for the
+  /// next recovery scan exactly as a real SIGKILL would.
   bool append(const void* payload, std::size_t len);
   bool append(const std::vector<std::uint8_t>& payload) {
     return append(payload.data(), payload.size());
@@ -85,10 +94,18 @@ class JournalWriter {
 
   bool is_open() const { return file_ != nullptr; }
   std::uint64_t bytes_written() const { return bytes_written_; }
+  /// Appends and syncs that failed over this writer's lifetime.
+  std::uint64_t io_errors() const { return io_errors_; }
 
  private:
+  /// Truncates the file back to the last record boundary after a failed
+  /// write, so the failed frame's partial bytes cannot masquerade as a
+  /// quarantinable tail later — the failure is fully handled now.
+  void heal_tail();
+
   std::FILE* file_ = nullptr;
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t io_errors_ = 0;
 };
 
 }  // namespace tta::util

@@ -1,5 +1,7 @@
 #include "util/socket.h"
 
+#include <algorithm>
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
@@ -10,6 +12,8 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "util/fail_point.h"
 
 namespace tta::util {
 
@@ -101,14 +105,33 @@ Socket Socket::listen_on(std::uint16_t port, std::uint16_t* bound_port,
   return sock;
 }
 
-Socket Socket::accept_for(int timeout_ms) const {
-  if (!valid()) return Socket();
+Socket Socket::accept_for(int timeout_ms, int* accept_errno) const {
+  if (accept_errno) *accept_errno = 0;
+  if (!valid()) {
+    if (accept_errno) *accept_errno = EBADF;
+    return Socket();
+  }
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
-  if (poll_until(fd_, POLLIN, deadline) <= 0) return Socket();
+  const int ready = poll_until(fd_, POLLIN, deadline);
+  if (ready == 0) return Socket();  // timeout: *accept_errno stays 0
+  if (ready < 0) {
+    if (accept_errno) *accept_errno = errno;
+    return Socket();
+  }
+  if (fail_point("sock.accept").error()) {
+    // Injected descriptor exhaustion: the connection stays queued in the
+    // listen backlog, so a later accept (after the caller backs off)
+    // still picks it up — exactly the real EMFILE shape.
+    if (accept_errno) *accept_errno = EMFILE;
+    return Socket();
+  }
   for (;;) {
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) return Socket(fd);
-    if (errno != EINTR) return Socket();
+    if (errno != EINTR) {
+      if (accept_errno) *accept_errno = errno;
+      return Socket();
+    }
   }
 }
 
@@ -187,10 +210,29 @@ LineConn::Io LineConn::read_line(std::string* line, int timeout_ms) {
     if (ready == 0) return Io::kTimeout;
     if (ready < 0) return Io::kError;
 
+    if (fail_point("sock.recv.eintr").fired()) {
+      // Injected signal between poll and recv: one wasted cycle. The
+      // deadline still bounds the loop, so an always-armed site degrades
+      // to kTimeout, never a hang.
+      if (Clock::now() >= deadline) return Io::kTimeout;
+      continue;
+    }
+    const FailDecision fp = fail_point("sock.recv");
+    if (fp.error()) {
+      sock_.close();  // injected reset is sticky, like the real thing
+      return Io::kError;
+    }
     char chunk[4096];
+    std::size_t want = sizeof chunk;
+    if (fp.short_io()) {
+      // Clamp to >= 1: a zero-byte recv result means EOF on the wire, and
+      // an injected partial read must never counterfeit a peer close.
+      want = static_cast<std::size_t>(std::clamp<std::uint64_t>(
+          fp.arg, 1, sizeof chunk));
+    }
     ssize_t n;
     do {
-      n = ::recv(sock_.fd(), chunk, sizeof chunk, 0);
+      n = ::recv(sock_.fd(), chunk, want, 0);
     } while (n < 0 && errno == EINTR);
     if (n < 0) return Io::kError;
     if (n == 0) return Io::kEof;  // any partial tail in buffer_ is dropped
@@ -204,20 +246,41 @@ LineConn::Io LineConn::write_line(const std::string& line, int timeout_ms) {
   std::string framed = line;
   framed.push_back('\n');
   std::size_t off = 0;
+  int zero_writes = 0;
   while (off < framed.size()) {
     const int ready = poll_until(sock_.fd(), POLLOUT, deadline);
     if (ready == 0) return Io::kTimeout;
     if (ready < 0) return Io::kError;
 
+    if (fail_point("sock.send.eintr").fired()) {
+      if (Clock::now() >= deadline) return Io::kTimeout;
+      continue;
+    }
+    const FailDecision fp = fail_point("sock.send");
+    if (fp.error()) {
+      sock_.close();  // injected reset is sticky, like the real thing
+      return Io::kError;
+    }
+    std::size_t want = framed.size() - off;
+    if (fp.short_io()) {
+      want = static_cast<std::size_t>(std::min<std::uint64_t>(want, fp.arg));
+    }
+
     ssize_t n;
     do {
-      n = ::send(sock_.fd(), framed.data() + off, framed.size() - off,
-                 MSG_NOSIGNAL);
+      n = ::send(sock_.fd(), framed.data() + off, want, MSG_NOSIGNAL);
     } while (n < 0 && errno == EINTR);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Io::kError;
     }
+    if (n == 0) {
+      // Zero bytes from a "writable" socket makes no progress; bound the
+      // retries so this can never spin hot until the deadline.
+      if (++zero_writes >= kMaxZeroByteWrites) return Io::kError;
+      continue;
+    }
+    zero_writes = 0;
     off += static_cast<std::size_t>(n);
   }
   return Io::kOk;

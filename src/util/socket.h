@@ -44,10 +44,16 @@ class Socket {
                           std::string* error);
 
   /// Accepts one connection, waiting at most `timeout_ms` (poll-based,
-  /// EINTR-safe). Returns an invalid Socket on timeout or error; the two
-  /// are distinguishable by valid() alone not being needed — callers in
-  /// the accept loop just retry until told to stop.
-  Socket accept_for(int timeout_ms) const;
+  /// EINTR-safe). Returns an invalid Socket on timeout or error. The two
+  /// are distinguished through *accept_errno: 0 on timeout, the errno of
+  /// the failed accept/poll otherwise — so a serving loop can treat
+  /// EMFILE/ENFILE/ECONNABORTED as "log, back off, keep serving" instead
+  /// of a reason to die. Callers that only retry may pass nullptr.
+  ///
+  /// Fail point `sock.accept` (action `error`) simulates descriptor
+  /// exhaustion: the pending connection stays in the backlog and
+  /// *accept_errno reads EMFILE.
+  Socket accept_for(int timeout_ms, int* accept_errno = nullptr) const;
 
   /// Connects to host:port with a bounded, EINTR-safe non-blocking
   /// connect (poll + SO_ERROR). Returns an invalid Socket and fills
@@ -81,11 +87,21 @@ class LineConn {
   /// takes. A partial line followed by peer close is reported as kEof and
   /// discarded — the wire protocol is strictly line-framed. Lines longer
   /// than kMaxLineBytes break the connection (kError).
+  ///
+  /// Fail points: `sock.recv` (`error` = injected reset, sticky;
+  /// `short-io(n)` = at most n bytes per recv, clamped to >= 1 so a
+  /// partial read can never masquerade as EOF) and `sock.recv.eintr`
+  /// (one wasted poll/recv cycle, as if a signal landed).
   Io read_line(std::string* line, int timeout_ms);
 
   /// Writes `line` plus a trailing '\n', looping over partial writes,
   /// waiting at most `timeout_ms` total for the socket to drain. Never
-  /// raises SIGPIPE; a closed peer is kError.
+  /// raises SIGPIPE; a closed peer is kError, as is a socket that reports
+  /// writable but accepts zero bytes kMaxZeroByteWrites times in a row.
+  ///
+  /// Fail points: `sock.send` (`error` = injected peer reset, sticky;
+  /// `short-io(n)` = at most n bytes per send, n=0 exercising the
+  /// zero-byte bound) and `sock.send.eintr` (one wasted poll/send cycle).
   Io write_line(const std::string& line, int timeout_ms);
 
   /// Half-close: shuts down the write side so the peer reads EOF after
@@ -96,6 +112,12 @@ class LineConn {
   /// Defensive bound on one wire line (requests are < 1 KiB in practice;
   /// response lines with long traces stay well under 1 MiB).
   static constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+  /// Consecutive zero-byte send() results tolerated before write_line
+  /// gives up with kError. A writable socket that accepts nothing is not
+  /// making progress; without this bound an adversarial (or injected)
+  /// zero-length send would spin hot against the deadline.
+  static constexpr int kMaxZeroByteWrites = 64;
 
  private:
   Socket sock_;

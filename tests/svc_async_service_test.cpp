@@ -18,6 +18,7 @@
 #include "core/experiments.h"
 #include "svc/async_service.h"
 #include "svc/service.h"
+#include "util/fail_point.h"
 
 namespace tta::svc {
 namespace {
@@ -488,6 +489,51 @@ TEST(SyncShim, RunBatchMatchesManualSessionUseOnTheE1Grid) {
       EXPECT_EQ(via_shim[i].stats.transitions, 875'440u);
     }
   }
+}
+
+TEST(AsyncSession, SpuriousInconclusiveAttemptIsRetriedToConclusion) {
+  // Fail point `svc.attempt`: the first attempt's conclusive verdict is
+  // spoofed into kInconclusive — the retry loop must re-admit the job and
+  // the second, unspoofed attempt concludes with the exact pinned result.
+  // The spoofed non-answer must never have reached the cache.
+  std::string error;
+  ASSERT_TRUE(util::FailPoints::instance().arm("svc.attempt=error:hits(1,1)",
+                                               &error))
+      << error;
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.retry.max_attempts = 3;
+  config.retry.backoff.initial_delay_ms = 1;
+  config.retry.backoff.max_delay_ms = 4;
+  AsyncService service(config);
+  std::shared_ptr<Session> session = service.open_session();
+
+  const JobHandle handle =
+      session->submit(spec_for(guardian::Authority::kPassive));
+  std::optional<StreamedResult> item = session->results().next();
+  util::FailPoints::instance().disarm_all();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->handle.sequence, handle.sequence);
+
+  const JobResult& result = item->result;
+  EXPECT_EQ(result.verdict, mc::Verdict::kHolds);
+  EXPECT_EQ(result.stats.states_explored, 110'956u);
+  ASSERT_EQ(result.outcome.attempts.size(), 2u);
+  EXPECT_EQ(result.outcome.attempts.front().verdict,
+            mc::Verdict::kInconclusive);
+  EXPECT_EQ(result.outcome.attempts.back().verdict, mc::Verdict::kHolds);
+  EXPECT_FALSE(result.from_cache);  // the spoofed attempt was not cached
+  EXPECT_GE(service.metrics().jobs_retried.load(), 1u);
+
+  // A resubmit now hits the cache: only the conclusive answer was stored.
+  const JobHandle again =
+      session->submit(spec_for(guardian::Authority::kPassive));
+  (void)again;
+  std::optional<StreamedResult> cached = session->results().next();
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_TRUE(cached->result.from_cache);
+  EXPECT_EQ(cached->result.verdict, mc::Verdict::kHolds);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "svc/metrics.h"
 #include "svc/persistent_cache.h"
 #include "svc/service.h"
+#include "util/fail_point.h"
 
 namespace tta::svc {
 namespace {
@@ -274,6 +275,141 @@ TEST(PersistentCache, TraceRecordsReplayToTheSameCounterexample) {
   auto violation = mc::no_integrated_node_freezes();
   const mc::TraceStep& last = replayed.trace.back();
   EXPECT_TRUE(violation(last.before, last.after));
+}
+
+/// Fail-point injection into the persistence path (journal + compaction).
+/// Disarms on exit so the plain suites sharing this process stay clean.
+class PersistentCacheFaultTest : public testing::Test {
+ protected:
+  void TearDown() override { util::FailPoints::instance().disarm_all(); }
+
+  void arm(const char* config) {
+    std::string error;
+    ASSERT_TRUE(util::FailPoints::instance().arm(config, &error)) << error;
+  }
+};
+
+TEST_F(PersistentCacheFaultTest, EnospcAppendIsCountedAndRetriedByCompaction) {
+  const std::string dir = test_dir();
+  Metrics metrics;
+  PersistentCache cache(PersistentCacheConfig{dir, 1024}, &metrics);
+  const JobSpec spec = spec_for(guardian::Authority::kPassive,
+                                Property::kNoIntegratedNodeFreezes);
+
+  // The journal append fails once (ENOSPC); insert must not lose the
+  // entry — it counts the error and compacts eagerly, which lands the
+  // record in the snapshot instead.
+  arm("journal.append.enospc=error:hits(1,1)");
+  cache.insert(spec, holds_result(spec, 4'242));
+  EXPECT_GE(metrics.persistent_io_errors.load(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  JobResult out;
+  ASSERT_TRUE(cache.lookup(spec, &out));
+  EXPECT_EQ(out.stats.states_explored, 4'242u);
+
+  // And the entry is durable: a reopen recovers it from disk.
+  Metrics metrics2;
+  PersistentCache reopened(PersistentCacheConfig{dir, 1024}, &metrics2);
+  EXPECT_EQ(reopened.size(), 1u);
+  ASSERT_TRUE(reopened.lookup(spec, &out));
+  EXPECT_TRUE(out.from_persistent);
+}
+
+TEST_F(PersistentCacheFaultTest, FsyncFailureMidCompactionKeepsOldState) {
+  const std::string dir = test_dir();
+  const JobSpec a = spec_for(guardian::Authority::kPassive,
+                             Property::kNoIntegratedNodeFreezes, 1'000);
+  const JobSpec b = spec_for(guardian::Authority::kTimeWindows,
+                             Property::kNoIntegratedNodeFreezes, 2'000);
+  {
+    Metrics metrics;
+    PersistentCache cache(PersistentCacheConfig{dir, 1024}, &metrics);
+    cache.insert(a, holds_result(a, 1));
+    cache.insert(b, holds_result(b, 2));
+
+    // The snapshot fsync fails mid-compaction: the old snapshot + journal
+    // stay authoritative, the failure is counted, and every entry is
+    // still served — no data moved, none lost.
+    arm("journal.sync=error");
+    cache.compact();
+    util::FailPoints::instance().disarm_all();
+    EXPECT_GE(metrics.persistent_io_errors.load(), 1u);
+    JobResult out;
+    EXPECT_TRUE(cache.lookup(a, &out));
+    EXPECT_TRUE(cache.lookup(b, &out));
+  }
+
+  // A reopen after the failed compaction recovers both entries from the
+  // untouched journal, damage-free.
+  Metrics metrics2;
+  PersistentCache reopened(PersistentCacheConfig{dir, 1024}, &metrics2);
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_EQ(reopened.recovery().corrupt_records, 0u);
+  EXPECT_EQ(reopened.recovery().truncated_records, 0u);
+
+  // The next clean compaction succeeds and publishes the snapshot.
+  reopened.compact();
+  EXPECT_GT(std::filesystem::file_size(reopened.snapshot_path()), 0u);
+}
+
+TEST_F(PersistentCacheFaultTest, RenameFailureMidCompactionKeepsOldState) {
+  const std::string dir = test_dir();
+  const JobSpec spec = spec_for(guardian::Authority::kPassive,
+                                Property::kNoIntegratedNodeFreezes);
+  {
+    Metrics metrics;
+    PersistentCache cache(PersistentCacheConfig{dir, 1024}, &metrics);
+    cache.insert(spec, holds_result(spec, 7));
+
+    // The atomic publish (tmp -> snapshot rename) fails: counted, tmp
+    // removed, old state authoritative.
+    arm("cache.compact.rename=error:hits(1,1)");
+    cache.compact();
+    EXPECT_GE(metrics.persistent_io_errors.load(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(cache.snapshot_path() + ".tmp"));
+    JobResult out;
+    EXPECT_TRUE(cache.lookup(spec, &out));
+  }
+
+  Metrics metrics2;
+  PersistentCache reopened(PersistentCacheConfig{dir, 1024}, &metrics2);
+  EXPECT_EQ(reopened.size(), 1u);
+}
+
+TEST_F(PersistentCacheFaultTest, TornJournalAppendRecoversThePrefix) {
+  const std::string dir = test_dir();
+  const JobSpec a = spec_for(guardian::Authority::kPassive,
+                             Property::kNoIntegratedNodeFreezes, 1'000);
+  const JobSpec b = spec_for(guardian::Authority::kTimeWindows,
+                             Property::kNoIntegratedNodeFreezes, 2'000);
+  {
+    Metrics metrics;
+    PersistentCache cache(PersistentCacheConfig{dir, 1024}, &metrics);
+    cache.insert(a, holds_result(a, 1));
+    // The journal append for `b` tears 9 bytes in (simulated crash).
+    // The insert path reacts by compacting eagerly — which is exactly
+    // what wins durability back for `b` — so arm the rename fault too,
+    // keeping the compaction from rescuing the record: the torn tail
+    // must actually reach the next recovery scan.
+    arm("journal.append.torn=short-io(9):hits(1,1);"
+        "cache.compact.rename=error");
+    cache.insert(b, holds_result(b, 2));
+    EXPECT_GE(metrics.persistent_io_errors.load(), 1u);
+  }
+  util::FailPoints::instance().disarm_all();
+
+  // Recovery: `a` survives, the torn frame for `b` is quarantined and
+  // counted — never a crash.
+  Metrics metrics;
+  PersistentCache reopened(PersistentCacheConfig{dir, 1024}, &metrics);
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(reopened.recovery().truncated_records, 1u);
+  EXPECT_GT(reopened.recovery().quarantined_bytes, 0u);
+  JobResult out;
+  EXPECT_TRUE(reopened.lookup(a, &out));
+  EXPECT_FALSE(reopened.lookup(b, &out));
+  EXPECT_GE(metrics.persistent_truncated_records.load(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,255 @@
+// The fail-point contract (util/fail_point.h): the grammar parses exactly
+// what docs/SERVICE.md promises and rejects everything else with a
+// position-carrying error; an unarmed site never fires and never pays more
+// than one relaxed load; firing is a pure function of (seed, site,
+// hit-index) so a chaos run replays bit-identically from its seed; hit
+// windows and probabilities compose; and the runtime API (arm / disarm /
+// snapshot / render) keeps honest counters under concurrent evaluation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/fail_point.h"
+
+namespace tta::util {
+namespace {
+
+/// Every test leaves the global registry empty — the suite shares one
+/// process with gtest's other-suite ordering.
+class FailPointTest : public testing::Test {
+ protected:
+  void TearDown() override { FailPoints::instance().disarm_all(); }
+};
+
+TEST_F(FailPointTest, CompiledInForTests) {
+  // The test binary builds with TTA_FAILPOINTS=ON; everything below
+  // depends on it.
+  ASSERT_TRUE(FailPoints::compiled_in());
+}
+
+TEST_F(FailPointTest, ParseGrammarRoundTrip) {
+  std::vector<std::pair<std::string, FailSpec>> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_failpoints(
+      "a.site=error;b=delay(25):prob(300000);"
+      "c=short-io(7):hits(3);d=abort:hits(2,5);e=error:prob(0)",
+      &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), 5u);
+
+  EXPECT_EQ(parsed[0].first, "a.site");
+  EXPECT_EQ(parsed[0].second.action, FailAction::kError);
+  EXPECT_EQ(parsed[0].second.prob_ppm, 1'000'000u);
+  EXPECT_EQ(parsed[0].second.first_hit, 1u);
+
+  EXPECT_EQ(parsed[1].second.action, FailAction::kDelay);
+  EXPECT_EQ(parsed[1].second.arg, 25u);
+  EXPECT_EQ(parsed[1].second.prob_ppm, 300'000u);
+
+  EXPECT_EQ(parsed[2].second.action, FailAction::kShortIo);
+  EXPECT_EQ(parsed[2].second.arg, 7u);
+  EXPECT_EQ(parsed[2].second.first_hit, 3u);
+  EXPECT_EQ(parsed[2].second.last_hit, UINT64_MAX);
+
+  EXPECT_EQ(parsed[3].second.action, FailAction::kAbort);
+  EXPECT_EQ(parsed[3].second.first_hit, 2u);
+  EXPECT_EQ(parsed[3].second.last_hit, 5u);
+
+  EXPECT_EQ(parsed[4].second.prob_ppm, 0u);
+}
+
+TEST_F(FailPointTest, ParseRejectsMalformedConfigs) {
+  const char* bad[] = {
+      "nosite",                 // no '='
+      "=error",                 // empty site
+      "s=",                     // empty action
+      "s=explode",              // unknown action
+      "s=delay",                // delay needs (ms)
+      "s=short-io",             // short-io needs (n)
+      "s=error:prob(2000000)",  // prob > 1e6
+      "s=error:prob(x)",        // not a number
+      "s=error:hits(0)",        // hits are 1-based
+      "s=error:hits(5,3)",      // empty window
+      "s=error:bogus(1)",       // unknown modifier
+  };
+  for (const char* config : bad) {
+    std::vector<std::pair<std::string, FailSpec>> parsed;
+    std::string error;
+    EXPECT_FALSE(parse_failpoints(config, &parsed, &error)) << config;
+    EXPECT_FALSE(error.empty()) << config;
+  }
+}
+
+TEST_F(FailPointTest, UnarmedSiteIsInert) {
+  const FailDecision d = fail_point("test.never.armed");
+  EXPECT_FALSE(d.fired());
+  EXPECT_FALSE(d.error());
+  EXPECT_FALSE(d.short_io());
+  // Unarmed evaluation must not create registry state.
+  EXPECT_EQ(FailPoints::instance().hits("test.never.armed"), 0u);
+}
+
+TEST_F(FailPointTest, ArmFireDisarm) {
+  std::string error;
+  ASSERT_TRUE(FailPoints::instance().arm("test.basic=error", &error))
+      << error;
+  EXPECT_TRUE(fail_point("test.basic").error());
+  EXPECT_EQ(FailPoints::instance().hits("test.basic"), 1u);
+  EXPECT_EQ(FailPoints::instance().fired("test.basic"), 1u);
+
+  FailPoints::instance().disarm("test.basic");
+  EXPECT_FALSE(fail_point("test.basic").fired());
+  EXPECT_EQ(FailPoints::instance().hits("test.basic"), 0u);
+}
+
+TEST_F(FailPointTest, HitWindowBoundsFiring) {
+  std::string error;
+  ASSERT_TRUE(
+      FailPoints::instance().arm("test.window=error:hits(2,3)", &error))
+      << error;
+  EXPECT_FALSE(fail_point("test.window").fired());  // hit 1: before
+  EXPECT_TRUE(fail_point("test.window").fired());   // hit 2
+  EXPECT_TRUE(fail_point("test.window").fired());   // hit 3
+  EXPECT_FALSE(fail_point("test.window").fired());  // hit 4: after
+  EXPECT_EQ(FailPoints::instance().hits("test.window"), 4u);
+  EXPECT_EQ(FailPoints::instance().fired("test.window"), 2u);
+}
+
+TEST_F(FailPointTest, ShortIoCarriesArgument) {
+  std::string error;
+  ASSERT_TRUE(FailPoints::instance().arm("test.shortio=short-io(5)", &error))
+      << error;
+  const FailDecision d = fail_point("test.shortio");
+  ASSERT_TRUE(d.short_io());
+  EXPECT_EQ(d.arg, 5u);
+}
+
+TEST_F(FailPointTest, DelayActionSleeps) {
+  std::string error;
+  ASSERT_TRUE(FailPoints::instance().arm("test.delay=delay(30)", &error))
+      << error;
+  const auto start = std::chrono::steady_clock::now();
+  const FailDecision d = fail_point("test.delay");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(d.fired());
+  EXPECT_EQ(d.action, FailAction::kDelay);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            30);
+}
+
+TEST_F(FailPointTest, DeterministicFireIsPureInItsInputs) {
+  // The documented firing function: same (seed, site, hit) -> same answer,
+  // and the answer actually varies across hits at interior probabilities.
+  bool saw_fire = false;
+  bool saw_skip = false;
+  for (std::uint64_t hit = 1; hit <= 64; ++hit) {
+    const bool a =
+        FailPoints::deterministic_fire(42, "test.det", hit, 500'000);
+    const bool b =
+        FailPoints::deterministic_fire(42, "test.det", hit, 500'000);
+    EXPECT_EQ(a, b) << "hit " << hit;
+    (a ? saw_fire : saw_skip) = true;
+  }
+  EXPECT_TRUE(saw_fire);
+  EXPECT_TRUE(saw_skip);
+  // Boundary probabilities short-circuit.
+  EXPECT_TRUE(FailPoints::deterministic_fire(1, "s", 1, 1'000'000));
+  EXPECT_FALSE(FailPoints::deterministic_fire(1, "s", 1, 0));
+  // Seed and site both matter: some hit in [1,64] must disagree.
+  bool seed_differs = false;
+  bool site_differs = false;
+  for (std::uint64_t hit = 1; hit <= 64; ++hit) {
+    seed_differs |=
+        FailPoints::deterministic_fire(42, "test.det", hit, 500'000) !=
+        FailPoints::deterministic_fire(43, "test.det", hit, 500'000);
+    site_differs |=
+        FailPoints::deterministic_fire(42, "test.det", hit, 500'000) !=
+        FailPoints::deterministic_fire(42, "test.other", hit, 500'000);
+  }
+  EXPECT_TRUE(seed_differs);
+  EXPECT_TRUE(site_differs);
+}
+
+TEST_F(FailPointTest, RearmingReplaysTheSameFiringSequence) {
+  // The reproducibility claim end to end: arm, record, disarm, re-arm
+  // with the same seed -> identical fire/skip sequence.
+  FailPoints::instance().set_seed(7);
+  std::string error;
+  ASSERT_TRUE(
+      FailPoints::instance().arm("test.replay=error:prob(400000)", &error))
+      << error;
+  std::vector<bool> first;
+  for (int i = 0; i < 100; ++i) {
+    first.push_back(fail_point("test.replay").fired());
+  }
+  FailPoints::instance().disarm_all();
+
+  FailPoints::instance().set_seed(7);
+  ASSERT_TRUE(
+      FailPoints::instance().arm("test.replay=error:prob(400000)", &error))
+      << error;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fail_point("test.replay").fired(), first[i]) << "hit " << i;
+  }
+  // And the sequence matches the static function hit by hit.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(first[static_cast<std::size_t>(i)],
+              FailPoints::deterministic_fire(
+                  7, "test.replay", static_cast<std::uint64_t>(i) + 1,
+                  400'000));
+  }
+}
+
+TEST_F(FailPointTest, ArmViaMultiSiteConfigAndRender) {
+  std::string error;
+  ASSERT_TRUE(FailPoints::instance().arm(
+      "test.r1=error:hits(1,1);test.r2=short-io(3)", &error))
+      << error;
+  EXPECT_TRUE(fail_point("test.r1").error());
+  EXPECT_FALSE(fail_point("test.r1").fired());
+  EXPECT_TRUE(fail_point("test.r2").short_io());
+  const std::string rendered = FailPoints::instance().render();
+  EXPECT_NE(rendered.find("site=test.r1 hits=2 fired=1"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("site=test.r2 hits=1 fired=1"), std::string::npos)
+      << rendered;
+}
+
+TEST_F(FailPointTest, ArmReportsPositionOnError) {
+  std::string error;
+  EXPECT_FALSE(FailPoints::instance().arm("ok=error;bad=explode", &error));
+  EXPECT_NE(error.find("explode"), std::string::npos) << error;
+  // A failed arm must not leave earlier sites half-armed.
+  EXPECT_FALSE(fail_point("ok").fired());
+}
+
+TEST_F(FailPointTest, ConcurrentEvaluationKeepsHonestCounters) {
+  // Hits are sequenced under the registry lock, so with prob(1e6) every
+  // hit fires and the totals must be exact across racing threads.
+  std::string error;
+  ASSERT_TRUE(FailPoints::instance().arm("test.mt=error", &error)) << error;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        (void)fail_point("test.mt");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(FailPoints::instance().hits("test.mt"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(FailPoints::instance().fired("test.mt"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace tta::util

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/crc32.h"
+#include "util/fail_point.h"
 #include "util/file_journal.h"
 #include "wire/bitstream.h"
 #include "wire/crc.h"
@@ -209,6 +210,100 @@ TEST(FileJournal, AbsurdLengthHeaderIsCorruptNotAnAllocation) {
   EXPECT_TRUE(payloads.empty());
   EXPECT_TRUE(scan.damaged());
   EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+/// Fail-point injection into the writer (see file_journal.h for the two
+/// sites). Disarms on exit so the plain suites above stay clean.
+class FileJournalFaultTest : public testing::Test {
+ protected:
+  void TearDown() override { FailPoints::instance().disarm_all(); }
+
+  void arm(const char* config) {
+    std::string error;
+    ASSERT_TRUE(FailPoints::instance().arm(config, &error)) << error;
+  }
+};
+
+TEST_F(FileJournalFaultTest, EnospcAppendFailsExplicitlyAndHealsTheTail) {
+  const std::string path = test_path("journal");
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open_fresh(path));
+  ASSERT_TRUE(writer.append(bytes({1, 2, 3})));
+  const std::uint64_t boundary = writer.bytes_written();
+
+  // One injected ENOSPC: the append reports failure, counts it, and the
+  // file is already healed back to the record boundary — the journal is
+  // valid right now, not just after the next reopen.
+  arm("journal.append.enospc=error:hits(1,1)");
+  EXPECT_FALSE(writer.append(bytes({4, 5, 6})));
+  EXPECT_EQ(writer.io_errors(), 1u);
+  EXPECT_EQ(std::filesystem::file_size(path), boundary);
+
+  // The condition cleared (fault window closed): the writer keeps going
+  // on the same handle, and recovery sees clean records only.
+  EXPECT_TRUE(writer.append(bytes({7, 8, 9})));
+  writer.close();
+  JournalScan scan;
+  auto payloads = scan_payloads(path, &scan);
+  EXPECT_FALSE(scan.damaged());
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], bytes({1, 2, 3}));
+  EXPECT_EQ(payloads[1], bytes({7, 8, 9}));
+}
+
+TEST_F(FileJournalFaultTest, TornAppendLooksLikeACrashAndIsQuarantined) {
+  const std::string path = test_path("journal");
+  std::uint64_t boundary = 0;
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open_fresh(path));
+    ASSERT_TRUE(writer.append(bytes({1, 2, 3, 4})));
+    boundary = writer.bytes_written();
+
+    // Torn write: 5 of the frame's 12 bytes land, then the "process
+    // dies" — the writer closes itself and must NOT heal, because a real
+    // crash gets no chance to. The torn tail stays on disk.
+    arm("journal.append.torn=short-io(5):hits(1,1)");
+    EXPECT_FALSE(writer.append(bytes({9, 9, 9, 9})));
+    EXPECT_FALSE(writer.is_open());
+    EXPECT_EQ(writer.io_errors(), 1u);
+  }
+  EXPECT_EQ(std::filesystem::file_size(path), boundary + 5);
+
+  // Recovery: the intact record survives, the torn frame is quarantined,
+  // and reopening truncates it away.
+  JournalScan scan;
+  auto payloads = scan_payloads(path, &scan);
+  EXPECT_EQ(scan.records, 1u);
+  EXPECT_EQ(scan.truncated_records, 1u);
+  EXPECT_EQ(scan.quarantined_bytes, 5u);
+  EXPECT_EQ(scan.valid_bytes, boundary);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], bytes({1, 2, 3, 4}));
+
+  JournalWriter reopened;
+  ASSERT_TRUE(reopened.open(path, scan.valid_bytes));
+  ASSERT_TRUE(reopened.append(bytes({5, 6})));
+  reopened.close();
+  JournalScan clean;
+  auto after = scan_payloads(path, &clean);
+  EXPECT_FALSE(clean.damaged());
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[1], bytes({5, 6}));
+}
+
+TEST_F(FileJournalFaultTest, SyncFailureIsCountedNotFatal) {
+  const std::string path = test_path("journal");
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open_fresh(path));
+  ASSERT_TRUE(writer.append(bytes({1})));
+
+  arm("journal.sync=error:hits(1,1)");
+  EXPECT_FALSE(writer.sync());
+  EXPECT_EQ(writer.io_errors(), 1u);
+  // The writer survives a failed fsync; data and later syncs are fine.
+  EXPECT_TRUE(writer.append(bytes({2})));
+  EXPECT_TRUE(writer.sync());
 }
 
 }  // namespace

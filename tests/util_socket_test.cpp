@@ -5,10 +5,12 @@
 // Labeled `parallel` for the TSan build (client and server threads).
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <chrono>
 #include <string>
 #include <thread>
 
+#include "util/fail_point.h"
 #include "util/socket.h"
 
 namespace tta::util {
@@ -153,10 +155,168 @@ TEST(Socket, ConnectToNobodyFailsFast) {
 TEST(Socket, AcceptTimesOutWithoutAClient) {
   Loopback loop;
   const auto start = std::chrono::steady_clock::now();
-  Socket sock = loop.listener.accept_for(50);
+  int accept_errno = -1;
+  Socket sock = loop.listener.accept_for(50, &accept_errno);
   EXPECT_FALSE(sock.valid());
+  EXPECT_EQ(accept_errno, 0);  // timeout, not an error
   EXPECT_GE(std::chrono::steady_clock::now() - start,
             std::chrono::milliseconds(45));
+}
+
+/// Fail-point injection into the socket layer. Every test disarms on exit
+/// so the suites sharing this process stay clean.
+class SocketFaultTest : public testing::Test {
+ protected:
+  void TearDown() override { FailPoints::instance().disarm_all(); }
+
+  void arm(const char* config) {
+    std::string error;
+    ASSERT_TRUE(FailPoints::instance().arm(config, &error)) << error;
+  }
+};
+
+TEST_F(SocketFaultTest, PartialSendsStillDeliverTheWholeLine) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  // Every send is clipped to 3 bytes; write_line must loop until the full
+  // line (with terminator) is on the wire, bit-intact.
+  arm("sock.send=short-io(3)");
+  const std::string payload = "{\"job\":\"0123456789abcdef\"}";
+  ASSERT_EQ(client.write_line(payload, 2000), Io::kOk);
+  // The clip actually happened: more than one send for a 26-byte line.
+  // (Read before disarm_all — disarming a site drops its counters.)
+  EXPECT_GT(FailPoints::instance().hits("sock.send"), 1u);
+  FailPoints::instance().disarm_all();
+
+  std::string line;
+  ASSERT_EQ(server.read_line(&line, 2000), Io::kOk);
+  EXPECT_EQ(line, payload);
+}
+
+TEST_F(SocketFaultTest, ZeroByteSendsAreBoundedNotSpun) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  // short-io(0): the socket reports writable but accepts nothing, forever.
+  // Without the kMaxZeroByteWrites bound this would spin hot against the
+  // deadline; with it, write_line gives up with kError well before.
+  arm("sock.send=short-io(0)");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(client.write_line("stuck", 10'000), Io::kError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+  EXPECT_GE(FailPoints::instance().hits("sock.send"),
+            static_cast<std::uint64_t>(LineConn::kMaxZeroByteWrites));
+}
+
+TEST_F(SocketFaultTest, ZeroByteWindowThenRecovery) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  // A burst of zero-byte sends shorter than the bound must not kill the
+  // write — progress resets the counter.
+  arm("sock.send=short-io(0):hits(1,8)");
+  ASSERT_EQ(client.write_line("eventually", 2000), Io::kOk);
+  std::string line;
+  ASSERT_EQ(server.read_line(&line, 2000), Io::kOk);
+  EXPECT_EQ(line, "eventually");
+}
+
+TEST_F(SocketFaultTest, InjectedSendResetIsSticky) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  arm("sock.send=error:hits(1,1)");
+  EXPECT_EQ(client.write_line("never-arrives", 2000), Io::kError);
+  FailPoints::instance().disarm_all();
+  // The injected reset closed the socket: later writes fail without
+  // injection, exactly like a real peer reset.
+  EXPECT_EQ(client.write_line("still-dead", 2000), Io::kError);
+  EXPECT_FALSE(client.valid());
+}
+
+TEST_F(SocketFaultTest, ShortRecvReassemblesByteAtATime) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  const std::string payload = "{\"verdict\":\"HOLDS\",\"states\":12345}";
+  ASSERT_EQ(client.write_line(payload, 2000), Io::kOk);
+
+  // recv clipped to 1 byte per call: framing must reassemble the line
+  // from 30+ single-byte reads without ever faking an EOF.
+  arm("sock.recv=short-io(1)");
+  std::string line;
+  ASSERT_EQ(server.read_line(&line, 5000), Io::kOk);
+  EXPECT_EQ(line, payload);
+  EXPECT_GE(FailPoints::instance().hits("sock.recv"), payload.size());
+}
+
+TEST_F(SocketFaultTest, InjectedRecvResetBreaksTheConnection) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  ASSERT_EQ(client.write_line("in-flight", 2000), Io::kOk);
+  arm("sock.recv=error:hits(1,1)");
+  std::string line;
+  EXPECT_EQ(server.read_line(&line, 2000), Io::kError);
+  FailPoints::instance().disarm_all();
+  EXPECT_FALSE(server.valid());  // sticky, like a real reset
+}
+
+TEST_F(SocketFaultTest, RecvEintrWastesTheCycleButNotTheDeadline) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  // Every poll cycle takes a spurious EINTR before the data is looked at;
+  // the deadline still bounds the total wait, and once disarmed the line
+  // is delivered intact.
+  arm("sock.recv.eintr=error:hits(1,3)");
+  ASSERT_EQ(client.write_line("signal-storm", 2000), Io::kOk);
+  std::string line;
+  ASSERT_EQ(server.read_line(&line, 5000), Io::kOk);
+  EXPECT_EQ(line, "signal-storm");
+  EXPECT_GE(FailPoints::instance().fired("sock.recv.eintr"), 1u);
+}
+
+TEST_F(SocketFaultTest, UnstoppableEintrStormStillHonorsTheDeadline) {
+  Loopback loop;
+  LineConn client = loop.connect();
+  LineConn server = loop.accept();
+
+  ASSERT_EQ(client.write_line("never-read", 2000), Io::kOk);
+  arm("sock.recv.eintr=error");  // every cycle, forever
+  std::string line;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(server.read_line(&line, 100), Io::kTimeout);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+}
+
+TEST_F(SocketFaultTest, AcceptFailureLeavesTheConnectionInTheBacklog) {
+  Loopback loop;
+  std::string error;
+  Socket pending = Socket::connect_to("127.0.0.1", loop.port, 2000, &error);
+  ASSERT_TRUE(pending.valid()) << error;
+
+  // First accept fails like descriptor exhaustion; the connection stays
+  // queued, so the retry (fault window closed) picks it up.
+  arm("sock.accept=error:hits(1,1)");
+  int accept_errno = 0;
+  Socket failed = loop.listener.accept_for(2000, &accept_errno);
+  EXPECT_FALSE(failed.valid());
+  EXPECT_EQ(accept_errno, EMFILE);
+
+  Socket ok = loop.listener.accept_for(2000, &accept_errno);
+  EXPECT_TRUE(ok.valid());
+  EXPECT_EQ(accept_errno, 0);
 }
 
 }  // namespace

@@ -1,0 +1,425 @@
+// Chaos campaign driver for the serving stack (registered as the ctest
+// `tools.chaos_smoke`, label `async`; docs/SERVICE.md "Fault injection &
+// chaos testing").
+//
+//   chaos_batch VERIFYD JOBS [--seed=N] [--runs=N]
+//
+// Replays the E1 job grid plus one pinned campaign job against tta_verifyd
+// processes while a seeded schedule of fail points (TTA_FAILPOINTS, see
+// util/fail_point.h) injects journal write failures, torn checkpoints,
+// spurious inconclusive attempts, partial/reset socket I/O, and accept
+// failures into each run's server. The schedule is a pure function of
+// --seed: same seed, same injection env strings, same deterministic
+// per-site firing — a failing run is replayable with one flag.
+//
+// Phases:
+//   baseline   a clean server (no cache dir, no faults) answers the whole
+//              workload; its id -> (digest, verdict) map is the truth.
+//   chaos x N  each run starts a fresh server on a SHARED cache directory
+//              with that run's fail points armed. The client submits every
+//              job, reconnecting and resubmitting unanswered jobs when a
+//              connection dies, until everything concludes.
+//   recovery   a clean server on the same cache directory re-answers the
+//              grid; concluded verify jobs must come back from the
+//              persistent cache.
+//
+// Invariants checked after every phase (any violation fails the tool):
+//   - verdicts: every job's (digest, verdict) is bit-identical to the
+//     baseline, however many faults fired on the way;
+//   - no aborts: every server exits 0 on SIGTERM — never a signal, never
+//     a crash, and the log carries no injected-abort banner;
+//   - explicit loss: the client only ever resubmits after an explicit
+//     signal (rejection row, inconclusive row, dead connection) — silence
+//     is counted as a hang and fails the run;
+//   - recovery: the final clean run serves at least one answer with
+//     "from_persistent":1.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/socket.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using tta::util::LineConn;
+using tta::util::Socket;
+
+int g_failures = 0;
+
+#define CHECK(cond, ...)                                          \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::fprintf(stderr, "FAIL %s:%d: ", __FILE__, __LINE__);   \
+      std::fprintf(stderr, __VA_ARGS__);                          \
+      std::fprintf(stderr, "\n");                                 \
+      ++g_failures;                                               \
+    }                                                             \
+  } while (0)
+
+bool wait_for_file(const std::string& path, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    std::ifstream f(path);
+    std::string content;
+    if (f && std::getline(f, content) && !content.empty()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+std::string json_str_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// One server process under test, with optional fail points armed via the
+/// child's environment (the driver's own process never arms anything).
+struct Server {
+  pid_t pid = -1;
+  std::string endpoint;  ///< "127.0.0.1:<port>"
+  std::string log_path;
+
+  bool start(const std::string& verifyd, const std::string& dir,
+             const std::string& tag, const std::string& cache_dir,
+             const std::string& failpoints, std::uint64_t fp_seed) {
+    const std::string port_file = dir + "/" + tag + ".port";
+    log_path = dir + "/" + tag + ".log";
+    pid = fork();
+    if (pid == 0) {
+      if (!failpoints.empty()) {
+        setenv("TTA_FAILPOINTS", failpoints.c_str(), 1);
+        char seed_buf[32];
+        std::snprintf(seed_buf, sizeof seed_buf, "%llu",
+                      static_cast<unsigned long long>(fp_seed));
+        setenv("TTA_FAILPOINTS_SEED", seed_buf, 1);
+      }
+      std::FILE* log = std::freopen(log_path.c_str(), "w", stdout);
+      (void)log;
+      // stderr joins the log so accept-backoff lines are visible too.
+      dup2(fileno(stdout), fileno(stderr));
+      const std::string ckpt_dir = dir + "/ckpt";
+      std::vector<std::string> args = {
+          verifyd, "--port=0", "--port-file=" + port_file, "--workers=4",
+          "--retries=3", "--checkpoint-dir=" + ckpt_dir};
+      if (!cache_dir.empty()) args.push_back("--cache-dir=" + cache_dir);
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      execv(verifyd.c_str(), argv.data());
+      std::perror("execv tta_verifyd");
+      _exit(127);
+    }
+    if (pid < 0) return false;
+    if (!wait_for_file(port_file, 15'000)) return false;
+    std::ifstream f(port_file);
+    std::string port;
+    std::getline(f, port);
+    endpoint = "127.0.0.1:" + port;
+    return true;
+  }
+
+  /// SIGTERM, bounded wait, and the no-abort invariant: a server that dies
+  /// on a signal (SIGABRT from an un-handled fault) fails the campaign.
+  void stop_and_check(const char* phase) {
+    if (pid <= 0) return;
+    kill(pid, SIGTERM);
+    int status = -1;
+    pid_t reaped = 0;
+    const auto deadline = Clock::now() + std::chrono::seconds(120);
+    while (Clock::now() < deadline) {
+      reaped = waitpid(pid, &status, WNOHANG);
+      if (reaped == pid) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (reaped != pid) {
+      std::fprintf(stderr, "FAIL: %s server ignored SIGTERM; killing\n",
+                   phase);
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      ++g_failures;
+    } else {
+      CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+            "%s server exit status %d (signal = abort?)", phase, status);
+    }
+    const std::string log = slurp(log_path);
+    CHECK(log.find("abort injected") == std::string::npos,
+          "%s server log reports an injected abort", phase);
+    pid = -1;
+  }
+};
+
+/// id -> (digest, verdict) for every job of the workload.
+using VerdictMap = std::map<std::string, std::pair<std::string, std::string>>;
+
+/// Drives one full workload against `endpoint`, reconnecting and
+/// resubmitting on every explicit loss (dead connection, rejection row,
+/// spurious-inconclusive verify row) until all jobs conclude. Counts rows
+/// served from the persistent cache into *persistent_hits when non-null.
+/// Returns false if the workload could not finish within the attempt
+/// bound.
+bool run_workload(const std::string& endpoint,
+                  const std::vector<std::string>& jobs, VerdictMap* out,
+                  int* persistent_hits = nullptr) {
+  using Io = LineConn::Io;
+  const std::size_t colon = endpoint.find(':');
+  const std::string host = endpoint.substr(0, colon);
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(endpoint.substr(colon + 1)));
+
+  std::set<std::size_t> unanswered;
+  for (std::size_t i = 0; i < jobs.size(); ++i) unanswered.insert(i);
+
+  for (int attempt = 0; attempt < 30 && !unanswered.empty(); ++attempt) {
+    std::string error;
+    Socket sock = Socket::connect_to(host, port, 10'000, &error);
+    if (!sock.valid()) {
+      // Accept-failure injection can park us in the backlog briefly.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      continue;
+    }
+    LineConn conn(std::move(sock));
+    bool submitted_all = true;
+    for (std::size_t i : unanswered) {
+      // Tag with the job index so every answer maps back even when rows
+      // interleave across reconnects. Job lines are single JSON objects.
+      const std::string line =
+          "{\"id\":\"j" + std::to_string(i) + "\"," + jobs[i].substr(1);
+      if (conn.write_line(line, 30'000) != Io::kOk) {
+        submitted_all = false;  // connection died mid-burst: explicit loss
+        break;
+      }
+    }
+    if (submitted_all) conn.shutdown_write();
+
+    std::string line;
+    for (;;) {
+      const Io io = conn.read_line(&line, 120'000);
+      if (io != Io::kOk) break;  // kEof = server done; kError = reconnect;
+                                 // kTimeout = counted as a hang below
+      if (line.find("\"progress\":1") != std::string::npos) continue;
+      if (line.find("\"error\"") != std::string::npos) continue;
+      const std::string id = json_str_field(line, "id");
+      if (id.size() < 2 || id[0] != 'j') continue;
+      const std::size_t index = std::stoul(id.substr(1));
+      if (index >= jobs.size()) continue;
+      const std::string verdict = json_str_field(line, "verdict");
+      const bool rejected =
+          line.find("\"rejected\":1") != std::string::npos;
+      const bool campaign = jobs[index].find("\"campaign\"") !=
+                            std::string::npos;
+      if (rejected || (!campaign && verdict == "INCONCLUSIVE")) {
+        continue;  // explicit loss: stays unanswered, resubmitted next pass
+      }
+      if (verdict.empty()) continue;
+      if (persistent_hits &&
+          line.find("\"from_persistent\":1") != std::string::npos) {
+        ++*persistent_hits;
+      }
+      (*out)[id] = {json_str_field(line, "digest"), verdict};
+      unanswered.erase(index);
+    }
+  }
+  return unanswered.empty();
+}
+
+/// One armable fault, with the grammar fragment parameterized per run.
+struct MenuEntry {
+  const char* site;
+  const char* spec;  ///< action + modifiers, without the site=
+};
+
+/// The non-abort fault menu. Socket faults run at low per-hit probability
+/// (they are evaluated once per send/recv); storage and dispatch faults
+/// run hot because their sites are hit a handful of times per job.
+constexpr MenuEntry kMenu[] = {
+    {"journal.append.enospc", "error:prob(300000)"},
+    {"journal.append.torn", "short-io(5):hits(2,2)"},
+    {"journal.sync", "error:prob(250000)"},
+    {"cache.compact.rename", "error:prob(300000)"},
+    {"ckpt.save.torn", "short-io(64):prob(200000)"},
+    {"ckpt.save.crc", "error:prob(200000)"},
+    {"ckpt.load.error", "error:prob(400000)"},
+    {"svc.attempt", "error:prob(250000)"},
+    {"svc.attempt", "delay(15):prob(150000)"},
+    {"sock.send", "short-io(7):prob(8000)"},
+    {"sock.send", "error:prob(2500)"},
+    {"sock.recv", "short-io(3):prob(10000)"},
+    {"sock.recv.eintr", "error:prob(5000)"},
+    {"sock.accept", "error:prob(500000):hits(1,6)"},
+};
+
+/// Derives run `r`'s injection schedule from the master seed: 2-4 distinct
+/// sites drawn from the menu. Pure function of (seed, r) — the whole
+/// reproducibility claim.
+std::string schedule_for_run(std::uint64_t seed, int r,
+                             std::uint64_t* fp_seed) {
+  tta::util::Rng rng(seed * 1000003ull + static_cast<std::uint64_t>(r));
+  *fp_seed = rng.next_u64();
+  const std::size_t menu_size = sizeof kMenu / sizeof kMenu[0];
+  const std::size_t want = 2 + rng.next_below(3);
+  std::set<std::string> sites;
+  std::string env;
+  for (int draws = 0; draws < 32 && sites.size() < want; ++draws) {
+    const MenuEntry& entry = kMenu[rng.next_below(menu_size)];
+    if (!sites.insert(entry.site).second) continue;  // one spec per site
+    if (!env.empty()) env += ";";
+    env += std::string(entry.site) + "=" + entry.spec;
+  }
+  return env;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string verifyd, jobs_path;
+  std::uint64_t seed = 20260808;
+  int runs = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      runs = std::atoi(arg.c_str() + 7);
+    } else if (verifyd.empty()) {
+      verifyd = arg;
+    } else if (jobs_path.empty()) {
+      jobs_path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s VERIFYD JOBS [--seed=N] [--runs=N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (verifyd.empty() || jobs_path.empty()) {
+    std::fprintf(stderr, "usage: %s VERIFYD JOBS [--seed=N] [--runs=N]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> jobs;
+  {
+    std::ifstream f(jobs_path);
+    std::string line;
+    while (std::getline(f, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      jobs.push_back(line);
+    }
+  }
+  CHECK(!jobs.empty(), "no jobs in %s", jobs_path.c_str());
+  // The pinned campaign job: 200 trials, conclusive via the generous fail
+  // bound, exercising the streamed-progress path and the campaign engine
+  // under injected faults. Counter-based trial RNG keeps its verdict
+  // deterministic at any worker count.
+  jobs.push_back(
+      "{\"kind\":\"campaign\",\"nodes\":4,\"channels\":2,"
+      "\"criterion\":\"all_active\",\"steps\":32,\"seed\":7,"
+      "\"min_trials\":200,\"max_trials\":200,\"batch\":50,"
+      "\"epsilon_ppm\":1,\"fail_bound_ppm\":200000,"
+      "\"faults\":\"coupler:0:silence:400000;coupler:1:silence:400000\"}");
+
+  char dir_template[] = "/tmp/chaos_batch.XXXXXX";
+  const char* dir = mkdtemp(dir_template);
+  if (!dir) {
+    std::perror("mkdtemp");
+    return 2;
+  }
+  const std::string cache_dir = std::string(dir) + "/cache";
+
+  // ---- baseline: clean server, no cache, no faults ---------------------
+  VerdictMap baseline;
+  {
+    Server server;
+    CHECK(server.start(verifyd, dir, "baseline", "", "", 0),
+          "baseline server failed to start");
+    CHECK(run_workload(server.endpoint, jobs, &baseline),
+          "baseline workload did not finish");
+    server.stop_and_check("baseline");
+  }
+  CHECK(baseline.size() == jobs.size(),
+        "baseline answered %zu of %zu jobs", baseline.size(), jobs.size());
+  std::fprintf(stderr, "chaos_batch: baseline %zu verdicts\n",
+               baseline.size());
+
+  // ---- chaos runs: seeded schedules on a shared cache dir --------------
+  for (int r = 1; r <= runs; ++r) {
+    std::uint64_t fp_seed = 0;
+    const std::string schedule = schedule_for_run(seed, r, &fp_seed);
+    std::fprintf(stderr,
+                 "chaos_batch: run %d TTA_FAILPOINTS=\"%s\" "
+                 "TTA_FAILPOINTS_SEED=%llu\n",
+                 r, schedule.c_str(),
+                 static_cast<unsigned long long>(fp_seed));
+    Server server;
+    CHECK(server.start(verifyd, dir, "chaos" + std::to_string(r), cache_dir,
+                       schedule, fp_seed),
+          "chaos run %d server failed to start", r);
+    VerdictMap got;
+    const bool finished = run_workload(server.endpoint, jobs, &got);
+    server.stop_and_check("chaos");
+    CHECK(finished, "chaos run %d workload did not finish", r);
+    CHECK(got == baseline,
+          "chaos run %d verdict map differs from baseline (%zu vs %zu rows)",
+          r, got.size(), baseline.size());
+    // Surface what fired, for the log.
+    const std::string log = slurp(server.log_path);
+    for (std::size_t at = log.find("failpoint: ");
+         at != std::string::npos; at = log.find("failpoint: ", at + 1)) {
+      const std::size_t end = log.find('\n', at);
+      std::fprintf(stderr, "  %s\n",
+                   log.substr(at, end - at).c_str());
+    }
+  }
+
+  // ---- recovery: clean server over the battered cache dir --------------
+  {
+    Server server;
+    CHECK(server.start(verifyd, dir, "recovery", cache_dir, "", 0),
+          "recovery server failed to start");
+    VerdictMap got;
+    int persistent_hits = 0;
+    CHECK(run_workload(server.endpoint, jobs, &got, &persistent_hits),
+          "recovery workload did not finish");
+    server.stop_and_check("recovery");
+    CHECK(got == baseline, "recovery verdict map differs from baseline");
+    // The concluded prefix must actually be served from disk: whatever
+    // the chaos runs managed to persist comes back without recompute.
+    CHECK(persistent_hits > 0,
+          "recovery run served nothing from the persistent cache");
+    std::fprintf(stderr, "chaos_batch: recovery served %d from disk\n",
+                 persistent_hits);
+  }
+
+  if (g_failures == 0) {
+    std::fprintf(stderr, "chaos_batch: all invariants held (seed=%llu)\n",
+                 static_cast<unsigned long long>(seed));
+  }
+  return g_failures == 0 ? 0 : 1;
+}

@@ -30,7 +30,7 @@
 //     are flushed to their clients, then the process exits 0 with a final
 //     metrics dump on stdout (the kill-9 recovery step in CI greps it).
 //
-//   ./tta_verifyd --port=0 --port-file=port.txt --workers=4 \
+//   ./tta_verifyd --port=0 --port-file=port.txt --workers=4
 //       --cache-dir=cache/ --retries=2
 //
 // --port=0 (the default) binds an ephemeral port; the actually-bound port
@@ -50,8 +50,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <cerrno>
+
 #include "svc/async_service.h"
 #include "util/digest.h"
+#include "util/fail_point.h"
 #include "util/socket.h"
 
 using namespace tta;
@@ -336,8 +339,25 @@ int main(int argc, char** argv) {
   svc::AsyncService service(config);
   std::vector<std::thread> connections;
   while (!g_stop.load(std::memory_order_relaxed)) {
-    util::Socket accepted = listener.accept_for(100);
-    if (!accepted.valid()) continue;  // timeout (or spurious) — poll again
+    int accept_errno = 0;
+    util::Socket accepted = listener.accept_for(100, &accept_errno);
+    if (!accepted.valid()) {
+      if (accept_errno != 0) {
+        // Descriptor exhaustion (EMFILE/ENFILE), a client that gave up
+        // before we got to it (ECONNABORTED), or an injected fault: none
+        // of these are reasons to stop serving everyone else. Log, count,
+        // give transient conditions a moment to clear, and poll again —
+        // the pending connection waits in the listen backlog.
+        service.metrics().net_accept_errors.fetch_add(
+            1, std::memory_order_relaxed);
+        std::fprintf(stderr, "tta_verifyd: accept: %s — backing off\n",
+                     std::strerror(accept_errno));
+        if (accept_errno != ECONNABORTED) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+      continue;  // timeout (or survived error) — poll again
+    }
     connections.emplace_back(
         [sock = std::move(accepted), &service]() mutable {
           serve_connection(util::LineConn(std::move(sock)), &service);
@@ -349,5 +369,8 @@ int main(int argc, char** argv) {
   std::printf("tta_verifyd: drained %zu connection(s), exiting\n",
               connections.size());
   std::printf("%s", service.metrics().dump().c_str());
+  // Chaos observability: when TTA_FAILPOINTS armed anything, show what
+  // actually fired so a chaos log explains its own metric deltas.
+  std::printf("%s", util::FailPoints::instance().render().c_str());
   return 0;
 }
