@@ -95,7 +95,7 @@ void Session::stream_locked(JobHandle handle, JobResult&& result) {
   metrics.results_streamed.fetch_add(1, std::memory_order_relaxed);
 }
 
-JobHandle Session::submit(const JobSpec& spec, std::int32_t priority) {
+JobHandle Session::submit(const JobSpec& spec, const SubmitOptions& options) {
   const std::uint64_t digest = spec.digest();
   Metrics& metrics = service_->metrics_;
 
@@ -106,8 +106,8 @@ JobHandle Session::submit(const JobSpec& spec, std::int32_t priority) {
   const std::uint64_t open = open_.load(std::memory_order_relaxed);
   bool admitted = false;
   if (!draining_ && open < max_open_) {
-    const JobQueue::Ticket ticket =
-        service_->queue_.admit(spec, id_, seq, priority);
+    const JobQueue::Ticket ticket = service_->queue_.admit(
+        spec, id_, seq, options.priority, options.tenant, options.weight);
     admitted = ticket.admitted;
   }
 

@@ -103,6 +103,21 @@ struct CampaignProgressBoard {
   std::atomic<std::uint64_t> high_ppm{1'000'000};
 };
 
+/// Per-submission execution hints. None of these affect the job's
+/// identity, digest, or cached result — they only steer dispatch order
+/// within the shared JobQueue.
+struct SubmitOptions {
+  /// Higher dispatches sooner across all of the service's sessions
+  /// (cheapest-first within a priority band).
+  std::int32_t priority = 0;
+  /// Tenant lane for deficit-round-robin weighted-fair dispatch within a
+  /// priority band (0 = the default lane; see JobQueue).
+  std::uint32_t tenant = 0;
+  /// The tenant lane's DRR weight (>= 1); matters only when several
+  /// tenants share a band.
+  std::uint32_t weight = 1;
+};
+
 /// One caller's window onto the service: a private sequence space, result
 /// stream, and job registry. Sessions are cheap; open one per logical
 /// batch. A Session must not outlive its AsyncService, and dropping one
@@ -121,7 +136,13 @@ class Session {
   /// higher-priority jobs dispatch ahead of lower ones across all of the
   /// service's sessions (cheapest-first within a priority band). It never
   /// affects the job's identity or its cached result.
-  JobHandle submit(const JobSpec& spec, std::int32_t priority = 0);
+  JobHandle submit(const JobSpec& spec, std::int32_t priority = 0) {
+    return submit(spec, SubmitOptions{priority, 0, 1});
+  }
+
+  /// Full-options overload: priority plus the tenant lane + DRR weight
+  /// the server's multi-tenant scheduler dispatches under.
+  JobHandle submit(const JobSpec& spec, const SubmitOptions& options);
 
   /// Completion-order result delivery for this session's jobs.
   ResultStream& results() { return stream_; }

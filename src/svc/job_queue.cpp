@@ -1,10 +1,13 @@
 #include "svc/job_queue.h"
 
+#include <algorithm>
+
 namespace tta::svc {
 
 JobQueue::Ticket JobQueue::admit(const JobSpec& spec, std::uint64_t session,
                                  std::uint64_t sequence,
-                                 std::int32_t priority) {
+                                 std::int32_t priority, std::uint32_t tenant,
+                                 std::uint32_t weight) {
   // Canonicalize before the bound check: a rejected job must still report
   // its digest (admission refusal is an explicit result, and callers
   // correlate it with the submitted spec by identity).
@@ -13,25 +16,109 @@ JobQueue::Ticket JobQueue::admit(const JobSpec& spec, std::uint64_t session,
   ticket.cost = spec.estimated_cost();
 
   std::lock_guard<std::mutex> lock(mu_);
-  if (queue_.size() >= max_pending_) return ticket;
-  queue_.push(Entry{spec, session, sequence, ticket.digest, next_order_++,
-                    std::chrono::steady_clock::now(), ticket.cost,
-                    priority});
+  if (pending_ >= max_pending_) return ticket;
+
+  Band& band = bands_[priority];
+  auto [it, inserted] = band.lanes.try_emplace(tenant);
+  Lane& lane = it->second;
+  if (inserted) band.ring.push_back(tenant);
+  // Last admission wins: tenant weights come from one configuration table
+  // (svc::ServerConfig), so in practice this only updates a re-created
+  // lane after the tenant's previous jobs drained.
+  lane.weight = std::max<std::uint32_t>(weight, 1);
+  lane.jobs.push(Entry{spec, session, sequence, ticket.digest, next_order_++,
+                       std::chrono::steady_clock::now(), ticket.cost,
+                       priority, tenant});
+  ++band.jobs;
+  ++pending_;
   ticket.admitted = true;
   return ticket;
 }
 
+JobQueue::Entry JobQueue::pop_from_band(Band* band) {
+  auto pop_lane = [&](std::size_t ring_index) {
+    const std::uint32_t tenant = band->ring[ring_index];
+    Lane& lane = band->lanes.at(tenant);
+    Entry top = lane.jobs.top();
+    lane.jobs.pop();
+    lane.deficit -= top.cost;
+    --band->jobs;
+    if (lane.jobs.empty()) {
+      // A drained lane leaves the rotation and forfeits leftover credit —
+      // classic DRR active-list semantics: an idle tenant cannot bank
+      // bandwidth for later bursts.
+      band->lanes.erase(tenant);
+      band->ring.erase(band->ring.begin() +
+                       static_cast<std::ptrdiff_t>(ring_index));
+      if (ring_index < band->cursor) --band->cursor;
+      if (band->cursor >= band->ring.size()) band->cursor = 0;
+    } else {
+      // Stay on this lane: an unspent deficit keeps feeding the same
+      // tenant until its credit no longer covers its cheapest job.
+      band->cursor = ring_index;
+    }
+    return top;
+  };
+
+  // Single-occupant band: plain cheapest-first, exactly the pre-tenant
+  // dispatch order, with no deficit bookkeeping to drift.
+  if (band->ring.size() == 1) {
+    band->lanes.at(band->ring[0]).deficit = 0.0;
+    return pop_lane(0);
+  }
+
+  // DRR scan from the cursor: the first lane whose credit covers its
+  // cheapest job pops. Admitted costs span ~1e2..5e7, so the quantum is
+  // adaptive rather than fixed: when no lane is eligible, every lane gets
+  // weight * need, where `need` is the smallest per-weight credit that
+  // makes some lane eligible — one refill always suffices, and relative
+  // shares stay proportional to the weights.
+  for (std::size_t i = 0; i < band->ring.size(); ++i) {
+    const std::size_t at = (band->cursor + i) % band->ring.size();
+    const Lane& lane = band->lanes.at(band->ring[at]);
+    if (lane.deficit >= lane.jobs.top().cost) return pop_lane(at);
+  }
+  double need = 0.0;
+  std::size_t argmin = band->cursor;
+  for (std::size_t i = 0; i < band->ring.size(); ++i) {
+    const std::size_t at = (band->cursor + i) % band->ring.size();
+    const Lane& lane = band->lanes.at(band->ring[at]);
+    const double lane_need = (lane.jobs.top().cost - lane.deficit) /
+                             static_cast<double>(lane.weight);
+    if (i == 0 || lane_need < need) {
+      need = lane_need;
+      argmin = at;
+    }
+  }
+  for (std::uint32_t tenant : band->ring) {
+    Lane& lane = band->lanes.at(tenant);
+    lane.deficit += static_cast<double>(lane.weight) * need;
+  }
+  // Pop the argmin lane directly instead of re-scanning: floating-point
+  // rounding could leave its refilled deficit a hair under the cost.
+  return pop_lane(argmin);
+}
+
 std::optional<JobQueue::Entry> JobQueue::pop_next() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (queue_.empty()) return std::nullopt;
-  Entry top = queue_.top();
-  queue_.pop();
-  return top;
+  while (!bands_.empty()) {
+    const auto band_it = bands_.begin();  // highest priority first
+    Band& band = band_it->second;
+    if (band.jobs == 0) {
+      bands_.erase(band_it);
+      continue;
+    }
+    Entry top = pop_from_band(&band);
+    if (band.jobs == 0) bands_.erase(band_it);
+    --pending_;
+    return top;
+  }
+  return std::nullopt;
 }
 
 std::size_t JobQueue::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return pending_;
 }
 
 }  // namespace tta::svc

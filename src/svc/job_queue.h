@@ -1,17 +1,24 @@
-// Priority queue of admitted jobs, ordered by two keys: caller priority
+// Priority queue of admitted jobs, ordered by three keys: caller priority
 // first (higher runs sooner — the QoS lever a networked client pulls via
-// the wire protocol's "priority" field), then cheapest estimated cost (the
-// E4 state-count model) within a priority band. Running the cheap cells of
-// a grid first maximizes early feedback and keeps the expensive stragglers
-// from head-blocking everything else on the workers; the priority key on
-// top lets an interactive session's jobs overtake a bulk grid sweep that
-// another session queued first. Shared by every session of an
-// AsyncService, so one queue orders work across concurrent sessions.
+// the wire protocol's "priority" field), then a deficit-round-robin
+// rotation over tenants within the priority band (equal-priority tenants
+// share workers in proportion to their configured weights), then cheapest
+// estimated cost (the E4 state-count model) within a tenant's lane.
+// Running the cheap cells of a grid first maximizes early feedback and
+// keeps the expensive stragglers from head-blocking everything else on
+// the workers; the priority key on top lets an interactive session's jobs
+// overtake a bulk grid sweep; the DRR key in the middle stops one noisy
+// tenant from monopolizing a band it shares. With a single tenant (every
+// pre-tenant caller) the rotation is a no-op and the order reduces
+// exactly to the historical (priority desc, cost asc, admission order).
+// Shared by every session of an AsyncService, so one queue orders work
+// across concurrent sessions.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <queue>
@@ -40,40 +47,66 @@ class JobQueue {
     std::uint64_t order = 0;     ///< global admission order (tie-break)
     std::chrono::steady_clock::time_point admitted_at{};
     double cost = 0.0;
-    std::int32_t priority = 0;  ///< higher dispatches sooner (default 0)
+    std::int32_t priority = 0;   ///< higher dispatches sooner (default 0)
+    std::uint32_t tenant = 0;    ///< DRR lane within the band (0 = default)
   };
 
   explicit JobQueue(std::size_t max_pending) : max_pending_(max_pending) {}
 
   /// Ticket::admitted is false when the queue is at max_pending; the
-  /// ticket's digest and cost are valid either way. `priority` is an
-  /// execution hint, not part of the job's identity (it never enters the
-  /// digest — the same query at any priority is the same query).
+  /// ticket's digest and cost are valid either way. `priority`, `tenant`,
+  /// and `weight` are execution hints, not part of the job's identity
+  /// (none enters the digest — the same query from any tenant at any
+  /// priority is the same query). `weight` (>= 1) sets the tenant lane's
+  /// DRR share and may be updated by later admissions from the same
+  /// tenant; it matters only while two or more tenants occupy one band.
   Ticket admit(const JobSpec& spec, std::uint64_t session,
-               std::uint64_t sequence, std::int32_t priority = 0);
+               std::uint64_t sequence, std::int32_t priority = 0,
+               std::uint32_t tenant = 0, std::uint32_t weight = 1);
 
-  /// Pops the next job under the (priority desc, cost asc) order; nullopt
-  /// when drained.
+  /// Pops the next job under the (priority desc, DRR tenant rotation,
+  /// cost asc) order; nullopt when drained.
   std::optional<Entry> pop_next();
 
   std::size_t pending() const;
 
  private:
-  struct DispatchOrder {
+  /// Min-heap comparator: cheapest cost on top, admission order as the
+  /// deterministic tie-break.
+  struct CostOrder {
     bool operator()(const Entry& a, const Entry& b) const {
-      // priority_queue keeps the *largest* on top: highest priority first,
-      // then cheapest cost within a band, tie-breaking on admission order
-      // for determinism.
-      if (a.priority != b.priority) return a.priority < b.priority;
       if (a.cost != b.cost) return a.cost > b.cost;
       return a.order > b.order;
     }
   };
 
+  /// One tenant's cost-ordered jobs within a band, plus its DRR credit.
+  struct Lane {
+    std::priority_queue<Entry, std::vector<Entry>, CostOrder> jobs;
+    double deficit = 0.0;  ///< spendable cost credit (quantum refills)
+    std::uint32_t weight = 1;
+  };
+
+  /// One priority band: tenant lanes visited round-robin in
+  /// first-admission order. The cursor stays on the lane that last popped
+  /// so an unspent deficit keeps feeding the same tenant.
+  struct Band {
+    std::map<std::uint32_t, Lane> lanes;
+    std::vector<std::uint32_t> ring;  ///< DRR visit order
+    std::size_t cursor = 0;
+    std::size_t jobs = 0;
+  };
+
+  /// Pops the DRR-selected entry from `band` (which must be non-empty)
+  /// and erases drained lanes. Call with mu_ held.
+  Entry pop_from_band(Band* band);
+
   const std::size_t max_pending_;
   mutable std::mutex mu_;
   std::uint64_t next_order_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, DispatchOrder> queue_;
+  std::size_t pending_ = 0;
+  /// Bands keyed by priority, highest first.
+  std::map<std::int32_t, Band, std::greater<std::int32_t>> bands_;
 };
 
 }  // namespace tta::svc

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "util/digest.h"
-
 namespace tta::svc {
 
 namespace {
@@ -65,76 +63,6 @@ std::string config_label(const JobSpec& spec) {
                   std::min(spec.model.max_out_of_slot_errors, 7u));
   }
   return buf;
-}
-
-std::string json_escape(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string result_json(const JobSpec& spec, const JobResult& result,
-                        unsigned pass, std::uint64_t seq, double ts_ms,
-                        const std::string& id) {
-  std::string out = "{";
-  if (!id.empty()) out += "\"id\":\"" + json_escape(id) + "\",";
-  out += "\"pass\":" + number(std::uint64_t{pass});
-  out += ",\"seq\":" + number(seq);
-  out += ",\"ts_ms\":" + number(ts_ms);
-  out += ",\"digest\":\"" + util::digest_hex(result.digest) + "\"";
-  out += ",\"config\":\"" + config_label(spec) + "\"";
-  out += ",\"property\":\"";
-  out += to_string(spec.property);
-  out += "\",\"engine\":\"";
-  out += to_string(result.engine_used);
-  out += "\",\"verdict\":\"";
-  out += mc::to_string(result.verdict);
-  out += "\",\"states\":" + number(result.stats.states_explored);
-  out += ",\"transitions\":" + number(result.stats.transitions);
-  out += ",\"depth\":" + number(result.stats.max_depth);
-  out += ",\"trace_len\":" + number(std::uint64_t{result.trace.size()});
-  out += ",\"dead_states\":" + number(result.dead_states);
-  out += ",\"engine_seconds\":" + number(result.stats.seconds);
-  out += ",\"queue_seconds\":" + number(result.queue_seconds);
-  out += ",\"deadline_hit\":" + number(std::uint64_t{result.stats.cancelled});
-  out += ",\"from_cache\":" + number(std::uint64_t{result.from_cache});
-  out += ",\"from_persistent\":" +
-         number(std::uint64_t{result.from_persistent});
-  out += ",\"resumed\":" + number(std::uint64_t{result.stats.resumed});
-  if (result.has_campaign) {
-    const CampaignEstimate& c = result.campaign;
-    out += ",\"campaign\":{";
-    out += "\"criterion\":\"";
-    out += campaign::to_string(spec.campaign.criterion);
-    out += "\",\"trials\":" + number(c.trials);
-    out += ",\"failures\":" + number(c.failures);
-    out += ",\"batches\":" + number(c.batches);
-    out += ",\"p_hat\":" + number(c.p_hat);
-    out += ",\"ci_low\":" + number(c.ci_low);
-    out += ",\"ci_high\":" + number(c.ci_high);
-    out += ",\"conclusive\":" + number(std::uint64_t{c.conclusive});
-    out += "}";
-  }
-  out += ",\"outcome\":" + result.outcome.to_json();
-  out += "}";
-  return out;
 }
 
 }  // namespace tta::svc

@@ -83,25 +83,11 @@ struct JobResult {
   CampaignEstimate campaign;
 };
 
-/// The full per-job JSON-lines record emitted by tta_verify_batch --stream
-/// and, line for line, as the tta_verifyd wire response: one self-contained
-/// object per concluded job, timestamped (`ts_ms` is milliseconds since the
-/// pass / connection started) and ordered by conclusion, e.g.
-///   {"pass":1,"seq":3,"ts_ms":41.8,"digest":"...","config":"passive/n4/
-///    oos2","property":"safety","engine":"serial","verdict":"HOLDS",...,
-///    "outcome":{...}}
-/// A non-empty `id` (the wire request's client tag) is echoed as a leading
-/// "id" field, JSON-escaped.
-std::string result_json(const JobSpec& spec, const JobResult& result,
-                        unsigned pass, std::uint64_t seq, double ts_ms,
-                        const std::string& id = std::string());
-
-/// Minimal JSON string escaping (backslash, quote, control characters) for
-/// client-supplied tags embedded in response lines.
-std::string json_escape(const std::string& raw);
-
 /// The "authority/nN/oosK" config cell used in tables and JSON records;
 /// campaign jobs render as "campaign/authority/nN/mM".
 std::string config_label(const JobSpec& spec);
+
+// The per-job JSON response row (result_json) and string escaping
+// (json_escape) live in svc/wire.h with the rest of the wire grammar.
 
 }  // namespace tta::svc

@@ -109,30 +109,8 @@ struct JobSpec {
   double estimated_cost() const;
 };
 
-/// Parses one JSON-lines job description as read by tta_verify_batch, e.g.
-///   {"authority": "full_shifting", "property": "safety", "max_oos": 1,
-///    "engine": "parallel", "deadline_ms": 5000}
-/// Unknown keys are errors (they are almost always typos). Returns false
-/// and fills *error on malformed input.
-bool parse_job_line(const std::string& line, JobSpec* spec,
-                    std::string* error);
-
-/// One request of the tta_verifyd wire protocol (docs/SERVICE.md): the
-/// tta_verify_batch job grammar plus two wire-only keys, neither of which
-/// is part of the job's identity or digest.
-struct WireRequest {
-  JobSpec spec;
-  /// QoS hint: higher-priority jobs dispatch ahead of lower ones across
-  /// every connection of the server (|priority| <= 1'000'000; default 0).
-  std::int32_t priority = 0;
-  /// Opaque client tag, echoed verbatim on the response line ("" = none).
-  std::string id;
-};
-
-/// Parses one request line: the parse_job_line grammar extended with the
-/// optional "priority" (integer) and "id" (string) keys. Same error
-/// contract: unknown keys and malformed values fail with *error set.
-bool parse_request_line(const std::string& line, WireRequest* request,
-                        std::string* error);
+// The JSON-lines grammar that produces JobSpecs (parse_job_line, the wire
+// request extensions, and response formatting) lives in svc/wire.h — one
+// parser and one formatter for the batch tool, the client, and the server.
 
 }  // namespace tta::svc

@@ -122,13 +122,15 @@ std::string Metrics::dump() const {
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "net: connections=%llu lines_in=%llu lines_out=%llu "
-                "malformed=%llu drains=%llu accept_errors=%llu\n",
+                "malformed=%llu drains=%llu accept_errors=%llu "
+                "quota_rejected=%llu\n",
                 static_cast<unsigned long long>(v(net_connections)),
                 static_cast<unsigned long long>(v(net_lines_in)),
                 static_cast<unsigned long long>(v(net_lines_out)),
                 static_cast<unsigned long long>(v(net_malformed)),
                 static_cast<unsigned long long>(v(net_drains)),
-                static_cast<unsigned long long>(v(net_accept_errors)));
+                static_cast<unsigned long long>(v(net_accept_errors)),
+                static_cast<unsigned long long>(v(net_quota_rejected)));
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "queue latency: mean=%.6fs p50<=%.6fs p99<=%.6fs  %s\n",

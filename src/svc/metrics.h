@@ -122,6 +122,11 @@ class Metrics {
   /// accept() failures survived (EMFILE/ENFILE/ECONNABORTED, injected
   /// faults): the server logged, backed off, and kept serving.
   std::atomic<std::uint64_t> net_accept_errors{0};
+  /// Requests refused at the server's tenant-quota gate — max in-flight
+  /// jobs or the aggregate state-budget ceiling (svc::TenantQuota). Every
+  /// one was answered with an explicit rejection row; peers' admissions
+  /// were unaffected.
+  std::atomic<std::uint64_t> net_quota_rejected{0};
 
   LatencyHistogram queue_latency;  ///< admission -> dispatch
   LatencyHistogram job_latency;    ///< dispatch -> result (incl. cache hits)

@@ -1,0 +1,131 @@
+// The ONE definition of the service's JSON-lines wire grammar: request
+// parsing and response-row formatting for the batch tool, the network
+// client, and svc::Server alike. Everything that reads or writes protocol
+// bytes goes through this header — the server, tta_verify_batch,
+// tta_verify_client, and the smokes share one parser and one formatter
+// instead of hand-rolled copies (docs/SERVICE.md, "Wire protocol").
+//
+// Request lines are single JSON objects in the tta_verify_batch job
+// grammar (parse_job_line), optionally extended with the wire-only keys
+// described by WireGrammar. Response lines are, in completion order:
+//   result    result_json() — one self-contained row per concluded job;
+//   progress  progress_row() — campaign estimate snapshots ({"progress":1}
+//             rows; result rows never carry the key);
+//   error     error_row() — malformed request lines, one row per offense,
+//             connection stays up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/job_result.h"
+#include "svc/job_spec.h"
+
+namespace tta::svc {
+
+/// The request/response grammar contract in one place: the wire-only
+/// request keys and their bounds. Wire-only keys are execution/transport
+/// metadata — none of them enters JobSpec::canonical_bytes() or the
+/// digest, so the same query under any priority, id, or tenant is the
+/// same query and shares one cached result.
+struct WireGrammar {
+  /// "priority": integer dispatch QoS across every connection of a
+  /// server; higher dispatches sooner. |priority| is capped.
+  static constexpr const char* kPriorityKey = "priority";
+  static constexpr std::int32_t kMaxPriorityMagnitude = 1'000'000;
+
+  /// "id": opaque client tag, echoed verbatim (JSON-escaped) as the
+  /// leading field of the job's response rows. "" = absent.
+  static constexpr const char* kIdKey = "id";
+
+  /// "tenant": the connection-level identity the server's quota table and
+  /// weighted-fair scheduler key on (docs/SERVICE.md, "Multi-tenant
+  /// QoS"). "" = the default tenant.
+  static constexpr const char* kTenantKey = "tenant";
+  static constexpr std::size_t kMaxTenantBytes = 64;
+};
+
+/// Parses one JSON-lines job description as read by tta_verify_batch, e.g.
+///   {"authority": "full_shifting", "property": "safety", "max_oos": 1,
+///    "engine": "parallel", "deadline_ms": 5000}
+/// Unknown keys are errors (they are almost always typos) — including the
+/// wire-only keys, exactly as the job-file grammar has always treated
+/// them. Returns false and fills *error on malformed input.
+bool parse_job_line(const std::string& line, JobSpec* spec,
+                    std::string* error);
+
+/// One request of the tta_verifyd wire protocol: the tta_verify_batch job
+/// grammar plus the WireGrammar keys, none of which is part of the job's
+/// identity or digest.
+struct WireRequest {
+  JobSpec spec;
+  /// QoS hint: higher-priority jobs dispatch ahead of lower ones across
+  /// every connection of the server (|priority| <= kMaxPriorityMagnitude;
+  /// default 0).
+  std::int32_t priority = 0;
+  /// Opaque client tag, echoed verbatim on the response line ("" = none).
+  std::string id;
+  /// Tenant identity for quota enforcement and weighted-fair dispatch
+  /// ("" = the default tenant). At most kMaxTenantBytes bytes.
+  std::string tenant;
+};
+
+/// Parses one request line: the parse_job_line grammar extended with the
+/// wire-only keys. Same error contract: unknown keys and malformed values
+/// fail with *error set.
+bool parse_request_line(const std::string& line, WireRequest* request,
+                        std::string* error);
+
+/// Client-side inverse of parse_request_line: splices the wire-only keys
+/// into an already-validated job line, '{...}' becoming
+/// '{..., "priority":N,"id":"...","tenant":"..."}'. Empty id/tenant are
+/// omitted. The line must be a parsed-valid job object — the closing
+/// brace is real structure, not string content.
+std::string decorate_request_line(const std::string& job_line,
+                                  std::int32_t priority,
+                                  const std::string& id,
+                                  const std::string& tenant = std::string());
+
+/// The full per-job JSON-lines record emitted by tta_verify_batch --stream
+/// and, line for line, as the tta_verifyd wire response: one self-contained
+/// object per concluded job, timestamped (`ts_ms` is milliseconds since the
+/// pass / connection started) and ordered by conclusion, e.g.
+///   {"pass":1,"seq":3,"ts_ms":41.8,"digest":"...","config":"passive/n4/
+///    oos2","property":"safety","engine":"serial","verdict":"HOLDS",...,
+///    "outcome":{...}}
+/// A non-empty `id` (the wire request's client tag) is echoed as a leading
+/// "id" field, JSON-escaped.
+std::string result_json(const JobSpec& spec, const JobResult& result,
+                        unsigned pass, std::uint64_t seq, double ts_ms,
+                        const std::string& id = std::string());
+
+/// The malformed-request response: {"error":"<reason>","line":N}. One bad
+/// line costs one answer; the connection stays up.
+std::string error_row(const std::string& reason, int lineno);
+
+/// One campaign progress snapshot, streamed between responses: a
+/// {"progress":1,...} row per newly completed trial batch carrying the
+/// running Wilson interval. `state` is the job's svc::JobState label
+/// ("running", "done", ...). Result rows never carry "progress", so
+/// clients filter on the key.
+struct ProgressRow {
+  std::string id;  ///< echoed client tag ("" = omitted)
+  std::uint64_t seq = 0;
+  double ts_ms = 0.0;
+  std::uint64_t digest = 0;
+  const char* state = "";
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t batches = 0;
+  double p_hat = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 1.0;
+};
+
+std::string progress_row(const ProgressRow& row);
+
+/// Minimal JSON string escaping (backslash, quote, control characters) for
+/// client-supplied tags embedded in response lines.
+std::string json_escape(const std::string& raw);
+
+}  // namespace tta::svc

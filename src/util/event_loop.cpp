@@ -1,0 +1,52 @@
+#include "util/event_loop.h"
+
+#include <cerrno>
+
+#include <poll.h>
+
+namespace tta::util {
+
+void EventLoop::watch(int fd, bool read, bool write) {
+  if (fd < 0) return;
+  interest_[fd] = Interest{read, write};
+}
+
+void EventLoop::unwatch(int fd) { interest_.erase(fd); }
+
+int EventLoop::poll_once(int timeout_ms, const Handler& handler) {
+  scratch_.clear();
+  scratch_.reserve(interest_.size());
+  for (const auto& [fd, want] : interest_) {
+    short events = 0;
+    if (want.read) events |= POLLIN;
+    if (want.write) events |= POLLOUT;
+    // A zero-interest entry still rides along: POLLERR/POLLHUP are always
+    // reported by poll(2), which is exactly what a muted listener or a
+    // write-quiesced connection needs to learn its peer vanished.
+    scratch_.push_back(pollfd{fd, events, 0});
+  }
+  if (scratch_.empty()) return 0;
+
+  const int rc = ::poll(scratch_.data(), scratch_.size(), timeout_ms);
+  if (rc < 0) return errno == EINTR ? 0 : -1;
+  if (rc == 0) return 0;
+
+  int dispatched = 0;
+  for (const pollfd& pfd : scratch_) {
+    if (pfd.revents == 0) continue;
+    // A handler earlier this round may have unwatched (and closed) this
+    // fd; its events are stale then and must not be delivered.
+    if (interest_.count(pfd.fd) == 0) continue;
+    Event ev;
+    ev.fd = pfd.fd;
+    ev.readable = (pfd.revents & POLLIN) != 0;
+    ev.writable = (pfd.revents & POLLOUT) != 0;
+    ev.broken = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    if (ev.broken) ev.readable = true;  // drain the pending EOF/error
+    handler(ev);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace tta::util

@@ -1,0 +1,74 @@
+// Readiness multiplexer for the event-driven server: one poll(2) loop
+// watching many fds from a single thread, replacing thread-per-connection
+// serving (tools/tta_verifyd via svc::Server).
+//
+// Deliberately minimal — level-triggered poll(2) only, no epoll, no timer
+// wheel, no callbacks stored inside the loop. The caller owns the fds and
+// their lifecycles; the loop only answers "which of these are ready". That
+// keeps it portable (poll is POSIX), allocation-free per round after the
+// first, and trivially safe against the classic epoll lifetime bugs: an
+// unwatch()ed fd can be closed immediately because the loop never retains
+// it past the poll_once() that reported it.
+//
+// Interest updates during dispatch are legal: a handler may watch() new
+// fds (an accept handler registering the accepted connection) or unwatch()
+// any fd, including ones with undelivered events this round — the loop
+// re-checks registration before every dispatch, so events for a dropped fd
+// are discarded, never delivered stale.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+struct pollfd;
+
+namespace tta::util {
+
+class EventLoop {
+ public:
+  /// One ready fd, as reported by a poll_once() round.
+  struct Event {
+    int fd = -1;
+    bool readable = false;  ///< POLLIN: read/accept will not block
+    bool writable = false;  ///< POLLOUT: send will accept bytes
+    /// POLLERR / POLLHUP / POLLNVAL: the fd needs attention regardless of
+    /// the requested interest (a hung-up peer is reported even when only
+    /// writes were watched). Readable is also set so a draining reader
+    /// naturally observes the pending EOF/error via recv.
+    bool broken = false;
+  };
+
+  using Handler = std::function<void(const Event&)>;
+
+  /// Registers `fd` or updates its interest set. Watching with both flags
+  /// false keeps the fd registered but dormant — the accept-backoff window
+  /// uses this to mute the listener without forgetting it.
+  void watch(int fd, bool read, bool write);
+
+  /// Drops `fd` from the loop. Safe during dispatch (see header comment)
+  /// and on fds that were never watched.
+  void unwatch(int fd);
+
+  bool watching(int fd) const { return interest_.count(fd) != 0; }
+  std::size_t size() const { return interest_.size(); }
+
+  /// One poll(2) round: waits at most `timeout_ms` for readiness, then
+  /// invokes `handler` once per ready fd. Returns the number of events
+  /// dispatched; 0 on timeout AND on EINTR (so a signal-driven stop flag
+  /// is re-checked at the top of the caller's loop, never wedged); -1 on a
+  /// poll failure other than EINTR.
+  int poll_once(int timeout_ms, const Handler& handler);
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  std::unordered_map<int, Interest> interest_;
+  std::vector<struct ::pollfd> scratch_;  ///< rebuilt each round, capacity kept
+};
+
+}  // namespace tta::util

@@ -118,6 +118,18 @@ Socket Socket::accept_for(int timeout_ms, int* accept_errno) const {
     if (accept_errno) *accept_errno = errno;
     return Socket();
   }
+  int err = 0;
+  Socket accepted = try_accept(&err);
+  if (accept_errno) *accept_errno = err == EAGAIN ? 0 : err;
+  return accepted;
+}
+
+Socket Socket::try_accept(int* accept_errno) const {
+  if (accept_errno) *accept_errno = 0;
+  if (!valid()) {
+    if (accept_errno) *accept_errno = EBADF;
+    return Socket();
+  }
   if (fail_point("sock.accept").error()) {
     // Injected descriptor exhaustion: the connection stays queued in the
     // listen backlog, so a later accept (after the caller backs off)
@@ -128,11 +140,22 @@ Socket Socket::accept_for(int timeout_ms, int* accept_errno) const {
   for (;;) {
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) return Socket(fd);
-    if (errno != EINTR) {
-      if (accept_errno) *accept_errno = errno;
-      return Socket();
+    if (errno == EINTR) continue;
+    if (accept_errno) {
+      // EAGAIN / EWOULDBLOCK = backlog empty, the contract's "0": a stale
+      // readiness edge, not an error to count or back off from.
+      *accept_errno = errno == EAGAIN || errno == EWOULDBLOCK ? 0 : errno;
     }
+    return Socket();
   }
+}
+
+bool Socket::set_nonblocking(bool on) {
+  if (!valid()) return false;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int wanted = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd_, F_SETFL, wanted) >= 0;
 }
 
 Socket Socket::connect_to(const std::string& host, std::uint16_t port,
@@ -288,6 +311,102 @@ LineConn::Io LineConn::write_line(const std::string& line, int timeout_ms) {
 
 void LineConn::shutdown_write() {
   if (sock_.valid()) ::shutdown(sock_.fd(), SHUT_WR);
+}
+
+LineConn::Io LineConn::fill() {
+  if (!sock_.valid()) return Io::kError;
+  if (buffer_.size() > kMaxLineBytes && buffer_.find('\n') == std::string::npos) {
+    sock_.close();  // unbounded partial line: same defense as read_line
+    return Io::kError;
+  }
+  if (fail_point("sock.recv.eintr").fired()) {
+    // Injected signal between poll and recv: one wasted cycle. The event
+    // loop's next readiness round retries, so an always-armed site
+    // degrades to busy-polling, never a hang.
+    return Io::kTimeout;
+  }
+  const FailDecision fp = fail_point("sock.recv");
+  if (fp.error()) {
+    sock_.close();  // injected reset is sticky, like the real thing
+    return Io::kError;
+  }
+  char chunk[4096];
+  std::size_t want = sizeof chunk;
+  if (fp.short_io()) {
+    // Clamp to >= 1: a zero-byte recv result means EOF on the wire, and
+    // an injected partial read must never counterfeit a peer close.
+    want = static_cast<std::size_t>(
+        std::clamp<std::uint64_t>(fp.arg, 1, sizeof chunk));
+  }
+  ssize_t n;
+  do {
+    n = ::recv(sock_.fd(), chunk, want, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Io::kTimeout;
+    return Io::kError;
+  }
+  if (n == 0) return Io::kEof;  // any partial tail in buffer_ is dropped
+  buffer_.append(chunk, static_cast<std::size_t>(n));
+  return Io::kOk;
+}
+
+bool LineConn::take_line(std::string* line) {
+  const std::size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) return false;
+  line->assign(buffer_, 0, nl);
+  buffer_.erase(0, nl + 1);
+  return true;
+}
+
+void LineConn::queue_line(const std::string& line) {
+  out_.append(line);
+  out_.push_back('\n');
+}
+
+LineConn::Io LineConn::flush_some() {
+  if (!sock_.valid()) return Io::kError;
+  std::size_t off = 0;
+  Io status = Io::kOk;
+  while (off < out_.size()) {
+    if (fail_point("sock.send.eintr").fired()) {
+      status = Io::kTimeout;  // wasted cycle; retry on the next POLLOUT
+      break;
+    }
+    const FailDecision fp = fail_point("sock.send");
+    if (fp.error()) {
+      sock_.close();  // injected reset is sticky, like the real thing
+      status = Io::kError;
+      break;
+    }
+    std::size_t want = out_.size() - off;
+    if (fp.short_io()) {
+      want = static_cast<std::size_t>(std::min<std::uint64_t>(want, fp.arg));
+    }
+    ssize_t n;
+    do {
+      n = ::send(sock_.fd(), out_.data() + off, want, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      status = errno == EAGAIN || errno == EWOULDBLOCK ? Io::kTimeout
+                                                       : Io::kError;
+      break;
+    }
+    if (n == 0) {
+      // Same progress bound as write_line, persisted across flush_some
+      // calls: a socket that stays "writable" while taking nothing would
+      // otherwise spin the event loop forever.
+      if (++zero_writes_ >= kMaxZeroByteWrites) {
+        status = Io::kError;
+        break;
+      }
+      continue;
+    }
+    zero_writes_ = 0;
+    off += static_cast<std::size_t>(n);
+  }
+  out_.erase(0, off);
+  return status == Io::kOk && !out_.empty() ? Io::kTimeout : status;
 }
 
 }  // namespace tta::util

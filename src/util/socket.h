@@ -55,6 +55,18 @@ class Socket {
   /// *accept_errno reads EMFILE.
   Socket accept_for(int timeout_ms, int* accept_errno = nullptr) const;
 
+  /// Non-blocking accept for the event loop: called after the listener
+  /// polled readable, never waits. Returns an invalid Socket with
+  /// *accept_errno == 0 when nothing is pending (EAGAIN — a stale
+  /// readiness edge), the failing errno otherwise. Evaluates the same
+  /// `sock.accept` fail point as accept_for, with the same backlog
+  /// semantics: an injected EMFILE leaves the connection queued.
+  Socket try_accept(int* accept_errno) const;
+
+  /// Switches O_NONBLOCK on or off. The event-driven server runs every
+  /// accepted connection non-blocking; clients stay blocking.
+  bool set_nonblocking(bool on);
+
   /// Connects to host:port with a bounded, EINTR-safe non-blocking
   /// connect (poll + SO_ERROR). Returns an invalid Socket and fills
   /// *error on refusal, timeout, or resolution failure.
@@ -81,6 +93,11 @@ class LineConn {
   explicit LineConn(Socket sock);
 
   bool valid() const { return sock_.valid(); }
+
+  /// The underlying fd for readiness registration (util::EventLoop); -1
+  /// once the connection broke. Event-loop callers cache it at accept
+  /// time, since an injected reset closes the socket out from under them.
+  int fd() const { return sock_.fd(); }
 
   /// Reads one '\n'-terminated line (terminator stripped) into *line,
   /// waiting at most `timeout_ms` total across however many reads it
@@ -109,6 +126,39 @@ class LineConn {
   /// client says "no more requests" without abandoning pending results.
   void shutdown_write();
 
+  // ---- Non-blocking surface (svc::Server's event loop) -----------------
+  //
+  // The socket must be in non-blocking mode (Socket::set_nonblocking);
+  // the blocking read_line/write_line above remain for clients and share
+  // the same buffers, fail points, and line-length bound.
+
+  /// One recv() into the read buffer. kOk = bytes arrived (take_line may
+  /// now yield lines); kTimeout = nothing available (EAGAIN, or an
+  /// injected EINTR cycle) — poll again; kEof = orderly peer close, any
+  /// partial tail is dropped; kError = connection broken or a buffered
+  /// partial line exceeded kMaxLineBytes. Evaluates the `sock.recv` /
+  /// `sock.recv.eintr` fail points exactly like read_line.
+  Io fill();
+
+  /// Pops one complete buffered line (terminator stripped) into *line.
+  /// False when no full line is buffered — fill() more first.
+  bool take_line(std::string* line);
+
+  /// Appends `line` plus '\n' to the outbound buffer. Never blocks, never
+  /// fails; flush_some() moves the bytes when the socket can take them.
+  void queue_line(const std::string& line);
+
+  /// Unsent outbound bytes (0 = nothing owed; stop watching POLLOUT).
+  std::size_t outbound() const { return out_.size(); }
+
+  /// Pushes buffered outbound bytes into the socket. kOk = buffer fully
+  /// drained; kTimeout = the socket stopped taking bytes (EAGAIN or an
+  /// injected EINTR cycle) — watch POLLOUT and retry; kError = broken
+  /// (injected reset, dead peer, or the zero-byte-write bound, counted
+  /// across calls and reset on progress). Evaluates the `sock.send` /
+  /// `sock.send.eintr` fail points exactly like write_line.
+  Io flush_some();
+
   /// Defensive bound on one wire line (requests are < 1 KiB in practice;
   /// response lines with long traces stay well under 1 MiB).
   static constexpr std::size_t kMaxLineBytes = 1u << 20;
@@ -122,6 +172,8 @@ class LineConn {
  private:
   Socket sock_;
   std::string buffer_;  ///< bytes read past the last returned line
+  std::string out_;     ///< outbound bytes queued by queue_line
+  int zero_writes_ = 0;  ///< consecutive zero-byte sends across flush_some
 };
 
 }  // namespace tta::util

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <mutex>
 #include <set>
@@ -17,6 +18,7 @@
 
 #include "core/experiments.h"
 #include "svc/async_service.h"
+#include "svc/job_queue.h"
 #include "svc/service.h"
 #include "util/fail_point.h"
 
@@ -534,6 +536,83 @@ TEST(AsyncSession, SpuriousInconclusiveAttemptIsRetriedToConclusion) {
   ASSERT_TRUE(cached.has_value());
   EXPECT_TRUE(cached->result.from_cache);
   EXPECT_EQ(cached->result.verdict, mc::Verdict::kHolds);
+}
+
+// With one tenant the DRR rotation must be invisible: pops come out in
+// the historical (priority desc, cost asc, admission order) order that
+// every pre-tenant caller depends on.
+TEST(JobQueueDrr, SingleTenantReducesToHistoricalOrder) {
+  JobQueue queue(64);
+  // sequence:   1          2          3          4          5
+  // priority:   0          0          5          5          0
+  // cost rank:  big        small      mid        big        mid
+  queue.admit(spec_for(guardian::Authority::kPassive, 6), 0, 1, 0);
+  queue.admit(spec_for(guardian::Authority::kPassive, 3), 0, 2, 0);
+  queue.admit(spec_for(guardian::Authority::kPassive, 4), 0, 3, 5);
+  queue.admit(spec_for(guardian::Authority::kPassive, 5), 0, 4, 5);
+  queue.admit(spec_for(guardian::Authority::kPassive, 4), 0, 5, 0);
+
+  std::vector<std::uint64_t> popped;
+  while (std::optional<JobQueue::Entry> entry = queue.pop_next()) {
+    popped.push_back(entry->sequence);
+  }
+  // Priority-5 band first (cheap n4 before n5), then priority 0 by cost.
+  EXPECT_EQ(popped, (std::vector<std::uint64_t>{3, 4, 2, 5, 1}));
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+// Two equal-weight tenants with identical-cost jobs in one band: deficit
+// round-robin must keep the pop stream balanced — at no prefix may one
+// tenant be more than one job ahead of the other.
+TEST(JobQueueDrr, EqualWeightTenantsStayWithinOneJobOfEachOther) {
+  JobQueue queue(64);
+  const JobSpec spec = spec_for(guardian::Authority::kPassive);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    queue.admit(spec, 0, 10 + i, 0, /*tenant=*/1, /*weight=*/1);
+    queue.admit(spec, 0, 20 + i, 0, /*tenant=*/2, /*weight=*/1);
+  }
+
+  int count[3] = {0, 0, 0};
+  for (int pops = 0; pops < 6; ++pops) {
+    std::optional<JobQueue::Entry> entry = queue.pop_next();
+    ASSERT_TRUE(entry.has_value());
+    ASSERT_TRUE(entry->tenant == 1 || entry->tenant == 2);
+    ++count[entry->tenant];
+    EXPECT_LE(std::abs(count[1] - count[2]), 1)
+        << "unfair prefix after " << pops + 1 << " pops";
+  }
+  EXPECT_EQ(count[1], 3);
+  EXPECT_EQ(count[2], 3);
+  EXPECT_FALSE(queue.pop_next().has_value());
+}
+
+// A weight-2 tenant sharing a band with a weight-1 tenant (identical job
+// costs) must receive exactly two pops for every one of its peer's, at
+// every three-pop boundary.
+TEST(JobQueueDrr, WeightsSkewShareProportionally) {
+  JobQueue queue(64);
+  const JobSpec spec = spec_for(guardian::Authority::kPassive);
+  queue.admit(spec, 0, 100, 0, /*tenant=*/1, /*weight=*/2);
+  queue.admit(spec, 0, 200, 0, /*tenant=*/2, /*weight=*/1);
+  for (std::uint64_t i = 1; i < 6; ++i) {
+    queue.admit(spec, 0, 100 + i, 0, /*tenant=*/1, /*weight=*/2);
+  }
+  for (std::uint64_t i = 1; i < 3; ++i) {
+    queue.admit(spec, 0, 200 + i, 0, /*tenant=*/2, /*weight=*/1);
+  }
+
+  int heavy = 0;
+  int light = 0;
+  for (int pops = 1; pops <= 9; ++pops) {
+    std::optional<JobQueue::Entry> entry = queue.pop_next();
+    ASSERT_TRUE(entry.has_value());
+    (entry->tenant == 1 ? heavy : light) += 1;
+    if (pops % 3 == 0) {
+      EXPECT_EQ(heavy, 2 * pops / 3) << "after " << pops << " pops";
+      EXPECT_EQ(light, pops / 3) << "after " << pops << " pops";
+    }
+  }
+  EXPECT_FALSE(queue.pop_next().has_value());
 }
 
 }  // namespace

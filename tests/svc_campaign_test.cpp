@@ -15,6 +15,7 @@
 #include "svc/engine_factory.h"
 #include "svc/job_result.h"
 #include "svc/job_spec.h"
+#include "svc/wire.h"
 #include "util/digest.h"
 
 namespace tta::svc {

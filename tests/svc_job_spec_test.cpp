@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "svc/job_spec.h"
+#include "svc/wire.h"
 #include "util/digest.h"
 
 namespace tta::svc {

@@ -1,0 +1,222 @@
+// svc::Server contract tests (tests/svc_server_test.cpp): the in-process
+// face of the event-driven tta_verifyd. Covers the ServerConfig argv
+// round trip the smokes and the chaos harness build on, a wire-level
+// request/response round trip against a live in-process server, the
+// deterministic state-budget quota rejection, and accept-path backoff
+// surviving injected descriptor exhaustion (the sock.accept fail point).
+// The end-to-end phases — fairness spreads, drain-on-disconnect, SIGTERM
+// metrics — live in tools/verifyd_smoke.cpp against the real binary.
+#include "svc/server.h"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/wire.h"
+#include "util/fail_point.h"
+#include "util/socket.h"
+
+namespace tta::svc {
+namespace {
+
+using tta::util::LineConn;
+using tta::util::Socket;
+
+/// Runs an in-process server on its own thread; stops and joins on scope
+/// exit so a failing assertion never leaves the run() thread dangling.
+class ServerRunner {
+ public:
+  explicit ServerRunner(ServerConfig config) : server_(std::move(config)) {
+    std::string error;
+    started_ = server_.start(&error);
+    EXPECT_TRUE(started_) << error;
+    if (started_) thread_ = std::thread([this] { server_.run(); });
+  }
+  ~ServerRunner() {
+    if (thread_.joinable()) {
+      server_.request_stop();
+      thread_.join();
+    }
+  }
+  bool started() const { return started_; }
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+/// One request -> one response row on a fresh connection.
+bool exchange(std::uint16_t port, const std::string& request,
+              std::string* response, int timeout_ms = 60'000) {
+  std::string error;
+  Socket sock = Socket::connect_to("127.0.0.1", port, 5'000, &error);
+  if (!sock.valid()) {
+    ADD_FAILURE() << "connect failed: " << error;
+    return false;
+  }
+  LineConn conn(std::move(sock));
+  if (conn.write_line(request, 5'000) != LineConn::Io::kOk) return false;
+  return conn.read_line(response, timeout_ms) == LineConn::Io::kOk;
+}
+
+ServerConfig quiet_config() {
+  ServerConfig config;
+  config.port = 0;
+  config.service.workers = 1;
+  config.service.cache_capacity = 0;
+  return config;
+}
+
+TEST(ServerConfig, FromArgsToArgsRoundTrips) {
+  const char* argv[] = {
+      "tta_verifyd",  // argv[0] is skipped, as in main()
+      "--port=0",          "--workers=3",
+      "--cache=7",         "--retries=2",
+      "--drain-timeout-ms=1234",
+      "--tenant=alpha:3:4:500000",
+      "--tenant=beta:1:2",
+      "--tenant-default=2:8",
+  };
+  ServerConfig config;
+  std::string error;
+  ASSERT_TRUE(config.from_args(static_cast<int>(std::size(argv)), argv,
+                               &error))
+      << error;
+  EXPECT_EQ(config.service.workers, 3u);
+  EXPECT_EQ(config.service.cache_capacity, 7u);
+  EXPECT_EQ(config.service.retry.max_attempts, 3u);  // 1 + 2 retries
+  EXPECT_EQ(config.drain_timeout_ms, 1234u);
+  ASSERT_EQ(config.tenants.size(), 2u);
+  EXPECT_EQ(config.tenants[0].name, "alpha");
+  EXPECT_EQ(config.tenants[0].weight, 3u);
+  EXPECT_EQ(config.tenants[0].max_in_flight, 4u);
+  EXPECT_EQ(config.tenants[0].max_state_budget, 500'000u);
+  EXPECT_EQ(config.tenants[1].name, "beta");
+  EXPECT_EQ(config.tenants[1].max_state_budget, 0u);
+  EXPECT_EQ(config.default_quota.weight, 2u);
+  EXPECT_EQ(config.default_quota.max_in_flight, 8u);
+
+  // to_args() must re-parse to the identical configuration.
+  const std::vector<std::string> args = config.to_args();
+  std::vector<const char*> reparse_argv = {"tta_verifyd"};
+  for (const std::string& arg : args) reparse_argv.push_back(arg.c_str());
+  ServerConfig reparsed;
+  ASSERT_TRUE(reparsed.from_args(static_cast<int>(reparse_argv.size()),
+                                 reparse_argv.data(), &error))
+      << error;
+  EXPECT_EQ(reparsed.to_args(), args);
+  EXPECT_EQ(reparsed.service.workers, config.service.workers);
+  EXPECT_EQ(reparsed.service.retry.max_attempts,
+            config.service.retry.max_attempts);
+  ASSERT_EQ(reparsed.tenants.size(), config.tenants.size());
+  EXPECT_EQ(reparsed.tenants[0].max_state_budget,
+            config.tenants[0].max_state_budget);
+  EXPECT_EQ(reparsed.default_quota.max_in_flight,
+            config.default_quota.max_in_flight);
+}
+
+TEST(ServerConfig, RejectsUnknownFlagsAndMalformedQuotas) {
+  ServerConfig config;
+  std::string error;
+  const char* unknown[] = {"tta_verifyd", "--verbose"};
+  EXPECT_FALSE(config.from_args(2, unknown, &error));
+  EXPECT_FALSE(error.empty());
+
+  const char* bad_weight[] = {"tta_verifyd", "--tenant=alpha:0"};
+  EXPECT_FALSE(config.from_args(2, bad_weight, &error));
+
+  const char* bad_tail[] = {"tta_verifyd", "--tenant=alpha:1:x"};
+  EXPECT_FALSE(config.from_args(2, bad_tail, &error));
+
+  const char* no_name[] = {"tta_verifyd", "--tenant=:1"};
+  EXPECT_FALSE(config.from_args(2, no_name, &error));
+}
+
+TEST(Server, ServesAWireRoundTripInProcess) {
+  ServerRunner runner(quiet_config());
+  ASSERT_TRUE(runner.started());
+
+  const std::string request = decorate_request_line(
+      R"({"authority": "passive", "property": "safety"})", 0, "rt-1");
+  std::string response;
+  ASSERT_TRUE(exchange(runner.server().port(), request, &response));
+  EXPECT_NE(response.find("\"id\":\"rt-1\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"verdict\":\"HOLDS\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"rejected\":0"), std::string::npos) << response;
+  EXPECT_EQ(runner.server().metrics().net_connections.load(), 1u);
+  EXPECT_EQ(runner.server().metrics().net_malformed.load(), 0u);
+}
+
+// The state-budget quota is checked against the request's declared bound
+// (max_states), so rejection is deterministic — no race against how fast
+// the worker drains the queue, unlike the in-flight count.
+TEST(Server, StateBudgetCeilingRejectsDeterministically) {
+  ServerConfig config = quiet_config();
+  config.tenants.push_back(TenantQuota{"capped", 1, 0, /*budget=*/1'000'000});
+  ServerRunner runner(config);
+  ASSERT_TRUE(runner.started());
+  const std::uint16_t port = runner.server().port();
+
+  // Default max_states (50M) blows the 1M-state budget: explicit
+  // rejection row, not a dropped line and not a served job.
+  const std::string over = decorate_request_line(
+      R"({"authority": "passive", "property": "safety"})", 0, "big",
+      "capped");
+  std::string response;
+  ASSERT_TRUE(exchange(port, over, &response));
+  EXPECT_NE(response.find("\"id\":\"big\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"rejected\":1"), std::string::npos) << response;
+  EXPECT_EQ(runner.server().metrics().net_quota_rejected.load(), 1u);
+
+  // A job that declares a bound inside the budget (and generous enough
+  // for passive/n4 to close) is served normally — the rejection above
+  // must not have leaked any reserved budget.
+  const std::string within = decorate_request_line(
+      R"({"authority": "passive", "property": "safety", "max_states": 500000})",
+      0, "small", "capped");
+  ASSERT_TRUE(exchange(port, within, &response));
+  EXPECT_NE(response.find("\"id\":\"small\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"verdict\":\"HOLDS\""), std::string::npos)
+      << response;
+  EXPECT_EQ(runner.server().metrics().net_quota_rejected.load(), 1u);
+}
+
+// Injected EMFILE on the first two accept attempts: the connection waits
+// in the listen backlog while the listener backs off (muted in the event
+// loop), and the third attempt serves it. The client only sees latency.
+TEST(Server, AcceptBackoffRetriesAfterInjectedExhaustion) {
+  auto& points = util::FailPoints::instance();
+  std::string error;
+  ASSERT_TRUE(points.arm("sock.accept=error:hits(1,2)", &error)) << error;
+  struct Disarm {
+    ~Disarm() { util::FailPoints::instance().disarm("sock.accept"); }
+  } disarm;  // even a failing assertion must not leak into later tests
+
+  {
+    ServerConfig config = quiet_config();
+    config.accept_backoff = util::BackoffPolicy{5, 2.0, 50};
+    ServerRunner runner(config);
+    ASSERT_TRUE(runner.started());
+
+    const std::string request = decorate_request_line(
+        R"({"authority": "passive", "property": "safety"})", 0, "patient");
+    std::string response;
+    ASSERT_TRUE(exchange(runner.server().port(), request, &response));
+    EXPECT_NE(response.find("\"id\":\"patient\""), std::string::npos)
+        << response;
+    EXPECT_NE(response.find("\"verdict\":"), std::string::npos) << response;
+    EXPECT_GE(runner.server().metrics().net_accept_errors.load(), 2u);
+    EXPECT_EQ(runner.server().metrics().net_connections.load(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace tta::svc

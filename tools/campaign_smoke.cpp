@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "svc/server.h"
 #include "util/socket.h"
 
 namespace {
@@ -155,14 +156,27 @@ int main(int argc, char** argv) {
   const std::string port_file = std::string(dir) + "/port.txt";
   const std::string server_log = std::string(dir) + "/server.log";
 
+  // Server argv via ServerConfig::to_args — the same struct the binary
+  // parses, so this harness cannot drift from the real flag grammar.
+  tta::svc::ServerConfig server_config;
+  server_config.port = 0;
+  server_config.port_file = port_file;
+  server_config.service.workers = 1;
+  server_config.service.cache_capacity = 1;
+  const std::vector<std::string> server_args = server_config.to_args();
+
   const pid_t server = fork();
   if (server == 0) {
     std::FILE* log = std::freopen(server_log.c_str(), "w", stdout);
     (void)log;
-    execl(verifyd.c_str(), verifyd.c_str(), "--port=0",
-          ("--port-file=" + port_file).c_str(), "--workers=1", "--cache=1",
-          static_cast<char*>(nullptr));
-    std::perror("execl tta_verifyd");
+    std::vector<char*> exec_argv;
+    exec_argv.push_back(const_cast<char*>(verifyd.c_str()));
+    for (const std::string& arg : server_args) {
+      exec_argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    exec_argv.push_back(nullptr);
+    execv(verifyd.c_str(), exec_argv.data());
+    std::perror("execv tta_verifyd");
     _exit(127);
   }
   CHECK(server > 0, "fork failed");

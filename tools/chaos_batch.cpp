@@ -51,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "svc/server.h"
 #include "util/rng.h"
 #include "util/socket.h"
 
@@ -124,11 +125,17 @@ struct Server {
       (void)log;
       // stderr joins the log so accept-backoff lines are visible too.
       dup2(fileno(stdout), fileno(stderr));
-      const std::string ckpt_dir = dir + "/ckpt";
-      std::vector<std::string> args = {
-          verifyd, "--port=0", "--port-file=" + port_file, "--workers=4",
-          "--retries=3", "--checkpoint-dir=" + ckpt_dir};
-      if (!cache_dir.empty()) args.push_back("--cache-dir=" + cache_dir);
+      // Server argv via ServerConfig::to_args — the same struct the
+      // binary parses, so the harness cannot drift from its flag grammar.
+      tta::svc::ServerConfig config;
+      config.port = 0;
+      config.port_file = port_file;
+      config.service.workers = 4;
+      config.service.retry.max_attempts = 1 + 3;  // --retries=3
+      config.service.checkpoint_dir = dir + "/ckpt";
+      config.service.cache_dir = cache_dir;  // "" = no persistent cache
+      std::vector<std::string> args = {verifyd};
+      for (std::string& a : config.to_args()) args.push_back(std::move(a));
       std::vector<char*> argv;
       argv.reserve(args.size() + 1);
       for (std::string& a : args) argv.push_back(a.data());

@@ -42,6 +42,7 @@
 
 #include "bench_json.h"
 #include "svc/async_service.h"
+#include "svc/wire.h"
 #include "util/digest.h"
 
 using namespace tta;

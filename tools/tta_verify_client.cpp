@@ -2,14 +2,22 @@
 //
 // Replays a tta_verify_batch job file against a running server: every job
 // line is validated locally (same grammar, same error messages as the
-// batch tool), decorated with the connection-wide --priority and a
-// per-job --id-prefix tag, and sent as one request line. The write side
-// is then shut down — the protocol's "no more requests" signal — and
-// every response line is printed to stdout as it arrives, so piping this
-// tool behaves exactly like piping tta_verify_batch --stream.
+// batch tool), decorated with the connection-wide --priority / --tenant
+// and a per-job --id-prefix tag (svc::decorate_request_line — the same
+// wire grammar the server parses), and sent as one request line. The
+// write side is then shut down — the protocol's "no more requests"
+// signal — and every response line is printed to stdout as it arrives, so
+// piping this tool behaves exactly like piping tta_verify_batch --stream.
 //
-//   ./tta_verify_client 127.0.0.1:7410 tools/e1_grid.jobs \
-//       --priority=10 --id-prefix=urgent
+//   ./tta_verify_client 127.0.0.1:7410 tools/e1_grid.jobs
+//       --priority=10 --id-prefix=urgent --tenant=batch
+//
+// --soak=TOTAL:CONCURRENT exercises the server's event loop instead of
+// replaying work: it churns TOTAL short-lived connections while holding
+// CONCURRENT of them open at a time (connect, idle, disconnect — no
+// requests), then replays the job file over one ordinary connection to
+// prove the server still answers everything. CI's 10k-connection soak
+// step gates on this mode exiting 0.
 //
 // Exit status: 0 when every job came back conclusive (HOLDS or VIOLATED),
 // 1 when any response is missing, rejected, inconclusive, or an error
@@ -21,12 +29,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <string>
 #include <vector>
 
-#include "svc/job_result.h"
-#include "svc/job_spec.h"
+#include "svc/wire.h"
 #include "util/socket.h"
 
 using namespace tta;
@@ -36,11 +44,15 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s HOST:PORT JOBFILE [--priority=N] [--id-prefix=S]\n"
-               "          [--timeout-ms=N]\n"
+               "          [--tenant=NAME] [--timeout-ms=N] "
+               "[--soak=TOTAL:CONCURRENT]\n"
                "Replays JOBFILE (tta_verify_batch job grammar) against a "
                "tta_verifyd server\nand prints one response line per job "
                "(docs/SERVICE.md). --timeout-ms bounds\nthe whole response "
-               "phase; expiry exits 2 with the answers so far printed.\n",
+               "phase; expiry exits 2 with the answers so far printed.\n"
+               "--soak first churns TOTAL idle connections (CONCURRENT held "
+               "open at a time)\nthrough the server's event loop, then "
+               "replays JOBFILE normally.\n",
                argv0);
   return 2;
 }
@@ -52,21 +64,33 @@ bool flag_value(const char* arg, const char* name, const char** out) {
   return true;
 }
 
-/// Splices the wire-only keys into a validated job line: '{...}' becomes
-/// '{..., "priority":N,"id":"tag"}'. The line was already parsed, so the
-/// closing brace is real structure, not string content.
-std::string decorate(const std::string& job_line, std::int32_t priority,
-                     const std::string& id) {
-  const std::size_t close = job_line.rfind('}');
-  std::string out = job_line.substr(0, close);
-  const std::size_t open = out.find('{');
-  const bool empty_object =
-      out.find_first_not_of(" \t", open + 1) == std::string::npos;
-  std::string extra = "\"priority\":" + std::to_string(priority);
-  if (!id.empty()) extra += ",\"id\":\"" + svc::json_escape(id) + "\"";
-  out += empty_object ? extra : "," + extra;
-  out += job_line.substr(close);
-  return out;
+/// Connect/idle/disconnect churn against the server: TOTAL connections,
+/// holding CONCURRENT open simultaneously, oldest-closed-first. No bytes
+/// are sent — each connection costs the server an accept, an idle fd in
+/// its poll set, and a drain-on-close. Returns false on any failed
+/// connect (the soak's failure signal: the server stopped accepting).
+bool soak_churn(const std::string& host, std::uint16_t port,
+                std::size_t total, std::size_t concurrent) {
+  std::deque<util::Socket> held;
+  for (std::size_t i = 0; i < total; ++i) {
+    std::string error;
+    util::Socket sock = util::Socket::connect_to(host, port, 10'000, &error);
+    if (!sock.valid()) {
+      std::fprintf(stderr, "soak: connect %zu/%zu failed: %s\n", i + 1,
+                   total, error.c_str());
+      return false;
+    }
+    held.push_back(std::move(sock));
+    if (held.size() > concurrent) held.pop_front();  // disconnect oldest
+    if ((i + 1) % 1000 == 0) {
+      std::fprintf(stderr, "soak: %zu/%zu connections churned\n", i + 1,
+                   total);
+    }
+  }
+  held.clear();
+  std::fprintf(stderr, "soak: churned %zu connections (%zu concurrent)\n",
+               total, concurrent);
+  return true;
 }
 
 }  // namespace
@@ -75,17 +99,28 @@ int main(int argc, char** argv) {
   std::string endpoint;
   std::string job_path;
   std::string id_prefix;
+  std::string tenant;
   std::int32_t priority = 0;
   long timeout_ms = 0;  // 0 = no overall deadline
+  std::size_t soak_total = 0;
+  std::size_t soak_concurrent = 0;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
     if (flag_value(argv[i], "--priority", &v)) {
       priority = static_cast<std::int32_t>(std::strtol(v, nullptr, 10));
     } else if (flag_value(argv[i], "--id-prefix", &v)) {
       id_prefix = v;
+    } else if (flag_value(argv[i], "--tenant", &v)) {
+      tenant = v;
     } else if (flag_value(argv[i], "--timeout-ms", &v)) {
       timeout_ms = std::strtol(v, nullptr, 10);
       if (timeout_ms <= 0) return usage(argv[0]);
+    } else if (flag_value(argv[i], "--soak", &v)) {
+      char* rest = nullptr;
+      soak_total = std::strtoul(v, &rest, 10);
+      if (rest == nullptr || *rest != ':') return usage(argv[0]);
+      soak_concurrent = std::strtoul(rest + 1, nullptr, 10);
+      if (soak_total == 0 || soak_concurrent == 0) return usage(argv[0]);
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else if (endpoint.empty()) {
@@ -126,10 +161,16 @@ int main(int argc, char** argv) {
     if (!id_prefix.empty()) {
       id = id_prefix + "-" + std::to_string(requests.size());
     }
-    requests.push_back(decorate(line, priority, id));
+    requests.push_back(svc::decorate_request_line(line, priority, id, tenant));
   }
   if (requests.empty()) {
     std::fprintf(stderr, "%s: no jobs\n", job_path.c_str());
+    return 2;
+  }
+
+  if (soak_total > 0 &&
+      !soak_churn(host, static_cast<std::uint16_t>(port), soak_total,
+                  soak_concurrent)) {
     return 2;
   }
 

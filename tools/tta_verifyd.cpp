@@ -1,374 +1,80 @@
 // Verification server: the tta_verify_batch --stream JSON-lines protocol
 // served over a loopback TCP socket (docs/SERVICE.md).
 //
-// One process hosts one svc::AsyncService; every accepted connection gets
-// its own svc::Session and its own thread, so many clients multiplex onto
-// the shared worker pool, result cache, and persistent cache. The wire
-// protocol is strictly line-framed and symmetric with the batch tool:
+// This binary is a thin main() over svc::Server — flag parsing is
+// svc::ServerConfig::from_args, the event loop, multi-tenant quota gate,
+// and weighted-fair dispatch all live in src/svc/server.{h,cpp}. One
+// process hosts one svc::AsyncService; every accepted connection gets its
+// own svc::Session, and a single poll(2) loop serves them all from one
+// thread, so thousands of idle or slow clients cost fds and buffers, not
+// threads.
 //
-//   request   one svc::WireRequest per line — the tta_verify_batch job
-//             grammar plus optional "priority" (dispatch QoS across ALL
-//             connections) and "id" (opaque tag echoed on the response);
-//   response  one svc::result_json row per concluded job, in completion
-//             order, ts_ms measured from the connection's first byte;
-//   progress  campaign jobs additionally stream {"progress":1,...} rows
-//             (one per completed trial batch) with the running estimate
-//             and Wilson interval; result rows never carry "progress";
-//   error     {"error":"<reason>","line":N} for a malformed request line
-//             (the connection stays up — one bad line costs one answer).
-//
-// Lifecycle contract:
-//   - client half-close (shutdown of its write side) means "no more
-//     requests": the session finishes every pending job, streams the
-//     answers, then the server closes;
-//   - abrupt disconnect mid-stream drains the session (running jobs
-//     conclude, queued jobs are rejected) and discards the answers —
-//     counted in Metrics::net_drains, conclusive verdicts still land in
-//     the caches for the client's retry;
-//   - SIGTERM / SIGINT stop the accept loop and drain every connection:
+// Lifecycle contract (unchanged from the thread-per-connection server):
+//   - client half-close means "no more requests": the session finishes
+//     every pending job, streams the answers, then the server closes;
+//   - abrupt disconnect mid-stream drains the session and discards the
+//     answers — counted in Metrics::net_drains, conclusive verdicts still
+//     land in the caches for the client's retry;
+//   - SIGTERM / SIGINT close the listener and drain every connection:
 //     queued jobs come back as explicit rejection rows, buffered results
 //     are flushed to their clients, then the process exits 0 with a final
 //     metrics dump on stdout (the kill-9 recovery step in CI greps it).
 //
 //   ./tta_verifyd --port=0 --port-file=port.txt --workers=4
-//       --cache-dir=cache/ --retries=2
+//       --cache-dir=cache/ --retries=2 --tenant=batch:3:64:100000000
 //
 // --port=0 (the default) binds an ephemeral port; the actually-bound port
 // is printed on stdout and, with --port-file, written atomically (tmp +
 // rename) so scripts can wait for the file instead of parsing logs.
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <atomic>
-#include <chrono>
-#include <memory>
-#include <mutex>
-#include <optional>
+
 #include <string>
-#include <thread>
-#include <unordered_map>
-#include <vector>
 
-#include <cerrno>
-
-#include "svc/async_service.h"
-#include "util/digest.h"
+#include "svc/server.h"
 #include "util/fail_point.h"
-#include "util/socket.h"
 
 using namespace tta;
 
 namespace {
 
-std::atomic<bool> g_stop{false};
+svc::Server* g_server = nullptr;
 
-void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--port=N] [--port-file=FILE] [--workers=N] "
-               "[--cache=N]\n"
-               "          [--cache-dir=DIR] [--checkpoint-dir=DIR] "
-               "[--retries=N]\n"
-               "Serves the tta_verify_batch --stream protocol on "
-               "127.0.0.1 (docs/SERVICE.md).\n",
-               argv0);
-  return 2;
-}
-
-bool flag_value(const char* arg, const char* name, const char** out) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  *out = arg + len + 1;
-  return true;
-}
-
-bool write_port_file(const std::string& path, std::uint16_t port) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "w");
-  if (!f) return false;
-  std::fprintf(f, "%u\n", port);
-  std::fclose(f);
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
-}
-
-/// The server side of one connection: owns the Session, alternates between
-/// reading request lines and flushing concluded results, and settles the
-/// session (drain) on every exit path.
-void serve_connection(util::LineConn conn, svc::AsyncService* service) {
-  using Io = util::LineConn::Io;
-  svc::Metrics& metrics = service->metrics();
-  metrics.net_connections.fetch_add(1, std::memory_order_relaxed);
-  std::shared_ptr<svc::Session> session = service->open_session();
-  const auto start = std::chrono::steady_clock::now();
-
-  struct PendingJob {
-    svc::JobSpec spec;
-    std::string id;
-    svc::JobHandle handle;
-    /// Batches already reported in a progress row (campaign jobs only);
-    /// a row goes out only when the worker has crossed a new boundary.
-    std::uint64_t last_batches = 0;
-  };
-  std::unordered_map<std::uint64_t, PendingJob> pending;  // by sequence
-  std::string line;
-  bool reading = true;   ///< false after half-close / error / shutdown
-  bool broken = false;   ///< the write side failed: nobody is listening
-  bool drained = false;  ///< drain() already ran (shutdown path)
-  int lineno = 0;
-
-  const auto ts_ms = [&] {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-  };
-  auto emit = [&](const std::string& out) {
-    if (broken) return;
-    if (conn.write_line(out, 30'000) == Io::kOk) {
-      metrics.net_lines_out.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      broken = true;
-    }
-  };
-  const auto number = [](double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    return std::string(buf);
-  };
-  // Campaign jobs stream advisory progress rows between responses: one
-  // {"progress":1,...} row per newly completed batch, carrying the running
-  // Wilson interval (docs/SERVICE.md). Clients that only want final rows
-  // can filter on the "progress" key — result rows never carry it.
-  auto emit_progress_row = [&](std::uint64_t seq, PendingJob& job,
-                               const char* state, std::uint64_t trials,
-                               std::uint64_t failures, std::uint64_t batches,
-                               double p_hat, double ci_low, double ci_high) {
-    job.last_batches = batches;
-    std::string row = "{";
-    if (!job.id.empty()) {
-      row += "\"id\":\"" + svc::json_escape(job.id) + "\",";
-    }
-    row += "\"progress\":1";
-    row += ",\"seq\":" + std::to_string(seq);
-    row += ",\"ts_ms\":" + number(ts_ms());
-    row += ",\"digest\":\"" + util::digest_hex(job.handle.digest) + "\"";
-    row += ",\"state\":\"";
-    row += state;
-    row += "\",\"trials\":" + std::to_string(trials);
-    row += ",\"failures\":" + std::to_string(failures);
-    row += ",\"batches\":" + std::to_string(batches);
-    row += ",\"p_hat\":" + number(p_hat);
-    row += ",\"ci_low\":" + number(ci_low);
-    row += ",\"ci_high\":" + number(ci_high);
-    row += "}";
-    emit(row);
-  };
-  auto flush_progress = [&] {
-    for (auto& [seq, job] : pending) {
-      if (broken) return;
-      if (job.spec.kind != svc::JobKind::kCampaign) continue;
-      const std::optional<svc::JobProgress> p =
-          session->progress(job.handle);
-      if (!p || !p->has_campaign ||
-          p->campaign_batches <= job.last_batches) {
-        continue;
-      }
-      emit_progress_row(seq, job, svc::to_string(p->state),
-                        p->campaign_trials, p->campaign_failures,
-                        p->campaign_batches, p->campaign_p_hat,
-                        p->campaign_ci_low, p->campaign_ci_high);
-    }
-  };
-
-  for (;;) {
-    if (g_stop.load(std::memory_order_relaxed) && !drained) {
-      // Server shutdown: no more requests; queued jobs conclude as
-      // explicit rejection rows, running jobs finish honestly. The
-      // buffered answers below still go out to the client.
-      reading = false;
-      session->drain();
-      drained = true;
-    }
-    if (broken) break;
-    if (!reading && pending.empty() && session->results().buffered() == 0 &&
-        !drained) {
-      break;  // every accepted request answered; close cleanly
-    }
-
-    if (reading) {
-      switch (conn.read_line(&line, 20)) {
-        case Io::kOk: {
-          ++lineno;
-          metrics.net_lines_in.fetch_add(1, std::memory_order_relaxed);
-          svc::WireRequest request;
-          std::string error;
-          if (!svc::parse_request_line(line, &request, &error)) {
-            metrics.net_malformed.fetch_add(1, std::memory_order_relaxed);
-            emit("{\"error\":\"" + svc::json_escape(error) +
-                 "\",\"line\":" + std::to_string(lineno) + "}");
-            continue;
-          }
-          const svc::JobHandle handle =
-              session->submit(request.spec, request.priority);
-          if (handle.valid()) {
-            pending.emplace(handle.sequence,
-                            PendingJob{request.spec, std::move(request.id),
-                                       handle, 0});
-          } else {
-            // Hard rejection (stream saturated): the session could not
-            // even buffer a rejection row, so synthesize it here.
-            svc::JobResult rejected;
-            rejected.digest = handle.digest;
-            rejected.property = request.spec.property;
-            rejected.outcome.rejected = true;
-            emit(svc::result_json(request.spec, rejected, /*pass=*/1,
-                                  /*seq=*/0, ts_ms(), request.id));
-          }
-          continue;  // greedy: accept the whole burst before blocking
-        }
-        case Io::kTimeout:
-          break;  // nothing to read right now; flush results below
-        case Io::kEof:
-          reading = false;  // half-close: answer everything, then close
-          break;
-        case Io::kError:
-          broken = true;
-          continue;
-      }
-    }
-
-    flush_progress();
-
-    // Flush concluded results; block only when there is nothing to read.
-    svc::StreamedResult item;
-    const auto wait = std::chrono::milliseconds(reading ? 0 : 50);
-    switch (session->results().next_for(wait, &item)) {
-      case util::PopStatus::kItem: {
-        const auto it = pending.find(item.handle.sequence);
-        if (it != pending.end()) {
-          // A campaign that outran the poll above still reports its last
-          // batch: every campaign answer is preceded by at least one
-          // progress row, however fast the job was.
-          if (item.result.has_campaign &&
-              item.result.campaign.batches > it->second.last_batches) {
-            const svc::CampaignEstimate& c = item.result.campaign;
-            emit_progress_row(item.handle.sequence, it->second, "done",
-                              c.trials, c.failures, c.batches, c.p_hat,
-                              c.ci_low, c.ci_high);
-          }
-          emit(svc::result_json(it->second.spec, item.result, /*pass=*/1,
-                                item.handle.sequence, ts_ms(),
-                                it->second.id));
-          pending.erase(it);
-        }
-        break;
-      }
-      case util::PopStatus::kTimeout:
-        break;
-      case util::PopStatus::kEnded:
-        pending.clear();
-        goto done;  // drained stream fully flushed (or was already empty)
-    }
-  }
-done:
-
-  if (!drained) {
-    if (broken && !pending.empty()) {
-      // Abrupt disconnect with answers still owed: drain and discard.
-      // Conclusive verdicts were already cached, so a reconnecting client
-      // gets them instantly.
-      metrics.net_drains.fetch_add(1, std::memory_order_relaxed);
-    }
-    session->drain();
-  }
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint16_t port = 0;
-  std::string port_file;
-  svc::ServiceConfig config;
-  for (int i = 1; i < argc; ++i) {
-    const char* v = nullptr;
-    if (flag_value(argv[i], "--port", &v)) {
-      const unsigned long parsed = std::strtoul(v, nullptr, 10);
-      if (parsed > 65535) return usage(argv[0]);
-      port = static_cast<std::uint16_t>(parsed);
-    } else if (flag_value(argv[i], "--port-file", &v)) {
-      port_file = v;
-    } else if (flag_value(argv[i], "--workers", &v)) {
-      config.workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-    } else if (flag_value(argv[i], "--cache", &v)) {
-      config.cache_capacity = std::strtoul(v, nullptr, 10);
-    } else if (flag_value(argv[i], "--cache-dir", &v)) {
-      config.cache_dir = v;
-    } else if (flag_value(argv[i], "--checkpoint-dir", &v)) {
-      config.checkpoint_dir = v;
-    } else if (flag_value(argv[i], "--retries", &v)) {
-      config.retry.max_attempts =
-          1 + static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-    } else {
-      return usage(argv[0]);
-    }
+  svc::ServerConfig config;
+  std::string error;
+  if (!config.from_args(argc, argv, &error)) {
+    std::fprintf(stderr, "tta_verifyd: %s\n%s", error.c_str(),
+                 svc::ServerConfig::usage());
+    return 2;
   }
+
+  svc::Server server(std::move(config));
 
   // SIGTERM/SIGINT request the drain-then-exit path; SIGPIPE must never
   // kill the process (writes use MSG_NOSIGNAL, this is belt-and-braces).
+  g_server = &server;
   struct sigaction sa = {};
   sa.sa_handler = on_signal;
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
   std::signal(SIGPIPE, SIG_IGN);
 
-  std::string error;
-  std::uint16_t bound = 0;
-  util::Socket listener = util::Socket::listen_on(port, &bound, &error);
-  if (!listener.valid()) {
+  if (!server.start(&error)) {
     std::fprintf(stderr, "tta_verifyd: %s\n", error.c_str());
     return 2;
   }
-  if (!port_file.empty() && !write_port_file(port_file, bound)) {
-    std::fprintf(stderr, "tta_verifyd: cannot write %s\n", port_file.c_str());
-    return 2;
-  }
-  std::printf("tta_verifyd listening on 127.0.0.1:%u\n", bound);
-  std::fflush(stdout);
-
-  svc::AsyncService service(config);
-  std::vector<std::thread> connections;
-  while (!g_stop.load(std::memory_order_relaxed)) {
-    int accept_errno = 0;
-    util::Socket accepted = listener.accept_for(100, &accept_errno);
-    if (!accepted.valid()) {
-      if (accept_errno != 0) {
-        // Descriptor exhaustion (EMFILE/ENFILE), a client that gave up
-        // before we got to it (ECONNABORTED), or an injected fault: none
-        // of these are reasons to stop serving everyone else. Log, count,
-        // give transient conditions a moment to clear, and poll again —
-        // the pending connection waits in the listen backlog.
-        service.metrics().net_accept_errors.fetch_add(
-            1, std::memory_order_relaxed);
-        std::fprintf(stderr, "tta_verifyd: accept: %s — backing off\n",
-                     std::strerror(accept_errno));
-        if (accept_errno != ECONNABORTED) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        }
-      }
-      continue;  // timeout (or survived error) — poll again
-    }
-    connections.emplace_back(
-        [sock = std::move(accepted), &service]() mutable {
-          serve_connection(util::LineConn(std::move(sock)), &service);
-        });
-  }
-  listener.close();  // refuse new clients while existing ones drain
-  for (std::thread& t : connections) t.join();
+  server.run();
 
   std::printf("tta_verifyd: drained %zu connection(s), exiting\n",
-              connections.size());
-  std::printf("%s", service.metrics().dump().c_str());
+              server.drained_connections());
+  std::printf("%s", server.metrics().dump().c_str());
   // Chaos observability: when TTA_FAILPOINTS armed anything, show what
   // actually fired so a chaos log explains its own metric deltas.
   std::printf("%s", util::FailPoints::instance().render().c_str());

@@ -5,7 +5,9 @@
 //
 // Phases, against one server started on an ephemeral port with one worker
 // and the in-memory cache disabled (so every job really executes and the
-// dispatch order is observable):
+// dispatch order is observable). The server argv is built through
+// svc::ServerConfig::to_args — the same struct the binary parses — so the
+// smoke cannot drift from the server's real flag grammar:
 //
 //   1. reference — run `BATCH JOBS --stream` and collect the E1 grid's
 //      (digest, verdict) multiset from its JSON lines;
@@ -15,12 +17,22 @@
 //      (a) return the identical verdict multiset and (b) finish strictly
 //      before the bulk client does — high-priority jobs overtake the
 //      ~19 still-queued bulk jobs on the shared one-worker queue;
-//   3. malformed + disconnect — a raw connection sends garbage (expects an
+//   3. weighted-fair tenants — three equal-weight tenants replay the grid
+//      concurrently at equal priority; deficit-round-robin dispatch must
+//      interleave their lanes, so all three finish within a bounded
+//      spread of each other (no tenant is starved behind another's whole
+//      batch) and each returns the reference multiset;
+//   4. tenant quota — the server pins tenant "greedy" to 2 in-flight
+//      jobs. A greedy client bursts the whole grid and must get explicit
+//      rejection rows for nearly all of it (exit 1), while a concurrent
+//      default-tenant peer replays the grid unaffected (exit 0, reference
+//      multiset);
+//   5. malformed + disconnect — a raw connection sends garbage (expects an
 //      {"error":...} line back), submits real jobs, reads one answer, and
 //      disconnects abruptly mid-stream; the server must drain, not wedge;
-//   4. clean shutdown — SIGTERM must exit 0 after flushing, and the final
-//      metrics dump must report the connections, the malformed line, and
-//      the mid-stream drain from phase 3.
+//   6. clean shutdown — SIGTERM must exit 0 after flushing, and the final
+//      metrics dump must report the connections, the malformed line, the
+//      mid-stream drain, and the quota rejections.
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -41,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "svc/server.h"
 #include "util/socket.h"
 
 namespace {
@@ -158,14 +171,34 @@ int main(int argc, char** argv) {
                expected_total, expected.size());
 
   // ---- start the server ----------------------------------------------
+  // The argv comes from ServerConfig::to_args: one worker, cache off, and
+  // tenant "greedy" capped at 2 in-flight jobs for the quota phase.
+  tta::svc::ServerConfig server_config;
+  server_config.port = 0;
+  server_config.port_file = port_file;
+  server_config.service.workers = 1;
+  server_config.service.cache_capacity = 0;
+  {
+    tta::svc::TenantQuota greedy;
+    greedy.name = "greedy";
+    greedy.weight = 1;
+    greedy.max_in_flight = 2;
+    server_config.tenants.push_back(greedy);
+  }
+  const std::vector<std::string> server_args = server_config.to_args();
+
   const pid_t server = fork();
   if (server == 0) {
     std::FILE* log = std::freopen(server_log.c_str(), "w", stdout);
     (void)log;
-    execl(verifyd.c_str(), verifyd.c_str(), "--port=0",
-          ("--port-file=" + port_file).c_str(), "--workers=1", "--cache=0",
-          static_cast<char*>(nullptr));
-    std::perror("execl tta_verifyd");
+    std::vector<char*> exec_argv;
+    exec_argv.push_back(const_cast<char*>(verifyd.c_str()));
+    for (const std::string& arg : server_args) {
+      exec_argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    exec_argv.push_back(nullptr);
+    execv(verifyd.c_str(), exec_argv.data());
+    std::perror("execv tta_verifyd");
     _exit(127);
   }
   CHECK(server > 0, "fork failed");
@@ -223,7 +256,100 @@ int main(int argc, char** argv) {
               .count());
   }
 
-  // ---- phase 3: malformed line, then abrupt disconnect mid-stream -----
+  // ---- phase 3: weighted-fair dispatch across equal tenants -----------
+  // Three tenants with the default (equal) weight replay the grid on one
+  // worker. Deficit round robin rotates the lanes, so completions
+  // interleave and the three clients' LAST answers land close together —
+  // a scheduler that served any lane to exhaustion first would push one
+  // client's finish toward t=span/3 and another's to t=span.
+  {
+    const auto fair_start = Clock::now();
+    RunResult fair[3];
+    std::vector<std::thread> fair_threads;
+    for (int i = 0; i < 3; ++i) {
+      fair_threads.emplace_back([&, i] {
+        const std::string name = "fair" + std::to_string(i);
+        fair[i] = run_streaming(shell_quote(client) + " " + endpoint + " " +
+                                shell_quote(jobs) + " --tenant=" + name +
+                                " --id-prefix=" + name + " 2>/dev/null");
+      });
+    }
+    for (std::thread& t : fair_threads) t.join();
+
+    Clock::time_point first_done = Clock::time_point::max();
+    Clock::time_point last_done = Clock::time_point::min();
+    for (int i = 0; i < 3; ++i) {
+      CHECK(WIFEXITED(fair[i].status) && WEXITSTATUS(fair[i].status) == 0,
+            "fair tenant %d exited %d", i, fair[i].status);
+      CHECK(verdict_multiset(fair[i].lines) == expected,
+            "fair tenant %d verdict multiset != reference", i);
+      if (fair[i].lines.empty()) continue;
+      const auto done = fair[i].lines.back().second;
+      first_done = std::min(first_done, done);
+      last_done = std::max(last_done, done);
+    }
+    const double span_ms =
+        std::chrono::duration<double, std::milli>(last_done - fair_start)
+            .count();
+    const double spread_ms =
+        std::chrono::duration<double, std::milli>(last_done - first_done)
+            .count();
+    std::fprintf(stderr, "fairness: span=%.0f ms, finish spread=%.0f ms\n",
+                 span_ms, spread_ms);
+    CHECK(span_ms > 0 && spread_ms < 0.5 * span_ms,
+          "unfair dispatch: finish spread %.0f ms over a %.0f ms phase",
+          spread_ms, span_ms);
+  }
+
+  // ---- phase 4: tenant quota gate -------------------------------------
+  // "greedy" is capped at 2 in-flight jobs; bursting the whole grid down
+  // one connection must come back almost entirely as explicit rejection
+  // rows (so the client exits 1), while a concurrent default-tenant peer
+  // sails through untouched.
+  {
+    RunResult peer;
+    std::thread peer_thread([&] {
+      peer = run_streaming(shell_quote(client) + " " + endpoint + " " +
+                           shell_quote(jobs) + " --id-prefix=peer 2>/dev/null");
+    });
+    const RunResult greedy = run_streaming(
+        shell_quote(client) + " " + endpoint + " " + shell_quote(jobs) +
+        " --tenant=greedy --id-prefix=greedy 2>/dev/null");
+    peer_thread.join();
+
+    CHECK(WIFEXITED(greedy.status) && WEXITSTATUS(greedy.status) == 1,
+          "greedy client should exit 1 (quota rejections), got %d",
+          greedy.status);
+    std::size_t answers = 0;
+    std::size_t rejected = 0;
+    for (const auto& [line, when] : greedy.lines) {
+      (void)when;
+      if (line.find("\"progress\":1") != std::string::npos) continue;
+      ++answers;
+      if (line.find("\"rejected\":1") != std::string::npos) ++rejected;
+    }
+    // The burst outruns the single worker, so nearly everything bounces
+    // off the 2-job cap; completions racing the burst's tail may let a
+    // few extra through, but every request line gets exactly one answer.
+    CHECK(answers == expected_total,
+          "greedy client: %zu answers for %zu requests", answers,
+          expected_total);
+    CHECK(rejected >= expected_total - 4,
+          "greedy client: only %zu/%zu rejection rows — quota gate leaky?",
+          rejected, answers);
+    CHECK(rejected < answers, "greedy client: everything rejected — the "
+                              "2-job allowance never admitted anything");
+    std::fprintf(stderr, "quota: greedy %zu/%zu rejected\n", rejected,
+                 answers);
+
+    CHECK(WIFEXITED(peer.status) && WEXITSTATUS(peer.status) == 0,
+          "peer client (default tenant) exited %d alongside greedy",
+          peer.status);
+    CHECK(verdict_multiset(peer.lines) == expected,
+          "peer client verdict multiset != reference");
+  }
+
+  // ---- phase 5: malformed line, then abrupt disconnect mid-stream -----
   {
     std::string error;
     Socket sock = Socket::connect_to(
@@ -271,7 +397,7 @@ int main(int argc, char** argv) {
           "post-drain client verdict multiset != reference");
   }
 
-  // ---- phase 4: SIGTERM drains and exits 0 ----------------------------
+  // ---- phase 6: SIGTERM drains and exits 0 ----------------------------
   kill(server, SIGTERM);
   int status = -1;
   const auto deadline = Clock::now() + std::chrono::seconds(60);
@@ -291,7 +417,9 @@ int main(int argc, char** argv) {
           "server exit status %d after SIGTERM", status);
   }
 
-  // The final metrics dump accounts for everything this smoke did.
+  // The final metrics dump accounts for everything this smoke did: bulk,
+  // urgent, 3 fairness tenants, greedy + peer, the raw phase-5 socket,
+  // and the post-drain client = 9 connections.
   {
     std::ifstream f(server_log);
     std::string log((std::istreambuf_iterator<char>(f)),
@@ -299,11 +427,13 @@ int main(int argc, char** argv) {
     CHECK(log.find("tta_verifyd listening on 127.0.0.1:") !=
               std::string::npos,
           "startup banner missing from server log");
-    CHECK(log.find("net: connections=4 ") != std::string::npos,
-          "expected 4 connections in metrics; log tail:\n%.400s",
+    CHECK(log.find("net: connections=9 ") != std::string::npos,
+          "expected 9 connections in metrics; log tail:\n%.400s",
           log.size() > 400 ? log.c_str() + log.size() - 400 : log.c_str());
     CHECK(log.find("malformed=1 drains=1") != std::string::npos,
           "expected one malformed request and one mid-stream drain");
+    CHECK(log.find("quota_rejected=0") == std::string::npos,
+          "quota_rejected stayed zero despite the greedy burst");
   }
 
   if (g_failures == 0) std::fprintf(stderr, "verifyd_smoke: all phases OK\n");
