@@ -16,16 +16,28 @@ Estimate wilson_estimate(std::uint64_t failures, std::uint64_t trials,
   if (trials == 0) return est;  // vacuous [0, 1]
 
   const double n = static_cast<double>(trials);
-  const double p = static_cast<double>(failures) / n;
+  // Clamp the proportion into [0, 1]: above 2^53 trials the u64 -> double
+  // conversions round independently and the quotient can land a hair
+  // outside, which would make the p*(1-p) radicand negative (NaN).
+  const double p =
+      std::clamp(static_cast<double>(failures) / n, 0.0, 1.0);
   const double z2 = z * z;
   const double denom = 1.0 + z2 / n;
   const double center = (p + z2 / (2.0 * n)) / denom;
+  // At the degenerate edges (failures == 0, failures == trials, and both
+  // at trials == 1) center - spread / center + spread are exactly 0 / 1
+  // in real arithmetic, so only rounding noise lives outside [0, 1]; the
+  // max() guards the radicand against that noise and the clamps pin the
+  // documented invariant 0 <= ci_low <= p_hat <= ci_high <= 1 exactly,
+  // so ppm-scaled intervals stay inside [0, 1e6] with a non-negative
+  // half-width.
   const double spread =
-      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+      (z / denom) *
+      std::sqrt(std::max(0.0, p * (1.0 - p) / n + z2 / (4.0 * n * n)));
 
   est.p_hat = p;
-  est.ci_low = std::max(0.0, center - spread);
-  est.ci_high = std::min(1.0, center + spread);
+  est.ci_low = std::clamp(center - spread, 0.0, p);
+  est.ci_high = std::clamp(center + spread, p, 1.0);
   return est;
 }
 

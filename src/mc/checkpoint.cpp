@@ -236,6 +236,13 @@ bool peek_checkpoint(const CheckpointConfig& config, CheckpointPeek* out) {
   peek.visited = r.u64();
   peek.frontier = r.u64();
   if (!r.ok) return false;
+  // No CRC covers this header, so a torn or zero-filled write can reach
+  // here looking structurally valid. A real wavefront always holds at
+  // least the root in the visited set and at least one frontier state
+  // (save_checkpoint runs only at level barriers with work left, and
+  // load_checkpoint rejects an empty frontier) — a zero count is garbage,
+  // and progress must report "unknown" rather than display it.
+  if (peek.visited == 0 || peek.frontier == 0) return false;
   *out = peek;
   return true;
 }

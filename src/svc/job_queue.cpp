@@ -94,8 +94,15 @@ JobQueue::Entry JobQueue::pop_from_band(Band* band) {
     Lane& lane = band->lanes.at(tenant);
     lane.deficit += static_cast<double>(lane.weight) * need;
   }
-  // Pop the argmin lane directly instead of re-scanning: floating-point
-  // rounding could leave its refilled deficit a hair under the cost.
+  // Pop the argmin lane directly instead of re-scanning, and clamp its
+  // credit up to its cheapest job's cost first: `need` was computed as
+  // (cost - deficit) / weight and refilled as weight * need, and that
+  // divide-then-multiply can round to a hair under cost - deficit (the
+  // documented double-rounding hazard). The clamp adds at most one ulp of
+  // credit, makes the lane eligible by construction after exactly one
+  // refill, and keeps the deficit from going negative in pop_lane below.
+  Lane& winner = band->lanes.at(band->ring[argmin]);
+  winner.deficit = std::max(winner.deficit, winner.jobs.top().cost);
   return pop_lane(argmin);
 }
 

@@ -2,6 +2,7 @@
 
 #include <poll.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
@@ -262,6 +263,27 @@ std::uint32_t Server::intern_tenant(const std::string& name) {
   return id;
 }
 
+std::string Server::tenant_metrics_dump() const {
+  std::string out;
+  char buf[256];
+  for (const TenantState& state : tenants_) {
+    // Interning alone (a request naming the tenant) counts as traffic;
+    // quiet configured tenants stay out of the dump so the line set only
+    // grows when behavior did.
+    if (state.admitted == 0 && state.rejected == 0) continue;
+    const char* name =
+        state.quota.name.empty() ? "default" : state.quota.name.c_str();
+    std::snprintf(buf, sizeof buf,
+                  "net:tenant:%s: admitted=%llu rejected=%llu "
+                  "in_flight_peak=%llu\n",
+                  name, static_cast<unsigned long long>(state.admitted),
+                  static_cast<unsigned long long>(state.rejected),
+                  static_cast<unsigned long long>(state.in_flight_peak));
+    out += buf;
+  }
+  return out;
+}
+
 void Server::accept_ready() {
   // Bounded accept burst: level-triggered poll re-reports a still-nonempty
   // backlog, so the loop never starves connected clients to accept more.
@@ -372,6 +394,7 @@ void Server::handle_line(Connection* c, const std::string& line) {
     // Quota gate: answered with an explicit rejection row (same shape as
     // an admission rejection, seq 0 — the job never reached the session).
     metrics().net_quota_rejected.fetch_add(1, std::memory_order_relaxed);
+    state.rejected += 1;
     JobResult rejected;
     rejected.digest = request.spec.digest();
     rejected.property = request.spec.property;
@@ -387,6 +410,8 @@ void Server::handle_line(Connection* c, const std::string& line) {
   if (handle.valid()) {
     state.in_flight += 1;
     state.budget_in_flight += budget;
+    state.admitted += 1;
+    state.in_flight_peak = std::max(state.in_flight_peak, state.in_flight);
     PendingJob job;
     job.spec = request.spec;
     job.id = std::move(request.id);

@@ -137,6 +137,13 @@ class Server {
   AsyncService& service() { return *service_; }
   Metrics& metrics() { return service_->metrics(); }
 
+  /// One "net:tenant:<name>: admitted=N rejected=N in_flight_peak=N" line
+  /// per tenant that saw any traffic (the default tenant "" renders as
+  /// "default"), appended after Metrics::dump() in the SIGTERM dump.
+  /// Tenant gauges are loop-thread state — call only after run() returned
+  /// (or before it starts).
+  std::string tenant_metrics_dump() const;
+
   /// Connections served over the server's lifetime — every one was
   /// settled by a drain, on close or at shutdown (the exit banner's
   /// count, matching the historical thread-per-connection tally).
@@ -169,11 +176,15 @@ class Server {
     int lineno = 0;
   };
 
-  /// Live per-tenant admission gauges against one quota.
+  /// Live per-tenant admission gauges against one quota, plus lifetime
+  /// counters for the per-tenant metrics rows (tenant_metrics_dump).
   struct TenantState {
     TenantQuota quota;
     std::uint64_t in_flight = 0;
     std::uint64_t budget_in_flight = 0;
+    std::uint64_t admitted = 0;        ///< requests past the quota gate
+    std::uint64_t rejected = 0;        ///< quota rejections (this tenant)
+    std::uint64_t in_flight_peak = 0;  ///< high-water mark of in_flight
   };
 
   double ts_ms(const Connection& c) const;

@@ -91,7 +91,8 @@ bool parse_property(const std::string& v, Property* out) {
 
 bool parse_engine(const std::string& v, EngineChoice* out) {
   for (EngineChoice e : {EngineChoice::kSerial, EngineChoice::kParallel,
-                         EngineChoice::kAuto, EngineChoice::kRedundant}) {
+                         EngineChoice::kAuto, EngineChoice::kRedundant,
+                         EngineChoice::kSwarm}) {
     if (v == to_string(e)) {
       *out = e;
       return true;
@@ -302,8 +303,11 @@ bool parse_line_impl(const std::string& line, JobSpec* spec,
       ok = is_string && parse_criterion(value, &out.campaign.criterion);
     } else if (is_campaign && key == "steps") {
       ok = parse_u64(value, &out.campaign.steps) && out.campaign.steps > 0;
-    } else if (is_campaign && key == "seed") {
-      ok = parse_u64(value, &out.campaign.seed);
+    } else if (key == "seed") {
+      // Campaigns seed the trial RNG streams; verification jobs seed the
+      // swarm engine's racers. Both are digest-invariant execution hints.
+      ok = is_campaign ? parse_u64(value, &out.campaign.seed)
+                       : parse_u64(value, &out.seed);
     } else if (is_campaign && key == "min_trials") {
       ok = parse_u64(value, &n) && n <= UINT32_MAX;
       if (ok) out.campaign.min_trials = static_cast<std::uint32_t>(n);

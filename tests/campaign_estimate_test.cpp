@@ -1,0 +1,113 @@
+// Known-answer pins for campaign::wilson_estimate, concentrating on the
+// degenerate edges a fault campaign actually hits: zero failures after a
+// long clean streak (failures == 0), the always-failing configuration
+// (failures == trials), and the one-trial campaign (trials == 1). Every
+// edge must honor the documented invariant 0 <= ci_low <= p_hat <=
+// ci_high <= 1 exactly — no NaN out of the sqrt radicand, no negative
+// half-width, and ppm-scaled bounds inside [0, 1e6].
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "campaign/estimate.h"
+
+namespace tta::campaign {
+namespace {
+
+// Closed forms at the edges, for z2 = kDefaultZ^2 (~3.841459):
+//   failures == 0:      ci_low = 0,            ci_high = z2 / (n + z2)
+//   failures == trials: ci_low = n / (n + z2), ci_high = 1
+// (Wilson center +- spread collapses exactly because p(1-p) = 0.)
+constexpr double kZ2 = kDefaultZ * kDefaultZ;
+
+void expect_invariant(const Estimate& est) {
+  EXPECT_FALSE(std::isnan(est.ci_low));
+  EXPECT_FALSE(std::isnan(est.ci_high));
+  EXPECT_GE(est.ci_low, 0.0);
+  EXPECT_LE(est.ci_low, est.p_hat);
+  EXPECT_LE(est.p_hat, est.ci_high);
+  EXPECT_LE(est.ci_high, 1.0);
+  EXPECT_GE(est.half_width(), 0.0);
+}
+
+TEST(WilsonEstimate, EmptyCampaignIsVacuous) {
+  const Estimate est = wilson_estimate(0, 0);
+  EXPECT_EQ(est.p_hat, 0.0);
+  EXPECT_EQ(est.ci_low, 0.0);
+  EXPECT_EQ(est.ci_high, 1.0);
+  expect_invariant(est);
+}
+
+TEST(WilsonEstimate, ZeroFailuresPinsLowerBoundAtExactZero) {
+  for (std::uint64_t trials : {1ull, 10ull, 100ull, 1'000'000ull}) {
+    const Estimate est = wilson_estimate(0, trials);
+    EXPECT_EQ(est.p_hat, 0.0) << trials;
+    EXPECT_EQ(est.ci_low, 0.0) << trials;  // exact, not "tiny negative"
+    const double n = static_cast<double>(trials);
+    EXPECT_NEAR(est.ci_high, kZ2 / (n + kZ2), 1e-12) << trials;
+    expect_invariant(est);
+  }
+  // The 100-trial clean streak, pinned numerically: the rule-of-three
+  // neighborhood a campaign report actually quotes.
+  EXPECT_NEAR(wilson_estimate(0, 100).ci_high, 0.0369935, 5e-8);
+}
+
+TEST(WilsonEstimate, AllFailuresPinsUpperBoundAtExactOne) {
+  for (std::uint64_t trials : {1ull, 10ull, 100ull, 1'000'000ull}) {
+    const Estimate est = wilson_estimate(trials, trials);
+    EXPECT_EQ(est.p_hat, 1.0) << trials;
+    EXPECT_EQ(est.ci_high, 1.0) << trials;  // exact
+    const double n = static_cast<double>(trials);
+    EXPECT_NEAR(est.ci_low, n / (n + kZ2), 1e-12) << trials;
+    expect_invariant(est);
+  }
+}
+
+TEST(WilsonEstimate, SingleTrialBothWays) {
+  const Estimate clean = wilson_estimate(0, 1);
+  EXPECT_EQ(clean.ci_low, 0.0);
+  EXPECT_NEAR(clean.ci_high, kZ2 / (1.0 + kZ2), 1e-12);  // ~0.793451
+  expect_invariant(clean);
+
+  const Estimate failed = wilson_estimate(1, 1);
+  EXPECT_NEAR(failed.ci_low, 1.0 / (1.0 + kZ2), 1e-12);  // ~0.206549
+  EXPECT_EQ(failed.ci_high, 1.0);
+  expect_invariant(failed);
+}
+
+TEST(WilsonEstimate, InteriorKnownAnswer) {
+  // 5 failures in 100 trials at 95%: the standard Wilson worked example.
+  const Estimate est = wilson_estimate(5, 100);
+  EXPECT_NEAR(est.p_hat, 0.05, 1e-12);
+  EXPECT_NEAR(est.ci_low, 0.0215437, 5e-7);
+  EXPECT_NEAR(est.ci_high, 0.1117505, 5e-7);
+  expect_invariant(est);
+}
+
+TEST(WilsonEstimate, PpmScaledBoundsStayInRange) {
+  // The campaign report multiplies by kPpmScale = 1e6; the edges must map
+  // into [0, 1e6] with nothing to clamp downstream.
+  for (const auto& [failures, trials] :
+       {std::pair<std::uint64_t, std::uint64_t>{0, 1},
+        {1, 1},
+        {0, 50'000},
+        {50'000, 50'000},
+        {3, 7}}) {
+    const Estimate est = wilson_estimate(failures, trials);
+    expect_invariant(est);
+    EXPECT_GE(est.ci_low * 1e6, 0.0);
+    EXPECT_LE(est.ci_high * 1e6, 1e6);
+  }
+}
+
+TEST(WilsonEstimate, InvariantSweep) {
+  for (std::uint64_t trials = 1; trials <= 40; ++trials) {
+    for (std::uint64_t failures = 0; failures <= trials; ++failures) {
+      expect_invariant(wilson_estimate(failures, trials));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tta::campaign

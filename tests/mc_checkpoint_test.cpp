@@ -5,6 +5,7 @@
 // crash.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -151,6 +152,66 @@ TEST(CheckpointFile, LoadFailsSoftlyOnEveryDamageMode) {
   remove_checkpoint(cfg.path);
   EXPECT_FALSE(std::filesystem::exists(cfg.path));
   remove_checkpoint(cfg.path);  // idempotent on a missing file
+}
+
+TEST(CheckpointFile, PeekFailsSoftlyOnEveryDamageMode) {
+  // peek_checkpoint reads only the fixed header — no CRC covers it — so
+  // its own validation must reject everything short of a plausible
+  // wavefront: missing and zero-length files, truncated headers (every
+  // prefix shorter than the 65-byte v2 header), and structurally complete
+  // headers whose visited/frontier counts are zero (a torn or zero-filled
+  // write; a real wavefront always holds the root and one frontier state).
+  CheckpointConfig cfg{test_path("peek.ckpt"), /*binding=*/42, 1};
+  CheckpointPeek peek;
+
+  // Missing file (the temp dir persists across runs, so clear residue).
+  remove_checkpoint(cfg.path);
+  EXPECT_FALSE(peek_checkpoint(cfg, &peek));
+
+  const CheckpointData data = sample_data();
+  ASSERT_TRUE(save_checkpoint(cfg, data));
+  const std::vector<std::uint8_t> intact = read_file(cfg.path);
+
+  // The intact file peeks, and reports the saved progress surface.
+  ASSERT_TRUE(peek_checkpoint(cfg, &peek));
+  EXPECT_EQ(peek.mode, CheckpointData::Mode::kFindState);
+  EXPECT_EQ(peek.next_depth, 7u);
+  EXPECT_EQ(peek.transitions, 12'345u);
+  EXPECT_EQ(peek.visited, data.visited.size());
+  EXPECT_EQ(peek.frontier, data.frontier.size());
+
+  // Truncated headers: zero-length and every short prefix of the v2
+  // header, including one byte shy of complete.
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{8}, std::size_t{56},
+                                 std::size_t{64}}) {
+    auto torn = intact;
+    torn.resize(keep);
+    write_file(cfg.path, torn);
+    EXPECT_FALSE(peek_checkpoint(cfg, &peek)) << "kept " << keep;
+  }
+
+  // Zeroed count fields in an otherwise complete header: the v2 layout
+  // puts the visited count at bytes [49, 57) and the frontier count at
+  // [57, 65). Either being zero is garbage — progress must report
+  // "unknown" rather than display it.
+  for (const std::size_t offset : {std::size_t{49}, std::size_t{57}}) {
+    auto zeroed = intact;
+    std::fill(zeroed.begin() + static_cast<std::ptrdiff_t>(offset),
+              zeroed.begin() + static_cast<std::ptrdiff_t>(offset + 8), 0);
+    write_file(cfg.path, zeroed);
+    EXPECT_FALSE(peek_checkpoint(cfg, &peek)) << "zeroed at " << offset;
+  }
+
+  // Wrong binding on the intact bytes.
+  write_file(cfg.path, intact);
+  CheckpointConfig other = cfg;
+  other.binding = 43;
+  EXPECT_FALSE(peek_checkpoint(other, &peek));
+
+  // And the intact file still peeks after all of the above.
+  EXPECT_TRUE(peek_checkpoint(cfg, &peek));
+  remove_checkpoint(cfg.path);
 }
 
 TEST(CheckpointVerdict, EngineDivergenceHasAName) {

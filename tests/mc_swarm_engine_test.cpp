@@ -1,0 +1,170 @@
+// The swarm racing engine's determinism contract (docs/CHECKER.md): the
+// racers may find a violation in any randomized order, but the REPORTED
+// result is canonical — bit-identical verdict, statistics, and trace
+// length to the serial reference for every seed — and HOLDS can only come
+// from the exhaustive sweep.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mc/engine.h"
+#include "mc/swarm_engine.h"
+#include "util/cancel_token.h"
+
+namespace tta::mc {
+namespace {
+
+ModelConfig config(guardian::Authority a, std::uint8_t nodes = 4) {
+  ModelConfig cfg;
+  cfg.authority = a;
+  cfg.protocol.num_nodes = nodes;
+  cfg.protocol.num_slots = nodes;
+  return cfg;
+}
+
+EngineQuery safety_query() {
+  EngineQuery query;
+  query.kind = EngineQuery::Kind::kSafetyCheck;
+  query.violation = no_integrated_node_freezes();
+  return query;
+}
+
+EngineQuery all_active_query(const TtpcStarModel& model,
+                             EngineQuery::Kind kind) {
+  EngineQuery query;
+  query.kind = kind;
+  const std::size_t n = model.num_nodes();
+  query.goal = [n](const WorldState& w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w.nodes[i].state != ttpc::CtrlState::kActive) return false;
+    }
+    return true;
+  };
+  return query;
+}
+
+void expect_canonical_match(const EngineResult& swarm,
+                            const EngineResult& serial) {
+  EXPECT_EQ(swarm.verdict, serial.verdict);
+  EXPECT_EQ(swarm.stats.states_explored, serial.stats.states_explored);
+  EXPECT_EQ(swarm.stats.transitions, serial.stats.transitions);
+  EXPECT_EQ(swarm.stats.max_depth, serial.stats.max_depth);
+  EXPECT_EQ(swarm.trace.size(), serial.trace.size());
+  // The merged result must survive the same cross_check every other
+  // engine pair is held to.
+  EXPECT_NE(cross_check(serial, swarm).verdict, Verdict::kEngineDivergence);
+}
+
+TEST(SwarmWorkerSeed, PureAndWellSpread) {
+  // Replayability hinges on the derivation being pure in (seed, worker);
+  // usefulness hinges on distinct workers getting distinct streams.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed : {0ull, 1ull, 42ull, ~0ull}) {
+    for (unsigned w = 0; w < 8; ++w) {
+      const std::uint64_t derived = swarm_worker_seed(seed, w);
+      EXPECT_EQ(derived, swarm_worker_seed(seed, w));
+      seen.insert(derived);
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 8u);
+}
+
+TEST(SwarmEngine, NameAndCheckpointSurface) {
+  SwarmEngine engine(4, 7);
+  EXPECT_STREQ(engine.name(), "swarm");
+  EXPECT_FALSE(engine.supports_checkpoint());
+  EXPECT_EQ(engine.racers(), 4u);
+  EXPECT_EQ(engine.seed(), 7u);
+}
+
+TEST(SwarmEngine, ViolatedIsCanonicalAcrossSeeds) {
+  // full_shifting is the paper's VIOLATED configuration: whatever ordering
+  // wins the race, the reported counterexample must be the serial
+  // engine's shortest one, for every seed.
+  TtpcStarModel model(config(guardian::Authority::kFullShifting));
+  const EngineQuery query = safety_query();
+  const EngineResult serial =
+      SerialEngine().run(model, query, nullptr, nullptr);
+  ASSERT_EQ(serial.verdict, Verdict::kViolated);
+  ASSERT_FALSE(serial.trace.empty());
+
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SwarmEngine engine(4, seed, 2);
+    const EngineResult swarm = engine.run(model, query, nullptr, nullptr);
+    expect_canonical_match(swarm, serial);
+    EXPECT_EQ(swarm.stats.swarm_workers, 4u);
+  }
+}
+
+TEST(SwarmEngine, HoldsIsBitIdenticalToTheSweep) {
+  // small_shifting HOLDS: only the exhaustive sweep may conclude it, and
+  // the sweep's answer is bit-identical to serial by the parallel
+  // contract — racers draining their private tables must not leak a
+  // fabricated verdict.
+  TtpcStarModel model(config(guardian::Authority::kSmallShifting));
+  const EngineQuery query = safety_query();
+  const EngineResult serial =
+      SerialEngine().run(model, query, nullptr, nullptr);
+  ASSERT_EQ(serial.verdict, Verdict::kHolds);
+
+  SwarmEngine engine(4, 99, 2);
+  const EngineResult swarm = engine.run(model, query, nullptr, nullptr);
+  expect_canonical_match(swarm, serial);
+  EXPECT_EQ(swarm.stats.swarm_race_won, 0u);  // nothing to race to
+}
+
+TEST(SwarmEngine, FindStateWitnessIsCanonical) {
+  TtpcStarModel model(config(guardian::Authority::kSmallShifting));
+  const EngineQuery query =
+      all_active_query(model, EngineQuery::Kind::kFindState);
+  const EngineResult serial =
+      SerialEngine().run(model, query, nullptr, nullptr);
+
+  SwarmEngine engine(3, 5, 2);
+  const EngineResult swarm = engine.run(model, query, nullptr, nullptr);
+  expect_canonical_match(swarm, serial);
+}
+
+TEST(SwarmEngine, RecoverabilityDelegatesToTheSweep) {
+  TtpcStarModel model(config(guardian::Authority::kSmallShifting));
+  const EngineQuery query =
+      all_active_query(model, EngineQuery::Kind::kRecoverability);
+  const EngineResult serial =
+      SerialEngine().run(model, query, nullptr, nullptr);
+
+  SwarmEngine engine(4, 11, 2);
+  const EngineResult swarm = engine.run(model, query, nullptr, nullptr);
+  EXPECT_EQ(swarm.verdict, serial.verdict);
+  EXPECT_EQ(swarm.dead_states, serial.dead_states);
+  EXPECT_EQ(swarm.stats.states_explored, serial.stats.states_explored);
+  // Straight delegation: no race was fielded, so no swarm diagnostics.
+  EXPECT_EQ(swarm.stats.swarm_workers, 0u);
+}
+
+TEST(SwarmEngine, PreCancelledIsInconclusive) {
+  TtpcStarModel model(config(guardian::Authority::kFullShifting));
+  util::CancelToken token;
+  token.request_cancel();
+  SwarmEngine engine(4, 1, 2);
+  const EngineResult res =
+      engine.run(model, safety_query(), &token, nullptr);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+  EXPECT_TRUE(res.stats.cancelled);
+  EXPECT_TRUE(res.trace.empty());
+}
+
+TEST(SwarmEngine, BudgetBailStaysInconclusive) {
+  // A budget every worker exhausts: racers exit silently, the sweep
+  // reports the honest inconclusive bail — never a fabricated verdict.
+  TtpcStarModel model(config(guardian::Authority::kSmallShifting));
+  EngineQuery query = safety_query();
+  query.max_states = 500;
+  SwarmEngine engine(4, 21, 2);
+  const EngineResult res = engine.run(model, query, nullptr, nullptr);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+  EXPECT_FALSE(res.stats.exhausted);
+  EXPECT_EQ(res.stats.swarm_race_won, 0u);
+}
+
+}  // namespace
+}  // namespace tta::mc

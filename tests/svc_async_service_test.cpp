@@ -615,5 +615,43 @@ TEST(JobQueueDrr, WeightsSkewShareProportionally) {
   EXPECT_FALSE(queue.pop_next().has_value());
 }
 
+// The double-rounding hazard at the adaptive refill (job_queue.cpp): the
+// quantum is computed as need = (cost - deficit) / weight and credited
+// back as weight * need, and that divide-then-multiply can round to a
+// hair under cost - deficit whenever the division is inexact. One refill
+// must still make the argmin lane eligible (the pop may not stall or
+// leak a negative deficit into later rounds). The 4-node passive spec
+// costs exactly 111000, and 111000 / 11 * 11 rounds to a hair UNDER
+// 111000 in IEEE doubles — asserted below as the precondition — so with
+// weight-11 lanes the very first refill (deficit 0) hits the hazard, and
+// the fairness envelope must hold anyway across enough cycles for any
+// rounding drift to compound.
+TEST(JobQueueDrr, InexactWeightDivisionStillPopsAfterOneRefill) {
+  JobQueue queue(128);
+  const JobSpec spec = spec_for(guardian::Authority::kPassive, 4);
+  const double cost = spec.estimated_cost();
+  ASSERT_LT(cost / 11.0 * 11.0, cost)
+      << "precondition lost: pick a cost/weight pair whose "
+         "divide-then-multiply rounds down";
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    queue.admit(spec, 0, 100 + i, 0, /*tenant=*/1, /*weight=*/11);
+    queue.admit(spec, 0, 200 + i, 0, /*tenant=*/2, /*weight=*/11);
+  }
+
+  int count[3] = {0, 0, 0};
+  for (int pops = 0; pops < 48; ++pops) {
+    std::optional<JobQueue::Entry> entry = queue.pop_next();
+    ASSERT_TRUE(entry.has_value()) << "refill failed to restore "
+                                      "eligibility after " << pops << " pops";
+    ASSERT_TRUE(entry->tenant == 1 || entry->tenant == 2);
+    ++count[entry->tenant];
+    EXPECT_LE(std::abs(count[1] - count[2]), 1)
+        << "rounding drift broke fairness after " << pops + 1 << " pops";
+  }
+  EXPECT_EQ(count[1], 24);
+  EXPECT_EQ(count[2], 24);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace tta::svc

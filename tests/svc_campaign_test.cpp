@@ -99,12 +99,20 @@ TEST(CampaignJobSpec, KindsDoNotLeakKeysIntoEachOther) {
             std::string::npos);
   // ...and campaign-only keys are unknown for verification jobs, where
   // they have always been typos.
-  EXPECT_NE(parse_error("{\"seed\":1}").find(
-                "unknown key \"seed\" at offset 1 for verify jobs"),
+  EXPECT_NE(parse_error("{\"min_trials\":1}").find(
+                "unknown key \"min_trials\" at offset 1 for verify jobs"),
             std::string::npos);
   EXPECT_NE(parse_error("{\"faults\":\"coupler:0:silence:1\"}")
                 .find("for verify jobs"),
             std::string::npos);
+  // "seed" graduated to a shared key: it seeds the trial streams in a
+  // campaign but the swarm engine's racers in a verification job.
+  JobSpec verify_seeded;
+  std::string error;
+  ASSERT_TRUE(parse_job_line("{\"seed\":9}", &verify_seeded, &error))
+      << error;
+  EXPECT_EQ(verify_seeded.kind, JobKind::kVerify);
+  EXPECT_EQ(verify_seeded.seed, 9u);
 }
 
 TEST(CampaignJobSpec, BadValuesNameFieldOffsetAndValue) {

@@ -60,6 +60,14 @@ TEST(EngineFactory, ExplicitChoicesMapToTheirEngines) {
   EXPECT_STREQ(redundant.engine->name(), "redundant");
   // Two engines must never share one checkpoint file.
   EXPECT_FALSE(redundant.engine->supports_checkpoint());
+
+  spec.engine = EngineChoice::kSwarm;
+  spec.seed = 123;
+  EngineSelection swarm = make_engine(spec, config);
+  EXPECT_EQ(swarm.resolved, EngineChoice::kSwarm);
+  EXPECT_STREQ(swarm.engine->name(), "swarm");
+  // Racers keep private tables; no canonical wavefront exists to resume.
+  EXPECT_FALSE(swarm.engine->supports_checkpoint());
 }
 
 TEST(Engine, SerialAndParallelAreBitIdenticalThroughTheInterface) {

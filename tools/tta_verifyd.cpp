@@ -75,6 +75,9 @@ int main(int argc, char** argv) {
   std::printf("tta_verifyd: drained %zu connection(s), exiting\n",
               server.drained_connections());
   std::printf("%s", server.metrics().dump().c_str());
+  // Per-tenant admission rows (run() has returned, so the loop-thread
+  // gauges are quiescent and safe to read here).
+  std::printf("%s", server.tenant_metrics_dump().c_str());
   // Chaos observability: when TTA_FAILPOINTS armed anything, show what
   // actually fired so a chaos log explains its own metric deltas.
   std::printf("%s", util::FailPoints::instance().render().c_str());
